@@ -1,0 +1,175 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* Device profile: the AD-vs-scan verdict under the 2006 disk model vs a
+  modern SSD profile — the paper's conclusion is hardware-dependent, and
+  the cost model makes that checkable.
+* VA-file quantizer resolution: candidate counts vs bits/dimension.
+* IGrid bin count: the 2/d access analysis vs measured entries.
+* Frequent range width: attribute retrieval vs [n0, n1] choice (why the
+  paper recommends n1 well below d).
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.data import sample_queries, uniform_dataset
+from repro.disk import DiskADEngine, DiskScanEngine
+from repro.igrid import IGridEngine
+from repro.storage import DEFAULT_DISK_MODEL, SSD_DISK_MODEL
+from repro.vafile import VAFileEngine
+
+CARDINALITY = 50000
+K = 20
+N_RANGE = (4, 8)
+
+
+def _workload():
+    data = uniform_dataset(CARDINALITY, 16, seed=3)
+    query = sample_queries(data, 1, seed=4)[0]
+    return data, query
+
+
+def test_disk_model_ablation(benchmark):
+    """AD wins big on 2006 spinning rust; the gap narrows on an SSD."""
+
+    def run():
+        data, query = _workload()
+        ad = DiskADEngine(data)
+        scan = DiskScanEngine(data)
+        ad_stats = ad.frequent_k_n_match(query, K, N_RANGE).stats
+        scan_stats = scan.frequent_k_n_match(query, K, N_RANGE).stats
+        return ad_stats, scan_stats
+
+    ad_stats, scan_stats = run_once(benchmark, run)
+    hdd_speedup = DEFAULT_DISK_MODEL.simulated_seconds(
+        scan_stats
+    ) / DEFAULT_DISK_MODEL.simulated_seconds(ad_stats)
+    ssd_speedup = SSD_DISK_MODEL.simulated_seconds(
+        scan_stats
+    ) / SSD_DISK_MODEL.simulated_seconds(ad_stats)
+    print(f"\nAD speedup over scan - 2006 HDD: {hdd_speedup:.2f}x, SSD: {ssd_speedup:.2f}x")
+    assert hdd_speedup > 1.0
+    # random access is nearly free on the SSD, so AD's seek overhead
+    # matters less and its attribute savings matter more... but the scan
+    # also stops paying for transfer. The ordering may flip; the point
+    # of the ablation is the measured delta, asserted loosely:
+    assert ssd_speedup > 0.2
+
+
+def test_vafile_bits_ablation(benchmark):
+    """Coarser approximations refine more candidates (monotone)."""
+
+    def run():
+        data, query = _workload()
+        counts = []
+        for bits in (2, 4, 6, 8):
+            engine = VAFileEngine(data, bits=bits)
+            stats = engine.frequent_k_n_match(query, K, N_RANGE).stats
+            counts.append((bits, stats.candidates_refined))
+        return counts
+
+    counts = run_once(benchmark, run)
+    print(f"\nbits -> candidates refined: {counts}")
+    refined = [count for _bits, count in counts]
+    assert refined == sorted(refined, reverse=True)
+
+
+def test_igrid_bins_ablation(benchmark):
+    """Measured inverted entries track the c*d/bins analysis."""
+
+    def run():
+        data, query = _workload()
+        rows = []
+        for bins in (4, 8, 16):
+            engine = IGridEngine(data, bins=bins)
+            stats = engine.top_k(query, K).stats
+            rows.append((bins, stats.inverted_list_entries))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(f"\nbins -> entries touched: {rows}")
+    for bins, entries in rows:
+        expected = 16 * CARDINALITY / bins
+        assert 0.5 * expected <= entries <= 1.5 * expected
+
+
+def test_correlation_ablation(benchmark):
+    """AD's retrieval fraction falls as dimensions correlate — points
+    close in one dimension are close in the others, so appearance
+    counts concentrate and the frontier stops early."""
+    from repro.core.ad import ADEngine
+    from repro.data import correlated_dataset
+
+    def run():
+        rows = []
+        for rho in (0.0, 0.5, 0.9):
+            data = correlated_dataset(20000, 12, correlation=rho, seed=8)
+            engine = ADEngine(data)
+            fractions = [
+                engine.frequent_k_n_match(
+                    data[probe], K, (4, 8), keep_answer_sets=False
+                ).stats.fraction_retrieved
+                for probe in (123, 4567, 9999)
+            ]
+            rows.append((rho, float(np.mean(fractions))))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(f"\ncorrelation -> fraction retrieved: "
+          f"{[(rho, round(frac, 3)) for rho, frac in rows]}")
+    fractions = {rho: frac for rho, frac in rows}
+    # weak correlation is noise; strong correlation clearly helps
+    assert fractions[0.9] < fractions[0.0] * 0.8
+
+
+def test_buffer_pool_ablation(benchmark):
+    """A warm buffer pool absorbs repeated page reads; hit rate grows
+    with capacity until the working set fits."""
+    from repro.storage import BufferPool, Pager
+
+    def run():
+        pager = Pager(page_size=4096)
+        page_count = 512
+        for _ in range(page_count):
+            pager.allocate()
+        rng = np.random.default_rng(9)
+        # a skewed access pattern: 80% of reads hit 20% of pages
+        hot = rng.choice(page_count, size=page_count // 5, replace=False)
+        accesses = [
+            int(rng.choice(hot)) if rng.random() < 0.8 else int(rng.integers(page_count))
+            for _ in range(20000)
+        ]
+        rows = []
+        for capacity in (16, 64, 256, 512):
+            pool = BufferPool(pager, capacity=capacity)
+            for page in accesses:
+                pool.read(page)
+            rows.append((capacity, pool.hit_rate))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(f"\ncapacity -> hit rate: {[(c, round(h, 3)) for c, h in rows]}")
+    hit_rates = [rate for _cap, rate in rows]
+    assert hit_rates == sorted(hit_rates)
+    assert hit_rates[-1] > 0.95  # everything fits at 512 pages
+
+
+def test_range_width_ablation(benchmark):
+    """Attribute retrieval is governed by n1, not by the range width —
+    Thm 3.3's 'frequent search costs exactly a k-n1-match search'."""
+
+    def run():
+        data, query = _workload()
+        engine = DiskADEngine(data)
+        narrow = engine.frequent_k_n_match(query, K, (8, 8)).stats
+        wide = engine.frequent_k_n_match(query, K, (1, 8)).stats
+        small = engine.frequent_k_n_match(query, K, (1, 4)).stats
+        return narrow, wide, small
+
+    narrow, wide, small = run_once(benchmark, run)
+    print(
+        f"\nattrs retrieved - [8,8]: {narrow.attributes_retrieved}, "
+        f"[1,8]: {wide.attributes_retrieved}, [1,4]: {small.attributes_retrieved}"
+    )
+    assert narrow.attributes_retrieved == wide.attributes_retrieved
+    assert small.attributes_retrieved < wide.attributes_retrieved

@@ -1,0 +1,88 @@
+"""Wall-clock microbenchmarks of the three in-memory engines.
+
+Unlike the figure benches (single-shot regenerations whose interesting
+numbers are simulated), these run repeated rounds so pytest-benchmark's
+timing table is meaningful: the same frequent k-n-match query through
+the naive scan, the reference AD engine and the vectorised block-AD
+engine, plus the build cost of the sorted-column substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.core.naive import NaiveScanEngine
+from repro.data import sample_queries, uniform_dataset
+from repro.sorted_lists import SortedColumns
+
+CARDINALITY = 20000
+DIMENSIONS = 16
+K = 20
+N_RANGE = (4, 8)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = uniform_dataset(CARDINALITY, DIMENSIONS, seed=1)
+    query = sample_queries(data, 1, seed=2)[0]
+    return data, query
+
+
+@pytest.fixture(scope="module")
+def columns(workload):
+    return SortedColumns(workload[0])
+
+
+def test_build_sorted_columns(benchmark, workload):
+    data, _ = workload
+    benchmark(lambda: SortedColumns(data))
+
+
+def test_query_naive_scan(benchmark, workload):
+    data, query = workload
+    engine = NaiveScanEngine(data)
+    result = benchmark(
+        lambda: engine.frequent_k_n_match(query, K, N_RANGE, keep_answer_sets=False)
+    )
+    assert len(result.ids) == K
+
+
+def test_query_reference_ad(benchmark, workload, columns):
+    _, query = workload
+    engine = ADEngine(columns)
+    result = benchmark(
+        lambda: engine.frequent_k_n_match(query, K, N_RANGE, keep_answer_sets=False)
+    )
+    assert len(result.ids) == K
+
+
+def test_query_block_ad(benchmark, workload, columns):
+    _, query = workload
+    engine = BlockADEngine(columns)
+    result = benchmark(
+        lambda: engine.frequent_k_n_match(query, K, N_RANGE, keep_answer_sets=False)
+    )
+    assert len(result.ids) == K
+
+
+def test_engines_agree(workload, columns):
+    data, query = workload
+    naive = NaiveScanEngine(data).frequent_k_n_match(query, K, N_RANGE)
+    block = BlockADEngine(columns).frequent_k_n_match(query, K, N_RANGE)
+    ad = ADEngine(columns).frequent_k_n_match(query, K, N_RANGE)
+    assert naive.ids == block.ids == ad.ids
+
+
+def test_query_knmatch_single_n(benchmark, workload, columns):
+    _, query = workload
+    engine = BlockADEngine(columns)
+    result = benchmark(lambda: engine.k_n_match(query, K, 8))
+    assert len(result.ids) == K
+
+
+def test_vectorised_profile_kernel(benchmark, workload):
+    """The numpy kernel every scan engine leans on."""
+    data, query = workload
+    out = benchmark(lambda: np.sort(np.abs(data - query), axis=1))
+    assert out.shape == data.shape

@@ -1,0 +1,22 @@
+"""Beyond-the-paper: accuracy vs kNN-recall per technique (Sec. 6)."""
+
+from conftest import emit, run_once
+
+
+def test_accuracy_vs_knn_recall(benchmark):
+    from repro.experiments import extra
+
+    result = run_once(benchmark, lambda: extra.run(queries=50, k=20))
+    emit(result)
+
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    knn_accuracy, knn_rec = rows["kNN (Euclidean)"]
+    freq_accuracy, freq_rec = rows["freq. k-n-match [1,d]"]
+
+    # kNN has perfect recall of itself, by construction.
+    assert knn_rec == 1.0
+    # frequent k-n-match: clearly not a kNN approximation...
+    assert freq_rec < 0.85
+    # ...and clearly better at finding similar objects.
+    assert freq_accuracy > knn_accuracy
+    assert freq_accuracy == max(accuracy for accuracy, _rec in rows.values())

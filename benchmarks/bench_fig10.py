@@ -1,0 +1,21 @@
+"""Benchmark/regeneration of Figure 10 (VA-file adaptation loses)."""
+
+from conftest import emit, run_once
+
+
+def test_fig10_vafile_vs_scan(benchmark, scale, queries, full_scale):
+    from repro.experiments import fig10
+
+    fig_a, fig_b = run_once(
+        benchmark, lambda: fig10.run(scale=scale, queries=queries)
+    )
+    emit(fig_a, fig_b)
+
+    # Phase 2 always refines a non-trivial candidate set.
+    assert all(row[2] > 0 for row in fig_a.rows)
+    if full_scale:
+        # The paper's headline: the VA-file's random refinement I/O makes
+        # it slower than a plain sequential scan (about 2x in the paper).
+        for row in fig_b.rows:
+            ratio = row[4]
+            assert ratio > 1.0, f"VA-file should lose at k={row[1]} on {row[0]}"

@@ -1,0 +1,20 @@
+"""Benchmark/regeneration of Figure 11 (disk AD vs scan on texture)."""
+
+from conftest import emit, run_once
+
+
+def test_fig11_ad_vs_scan(benchmark, scale, queries, full_scale):
+    from repro.experiments import fig11
+
+    fig_a, fig_b = run_once(
+        benchmark, lambda: fig11.run(scale=scale, queries=queries)
+    )
+    emit(fig_a, fig_b)
+
+    if full_scale:
+        for row in fig_a.rows:
+            # paper: AD's page accesses are 10-20% of the scan's
+            assert row[3] < 0.35, f"AD/scan page ratio too high at k={row[0]}"
+        for row in fig_b.rows:
+            # paper: AD beats the scan's response time
+            assert row[3] > 1.5, f"AD speedup too small at k={row[0]}"

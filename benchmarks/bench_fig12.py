@@ -1,0 +1,25 @@
+"""Benchmark/regeneration of Figure 12 (disk AD vs scan, n1 sweep)."""
+
+from conftest import emit, run_once
+
+
+def test_fig12_n1_sweep(benchmark, scale, queries, full_scale):
+    from repro.experiments import fig12
+
+    fig_a, fig_b = run_once(
+        benchmark, lambda: fig12.run(scale=scale, queries=queries)
+    )
+    emit(fig_a, fig_b)
+
+    # AD's page accesses grow with n1 on both workloads.
+    for name in ("uniform", "texture"):
+        pages = [row[2] for row in fig_a.rows if row[0] == name]
+        assert pages == sorted(pages)
+
+    if full_scale:
+        # paper: on uniform data AD still beats the scan at n1 = 14.
+        uniform = {row[1]: (row[2], row[3]) for row in fig_b.rows if row[0] == "uniform"}
+        assert uniform[14][0] < uniform[14][1]
+        # ... and on the skewed texture data even at n1 = 16.
+        texture = {row[1]: (row[2], row[3]) for row in fig_b.rows if row[0] == "texture"}
+        assert texture[16][0] < texture[16][1]

@@ -1,0 +1,26 @@
+"""Benchmark/regeneration of Figure 13 (scan/AD/IGrid: k and size)."""
+
+from conftest import emit, run_once
+
+
+def test_fig13_k_and_size(benchmark, scale, queries, full_scale):
+    from repro.experiments import fig13
+
+    fig_a, fig_b = run_once(
+        benchmark, lambda: fig13.run(scale=scale, queries=queries)
+    )
+    emit(fig_a, fig_b)
+
+    if full_scale:
+        # (a) the paper's ordering at every k: AD < scan < IGrid.
+        for row in fig_a.rows:
+            k, scan_t, ad_t, igrid_t = row
+            assert ad_t < scan_t < igrid_t, f"ordering broken at k={k}"
+        # (b) same ordering at every size, all roughly linear in size.
+        for row in fig_b.rows:
+            size, scan_t, ad_t, igrid_t = row
+            assert ad_t < scan_t < igrid_t, f"ordering broken at size={size}"
+        sizes = [row[0] for row in fig_b.rows]
+        scans = [row[1] for row in fig_b.rows]
+        growth = (scans[-1] / scans[0]) / (sizes[-1] / sizes[0])
+        assert 0.5 < growth < 2.0  # scan scales ~linearly

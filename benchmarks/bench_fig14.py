@@ -1,0 +1,22 @@
+"""Benchmark/regeneration of Figure 14 (effect of dimensionality)."""
+
+from conftest import emit, run_once
+
+
+def test_fig14_dimensionality(benchmark, scale, queries, full_scale):
+    from repro.experiments import fig14
+
+    result = run_once(benchmark, lambda: fig14.run(scale=scale, queries=queries))
+    emit(result)
+
+    if full_scale:
+        # paper: "FKNMatchAD always outperforms the other two techniques"
+        for row in result.rows:
+            d, scan_t, ad_t, igrid_t = row
+            assert ad_t < scan_t, f"AD lost to scan at d={d}"
+            assert ad_t < igrid_t, f"AD lost to IGrid at d={d}"
+        # every technique's cost grows with dimensionality
+        scans = [row[1] for row in result.rows]
+        ads = [row[2] for row in result.rows]
+        assert scans == sorted(scans)
+        assert ads == sorted(ads)

@@ -1,0 +1,26 @@
+"""Benchmark/regeneration of Figure 15 (texture: n1 sweep, skew effect)."""
+
+from conftest import emit, run_once
+
+
+def test_fig15_texture_sweep(benchmark, scale, queries, full_scale):
+    from repro.experiments import fig15
+
+    fig_a, fig_b = run_once(
+        benchmark, lambda: fig15.run(scale=scale, queries=queries)
+    )
+    emit(fig_a, fig_b)
+
+    # Retrieval fraction grows with n1 at any scale.
+    fractions = {row[0]: row[1] for row in fig_b.rows}
+    ordered = [fractions[n1] for n1 in sorted(fractions)]
+    assert ordered == sorted(ordered)
+
+    if full_scale:
+        # paper: AD beats scan AND IGrid even at n1 = d = 16 ...
+        for row in fig_a.rows:
+            n1, scan_t, ad_t, igrid_t = row
+            assert ad_t < scan_t, f"AD lost to scan at n1={n1}"
+            assert ad_t < igrid_t, f"AD lost to IGrid at n1={n1}"
+        # ... because the skew keeps retrieval at ~25% even at n1 = 16.
+        assert fractions[16] < 40.0

@@ -1,0 +1,23 @@
+"""Benchmark/regeneration of Figure 8 (accuracy vs the [n0, n1] range)."""
+
+from conftest import emit, run_once
+
+
+def test_fig8_range_effects(benchmark):
+    from repro.experiments import fig8
+
+    fig_a, fig_b = run_once(benchmark, lambda: fig8.run(queries=100, k=20))
+    emit(fig_a, fig_b)
+
+    for name in fig8.FIG8_DATASETS:
+        # (a) rise-then-fall: some interior n0 beats BOTH endpoints,
+        # i.e. the curve is not monotone in either direction.
+        curve_a = [row[2] for row in fig_a.rows if row[0] == name]
+        best = max(curve_a)
+        assert best >= curve_a[0] - 1e-9
+        assert best > curve_a[-1]
+
+        # (b) larger n1 never hurts much; small n1 is clearly worse.
+        curve_b = [row[2] for row in fig_b.rows if row[0] == name]
+        assert curve_b[-1] >= max(curve_b) - 0.05
+        assert min(curve_b[:2]) <= curve_b[-1] + 1e-9

@@ -1,0 +1,30 @@
+"""Benchmark/regeneration of Figure 9 (accuracy/retrieval trade-off)."""
+
+from conftest import emit, run_once
+
+
+def test_fig9_tradeoff(benchmark):
+    from repro.experiments import fig9
+
+    fig_a, fig_b = run_once(
+        benchmark, lambda: fig9.run(queries=50, k=20, io_queries=10)
+    )
+    emit(fig_a, fig_b)
+
+    # (a) retrieval grows with n1, and is well below 100% except at the top.
+    for name in fig9.FIG9_DATASETS:
+        curve = [row[2] for row in fig_a.rows if row[0] == name]
+        assert curve == sorted(curve)
+        assert curve[0] < 35.0  # small n1 -> small fraction
+
+    # (b) the paper's reading: AD reaches IGrid's accuracy while
+    # retrieving a modest share of the attributes.
+    igrid_row = fig_b.rows[-1]
+    assert igrid_row[0] == "IGrid (reference)"
+    igrid_accuracy = igrid_row[2]
+    ad_rows = [row for row in fig_b.rows if row[0] == "AD"]
+    cheapest_win = min(
+        (row[1] for row in ad_rows if row[2] >= igrid_accuracy), default=None
+    )
+    assert cheapest_win is not None
+    assert cheapest_win <= 35.0

@@ -1,0 +1,62 @@
+"""The dimensionality curse of R-tree-family indexes (Sec. 6's premise).
+
+Not a paper figure, but the executable form of the claim that motivates
+the paper's whole disk strategy: "R-tree based approaches have been
+shown to perform badly with high dimensional data due to too much
+overlap between page regions".  A kNN query's node-access fraction
+climbs towards 100% as dimensionality grows, at which point the index
+is a slower sequential scan.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.baselines import RTree, SSTree
+from repro.data import sample_queries, uniform_dataset
+
+CARDINALITY = 5000
+DIMENSIONALITIES = (2, 4, 8, 16, 32)
+
+
+def _curse_rows(build):
+    rows = []
+    for d in DIMENSIONALITIES:
+        data = uniform_dataset(CARDINALITY, d, seed=d)
+        tree = build(data)
+        queries = sample_queries(data, 5, seed=d + 1)
+        tree.reset_counters()
+        for query in queries:
+            tree.k_nearest(query, 10)
+        fraction = tree.node_accesses / (len(queries) * tree.node_count)
+        rows.append((d, tree.node_count, fraction))
+    return rows
+
+
+def _assert_curse(rows):
+    fractions = [fraction for _d, _nodes, fraction in rows]
+    # Monotone-ish climb with a collapsed top end.
+    assert fractions[0] < 0.5
+    assert fractions[-1] > 0.9
+    assert fractions == sorted(fractions) or max(
+        abs(a - b) for a, b in zip(fractions, sorted(fractions))
+    ) < 0.05
+
+
+def test_rtree_dimensionality_curse(benchmark):
+    rows = run_once(
+        benchmark, lambda: _curse_rows(lambda data: RTree.build(data, 32))
+    )
+    print("\nR-tree: d -> nodes, kNN node-access fraction")
+    for d, nodes, fraction in rows:
+        print(f"  {d:3d}  {nodes:5d}  {fraction:.1%}")
+    _assert_curse(rows)
+
+
+def test_sstree_dimensionality_curse(benchmark):
+    rows = run_once(
+        benchmark, lambda: _curse_rows(lambda data: SSTree.build(data, 32))
+    )
+    print("\nSS-tree: d -> nodes, kNN node-access fraction")
+    for d, nodes, fraction in rows:
+        print(f"  {d:3d}  {nodes:5d}  {fraction:.1%}")
+    _assert_curse(rows)

@@ -1,0 +1,21 @@
+"""Benchmark/regeneration of Tables 2 and 3 (COIL-100 stand-in)."""
+
+from conftest import emit, run_once
+from repro.data import PARTIAL_MATCH_IMAGE, QUERY_IMAGE
+
+
+def test_table2_and_table3(benchmark):
+    from repro.experiments import table2_3
+
+    table2, table3 = run_once(benchmark, table2_3.run)
+    emit(table2, table3)
+
+    # Shape: the partial-match image dominates the k-n-match answers...
+    appearances = sum(
+        str(PARTIAL_MATCH_IMAGE) in str(row[1]) for row in table2.rows
+    )
+    assert appearances >= len(table2.rows) // 2
+    # ... the query itself is always found ...
+    assert all(str(QUERY_IMAGE) in str(row[1]) for row in table2.rows)
+    # ... and kNN never surfaces the partial match (paper: absent at 20).
+    assert str(PARTIAL_MATCH_IMAGE) not in str(table3.rows[0][1])

@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper at the
+paper's workload sizes, prints the rows, and asserts the *shape* claims
+the paper makes (who wins, by roughly what factor, where crossovers
+fall).  Timing is recorded by pytest-benchmark with a single round —
+the interesting measurements are the simulated response times and I/O
+counters inside the tables, not this machine's wall clock.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — cardinality multiplier (default 1.0 = the
+  paper's 100,000-point / 68,040-point datasets).
+* ``REPRO_BENCH_QUERIES`` — queries averaged per measurement (default 2).
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+
+#: Shape assertions that need the paper-sized workloads are skipped when
+#: the suite is scaled down below this.
+FULL_SCALE = SCALE >= 0.5
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(*results):
+    """Print regenerated tables under the benchmark's captured output."""
+    for result in results:
+        print()
+        print(result.formatted())
+
+
+@pytest.fixture
+def scale():
+    return SCALE
+
+
+@pytest.fixture
+def queries():
+    return QUERIES
+
+
+@pytest.fixture
+def full_scale():
+    return FULL_SCALE

@@ -1,0 +1,56 @@
+"""Disk-based search: AD vs scan vs VA-file vs IGrid (Sec. 4 and 5.2).
+
+Builds all four disk engines over the same 16-dimensional workload and
+runs one frequent k-n-match query (and IGrid's top-k), reporting the
+page-level I/O each engine performed and the response time under the
+2006-calibrated disk model — then re-prices the same I/O under an SSD
+profile to show how the trade-off moves on modern hardware.
+
+Run:  python examples/disk_search.py [cardinality]
+"""
+
+import sys
+
+from repro.data import uniform_dataset, sample_queries
+from repro.disk import DiskADEngine, DiskScanEngine
+from repro.igrid import IGridEngine
+from repro.storage import DEFAULT_DISK_MODEL, SSD_DISK_MODEL
+from repro.vafile import VAFileEngine
+
+
+def main(cardinality: int = 50000) -> None:
+    data = uniform_dataset(cardinality, 16, seed=42)
+    query = sample_queries(data, 1, seed=1)[0]
+    k, n_range = 20, (4, 8)
+
+    ad = DiskADEngine(data)
+    scan = DiskScanEngine(data)
+    va = VAFileEngine(data)
+    igrid = IGridEngine(data)
+
+    runs = {}
+    runs["AD"] = ad.frequent_k_n_match(query, k, n_range).stats
+    runs["scan"] = scan.frequent_k_n_match(query, k, n_range).stats
+    runs["VA-file"] = va.frequent_k_n_match(query, k, n_range).stats
+    runs["IGrid"] = igrid.top_k(query, k).stats
+
+    print(f"{cardinality} points x 16 dims, k={k}, n range {n_range}")
+    print(f"{'engine':8s} {'seq pages':>10s} {'rand pages':>10s} "
+          f"{'attrs':>9s} {'2006 disk':>10s} {'SSD':>10s}")
+    for name, stats in runs.items():
+        hdd = DEFAULT_DISK_MODEL.simulated_seconds(stats)
+        ssd = SSD_DISK_MODEL.simulated_seconds(stats)
+        print(f"{name:8s} {stats.sequential_page_reads:>10d} "
+              f"{stats.random_page_reads:>10d} "
+              f"{stats.attributes_retrieved:>9d} "
+              f"{hdd:>9.3f}s {ssd:>9.4f}s")
+
+    print("\nAD and scan return identical answers; the VA-file returns the")
+    print("same answers after refining its candidates; IGrid answers its")
+    print("own proximity query.  On 2006 hardware AD wins by avoiding most")
+    print("of the data; on an SSD the random-access penalty shrinks and")
+    print("the scan closes much of the gap - run it and compare.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50000)

@@ -1,0 +1,110 @@
+"""Partial similarity, skylines and noise robustness (Sec. 2's ideas).
+
+Three short studies:
+
+1. The paper's Figure-2 example: how 1-match / 2-match answers differ
+   from the skyline of the same five points.
+2. Noise robustness: corrupt a few dimensions of otherwise-identical
+   points and watch Euclidean kNN degrade while frequent k-n-match holds.
+3. k-n-match vs DPF (the closest related work): order statistic vs
+   partial aggregation over the same n best dimensions.
+
+Run:  python examples/partial_similarity.py
+"""
+
+import numpy as np
+
+from repro import MatchDatabase
+from repro.baselines import DPFEngine, skyline
+from repro.data import make_uci_standin
+from repro.eval import (
+    class_stripping_accuracy,
+    frequent_knmatch_searcher,
+    igrid_searcher,
+    knn_searcher,
+)
+
+
+def figure2_demo() -> None:
+    print("=" * 70)
+    print("Figure 2: n-match answers vs the skyline")
+    print("=" * 70)
+    # Five points laid out like the paper's sketch: A nearly shares Q's
+    # x, B is close in both dimensions, C is close in y only, D/E share
+    # (roughly) one coordinate each.
+    points = {
+        "A": [5.05, 9.0],
+        "B": [6.0, 6.5],
+        "C": [9.5, 5.8],
+        "D": [4.7, 1.0],
+        "E": [5.4, 0.5],
+    }
+    names = list(points)
+    data = np.array([points[name] for name in names])
+    query = np.array([5.0, 6.0])
+
+    db = MatchDatabase(data)
+    three_one = db.k_n_match(query, k=3, n=1)
+    two_two = db.k_n_match(query, k=2, n=2)
+    sky = skyline(data, query=query)
+    print(f"  3-1-match of Q: {sorted(names[i] for i in three_one.ids)}")
+    print(f"  2-2-match of Q: {sorted(names[i] for i in two_two.ids)}")
+    print(f"  skyline (differences to Q): {[names[i] for i in sky]}")
+    print("  -> the skyline is a fixed set; k-n-match adapts to k and n.")
+
+
+def noise_robustness_demo() -> None:
+    print()
+    print("=" * 70)
+    print("Noise robustness: 'bad readings' vs similarity techniques")
+    print("=" * 70)
+    # The segmentation stand-in: 7 classes of image segments where 20% of
+    # all readings are corrupted (the paper's bad pixels).
+    dataset = make_uci_standin("segmentation")
+    results = {}
+    for technique, searcher in [
+        ("kNN (Euclidean)", knn_searcher(dataset.data)),
+        ("IGrid", igrid_searcher(dataset.data)),
+        ("frequent k-n-match", frequent_knmatch_searcher(dataset.data)),
+    ]:
+        report = class_stripping_accuracy(
+            dataset, searcher, technique, queries=50, k=20, seed=5
+        )
+        results[technique] = report.accuracy
+        print(f"  {technique:20s} accuracy {report.accuracy:.1%}")
+    print("  (aggregating corrupted dimensions drags unrelated points in;")
+    print("   counting matching dimensions does not)")
+
+
+def dpf_comparison_demo() -> None:
+    print()
+    print("=" * 70)
+    print("k-n-match vs DPF on the Figure-1 database")
+    print("=" * 70)
+    rows = np.array(
+        [
+            [1.1, 100, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1, 1],
+            [1.4, 1.4, 1.4, 1.5, 100, 1.4, 1.2, 1.2, 1, 1],
+            [1, 1, 1, 1, 1, 1, 2, 100, 2, 2],
+            [20.0] * 10,
+        ]
+    )
+    query = np.full(10, 1.0)
+    db = MatchDatabase(rows)
+    dpf = DPFEngine(rows)
+    for n in (6, 9):
+        match = db.k_n_match(query, k=1, n=n)
+        partial = dpf.top_k(query, k=1, n=n)
+        print(f"  n={n}: k-n-match -> object {match.ids[0] + 1} "
+              f"(delta {match.differences[0]:.1f}); "
+              f"DPF -> object {partial.ids[0] + 1} "
+              f"(distance {partial.distances[0]:.2f})")
+    print("  Both use the closest n dimensions; DPF aggregates them,")
+    print("  k-n-match takes the n-th order statistic (and gets a")
+    print("  self-calibrating match threshold delta for free).")
+
+
+if __name__ == "__main__":
+    figure2_demo()
+    noise_robustness_demo()
+    dpf_comparison_demo()

@@ -1,0 +1,77 @@
+"""Quickstart: the k-n-match and frequent k-n-match queries.
+
+Recreates the paper's Figure-1 walkthrough — the 10-dimensional toy
+database where Euclidean nearest neighbour picks the wrong object while
+k-n-match finds the partial matches — then shows the same API on a
+larger synthetic dataset with the three interchangeable engines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MatchDatabase, euclidean_distance, n_match_difference
+from repro.data import uniform_dataset
+
+
+def figure1_walkthrough() -> None:
+    print("=" * 70)
+    print("The paper's Figure 1: why aggregated distance goes wrong")
+    print("=" * 70)
+    rows = [
+        [1.1, 100, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1, 1],  # object 1
+        [1.4, 1.4, 1.4, 1.5, 100, 1.4, 1.2, 1.2, 1, 1],  # object 2
+        [1, 1, 1, 1, 1, 1, 2, 100, 2, 2],  # object 3
+        [20] * 10,  # object 4
+    ]
+    query = [1.0] * 10
+    for pid, row in enumerate(rows, start=1):
+        print(
+            f"  object {pid}: euclidean={euclidean_distance(row, query):8.2f}  "
+            f"6-match difference={n_match_difference(row, query, 6):.1f}"
+        )
+    print(
+        "\n  Euclidean NN picks object 4 (distance "
+        f"{euclidean_distance(rows[3], query):.1f}) - the only object that"
+    )
+    print("  is NOT nearly identical to the query in 9 of 10 dimensions!")
+
+    db = MatchDatabase(rows)
+    for n in (6, 7, 8):
+        result = db.k_n_match(query, k=1, n=n)
+        print(
+            f"  {n}-match -> object {result.ids[0] + 1} "
+            f"(delta = {result.differences[0]:.1f})"
+        )
+    freq = db.frequent_k_n_match(query, k=3, n_range=(1, 10))
+    print(
+        "  frequent 3-n-match over n in [1,10] -> objects "
+        f"{[pid + 1 for pid in freq.ids]} "
+        f"(appearing {freq.frequencies} times)"
+    )
+
+
+def larger_example() -> None:
+    print()
+    print("=" * 70)
+    print("Same API at scale, three engines, identical answers")
+    print("=" * 70)
+    data = uniform_dataset(20000, 16, seed=7)
+    query = data[123] + 0.003  # near-duplicate of a database point
+    db = MatchDatabase(data)
+
+    for engine in ("ad", "block-ad", "naive"):
+        result = db.frequent_k_n_match(query, k=5, n_range=(4, 12), engine=engine)
+        stats = result.stats
+        print(
+            f"  {engine:9s} ids={result.ids}  "
+            f"attributes retrieved: {stats.attributes_retrieved:>7d} "
+            f"({stats.fraction_retrieved:.1%} of the database)"
+        )
+    print("\n  The AD engine answered exactly the same query while touching")
+    print("  a small fraction of the attributes - that is Theorem 3.2 at work.")
+
+
+if __name__ == "__main__":
+    figure1_walkthrough()
+    larger_example()

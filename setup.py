@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Package metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` also works on environments whose setuptools lacks
+PEP 660 editable-wheel support (no ``wheel`` package available), via
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

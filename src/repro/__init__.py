@@ -1,0 +1,114 @@
+"""repro — matching-based similarity search (k-n-match).
+
+A production-quality reproduction of *"Similarity Search: A Matching
+Based Approach"* (Tung, Zhang, Koudas, Ooi; VLDB 2006): the k-n-match and
+frequent k-n-match queries, the attribute-optimal AD algorithm, the
+disk-based engines (sorted-column AD, sequential scan, a VA-file
+adaptation), the IGrid competitor and the evaluation harness that
+regenerates every table and figure of the paper's experimental study.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MatchDatabase
+
+    db = MatchDatabase(np.random.default_rng(0).random((1000, 16)))
+    result = db.k_n_match(query=np.full(16, 0.5), k=5, n=8)
+    print(result.ids, result.differences)
+
+    freq = db.frequent_k_n_match(query=np.full(16, 0.5), k=5, n_range=(4, 12))
+    print(freq.ids, freq.frequencies)
+"""
+
+from .core import (
+    ADEngine,
+    AnytimeADEngine,
+    AnytimeResult,
+    BlockADEngine,
+    CATEGORICAL,
+    DynamicMatchDatabase,
+    ENGINE_NAMES,
+    FrequentMatchResult,
+    MatchDatabase,
+    MatchResult,
+    MixedMatchDatabase,
+    NUMERIC,
+    NaiveScanEngine,
+    MatchExplanation,
+    Schema,
+    SearchStats,
+    WeightedMatchDatabase,
+    explain_match,
+    chebyshev_distance,
+    dpf_distance,
+    euclidean_distance,
+    manhattan_distance,
+    match_count_within,
+    match_profile,
+    minkowski_distance,
+    n_match_difference,
+    n_match_differences,
+    naive_frequent_k_n_match,
+    naive_k_n_match,
+)
+from .errors import (
+    DimensionalityMismatchError,
+    EmptyDatabaseError,
+    NotBuiltError,
+    PageOverflowError,
+    ReproError,
+    StorageError,
+    ValidationError,
+)
+from .io import load_database, save_database
+from .sorted_lists import SortedColumns
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # facade and engines
+    "MatchDatabase",
+    "DynamicMatchDatabase",
+    "MixedMatchDatabase",
+    "WeightedMatchDatabase",
+    "Schema",
+    "NUMERIC",
+    "CATEGORICAL",
+    "ADEngine",
+    "AnytimeADEngine",
+    "AnytimeResult",
+    "BlockADEngine",
+    "NaiveScanEngine",
+    "MatchExplanation",
+    "explain_match",
+    "ENGINE_NAMES",
+    "SortedColumns",
+    # results
+    "MatchResult",
+    "FrequentMatchResult",
+    "SearchStats",
+    # distances
+    "n_match_difference",
+    "n_match_differences",
+    "match_profile",
+    "match_count_within",
+    "minkowski_distance",
+    "euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "dpf_distance",
+    # convenience functions
+    "naive_k_n_match",
+    "naive_frequent_k_n_match",
+    "save_database",
+    "load_database",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "DimensionalityMismatchError",
+    "EmptyDatabaseError",
+    "NotBuiltError",
+    "StorageError",
+    "PageOverflowError",
+]

@@ -1,0 +1,23 @@
+"""Baselines and comparators: kNN, skyline, Fagin's FA, DPF."""
+
+from .dpf import DPFEngine, DPFResult
+from .fagin import FARun, fa_top_k, ta_top_k
+from .knn import KnnEngine, KnnResult
+from .rtree import Rect, RTree
+from .skyline import dominates, skyline
+from .sstree import SSTree
+
+__all__ = [
+    "KnnEngine",
+    "KnnResult",
+    "DPFEngine",
+    "DPFResult",
+    "fa_top_k",
+    "ta_top_k",
+    "FARun",
+    "skyline",
+    "dominates",
+    "RTree",
+    "Rect",
+    "SSTree",
+]

@@ -1,0 +1,182 @@
+"""Fagin's FA algorithm — and why it cannot answer k-n-match.
+
+Sec. 3 of the paper: "the algorithm proposed in [11] for aggregating
+scores from multiple systems, called FA, does not apply to our problem.
+They require the aggregation function to be monotone, but the aggregation
+function used in k-n-match (that is, n-match difference) is not
+monotone."  The paper demonstrates the failure on Fig. 3's database.
+
+This module implements classic FA over ascending sorted lists for
+*minimisation* of a monotone aggregate:
+
+* **Phase 1** — sorted access, one row at a time in parallel across all
+  ``d`` lists, until ``k`` objects have been seen in *every* list.
+* **Phase 2** — random access for every object seen in *any* list;
+  compute the aggregate exactly; return the k best.
+
+For an aggregate ``f`` that is monotone non-decreasing in every attribute
+distance/score this is correct (Fagin 1996).  Feeding it the n-match
+difference instead reproduces the paper's counterexample: on Fig. 3's
+data, looking for the 1-match of ``(3.0, 7.0, 4.0)``, FA returns point 1
+(1-match difference 2.6) while the true answer, point 2 (0.2), is never
+even seen — see :func:`repro.baselines.fagin.fa_top_k` used in
+``tests/test_paper_examples.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..errors import ValidationError
+
+__all__ = ["fa_top_k", "ta_top_k", "FARun"]
+
+
+class FARun:
+    """Outcome of one FA execution, with its access accounting."""
+
+    def __init__(
+        self,
+        ids: List[int],
+        aggregates: List[float],
+        sorted_accesses: int,
+        random_accesses: int,
+        seen: Set[int],
+    ) -> None:
+        self.ids = ids
+        self.aggregates = aggregates
+        self.sorted_accesses = sorted_accesses
+        self.random_accesses = random_accesses
+        self.seen = seen
+
+    def __iter__(self):
+        return iter(zip(self.ids, self.aggregates))
+
+
+def fa_top_k(
+    data,
+    aggregate: Callable[[np.ndarray], float],
+    k: int,
+    key: Callable[[np.ndarray], np.ndarray] = None,
+) -> FARun:
+    """Run FA to minimise ``aggregate`` over the rows of ``data``.
+
+    Parameters
+    ----------
+    data:
+        The ``(c, d)`` matrix whose columns play the role of the ``d``
+        systems.  Each column is sorted ascending by ``key`` (identity by
+        default) for the sorted-access phase.
+    aggregate:
+        Maps one row (after ``key``) to the score being minimised.
+        Correctness is only guaranteed when this is monotone
+        non-decreasing in each component; passing the n-match difference
+        violates that and demonstrably breaks FA.
+    k:
+        Number of answers.
+    key:
+        Optional per-row transform applied before sorting and
+        aggregation (e.g. ``lambda row: np.abs(row - query)`` to rank by
+        differences rather than raw values — what FA *would* need to be
+        correct for match queries, but cannot have, because the lists are
+        pre-sorted by raw attribute value).
+    """
+    array = validation.as_database_array(data)
+    c, d = array.shape
+    k = validation.validate_k(k, c)
+    transformed = array if key is None else np.apply_along_axis(key, 1, array)
+    if transformed.shape != array.shape:
+        raise ValidationError("key must preserve the row shape")
+
+    # Sorted lists: column-wise ascending by raw attribute value —
+    # the physical organisation FA receives from each system.
+    orders = [np.argsort(array[:, j], kind="stable") for j in range(d)]
+
+    seen_counts: Dict[int, int] = {}
+    seen_any: Set[int] = set()
+    complete = 0
+    sorted_accesses = 0
+    depth = 0
+    while complete < k and depth < c:
+        for j in range(d):
+            pid = int(orders[j][depth])
+            sorted_accesses += 1
+            seen_any.add(pid)
+            seen_counts[pid] = seen_counts.get(pid, 0) + 1
+            if seen_counts[pid] == d:
+                complete += 1
+        depth += 1
+
+    # Phase 2: random access for everything seen anywhere.
+    random_accesses = 0
+    scored: List[Tuple[float, int]] = []
+    for pid in sorted(seen_any):
+        random_accesses += d - seen_counts.get(pid, 0)
+        scored.append((float(aggregate(transformed[pid])), pid))
+    scored.sort()
+    top = scored[:k]
+    return FARun(
+        ids=[pid for _score, pid in top],
+        aggregates=[score for score, _pid in top],
+        sorted_accesses=sorted_accesses,
+        random_accesses=random_accesses,
+        seen=seen_any,
+    )
+
+
+def ta_top_k(
+    data,
+    aggregate: Callable[[np.ndarray], float],
+    k: int,
+) -> FARun:
+    """Fagin's Threshold Algorithm (TA, [13]) minimising ``aggregate``.
+
+    Sorted access proceeds one row at a time across all lists (columns
+    sorted ascending by raw value); every newly seen object is random-
+    accessed and scored immediately; the run stops as soon as the k-th
+    best score is at most the *threshold* — the aggregate of the last
+    value seen under sorted access in each list, a lower bound on every
+    unseen object's score **provided the aggregate is monotone
+    non-decreasing** in each attribute.
+
+    Like FA, feeding TA the n-match difference breaks that premise: the
+    lists are ordered by raw attribute value while the score depends on
+    differences to a query, so the threshold is not a valid bound and TA
+    can stop before ever seeing the true answer (demonstrated in the
+    test suite on the paper's Fig.-3 example).
+    """
+    array = validation.as_database_array(data)
+    c, d = array.shape
+    k = validation.validate_k(k, c)
+
+    orders = [np.argsort(array[:, j], kind="stable") for j in range(d)]
+    seen: Set[int] = set()
+    scored: List[Tuple[float, int]] = []
+    sorted_accesses = 0
+    random_accesses = 0
+    last_values = np.full(d, -np.inf)
+    for depth in range(c):
+        for j in range(d):
+            pid = int(orders[j][depth])
+            sorted_accesses += 1
+            last_values[j] = array[pid, j]
+            if pid not in seen:
+                seen.add(pid)
+                random_accesses += d - 1
+                scored.append((float(aggregate(array[pid])), pid))
+        scored.sort()
+        if len(scored) >= k:
+            threshold = float(aggregate(last_values))
+            if scored[k - 1][0] <= threshold:
+                break
+    top = scored[:k]
+    return FARun(
+        ids=[pid for _score, pid in top],
+        aggregates=[score for score, _pid in top],
+        sorted_accesses=sorted_accesses,
+        random_accesses=random_accesses,
+        seen=seen,
+    )

@@ -1,0 +1,327 @@
+"""An R-tree with best-first kNN search — the index the paper dismisses.
+
+Sec. 6: "Early methods are based on R-tree-like structures such as the
+SS-tree and the X-tree.  However, the R-tree-like structures all suffer
+from the dimensionality curse: their performance deteriorates
+dramatically as dimensionality becomes high."  To make that argument
+executable, this module implements a classic R-tree (quadratic-split
+insertion, Guttman 1984) with the Hjaltason/Samet best-first nearest
+neighbour search, instrumented with node-access counts.  The
+``bench_rtree_curse`` benchmark then reproduces the curse: the fraction
+of nodes a kNN query touches climbs towards 100% as dimensionality
+grows, which is exactly why the paper's disk study compares against
+scans, the VA-file and IGrid instead.
+
+The tree indexes points (degenerate rectangles) and supports:
+
+* :meth:`RTree.insert` / bulk construction from an array,
+* :meth:`RTree.range_query` — axis-aligned window queries,
+* :meth:`RTree.k_nearest` — exact kNN under Euclidean distance,
+* node-access statistics for the curse measurements.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..errors import ValidationError
+
+__all__ = ["RTree", "Rect"]
+
+
+class Rect:
+    """An axis-aligned minimum bounding rectangle."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: np.ndarray, high: np.ndarray) -> None:
+        self.low = low
+        self.high = high
+
+    @classmethod
+    def point(cls, coords: np.ndarray) -> "Rect":
+        return cls(coords.copy(), coords.copy())
+
+    def copy(self) -> "Rect":
+        return Rect(self.low.copy(), self.high.copy())
+
+    def extend(self, other: "Rect") -> None:
+        np.minimum(self.low, other.low, out=self.low)
+        np.maximum(self.high, other.high, out=self.high)
+
+    def extended(self, other: "Rect") -> "Rect":
+        merged = self.copy()
+        merged.extend(other)
+        return merged
+
+    def area(self) -> float:
+        return float(np.prod(self.high - self.low))
+
+    def enlargement(self, other: "Rect") -> float:
+        return self.extended(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return bool(
+            np.all(self.low <= other.high) and np.all(other.low <= self.high)
+        )
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return bool(np.all(self.low <= point) and np.all(point <= self.high))
+
+    def min_distance(self, point: np.ndarray) -> float:
+        """Smallest Euclidean distance from ``point`` to this rectangle."""
+        below = np.maximum(self.low - point, 0.0)
+        above = np.maximum(point - self.high, 0.0)
+        gap = np.maximum(below, above)
+        return float(np.sqrt(np.sum(gap * gap)))
+
+
+class _Node:
+    __slots__ = ("leaf", "rect", "children", "entries")
+
+    def __init__(self, leaf: bool, dimensionality: int) -> None:
+        self.leaf = leaf
+        self.rect = Rect(
+            np.full(dimensionality, np.inf), np.full(dimensionality, -np.inf)
+        )
+        self.children: List["_Node"] = []
+        self.entries: List[Tuple[int, np.ndarray]] = []
+
+    def fanout(self) -> int:
+        return len(self.entries) if self.leaf else len(self.children)
+
+
+class RTree:
+    """Guttman R-tree over points, with quadratic node splits."""
+
+    def __init__(self, dimensionality: int, max_entries: int = 32) -> None:
+        if dimensionality < 1:
+            raise ValidationError(
+                f"dimensionality must be >= 1; got {dimensionality}"
+            )
+        if max_entries < 4:
+            raise ValidationError(f"max_entries must be >= 4; got {max_entries}")
+        self.dimensionality = dimensionality
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self._root = _Node(leaf=True, dimensionality=dimensionality)
+        self._size = 0
+        self._node_count = 1
+        #: nodes touched by queries since the last reset
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, data, max_entries: int = 32) -> "RTree":
+        """Bulk-construct by repeated insertion (paper-era loading)."""
+        array = validation.as_database_array(data)
+        tree = cls(array.shape[1], max_entries=max_entries)
+        for pid, row in enumerate(array):
+            tree.insert(pid, row)
+        return tree
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def reset_counters(self) -> None:
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, pid: int, point) -> None:
+        """Insert one point with its id."""
+        coords = validation.as_query_array(point, self.dimensionality)
+        rect = Rect.point(coords)
+        split = self._insert(self._root, pid, coords, rect)
+        if split is not None:
+            old_root = self._root
+            new_root = _Node(leaf=False, dimensionality=self.dimensionality)
+            new_root.children = [old_root, split]
+            new_root.rect = old_root.rect.extended(split.rect)
+            self._root = new_root
+            self._node_count += 1
+        self._size += 1
+
+    def _insert(
+        self, node: _Node, pid: int, coords: np.ndarray, rect: Rect
+    ) -> Optional[_Node]:
+        node.rect.extend(rect)
+        if node.leaf:
+            node.entries.append((pid, coords))
+            if len(node.entries) > self.max_entries:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_subtree(node, rect)
+        split = self._insert(child, pid, coords, rect)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.max_entries:
+                return self._split_internal(node)
+        return None
+
+    def _choose_subtree(self, node: _Node, rect: Rect) -> _Node:
+        """Least-enlargement child; ties by smaller area."""
+        best = None
+        best_key = None
+        for child in node.children:
+            key = (child.rect.enlargement(rect), child.rect.area())
+            if best_key is None or key < best_key:
+                best, best_key = child, key
+        return best
+
+    # quadratic split (Guttman): pick the pair wasting the most area as
+    # seeds, then assign each remaining entry to the needier group.
+    def _split_leaf(self, node: _Node) -> _Node:
+        entries = node.entries
+        rects = [Rect.point(coords) for _pid, coords in entries]
+        group_a, group_b = self._quadratic_partition(rects)
+        sibling = _Node(leaf=True, dimensionality=self.dimensionality)
+        self._node_count += 1
+        node_entries, sibling_entries = [], []
+        for index, entry in enumerate(entries):
+            (node_entries if index in group_a else sibling_entries).append(entry)
+        node.entries = node_entries
+        sibling.entries = sibling_entries
+        self._recompute_rect(node)
+        self._recompute_rect(sibling)
+        return sibling
+
+    def _split_internal(self, node: _Node) -> _Node:
+        children = node.children
+        rects = [child.rect for child in children]
+        group_a, group_b = self._quadratic_partition(rects)
+        sibling = _Node(leaf=False, dimensionality=self.dimensionality)
+        self._node_count += 1
+        node_children, sibling_children = [], []
+        for index, child in enumerate(children):
+            (node_children if index in group_a else sibling_children).append(child)
+        node.children = node_children
+        sibling.children = sibling_children
+        self._recompute_rect(node)
+        self._recompute_rect(sibling)
+        return sibling
+
+    def _quadratic_partition(self, rects: Sequence[Rect]) -> Tuple[set, set]:
+        count = len(rects)
+        worst_pair, worst_waste = (0, 1), -np.inf
+        for i, j in itertools.combinations(range(count), 2):
+            waste = rects[i].extended(rects[j]).area() - rects[i].area() - rects[j].area()
+            if waste > worst_waste:
+                worst_pair, worst_waste = (i, j), waste
+        seed_a, seed_b = worst_pair
+        group_a, group_b = {seed_a}, {seed_b}
+        rect_a, rect_b = rects[seed_a].copy(), rects[seed_b].copy()
+        remaining = [i for i in range(count) if i not in (seed_a, seed_b)]
+        for index in remaining:
+            # force-assign when one group must absorb the rest
+            if len(group_a) + (count - len(group_a) - len(group_b)) <= self.min_entries:
+                group_a.add(index)
+                rect_a.extend(rects[index])
+                continue
+            if len(group_b) + (count - len(group_a) - len(group_b)) <= self.min_entries:
+                group_b.add(index)
+                rect_b.extend(rects[index])
+                continue
+            if rect_a.enlargement(rects[index]) <= rect_b.enlargement(rects[index]):
+                group_a.add(index)
+                rect_a.extend(rects[index])
+            else:
+                group_b.add(index)
+                rect_b.extend(rects[index])
+        return group_a, group_b
+
+    def _recompute_rect(self, node: _Node) -> None:
+        node.rect = Rect(
+            np.full(self.dimensionality, np.inf),
+            np.full(self.dimensionality, -np.inf),
+        )
+        if node.leaf:
+            for _pid, coords in node.entries:
+                node.rect.extend(Rect.point(coords))
+        else:
+            for child in node.children:
+                node.rect.extend(child.rect)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(self, low, high) -> List[int]:
+        """Point ids inside the axis-aligned window [low, high]."""
+        low = validation.as_query_array(low, self.dimensionality)
+        high = validation.as_query_array(high, self.dimensionality)
+        if np.any(low > high):
+            raise ValidationError("window requires low <= high per dimension")
+        window = Rect(low, high)
+        found: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.node_accesses += 1
+            if node.leaf:
+                for pid, coords in node.entries:
+                    if window.contains_point(coords):
+                        found.append(pid)
+            else:
+                stack.extend(
+                    child for child in node.children
+                    if child.rect.intersects(window)
+                )
+        return sorted(found)
+
+    def k_nearest(self, query, k: int) -> List[Tuple[int, float]]:
+        """Exact kNN via best-first traversal (Hjaltason & Samet)."""
+        query = validation.as_query_array(query, self.dimensionality)
+        if self._size == 0:
+            raise ValidationError("cannot search an empty tree")
+        k = validation.validate_k(k, self._size)
+        counter = itertools.count()
+        # heap of (distance, tiebreak, is_point, payload)
+        heap: List[Tuple[float, int, bool, object]] = [
+            (self._root.rect.min_distance(query), next(counter), False, self._root)
+        ]
+        results: List[Tuple[int, float]] = []
+        while heap and len(results) < k:
+            distance, _tie, is_point, payload = heapq.heappop(heap)
+            if is_point:
+                results.append((payload, distance))  # type: ignore[arg-type]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            self.node_accesses += 1
+            if node.leaf:
+                for pid, coords in node.entries:
+                    point_distance = float(np.linalg.norm(coords - query))
+                    heapq.heappush(
+                        heap, (point_distance, next(counter), True, pid)
+                    )
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            child.rect.min_distance(query),
+                            next(counter),
+                            False,
+                            child,
+                        ),
+                    )
+        return results

@@ -1,0 +1,212 @@
+"""An SS-tree: the similarity index of White & Jain (ICDE 1996, [22]).
+
+The second member of the paper's "R-tree-like structures" (Sec. 6): the
+SS-tree bounds each subtree with a *sphere* (centroid + radius) instead
+of a rectangle, which suits similarity search — the bound shape matches
+the query shape — yet it collapses under the same dimensionality curse:
+in high dimensions the spheres overlap massively and a kNN query visits
+nearly every node.
+
+The implementation mirrors :class:`~repro.baselines.rtree.RTree`'s
+interface (insert, bulk build, exact best-first kNN, node-access
+accounting) so both trees drop into the same curse benchmark.  Splits
+follow the original recipe: split along the dimension with the highest
+coordinate variance, at the median.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..errors import ValidationError
+
+__all__ = ["SSTree"]
+
+
+class _Sphere:
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: np.ndarray, radius: float) -> None:
+        self.center = center
+        self.radius = radius
+
+    def min_distance(self, point: np.ndarray) -> float:
+        return max(0.0, float(np.linalg.norm(self.center - point)) - self.radius)
+
+
+class _Node:
+    __slots__ = ("leaf", "sphere", "children", "entries")
+
+    def __init__(self, leaf: bool, dimensionality: int) -> None:
+        self.leaf = leaf
+        self.sphere = _Sphere(np.zeros(dimensionality), 0.0)
+        self.children: List["_Node"] = []
+        self.entries: List[Tuple[int, np.ndarray]] = []
+
+    def fanout(self) -> int:
+        return len(self.entries) if self.leaf else len(self.children)
+
+    def points(self) -> np.ndarray:
+        """All point coordinates under this node (leaf only)."""
+        return np.asarray([coords for _pid, coords in self.entries])
+
+    def refresh_sphere(self) -> None:
+        if self.leaf:
+            coords = self.points()
+            center = coords.mean(axis=0)
+            radius = float(np.max(np.linalg.norm(coords - center, axis=1)))
+        else:
+            centers = np.asarray([child.sphere.center for child in self.children])
+            center = centers.mean(axis=0)
+            radius = max(
+                float(np.linalg.norm(child.sphere.center - center))
+                + child.sphere.radius
+                for child in self.children
+            )
+        self.sphere = _Sphere(center, radius)
+
+
+class SSTree:
+    """Similarity search tree with bounding spheres."""
+
+    def __init__(self, dimensionality: int, max_entries: int = 32) -> None:
+        if dimensionality < 1:
+            raise ValidationError(
+                f"dimensionality must be >= 1; got {dimensionality}"
+            )
+        if max_entries < 4:
+            raise ValidationError(f"max_entries must be >= 4; got {max_entries}")
+        self.dimensionality = dimensionality
+        self.max_entries = max_entries
+        self._root = _Node(leaf=True, dimensionality=dimensionality)
+        self._size = 0
+        self._node_count = 1
+        self.node_accesses = 0
+
+    @classmethod
+    def build(cls, data, max_entries: int = 32) -> "SSTree":
+        array = validation.as_database_array(data)
+        tree = cls(array.shape[1], max_entries=max_entries)
+        for pid, row in enumerate(array):
+            tree.insert(pid, row)
+        return tree
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def reset_counters(self) -> None:
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, pid: int, point) -> None:
+        coords = validation.as_query_array(point, self.dimensionality)
+        split = self._insert(self._root, pid, coords)
+        if split is not None:
+            old_root = self._root
+            new_root = _Node(leaf=False, dimensionality=self.dimensionality)
+            new_root.children = [old_root, split]
+            new_root.refresh_sphere()
+            self._root = new_root
+            self._node_count += 1
+        self._size += 1
+
+    def _insert(self, node: _Node, pid: int, coords: np.ndarray) -> Optional[_Node]:
+        if node.leaf:
+            node.entries.append((pid, coords))
+            node.refresh_sphere()
+            if len(node.entries) > self.max_entries:
+                return self._split(node)
+            return None
+        # SS-tree subtree choice: nearest centroid.
+        child = min(
+            node.children,
+            key=lambda candidate: float(
+                np.linalg.norm(candidate.sphere.center - coords)
+            ),
+        )
+        split = self._insert(child, pid, coords)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.max_entries:
+                node.refresh_sphere()
+                return self._split(node)
+        node.refresh_sphere()
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Split on the highest-variance coordinate, at the median."""
+        if node.leaf:
+            coords = node.points()
+        else:
+            coords = np.asarray([child.sphere.center for child in node.children])
+        dimension = int(np.argmax(coords.var(axis=0)))
+        order = np.argsort(coords[:, dimension], kind="stable")
+        half = len(order) // 2
+        keep, move = set(order[:half].tolist()), set(order[half:].tolist())
+
+        sibling = _Node(leaf=node.leaf, dimensionality=self.dimensionality)
+        self._node_count += 1
+        if node.leaf:
+            entries = node.entries
+            node.entries = [entries[i] for i in sorted(keep)]
+            sibling.entries = [entries[i] for i in sorted(move)]
+        else:
+            children = node.children
+            node.children = [children[i] for i in sorted(keep)]
+            sibling.children = [children[i] for i in sorted(move)]
+        node.refresh_sphere()
+        sibling.refresh_sphere()
+        return sibling
+
+    # ------------------------------------------------------------------
+    def k_nearest(self, query, k: int) -> List[Tuple[int, float]]:
+        """Exact kNN via best-first traversal over sphere bounds."""
+        query = validation.as_query_array(query, self.dimensionality)
+        if self._size == 0:
+            raise ValidationError("cannot search an empty tree")
+        k = validation.validate_k(k, self._size)
+        counter = itertools.count()
+        heap: List[Tuple[float, int, bool, object]] = [
+            (self._root.sphere.min_distance(query), next(counter), False, self._root)
+        ]
+        results: List[Tuple[int, float]] = []
+        while heap and len(results) < k:
+            distance, _tie, is_point, payload = heapq.heappop(heap)
+            if is_point:
+                results.append((payload, distance))  # type: ignore[arg-type]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            self.node_accesses += 1
+            if node.leaf:
+                for pid, coords in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (
+                            float(np.linalg.norm(coords - query)),
+                            next(counter),
+                            True,
+                            pid,
+                        ),
+                    )
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            child.sphere.min_distance(query),
+                            next(counter),
+                            False,
+                            child,
+                        ),
+                    )
+        return results

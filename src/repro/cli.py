@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  --kind uniform --cardinality 10000 --dimensionality 16 out.npy
+    repro build     data.npy db.npz
+    repro info      db.npz
+    repro query     db.npz --k 5 --n 8 --query 0.1,0.2,...     (k-n-match)
+    repro query     db.npz --k 5 --n-range 4:12 --query-row 42 (frequent)
+    repro advise    db.npz --k 20 --n-range 4:8
+    repro experiments --scale 0.1 --only table4,fig12
+
+``query`` accepts either an inline comma-separated vector (``--query``)
+or a row of the database itself (``--query-row``).  All output goes to
+stdout; exit status is non-zero on any validation or storage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import __version__
+from .core.advisor import recommend_engine
+from .core.engine import ENGINE_NAMES, MatchDatabase
+from .data import gaussian_clusters, skewed_dataset, uniform_dataset
+from .errors import ReproError
+from .io import load_database, save_database
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="matching-based similarity search (k-n-match, VLDB'06)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset as .npy"
+    )
+    generate.add_argument("output", help="output .npy path")
+    generate.add_argument(
+        "--kind",
+        choices=("uniform", "clustered", "skewed"),
+        default="uniform",
+    )
+    generate.add_argument("--cardinality", type=int, default=10000)
+    generate.add_argument("--dimensionality", type=int, default=16)
+    generate.add_argument("--seed", type=int, default=0)
+
+    build = commands.add_parser(
+        "build", help="build a match database from a .npy array"
+    )
+    build.add_argument("data", help="input .npy path (cardinality x dims)")
+    build.add_argument("output", help="output database .npz path")
+    build.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="ad", help="default engine"
+    )
+
+    info = commands.add_parser("info", help="describe a database file")
+    info.add_argument("database", help="database .npz path")
+
+    query = commands.add_parser(
+        "query", help="run a (frequent) k-n-match query"
+    )
+    query.add_argument("database", help="database .npz path")
+    query.add_argument("--k", type=int, required=True)
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--n", type=int, help="single n: plain k-n-match")
+    group.add_argument(
+        "--n-range", type=str, help="n0:n1 -> frequent k-n-match"
+    )
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--query", type=str, help="comma-separated query vector"
+    )
+    source.add_argument(
+        "--query-row", type=int, help="use this database row as the query"
+    )
+    query.add_argument("--engine", choices=ENGINE_NAMES, default=None)
+    query.add_argument(
+        "--stats", action="store_true", help="also print work counters"
+    )
+
+    advise = commands.add_parser(
+        "advise", help="estimate cost and recommend an engine"
+    )
+    advise.add_argument("database", help="database .npz path")
+    advise.add_argument("--k", type=int, required=True)
+    advise.add_argument("--n-range", type=str, required=True, help="n0:n1")
+    advise.add_argument(
+        "--minimize", choices=("attributes", "wall-clock"), default="wall-clock"
+    )
+    advise.add_argument("--samples", type=int, default=5)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("--scale", type=float, default=1.0)
+    experiments.add_argument("--queries", type=int, default=3)
+    experiments.add_argument("--accuracy-queries", type=int, default=100)
+    experiments.add_argument("--only", type=str, default="")
+    experiments.add_argument("--csv-dir", type=str, default="")
+    experiments.add_argument("--charts", action="store_true")
+    return parser
+
+
+def _parse_range(text: str) -> Tuple[int, int]:
+    try:
+        n0_text, n1_text = text.split(":")
+        return int(n0_text), int(n1_text)
+    except ValueError:
+        raise ReproError(
+            f"invalid n range {text!r}; expected the form n0:n1"
+        ) from None
+
+
+def _resolve_query(args, db: MatchDatabase) -> np.ndarray:
+    if args.query is not None:
+        try:
+            return np.asarray(
+                [float(token) for token in args.query.split(",")]
+            )
+        except ValueError:
+            raise ReproError(
+                f"invalid --query {args.query!r}; expected comma-separated numbers"
+            ) from None
+    if not 0 <= args.query_row < db.cardinality:
+        raise ReproError(
+            f"--query-row {args.query_row} out of range [0, {db.cardinality})"
+        )
+    return db.data[args.query_row]
+
+
+def _print_stats(stats) -> None:
+    print(
+        f"stats: attributes={stats.attributes_retrieved}"
+        f"/{stats.total_attributes} ({stats.fraction_retrieved:.1%}), "
+        f"heap pops={stats.heap_pops}, pages seq={stats.sequential_page_reads} "
+        f"rand={stats.random_page_reads}"
+    )
+
+
+def _run_generate(args) -> int:
+    if args.kind == "uniform":
+        data = uniform_dataset(args.cardinality, args.dimensionality, args.seed)
+    elif args.kind == "clustered":
+        data, _labels = gaussian_clusters(
+            args.cardinality, args.dimensionality, seed=args.seed
+        )
+    else:
+        data = skewed_dataset(args.cardinality, args.dimensionality, args.seed)
+    np.save(args.output, data)
+    print(f"wrote {args.kind} dataset {data.shape} to {args.output}")
+    return 0
+
+
+def _run_build(args) -> int:
+    try:
+        data = np.load(args.data)
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read {args.data!r}: {error}") from error
+    db = MatchDatabase(data, default_engine=args.engine)
+    save_database(db, args.output)
+    print(
+        f"built database: {db.cardinality} points x {db.dimensionality} "
+        f"dims -> {args.output}"
+    )
+    return 0
+
+
+def _run_info(args) -> int:
+    db = load_database(args.database)
+    print(f"cardinality:     {db.cardinality}")
+    print(f"dimensionality:  {db.dimensionality}")
+    print(f"default engine:  {db.default_engine}")
+    print(f"attribute count: {db.cardinality * db.dimensionality}")
+    return 0
+
+
+def _run_query(args) -> int:
+    db = load_database(args.database)
+    query = _resolve_query(args, db)
+    if args.n is not None:
+        result = db.k_n_match(query, args.k, args.n, engine=args.engine)
+        print(f"{args.k}-{args.n}-match answers (id, difference):")
+        for pid, diff in result:
+            print(f"  {pid:8d}  {diff:.6f}")
+        if args.stats:
+            _print_stats(result.stats)
+    else:
+        n_range = _parse_range(args.n_range)
+        result = db.frequent_k_n_match(
+            query, args.k, n_range, engine=args.engine, keep_answer_sets=False
+        )
+        print(
+            f"frequent {args.k}-n-match over n in "
+            f"[{n_range[0]}, {n_range[1]}] (id, appearances):"
+        )
+        for pid, count in result:
+            print(f"  {pid:8d}  {count}")
+        if args.stats:
+            _print_stats(result.stats)
+    return 0
+
+
+def _run_advise(args) -> int:
+    db = load_database(args.database)
+    advice = recommend_engine(
+        db,
+        args.k,
+        _parse_range(args.n_range),
+        minimize=args.minimize,
+        sample_queries=args.samples,
+    )
+    print(str(advice.estimate))
+    print(f"recommended engine: {advice.engine}")
+    print(f"reason: {advice.reason}")
+    return 0
+
+
+def _run_experiments(args) -> int:
+    from .experiments import runall
+
+    argv: List[str] = [
+        "--scale",
+        str(args.scale),
+        "--queries",
+        str(args.queries),
+        "--accuracy-queries",
+        str(args.accuracy_queries),
+    ]
+    if args.only:
+        argv += ["--only", args.only]
+    if args.csv_dir:
+        argv += ["--csv-dir", args.csv_dir]
+    if args.charts:
+        argv += ["--charts"]
+    return runall.main(argv)
+
+
+_HANDLERS = {
+    "generate": _run_generate,
+    "build": _run_build,
+    "info": _run_info,
+    "query": _run_query,
+    "advise": _run_advise,
+    "experiments": _run_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,234 @@
+"""Block-AD: a vectorised variant of the AD algorithm.
+
+The reference :class:`~repro.core.ad.ADEngine` consumes attributes one at
+a time through a heap, exactly like the paper's Fig. 4/6 — provably
+optimal in attributes retrieved, but interpreter-bound in pure Python.
+``BlockADEngine`` trades a *bounded* amount of extra attribute retrieval
+for numpy speed:
+
+1. Grow a symmetric difference threshold ``eps`` (exponentially) and, per
+   dimension, take the whole window of attributes within ``eps`` of the
+   query with two binary searches.
+2. A point's n-match difference is ``<= eps`` iff it occurs in at least
+   ``n`` of the windows (one ``np.bincount`` over the concatenated window
+   ids), so stop growing once at least ``k`` points occur ``n1`` times.
+3. Refine: fetch the full rows of the points occurring at least ``n0``
+   times — every possible member of any answer set for ``n in [n0, n1]``
+   has an n-match difference at most the k-th smallest n1-match
+   difference, hence at least ``n0`` window hits — and compute their
+   exact match profiles to build the per-n answer sets.
+
+The answer is identical to the reference engine (same deterministic
+tie-breaking as the naive oracle); only the access pattern differs.  The
+windows consumed at the final ``eps`` are at most one doubling beyond what
+strict AD would have consumed, so ``attributes_retrieved`` stays within a
+small constant factor of optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..sorted_lists import SortedColumns
+from . import validation
+from .types import FrequentMatchResult, MatchResult, SearchStats, rank_by_frequency
+
+__all__ = ["BlockADEngine"]
+
+
+class BlockADEngine:
+    """Vectorised epsilon-stepping AD search (see module docstring)."""
+
+    name = "block-ad"
+
+    #: bounds on the adaptive growth multiplier applied between rounds
+    MIN_GROWTH = 1.25
+    MAX_GROWTH = 4.0
+
+    def __init__(self, data: Union[np.ndarray, SortedColumns]) -> None:
+        if isinstance(data, SortedColumns):
+            self._columns = data
+        else:
+            self._columns = SortedColumns(data)
+
+    @property
+    def columns(self) -> SortedColumns:
+        return self._columns
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._columns.data
+
+    @property
+    def cardinality(self) -> int:
+        return self._columns.cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        return self._columns.dimensionality
+
+    # ------------------------------------------------------------------
+    def k_n_match(self, query, k: int, n: int) -> MatchResult:
+        """k-n-match via windows + exact refinement of the candidates."""
+        query = validation.as_query_array(query, self.dimensionality)
+        result = self.frequent_k_n_match(query, k, (n, n), keep_answer_sets=True)
+        ids = result.answer_sets[n]
+        data = self._columns.data
+        differences = [
+            float(np.partition(np.abs(data[pid] - query), n - 1)[n - 1])
+            for pid in ids
+        ]
+        return MatchResult(
+            ids=list(ids), differences=differences, k=k, n=n, stats=result.stats
+        )
+
+    def frequent_k_n_match(
+        self,
+        query,
+        k: int,
+        n_range: Tuple[int, int],
+        keep_answer_sets: bool = True,
+    ) -> FrequentMatchResult:
+        """Frequent k-n-match with answer sets identical to the oracle."""
+        c, d = self._columns.cardinality, self._columns.dimensionality
+        k = validation.validate_k(k, c)
+        n0, n1 = validation.validate_n_range(n_range, d)
+        query = validation.as_query_array(query, d)
+
+        history, attributes, probes = self._grow_windows(query, k, n1)
+
+        # Candidate set: every point that can belong to the k-n-match set
+        # of some n in [n0, n1].  A member's n-match difference is at
+        # most the k-th smallest n-match difference, which is at most the
+        # smallest tried eps at which k points matched in >= n windows —
+        # so it must itself match in >= n windows at that eps.  Using the
+        # earliest sufficient round per n keeps the candidate set tight
+        # for small n, where the final (largest) eps would admit nearly
+        # everything.
+        candidate_mask = np.zeros(c, dtype=bool)
+        for n in range(n0, n1 + 1):
+            for counts in history:
+                if int(np.count_nonzero(counts >= n)) >= k:
+                    candidate_mask |= counts >= n
+                    break
+            else:
+                # Fewer than k points ever matched in >= n windows (only
+                # possible when the whole database was consumed).
+                candidate_mask[:] = True
+        candidates = np.flatnonzero(candidate_mask)
+        data = self._columns.data
+        profiles = np.sort(np.abs(data[candidates] - query), axis=1)
+
+        answer_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            column = profiles[:, n - 1]
+            order = np.lexsort((candidates, column))
+            answer_sets[n] = [int(candidates[i]) for i in order[:k]]
+
+        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        stats = SearchStats(
+            attributes_retrieved=int(attributes + candidates.shape[0] * d),
+            total_attributes=c * d,
+            binary_search_probes=int(probes),
+            candidates_refined=int(candidates.shape[0]),
+        )
+        return FrequentMatchResult(
+            ids=chosen,
+            frequencies=frequencies,
+            k=k,
+            n_range=(n0, n1),
+            answer_sets=answer_sets if keep_answer_sets else None,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _grow_windows(
+        self, query: np.ndarray, k: int, n1: int
+    ) -> Tuple[List[np.ndarray], int, int]:
+        """Grow ``eps`` until >= k points match in >= n1 windows.
+
+        Returns ``(per-round count history, attributes consumed at the
+        final eps, binary-search probe count)``.  The history (counts at
+        each tried eps, ascending) drives the per-n candidate pruning.
+        """
+        c, d = self._columns.cardinality, self._columns.dimensionality
+        eps = self._initial_epsilon(query, k, n1)
+        probes = d  # the locate_all pass inside _initial_epsilon
+        history: List[np.ndarray] = []
+        while True:
+            probes += 2 * d
+            counts, attributes = self._window_counts(query, eps)
+            history.append(counts)
+            satisfied = int(np.count_nonzero(counts >= n1))
+            if satisfied >= k:
+                return history, attributes, probes
+            if attributes >= c * d:
+                # Whole database consumed; guaranteed to satisfy k <= c.
+                return history, attributes, probes
+            if eps <= 0:
+                eps = self._smallest_positive(query)
+                continue
+            # Adaptive growth: the count of points matching in >= n1
+            # dimensions scales roughly like eps^n1 locally, so the
+            # deficit k/satisfied suggests the factor still needed.
+            # Clamping keeps both round count and overshoot bounded.
+            needed = (k / max(satisfied, 0.5)) ** (1.0 / n1)
+            eps *= min(self.MAX_GROWTH, max(self.MIN_GROWTH, needed))
+
+    def _window_counts(self, query: np.ndarray, eps: float) -> Tuple[np.ndarray, int]:
+        """Per-point count of dimensions within ``eps`` (inclusive)."""
+        c, d = self._columns.cardinality, self._columns.dimensionality
+        counts = np.zeros(c, dtype=np.int64)
+        attributes = 0
+        for j in range(d):
+            values = self._columns.column_values(j)
+            ids = self._columns.column_ids(j)
+            lo = np.searchsorted(values, query[j] - eps, side="left")
+            hi = np.searchsorted(values, query[j] + eps, side="right")
+            if hi > lo:
+                np.add.at(counts, ids[lo:hi], 1)
+                attributes += int(hi - lo)
+        return counts, attributes
+
+    def _initial_epsilon(self, query: np.ndarray, k: int, n1: int) -> float:
+        """A cheap starting threshold.
+
+        Looks at the ``m``-th closest attribute per dimension where
+        ``m * d`` roughly covers the ``k * n1`` window hits a successful
+        round needs, and starts from the *smallest* such per-dimension
+        difference so the first round under-shoots rather than
+        over-shoots.
+        """
+        c, d = self._columns.cardinality, self._columns.dimensionality
+        m = min(c, max(1, -(-k * n1 // d)))  # ceil(k*n1/d)
+        splits = self._columns.locate_all(query)
+        best = np.inf
+        for j in range(d):
+            values = self._columns.column_values(j)
+            lo = max(0, splits[j] - m)
+            hi = min(c, splits[j] + m)
+            window = np.abs(values[lo:hi] - query[j])
+            if window.size >= m:
+                candidate = float(np.partition(window, m - 1)[m - 1])
+            elif window.size:
+                candidate = float(window.max())
+            else:  # pragma: no cover - c >= 1 makes windows non-empty
+                candidate = 0.0
+            best = min(best, candidate)
+        return best if np.isfinite(best) and best > 0 else self._smallest_positive(query)
+
+    def _smallest_positive(self, query: np.ndarray) -> float:
+        """Fallback threshold when every nearest difference is zero."""
+        d = self._columns.dimensionality
+        smallest = np.inf
+        for j in range(d):
+            deltas = np.abs(self._columns.column_values(j) - query[j])
+            positive = deltas[deltas > 0]
+            if positive.size:
+                smallest = min(smallest, float(positive.min()))
+        if not np.isfinite(smallest):
+            # Entire database equals the query in every dimension.
+            return 1.0
+        return smallest

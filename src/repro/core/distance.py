@@ -1,0 +1,189 @@
+"""Distance and matching functions.
+
+The centrepiece is the **n-match difference** (Definition 1 of the paper):
+for points ``P`` and ``Q`` in ``R^d``, sort the per-dimension absolute
+differences ``|p_i - q_i|`` ascending; the n-th smallest is the n-match
+difference.  Two properties the paper stresses — both demonstrable with the
+helpers below — are that the n-match difference is
+
+* **not a metric**: it violates the triangle inequality (Sec. 2.1's
+  F/G/H example, exposed here as :data:`TRIANGLE_COUNTEREXAMPLE`), and
+* **not a monotone aggregate**: Fagin's FA algorithm is therefore
+  inapplicable (Sec. 3's Fig.-3 example, see :mod:`repro.baselines.fagin`).
+
+Also provided: the classic Lp distances the paper compares against
+(Euclidean for kNN, Chebyshev/L-infinity which n-match generalises *away*
+from), and the Dynamic Partial Function of Goh et al. [18], which
+aggregates the n smallest differences instead of selecting the n-th.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "pairwise_absolute_differences",
+    "n_match_difference",
+    "n_match_differences",
+    "match_profile",
+    "match_count_within",
+    "minkowski_distance",
+    "euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "dpf_distance",
+    "dpf_distances",
+    "TRIANGLE_COUNTEREXAMPLE",
+]
+
+
+def pairwise_absolute_differences(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Return ``|points - query|`` broadcast over the first axis.
+
+    ``points`` may be a single point (1-D) or a stack of points (2-D);
+    the result has the same shape as ``points``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    return np.abs(points - query)
+
+
+def n_match_difference(point, query, n: int) -> float:
+    """The n-match difference between two points (Definition 1).
+
+    Sort the absolute per-dimension differences ascending and return the
+    n-th smallest (1-based).  ``n`` must be in ``[1, d]``.
+
+    >>> n_match_difference([1.1, 100.0, 1.2], [1.0, 1.0, 1.0], 2)
+    0.2
+    """
+    deltas = pairwise_absolute_differences(point, query)
+    if deltas.ndim != 1:
+        raise ValidationError("n_match_difference expects single points")
+    d = deltas.shape[0]
+    if not 1 <= n <= d:
+        raise ValidationError(f"n must be within [1, {d}]; got {n}")
+    # np.partition places the (n-1)-th order statistic at index n-1.
+    return float(np.partition(deltas, n - 1)[n - 1])
+
+
+def n_match_differences(points: np.ndarray, query: np.ndarray, n: int) -> np.ndarray:
+    """Vectorised n-match difference of every row of ``points`` vs ``query``.
+
+    This is the kernel of the naive scan engine: one
+    ``np.partition`` over the difference matrix yields the n-th order
+    statistic of every row at once.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValidationError("points must be a 2-D array")
+    d = points.shape[1]
+    if not 1 <= n <= d:
+        raise ValidationError(f"n must be within [1, {d}]; got {n}")
+    deltas = np.abs(points - np.asarray(query, dtype=np.float64))
+    return np.partition(deltas, n - 1, axis=1)[:, n - 1]
+
+
+def match_profile(point, query) -> np.ndarray:
+    """All d order statistics: ``profile[n-1]`` is the n-match difference.
+
+    The frequent k-n-match problem reasons over the whole profile, so the
+    naive engine computes it once per point via a full sort.
+    """
+    deltas = pairwise_absolute_differences(point, query)
+    if deltas.ndim != 1:
+        raise ValidationError("match_profile expects single points")
+    return np.sort(deltas)
+
+
+def match_count_within(point, query, delta: float) -> int:
+    """How many dimensions of ``point`` match ``query`` within ``delta``.
+
+    This is the paper's intuitive reading of a match: ``p_i`` matches
+    ``q_i`` iff ``|p_i - q_i| <= delta``.  A point is an n-match with
+    threshold ``delta`` iff this count is at least ``n``.
+    """
+    if delta < 0:
+        raise ValidationError(f"delta must be non-negative; got {delta}")
+    deltas = pairwise_absolute_differences(point, query)
+    return int(np.count_nonzero(deltas <= delta))
+
+
+def minkowski_distance(point, query, p: float = 2.0) -> float:
+    """Lp distance between two points; ``p=inf`` gives Chebyshev."""
+    deltas = pairwise_absolute_differences(point, query)
+    if np.isinf(p):
+        return float(deltas.max())
+    if p <= 0:
+        raise ValidationError(f"p must be positive; got {p}")
+    return float(np.power(np.power(deltas, p).sum(), 1.0 / p))
+
+
+def euclidean_distance(point, query) -> float:
+    """L2 distance — the similarity function of the paper's kNN strawman."""
+    return minkowski_distance(point, query, 2.0)
+
+
+def manhattan_distance(point, query) -> float:
+    """L1 distance."""
+    return minkowski_distance(point, query, 1.0)
+
+
+def chebyshev_distance(point, query) -> float:
+    """L-infinity distance.
+
+    Note the paper's remark: the n-match difference is *not* a
+    generalisation of Chebyshev — the d-match difference equals
+    Chebyshev, but for ``n < d`` the selected dimension varies per pair
+    and the triangle inequality breaks (:data:`TRIANGLE_COUNTEREXAMPLE`).
+    """
+    return minkowski_distance(point, query, np.inf)
+
+
+def dpf_distance(point, query, n: int, p: float = 2.0) -> float:
+    """Dynamic Partial Function of Goh et al. [18].
+
+    Aggregates (Lp style) the ``n`` *smallest* per-dimension differences.
+    Related work for the paper: DPF also uses the closest n dimensions but
+    aggregates them, whereas the n-match difference only takes the n-th
+    order statistic.
+    """
+    deltas = pairwise_absolute_differences(point, query)
+    if deltas.ndim != 1:
+        raise ValidationError("dpf_distance expects single points")
+    d = deltas.shape[0]
+    if not 1 <= n <= d:
+        raise ValidationError(f"n must be within [1, {d}]; got {n}")
+    if p <= 0:
+        raise ValidationError(f"p must be positive; got {p}")
+    smallest = np.partition(deltas, n - 1)[:n]
+    return float(np.power(np.power(smallest, p).sum(), 1.0 / p))
+
+
+def dpf_distances(points: np.ndarray, query: np.ndarray, n: int, p: float = 2.0) -> np.ndarray:
+    """Vectorised :func:`dpf_distance` over the rows of ``points``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValidationError("points must be a 2-D array")
+    d = points.shape[1]
+    if not 1 <= n <= d:
+        raise ValidationError(f"n must be within [1, {d}]; got {n}")
+    if p <= 0:
+        raise ValidationError(f"p must be positive; got {p}")
+    deltas = np.abs(points - np.asarray(query, dtype=np.float64))
+    smallest = np.partition(deltas, n - 1, axis=1)[:, :n]
+    return np.power(np.power(smallest, p).sum(axis=1), 1.0 / p)
+
+
+#: The paper's Sec.-2.1 demonstration that the 1-match difference violates
+#: the triangle inequality: with F, G, H below, diff(F,G)=0, diff(F,H)=0,
+#: diff(G,H)=0.4, and 0 + 0 < 0.4.
+TRIANGLE_COUNTEREXAMPLE: Tuple[Tuple[float, ...], ...] = (
+    (0.1, 0.5, 0.9),  # F
+    (0.1, 0.1, 0.1),  # G
+    (0.5, 0.5, 0.5),  # H
+)

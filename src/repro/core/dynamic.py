@@ -1,0 +1,299 @@
+"""Dynamic matching-based search: inserts and deletes.
+
+The paper's engines assume a static, pre-sorted database.  A system a
+downstream user would actually adopt needs updates, so
+:class:`DynamicMatchDatabase` layers a classic two-tier design on top of
+the static engines:
+
+* a **base** segment — a static :class:`~repro.core.ad_block.BlockADEngine`
+  over sorted columns, rebuilt only on compaction;
+* a small **delta buffer** of freshly-inserted points, searched by brute
+  force (it is tiny by construction);
+* a **tombstone set** of deleted point ids, filtered out of base answers.
+
+Queries are *exact* at every moment: the base engine is asked for enough
+answers to survive tombstone filtering, the buffer's match profiles are
+computed directly, and the two candidate streams merge under the same
+deterministic (difference, id) order the static engines use.  When the
+buffer or the tombstones outgrow ``compaction_threshold`` (a fraction of
+the live size), the structure compacts: live rows are consolidated into
+a new base segment and the sorted columns are rebuilt once.
+
+Point ids are stable across compactions — they are assigned at insert
+time and never reused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import EmptyDatabaseError, ValidationError
+from . import validation
+from .ad_block import BlockADEngine
+from .types import FrequentMatchResult, MatchResult, SearchStats, rank_by_frequency
+
+__all__ = ["DynamicMatchDatabase"]
+
+
+class DynamicMatchDatabase:
+    """Exact k-n-match search over a mutable point set."""
+
+    def __init__(
+        self,
+        data=None,
+        dimensionality: Optional[int] = None,
+        compaction_threshold: float = 0.25,
+        min_buffer: int = 64,
+    ) -> None:
+        if data is None and dimensionality is None:
+            raise ValidationError(
+                "provide initial data or an explicit dimensionality"
+            )
+        if not 0 < compaction_threshold <= 1:
+            raise ValidationError(
+                f"compaction_threshold must be in (0, 1]; got {compaction_threshold}"
+            )
+        if min_buffer < 1:
+            raise ValidationError(f"min_buffer must be >= 1; got {min_buffer}")
+        self.compaction_threshold = compaction_threshold
+        self.min_buffer = min_buffer
+
+        if data is not None:
+            array = validation.as_database_array(data)
+            if dimensionality is not None and dimensionality != array.shape[1]:
+                raise ValidationError(
+                    f"dimensionality {dimensionality} does not match data's "
+                    f"{array.shape[1]}"
+                )
+            self._dimensionality = array.shape[1]
+            self._base = array
+            self._base_pids = np.arange(array.shape[0], dtype=np.int64)
+            self._next_pid = array.shape[0]
+        else:
+            self._dimensionality = int(dimensionality)
+            if self._dimensionality < 1:
+                raise ValidationError(
+                    f"dimensionality must be >= 1; got {self._dimensionality}"
+                )
+            self._base = np.empty((0, self._dimensionality), dtype=np.float64)
+            self._base_pids = np.empty(0, dtype=np.int64)
+            self._next_pid = 0
+
+        self._buffer_rows: List[np.ndarray] = []
+        self._buffer_pids: List[int] = []
+        self._tombstones: set = set()
+        self._base_engine: Optional[BlockADEngine] = None
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def dimensionality(self) -> int:
+        return self._dimensionality
+
+    @property
+    def cardinality(self) -> int:
+        """Number of live (non-deleted) points."""
+        return (
+            self._base.shape[0] + len(self._buffer_rows) - len(self._tombstones)
+        )
+
+    @property
+    def buffer_size(self) -> int:
+        return len(self._buffer_rows)
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._tombstones)
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __contains__(self, pid: int) -> bool:
+        if pid in self._tombstones:
+            return False
+        if pid in self._buffer_pids:
+            return True
+        position = np.searchsorted(self._base_pids, pid)
+        return bool(
+            position < self._base_pids.shape[0]
+            and self._base_pids[position] == pid
+        )
+
+    def get_point(self, pid: int) -> np.ndarray:
+        """The coordinates of a live point."""
+        if pid in self._tombstones:
+            raise ValidationError(f"point {pid} was deleted")
+        if pid in self._buffer_pids:
+            return self._buffer_rows[self._buffer_pids.index(pid)].copy()
+        position = int(np.searchsorted(self._base_pids, pid))
+        if (
+            position < self._base_pids.shape[0]
+            and self._base_pids[position] == pid
+        ):
+            return self._base[position].copy()
+        raise ValidationError(f"unknown point id {pid}")
+
+    def snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All live points as ``(rows, pids)``, base then buffer order."""
+        rows = [self._base]
+        pids = [self._base_pids]
+        if self._buffer_rows:
+            rows.append(np.vstack(self._buffer_rows))
+            pids.append(np.asarray(self._buffer_pids, dtype=np.int64))
+        all_rows = np.vstack(rows) if rows else self._base
+        all_pids = np.concatenate(pids)
+        if self._tombstones:
+            live = ~np.isin(all_pids, list(self._tombstones))
+            return all_rows[live], all_pids[live]
+        return all_rows, all_pids
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        """Insert one point; returns its (stable) id."""
+        coords = validation.as_query_array(point, self._dimensionality)
+        pid = self._next_pid
+        self._next_pid += 1
+        self._buffer_rows.append(coords)
+        self._buffer_pids.append(pid)
+        self._maybe_compact()
+        return pid
+
+    def insert_many(self, points) -> List[int]:
+        """Insert several points; returns their ids."""
+        array = validation.as_database_array(points)
+        if array.shape[1] != self._dimensionality:
+            raise ValidationError(
+                f"points have {array.shape[1]} dimensions; expected "
+                f"{self._dimensionality}"
+            )
+        return [self.insert(row) for row in array]
+
+    def delete(self, pid: int) -> None:
+        """Delete a live point by id."""
+        if pid not in self:
+            raise ValidationError(f"point {pid} does not exist or was deleted")
+        self._tombstones.add(pid)
+        self._maybe_compact()
+
+    def compact(self) -> None:
+        """Consolidate live points into a fresh base segment."""
+        rows, pids = self.snapshot()
+        order = np.argsort(pids)
+        self._base = np.ascontiguousarray(rows[order])
+        self._base_pids = pids[order]
+        self._buffer_rows = []
+        self._buffer_pids = []
+        self._tombstones = set()
+        self._base_engine = None
+        self.compactions += 1
+
+    def _maybe_compact(self) -> None:
+        churn = len(self._buffer_rows) + len(self._tombstones)
+        threshold = max(
+            self.min_buffer, int(self.compaction_threshold * max(1, self.cardinality))
+        )
+        if churn > threshold:
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def k_n_match(self, query, k: int, n: int) -> MatchResult:
+        """Exact k-n-match over the live points."""
+        if self.cardinality == 0:
+            raise EmptyDatabaseError("no live points to search")
+        k = validation.validate_k(k, self.cardinality)
+        n = validation.validate_n(n, self._dimensionality)
+        query = validation.as_query_array(query, self._dimensionality)
+
+        candidates, stats = self._candidates(query, k, (n, n))
+        merged = sorted(candidates[n])[:k]
+        return MatchResult(
+            ids=[pid for _diff, pid in merged],
+            differences=[diff for diff, _pid in merged],
+            k=k,
+            n=n,
+            stats=stats,
+        )
+
+    def frequent_k_n_match(
+        self, query, k: int, n_range: Tuple[int, int], keep_answer_sets: bool = True
+    ) -> FrequentMatchResult:
+        """Exact frequent k-n-match over the live points."""
+        if self.cardinality == 0:
+            raise EmptyDatabaseError("no live points to search")
+        k = validation.validate_k(k, self.cardinality)
+        n0, n1 = validation.validate_n_range(n_range, self._dimensionality)
+        query = validation.as_query_array(query, self._dimensionality)
+
+        candidates, stats = self._candidates(query, k, (n0, n1))
+        answer_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            merged = sorted(candidates[n])[:k]
+            answer_sets[n] = [pid for _diff, pid in merged]
+        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        return FrequentMatchResult(
+            ids=chosen,
+            frequencies=frequencies,
+            k=k,
+            n_range=(n0, n1),
+            answer_sets=answer_sets if keep_answer_sets else None,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, query: np.ndarray, k: int, n_range: Tuple[int, int]
+    ) -> Tuple[Dict[int, List[Tuple[float, int]]], SearchStats]:
+        """Per-n candidate (difference, pid) lists from base + buffer."""
+        n0, n1 = n_range
+        per_n: Dict[int, List[Tuple[float, int]]] = {
+            n: [] for n in range(n0, n1 + 1)
+        }
+        stats = SearchStats(
+            total_attributes=self.cardinality * self._dimensionality
+        )
+
+        # Base segment through the static engine, over-fetching enough to
+        # survive tombstone filtering.
+        if self._base.shape[0]:
+            base_k = min(self._base.shape[0], k + len(self._tombstones))
+            engine = self._engine()
+            result = engine.frequent_k_n_match(
+                query, base_k, (n0, n1), keep_answer_sets=True
+            )
+            stats = stats.merge(result.stats)
+            profiles_cache: Dict[int, np.ndarray] = {}
+            for n, rows in result.answer_sets.items():
+                for row_index in rows:
+                    pid = int(self._base_pids[row_index])
+                    if pid in self._tombstones:
+                        continue
+                    if row_index not in profiles_cache:
+                        profiles_cache[row_index] = np.sort(
+                            np.abs(self._base[row_index] - query)
+                        )
+                    per_n[n].append(
+                        (float(profiles_cache[row_index][n - 1]), pid)
+                    )
+
+        # Delta buffer by brute force.
+        for coords, pid in zip(self._buffer_rows, self._buffer_pids):
+            if pid in self._tombstones:
+                continue
+            profile = np.sort(np.abs(coords - query))
+            stats.attributes_retrieved += self._dimensionality
+            for n in range(n0, n1 + 1):
+                per_n[n].append((float(profile[n - 1]), pid))
+        return per_n, stats
+
+    def _engine(self) -> BlockADEngine:
+        if self._base_engine is None:
+            self._base_engine = BlockADEngine(self._base)
+        return self._base_engine

@@ -1,0 +1,167 @@
+"""Public facade: :class:`MatchDatabase`.
+
+A :class:`MatchDatabase` wraps a point set and answers k-n-match and
+frequent k-n-match queries with a selectable engine:
+
+* ``"ad"`` — the paper's AD algorithm (optimal attribute retrieval),
+* ``"block-ad"`` — the vectorised variant (same answers, numpy speed),
+* ``"naive"`` — the full-scan oracle.
+
+All engines share one :class:`~repro.sorted_lists.SortedColumns` build, so
+switching engines on the same database is cheap.
+
+>>> import numpy as np
+>>> from repro import MatchDatabase
+>>> db = MatchDatabase([[1.0, 2.0], [5.0, 2.1], [9.0, 9.0]])
+>>> db.k_n_match([5.0, 2.0], k=1, n=1).ids
+[1]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..sorted_lists import SortedColumns
+from .ad import ADEngine
+from .ad_block import BlockADEngine
+from .naive import NaiveScanEngine
+from .types import FrequentMatchResult, MatchResult
+
+__all__ = ["MatchDatabase", "ENGINE_NAMES"]
+
+#: Engines selectable through :class:`MatchDatabase`.
+ENGINE_NAMES = ("ad", "block-ad", "naive")
+
+
+class MatchDatabase:
+    """In-memory matching-based similarity search over a point set."""
+
+    def __init__(self, data, default_engine: str = "ad") -> None:
+        if default_engine not in ENGINE_NAMES:
+            raise ValidationError(
+                f"unknown engine {default_engine!r}; choose from {ENGINE_NAMES}"
+            )
+        self._columns = SortedColumns(data)
+        self._default_engine = default_engine
+        self._engines: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The ``(cardinality, dimensionality)`` array being searched."""
+        return self._columns.data
+
+    @property
+    def cardinality(self) -> int:
+        return self._columns.cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        return self._columns.dimensionality
+
+    @property
+    def columns(self) -> SortedColumns:
+        """The shared sorted-column substrate (built once)."""
+        return self._columns
+
+    @property
+    def default_engine(self) -> str:
+        return self._default_engine
+
+    def engine(self, name: Optional[str] = None):
+        """Return (lazily constructing) the engine called ``name``."""
+        name = name or self._default_engine
+        if name not in ENGINE_NAMES:
+            raise ValidationError(
+                f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
+            )
+        if name not in self._engines:
+            if name == "ad":
+                self._engines[name] = ADEngine(self._columns)
+            elif name == "block-ad":
+                self._engines[name] = BlockADEngine(self._columns)
+            else:
+                self._engines[name] = NaiveScanEngine(self._columns.data)
+        return self._engines[name]
+
+    # ------------------------------------------------------------------
+    def k_n_match(
+        self, query, k: int, n: int, engine: Optional[str] = None
+    ) -> MatchResult:
+        """The k-n-match query (Definition 3).
+
+        Find the ``k`` points whose n-match difference w.r.t. ``query``
+        is smallest; the ``n`` best-matching dimensions are chosen
+        per point, dynamically.
+        """
+        return self.engine(engine).k_n_match(query, k, n)
+
+    def frequent_k_n_match(
+        self,
+        query,
+        k: int,
+        n_range: Union[Tuple[int, int], None] = None,
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = True,
+    ) -> FrequentMatchResult:
+        """The frequent k-n-match query (Definition 4).
+
+        Runs k-n-match for every ``n`` in ``n_range`` (default
+        ``[1, d]``) and returns the ``k`` points appearing most often
+        across the answer sets.
+        """
+        if n_range is None:
+            n_range = (1, self.dimensionality)
+        return self.engine(engine).frequent_k_n_match(
+            query, k, n_range, keep_answer_sets=keep_answer_sets
+        )
+
+    def k_n_match_batch(
+        self, queries, k: int, n: int, engine: Optional[str] = None
+    ) -> "List[MatchResult]":
+        """Run one k-n-match per row of ``queries``.
+
+        Engines keep their build across the batch, so this amortises the
+        sorted-column construction over many queries; results are in
+        query order.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValidationError("queries must be a 2-D array (one row each)")
+        selected = self.engine(engine)
+        return [selected.k_n_match(query, k, n) for query in queries]
+
+    def frequent_k_n_match_batch(
+        self,
+        queries,
+        k: int,
+        n_range: Union[Tuple[int, int], None] = None,
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = False,
+    ) -> "List[FrequentMatchResult]":
+        """Run one frequent k-n-match per row of ``queries``."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValidationError("queries must be a 2-D array (one row each)")
+        if n_range is None:
+            n_range = (1, self.dimensionality)
+        selected = self.engine(engine)
+        return [
+            selected.frequent_k_n_match(
+                query, k, n_range, keep_answer_sets=keep_answer_sets
+            )
+            for query in queries
+        ]
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MatchDatabase(cardinality={self.cardinality}, "
+            f"dimensionality={self.dimensionality}, "
+            f"default_engine={self._default_engine!r})"
+        )

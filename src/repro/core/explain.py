@@ -1,0 +1,97 @@
+"""Explaining a match: which dimensions agreed, and how closely.
+
+The n-match difference doubles as the adaptive match threshold delta
+(Sec. 1): a returned point matches the query in (at least) ``n``
+dimensions within delta.  :func:`explain_match` recovers exactly that
+story for one answer — the per-dimension differences, which dimensions
+count as matching under the answer's own delta, and which dimensions
+were the outliers the query chose to ignore.  Useful for showing *why*
+an image/record was returned, the interpretability edge matching has
+over an opaque aggregate distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from . import validation
+from .distance import match_profile
+
+__all__ = ["MatchExplanation", "explain_match"]
+
+
+@dataclass(frozen=True)
+class MatchExplanation:
+    """Why one point is an n-match of the query."""
+
+    point_id: int
+    n: int
+    delta: float  # the point's n-match difference
+    differences: Tuple[float, ...]  # per-dimension |p_i - q_i|
+    matching_dimensions: Tuple[int, ...]  # diff <= delta
+    outlier_dimensions: Tuple[int, ...]  # diff > delta, largest first
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matching_dimensions)
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        """One-paragraph human-readable explanation."""
+        d = len(self.differences)
+        if names is None:
+            names = [f"dim{i}" for i in range(d)]
+        if len(names) != d:
+            raise ValidationError(
+                f"expected {d} dimension names; got {len(names)}"
+            )
+        matched = ", ".join(names[i] for i in self.matching_dimensions)
+        lines = [
+            f"point {self.point_id} matches the query in "
+            f"{self.match_count} of {d} dimensions within "
+            f"delta = {self.delta:.4g}: {matched}."
+        ]
+        if self.outlier_dimensions:
+            worst = self.outlier_dimensions[0]
+            lines.append(
+                f"Ignored dimensions (largest first): "
+                + ", ".join(
+                    f"{names[i]} ({self.differences[i]:.4g})"
+                    for i in self.outlier_dimensions
+                )
+                + f"; the worst, {names[worst]}, would have dominated an "
+                f"aggregated distance."
+            )
+        return " ".join(lines)
+
+
+def explain_match(data, query, point_id: int, n: int) -> MatchExplanation:
+    """Explain why ``point_id`` is (or would be) an n-match of ``query``."""
+    array = validation.as_database_array(data)
+    c, d = array.shape
+    if not 0 <= point_id < c:
+        raise ValidationError(f"point id {point_id} out of range [0, {c})")
+    n = validation.validate_n(n, d)
+    query = validation.as_query_array(query, d)
+
+    differences = np.abs(array[point_id] - query)
+    delta = float(match_profile(array[point_id], query)[n - 1])
+    matching = tuple(int(i) for i in np.flatnonzero(differences <= delta))
+    outliers = tuple(
+        int(i)
+        for i in sorted(
+            np.flatnonzero(differences > delta),
+            key=lambda i: -differences[i],
+        )
+    )
+    return MatchExplanation(
+        point_id=point_id,
+        n=n,
+        delta=delta,
+        differences=tuple(float(x) for x in differences),
+        matching_dimensions=matching,
+        outlier_dimensions=outliers,
+    )

@@ -1,0 +1,277 @@
+"""Matching over mixed numeric and categorical attributes.
+
+Footnote 1 of the paper (Sec. 2.1): "A side effect of our work will be
+that we can have a uniform treatment for both type[s] of attributes in
+the future."  The n-match difference makes that natural: a categorical
+dimension contributes a difference of 0 on an exact match and a fixed
+mismatch cost otherwise (Hamming-style, the measure the paper cites
+[15]), a numeric dimension contributes ``|p_i - q_i|``, and the n-match
+machinery — order statistics, adaptive delta, frequent voting — applies
+unchanged.
+
+:class:`MixedMatchDatabase` implements that uniform treatment:
+
+* a :class:`Schema` declares each dimension numeric or categorical;
+* categorical values (any hashable: strings, ints...) are dictionary-
+  encoded at build time;
+* queries are validated against the schema; unseen categorical values
+  are legal — they simply mismatch every stored value;
+* answers follow the same deterministic (difference, id) order as the
+  numeric engines.
+
+With ``mismatch_cost=1`` on every categorical dimension and data
+normalised to [0, 1], a categorical mismatch weighs like a maximal
+numeric disagreement, which is the Hamming reading; per-dimension costs
+let domain knowledge say otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from . import validation
+from .types import FrequentMatchResult, MatchResult, SearchStats, rank_by_frequency
+
+__all__ = ["Schema", "MixedMatchDatabase", "NUMERIC", "CATEGORICAL"]
+
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Per-dimension declaration of a mixed database.
+
+    ``kinds[i]`` is :data:`NUMERIC` or :data:`CATEGORICAL`;
+    ``mismatch_costs[i]`` is the difference contributed by a categorical
+    mismatch (ignored for numeric dimensions).  ``names`` are optional
+    labels used in error messages.
+    """
+
+    kinds: Tuple[str, ...]
+    mismatch_costs: Tuple[float, ...] = ()
+    names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise ValidationError("schema needs at least one dimension")
+        for kind in self.kinds:
+            if kind not in (NUMERIC, CATEGORICAL):
+                raise ValidationError(
+                    f"unknown dimension kind {kind!r}; use "
+                    f"{NUMERIC!r} or {CATEGORICAL!r}"
+                )
+        if self.mismatch_costs:
+            if len(self.mismatch_costs) != len(self.kinds):
+                raise ValidationError(
+                    "mismatch_costs must match the number of dimensions"
+                )
+            for cost in self.mismatch_costs:
+                if not cost > 0:
+                    raise ValidationError(
+                        f"mismatch costs must be positive; got {cost}"
+                    )
+        else:
+            object.__setattr__(
+                self, "mismatch_costs", tuple(1.0 for _ in self.kinds)
+            )
+        if self.names:
+            if len(self.names) != len(self.kinds):
+                raise ValidationError("names must match the number of dimensions")
+        else:
+            object.__setattr__(
+                self,
+                "names",
+                tuple(f"dim{i}" for i in range(len(self.kinds))),
+            )
+
+    @classmethod
+    def of(cls, *kinds: str, mismatch_costs: Sequence[float] = (), names: Sequence[str] = ()) -> "Schema":
+        return cls(tuple(kinds), tuple(mismatch_costs), tuple(names))
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def numeric_dimensions(self) -> List[int]:
+        return [i for i, kind in enumerate(self.kinds) if kind == NUMERIC]
+
+    @property
+    def categorical_dimensions(self) -> List[int]:
+        return [i for i, kind in enumerate(self.kinds) if kind == CATEGORICAL]
+
+
+class MixedMatchDatabase:
+    """k-n-match and frequent k-n-match over mixed-type records."""
+
+    def __init__(self, records: Sequence[Sequence], schema: Schema) -> None:
+        if not isinstance(schema, Schema):
+            raise ValidationError("schema must be a Schema instance")
+        self.schema = schema
+        records = list(records)
+        if not records:
+            raise ValidationError("at least one record is required")
+        d = schema.dimensionality
+        for index, record in enumerate(records):
+            if len(record) != d:
+                raise ValidationError(
+                    f"record {index} has {len(record)} fields; schema has {d}"
+                )
+
+        self._cardinality = len(records)
+        numeric_dims = schema.numeric_dimensions
+        categorical_dims = schema.categorical_dimensions
+
+        numeric_values = np.empty((self._cardinality, len(numeric_dims)))
+        for column, dim in enumerate(numeric_dims):
+            try:
+                numeric_values[:, column] = [float(r[dim]) for r in records]
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"dimension {schema.names[dim]!r} is numeric but holds "
+                    f"non-numeric values"
+                ) from None
+        if numeric_values.size and not np.isfinite(numeric_values).all():
+            raise ValidationError("numeric attributes must be finite")
+        self._numeric = numeric_values
+        self._numeric_dims = numeric_dims
+
+        self._encoders: Dict[int, Dict[Hashable, int]] = {}
+        codes = np.empty((self._cardinality, len(categorical_dims)), dtype=np.int64)
+        for column, dim in enumerate(categorical_dims):
+            encoder: Dict[Hashable, int] = {}
+            for row, record in enumerate(records):
+                value = record[dim]
+                try:
+                    code = encoder.setdefault(value, len(encoder))
+                except TypeError:
+                    raise ValidationError(
+                        f"dimension {schema.names[dim]!r} holds an unhashable "
+                        f"value {value!r}"
+                    ) from None
+                codes[row, column] = code
+            self._encoders[dim] = encoder
+        self._codes = codes
+        self._categorical_dims = categorical_dims
+        self._costs = np.asarray(
+            [schema.mismatch_costs[dim] for dim in categorical_dims]
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        return self._cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        return self.schema.dimensionality
+
+    def __len__(self) -> int:
+        return self._cardinality
+
+    def categories(self, dimension: int) -> List[Hashable]:
+        """Distinct values seen in one categorical dimension."""
+        if dimension not in self._encoders:
+            raise ValidationError(
+                f"dimension {dimension} is not categorical"
+            )
+        return list(self._encoders[dimension])
+
+    # ------------------------------------------------------------------
+    def difference_matrix(self, query: Sequence) -> np.ndarray:
+        """Per-(point, dimension) differences of every record vs query.
+
+        Numeric: ``|value - query|``.  Categorical: 0 on match, the
+        dimension's mismatch cost otherwise.  Column order follows the
+        schema.
+        """
+        query = self._validate_query(query)
+        out = np.empty((self._cardinality, self.dimensionality))
+        if self._numeric_dims:
+            numeric_query = np.asarray(
+                [float(query[dim]) for dim in self._numeric_dims]
+            )
+            numeric_deltas = np.abs(self._numeric - numeric_query)
+            for column, dim in enumerate(self._numeric_dims):
+                out[:, dim] = numeric_deltas[:, column]
+        for column, dim in enumerate(self._categorical_dims):
+            code = self._encoders[dim].get(query[dim], -1)
+            mismatch = self._codes[:, column] != code
+            out[:, dim] = np.where(mismatch, self._costs[column], 0.0)
+        return out
+
+    def k_n_match(self, query: Sequence, k: int, n: int) -> MatchResult:
+        """The k-n-match set under the mixed difference."""
+        k = validation.validate_k(k, self._cardinality)
+        n = validation.validate_n(n, self.dimensionality)
+        deltas = self.difference_matrix(query)
+        differences = np.partition(deltas, n - 1, axis=1)[:, n - 1]
+        order = np.lexsort((np.arange(self._cardinality), differences))[:k]
+        stats = SearchStats(
+            attributes_retrieved=self._cardinality * self.dimensionality,
+            total_attributes=self._cardinality * self.dimensionality,
+            points_scanned=self._cardinality,
+        )
+        return MatchResult(
+            ids=[int(i) for i in order],
+            differences=[float(differences[i]) for i in order],
+            k=k,
+            n=n,
+            stats=stats,
+        )
+
+    def frequent_k_n_match(
+        self,
+        query: Sequence,
+        k: int,
+        n_range: Tuple[int, int],
+        keep_answer_sets: bool = True,
+    ) -> FrequentMatchResult:
+        """Frequent k-n-match under the mixed difference."""
+        k = validation.validate_k(k, self._cardinality)
+        n0, n1 = validation.validate_n_range(n_range, self.dimensionality)
+        profiles = np.sort(self.difference_matrix(query), axis=1)
+        ids = np.arange(self._cardinality)
+        answer_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            order = np.lexsort((ids, profiles[:, n - 1]))
+            answer_sets[n] = [int(i) for i in order[:k]]
+        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        stats = SearchStats(
+            attributes_retrieved=self._cardinality * self.dimensionality,
+            total_attributes=self._cardinality * self.dimensionality,
+            points_scanned=self._cardinality,
+        )
+        return FrequentMatchResult(
+            ids=chosen,
+            frequencies=frequencies,
+            k=k,
+            n_range=(n0, n1),
+            answer_sets=answer_sets if keep_answer_sets else None,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _validate_query(self, query: Sequence) -> Sequence:
+        if len(query) != self.dimensionality:
+            raise ValidationError(
+                f"query has {len(query)} fields; schema has "
+                f"{self.dimensionality}"
+            )
+        for dim in self._numeric_dims:
+            try:
+                value = float(query[dim])
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"query field {self.schema.names[dim]!r} must be numeric"
+                ) from None
+            if not np.isfinite(value):
+                raise ValidationError(
+                    f"query field {self.schema.names[dim]!r} must be finite"
+                )
+        return query

@@ -1,0 +1,204 @@
+"""Result and statistics types shared by every search engine.
+
+Every engine in the library (naive scan, AD, block-AD, disk AD, VA-file,
+IGrid, kNN...) returns one of the result dataclasses defined here, and each
+result carries a :class:`SearchStats` describing the work the engine did.
+The paper's central cost measure is *the number of individual attributes
+retrieved* (Sec. 3); the disk chapters add page accesses (Sec. 4).  Both are
+first-class fields here so that the optimality theorems (Thm 3.2/3.3) and
+the efficiency figures (Figs. 9-15) can be checked directly from any result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SearchStats:
+    """Work counters produced by one query execution.
+
+    Attributes
+    ----------
+    attributes_retrieved:
+        Number of individual (point-id, attribute) pairs consumed from the
+        sorted columns.  This is the paper's cost measure for the multiple
+        system information-retrieval model and the quantity the AD
+        algorithm provably minimises.
+    total_attributes:
+        ``cardinality * dimensionality`` of the database queried, so that
+        :attr:`fraction_retrieved` can be reported like Fig. 9(a)/15(b).
+    heap_pops:
+        Pops from the ``g[]`` frontier heap (AD engines only).
+    binary_search_probes:
+        Probes used to locate the query inside each sorted column.
+    sequential_page_reads / random_page_reads:
+        Page-level I/O split by access pattern (disk engines only).
+    candidates_refined:
+        Points fetched in a refinement phase (VA-file phase 2).
+    approximation_entries_scanned:
+        Approximation-file entries scanned (VA-file phase 1).
+    inverted_list_entries:
+        Inverted-list entries touched (IGrid).
+    points_scanned:
+        Full points examined by a scan engine.
+    """
+
+    attributes_retrieved: int = 0
+    total_attributes: int = 0
+    heap_pops: int = 0
+    binary_search_probes: int = 0
+    sequential_page_reads: int = 0
+    random_page_reads: int = 0
+    candidates_refined: int = 0
+    approximation_entries_scanned: int = 0
+    inverted_list_entries: int = 0
+    points_scanned: int = 0
+
+    @property
+    def page_reads(self) -> int:
+        """Total page accesses regardless of access pattern."""
+        return self.sequential_page_reads + self.random_page_reads
+
+    @property
+    def fraction_retrieved(self) -> float:
+        """Fraction of the database's attributes that were retrieved."""
+        if self.total_attributes == 0:
+            return 0.0
+        return self.attributes_retrieved / self.total_attributes
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Return a new :class:`SearchStats` with component-wise sums.
+
+        ``total_attributes`` is taken as the max rather than the sum: two
+        phases of the same query run against the same database.
+        """
+        return SearchStats(
+            attributes_retrieved=self.attributes_retrieved + other.attributes_retrieved,
+            total_attributes=max(self.total_attributes, other.total_attributes),
+            heap_pops=self.heap_pops + other.heap_pops,
+            binary_search_probes=self.binary_search_probes + other.binary_search_probes,
+            sequential_page_reads=self.sequential_page_reads + other.sequential_page_reads,
+            random_page_reads=self.random_page_reads + other.random_page_reads,
+            candidates_refined=self.candidates_refined + other.candidates_refined,
+            approximation_entries_scanned=(
+                self.approximation_entries_scanned + other.approximation_entries_scanned
+            ),
+            inverted_list_entries=self.inverted_list_entries + other.inverted_list_entries,
+            points_scanned=self.points_scanned + other.points_scanned,
+        )
+
+
+@dataclass
+class MatchResult:
+    """Answer to one k-n-match query (Definition 3 of the paper).
+
+    ``ids[i]`` is the point id of the i-th answer and ``differences[i]``
+    its n-match difference w.r.t. the query.  Answers are sorted by
+    ascending n-match difference (ties broken by the engine's discovery
+    order, which for AD is the provably-correct ascending-difference
+    order).
+    """
+
+    ids: List[int]
+    differences: List[float]
+    k: int
+    n: int
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        if len(self.ids) != len(self.differences):
+            raise ValueError(
+                "ids and differences must have equal length "
+                f"({len(self.ids)} != {len(self.differences)})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self):
+        return iter(zip(self.ids, self.differences))
+
+    @property
+    def match_difference(self) -> float:
+        """The k-n-match difference: the largest returned difference.
+
+        This is the adaptive threshold ``delta`` of Sec. 1 — a data point
+        matches the query in a dimension iff their difference there is
+        within this value.
+        """
+        if not self.differences:
+            return float("nan")
+        return max(self.differences)
+
+
+@dataclass
+class FrequentMatchResult:
+    """Answer to one frequent k-n-match query (Definition 4).
+
+    ``ids`` holds the k points that appear most frequently in the
+    k-n-match answer sets for every ``n`` in ``n_range``;
+    ``frequencies[i]`` is the number of such answer sets containing
+    ``ids[i]``.  ``answer_sets`` optionally exposes the per-n answer sets
+    (id lists in ascending n-match-difference order) for inspection.
+    """
+
+    ids: List[int]
+    frequencies: List[int]
+    k: int
+    n_range: Tuple[int, int]
+    answer_sets: Optional[Dict[int, List[int]]] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        if len(self.ids) != len(self.frequencies):
+            raise ValueError(
+                "ids and frequencies must have equal length "
+                f"({len(self.ids)} != {len(self.frequencies)})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self):
+        return iter(zip(self.ids, self.frequencies))
+
+
+def rank_by_frequency(
+    answer_sets: Dict[int, Sequence[int]], k: int
+) -> Tuple[List[int], List[int]]:
+    """Pick the ``k`` ids appearing most often across ``answer_sets``.
+
+    The deterministic tie-break order is: higher frequency first, then
+    better (smaller) best-rank across the answer sets a point appears in,
+    then smaller id.  Every engine uses this helper so that frequent
+    k-n-match answers are identical across engines, which the
+    cross-engine equivalence tests rely on.
+
+    Parameters
+    ----------
+    answer_sets:
+        Mapping ``n -> answer id list`` where each list is ordered by
+        ascending n-match difference.
+    k:
+        Number of ids to return.  If fewer than ``k`` distinct ids exist,
+        all of them are returned.
+    """
+    frequency: Dict[int, int] = {}
+    best_rank: Dict[int, int] = {}
+    for ids in answer_sets.values():
+        seen_here = set()
+        for rank, pid in enumerate(ids):
+            if pid in seen_here:  # tolerate duplicate ids within a set
+                continue
+            seen_here.add(pid)
+            frequency[pid] = frequency.get(pid, 0) + 1
+            previous = best_rank.get(pid)
+            if previous is None or rank < previous:
+                best_rank[pid] = rank
+    ordered = sorted(
+        frequency, key=lambda pid: (-frequency[pid], best_rank[pid], pid)
+    )
+    chosen = ordered[:k]
+    return chosen, [frequency[pid] for pid in chosen]

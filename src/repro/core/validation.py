@@ -1,0 +1,105 @@
+"""Argument validation shared by every public entry point.
+
+The rules encode the paper's problem statements: a database is a set of
+``c`` points in ``d`` dimensions (Table 1), ``1 <= n <= d`` (Def. 2),
+``1 <= k <= c`` (Def. 3) and ``[n0, n1]`` must lie within ``[1, d]``
+(Def. 4).  Everything is validated eagerly with precise error messages so
+that misuse fails at the API boundary, not deep inside an engine.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import (
+    DimensionalityMismatchError,
+    EmptyDatabaseError,
+    ValidationError,
+)
+
+
+def as_database_array(data) -> np.ndarray:
+    """Coerce ``data`` to a 2-D, finite, float64 C-contiguous array.
+
+    Raises :class:`ValidationError` for wrong rank, emptiness or
+    non-finite values.  A copy is made only when required by the dtype or
+    layout conversion.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValidationError(
+            f"database must be a 2-D array of shape (cardinality, "
+            f"dimensionality); got ndim={array.ndim}"
+        )
+    if array.shape[0] == 0:
+        raise EmptyDatabaseError("database has no points")
+    if array.shape[1] == 0:
+        raise ValidationError("database has zero dimensions")
+    if not np.isfinite(array).all():
+        raise ValidationError("database contains NaN or infinite values")
+    return np.ascontiguousarray(array)
+
+
+def as_query_array(query, dimensionality: int) -> np.ndarray:
+    """Coerce ``query`` to a finite 1-D float64 array of the right length."""
+    array = np.asarray(query, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValidationError(
+            f"query must be a 1-D array; got ndim={array.ndim}"
+        )
+    if array.shape[0] != dimensionality:
+        raise DimensionalityMismatchError(dimensionality, array.shape[0])
+    if not np.isfinite(array).all():
+        raise ValidationError("query contains NaN or infinite values")
+    return array
+
+
+def validate_k(k: int, cardinality: int) -> int:
+    """Check ``1 <= k <= cardinality`` and return ``k`` as an int."""
+    k = _as_int("k", k)
+    if k < 1:
+        raise ValidationError(f"k must be >= 1; got {k}")
+    if k > cardinality:
+        raise ValidationError(
+            f"k={k} exceeds the database cardinality {cardinality}"
+        )
+    return k
+
+
+def validate_n(n: int, dimensionality: int) -> int:
+    """Check ``1 <= n <= dimensionality`` and return ``n`` as an int."""
+    n = _as_int("n", n)
+    if not 1 <= n <= dimensionality:
+        raise ValidationError(
+            f"n must be within [1, {dimensionality}]; got {n}"
+        )
+    return n
+
+
+def validate_n_range(
+    n_range: Tuple[int, int], dimensionality: int
+) -> Tuple[int, int]:
+    """Check ``1 <= n0 <= n1 <= dimensionality`` for a frequent query."""
+    try:
+        n0, n1 = n_range
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"n_range must be a (n0, n1) pair; got {n_range!r}"
+        ) from None
+    n0 = validate_n(n0, dimensionality)
+    n1 = validate_n(n1, dimensionality)
+    if n0 > n1:
+        raise ValidationError(f"n_range requires n0 <= n1; got ({n0}, {n1})")
+    return n0, n1
+
+
+def _as_int(name: str, value) -> int:
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer; got a bool")
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise ValidationError(f"{name} must be an integer; got {value!r}")

@@ -1,0 +1,58 @@
+"""Dataset generators: synthetic workloads and paper-dataset stand-ins."""
+
+from .coil import (
+    ASPECTS,
+    PARTIAL_MATCH_IMAGE,
+    QUERY_IMAGE,
+    SCALED_VARIANT_IMAGE,
+    CoilLikeDataset,
+    make_coil_like,
+)
+from .normalize import float32_exact, normalize_unit
+from .synthetic import (
+    anticorrelated_dataset,
+    correlated_dataset,
+    gaussian_clusters,
+    perturbed_queries,
+    sample_queries,
+    skewed_dataset,
+    uniform_dataset,
+)
+from .texture import (
+    TEXTURE_CARDINALITY,
+    TEXTURE_DIMENSIONALITY,
+    make_texture_like,
+)
+from .uci import (
+    DATASET_PROFILES,
+    UCI_SPECS,
+    ClassDataset,
+    make_all_standins,
+    make_uci_standin,
+)
+
+__all__ = [
+    "normalize_unit",
+    "float32_exact",
+    "uniform_dataset",
+    "gaussian_clusters",
+    "skewed_dataset",
+    "correlated_dataset",
+    "anticorrelated_dataset",
+    "sample_queries",
+    "perturbed_queries",
+    "ClassDataset",
+    "UCI_SPECS",
+    "DATASET_PROFILES",
+    "make_uci_standin",
+    "make_all_standins",
+    "CoilLikeDataset",
+    "make_coil_like",
+    "QUERY_IMAGE",
+    "PARTIAL_MATCH_IMAGE",
+    "SCALED_VARIANT_IMAGE",
+    "ASPECTS",
+    "make_texture_like",
+    "TEXTURE_CARDINALITY",
+    "TEXTURE_DIMENSIONALITY",
+]

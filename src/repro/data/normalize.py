@@ -1,0 +1,45 @@
+"""Normalisation helpers shared by all dataset generators.
+
+The paper: "The data values are all normalized to the range [0,1]."
+Additionally, every generator rounds its output through float32: the disk
+substrate stores 4-byte attributes (as the 2006 systems did), and the
+round-trip guarantees the in-memory engines (float64) and the disk
+engines (float32 pages) see bit-identical values, so cross-engine
+equality tests are exact rather than tolerance-based.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["normalize_unit", "float32_exact"]
+
+
+def normalize_unit(data) -> np.ndarray:
+    """Min-max normalise each dimension into [0, 1].
+
+    Constant dimensions map to 0.5 (no information, but no NaNs either).
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValidationError("normalize_unit expects a 2-D array")
+    lo = array.min(axis=0)
+    hi = array.max(axis=0)
+    span = hi - lo
+    out = np.empty_like(array)
+    constant = span == 0
+    varying = ~constant
+    out[:, varying] = (array[:, varying] - lo[varying]) / span[varying]
+    out[:, constant] = 0.5
+    return out
+
+
+def float32_exact(data) -> np.ndarray:
+    """Round values through float32 and return float64 again.
+
+    Guarantees every value is exactly representable in the 4-byte
+    attribute format used by the page-level storage.
+    """
+    return np.asarray(data, dtype=np.float32).astype(np.float64)

@@ -1,0 +1,198 @@
+"""Synthetic workload generators.
+
+The efficiency study (Sec. 5.2.2-5.2.3) uses "uniformly distributed data
+sets of various dimensionalities", 100,000 points each, values in [0,1].
+Alongside the uniform generator this module provides clustered and skewed
+generators for the effectiveness experiments and ablations, plus query
+samplers.  All generators are deterministic in their ``seed`` and emit
+float32-exact values (see :mod:`repro.data.normalize`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .normalize import float32_exact, normalize_unit
+
+__all__ = [
+    "uniform_dataset",
+    "gaussian_clusters",
+    "skewed_dataset",
+    "correlated_dataset",
+    "anticorrelated_dataset",
+    "sample_queries",
+    "perturbed_queries",
+]
+
+
+def _check_shape(cardinality: int, dimensionality: int) -> None:
+    if cardinality < 1:
+        raise ValidationError(f"cardinality must be >= 1; got {cardinality}")
+    if dimensionality < 1:
+        raise ValidationError(
+            f"dimensionality must be >= 1; got {dimensionality}"
+        )
+
+
+def uniform_dataset(
+    cardinality: int, dimensionality: int, seed: int = 0
+) -> np.ndarray:
+    """Uniform [0, 1] points — the paper's synthetic workload."""
+    _check_shape(cardinality, dimensionality)
+    rng = np.random.default_rng(seed)
+    return float32_exact(rng.random((cardinality, dimensionality)))
+
+
+def gaussian_clusters(
+    cardinality: int,
+    dimensionality: int,
+    clusters: int = 10,
+    spread: float = 0.05,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Clustered data: points around ``clusters`` uniform centroids.
+
+    Returns ``(data, labels)``.  Useful for effectiveness experiments —
+    Beyer et al.'s caveat (the paper's [8]) that clustered data keeps
+    nearest neighbours meaningful applies here.
+    """
+    _check_shape(cardinality, dimensionality)
+    if clusters < 1:
+        raise ValidationError(f"clusters must be >= 1; got {clusters}")
+    if spread < 0:
+        raise ValidationError(f"spread must be >= 0; got {spread}")
+    rng = np.random.default_rng(seed)
+    centroids = rng.uniform(0.1, 0.9, size=(clusters, dimensionality))
+    labels = rng.integers(0, clusters, size=cardinality)
+    data = centroids[labels] + rng.normal(0.0, spread, (cardinality, dimensionality))
+    return float32_exact(np.clip(data, 0.0, 1.0)), labels
+
+
+def skewed_dataset(
+    cardinality: int,
+    dimensionality: int,
+    seed: int = 0,
+    shape: float = 1.0,
+) -> np.ndarray:
+    """Heavily skewed data (exponential marginals, min-max normalised).
+
+    Stands in for the Co-occurrence Texture set's skew; see
+    :mod:`repro.data.texture` for the full-size stand-in.  Smaller
+    ``shape`` means heavier skew.
+    """
+    _check_shape(cardinality, dimensionality)
+    if shape <= 0:
+        raise ValidationError(f"shape must be positive; got {shape}")
+    rng = np.random.default_rng(seed)
+    raw = rng.gamma(shape, 1.0, size=(cardinality, dimensionality))
+    return float32_exact(normalize_unit(raw))
+
+
+def correlated_dataset(
+    cardinality: int,
+    dimensionality: int,
+    correlation: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Uniform marginals with a tunable common-factor correlation.
+
+    A Gaussian copula: each point is a shared factor blended with
+    per-dimension noise, then mapped back to uniform [0, 1] marginals
+    through the normal CDF.  ``correlation = 0`` reproduces independent
+    uniforms; ``correlation -> 1`` makes all dimensions move together.
+    Useful for ablations: dimension correlation is exactly what lets the
+    AD algorithm finish early (points close in one dimension tend to be
+    close in the others, so appearance counts concentrate).
+    """
+    _check_shape(cardinality, dimensionality)
+    if not 0.0 <= correlation < 1.0:
+        raise ValidationError(
+            f"correlation must be within [0, 1); got {correlation}"
+        )
+    rng = np.random.default_rng(seed)
+    shared = rng.standard_normal((cardinality, 1))
+    noise = rng.standard_normal((cardinality, dimensionality))
+    latent = np.sqrt(correlation) * shared + np.sqrt(1.0 - correlation) * noise
+    # Standard normal CDF via erf keeps scipy optional here.
+    from math import sqrt
+
+    uniforms = 0.5 * (1.0 + _erf(latent / sqrt(2.0)))
+    return float32_exact(np.clip(uniforms, 0.0, 1.0))
+
+
+def anticorrelated_dataset(
+    cardinality: int,
+    dimensionality: int,
+    spread: float = 0.15,
+    seed: int = 0,
+) -> np.ndarray:
+    """Anti-correlated data: good in one dimension means bad in others.
+
+    The classic skyline-literature workload (Borzsonyi et al. [9]):
+    points scatter around the hyperplane of constant coordinate sum, so
+    per-point deviations sum to zero and pairwise correlations are
+    negative.  Skylines explode on such data — useful for contrasting
+    the skyline query's fixed answer set with k-n-match's k-sized one
+    (Sec. 2.1).
+    """
+    _check_shape(cardinality, dimensionality)
+    if spread <= 0:
+        raise ValidationError(f"spread must be positive; got {spread}")
+    rng = np.random.default_rng(seed)
+    # The plane position must vary far less than the in-plane spread, or
+    # the common factor re-induces positive correlation.
+    plane = rng.normal(0.5, spread / 6.0, size=(cardinality, 1))
+    noise = rng.normal(0.0, spread, size=(cardinality, dimensionality))
+    # Project the noise onto the sum-zero subspace: deviations in one
+    # dimension are balanced by the others.
+    noise -= noise.mean(axis=1, keepdims=True)
+    return float32_exact(np.clip(plane + noise, 0.0, 1.0))
+
+
+def _erf(values: np.ndarray) -> np.ndarray:
+    """Vectorised error function (Abramowitz & Stegun 7.1.26, |e|<1.5e-7)."""
+    sign = np.sign(values)
+    x = np.abs(values)
+    t = 1.0 / (1.0 + 0.3275911 * x)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-x * x))
+
+
+def sample_queries(
+    data: np.ndarray, count: int, seed: int = 0
+) -> np.ndarray:
+    """Queries drawn from the dataset itself (the paper's protocol:
+    "queries which are sampled randomly from the data sets")."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValidationError("data must be a non-empty 2-D array")
+    if count < 1:
+        raise ValidationError(f"count must be >= 1; got {count}")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(data.shape[0], size=count, replace=count > data.shape[0])
+    return data[picks].copy()
+
+
+def perturbed_queries(
+    data: np.ndarray,
+    count: int,
+    noise: float = 0.01,
+    seed: int = 0,
+) -> np.ndarray:
+    """Dataset points plus small uniform noise, clipped to [0, 1].
+
+    Exercises the no-exact-match case: every difference is non-zero, so
+    tie-heavy shortcuts cannot mask bugs.
+    """
+    if noise < 0:
+        raise ValidationError(f"noise must be >= 0; got {noise}")
+    rng = np.random.default_rng(seed)
+    base = sample_queries(data, count, seed=seed + 1)
+    jitter = rng.uniform(-noise, noise, size=base.shape)
+    return float32_exact(np.clip(base + jitter, 0.0, 1.0))

@@ -1,0 +1,12 @@
+"""Disk-based engines: paged AD and sequential scan (Sec. 4)."""
+
+from .ad_disk import DiskADEngine
+from .cursor import DiskDirectionCursor, make_disk_cursors
+from .scan import DiskScanEngine
+
+__all__ = [
+    "DiskADEngine",
+    "DiskScanEngine",
+    "DiskDirectionCursor",
+    "make_disk_cursors",
+]

@@ -1,0 +1,109 @@
+"""Direction cursors over paged column files.
+
+The disk analogue of :mod:`repro.sorted_lists.cursor`: one cursor walks
+one sorted dimension in one direction, but attributes now live in pages —
+the cursor buffers the current page and triggers a page read (through the
+pager's access recorder) only when the walk crosses a page boundary.
+Forward walks cross onto the *next* page, which the recorder classifies
+as sequential; backward walks cross onto the previous page, a (cheap but
+real) seek, classified as random.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.column_file import ColumnFile
+
+__all__ = ["DiskDirectionCursor", "make_disk_cursors"]
+
+DOWN = -1
+UP = +1
+
+
+class DiskDirectionCursor:
+    """One-directional, page-buffered walk over a :class:`ColumnFile`."""
+
+    __slots__ = (
+        "column",
+        "direction",
+        "_position",
+        "_q",
+        "retrieved",
+        "_page_index",
+        "_page_values",
+        "_page_pids",
+        "_page_first",
+        "_stream",
+    )
+
+    def __init__(
+        self,
+        column: ColumnFile,
+        direction: int,
+        start_position: int,
+        query_value: float,
+    ) -> None:
+        if direction not in (DOWN, UP):
+            raise ValueError(f"direction must be DOWN(-1) or UP(+1); got {direction}")
+        self.column = column
+        self.direction = direction
+        self._position = start_position
+        self._q = query_value
+        self.retrieved = 0
+        self._page_index = -1
+        self._page_values: Optional[np.ndarray] = None
+        self._page_pids: Optional[np.ndarray] = None
+        self._page_first = 0
+        # Each cursor is its own read stream: its page walk is classified
+        # sequential/random independently of the other 2d - 1 cursors,
+        # modelling per-stream read-ahead buffers.
+        self._stream = f"cursor@{column.first_page}:{direction}"
+
+    @property
+    def exhausted(self) -> bool:
+        if self.direction == DOWN:
+            return self._position < 0
+        return self._position >= self.column.length
+
+    def _ensure_page(self) -> None:
+        page_index = self._position // self.column.entries_per_page
+        if page_index != self._page_index:
+            entries = self.column.read_entries(page_index, self._stream)
+            self._page_index = page_index
+            self._page_values = entries["value"]
+            self._page_pids = entries["pid"]
+            self._page_first = page_index * self.column.entries_per_page
+
+    def next(self) -> Optional[Tuple[int, float]]:
+        """Consume the next ``(point id, difference)`` pair, or ``None``."""
+        if self.exhausted:
+            return None
+        self._ensure_page()
+        offset = self._position - self._page_first
+        pid = int(self._page_pids[offset])
+        dif = abs(float(self._page_values[offset]) - self._q)
+        self._position += self.direction
+        self.retrieved += 1
+        return pid, dif
+
+
+def make_disk_cursors(
+    store, query: np.ndarray
+) -> List[DiskDirectionCursor]:
+    """Build the ``2d`` disk cursors for ``query``.
+
+    Each dimension costs one :meth:`ColumnFile.locate` (one page read via
+    the in-memory page directory) to find the split position; both
+    cursors of the dimension then start from that split.
+    """
+    cursors: List[DiskDirectionCursor] = []
+    for j in range(store.dimensionality):
+        column = store.column(j)
+        q_j = float(query[j])
+        split = column.locate(q_j)
+        cursors.append(DiskDirectionCursor(column, DOWN, split - 1, q_j))
+        cursors.append(DiskDirectionCursor(column, UP, split, q_j))
+    return cursors

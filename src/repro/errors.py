@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch one base class.  Validation
+failures additionally derive from :class:`ValueError` (or
+:class:`TypeError`) so that the library behaves like idiomatic Python for
+callers who do not know about the hierarchy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, range or type)."""
+
+
+class DimensionalityMismatchError(ValidationError):
+    """A query's dimensionality does not match the database's."""
+
+    def __init__(self, expected: int, got: int):
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"query has {got} dimensions but the database has {expected}"
+        )
+
+
+class EmptyDatabaseError(ValidationError):
+    """An operation requires a non-empty database."""
+
+
+class NotBuiltError(ReproError, RuntimeError):
+    """An index was queried before :meth:`build` was called."""
+
+
+class StorageError(ReproError, IOError):
+    """A simulated storage operation failed (bad page id, closed pager...)."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit into a single page."""

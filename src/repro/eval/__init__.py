@@ -1,0 +1,45 @@
+"""Evaluation harness: class stripping, table formatting."""
+
+from .class_stripping import (
+    AccuracyReport,
+    Searcher,
+    class_stripping_accuracy,
+    dpf_searcher,
+    frequent_knmatch_searcher,
+    igrid_searcher,
+    knmatch_searcher,
+    knn_searcher,
+)
+from .ascii_plot import ascii_chart
+from .export import (
+    experiment_to_csv,
+    experiment_to_dict,
+    experiment_to_json,
+    result_to_dict,
+    stats_to_dict,
+    write_experiment_csv,
+)
+from .harness import format_series, format_table
+from .recall import RecallReport, knn_recall
+
+__all__ = [
+    "AccuracyReport",
+    "Searcher",
+    "class_stripping_accuracy",
+    "frequent_knmatch_searcher",
+    "knmatch_searcher",
+    "knn_searcher",
+    "igrid_searcher",
+    "dpf_searcher",
+    "format_table",
+    "format_series",
+    "RecallReport",
+    "knn_recall",
+    "ascii_chart",
+    "stats_to_dict",
+    "result_to_dict",
+    "experiment_to_dict",
+    "experiment_to_json",
+    "experiment_to_csv",
+    "write_experiment_csv",
+]

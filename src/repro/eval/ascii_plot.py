@@ -1,0 +1,100 @@
+"""ASCII line charts for the figure experiments.
+
+The benchmark environment has no plotting stack, but a figure's *shape*
+— who is above whom, where curves cross — is exactly what the
+reproduction argues about.  :func:`ascii_chart` renders series of
+``x -> y`` points on a character grid with a legend, so
+``python -m repro.experiments.runall --charts`` shows Fig. 13 as a
+picture, not just rows.
+
+Rendering rules: each series gets a marker character; points land on
+the nearest grid cell; when two series collide on a cell the later one
+wins (the legend notes the override order); axes are linear and
+annotated with min/max.  No interpolation — honest dots only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from ..errors import ValidationError
+
+__all__ = ["ascii_chart", "MARKERS"]
+
+#: marker characters assigned to series in order
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Mapping[float, float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``series`` (name -> {x: y}) as a text chart."""
+    if not series:
+        raise ValidationError("ascii_chart needs at least one series")
+    if width < 16 or height < 4:
+        raise ValidationError("chart needs width >= 16 and height >= 4")
+    if len(series) > len(MARKERS):
+        raise ValidationError(
+            f"at most {len(MARKERS)} series supported; got {len(series)}"
+        )
+
+    points = [
+        (float(x), float(y), index)
+        for index, curve in enumerate(series.values())
+        for x, y in curve.items()
+    ]
+    if not points:
+        raise ValidationError("every series is empty")
+    xs = [x for x, _y, _s in points]
+    ys = [y for _x, y, _s in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        column = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][column] = MARKERS[index]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label) + 1)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        elif row_index == height // 2:
+            label = y_label[: gutter - 1]
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    left = f"{x_lo:.4g}"
+    right = f"{x_hi:.4g}"
+    middle = x_label
+    padding = width - len(left) - len(right) - len(middle)
+    half = max(1, padding // 2)
+    lines.append(
+        " " * (gutter + 2)
+        + left
+        + " " * half
+        + middle
+        + " " * max(1, padding - half)
+        + right
+    )
+    legend = "   ".join(
+        f"{MARKERS[index]} = {name}" for index, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)

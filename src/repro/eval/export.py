@@ -1,0 +1,120 @@
+"""Exporting results: dicts, JSON and CSV.
+
+Experiment tables and search statistics are plain data; these helpers
+serialise them so downstream tooling (plotting scripts, dashboards,
+regression trackers) can consume a benchmark run without parsing the
+pretty-printed tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from dataclasses import asdict
+from typing import TYPE_CHECKING, List, Union
+
+from ..core.types import FrequentMatchResult, MatchResult, SearchStats
+from ..errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
+    from ..experiments.common import ExperimentResult
+
+__all__ = [
+    "stats_to_dict",
+    "result_to_dict",
+    "experiment_to_dict",
+    "experiment_to_json",
+    "experiment_to_csv",
+    "write_experiment_csv",
+]
+
+
+def stats_to_dict(stats: SearchStats) -> dict:
+    """Flat dict of every counter, plus the derived fields."""
+    payload = asdict(stats)
+    payload["page_reads"] = stats.page_reads
+    payload["fraction_retrieved"] = stats.fraction_retrieved
+    return payload
+
+
+def result_to_dict(result: Union[MatchResult, FrequentMatchResult]) -> dict:
+    """Serialise a query result (either kind) with its stats."""
+    if isinstance(result, MatchResult):
+        return {
+            "kind": "k-n-match",
+            "k": result.k,
+            "n": result.n,
+            "ids": list(result.ids),
+            "differences": list(result.differences),
+            "stats": stats_to_dict(result.stats),
+        }
+    if isinstance(result, FrequentMatchResult):
+        return {
+            "kind": "frequent-k-n-match",
+            "k": result.k,
+            "n_range": list(result.n_range),
+            "ids": list(result.ids),
+            "frequencies": list(result.frequencies),
+            "answer_sets": (
+                {str(n): list(ids) for n, ids in result.answer_sets.items()}
+                if result.answer_sets is not None
+                else None
+            ),
+            "stats": stats_to_dict(result.stats),
+        }
+    raise ValidationError(
+        f"cannot serialise {type(result).__name__}; expected a match result"
+    )
+
+
+def experiment_to_dict(result: "ExperimentResult") -> dict:
+    """Serialise one regenerated table/figure."""
+    return {
+        "experiment": result.experiment,
+        "description": result.description,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def experiment_to_json(result: "ExperimentResult", indent: int = 2) -> str:
+    """JSON text of one experiment."""
+    return json.dumps(experiment_to_dict(result), indent=indent)
+
+
+def experiment_to_csv(result: "ExperimentResult") -> str:
+    """CSV text (header row + data rows) of one experiment."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+def write_experiment_csv(
+    results: "List[ExperimentResult]", directory: Union[str, os.PathLike]
+) -> List[str]:
+    """Write one CSV per experiment into ``directory``; returns paths.
+
+    File names derive from the experiment id ("Figure 12(a)" ->
+    ``figure_12_a.csv``).
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for result in results:
+        slug = (
+            result.experiment.lower()
+            .replace("(", "_")
+            .replace(")", "")
+            .replace(" ", "_")
+            .strip("_")
+        )
+        path = os.path.join(directory, f"{slug}.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(experiment_to_csv(result))
+        written.append(path)
+    return written

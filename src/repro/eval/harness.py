@@ -1,0 +1,68 @@
+"""Experiment harness utilities: table formatting and result records.
+
+Every experiment module in :mod:`repro.experiments` produces plain data
+(lists of dicts) plus a formatted table whose rows read like the paper's
+tables and figure series.  The formatting lives here so benchmark output
+and example scripts look identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "Cell"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "N.A."
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "N.A."
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Plain aligned ASCII table, paper style."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    series: Mapping[str, Mapping[Cell, Cell]],
+    title: str = "",
+) -> str:
+    """Format figure-style data: one x column, one column per series.
+
+    ``series`` maps series name -> {x value -> y value}; x values are
+    the union across series, sorted.
+    """
+    xs: List[Cell] = sorted({x for curve in series.values() for x in curve})
+    headers = [x_name] + list(series)
+    rows: List[List[Cell]] = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x) for name in series])
+    return format_table(headers, rows, title=title)

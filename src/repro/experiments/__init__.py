@@ -1,0 +1,21 @@
+"""Experiment runners: one module per table/figure of the paper's Sec. 5.
+
+=============  =====================================================
+module         regenerates
+=============  =====================================================
+``table2_3``   Table 2 (k-n-match on COIL) and Table 3 (kNN)
+``table4``     Table 4 (class-stripping accuracy comparison)
+``fig8``       Fig. 8(a)/(b): accuracy vs n0 / n1
+``fig9``       Fig. 9(a)/(b): attribute retrieval vs n1, trade-off
+``fig10``      Fig. 10(a)/(b): VA-file refinement and response time
+``fig11``      Fig. 11(a)/(b): disk AD vs scan (texture), k sweep
+``fig12``      Fig. 12(a)/(b): disk AD vs scan, n1 sweep
+``fig13``      Fig. 13(a)/(b): scan/AD/IGrid, k and size sweeps
+``fig14``      Fig. 14: scan/AD/IGrid vs dimensionality
+``fig15``      Fig. 15(a)/(b): scan/AD/IGrid on texture, n1 sweep
+=============  =====================================================
+"""
+
+from .common import ExperimentResult, N0_DEFAULT, N1_DEFAULT
+
+__all__ = ["ExperimentResult", "N0_DEFAULT", "N1_DEFAULT"]

@@ -1,0 +1,165 @@
+"""Shared infrastructure for the experiment modules.
+
+Each ``repro.experiments.<id>`` module regenerates one table or figure of
+the paper's Sec. 5 and returns :class:`ExperimentResult` objects — plain
+rows plus a formatted table whose columns read like the original.  The
+benchmarks wrap these runners; the ``runall`` module prints everything.
+
+Scale: the paper's synthetic experiments use 100,000-point databases and
+the 68,040-point Texture set.  Every runner takes a ``scale`` factor that
+multiplies cardinalities (floored at 1,000) so test suites can exercise
+the full code path in seconds while the benchmark harness runs the real
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.types import SearchStats
+from ..data import make_texture_like, sample_queries, uniform_dataset
+from ..eval.harness import Cell, format_table
+from ..storage import DEFAULT_DISK_MODEL, DiskModel
+
+__all__ = [
+    "ExperimentResult",
+    "N0_DEFAULT",
+    "N1_DEFAULT",
+    "scaled_cardinality",
+    "uniform_workload",
+    "texture_workload",
+    "mean_stats",
+    "mean_simulated_seconds",
+]
+
+#: Default frequent k-n-match range for the efficiency study, chosen in
+#: Sec. 5.2.1: n0 = 4; n1 ~ 8 "varying 1 or 2 depending on dimensionality".
+N0_DEFAULT = 4
+N1_DEFAULT = 8
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment: str  # e.g. "Table 4", "Figure 12(a)"
+    description: str
+    headers: Sequence[str]
+    rows: List[List[Cell]]
+    notes: List[str] = field(default_factory=list)
+
+    def formatted(self) -> str:
+        text = format_table(
+            self.headers, self.rows, title=f"{self.experiment}: {self.description}"
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return text
+
+    def column(self, header: str) -> List[Cell]:
+        """One column of the table by header name."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def chart(
+        self,
+        x: str,
+        y: Union[str, Sequence[str]],
+        series: str = "",
+        **chart_kwargs,
+    ) -> str:
+        """Render this experiment as an ASCII chart.
+
+        Two layouts are supported: *wide* — ``y`` names several value
+        columns, each becoming a curve over the ``x`` column (Fig. 13's
+        scan/AD/IGrid columns) — and *long* — ``series`` names a label
+        column whose distinct values become the curves (Fig. 8's
+        per-dataset rows).
+        """
+        from ..eval.ascii_plot import ascii_chart
+
+        x_values = self.column(x)
+        curves: Dict[str, Dict[float, float]] = {}
+        if series:
+            labels = self.column(series)
+            y_values = self.column(y if isinstance(y, str) else y[0])
+            for label, x_value, y_value in zip(labels, x_values, y_values):
+                if x_value is None or y_value is None:
+                    continue
+                curves.setdefault(str(label), {})[float(x_value)] = float(y_value)
+        else:
+            names = [y] if isinstance(y, str) else list(y)
+            for name in names:
+                curve = {}
+                for x_value, y_value in zip(x_values, self.column(name)):
+                    if x_value is None or y_value is None:
+                        continue
+                    curve[float(x_value)] = float(y_value)
+                curves[name] = curve
+        return ascii_chart(
+            curves,
+            title=f"{self.experiment}: {self.description}",
+            x_label=x,
+            **chart_kwargs,
+        )
+
+
+def scaled_cardinality(base: int, scale: float, floor: int = 1000) -> int:
+    """Scale a paper cardinality, flooring so code paths stay exercised."""
+    return max(floor, int(round(base * scale)))
+
+
+def uniform_workload(
+    cardinality: int,
+    dimensionality: int = 16,
+    queries: int = 3,
+    seed: int = 16,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A uniform dataset plus queries sampled from it (paper protocol)."""
+    data = uniform_dataset(cardinality, dimensionality, seed=seed)
+    return data, sample_queries(data, queries, seed=seed + 1)
+
+
+def texture_workload(
+    scale: float = 1.0, queries: int = 3, seed: int = 68040
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The Texture stand-in plus sampled queries."""
+    cardinality = scaled_cardinality(68040, scale)
+    data = make_texture_like(cardinality=cardinality, seed=seed)
+    return data, sample_queries(data, queries, seed=seed + 1)
+
+
+def mean_stats(stats_list: Sequence[SearchStats]) -> SearchStats:
+    """Component-wise mean of several queries' counters (rounded)."""
+    if not stats_list:
+        return SearchStats()
+    count = len(stats_list)
+    merged = SearchStats()
+    for stats in stats_list:
+        merged = merged.merge(stats)
+    return SearchStats(
+        attributes_retrieved=merged.attributes_retrieved // count,
+        total_attributes=merged.total_attributes,
+        heap_pops=merged.heap_pops // count,
+        binary_search_probes=merged.binary_search_probes // count,
+        sequential_page_reads=merged.sequential_page_reads // count,
+        random_page_reads=merged.random_page_reads // count,
+        candidates_refined=merged.candidates_refined // count,
+        approximation_entries_scanned=merged.approximation_entries_scanned // count,
+        inverted_list_entries=merged.inverted_list_entries // count,
+        points_scanned=merged.points_scanned // count,
+    )
+
+
+def mean_simulated_seconds(
+    stats_list: Sequence[SearchStats], model: DiskModel = DEFAULT_DISK_MODEL
+) -> float:
+    """Mean simulated response time of several queries."""
+    if not stats_list:
+        return 0.0
+    return float(
+        np.mean([model.simulated_seconds(stats) for stats in stats_list])
+    )

@@ -1,0 +1,73 @@
+"""Beyond-the-paper experiment: what *kind* of query is each technique?
+
+Sec. 6 criticises evaluating partial-similarity techniques by "recall of
+the actual kNN": techniques like DPF approximate kNN, while the
+(frequent) k-n-match query answers something genuinely different.  This
+experiment quantifies that distinction on one table: for each technique,
+its class-stripping accuracy (does it find *similar* objects?) next to
+its recall of the exact kNN (is it just kNN in disguise?).
+
+Expected shape: kNN scores 100% recall by construction; DPF at large n
+sits close to it; frequent k-n-match and IGrid clearly lower recall —
+yet frequent k-n-match has the *highest* accuracy.  Different query,
+better answers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..data import make_uci_standin
+from ..eval import (
+    class_stripping_accuracy,
+    dpf_searcher,
+    frequent_knmatch_searcher,
+    igrid_searcher,
+    knn_recall,
+    knn_searcher,
+)
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    dataset_name: str = "segmentation",
+    queries: int = 50,
+    k: int = 20,
+    seed: int = 2006,
+    query_seed: int = 1,
+) -> ExperimentResult:
+    """Accuracy vs kNN-recall for every similarity technique."""
+    dataset = make_uci_standin(dataset_name, seed=seed)
+    d = dataset.dimensionality
+    effective_queries = min(queries, dataset.cardinality)
+    techniques = [
+        ("kNN (Euclidean)", knn_searcher(dataset.data)),
+        ("DPF (n = d-2)", dpf_searcher(dataset.data, max(1, d - 2))),
+        ("IGrid", igrid_searcher(dataset.data)),
+        ("freq. k-n-match [1,d]", frequent_knmatch_searcher(dataset.data)),
+    ]
+    rows: List[List] = []
+    for name, searcher in techniques:
+        accuracy = class_stripping_accuracy(
+            dataset, searcher, name, queries=effective_queries, k=k, seed=query_seed
+        ).accuracy
+        recall = knn_recall(
+            dataset.data, searcher, name, queries=effective_queries, k=k, seed=query_seed
+        ).mean_recall
+        rows.append([name, accuracy, recall])
+    return ExperimentResult(
+        experiment="Extra A",
+        description=(
+            f"accuracy vs recall-of-exact-kNN on {dataset_name}, "
+            f"{effective_queries} queries, k = {k}"
+        ),
+        headers=["technique", "class accuracy", "kNN recall"],
+        rows=rows,
+        notes=[
+            "Sec. 6's point, quantified: frequent k-n-match is not an "
+            "approximate kNN (low recall) yet finds more similar objects "
+            "(top accuracy)",
+        ],
+    )

@@ -1,0 +1,116 @@
+"""Figure 13: frequent k-n-match (scan, AD) vs IGrid — k and size sweeps.
+
+Response time on 16-d uniform data of the three similarity-search
+techniques the paper races: the sequential-scan frequent k-n-match, the
+AD algorithm (FKNMatchAD) and IGrid.  (a) sweeps k at 100,000 points;
+(b) sweeps the dataset size from 50,000 to 300,000 at k = 20.  Expected
+ordering at every setting: AD < scan < IGrid, with all three scaling
+roughly linearly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..disk import DiskADEngine, DiskScanEngine
+from ..igrid import IGridEngine
+from .common import (
+    ExperimentResult,
+    N0_DEFAULT,
+    N1_DEFAULT,
+    scaled_cardinality,
+    uniform_workload,
+)
+
+__all__ = ["run", "FIG13_K_VALUES", "FIG13_SIZES"]
+
+FIG13_K_VALUES = (10, 20, 30, 40)
+FIG13_SIZES = (50000, 100000, 200000, 300000)
+
+
+def _build_engines(data: np.ndarray):
+    return DiskScanEngine(data), DiskADEngine(data), IGridEngine(data)
+
+
+def _times_for(
+    engines,
+    query_set: np.ndarray,
+    k: int,
+    n_range: Tuple[int, int],
+) -> Tuple[float, float, float]:
+    """(scan, AD, IGrid) mean simulated response times on one workload."""
+    scan, ad, igrid = engines
+    scan_time = float(
+        np.mean(
+            [
+                scan.simulated_seconds(
+                    scan.frequent_k_n_match(
+                        q, k, n_range, keep_answer_sets=False
+                    ).stats
+                )
+                for q in query_set
+            ]
+        )
+    )
+    ad_time = float(
+        np.mean(
+            [
+                ad.simulated_seconds(
+                    ad.frequent_k_n_match(q, k, n_range, keep_answer_sets=False).stats
+                )
+                for q in query_set
+            ]
+        )
+    )
+    igrid_time = float(
+        np.mean(
+            [igrid.simulated_seconds(igrid.top_k(q, k).stats) for q in query_set]
+        )
+    )
+    return scan_time, ad_time, igrid_time
+
+
+def run(
+    scale: float = 1.0,
+    queries: int = 3,
+    n_range: Tuple[int, int] = (N0_DEFAULT, N1_DEFAULT),
+    k_values: Sequence[int] = FIG13_K_VALUES,
+    sizes: Sequence[int] = FIG13_SIZES,
+    fixed_k: int = 20,
+) -> Tuple[ExperimentResult, ExperimentResult]:
+    """Regenerate Fig. 13(a) and Fig. 13(b)."""
+    # (a) response time vs k at the base cardinality
+    data, query_set = uniform_workload(scaled_cardinality(100000, scale), 16, queries)
+    engines = _build_engines(data)
+    rows_a: List[List] = []
+    for k in k_values:
+        scan_t, ad_t, igrid_t = _times_for(engines, query_set, k, n_range)
+        rows_a.append([k, scan_t, ad_t, igrid_t])
+    fig_a = ExperimentResult(
+        experiment="Figure 13(a)",
+        description=f"response time (s) vs k, 16-d uniform, n range {n_range}",
+        headers=["k", "scan", "AD", "IGrid"],
+        rows=rows_a,
+        notes=["expected ordering: AD < scan < IGrid"],
+    )
+
+    # (b) response time vs dataset size at fixed k
+    rows_b: List[List] = []
+    for size in sizes:
+        data, query_set = uniform_workload(
+            scaled_cardinality(size, scale), 16, queries, seed=size
+        )
+        scan_t, ad_t, igrid_t = _times_for(
+            _build_engines(data), query_set, fixed_k, n_range
+        )
+        rows_b.append([data.shape[0], scan_t, ad_t, igrid_t])
+    fig_b = ExperimentResult(
+        experiment="Figure 13(b)",
+        description=f"response time (s) vs dataset size, k = {fixed_k}",
+        headers=["size", "scan", "AD", "IGrid"],
+        rows=rows_b,
+        notes=["expected: all three roughly linear in size; AD fastest"],
+    )
+    return fig_a, fig_b

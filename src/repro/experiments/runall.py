@@ -1,0 +1,135 @@
+"""Run every experiment and print the regenerated tables and figures.
+
+Usage::
+
+    python -m repro.experiments.runall [--scale 0.1] [--queries 3]
+
+``--scale`` multiplies the synthetic cardinalities (1.0 = the paper's
+100,000-point / 68,040-point sizes); ``--queries`` is the number of
+queries averaged in the efficiency experiments.  Effectiveness
+experiments (Tables 2-4, Figs. 8-9) always run the paper's real dataset
+sizes — they are small.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable
+
+from . import (
+    extra,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table2_3,
+    table4,
+)
+from .common import ExperimentResult
+
+#: experiment id -> (x column, y column(s), series column) for --charts
+CHART_SPECS = {
+    "Figure 8(a)": ("n0", "accuracy", "data set"),
+    "Figure 8(b)": ("n1", "accuracy", "data set"),
+    "Figure 9(a)": ("n1", "retrieved attributes (%)", "data set"),
+    "Figure 11(b)": ("k", ["AD", "scan"], ""),
+    "Figure 13(a)": ("k", ["scan", "AD", "IGrid"], ""),
+    "Figure 13(b)": ("size", ["scan", "AD", "IGrid"], ""),
+    "Figure 14": ("dimensionality", ["scan", "AD", "IGrid"], ""),
+    "Figure 15(a)": ("n1", ["scan", "AD", "IGrid"], ""),
+    "Figure 15(b)": ("n1", "retrieved attributes (%)", ""),
+}
+
+
+def _emit(results: Iterable[ExperimentResult], stream, charts: bool = False) -> None:
+    for result in results:
+        print(result.formatted(), file=stream)
+        spec = CHART_SPECS.get(result.experiment) if charts else None
+        if spec is not None:
+            x, y, series = spec
+            print(file=stream)
+            print(result.chart(x, y, series=series), file=stream)
+        print(file=stream)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--queries", type=int, default=3)
+    parser.add_argument(
+        "--accuracy-queries",
+        type=int,
+        default=100,
+        help="queries per dataset in the class-stripping experiments",
+    )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default="",
+        help="comma-separated experiment ids, e.g. 'table4,fig12'",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=str,
+        default="",
+        help="also write one CSV per regenerated table/figure here",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="render figure experiments as ASCII charts too",
+    )
+    args = parser.parse_args(argv)
+    only = {token.strip() for token in args.only.split(",") if token.strip()}
+
+    def wanted(name: str) -> bool:
+        return not only or name in only
+
+    stream = sys.stdout
+    started = time.time()
+    produced = []
+
+    def run(results) -> None:
+        results = list(results)
+        produced.extend(results)
+        _emit(results, stream, charts=args.charts)
+
+    if wanted("table2_3"):
+        run(table2_3.run())
+    if wanted("table4"):
+        run([table4.run(queries=args.accuracy_queries)])
+    if wanted("fig8"):
+        run(fig8.run(queries=args.accuracy_queries))
+    if wanted("fig9"):
+        run(fig9.run(queries=min(args.accuracy_queries, 50)))
+    if wanted("fig10"):
+        run(fig10.run(scale=args.scale, queries=args.queries))
+    if wanted("fig11"):
+        run(fig11.run(scale=args.scale, queries=args.queries))
+    if wanted("fig12"):
+        run(fig12.run(scale=args.scale, queries=args.queries))
+    if wanted("fig13"):
+        run(fig13.run(scale=args.scale, queries=args.queries))
+    if wanted("fig14"):
+        run([fig14.run(scale=args.scale, queries=args.queries)])
+    if wanted("fig15"):
+        run(fig15.run(scale=args.scale, queries=args.queries))
+    if wanted("extra"):
+        run([extra.run(queries=min(args.accuracy_queries, 50))])
+    if args.csv_dir:
+        from ..eval.export import write_experiment_csv
+
+        paths = write_experiment_csv(produced, args.csv_dir)
+        print(f"wrote {len(paths)} CSV files to {args.csv_dir}", file=stream)
+    print(f"total wall time: {time.time() - started:.1f}s", file=stream)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

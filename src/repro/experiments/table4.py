@@ -1,0 +1,109 @@
+"""Table 4: class-stripping accuracy of IGrid, HCINN and frequent
+k-n-match on the five UCI stand-ins.
+
+Protocol (Sec. 5.1.2): 100 queries sampled from each dataset, k = 20,
+accuracy = correctly-classified answers / 2000, frequent k-n-match range
+[n0, n1] = [1, d].  HCINN requires a human in the loop; like the paper —
+which copied its numbers from [4] because "the code of HCINN is not
+available" — we report [4]'s published accuracies where they exist and
+N.A. elsewhere, clearly labelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..data import UCI_SPECS, make_all_standins
+from ..eval import (
+    class_stripping_accuracy,
+    frequent_knmatch_searcher,
+    igrid_searcher,
+    knn_searcher,
+)
+from .common import ExperimentResult
+
+__all__ = ["run", "HCINN_PAPER_ACCURACY", "PAPER_TABLE4"]
+
+#: Accuracies of HCINN as published in [4] and quoted by the paper.
+HCINN_PAPER_ACCURACY: Dict[str, Optional[float]] = {
+    "ionosphere": 0.86,
+    "segmentation": 0.83,
+    "wdbc": None,
+    "glass": None,
+    "iris": None,
+}
+
+#: The paper's own Table 4, for side-by-side reference in EXPERIMENTS.md.
+PAPER_TABLE4: Dict[str, Dict[str, Optional[float]]] = {
+    "ionosphere": {"igrid": 0.801, "hcinn": 0.86, "freq": 0.875},
+    "segmentation": {"igrid": 0.799, "hcinn": 0.83, "freq": 0.873},
+    "wdbc": {"igrid": 0.871, "hcinn": None, "freq": 0.925},
+    "glass": {"igrid": 0.586, "hcinn": None, "freq": 0.678},
+    "iris": {"igrid": 0.889, "hcinn": None, "freq": 0.896},
+}
+
+
+def run(
+    queries: int = 100,
+    k: int = 20,
+    seed: int = 2006,
+    query_seed: int = 1,
+    include_knn: bool = True,
+) -> ExperimentResult:
+    """Regenerate Table 4 (plus a kNN column the paper discusses in text)."""
+    datasets = make_all_standins(seed=seed)
+    headers = ["data set (d)", "IGrid", "HCINN", "Freq. k-n-match"]
+    if include_knn:
+        headers.append("kNN (reference)")
+    rows = []
+    for name in UCI_SPECS:
+        dataset = datasets[name]
+        effective_queries = min(queries, dataset.cardinality)
+        igrid = class_stripping_accuracy(
+            dataset,
+            igrid_searcher(dataset.data),
+            "igrid",
+            queries=effective_queries,
+            k=k,
+            seed=query_seed,
+        )
+        freq = class_stripping_accuracy(
+            dataset,
+            frequent_knmatch_searcher(dataset.data),
+            "freq-knmatch",
+            queries=effective_queries,
+            k=k,
+            seed=query_seed,
+        )
+        row = [
+            f"{name} ({dataset.dimensionality})",
+            igrid.accuracy,
+            HCINN_PAPER_ACCURACY[name],
+            freq.accuracy,
+        ]
+        if include_knn:
+            knn = class_stripping_accuracy(
+                dataset,
+                knn_searcher(dataset.data),
+                "knn",
+                queries=effective_queries,
+                k=k,
+                seed=query_seed,
+            )
+            row.append(knn.accuracy)
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Table 4",
+        description=(
+            f"class-stripping accuracy, {queries} queries, k = {k}, "
+            f"frequent k-n-match range [1, d]"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=[
+            "HCINN column: accuracies published in [4] (human-in-the-loop "
+            "technique; not implementable offline), as the paper itself did",
+            "datasets are structural stand-ins; compare orderings, not "
+            "absolute values (see DESIGN.md)",
+        ],
+    )

@@ -1,0 +1,13 @@
+"""IGrid competitor: equi-depth inverted grid similarity search [6]."""
+
+from .index import IGridIndex
+from .partition import EquiDepthPartition, default_bin_count
+from .search import IGridEngine, IGridResult
+
+__all__ = [
+    "EquiDepthPartition",
+    "default_bin_count",
+    "IGridIndex",
+    "IGridEngine",
+    "IGridResult",
+]

@@ -1,0 +1,161 @@
+"""The IGrid inverted index.
+
+"IGrid was proposed as an inverted file on the grid partition of the
+database" (Sec. 5.2.3).  For every (dimension, range) pair the index
+stores the inverted list of ``(point id, attribute value)`` entries of
+the points falling into that range.
+
+Layout matters here.  The paper's efficiency argument against IGrid is
+not the data volume — [6]'s own analysis puts it at ``2/d`` of the
+database — but the placement: "the accessed data are fragmented and
+distributed all over the data set.  Random accesses of all the fragments
+are much more expensive than when they are clustered together and
+accessed sequentially."  We reproduce that honestly by building the
+inverted file the way a dynamic loader does: points are inserted in id
+order, each insertion appends one entry to ``d`` different lists, and a
+list gets a fresh page from the shared pool whenever its current page
+fills.  With ``d * bins`` lists filling concurrently, consecutive pages
+of one list end up far apart, so reading a list at query time is a chain
+of seeks — exactly the effect in Figs. 13-15.
+
+The page-fill schedule is computed vectorised (a list's p-th page is
+allocated when its ``p * entries_per_page``-th entry arrives, and entry
+arrival order is global point-id-major order), so builds stay fast at
+100k+ points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..errors import ValidationError
+from ..storage import DEFAULT_DISK_MODEL, DiskModel, Pager
+from .partition import EquiDepthPartition, default_bin_count
+
+__all__ = ["IGridIndex"]
+
+#: bytes of one inverted entry: 4-byte point id + 4-byte attribute value
+ENTRY_BYTES = 8
+
+
+class IGridIndex:
+    """Equi-depth inverted grid over a ``(c, d)`` point set."""
+
+    def __init__(
+        self,
+        data,
+        bins: Optional[int] = None,
+        pager: Optional[Pager] = None,
+        disk_model: DiskModel = DEFAULT_DISK_MODEL,
+    ) -> None:
+        array = validation.as_database_array(data)
+        c, d = array.shape
+        self.disk_model = disk_model
+        self._pager = pager if pager is not None else Pager(disk_model.page_size)
+        self.bins = bins if bins is not None else default_bin_count(d)
+        if self.bins < 1:
+            raise ValidationError(f"bins must be >= 1; got {self.bins}")
+        self._cardinality = c
+        self._dimensionality = d
+        self.entries_per_page = self._pager.page_size // ENTRY_BYTES
+
+        self.partitions: List[EquiDepthPartition] = []
+        members: List[List[np.ndarray]] = []  # [dim][range] -> point ids
+        allocation_times: List[int] = []
+        owners: List[Tuple[int, int, int]] = []  # (dim, range, page ordinal)
+        for j in range(d):
+            partition = EquiDepthPartition(array[:, j], self.bins)
+            self.partitions.append(partition)
+            assignment = partition.assign(array[:, j])
+            lists_here: List[np.ndarray] = []
+            for r in range(partition.bins):
+                pids = np.flatnonzero(assignment == r)
+                lists_here.append(pids)
+                # The p-th page of this list is allocated when the list's
+                # (p * entries_per_page)-th entry arrives; entry (pid, j)
+                # arrives at global time pid * d + j.
+                firsts = pids[:: self.entries_per_page]
+                for ordinal, pid in enumerate(firsts):
+                    allocation_times.append(int(pid) * d + j)
+                    owners.append((j, r, ordinal))
+            members.append(lists_here)
+
+        # Assign page ids in allocation-time order from the shared pool.
+        order = np.argsort(np.asarray(allocation_times), kind="stable")
+        base = self._pager.page_count
+        for _ in range(len(owners)):
+            self._pager.allocate()
+        # _pages[j][r] -> array of page ids of that list, in list order.
+        self._pages: List[List[np.ndarray]] = [
+            [
+                np.empty(
+                    -(-members[j][r].shape[0] // self.entries_per_page)
+                    if members[j][r].shape[0]
+                    else 0,
+                    dtype=np.int64,
+                )
+                for r in range(self.partitions[j].bins)
+            ]
+            for j in range(d)
+        ]
+        for page_id, owner_index in enumerate(order):
+            j, r, ordinal = owners[owner_index]
+            self._pages[j][r][ordinal] = base + page_id
+
+        # In-memory payloads for scoring (the pages carry the cost model).
+        self._members = members
+        self._values: List[List[np.ndarray]] = [
+            [array[members[j][r], j].copy() for r in range(self.partitions[j].bins)]
+            for j in range(d)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def cardinality(self) -> int:
+        return self._cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        return self._dimensionality
+
+    def list_pages(self, dimension: int, range_index: int) -> np.ndarray:
+        """Page ids of one inverted list, in list order."""
+        self._check(dimension, range_index)
+        return self._pages[dimension][range_index]
+
+    def inverted_list(
+        self, dimension: int, range_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Read one inverted list, driving the page recorder.
+
+        Returns ``(point ids, attribute values)``.  The list's pages are
+        read in list order under the list's own stream; because the
+        dynamic build scattered them across the pool, most transitions
+        are seeks.
+        """
+        self._check(dimension, range_index)
+        stream = f"igrid@{dimension}:{range_index}"
+        for page_id in self._pages[dimension][range_index]:
+            self._pager.read(int(page_id), stream)
+        return (
+            self._members[dimension][range_index],
+            self._values[dimension][range_index],
+        )
+
+    def _check(self, dimension: int, range_index: int) -> None:
+        if not 0 <= dimension < self._dimensionality:
+            raise ValidationError(
+                f"dimension {dimension} out of range [0, {self._dimensionality})"
+            )
+        if not 0 <= range_index < self.partitions[dimension].bins:
+            raise ValidationError(
+                f"range {range_index} out of range "
+                f"[0, {self.partitions[dimension].bins})"
+            )

@@ -1,0 +1,139 @@
+"""Persistence: save and load match databases.
+
+A :class:`~repro.core.engine.MatchDatabase` is cheap to rebuild (one
+argsort per dimension), but for the 100k-point workloads of the
+benchmark suite — and for downstream users with larger data — saving the
+sorted columns avoids the rebuild entirely.  The format is a single
+``.npz`` (numpy's zipped archive): raw data, per-dimension sorted values
+and id permutations, plus a small JSON header with the format version
+and shape, so a stale or foreign file fails loudly instead of
+deserialising garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from .core.engine import MatchDatabase
+from .errors import StorageError
+from .sorted_lists import SortedColumns
+
+__all__ = ["save_database", "load_database", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+_MAGIC = "repro-knmatch"
+
+
+def save_database(db: MatchDatabase, path: Union[str, os.PathLike]) -> None:
+    """Write a database (data + prebuilt sorted columns) to ``path``.
+
+    The suffix ``.npz`` is appended by numpy if missing; the written
+    file is self-describing via its header.
+    """
+    if not isinstance(db, MatchDatabase):
+        raise StorageError("save_database expects a MatchDatabase")
+    columns = db.columns
+    header = json.dumps(
+        {
+            "magic": _MAGIC,
+            "version": FORMAT_VERSION,
+            "cardinality": db.cardinality,
+            "dimensionality": db.dimensionality,
+            "default_engine": db.default_engine,
+        }
+    )
+    sorted_values = np.stack(
+        [columns.column_values(j) for j in range(db.dimensionality)]
+    )
+    sorted_ids = np.stack(
+        [columns.column_ids(j) for j in range(db.dimensionality)]
+    )
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+        data=db.data,
+        sorted_values=sorted_values,
+        sorted_ids=sorted_ids,
+    )
+
+
+def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
+    """Load a database written by :func:`save_database`.
+
+    The stored sorted columns are verified against the stored data
+    (shape and spot consistency) and installed without re-sorting.
+    """
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as error:
+        raise StorageError(f"cannot read database file {path!r}: {error}") from error
+    try:
+        required = {"header", "data", "sorted_values", "sorted_ids"}
+        missing = required - set(archive.files)
+        if missing:
+            raise StorageError(
+                f"{path!r} is not a repro database file (missing {sorted(missing)})"
+            )
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StorageError(f"{path!r} has a corrupt header") from error
+        if header.get("magic") != _MAGIC:
+            raise StorageError(f"{path!r} is not a repro database file")
+        if header.get("version") != FORMAT_VERSION:
+            raise StorageError(
+                f"{path!r} uses format version {header.get('version')}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        data = archive["data"]
+        sorted_values = archive["sorted_values"]
+        sorted_ids = archive["sorted_ids"]
+        c = header.get("cardinality")
+        d = header.get("dimensionality")
+        if data.shape != (c, d):
+            raise StorageError(
+                f"{path!r}: data shape {data.shape} does not match header ({c}, {d})"
+            )
+        if sorted_values.shape != (d, c) or sorted_ids.shape != (d, c):
+            raise StorageError(f"{path!r}: sorted-column shapes are inconsistent")
+
+        db = MatchDatabase.__new__(MatchDatabase)
+        columns = SortedColumns.__new__(SortedColumns)
+        columns._data = np.ascontiguousarray(data, dtype=np.float64)
+        columns._values = np.ascontiguousarray(sorted_values, dtype=np.float64)
+        columns._ids = np.ascontiguousarray(sorted_ids, dtype=np.int64)
+        columns._cardinality = int(c)
+        columns._dimensionality = int(d)
+        _verify_columns(columns, path)
+        db._columns = columns
+        db._default_engine = header.get("default_engine", "ad")
+        db._engines = {}
+        return db
+    finally:
+        archive.close()
+
+
+def _verify_columns(columns: SortedColumns, path) -> None:
+    """Cheap integrity checks: sortedness and id/value alignment."""
+    c, d = columns._cardinality, columns._dimensionality
+    for j in range(d):
+        values = columns._values[j]
+        ids = columns._ids[j]
+        if np.any(np.diff(values) < 0):
+            raise StorageError(f"{path!r}: dimension {j} is not sorted")
+        if ids.min() < 0 or ids.max() >= c:
+            raise StorageError(f"{path!r}: dimension {j} has out-of-range ids")
+        if np.any(np.bincount(ids, minlength=c) != 1):
+            raise StorageError(
+                f"{path!r}: dimension {j} ids are not a permutation"
+            )
+        # spot-check alignment on a handful of positions
+        probes = np.linspace(0, c - 1, num=min(c, 8), dtype=np.int64)
+        if not np.allclose(values[probes], columns._data[ids[probes], j]):
+            raise StorageError(
+                f"{path!r}: dimension {j} ids do not match the stored data"
+            )

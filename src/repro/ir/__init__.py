@@ -1,0 +1,6 @@
+"""Multiple-system information retrieval model (Fagin [11], Sec. 3)."""
+
+from .middleware import MatchMiddleware, SystemCursor
+from .system import ScoreSystem
+
+__all__ = ["ScoreSystem", "MatchMiddleware", "SystemCursor"]

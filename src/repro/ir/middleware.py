@@ -1,0 +1,162 @@
+"""k-n-match middleware over multiple scoring systems.
+
+Implements similarity search across ``m`` independent systems as the
+paper proposes: "the scores from different systems become the attributes
+of different dimensions in the (frequent) k-n-match problem, and the
+algorithmic goal is to minimize the number of attributes retrieved."
+
+The middleware runs the very same AD consumption loop as the in-memory
+engine, but each attribute comes from a counted
+:meth:`~repro.ir.system.ScoreSystem.sorted_entry` call, so the result's
+``attributes_retrieved`` equals the sum of the systems' sorted-access
+bills — the quantity Thm 3.2 proves minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..core.matchloop import run_frequent_k_n_match, run_k_n_match
+from ..core.types import FrequentMatchResult, MatchResult, SearchStats, rank_by_frequency
+from ..errors import ValidationError
+from ..sorted_lists import AscendingDifferenceFrontier
+from .system import ScoreSystem
+
+__all__ = ["MatchMiddleware", "SystemCursor"]
+
+
+class SystemCursor:
+    """One-directional sorted-access walk over one system.
+
+    The middleware analogue of the column cursor: yields ``(object id,
+    |score - target|)`` in ascending difference order within its
+    direction, paying one sorted access per step.
+    """
+
+    __slots__ = ("system", "direction", "_rank", "_target", "retrieved")
+
+    def __init__(
+        self, system: ScoreSystem, direction: int, start_rank: int, target: float
+    ) -> None:
+        if direction not in (-1, +1):
+            raise ValueError(f"direction must be -1 or +1; got {direction}")
+        self.system = system
+        self.direction = direction
+        self._rank = start_rank
+        self._target = target
+        self.retrieved = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return not 0 <= self._rank < self.system.size
+
+    def next(self) -> Optional[Tuple[int, float]]:
+        if self.exhausted:
+            return None
+        object_id, score = self.system.sorted_entry(self._rank)
+        self._rank += self.direction
+        self.retrieved += 1
+        return object_id, abs(score - self._target)
+
+
+class MatchMiddleware:
+    """Aggregates m systems' scores with the (frequent) k-n-match query."""
+
+    def __init__(self, systems: Sequence[ScoreSystem]) -> None:
+        if not systems:
+            raise ValidationError("at least one system is required")
+        sizes = {system.size for system in systems}
+        if len(sizes) != 1:
+            raise ValidationError(
+                f"all systems must score the same object set; got sizes {sorted(sizes)}"
+            )
+        names = [system.name for system in systems]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"system names must be unique; got {names}")
+        self._systems = list(systems)
+        self._size = sizes.pop()
+
+    @property
+    def systems(self) -> List[ScoreSystem]:
+        return list(self._systems)
+
+    @property
+    def object_count(self) -> int:
+        return self._size
+
+    @property
+    def system_count(self) -> int:
+        return len(self._systems)
+
+    # ------------------------------------------------------------------
+    def k_n_match(self, target_scores, k: int, n: int) -> MatchResult:
+        """The k objects matching the target scores in n systems best."""
+        m = len(self._systems)
+        k = validation.validate_k(k, self._size)
+        n = validation.validate_n(n, m)
+        targets = validation.as_query_array(target_scores, m)
+
+        frontier = AscendingDifferenceFrontier(self._make_cursors(targets))
+        ids, differences = run_k_n_match(frontier, self._size, k, n)
+        return MatchResult(
+            ids=ids,
+            differences=differences,
+            k=k,
+            n=n,
+            stats=self._make_stats(frontier),
+        )
+
+    def frequent_k_n_match(
+        self,
+        target_scores,
+        k: int,
+        n_range: Tuple[int, int],
+        keep_answer_sets: bool = True,
+    ) -> FrequentMatchResult:
+        """Frequent k-n-match across the systems."""
+        m = len(self._systems)
+        k = validation.validate_k(k, self._size)
+        n0, n1 = validation.validate_n_range(n_range, m)
+        targets = validation.as_query_array(target_scores, m)
+
+        frontier = AscendingDifferenceFrontier(self._make_cursors(targets))
+        sets = run_frequent_k_n_match(frontier, self._size, k, n0, n1)
+        answer_sets = {n: ids[:k] for n, ids in sets.items()}
+        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        return FrequentMatchResult(
+            ids=chosen,
+            frequencies=frequencies,
+            k=k,
+            n_range=(n0, n1),
+            answer_sets=answer_sets if keep_answer_sets else None,
+            stats=self._make_stats(frontier),
+        )
+
+    def access_bill(self) -> Dict[str, int]:
+        """Per-system sorted-access counts since the last reset."""
+        return {system.name: system.sorted_accesses for system in self._systems}
+
+    def reset_counters(self) -> None:
+        for system in self._systems:
+            system.reset_counters()
+
+    # ------------------------------------------------------------------
+    def _make_cursors(self, targets: np.ndarray) -> List[SystemCursor]:
+        cursors: List[SystemCursor] = []
+        for j, system in enumerate(self._systems):
+            target = float(targets[j])
+            split = system.locate(target)
+            cursors.append(SystemCursor(system, -1, split - 1, target))
+            cursors.append(SystemCursor(system, +1, split, target))
+        return cursors
+
+    def _make_stats(self, frontier: AscendingDifferenceFrontier) -> SearchStats:
+        return SearchStats(
+            attributes_retrieved=frontier.attributes_retrieved,
+            total_attributes=self._size * len(self._systems),
+            heap_pops=frontier.pops,
+            binary_search_probes=len(self._systems),
+        )

@@ -1,0 +1,81 @@
+"""One scoring system of the multiple-system retrieval model.
+
+Sec. 3's motivating setting (Fagin's model [11]): "objects are stored in
+different systems and given scores by each system.  Each system will sort
+the objects according to their scores.  A query retrieves the scores of
+objects (by sorted access) from different systems ... the major cost is
+the retrieval of the scores from the systems, which is proportional to
+the number of scores retrieved."
+
+A :class:`ScoreSystem` owns one score per object, serves them in sorted
+order, and counts every access — the per-system bill the middleware
+reports and the optimality theorem is stated against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ScoreSystem"]
+
+
+class ScoreSystem:
+    """A named system serving sorted access over its object scores."""
+
+    def __init__(self, name: str, scores) -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1 or scores.size == 0:
+            raise ValidationError(
+                f"system {name!r} needs a non-empty 1-D score array"
+            )
+        if not np.isfinite(scores).all():
+            raise ValidationError(f"system {name!r} has non-finite scores")
+        self.name = name
+        self._scores = scores
+        order = np.argsort(scores, kind="stable")
+        self._sorted_ids = order
+        self._sorted_scores = scores[order]
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    @property
+    def size(self) -> int:
+        return self._scores.shape[0]
+
+    def sorted_entry(self, rank: int) -> Tuple[int, float]:
+        """The ``rank``-th smallest score as ``(object id, score)``.
+
+        Counts one sorted access: in Fagin's model this is the unit the
+        query pays for.
+        """
+        if not 0 <= rank < self.size:
+            raise ValidationError(
+                f"rank {rank} out of range [0, {self.size})"
+            )
+        self.sorted_accesses += 1
+        return int(self._sorted_ids[rank]), float(self._sorted_scores[rank])
+
+    def random_access(self, object_id: int) -> float:
+        """Fetch one object's score directly (counted separately)."""
+        if not 0 <= object_id < self.size:
+            raise ValidationError(
+                f"object {object_id} out of range [0, {self.size})"
+            )
+        self.random_accesses += 1
+        return float(self._scores[object_id])
+
+    def locate(self, score: float) -> int:
+        """Rank of the first sorted score ``>= score`` (free of charge:
+        a system-side binary search, not a score retrieval)."""
+        return int(np.searchsorted(self._sorted_scores, score, side="left"))
+
+    def reset_counters(self) -> None:
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ScoreSystem(name={self.name!r}, size={self.size})"

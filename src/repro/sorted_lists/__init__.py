@@ -1,0 +1,14 @@
+"""Sorted-dimension substrate: columns, cursors and the AD frontier."""
+
+from .columns import SortedColumns
+from .cursor import DOWN, UP, DirectionCursor, make_cursors
+from .heap import AscendingDifferenceFrontier
+
+__all__ = [
+    "SortedColumns",
+    "DirectionCursor",
+    "make_cursors",
+    "AscendingDifferenceFrontier",
+    "DOWN",
+    "UP",
+]

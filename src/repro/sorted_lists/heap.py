@@ -1,0 +1,79 @@
+"""The ``g[]`` frontier of the AD algorithm.
+
+Fig. 4 of the paper maintains an array ``g[]`` of ``2d`` triples
+``(pid, pd, dif)`` — the next attribute to access in each dimension and
+direction — and repeatedly pops the triple with the smallest ``dif``
+(function ``smallest(g)``).  With ``2d`` entries a linear scan would do;
+we use a binary heap so the structure also scales to the
+multiple-system middleware case where ``d`` can be large.
+
+Ties on ``dif`` are broken by slot index (dimension-major, down before
+up), which makes the global pop order — and therefore every engine output
+— fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from .cursor import DirectionCursor
+
+__all__ = ["AscendingDifferenceFrontier"]
+
+
+class AscendingDifferenceFrontier:
+    """Pops ``(difference, slot, point id)`` in globally ascending order.
+
+    Wraps the ``2d`` direction cursors; after each pop the source cursor
+    is advanced and its next attribute (if any) re-inserted, exactly as
+    Fig. 4 line 11 ("read next attribute from dimension pd ... put the
+    triple to g[pd]"; an exhausted direction simply stops contributing,
+    which is equivalent to the paper's ``dif = infinity``).
+    """
+
+    def __init__(self, cursors: List[DirectionCursor]) -> None:
+        self._cursors = cursors
+        self._heap: List[Tuple[float, int, int]] = []
+        self.pops = 0
+        for slot, cursor in enumerate(cursors):
+            pair = cursor.next()
+            if pair is not None:
+                pid, dif = pair
+                self._heap.append((dif, slot, pid))
+        heapq.heapify(self._heap)
+
+    @property
+    def attributes_retrieved(self) -> int:
+        """Total attributes pulled from the sorted columns so far.
+
+        Includes attributes currently sitting in the frontier that have
+        not been popped yet: in the paper's access model they have already
+        been read from the sorted lists.
+        """
+        return sum(cursor.retrieved for cursor in self._cursors)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def peek_difference(self) -> Optional[float]:
+        """Smallest difference currently in the frontier, or ``None``."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Optional[Tuple[int, int, float]]:
+        """Pop the globally next attribute as ``(pid, slot, difference)``.
+
+        Returns ``None`` once every cursor is exhausted, i.e. after all
+        ``c * d`` attributes have been consumed.
+        """
+        if not self._heap:
+            return None
+        dif, slot, pid = heapq.heappop(self._heap)
+        self.pops += 1
+        refill = self._cursors[slot].next()
+        if refill is not None:
+            next_pid, next_dif = refill
+            heapq.heappush(self._heap, (next_dif, slot, next_pid))
+        return pid, slot, dif

@@ -1,0 +1,22 @@
+"""Disk substrate: pages, files and the calibrated cost model."""
+
+from .buffer import BufferPool
+from .column_file import ColumnFile, SortedColumnStore
+from .fault import FaultyPager
+from .diskmodel import DEFAULT_DISK_MODEL, PAGE_SIZE, SSD_DISK_MODEL, DiskModel
+from .heapfile import HeapFile
+from .pager import PageAccessRecorder, Pager
+
+__all__ = [
+    "Pager",
+    "PageAccessRecorder",
+    "BufferPool",
+    "FaultyPager",
+    "HeapFile",
+    "ColumnFile",
+    "SortedColumnStore",
+    "DiskModel",
+    "DEFAULT_DISK_MODEL",
+    "SSD_DISK_MODEL",
+    "PAGE_SIZE",
+]

@@ -1,0 +1,61 @@
+"""Fault injection for the storage layer.
+
+A :class:`FaultyPager` behaves exactly like a :class:`Pager` until a
+scheduled fault fires: either a hard read error (:class:`StorageError`,
+modelling a failed sector) or a silent single-bit corruption of the
+returned page (modelling the uglier failure mode).  Tests use it to
+verify that the engines neither swallow hard errors nor — in the
+checked paths such as :mod:`repro.io` loading — accept corrupted bytes
+silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..errors import StorageError
+from .pager import Pager
+
+__all__ = ["FaultyPager"]
+
+
+class FaultyPager(Pager):
+    """A pager with scheduled read faults."""
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        fail_pages: Optional[Iterable[int]] = None,
+        corrupt_pages: Optional[Iterable[int]] = None,
+        fail_after_reads: Optional[int] = None,
+    ) -> None:
+        super().__init__(page_size)
+        self.fail_pages: Set[int] = set(fail_pages or ())
+        self.corrupt_pages: Set[int] = set(corrupt_pages or ())
+        self.fail_after_reads = fail_after_reads
+        self.reads_served = 0
+        self.faults_fired = 0
+
+    def read(self, page_id: int, stream: str = "default") -> bytes:
+        if (
+            self.fail_after_reads is not None
+            and self.reads_served >= self.fail_after_reads
+        ):
+            self.faults_fired += 1
+            raise StorageError(
+                f"injected fault: device failed after "
+                f"{self.reads_served} reads"
+            )
+        if page_id in self.fail_pages:
+            self.faults_fired += 1
+            raise StorageError(f"injected fault: unreadable page {page_id}")
+        payload = super().read(page_id, stream)
+        self.reads_served += 1
+        if page_id in self.corrupt_pages:
+            self.faults_fired += 1
+            if not payload:
+                return payload
+            # flip the lowest bit of the first byte: a silent corruption
+            corrupted = bytes([payload[0] ^ 0x01]) + payload[1:]
+            return corrupted
+        return payload

@@ -1,0 +1,7 @@
+"""VA-file adaptation for the (frequent) k-n-match query (Sec. 4.2)."""
+
+from .quantizer import VAQuantizer
+from .search import VAFileEngine
+from .vafile import VAFile
+
+__all__ = ["VAQuantizer", "VAFile", "VAFileEngine"]

@@ -1,0 +1,117 @@
+"""The VA-file structure: approximation pages + the exact heap file.
+
+Build-time, every point is quantized (:class:`VAQuantizer`) and the cell
+numbers are stored in approximation pages; the exact points go into a
+:class:`~repro.storage.HeapFile` on the same pager.  At query time phase 1
+scans the approximation pages sequentially and phase 2 fetches surviving
+candidates from the heap file — the access split whose cost the paper
+measures in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..storage import DEFAULT_DISK_MODEL, DiskModel, HeapFile, Pager
+from .quantizer import VAQuantizer
+
+__all__ = ["VAFile"]
+
+
+class VAFile:
+    """Vector-approximation file over a point set."""
+
+    def __init__(
+        self,
+        data,
+        bits: int = 8,
+        pager: Optional[Pager] = None,
+        disk_model: DiskModel = DEFAULT_DISK_MODEL,
+    ) -> None:
+        array = validation.as_database_array(data)
+        self.disk_model = disk_model
+        self._pager = pager if pager is not None else Pager(disk_model.page_size)
+        self.quantizer = VAQuantizer(array, bits=bits)
+        self._approximation = self.quantizer.encode(array)  # (c, d) uint16
+        self._heap = HeapFile(array, self._pager)
+
+        # Approximation pages: bit-packed size as the paper counts it.
+        approx_bytes = self.quantizer.bytes_per_point() * array.shape[0]
+        page_size = self._pager.page_size
+        self._approx_first_page = self._pager.page_count
+        self._approx_page_count = max(1, -(-approx_bytes // page_size))
+        for _ in range(self._approx_page_count):
+            self._pager.allocate()
+
+    # ------------------------------------------------------------------
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def heap_file(self) -> HeapFile:
+        return self._heap
+
+    @property
+    def approximation(self) -> np.ndarray:
+        """The in-memory mirror of the approximation file."""
+        return self._approximation
+
+    @property
+    def approximation_page_count(self) -> int:
+        return self._approx_page_count
+
+    @property
+    def cardinality(self) -> int:
+        return self._heap.cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        return self._heap.dimensionality
+
+    # ------------------------------------------------------------------
+    def scan_approximation(self) -> np.ndarray:
+        """Phase-1 sequential sweep of the approximation pages.
+
+        Drives the page recorder (all sequential) and returns the cell
+        matrix.  The numeric payload comes from the in-memory mirror —
+        the pages carry the cost model, the mirror carries the data.
+        """
+        stream = f"va-scan@{self._approx_first_page}"
+        for index in range(self._approx_page_count):
+            self._pager.read(self._approx_first_page + index, stream)
+        return self._approximation
+
+    def match_difference_bounds(
+        self, query: np.ndarray, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-point lower/upper bounds of the n-match difference.
+
+        The true per-dimension difference lies within the quantizer's
+        ``[lower_j, upper_j]``; order statistics are monotone, so the
+        n-th smallest lower (upper) bound is a valid lower (upper) bound
+        of the n-th smallest true difference.
+        """
+        lower, upper = self.all_difference_bounds(query)
+        lb = np.partition(lower, n - 1, axis=1)[:, n - 1]
+        ub = np.partition(upper, n - 1, axis=1)[:, n - 1]
+        return lb, ub
+
+    def all_difference_bounds(self, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(c, d)`` lower and upper difference-bound matrices."""
+        c, d = self._approximation.shape
+        query = validation.as_query_array(query, d)
+        lower = np.empty((c, d), dtype=np.float64)
+        upper = np.empty((c, d), dtype=np.float64)
+        for j in range(d):
+            lower[:, j], upper[:, j] = self.quantizer.difference_bounds(
+                j, self._approximation[:, j], float(query[j])
+            )
+        return lower, upper
+
+    def fetch_points(self, ids) -> np.ndarray:
+        """Phase-2 exact retrieval of candidate points (random-ish I/O)."""
+        return self._heap.fetch_points(ids)

@@ -1,0 +1,106 @@
+"""Shared fixtures and invariant checkers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+from repro.data import float32_exact
+
+# ----------------------------------------------------------------------
+# reference implementations (straight transcriptions of Definitions 1-4,
+# used as oracles against every engine)
+# ----------------------------------------------------------------------
+
+
+def reference_profile(data: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Sorted per-point difference profiles: column n-1 = n-match diff."""
+    return np.sort(np.abs(np.asarray(data, float) - np.asarray(query, float)), axis=1)
+
+
+def reference_differences(data, query, n: int) -> np.ndarray:
+    """Every point's n-match difference (Definition 1)."""
+    return reference_profile(np.asarray(data), np.asarray(query))[:, n - 1]
+
+
+def assert_valid_knmatch(data, query, n: int, k: int, answer_ids: Sequence[int]):
+    """Assert ``answer_ids`` is *a* valid k-n-match set (Definition 3).
+
+    Valid means: k distinct ids, and no excluded point has a strictly
+    smaller n-match difference than any included point.  Under ties the
+    set is not unique, so this is the strongest engine-independent check.
+    """
+    answer_ids = list(answer_ids)
+    assert len(answer_ids) == k
+    assert len(set(answer_ids)) == k
+    differences = reference_differences(data, query, n)
+    included = np.zeros(len(differences), dtype=bool)
+    included[answer_ids] = True
+    if included.all():
+        return
+    assert differences[included].max() <= differences[~included].min() + 1e-12
+
+
+def assert_valid_frequent(
+    data, query, n_range: Tuple[int, int], k: int, answer_sets: Dict[int, list]
+):
+    """Assert every per-n answer set of a frequent query is valid."""
+    n0, n1 = n_range
+    assert sorted(answer_sets) == list(range(n0, n1 + 1))
+    for n, ids in answer_sets.items():
+        assert_valid_knmatch(data, query, n, k, ids)
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20060912)  # VLDB'06 opening day
+
+
+@pytest.fixture
+def small_data(rng) -> np.ndarray:
+    """300 x 8 float32-exact uniform points (tie-free w.p. ~1)."""
+    return float32_exact(rng.random((300, 8)))
+
+
+@pytest.fixture
+def small_query(rng) -> np.ndarray:
+    return float32_exact(rng.random(8))
+
+
+@pytest.fixture
+def figure1_database() -> np.ndarray:
+    """The paper's Figure-1 example database (objects 1-4, 0-indexed)."""
+    return np.array(
+        [
+            [1.1, 100, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1, 1],
+            [1.4, 1.4, 1.4, 1.5, 100, 1.4, 1.2, 1.2, 1, 1],
+            [1, 1, 1, 1, 1, 1, 2, 100, 2, 2],
+            [20.0] * 10,
+        ]
+    )
+
+
+@pytest.fixture
+def figure3_database() -> np.ndarray:
+    """The paper's Figure-3/Figure-5 example database (points 1-5)."""
+    return np.array(
+        [
+            [0.4, 1.0, 1.0],
+            [2.8, 5.5, 2.0],
+            [6.5, 7.8, 5.0],
+            [9.0, 9.0, 9.0],
+            [3.5, 1.5, 8.0],
+        ]
+    )
+
+
+@pytest.fixture
+def figure3_query() -> np.ndarray:
+    return np.array([3.0, 7.0, 4.0])

@@ -1,0 +1,152 @@
+"""The AD engine against the naive oracle, plus its counters and edges."""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    assert_valid_frequent,
+    assert_valid_knmatch,
+    reference_differences,
+)
+from repro import MatchDatabase
+from repro.core.ad import ADEngine
+from repro.core.naive import NaiveScanEngine
+from repro.errors import ValidationError
+
+
+class TestKNMatchAgainstOracle:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 8])
+    @pytest.mark.parametrize("k", [1, 5, 37])
+    def test_differences_match_naive(self, small_data, small_query, n, k):
+        ad = ADEngine(small_data).k_n_match(small_query, k, n)
+        naive = NaiveScanEngine(small_data).k_n_match(small_query, k, n)
+        np.testing.assert_allclose(
+            sorted(ad.differences), sorted(naive.differences), atol=1e-12
+        )
+        assert_valid_knmatch(small_data, small_query, n, k, ad.ids)
+
+    def test_ids_match_naive_when_tie_free(self, small_data, small_query):
+        # continuous data: ties have probability ~0, so the sets agree
+        ad = ADEngine(small_data).k_n_match(small_query, 11, 5)
+        naive = NaiveScanEngine(small_data).k_n_match(small_query, 11, 5)
+        assert sorted(ad.ids) == sorted(naive.ids)
+
+    def test_results_sorted_by_difference(self, small_data, small_query):
+        result = ADEngine(small_data).k_n_match(small_query, 9, 4)
+        assert result.differences == sorted(result.differences)
+
+    def test_deterministic(self, small_data, small_query):
+        a = ADEngine(small_data).k_n_match(small_query, 6, 3)
+        b = ADEngine(small_data).k_n_match(small_query, 6, 3)
+        assert a.ids == b.ids
+        assert a.stats.heap_pops == b.stats.heap_pops
+
+
+class TestFrequentAgainstOracle:
+    @pytest.mark.parametrize("n_range", [(1, 8), (3, 6), (5, 5)])
+    def test_answer_sets_valid_and_ids_agree(self, small_data, small_query, n_range):
+        ad = ADEngine(small_data).frequent_k_n_match(small_query, 10, n_range)
+        naive = NaiveScanEngine(small_data).frequent_k_n_match(
+            small_query, 10, n_range
+        )
+        assert ad.ids == naive.ids
+        assert ad.frequencies == naive.frequencies
+        assert_valid_frequent(small_data, small_query, n_range, 10, ad.answer_sets)
+
+    def test_literal_pseudocode_mode_supersets(self, small_data, small_query):
+        """truncate_answer_sets=False reproduces Fig. 6 verbatim: S[n]
+        may exceed k for n < n1 but its first k entries are the answer."""
+        engine = ADEngine(small_data)
+        strict = engine.frequent_k_n_match(small_query, 8, (2, 6))
+        literal = engine.frequent_k_n_match(
+            small_query, 8, (2, 6), truncate_answer_sets=False
+        )
+        for n in range(2, 7):
+            assert literal.answer_sets[n][:8] == strict.answer_sets[n]
+            assert len(literal.answer_sets[n]) >= len(strict.answer_sets[n])
+        assert len(literal.answer_sets[6]) == 8  # n1 stops exactly at k
+
+    def test_keep_answer_sets_false(self, small_data, small_query):
+        result = ADEngine(small_data).frequent_k_n_match(
+            small_query, 5, (2, 4), keep_answer_sets=False
+        )
+        assert result.answer_sets is None
+        assert len(result.ids) == 5
+
+
+class TestStats:
+    def test_counters_are_consistent(self, small_data, small_query):
+        result = ADEngine(small_data).k_n_match(small_query, 5, 4)
+        stats = result.stats
+        assert stats.total_attributes == small_data.size
+        assert 0 < stats.heap_pops <= stats.attributes_retrieved
+        # retrieved = popped + whatever still sits in the frontier
+        assert stats.attributes_retrieved <= stats.heap_pops + 2 * 8
+        assert stats.binary_search_probes == 8
+
+    def test_larger_k_retrieves_more(self, small_data, small_query):
+        engine = ADEngine(small_data)
+        small = engine.k_n_match(small_query, 1, 4).stats.attributes_retrieved
+        large = engine.k_n_match(small_query, 50, 4).stats.attributes_retrieved
+        assert small < large
+
+    def test_larger_n_retrieves_more(self, small_data, small_query):
+        engine = ADEngine(small_data)
+        small = engine.k_n_match(small_query, 5, 1).stats.attributes_retrieved
+        large = engine.k_n_match(small_query, 5, 8).stats.attributes_retrieved
+        assert small < large
+
+    def test_frequent_cost_equals_k_n1_match_cost(self, small_data, small_query):
+        """Thm 3.3's observation: frequent k-[n0,n1]-match retrieves the
+        same attributes as a plain k-n1-match."""
+        engine = ADEngine(small_data)
+        frequent = engine.frequent_k_n_match(small_query, 7, (2, 6))
+        plain = engine.k_n_match(small_query, 7, 6)
+        assert (
+            frequent.stats.attributes_retrieved
+            == plain.stats.attributes_retrieved
+        )
+
+
+class TestEdgeCases:
+    def test_k_equals_cardinality(self, small_data, small_query):
+        result = ADEngine(small_data).k_n_match(small_query, 300, 4)
+        assert sorted(result.ids) == list(range(300))
+
+    def test_single_point_database(self):
+        result = ADEngine([[0.3, 0.7]]).k_n_match([0.0, 0.0], 1, 2)
+        assert result.ids == [0]
+        assert result.differences[0] == pytest.approx(0.7)
+
+    def test_single_dimension(self):
+        data = [[0.1], [0.5], [0.9]]
+        result = ADEngine(data).k_n_match([0.45], 2, 1)
+        assert result.ids == [1, 0]
+
+    def test_query_outside_data_range(self, small_data):
+        # all cursors walk one direction only
+        result = ADEngine(small_data).k_n_match(np.full(8, 10.0), 3, 8)
+        expected = np.argsort(reference_differences(small_data, np.full(8, 10.0), 8))
+        assert sorted(result.ids) == sorted(int(i) for i in expected[:3])
+
+    def test_duplicate_points_all_returned(self):
+        data = np.tile(np.array([[0.5, 0.5]]), (4, 1))
+        result = ADEngine(data).k_n_match([0.5, 0.5], 4, 2)
+        assert sorted(result.ids) == [0, 1, 2, 3]
+        assert result.match_difference == 0.0
+
+    def test_validation_bubbles_up(self, small_data, small_query):
+        engine = ADEngine(small_data)
+        with pytest.raises(ValidationError):
+            engine.k_n_match(small_query, 0, 1)
+        with pytest.raises(ValidationError):
+            engine.k_n_match(small_query, 1, 9)
+        with pytest.raises(ValidationError):
+            engine.frequent_k_n_match(small_query, 1, (5, 2))
+
+    def test_shares_prebuilt_columns(self, small_data):
+        db = MatchDatabase(small_data)
+        engine = ADEngine(db.columns)
+        assert engine.columns is db.columns
+        assert engine.cardinality == 300
+        assert engine.dimensionality == 8

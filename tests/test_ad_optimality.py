@@ -1,0 +1,78 @@
+"""Empirical checks of Theorems 3.1-3.3 (correctness and optimality).
+
+The attribute-retrieval lower bound for any correct algorithm is the
+number of attributes whose difference to the query (in their own
+dimension) is strictly below the final k-n-match difference delta —
+Thm 3.2's adversary can relabel any unretrieved attribute below delta to
+break the answer.  The AD algorithm consumes attributes in globally
+ascending difference order and stops at the pop completing the k-th
+answer, so its pop count must land inside [strictly-below-delta + 1,
+at-most-delta].  These tests verify that band exactly, on many random
+workloads.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import reference_differences
+from repro.core.ad import ADEngine
+
+
+def attribute_difference_counts(data, query, delta):
+    """(#attrs with diff < delta, #attrs with diff <= delta)."""
+    diffs = np.abs(np.asarray(data, float) - np.asarray(query, float))
+    return int((diffs < delta - 1e-12).sum()), int((diffs <= delta + 1e-12).sum())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_pop_count_within_optimal_band(seed):
+    rng = np.random.default_rng(seed)
+    c, d = int(rng.integers(20, 200)), int(rng.integers(2, 10))
+    data = rng.random((c, d))
+    query = rng.random(d)
+    k = int(rng.integers(1, min(c, 12) + 1))
+    n = int(rng.integers(1, d + 1))
+
+    result = ADEngine(data).k_n_match(query, k, n)
+    delta = result.match_difference
+    below, at_most = attribute_difference_counts(data, query, delta)
+    assert below < result.stats.heap_pops <= at_most
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_frequent_pop_count_within_band_of_n1(seed):
+    """Thm 3.3: FKNMatchAD costs exactly a k-n1-match search."""
+    rng = np.random.default_rng(100 + seed)
+    c, d = int(rng.integers(20, 150)), int(rng.integers(3, 9))
+    data = rng.random((c, d))
+    query = rng.random(d)
+    k = int(rng.integers(1, 10))
+    n1 = int(rng.integers(2, d + 1))
+    n0 = int(rng.integers(1, n1 + 1))
+
+    result = ADEngine(data).frequent_k_n_match(query, k, (n0, n1))
+    delta = float(
+        np.sort(reference_differences(data, query, n1))[k - 1]
+    )
+    below, at_most = attribute_difference_counts(data, query, delta)
+    assert below < result.stats.heap_pops <= at_most
+
+
+def test_retrieval_overhead_bounded_by_frontier(small_data, small_query):
+    """retrieved - popped <= 2d: only the frontier fill is 'extra'."""
+    for k, n in [(1, 1), (5, 4), (20, 8)]:
+        stats = ADEngine(small_data).k_n_match(small_query, k, n).stats
+        assert 0 <= stats.attributes_retrieved - stats.heap_pops <= 2 * 8
+
+
+def test_correctness_thm31_completion_order(small_data, small_query):
+    """Thm 3.1: the i-th completion has the i-th smallest difference."""
+    result = ADEngine(small_data).k_n_match(small_query, 25, 5)
+    expected = np.sort(reference_differences(small_data, small_query, 5))[:25]
+    np.testing.assert_allclose(result.differences, expected, atol=1e-12)
+
+
+def test_ad_beats_naive_on_attributes(small_data, small_query):
+    """The whole point: far fewer attributes than the full scan."""
+    stats = ADEngine(small_data).k_n_match(small_query, 5, 4).stats
+    assert stats.attributes_retrieved < small_data.size / 2

@@ -1,0 +1,138 @@
+"""The cost advisor and the export utilities."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase
+from repro.core.advisor import (
+    CostEstimate,
+    estimate_fraction_retrieved,
+    recommend_engine,
+)
+from repro.errors import ValidationError
+from repro.eval import (
+    experiment_to_csv,
+    experiment_to_dict,
+    experiment_to_json,
+    result_to_dict,
+    stats_to_dict,
+    write_experiment_csv,
+)
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture
+def db(small_data):
+    return MatchDatabase(small_data)
+
+
+class TestEstimate:
+    def test_fractions_in_unit_interval(self, db):
+        estimate = estimate_fraction_retrieved(db, 5, (2, 5))
+        assert 0 < estimate.mean_fraction <= 1
+        assert estimate.mean_fraction <= estimate.max_fraction <= 1
+        assert estimate.sample_size == 5
+
+    def test_monotone_in_n1(self, db):
+        low = estimate_fraction_retrieved(db, 5, (2, 3), seed=1)
+        high = estimate_fraction_retrieved(db, 5, (2, 8), seed=1)
+        assert low.mean_fraction < high.mean_fraction
+
+    def test_deterministic_per_seed(self, db):
+        a = estimate_fraction_retrieved(db, 5, (2, 5), seed=7)
+        b = estimate_fraction_retrieved(db, 5, (2, 5), seed=7)
+        assert a == b
+
+    def test_sample_bounded_by_cardinality(self, rng):
+        tiny = MatchDatabase(rng.random((3, 4)))
+        estimate = estimate_fraction_retrieved(tiny, 1, (1, 2), sample_queries=50)
+        assert estimate.sample_size == 3
+
+    def test_validation(self, db):
+        with pytest.raises(ValidationError):
+            estimate_fraction_retrieved(db, 0, (1, 2))
+        with pytest.raises(ValidationError):
+            estimate_fraction_retrieved(db, 1, (5, 2))
+        with pytest.raises(ValidationError):
+            estimate_fraction_retrieved(db, 1, (1, 2), sample_queries=0)
+
+    def test_str(self, db):
+        text = str(estimate_fraction_retrieved(db, 5, (2, 5)))
+        assert "k=5" in text and "%" in text
+
+
+class TestRecommendation:
+    def test_attributes_mode_always_ad(self, db):
+        advice = recommend_engine(db, 5, (2, 8), minimize="attributes")
+        assert advice.engine == "ad"
+        assert "Thm 3.2" in advice.reason
+
+    def test_wall_clock_low_fraction_block_ad(self, db):
+        fake = CostEstimate(5, (2, 4), 5, mean_fraction=0.1, max_fraction=0.2)
+        advice = recommend_engine(db, 5, (2, 4), estimate=fake)
+        assert advice.engine == "block-ad"
+
+    def test_wall_clock_high_fraction_naive(self, db):
+        fake = CostEstimate(5, (2, 8), 5, mean_fraction=0.9, max_fraction=0.95)
+        advice = recommend_engine(db, 5, (2, 8), estimate=fake)
+        assert advice.engine == "naive"
+
+    def test_invalid_mode(self, db):
+        with pytest.raises(ValidationError):
+            recommend_engine(db, 5, (2, 4), minimize="latency")
+
+    def test_recommended_engine_actually_runs(self, db, small_query):
+        advice = recommend_engine(db, 5, (2, 5))
+        result = db.frequent_k_n_match(small_query, 5, (2, 5), engine=advice.engine)
+        assert len(result.ids) == 5
+
+
+class TestExport:
+    def test_stats_to_dict(self, db, small_query):
+        result = db.k_n_match(small_query, 3, 4)
+        payload = stats_to_dict(result.stats)
+        assert payload["attributes_retrieved"] == result.stats.attributes_retrieved
+        assert payload["fraction_retrieved"] == result.stats.fraction_retrieved
+        assert "page_reads" in payload
+
+    def test_match_result_round_trips_through_json(self, db, small_query):
+        result = db.k_n_match(small_query, 3, 4)
+        payload = result_to_dict(result)
+        restored = json.loads(json.dumps(payload))
+        assert restored["kind"] == "k-n-match"
+        assert restored["ids"] == result.ids
+
+    def test_frequent_result_serialises_answer_sets(self, db, small_query):
+        result = db.frequent_k_n_match(small_query, 3, (2, 4))
+        payload = result_to_dict(result)
+        assert payload["kind"] == "frequent-k-n-match"
+        assert set(payload["answer_sets"]) == {"2", "3", "4"}
+
+    def test_result_to_dict_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            result_to_dict({"not": "a result"})
+
+    def test_experiment_json_and_csv(self):
+        experiment = ExperimentResult(
+            "Figure 99(a)", "demo", ["x", "y"], [[1, 0.5], [2, None]], ["hello"]
+        )
+        payload = json.loads(experiment_to_json(experiment))
+        assert payload["experiment"] == "Figure 99(a)"
+        csv_text = experiment_to_csv(experiment)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[2] == "2,"  # None -> empty cell
+
+    def test_write_experiment_csv(self, tmp_path):
+        experiments = [
+            ExperimentResult("Table 9", "demo", ["a"], [[1]]),
+            ExperimentResult("Figure 9(b)", "demo", ["b"], [[2]]),
+        ]
+        paths = write_experiment_csv(experiments, tmp_path / "out")
+        assert len(paths) == 2
+        assert paths[0].endswith("table_9.csv")
+        assert paths[1].endswith("figure_9_b.csv")
+        for path in paths:
+            assert open(path).read().strip()

@@ -1,0 +1,104 @@
+"""Anytime (budgeted) AD search: prefixes, bounds, budgets."""
+
+import numpy as np
+import pytest
+
+from conftest import reference_differences
+from repro import AnytimeADEngine
+from repro.core.ad import ADEngine
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def engine(small_data):
+    return AnytimeADEngine(small_data)
+
+
+class TestUnbounded:
+    def test_equals_exact_ad(self, engine, small_data, small_query):
+        anytime = engine.k_n_match(small_query, 10, 5)
+        exact = ADEngine(small_data).k_n_match(small_query, 10, 5)
+        assert anytime.exact
+        assert anytime.ids == exact.ids
+        np.testing.assert_allclose(
+            anytime.differences, exact.differences, atol=1e-12
+        )
+
+    def test_iteration_and_len(self, engine, small_query):
+        result = engine.k_n_match(small_query, 4, 3)
+        assert len(result) == 4
+        assert len(list(result)) == 4
+
+
+class TestBudgeted:
+    def test_prefix_of_exact_answer(self, engine, small_data, small_query):
+        exact = ADEngine(small_data).k_n_match(small_query, 20, 5)
+        # enough budget for the first answer (plus frontier slack), far
+        # too little for all twenty
+        first = ADEngine(small_data).k_n_match(small_query, 1, 5)
+        budget = first.stats.attributes_retrieved + 2 * 8
+        partial = engine.k_n_match(small_query, 20, 5, attribute_budget=budget)
+        assert not partial.exact
+        assert 0 < len(partial.ids) < 20
+        assert partial.ids == exact.ids[: len(partial.ids)]
+
+    def test_budget_respected(self, engine, small_query):
+        result = engine.k_n_match(small_query, 50, 4, attribute_budget=100)
+        # one pop may land exactly on the boundary plus its refill
+        assert result.stats.attributes_retrieved <= 100 + 1
+
+    def test_lower_bound_is_sound(self, engine, small_data, small_query):
+        """Every point missing from a partial answer truly has an
+        n-match difference >= the reported bound."""
+        partial = engine.k_n_match(small_query, 30, 5, attribute_budget=300)
+        assert partial.unseen_lower_bound is not None
+        truth = reference_differences(small_data, small_query, 5)
+        returned = set(partial.ids)
+        for pid in range(small_data.shape[0]):
+            if pid not in returned:
+                assert truth[pid] >= partial.unseen_lower_bound - 1e-12
+
+    def test_growing_budget_converges(self, engine, small_data, small_query):
+        exact = ADEngine(small_data).k_n_match(small_query, 10, 6)
+        sizes = []
+        for budget in (50, 200, 800, None):
+            result = engine.k_n_match(small_query, 10, 6, attribute_budget=budget)
+            sizes.append(len(result.ids))
+            assert result.ids == exact.ids[: len(result.ids)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 10
+
+    def test_zero_budget_returns_empty_with_bound(self, engine, small_query):
+        result = engine.k_n_match(small_query, 5, 3, attribute_budget=0)
+        assert result.ids == []
+        assert not result.exact
+        # the frontier fill still happened, so a bound exists
+        assert result.unseen_lower_bound is not None
+        assert result.unseen_lower_bound >= 0
+
+    def test_negative_budget_rejected(self, engine, small_query):
+        with pytest.raises(ValidationError):
+            engine.k_n_match(small_query, 5, 3, attribute_budget=-1)
+
+    def test_bound_none_when_everything_consumed(self):
+        engine = AnytimeADEngine([[0.1, 0.9], [0.4, 0.6]])
+        result = engine.k_n_match([0.0, 0.0], 2, 2)
+        assert result.exact
+        assert result.unseen_lower_bound is None  # all attributes popped
+
+
+class TestValidation:
+    def test_parameters(self, engine, small_query):
+        with pytest.raises(ValidationError):
+            engine.k_n_match(small_query, 0, 1)
+        with pytest.raises(ValidationError):
+            engine.k_n_match(small_query, 1, 9)
+
+    def test_shares_columns(self, small_data):
+        from repro import MatchDatabase
+
+        db = MatchDatabase(small_data)
+        engine = AnytimeADEngine(db.columns)
+        assert engine.columns is db.columns
+        assert engine.cardinality == 300
+        assert engine.dimensionality == 8

@@ -1,0 +1,94 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.ascii_plot import MARKERS, ascii_chart
+from repro.experiments.common import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart(
+            {"up": {0: 0.0, 1: 1.0}, "down": {0: 1.0, 1: 0.0}},
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "o = up" in lines[-1]
+        assert "x = down" in lines[-1]
+        # markers land in the grid
+        grid = "\n".join(lines[1:-3])
+        assert "o" in grid and "x" in grid
+
+    def test_axis_labels(self):
+        text = ascii_chart({"s": {2: 5.0, 10: 9.0}}, x_label="k", y_label="t")
+        assert "2" in text and "10" in text  # x extremes
+        assert "9" in text and "5" in text  # y extremes
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_chart({"flat": {0: 3.0, 5: 3.0, 10: 3.0}})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = ascii_chart({"dot": {1: 1.0}})
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_chart({})
+        with pytest.raises(ValidationError):
+            ascii_chart({"empty": {}})
+        with pytest.raises(ValidationError):
+            ascii_chart({"s": {0: 1}}, width=4)
+        too_many = {f"s{i}": {0: float(i)} for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValidationError):
+            ascii_chart(too_many)
+
+    def test_relative_ordering_preserved(self):
+        """The higher-valued series must render above the lower one."""
+        text = ascii_chart(
+            {"low": {0: 1.0, 1: 1.0}, "high": {0: 9.0, 1: 9.0}},
+            height=8,
+        )
+        rows = [line for line in text.splitlines() if "|" in line]
+        high_row = next(i for i, row in enumerate(rows) if "x" in row)
+        low_row = next(i for i, row in enumerate(rows) if "o" in row)
+        assert high_row < low_row  # screen-top is larger y
+
+
+class TestExperimentChart:
+    WIDE = ExperimentResult(
+        "Figure 13(a)",
+        "demo",
+        ["k", "scan", "AD"],
+        [[10, 1.0, 0.3], [20, 1.0, 0.4], [30, 1.1, 0.5]],
+    )
+    LONG = ExperimentResult(
+        "Figure 8(b)",
+        "demo",
+        ["data set", "n1", "accuracy"],
+        [["a", 1, 0.5], ["a", 2, 0.9], ["b", 1, 0.4], ["b", 2, 0.7]],
+    )
+
+    def test_wide_layout(self):
+        text = self.WIDE.chart("k", ["scan", "AD"])
+        assert "o = scan" in text
+        assert "x = AD" in text
+        assert "Figure 13(a)" in text
+
+    def test_long_layout(self):
+        text = self.LONG.chart("n1", "accuracy", series="data set")
+        assert "o = a" in text
+        assert "x = b" in text
+
+    def test_none_cells_skipped(self):
+        result = ExperimentResult(
+            "F", "d", ["x", "y"], [[1, 0.5], [2, None], [3, 0.7]]
+        )
+        text = result.chart("x", "y")
+        assert "o" in text
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            self.WIDE.chart("nope", "scan")

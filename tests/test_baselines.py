@@ -1,0 +1,131 @@
+"""Baselines: kNN, skyline, Fagin's FA, DPF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DPFEngine, KnnEngine, dominates, fa_top_k, skyline
+from repro.errors import ValidationError
+
+
+class TestKnn:
+    def test_matches_brute_force(self, small_data, small_query):
+        result = KnnEngine(small_data).top_k(small_query, 7)
+        distances = np.linalg.norm(small_data - small_query, axis=1)
+        expected = np.lexsort((np.arange(300), distances))[:7]
+        assert result.ids == [int(i) for i in expected]
+        assert result.distances == sorted(result.distances)
+
+    def test_manhattan(self, small_data, small_query):
+        result = KnnEngine(small_data, p=1.0).top_k(small_query, 3)
+        distances = np.abs(small_data - small_query).sum(axis=1)
+        assert result.ids[0] == int(np.argmin(distances))
+
+    def test_chebyshev(self, small_data, small_query):
+        result = KnnEngine(small_data, p=float("inf")).top_k(small_query, 3)
+        distances = np.abs(small_data - small_query).max(axis=1)
+        assert result.ids[0] == int(np.argmin(distances))
+
+    def test_self_query_returns_self_first(self, small_data):
+        result = KnnEngine(small_data).top_k(small_data[42], 1)
+        assert result.ids == [42]
+        assert result.distances[0] == 0.0
+
+    def test_invalid_p(self, small_data):
+        with pytest.raises(ValueError):
+            KnnEngine(small_data, p=-2.0)
+
+    def test_stats(self, small_data, small_query):
+        stats = KnnEngine(small_data).top_k(small_query, 2).stats
+        assert stats.attributes_retrieved == small_data.size
+        assert stats.points_scanned == 300
+
+    def test_iteration(self, small_data, small_query):
+        result = KnnEngine(small_data).top_k(small_query, 4)
+        assert len(list(result)) == len(result) == 4
+
+
+class TestSkyline:
+    def test_dominates(self):
+        assert dominates(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert dominates(np.array([1.0, 2.0]), np.array([2.0, 2.0]))
+        assert not dominates(np.array([1.0, 3.0]), np.array([2.0, 2.0]))
+        assert not dominates(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_skyline_definition(self, rng):
+        """No member dominated; every non-member dominated by someone."""
+        data = rng.random((120, 3))
+        members = set(skyline(data))
+        for i in range(120):
+            dominated = any(
+                dominates(data[j], data[i]) for j in range(120) if j != i
+            )
+            assert (i in members) == (not dominated)
+
+    def test_query_relative(self):
+        data = np.array([[0.0, 0.0], [2.0, 2.0], [3.0, 3.0]])
+        # relative to query (2,2): point 1 is a perfect match
+        assert skyline(data, query=np.array([2.0, 2.0])) == [1]
+
+    def test_duplicates_all_kept(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline(data) == [0, 1]
+
+    def test_single_point(self):
+        assert skyline([[5.0, 5.0]]) == [0]
+
+
+class TestFaginFA:
+    def test_correct_for_monotone_sum(self, rng):
+        data = rng.random((60, 4))
+        run = fa_top_k(data, lambda row: float(row.sum()), k=5)
+        expected = np.argsort(data.sum(axis=1))[:5]
+        assert sorted(run.ids) == sorted(int(i) for i in expected)
+
+    def test_correct_for_monotone_max(self, rng):
+        data = rng.random((60, 4))
+        run = fa_top_k(data, lambda row: float(row.max()), k=3)
+        expected = np.argsort(data.max(axis=1))[:3]
+        assert sorted(run.ids) == sorted(int(i) for i in expected)
+
+    def test_access_accounting(self, rng):
+        data = rng.random((50, 3))
+        run = fa_top_k(data, lambda row: float(row.sum()), k=2)
+        assert run.sorted_accesses > 0
+        assert run.sorted_accesses <= 150
+        assert run.random_accesses >= 0
+
+    def test_stops_early(self, rng):
+        """FA should not do a full scan when k objects surface quickly."""
+        data = np.sort(rng.random((100, 3)), axis=0)  # perfectly correlated
+        run = fa_top_k(data, lambda row: float(row.sum()), k=1)
+        assert run.sorted_accesses == 3  # first row already complete
+
+    def test_key_transform_shape_enforced(self, rng):
+        data = rng.random((10, 3))
+        with pytest.raises(ValidationError):
+            fa_top_k(data, lambda row: 0.0, k=1, key=lambda row: row[:2])
+
+    def test_k_validated(self, rng):
+        with pytest.raises(ValidationError):
+            fa_top_k(rng.random((5, 2)), lambda row: 0.0, k=6)
+
+
+class TestDPF:
+    def test_matches_brute_force(self, small_data, small_query):
+        from repro.core.distance import dpf_distances
+
+        result = DPFEngine(small_data).top_k(small_query, 6, 4)
+        distances = dpf_distances(small_data, small_query, 4)
+        expected = np.lexsort((np.arange(300), distances))[:6]
+        assert result.ids == [int(i) for i in expected]
+
+    def test_n_equals_d_is_plain_knn(self, small_data, small_query):
+        dpf = DPFEngine(small_data).top_k(small_query, 5, 8)
+        knn = KnnEngine(small_data).top_k(small_query, 5)
+        assert dpf.ids == knn.ids
+
+    def test_validation(self, small_data, small_query):
+        with pytest.raises(ValueError):
+            DPFEngine(small_data, p=0.0)
+        with pytest.raises(ValidationError):
+            DPFEngine(small_data).top_k(small_query, 5, 9)

@@ -1,0 +1,65 @@
+"""Batch query APIs on MatchDatabase."""
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def db(small_data):
+    return MatchDatabase(small_data)
+
+
+@pytest.fixture
+def queries(small_data):
+    return small_data[:6] + 1e-3
+
+
+class TestKNMatchBatch:
+    def test_matches_individual_queries(self, db, queries):
+        batch = db.k_n_match_batch(queries, 4, 5)
+        assert len(batch) == 6
+        for query, result in zip(queries, batch):
+            single = db.k_n_match(query, 4, 5)
+            assert result.ids == single.ids
+            assert result.differences == single.differences
+
+    def test_engine_override(self, db, queries):
+        batch = db.k_n_match_batch(queries, 3, 2, engine="naive")
+        reference = db.k_n_match_batch(queries, 3, 2, engine="block-ad")
+        for a, b in zip(batch, reference):
+            assert a.ids == b.ids
+
+    def test_rejects_1d_queries(self, db):
+        with pytest.raises(ValidationError):
+            db.k_n_match_batch(np.zeros(8), 1, 1)
+
+    def test_empty_batch(self, db):
+        assert db.k_n_match_batch(np.empty((0, 8)), 1, 1) == []
+
+
+class TestFrequentBatch:
+    def test_matches_individual_queries(self, db, queries):
+        batch = db.frequent_k_n_match_batch(queries, 5, (2, 6))
+        for query, result in zip(queries, batch):
+            single = db.frequent_k_n_match(query, 5, (2, 6))
+            assert result.ids == single.ids
+            assert result.frequencies == single.frequencies
+
+    def test_default_range_is_full(self, db, queries):
+        batch = db.frequent_k_n_match_batch(queries[:2], 3)
+        assert all(result.n_range == (1, 8) for result in batch)
+
+    def test_answer_sets_dropped_by_default(self, db, queries):
+        batch = db.frequent_k_n_match_batch(queries[:2], 3, (2, 4))
+        assert all(result.answer_sets is None for result in batch)
+        kept = db.frequent_k_n_match_batch(
+            queries[:2], 3, (2, 4), keep_answer_sets=True
+        )
+        assert all(result.answer_sets is not None for result in kept)
+
+    def test_rejects_1d_queries(self, db):
+        with pytest.raises(ValidationError):
+            db.frequent_k_n_match_batch(np.zeros(8), 1)

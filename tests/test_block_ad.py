@@ -1,0 +1,124 @@
+"""The vectorised block-AD engine: identical answers, bounded retrieval."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_valid_frequent, assert_valid_knmatch
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.core.naive import NaiveScanEngine
+from repro.data import float32_exact
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("n", [1, 3, 8])
+    def test_k_n_match_ids_equal_naive(self, small_data, small_query, n):
+        block = BlockADEngine(small_data).k_n_match(small_query, 9, n)
+        naive = NaiveScanEngine(small_data).k_n_match(small_query, 9, n)
+        assert block.ids == naive.ids
+        np.testing.assert_allclose(block.differences, naive.differences, atol=1e-12)
+
+    @pytest.mark.parametrize("n_range", [(1, 8), (4, 6), (8, 8)])
+    def test_frequent_equals_naive(self, small_data, small_query, n_range):
+        block = BlockADEngine(small_data).frequent_k_n_match(
+            small_query, 10, n_range
+        )
+        naive = NaiveScanEngine(small_data).frequent_k_n_match(
+            small_query, 10, n_range
+        )
+        assert block.ids == naive.ids
+        assert block.frequencies == naive.frequencies
+        assert block.answer_sets == naive.answer_sets
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomised_configurations(self, seed):
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(5, 300))
+        d = int(rng.integers(1, 10))
+        k = int(rng.integers(1, c + 1))
+        n0 = int(rng.integers(1, d + 1))
+        n1 = int(rng.integers(n0, d + 1))
+        data = rng.random((c, d))
+        query = rng.random(d)
+        block = BlockADEngine(data).frequent_k_n_match(query, k, (n0, n1))
+        naive = NaiveScanEngine(data).frequent_k_n_match(query, k, (n0, n1))
+        assert block.ids == naive.ids
+        assert block.frequencies == naive.frequencies
+
+
+class TestTieHeavyData:
+    """Integer-valued data: massive ties, answer sets non-unique.
+
+    Cross-engine id equality is NOT guaranteed here; validity is."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_answers_valid_under_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 3, (150, 5)).astype(float)
+        query = rng.integers(0, 3, 5).astype(float)
+        result = BlockADEngine(data).frequent_k_n_match(query, 12, (2, 4))
+        assert_valid_frequent(data, query, (2, 4), 12, result.answer_sets)
+
+    def test_all_identical_points_terminate(self):
+        data = np.full((30, 4), 0.25)
+        result = BlockADEngine(data).k_n_match(np.full(4, 0.25), 5, 4)
+        assert len(result.ids) == 5
+        assert result.match_difference == 0.0
+
+    def test_all_identical_far_query(self):
+        data = np.full((30, 4), 0.25)
+        result = BlockADEngine(data).k_n_match(np.full(4, 0.9), 5, 4)
+        assert result.match_difference == pytest.approx(0.65)
+
+
+class TestRetrievalEfficiency:
+    def test_attribute_overhead_vs_reference_ad(self):
+        """Block-AD may retrieve more than optimal AD, but only by a
+        modest factor (window overshoot + candidate refinement)."""
+        rng = np.random.default_rng(99)
+        data = float32_exact(rng.random((5000, 12)))
+        query = float32_exact(rng.random(12))
+        block = BlockADEngine(data).frequent_k_n_match(query, 10, (4, 9))
+        ad = ADEngine(data).frequent_k_n_match(query, 10, (4, 9))
+        assert block.ids == ad.ids
+        assert (
+            block.stats.attributes_retrieved
+            <= 4 * ad.stats.attributes_retrieved + data.shape[1] * 100
+        )
+
+    def test_stats_populated(self, small_data, small_query):
+        stats = BlockADEngine(small_data).frequent_k_n_match(
+            small_query, 5, (2, 6)
+        ).stats
+        assert stats.total_attributes == small_data.size
+        assert stats.attributes_retrieved > 0
+        assert stats.candidates_refined >= 5
+        assert stats.binary_search_probes > 0
+
+
+class TestEdgeCases:
+    def test_single_point(self):
+        result = BlockADEngine([[0.1, 0.2]]).k_n_match([0.0, 0.0], 1, 1)
+        assert result.ids == [0]
+        assert result.differences[0] == pytest.approx(0.1)
+
+    def test_k_equals_cardinality(self, small_data, small_query):
+        result = BlockADEngine(small_data).frequent_k_n_match(
+            small_query, 300, (1, 8)
+        )
+        assert sorted(result.ids) == list(range(300))
+
+    def test_zero_initial_epsilon_path(self):
+        """Query exactly on many points: nearest differences are zero,
+        forcing the eps=0 -> smallest-positive fallback."""
+        data = np.array([[0.5, 0.5]] * 10 + [[0.6, 0.6]] * 10)
+        result = BlockADEngine(data).k_n_match([0.5, 0.5], 15, 2)
+        assert len(result.ids) == 15
+        assert result.match_difference == pytest.approx(0.1)
+
+    def test_shares_columns_with_match_database(self, small_data):
+        from repro import MatchDatabase
+
+        db = MatchDatabase(small_data)
+        engine = BlockADEngine(db.columns)
+        assert engine.columns is db.columns

@@ -1,0 +1,200 @@
+"""The command-line interface, end to end on temp files."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def data_file(tmp_path, rng):
+    path = tmp_path / "data.npy"
+    np.save(path, rng.random((200, 6)).astype(np.float32).astype(np.float64))
+    return path
+
+
+@pytest.fixture
+def db_file(tmp_path, data_file):
+    path = tmp_path / "db.npz"
+    assert main(["build", str(data_file), str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["uniform", "clustered", "skewed"])
+    def test_generates_each_kind(self, tmp_path, kind, capsys):
+        out = tmp_path / f"{kind}.npy"
+        status = main(
+            [
+                "generate",
+                str(out),
+                "--kind",
+                kind,
+                "--cardinality",
+                "50",
+                "--dimensionality",
+                "4",
+            ]
+        )
+        assert status == 0
+        data = np.load(out)
+        assert data.shape == (50, 4)
+        assert kind in capsys.readouterr().out
+
+
+class TestBuildAndInfo:
+    def test_build_writes_database(self, db_file):
+        assert db_file.exists()
+
+    def test_build_missing_input(self, tmp_path, capsys):
+        status = main(
+            ["build", str(tmp_path / "missing.npy"), str(tmp_path / "o.npz")]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_info(self, db_file, capsys):
+        assert main(["info", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cardinality:     200" in out
+        assert "dimensionality:  6" in out
+
+    def test_info_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"junk")
+        assert main(["info", str(bad)]) == 2
+
+
+class TestQuery:
+    def test_knmatch_with_inline_query(self, db_file, capsys):
+        status = main(
+            [
+                "query",
+                str(db_file),
+                "--k",
+                "3",
+                "--n",
+                "4",
+                "--query",
+                "0.5,0.5,0.5,0.5,0.5,0.5",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "3-4-match answers" in out
+        assert len(out.strip().splitlines()) == 4  # header + 3 answers
+
+    def test_frequent_with_query_row(self, db_file, capsys):
+        status = main(
+            [
+                "query",
+                str(db_file),
+                "--k",
+                "5",
+                "--n-range",
+                "2:5",
+                "--query-row",
+                "7",
+                "--stats",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "frequent 5-n-match" in out
+        assert "stats:" in out
+        # row 7 matches itself in every n -> appears with max count
+        assert "       7  4" in out
+
+    def test_query_row_out_of_range(self, db_file, capsys):
+        status = main(
+            ["query", str(db_file), "--k", "1", "--n", "1", "--query-row", "999"]
+        )
+        assert status == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_bad_query_vector(self, db_file, capsys):
+        status = main(
+            ["query", str(db_file), "--k", "1", "--n", "1", "--query", "a,b,c"]
+        )
+        assert status == 2
+
+    def test_bad_n_range(self, db_file, capsys):
+        status = main(
+            [
+                "query",
+                str(db_file),
+                "--k",
+                "1",
+                "--n-range",
+                "4-8",
+                "--query-row",
+                "0",
+            ]
+        )
+        assert status == 2
+        assert "n0:n1" in capsys.readouterr().err
+
+    def test_validation_error_is_reported(self, db_file, capsys):
+        status = main(
+            ["query", str(db_file), "--k", "999", "--n", "1", "--query-row", "0"]
+        )
+        assert status == 2
+
+    def test_engine_override(self, db_file, capsys):
+        status = main(
+            [
+                "query",
+                str(db_file),
+                "--k",
+                "2",
+                "--n",
+                "3",
+                "--query-row",
+                "0",
+                "--engine",
+                "naive",
+            ]
+        )
+        assert status == 0
+
+
+class TestAdvise:
+    def test_advise(self, db_file, capsys):
+        status = main(
+            ["advise", str(db_file), "--k", "5", "--n-range", "2:4"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "recommended engine:" in out
+        assert "reason:" in out
+
+    def test_advise_attributes_mode(self, db_file, capsys):
+        status = main(
+            [
+                "advise",
+                str(db_file),
+                "--k",
+                "5",
+                "--n-range",
+                "2:4",
+                "--minimize",
+                "attributes",
+            ]
+        )
+        assert status == 0
+        assert "recommended engine: ad" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_query_requires_exactly_one_n_form(self, db_file):
+        with pytest.raises(SystemExit):
+            main(["query", str(db_file), "--k", "1", "--query-row", "0"])

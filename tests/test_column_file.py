@@ -1,0 +1,107 @@
+"""Unit tests for paged sorted-column files."""
+
+import numpy as np
+import pytest
+
+from repro.data import float32_exact
+from repro.errors import StorageError
+from repro.storage import ColumnFile, Pager, SortedColumnStore
+
+
+@pytest.fixture
+def values(rng):
+    return np.sort(float32_exact(rng.random(1000)))
+
+
+@pytest.fixture
+def column(values):
+    ids = np.arange(1000)[::-1].copy()  # any permutation
+    # 8-byte entries, 16 per 128-byte page -> 63 pages
+    return ColumnFile(values, ids, Pager(page_size=128))
+
+
+class TestColumnFile:
+    def test_entries_per_page(self, column):
+        assert column.entries_per_page == 16
+
+    def test_page_count(self, column):
+        assert column.page_count == -(-1000 // 16)
+
+    def test_entry_round_trip(self, column, values):
+        pid, value = column.entry(500)
+        assert pid == 499  # reversed ids
+        assert value == pytest.approx(values[500])
+
+    def test_read_entries_shape(self, column):
+        entries = column.read_entries(0)
+        assert entries.shape == (16,)
+        last = column.read_entries(column.page_count - 1)
+        assert last.shape == (1000 - 16 * (column.page_count - 1),)
+
+    def test_read_entries_bounds(self, column):
+        with pytest.raises(StorageError):
+            column.read_entries(column.page_count)
+
+    def test_page_of_position(self, column):
+        assert column.page_of_position(0) == column.first_page
+        assert column.page_of_position(16) == column.first_page + 1
+        with pytest.raises(StorageError):
+            column.page_of_position(1000)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(StorageError):
+            ColumnFile(np.zeros(3), np.zeros(4), Pager())
+
+
+class TestLocate:
+    def test_locate_matches_searchsorted(self, column, values):
+        for probe in (0.0, 0.25, 0.5, 0.999, 1.5, float(values[123])):
+            expected = int(np.searchsorted(values, probe, side="left"))
+            assert column.locate(probe) == expected
+
+    def test_locate_below_all(self, column):
+        assert column.locate(-1.0) == 0
+
+    def test_locate_above_all(self, column):
+        assert column.locate(2.0) == 1000
+
+    def test_locate_exact_page_boundary(self, column, values):
+        boundary_value = float(values[16])  # first value of page 1
+        assert column.locate(boundary_value) == int(
+            np.searchsorted(values, boundary_value, side="left")
+        )
+
+    def test_locate_with_duplicates(self):
+        values = np.array([0.0, 0.5, 0.5, 0.5, 1.0], dtype=np.float64)
+        column = ColumnFile(values, np.arange(5), Pager(page_size=16))
+        assert column.locate(0.5) == 1  # first of the duplicates
+
+    def test_locate_costs_at_most_one_page(self, column):
+        column._pager.reset_counters()
+        column.locate(0.37)
+        assert column._pager.recorder.total_reads <= 1
+
+
+class TestSortedColumnStore:
+    def test_columns_sorted_and_complete(self, small_data):
+        store = SortedColumnStore(small_data, Pager(page_size=256))
+        assert store.dimensionality == 8
+        assert store.cardinality == 300
+        assert store.total_attributes == 2400
+        for j in range(8):
+            col = store.column(j)
+            assert col.length == 300
+            values = [col.entry(i)[1] for i in range(0, 300, 50)]
+            assert values == sorted(values)
+
+    def test_column_round_trip_against_source(self, small_data):
+        store = SortedColumnStore(small_data, Pager(page_size=256))
+        col = store.column(3)
+        for position in (0, 150, 299):
+            pid, value = col.entry(position)
+            assert value == pytest.approx(small_data[pid, 3])
+
+    def test_column_bounds(self, small_data):
+        store = SortedColumnStore(small_data, Pager(page_size=256))
+        with pytest.raises(StorageError):
+            store.column(8)

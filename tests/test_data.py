@@ -1,0 +1,230 @@
+"""Dataset generators: shapes, ranges, determinism, planted structure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KnnEngine
+from repro.core.engine import MatchDatabase
+from repro.data import (
+    ASPECTS,
+    DATASET_PROFILES,
+    PARTIAL_MATCH_IMAGE,
+    QUERY_IMAGE,
+    SCALED_VARIANT_IMAGE,
+    TEXTURE_CARDINALITY,
+    TEXTURE_DIMENSIONALITY,
+    UCI_SPECS,
+    float32_exact,
+    gaussian_clusters,
+    make_all_standins,
+    make_coil_like,
+    make_texture_like,
+    make_uci_standin,
+    normalize_unit,
+    perturbed_queries,
+    sample_queries,
+    skewed_dataset,
+    uniform_dataset,
+)
+from repro.errors import ValidationError
+
+
+class TestNormalize:
+    def test_unit_range(self, rng):
+        data = rng.normal(5.0, 3.0, (100, 4))
+        normalized = normalize_unit(data)
+        assert normalized.min() == pytest.approx(0.0)
+        assert normalized.max() == pytest.approx(1.0)
+
+    def test_constant_dimension_maps_to_half(self):
+        data = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+        normalized = normalize_unit(data)
+        assert np.all(normalized[:, 0] == 0.5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            normalize_unit(np.arange(5.0))
+
+    def test_float32_exact_round_trips(self, rng):
+        data = float32_exact(rng.random((50, 3)))
+        np.testing.assert_array_equal(
+            data, data.astype(np.float32).astype(np.float64)
+        )
+
+
+class TestSynthetic:
+    def test_uniform_shape_and_range(self):
+        data = uniform_dataset(500, 7, seed=1)
+        assert data.shape == (500, 7)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_uniform_deterministic(self):
+        np.testing.assert_array_equal(
+            uniform_dataset(100, 4, seed=9), uniform_dataset(100, 4, seed=9)
+        )
+        assert not np.array_equal(
+            uniform_dataset(100, 4, seed=9), uniform_dataset(100, 4, seed=10)
+        )
+
+    def test_clusters_labels(self):
+        data, labels = gaussian_clusters(300, 5, clusters=4, seed=2)
+        assert data.shape == (300, 5)
+        assert labels.shape == (300,)
+        assert set(labels.tolist()) <= set(range(4))
+
+    def test_skewed_is_skewed(self):
+        data = skewed_dataset(5000, 3, seed=3, shape=0.5)
+        # heavy right skew after normalisation: mean well below median+
+        for j in range(3):
+            assert np.mean(data[:, j]) < 0.35
+
+    def test_sample_queries_come_from_data(self):
+        data = uniform_dataset(50, 3, seed=4)
+        queries = sample_queries(data, 10, seed=5)
+        for q in queries:
+            assert any(np.array_equal(q, row) for row in data)
+
+    def test_perturbed_queries_stay_in_unit_cube(self):
+        data = uniform_dataset(50, 3, seed=6)
+        queries = perturbed_queries(data, 10, noise=0.05, seed=7)
+        assert queries.min() >= 0 and queries.max() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            uniform_dataset(0, 3)
+        with pytest.raises(ValidationError):
+            gaussian_clusters(10, 3, clusters=0)
+        with pytest.raises(ValidationError):
+            skewed_dataset(10, 3, shape=-1)
+        with pytest.raises(ValidationError):
+            sample_queries(uniform_dataset(5, 2), 0)
+
+
+class TestUCIStandins:
+    def test_specs_respected(self):
+        for name, (c, d, classes) in UCI_SPECS.items():
+            dataset = make_uci_standin(name)
+            assert dataset.cardinality == c
+            assert dataset.dimensionality == d
+            assert dataset.classes == classes
+            assert set(np.unique(dataset.labels)) <= set(range(classes))
+            assert dataset.data.min() >= 0 and dataset.data.max() <= 1
+
+    def test_profiles_cover_all_datasets(self):
+        assert set(DATASET_PROFILES) == set(UCI_SPECS)
+
+    def test_deterministic_across_processes(self):
+        a = make_uci_standin("glass", seed=5)
+        b = make_uci_standin("glass", seed=5)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            make_uci_standin("mnist")
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValidationError):
+            make_uci_standin("iris", corruption_rate=1.0)
+        with pytest.raises(ValidationError):
+            make_uci_standin("iris", irrelevant_fraction=-0.1)
+
+    def test_make_all(self):
+        datasets = make_all_standins()
+        assert set(datasets) == set(UCI_SPECS)
+
+    def test_class_structure_learnable(self):
+        """Same-class points must be genuinely closer: a 1-NN (excluding
+        self) should beat chance comfortably."""
+        dataset = make_uci_standin("wdbc")
+        rng = np.random.default_rng(0)
+        picks = rng.choice(dataset.cardinality, 40, replace=False)
+        knn = KnnEngine(dataset.data)
+        hits = 0
+        for i in picks:
+            ids = knn.top_k(dataset.data[i], 2).ids
+            neighbour = ids[1] if ids[0] == i else ids[0]
+            hits += dataset.labels[neighbour] == dataset.labels[i]
+        assert hits / 40 > 0.6
+
+
+class TestCoilLike:
+    def test_shape(self):
+        coil = make_coil_like()
+        assert coil.data.shape == (100, 54)
+        assert coil.cardinality == 100
+        assert coil.dimensionality == 54
+
+    def test_aspect_blocks_cover_all_dimensions(self):
+        spans = sorted(ASPECTS.values())
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 54
+        for (prev_lo, prev_hi), (lo, hi) in zip(spans, spans[1:]):
+            assert prev_hi == lo
+
+    def test_partial_match_planted(self):
+        coil = make_coil_like()
+        query = coil.query()
+        lo, hi = ASPECTS["texture"]
+        assert np.abs(coil.data[PARTIAL_MATCH_IMAGE, lo:hi] - query[lo:hi]).max() < 0.01
+        lo, hi = ASPECTS["color"]
+        assert np.abs(coil.data[PARTIAL_MATCH_IMAGE, lo:hi] - query[lo:hi]).mean() > 0.3
+
+    def test_partial_match_invisible_to_knn(self):
+        coil = make_coil_like()
+        knn = KnnEngine(coil.data).top_k(coil.query(), 20)
+        assert PARTIAL_MATCH_IMAGE not in knn.ids
+
+    def test_partial_match_found_by_knmatch(self):
+        coil = make_coil_like()
+        db = MatchDatabase(coil.data)
+        hits = sum(
+            PARTIAL_MATCH_IMAGE in db.k_n_match(coil.query(), 4, n).ids
+            for n in range(5, 40, 5)
+        )
+        assert hits >= 5
+
+    def test_scaled_variant_appears_sometimes(self):
+        coil = make_coil_like()
+        db = MatchDatabase(coil.data)
+        hits = sum(
+            SCALED_VARIANT_IMAGE in db.k_n_match(coil.query(), 4, n).ids
+            for n in range(5, 55, 5)
+        )
+        assert 1 <= hits <= 8
+
+    def test_query_is_image_42(self):
+        coil = make_coil_like()
+        np.testing.assert_array_equal(coil.query(), coil.data[QUERY_IMAGE])
+
+
+class TestTextureLike:
+    def test_default_shape_constants(self):
+        assert TEXTURE_CARDINALITY == 68040
+        assert TEXTURE_DIMENSIONALITY == 16
+
+    def test_small_instance(self):
+        data = make_texture_like(cardinality=2000, seed=1)
+        assert data.shape == (2000, 16)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_heavily_skewed(self):
+        data = make_texture_like(cardinality=5000, seed=2)
+        from scipy import stats as scipy_stats
+
+        skews = scipy_stats.skew(data, axis=0)
+        assert np.all(skews > 0.5)  # strong right skew in every dimension
+
+    def test_correlated_dimensions(self):
+        data = make_texture_like(cardinality=5000, seed=3)
+        corr = np.corrcoef(data.T)
+        off_diagonal = corr[np.triu_indices(16, 1)]
+        assert off_diagonal.mean() > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_texture_like(cardinality=0)
+        with pytest.raises(ValidationError):
+            make_texture_like(cardinality=10, latent_factors=0)
+        with pytest.raises(ValidationError):
+            make_texture_like(cardinality=10, noise_weight=-0.5)

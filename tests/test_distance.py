@@ -1,0 +1,181 @@
+"""Unit tests for repro.core.distance."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    TRIANGLE_COUNTEREXAMPLE,
+    chebyshev_distance,
+    dpf_distance,
+    dpf_distances,
+    euclidean_distance,
+    manhattan_distance,
+    match_count_within,
+    match_profile,
+    minkowski_distance,
+    n_match_difference,
+    n_match_differences,
+    pairwise_absolute_differences,
+)
+from repro.errors import ValidationError
+
+
+class TestNMatchDifference:
+    def test_definition_example(self):
+        # object 1 of Figure 1 vs the all-ones query
+        p = [1.1, 100, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1, 1]
+        q = [1.0] * 10
+        assert n_match_difference(p, q, 1) == 0.0
+        assert n_match_difference(p, q, 7) == pytest.approx(0.2)
+        assert n_match_difference(p, q, 10) == pytest.approx(99.0)
+
+    def test_symmetry(self):
+        p, q = [0.1, 0.9, 0.4], [0.3, 0.2, 0.4]
+        for n in (1, 2, 3):
+            assert n_match_difference(p, q, n) == n_match_difference(q, p, n)
+
+    def test_monotone_in_n(self):
+        rng = np.random.default_rng(1)
+        p, q = rng.random(12), rng.random(12)
+        diffs = [n_match_difference(p, q, n) for n in range(1, 13)]
+        assert diffs == sorted(diffs)
+
+    def test_d_match_equals_chebyshev(self):
+        rng = np.random.default_rng(2)
+        p, q = rng.random(9), rng.random(9)
+        assert n_match_difference(p, q, 9) == pytest.approx(chebyshev_distance(p, q))
+
+    def test_identical_points_all_zero(self):
+        p = np.array([0.5, 0.5, 0.5])
+        for n in (1, 2, 3):
+            assert n_match_difference(p, p, n) == 0.0
+
+    @pytest.mark.parametrize("n", [0, -1, 4])
+    def test_n_out_of_range(self, n):
+        with pytest.raises(ValidationError):
+            n_match_difference([1.0, 2.0, 3.0], [0.0, 0.0, 0.0], n)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValidationError):
+            n_match_difference([[1.0, 2.0]], [[0.0, 0.0]], 1)
+
+
+class TestVectorisedForms:
+    def test_matches_scalar_form(self):
+        rng = np.random.default_rng(3)
+        data, q = rng.random((40, 6)), rng.random(6)
+        for n in (1, 3, 6):
+            expected = [n_match_difference(row, q, n) for row in data]
+            np.testing.assert_allclose(n_match_differences(data, q, n), expected)
+
+    def test_profile_is_sorted_differences(self):
+        rng = np.random.default_rng(4)
+        p, q = rng.random(7), rng.random(7)
+        profile = match_profile(p, q)
+        np.testing.assert_allclose(profile, np.sort(np.abs(p - q)))
+        for n in range(1, 8):
+            assert profile[n - 1] == pytest.approx(n_match_difference(p, q, n))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            n_match_differences(np.zeros(3), np.zeros(3), 1)
+
+    def test_n_bounds(self):
+        with pytest.raises(ValidationError):
+            n_match_differences(np.zeros((2, 3)), np.zeros(3), 4)
+
+
+class TestMatchCount:
+    def test_counts_threshold_inclusive(self):
+        p, q = [1.0, 2.0, 3.5], [1.0, 1.8, 3.0]
+        assert match_count_within(p, q, 0.0) == 1
+        assert match_count_within(p, q, 0.2) == 2
+        assert match_count_within(p, q, 0.5) == 3
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValidationError):
+            match_count_within([1.0], [1.0], -0.1)
+
+    def test_duality_with_n_match(self):
+        # count(delta) >= n  <=>  n-match difference <= delta
+        rng = np.random.default_rng(5)
+        p, q = rng.random(10), rng.random(10)
+        for n in range(1, 11):
+            delta = n_match_difference(p, q, n)
+            assert match_count_within(p, q, delta) >= n
+
+
+class TestMinkowski:
+    def test_euclidean(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert chebyshev_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_p_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            minkowski_distance([1.0], [2.0], p=0.0)
+
+    def test_pairwise_broadcast(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        q = np.array([1.0, 1.0])
+        np.testing.assert_allclose(
+            pairwise_absolute_differences(data, q), [[0.0, 1.0], [2.0, 3.0]]
+        )
+
+
+class TestDPF:
+    def test_aggregates_n_smallest(self):
+        p, q = [1.0, 5.0, 2.0], [1.1, 9.0, 2.2]
+        # diffs: 0.1, 4.0, 0.2 -> two smallest are 0.1, 0.2
+        assert dpf_distance(p, q, 2) == pytest.approx(np.hypot(0.1, 0.2))
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        data, q = rng.random((25, 5)), rng.random(5)
+        for n in (1, 3, 5):
+            expected = [dpf_distance(row, q, n) for row in data]
+            np.testing.assert_allclose(dpf_distances(data, q, n), expected)
+
+    def test_full_n_equals_lp(self):
+        rng = np.random.default_rng(7)
+        p, q = rng.random(6), rng.random(6)
+        assert dpf_distance(p, q, 6, p=2.0) == pytest.approx(
+            euclidean_distance(p, q)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            dpf_distance([1.0, 2.0], [0.0, 0.0], 3)
+        with pytest.raises(ValidationError):
+            dpf_distance([1.0, 2.0], [0.0, 0.0], 1, p=-1)
+        with pytest.raises(ValidationError):
+            dpf_distances(np.zeros(4), np.zeros(4), 1)
+
+
+class TestNonMetricProperty:
+    def test_triangle_counterexample(self):
+        """Sec. 2.1: the 1-match difference violates the triangle
+        inequality on points F, G, H."""
+        f, g, h = (np.array(p) for p in TRIANGLE_COUNTEREXAMPLE)
+        fg = n_match_difference(f, g, 1)
+        fh = n_match_difference(f, h, 1)
+        gh = n_match_difference(g, h, 1)
+        assert fg == pytest.approx(0.0)
+        assert fh == pytest.approx(0.0)
+        assert gh == pytest.approx(0.4)
+        assert fg + fh < gh  # triangle inequality fails
+
+    def test_not_monotone_aggregate(self):
+        """Sec. 3's Figure-3 argument: point 1 < point 2 component-wise
+        (in raw values) yet has the larger 1-match difference."""
+        q = np.array([3.0, 7.0, 4.0])
+        p1 = np.array([0.4, 1.0, 1.0])
+        p2 = np.array([2.8, 5.5, 2.0])
+        assert np.all(p1 < p2)
+        assert n_match_difference(p1, q, 1) == pytest.approx(2.6)
+        assert n_match_difference(p2, q, 1) == pytest.approx(0.2)
+        assert n_match_difference(p1, q, 1) > n_match_difference(p2, q, 1)

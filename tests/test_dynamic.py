@@ -1,0 +1,217 @@
+"""DynamicMatchDatabase: exact answers under inserts and deletes."""
+
+import numpy as np
+import pytest
+
+from repro import DynamicMatchDatabase
+from repro.core.naive import NaiveScanEngine
+from repro.errors import EmptyDatabaseError, ValidationError
+
+
+def oracle_frequent(db: DynamicMatchDatabase, query, k, n_range):
+    """Ground truth: naive engine on a live snapshot, ids remapped."""
+    rows, pids = db.snapshot()
+    result = NaiveScanEngine(rows).frequent_k_n_match(query, k, n_range)
+    mapping = {int(i): int(pid) for i, pid in enumerate(pids)}
+    # remap by recomputing: naive's tie-break uses row index, ours uses
+    # global pid — recompute deterministically on (diff, pid)
+    profiles = np.sort(np.abs(rows - np.asarray(query, float)), axis=1)
+    sets = {}
+    for n in range(n_range[0], n_range[1] + 1):
+        order = sorted(range(rows.shape[0]), key=lambda i: (profiles[i, n - 1], mapping[i]))
+        sets[n] = [mapping[i] for i in order[:k]]
+    return sets
+
+
+class TestConstruction:
+    def test_from_data(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        assert db.cardinality == 300
+        assert db.dimensionality == 8
+        assert len(db) == 300
+
+    def test_empty_with_dimensionality(self):
+        db = DynamicMatchDatabase(dimensionality=5)
+        assert db.cardinality == 0
+        with pytest.raises(EmptyDatabaseError):
+            db.k_n_match(np.zeros(5), 1, 1)
+
+    def test_requires_something(self):
+        with pytest.raises(ValidationError):
+            DynamicMatchDatabase()
+
+    def test_dimensionality_mismatch_rejected(self, small_data):
+        with pytest.raises(ValidationError):
+            DynamicMatchDatabase(small_data, dimensionality=9)
+
+    def test_invalid_threshold(self, small_data):
+        with pytest.raises(ValidationError):
+            DynamicMatchDatabase(small_data, compaction_threshold=0.0)
+        with pytest.raises(ValidationError):
+            DynamicMatchDatabase(small_data, min_buffer=0)
+
+
+class TestUpdates:
+    def test_insert_assigns_sequential_ids(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        pid = db.insert(np.full(8, 0.5))
+        assert pid == 300
+        assert db.insert(np.full(8, 0.6)) == 301
+        assert db.cardinality == 302
+
+    def test_insert_many(self, small_data, rng):
+        db = DynamicMatchDatabase(small_data)
+        pids = db.insert_many(rng.random((5, 8)))
+        assert pids == [300, 301, 302, 303, 304]
+
+    def test_insert_many_dimension_check(self, small_data, rng):
+        db = DynamicMatchDatabase(small_data)
+        with pytest.raises(ValidationError):
+            db.insert_many(rng.random((5, 7)))
+
+    def test_delete(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        db.delete(42)
+        assert db.cardinality == 299
+        assert 42 not in db
+
+    def test_double_delete_rejected(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        db.delete(42)
+        with pytest.raises(ValidationError):
+            db.delete(42)
+
+    def test_delete_unknown_rejected(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        with pytest.raises(ValidationError):
+            db.delete(999)
+
+    def test_delete_buffered_point(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        pid = db.insert(np.full(8, 0.5))
+        db.delete(pid)
+        assert pid not in db
+        assert db.cardinality == 300
+
+    def test_get_point(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        np.testing.assert_array_equal(db.get_point(7), small_data[7])
+        pid = db.insert(np.full(8, 0.123))
+        np.testing.assert_array_equal(db.get_point(pid), np.full(8, 0.123))
+        db.delete(7)
+        with pytest.raises(ValidationError):
+            db.get_point(7)
+
+    def test_contains(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        assert 0 in db
+        assert 300 not in db
+        pid = db.insert(np.zeros(8))
+        assert pid in db
+
+
+class TestCompaction:
+    def test_manual_compact_preserves_answers(self, small_data, small_query):
+        db = DynamicMatchDatabase(small_data)
+        db.insert(small_query)
+        db.delete(3)
+        before = db.k_n_match(small_query, 5, 4)
+        db.compact()
+        after = db.k_n_match(small_query, 5, 4)
+        assert before.ids == after.ids
+        assert db.buffer_size == 0
+        assert db.tombstone_count == 0
+        assert db.compactions == 1
+
+    def test_auto_compaction_triggers(self, small_data, rng):
+        db = DynamicMatchDatabase(small_data, min_buffer=8, compaction_threshold=0.02)
+        for row in rng.random((20, 8)):
+            db.insert(row)
+        assert db.compactions >= 1
+        assert db.cardinality == 320
+
+    def test_ids_stable_across_compaction(self, small_data):
+        db = DynamicMatchDatabase(small_data)
+        pid = db.insert(np.full(8, 0.42))
+        db.delete(10)
+        db.compact()
+        np.testing.assert_array_equal(db.get_point(pid), np.full(8, 0.42))
+        assert 10 not in db
+
+
+class TestQueries:
+    def test_fresh_db_matches_static(self, small_data, small_query):
+        from repro import MatchDatabase
+
+        dynamic = DynamicMatchDatabase(small_data)
+        static = MatchDatabase(small_data)
+        dyn = dynamic.k_n_match(small_query, 9, 5)
+        stat = static.k_n_match(small_query, 9, 5, engine="naive")
+        assert dyn.ids == stat.ids
+        np.testing.assert_allclose(dyn.differences, stat.differences, atol=1e-12)
+
+    def test_inserted_duplicate_of_query_ranks_first(self, small_data, small_query):
+        db = DynamicMatchDatabase(small_data)
+        pid = db.insert(small_query)
+        result = db.k_n_match(small_query, 1, 8)
+        assert result.ids == [pid]
+        assert result.differences[0] == 0.0
+
+    def test_deleted_point_never_returned(self, small_data, small_query):
+        db = DynamicMatchDatabase(small_data)
+        winner = db.k_n_match(small_query, 1, 8).ids[0]
+        db.delete(winner)
+        result = db.k_n_match(small_query, 10, 8)
+        assert winner not in result.ids
+
+    def test_frequent_after_updates_matches_oracle(self, small_data, small_query, rng):
+        db = DynamicMatchDatabase(small_data)
+        for row in rng.random((7, 8)):
+            db.insert(row)
+        for pid in (5, 100, 301):
+            db.delete(pid)
+        result = db.frequent_k_n_match(small_query, 8, (3, 7))
+        expected = oracle_frequent(db, small_query, 8, (3, 7))
+        assert result.answer_sets == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_operation_sequences(self, seed):
+        rng = np.random.default_rng(seed)
+        db = DynamicMatchDatabase(
+            rng.random((60, 4)), min_buffer=6, compaction_threshold=0.1
+        )
+        live = set(range(60))
+        for _ in range(80):
+            op = rng.random()
+            if op < 0.5 or not live:
+                pid = db.insert(rng.random(4))
+                live.add(pid)
+            elif op < 0.8:
+                victim = int(rng.choice(sorted(live)))
+                db.delete(victim)
+                live.discard(victim)
+            else:
+                query = rng.random(4)
+                k = int(rng.integers(1, min(len(live), 6) + 1))
+                n = int(rng.integers(1, 5))
+                result = db.k_n_match(query, k, n)
+                expected = oracle_frequent(db, query, k, (n, n))[n]
+                assert result.ids == expected, (seed, k, n)
+        assert db.cardinality == len(live)
+
+    def test_query_validation(self, small_data, small_query):
+        db = DynamicMatchDatabase(small_data)
+        with pytest.raises(ValidationError):
+            db.k_n_match(small_query, 0, 1)
+        with pytest.raises(ValidationError):
+            db.k_n_match(small_query, 1, 9)
+        with pytest.raises(ValidationError):
+            db.frequent_k_n_match(small_query, 1, (3, 2))
+
+    def test_k_bounded_by_live_count(self, rng):
+        db = DynamicMatchDatabase(rng.random((5, 3)))
+        db.delete(0)
+        with pytest.raises(ValidationError):
+            db.k_n_match(np.zeros(3), 5, 1)
+        result = db.k_n_match(np.zeros(3), 4, 1)
+        assert len(result.ids) == 4

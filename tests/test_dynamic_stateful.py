@@ -1,0 +1,89 @@
+"""Hypothesis stateful testing of DynamicMatchDatabase.
+
+The state machine mirrors every operation against a plain Python model
+(a dict of live points) and, after each step, checks a randomly
+parameterised query against a from-scratch oracle.  This hunts for the
+bugs example-based tests miss: interactions between buffered inserts,
+tombstones on base vs buffer points, auto-compaction timing and query
+over-fetching.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import DynamicMatchDatabase
+
+DIMS = 3
+
+coords = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+    min_size=DIMS,
+    max_size=DIMS,
+)
+
+
+class DynamicDatabaseMachine(RuleBasedStateMachine):
+    @initialize(rows=st.lists(coords, min_size=1, max_size=8))
+    def setup(self, rows):
+        data = np.asarray(rows, dtype=np.float64)
+        # tiny thresholds so compactions happen *during* the run
+        self.db = DynamicMatchDatabase(
+            data, min_buffer=3, compaction_threshold=0.2
+        )
+        self.model = {pid: data[pid].copy() for pid in range(data.shape[0])}
+
+    @rule(point=coords)
+    def insert(self, point):
+        pid = self.db.insert(np.asarray(point))
+        assert pid not in self.model  # ids never reused
+        self.model[pid] = np.asarray(point, dtype=np.float64)
+
+    @precondition(lambda self: len(self.model) > 1)
+    @rule(which=st.integers(0, 10**6))
+    def delete(self, which):
+        victims = sorted(self.model)
+        victim = victims[which % len(victims)]
+        self.db.delete(victim)
+        del self.model[victim]
+
+    @rule()
+    def compact(self):
+        self.db.compact()
+
+    @rule(query=coords, k_seed=st.integers(1, 5), n=st.integers(1, DIMS))
+    def query_matches_oracle(self, query, k_seed, n):
+        k = min(k_seed, len(self.model))
+        query = np.asarray(query, dtype=np.float64)
+        result = self.db.k_n_match(query, k, n)
+        # oracle: exact per-pid n-match differences from the model
+        scored = sorted(
+            (float(np.sort(np.abs(row - query))[n - 1]), pid)
+            for pid, row in self.model.items()
+        )
+        expected = [pid for _diff, pid in scored[:k]]
+        assert result.ids == expected
+
+    @invariant()
+    def cardinality_matches_model(self):
+        if hasattr(self, "db"):
+            assert self.db.cardinality == len(self.model)
+
+    @invariant()
+    def membership_matches_model(self):
+        if hasattr(self, "db"):
+            for pid in list(self.model)[:5]:
+                assert pid in self.db
+
+
+DynamicDatabaseMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestDynamicDatabaseStateful = DynamicDatabaseMachine.TestCase

@@ -1,0 +1,91 @@
+"""The MatchDatabase facade: engine selection, defaults, introspection."""
+
+import numpy as np
+import pytest
+
+from repro import ENGINE_NAMES, MatchDatabase
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.core.naive import NaiveScanEngine
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_from_list(self):
+        db = MatchDatabase([[1.0, 2.0], [3.0, 4.0]])
+        assert db.cardinality == 2
+        assert db.dimensionality == 2
+        assert len(db) == 2
+
+    def test_engine_names_constant(self):
+        assert set(ENGINE_NAMES) == {"ad", "block-ad", "naive"}
+
+    def test_invalid_default_engine(self):
+        with pytest.raises(ValidationError):
+            MatchDatabase([[1.0]], default_engine="btree")
+
+    def test_invalid_engine_at_query_time(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        with pytest.raises(ValidationError):
+            db.k_n_match(small_query, 1, 1, engine="btree")
+
+    def test_repr_mentions_shape(self, small_data):
+        text = repr(MatchDatabase(small_data))
+        assert "300" in text and "8" in text
+
+
+class TestEngineSelection:
+    def test_lazy_construction_and_types(self, small_data):
+        db = MatchDatabase(small_data)
+        assert isinstance(db.engine("ad"), ADEngine)
+        assert isinstance(db.engine("block-ad"), BlockADEngine)
+        assert isinstance(db.engine("naive"), NaiveScanEngine)
+
+    def test_engines_cached(self, small_data):
+        db = MatchDatabase(small_data)
+        assert db.engine("ad") is db.engine("ad")
+
+    def test_default_engine_used(self, small_data, small_query):
+        db = MatchDatabase(small_data, default_engine="naive")
+        db.k_n_match(small_query, 1, 1)
+        assert "naive" in db._engines
+        assert "ad" not in db._engines
+
+    def test_columns_shared_between_engines(self, small_data):
+        db = MatchDatabase(small_data)
+        assert db.engine("ad").columns is db.columns
+        assert db.engine("block-ad").columns is db.columns
+
+
+class TestQueries:
+    def test_all_engines_agree(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        results = {
+            name: db.k_n_match(small_query, 7, 4, engine=name)
+            for name in ENGINE_NAMES
+        }
+        reference = results["naive"]
+        for name, result in results.items():
+            np.testing.assert_allclose(
+                sorted(result.differences),
+                sorted(reference.differences),
+                atol=1e-12,
+                err_msg=name,
+            )
+
+    def test_frequent_default_range_is_full(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        result = db.frequent_k_n_match(small_query, 3)
+        assert result.n_range == (1, 8)
+
+    def test_frequent_engines_agree(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        results = [
+            db.frequent_k_n_match(small_query, 6, (3, 7), engine=name)
+            for name in ENGINE_NAMES
+        ]
+        assert results[0].ids == results[1].ids == results[2].ids
+
+    def test_data_property_round_trips(self, small_data):
+        db = MatchDatabase(small_data)
+        np.testing.assert_array_equal(db.data, small_data)

@@ -1,0 +1,150 @@
+"""Evaluation harness: class stripping, searcher adapters, formatting."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClassDataset, make_uci_standin
+from repro.errors import ValidationError
+from repro.eval import (
+    class_stripping_accuracy,
+    dpf_searcher,
+    format_series,
+    format_table,
+    frequent_knmatch_searcher,
+    igrid_searcher,
+    knmatch_searcher,
+    knn_searcher,
+)
+
+
+@pytest.fixture
+def toy_dataset(rng):
+    """Two well-separated classes of 30 points each."""
+    a = rng.normal(0.25, 0.02, (30, 6))
+    b = rng.normal(0.75, 0.02, (30, 6))
+    data = np.clip(np.vstack([a, b]), 0, 1)
+    labels = np.array([0] * 30 + [1] * 30)
+    return ClassDataset("toy", data, labels, 2)
+
+
+class TestClassStripping:
+    def test_perfect_searcher_scores_one(self, toy_dataset):
+        def perfect(query, k):
+            # return k points of the query's own half
+            own = 0 if query[0] < 0.5 else 1
+            return list(range(own * 30, own * 30 + k))
+
+        report = class_stripping_accuracy(
+            toy_dataset, perfect, "perfect", queries=10, k=5, seed=0
+        )
+        assert report.accuracy == 1.0
+
+    def test_adversarial_searcher_scores_zero(self, toy_dataset):
+        def adversarial(query, k):
+            other = 1 if query[0] < 0.5 else 0
+            return list(range(other * 30, other * 30 + k))
+
+        report = class_stripping_accuracy(
+            toy_dataset, adversarial, "adversarial", queries=10, k=5, seed=0
+        )
+        assert report.accuracy == 0.0
+
+    def test_separated_classes_easy_for_all_techniques(self, toy_dataset):
+        for factory in (
+            knn_searcher,
+            frequent_knmatch_searcher,
+            igrid_searcher,
+        ):
+            report = class_stripping_accuracy(
+                toy_dataset, factory(toy_dataset.data), "t", queries=10, k=5, seed=1
+            )
+            assert report.accuracy > 0.9
+
+    def test_wrong_answer_count_rejected(self, toy_dataset):
+        def lazy(query, k):
+            return [0]  # always one answer
+
+        with pytest.raises(ValidationError):
+            class_stripping_accuracy(toy_dataset, lazy, "lazy", queries=2, k=5)
+
+    def test_report_string(self, toy_dataset):
+        def first_k(query, k):
+            return list(range(k))
+
+        report = class_stripping_accuracy(
+            toy_dataset, first_k, "first-k", queries=4, k=3, seed=2
+        )
+        assert "first-k" in str(report)
+        assert "toy" in str(report)
+
+    def test_parameter_validation(self, toy_dataset):
+        def noop(query, k):
+            return list(range(k))
+
+        with pytest.raises(ValidationError):
+            class_stripping_accuracy(toy_dataset, noop, "x", queries=0)
+        with pytest.raises(ValidationError):
+            class_stripping_accuracy(toy_dataset, noop, "x", k=0)
+
+
+class TestSearcherFactories:
+    @pytest.mark.parametrize(
+        "factory_args",
+        [
+            (knn_searcher, ()),
+            (frequent_knmatch_searcher, ()),
+            (frequent_knmatch_searcher, ((2, 4),)),
+            (igrid_searcher, ()),
+            (knmatch_searcher, (3,)),
+            (dpf_searcher, (3,)),
+        ],
+    )
+    def test_returns_k_ids(self, toy_dataset, factory_args):
+        factory, extra = factory_args
+        searcher = factory(toy_dataset.data, *extra)
+        ids = searcher(toy_dataset.data[0], 7)
+        assert len(ids) == 7
+        assert len(set(ids)) == 7
+
+    def test_searchers_agree_on_trivial_query(self, toy_dataset):
+        """The query point itself must be among everyone's answers."""
+        for factory in (knn_searcher, frequent_knmatch_searcher, igrid_searcher):
+            ids = factory(toy_dataset.data)(toy_dataset.data[12], 5)
+            assert 12 in list(ids)
+
+    def test_uci_standin_end_to_end(self):
+        dataset = make_uci_standin("iris")
+        searcher = frequent_knmatch_searcher(dataset.data)
+        report = class_stripping_accuracy(
+            dataset, searcher, "freq", queries=10, k=5, seed=3
+        )
+        assert 0.0 <= report.accuracy <= 1.0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 20.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_renders_none_as_na(self):
+        text = format_table(["x"], [[None]])
+        assert "N.A." in text
+
+    def test_format_table_float_precision(self):
+        text = format_table(["x"], [[0.12345], [1234.5]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_format_series(self):
+        text = format_series(
+            "n",
+            {"scan": {1: 0.5, 2: 0.6}, "ad": {1: 0.1}},
+            title="demo",
+        )
+        assert "scan" in text and "ad" in text
+        assert "N.A." in text  # missing ad@2

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each script runs in-process (runpy) with stdout captured, and
+a couple of narrative anchors are asserted so a silently-broken demo
+fails loudly.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=None) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "6-match -> object 3" in out
+        assert "Theorem 3.2" in out
+
+    def test_image_retrieval(self, capsys):
+        out = run_example("image_retrieval.py", capsys)
+        assert "Table 2" in out
+        assert "paper: absent even at k = 20" in out
+
+    def test_multi_system_ir(self, capsys):
+        out = run_example("multi_system_ir.py", capsys)
+        assert "per-system bill" in out
+        assert "FA's 1-match answer: point 1" in out
+        assert "true 1-match:        point 2" in out
+
+    def test_partial_similarity(self, capsys):
+        out = run_example("partial_similarity.py", capsys)
+        assert "skyline" in out
+        assert "frequent k-n-match" in out
+
+    def test_disk_search(self, capsys):
+        out = run_example("disk_search.py", capsys, argv=["8000"])
+        assert "AD" in out and "IGrid" in out
+        assert "SSD" in out
+
+    def test_mixed_attributes(self, capsys):
+        out = run_example("mixed_attributes.py", capsys)
+        assert "orange #1" in out
+        assert "frequent 2-n-match" in out
+
+    def test_dynamic_updates(self, capsys):
+        out = run_example("dynamic_updates.py", capsys)
+        assert "inserted sensor 5000" in out
+        assert "sensor 5000 gone: True" in out
+
+    def test_budgeted_search(self, capsys):
+        out = run_example("budgeted_search.py", capsys)
+        assert "answers verified" in out
+        assert "recommended" in out or "use 'block-ad'" in out or "-> use" in out

@@ -1,0 +1,159 @@
+"""Experiment runners: structure always, shapes where scale-independent.
+
+The full-scale shape assertions (crossovers, orderings) live in the
+benchmarks, which run at the paper's sizes.  Here every runner is
+exercised end-to-end at a small scale, checking output structure plus
+the claims that hold at any scale (e.g. AD retrieves fewer attributes
+as n1 shrinks; the planted COIL narrative).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import PARTIAL_MATCH_IMAGE
+from repro.experiments import fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15
+from repro.experiments import table2_3, table4
+from repro.experiments.common import (
+    ExperimentResult,
+    mean_simulated_seconds,
+    mean_stats,
+    scaled_cardinality,
+    texture_workload,
+    uniform_workload,
+)
+from repro.core.types import SearchStats
+
+SMALL = dict(scale=0.03, queries=1)
+
+
+class TestCommon:
+    def test_scaled_cardinality_floor(self):
+        assert scaled_cardinality(100000, 1.0) == 100000
+        assert scaled_cardinality(100000, 0.001) == 1000
+        assert scaled_cardinality(100000, 0.001, floor=100) == 100
+
+    def test_uniform_workload(self):
+        data, queries = uniform_workload(1200, 6, queries=4)
+        assert data.shape == (1200, 6)
+        assert queries.shape == (4, 6)
+
+    def test_texture_workload_scales(self):
+        data, queries = texture_workload(scale=0.02, queries=2)
+        assert data.shape[0] == scaled_cardinality(68040, 0.02)
+        assert queries.shape == (2, 16)
+
+    def test_mean_stats(self):
+        a = SearchStats(attributes_retrieved=10, total_attributes=100)
+        b = SearchStats(attributes_retrieved=20, total_attributes=100)
+        mean = mean_stats([a, b])
+        assert mean.attributes_retrieved == 15
+        assert mean.total_attributes == 100
+        assert mean_stats([]).attributes_retrieved == 0
+
+    def test_mean_simulated_seconds(self):
+        stats = SearchStats(sequential_page_reads=10)
+        assert mean_simulated_seconds([stats]) > 0
+        assert mean_simulated_seconds([]) == 0.0
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult(
+            "Table X", "demo", ["a", "b"], [[1, 2], [3, 4]], notes=["n"]
+        )
+        assert result.column("b") == [2, 4]
+        text = result.formatted()
+        assert "Table X" in text and "note: n" in text
+
+
+class TestEffectivenessExperiments:
+    def test_table2_3_structure_and_narrative(self):
+        table2, table3 = table2_3.run()
+        assert len(table2.rows) == len(table2_3.TABLE2_N_VALUES)
+        # the partial-match image shows up in k-n-match but not in kNN
+        knmatch_text = " ".join(str(row[1]) for row in table2.rows)
+        assert str(PARTIAL_MATCH_IMAGE) in knmatch_text
+        assert str(PARTIAL_MATCH_IMAGE) not in str(table3.rows[0][1])
+
+    def test_table4_orders_techniques(self):
+        result = table4.run(queries=25, k=10)
+        assert len(result.rows) == 5
+        igrid_col = result.column("IGrid")
+        freq_col = result.column("Freq. k-n-match")
+        wins = sum(f > g for f, g in zip(freq_col, igrid_col))
+        assert wins >= 4  # iris can be within noise at tiny query counts
+
+    def test_table4_hcinn_is_paper_constant(self):
+        result = table4.run(queries=5, k=5)
+        hcinn = result.column("HCINN")
+        assert hcinn[0] == pytest.approx(0.86)
+        assert hcinn[2] is None
+
+    def test_fig8_shapes(self):
+        fig_a, fig_b = fig8.run(queries=20, k=10)
+        assert set(fig_a.headers) == {"data set", "n0", "accuracy"}
+        for row in fig_a.rows + fig_b.rows:
+            assert 0.0 <= row[2] <= 1.0
+        # (b): for each dataset accuracy at the largest n1 should not be
+        # far below the maximum over the sweep (it flattens at large n1)
+        for name in fig8.FIG8_DATASETS:
+            curve = [r for r in fig_b.rows if r[0] == name]
+            best = max(r[2] for r in curve)
+            last = curve[-1][2]
+            assert last >= best - 0.15
+
+    def test_fig9_fraction_grows_with_n1(self):
+        fig_a, fig_b = fig9.run(queries=10, k=10, io_queries=4)
+        for name in fig9.FIG9_DATASETS:
+            curve = [r[2] for r in fig_a.rows if r[0] == name]
+            assert curve == sorted(curve)  # monotone in n1
+            assert all(0 <= v <= 100 for v in curve)
+        assert fig_b.rows[-1][0] == "IGrid (reference)"
+
+
+@pytest.mark.slow
+class TestEfficiencyExperiments:
+    def test_fig10_structure(self):
+        fig_a, fig_b = fig10.run(**SMALL)
+        assert len(fig_a.rows) == 2 * len(fig10.FIG10_K_VALUES)
+        for row in fig_a.rows:
+            assert 0 < row[2] <= row[3]  # refined <= cardinality
+        for row in fig_b.rows:
+            assert row[2] > 0 and row[3] > 0
+
+    def test_fig11_structure(self):
+        fig_a, fig_b = fig11.run(**SMALL)
+        assert len(fig_a.rows) == len(fig11.FIG11_K_VALUES)
+        for row in fig_a.rows:
+            assert row[1] > 0 and row[2] > 0
+
+    def test_fig12_ad_pages_grow_with_n1(self):
+        fig_a, _fig_b = fig12.run(**SMALL)
+        for name in ("uniform", "texture"):
+            pages = [r[2] for r in fig_a.rows if r[0] == name]
+            assert pages == sorted(pages)
+
+    def test_fig13_structure(self):
+        fig_a, fig_b = fig13.run(
+            scale=0.03, queries=1, k_values=(5, 10), sizes=(30000, 60000)
+        )
+        assert len(fig_a.rows) == 2
+        assert len(fig_b.rows) == 2
+        # scan cost strictly grows with dataset size
+        assert fig_b.rows[0][1] < fig_b.rows[1][1]
+
+    def test_fig14_structure(self):
+        result = fig14.run(scale=0.03, queries=1, dimensionalities=(8, 16))
+        assert [row[0] for row in result.rows] == [8, 16]
+        # scan cost grows with dimensionality
+        assert result.rows[0][1] < result.rows[1][1]
+
+    def test_fig14_n_range_recipe(self):
+        assert fig14.n_range_for_dimensionality(16) == (4, 8)
+        assert fig14.n_range_for_dimensionality(8) == (4, 4)
+        assert fig14.n_range_for_dimensionality(2) == (2, 2)
+
+    def test_fig15_retrieval_grows_with_n1(self):
+        fig_a, fig_b = fig15.run(scale=0.03, queries=1, n1_values=(6, 10, 16))
+        fractions = [row[1] for row in fig_b.rows]
+        assert fractions == sorted(fractions)
+        assert all(0 < f <= 100 for f in fractions)
+        assert len(fig_a.rows) == 3

@@ -1,0 +1,148 @@
+"""Match explanations and the LRU buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase, explain_match
+from repro.errors import StorageError, ValidationError
+from repro.storage import BufferPool, Pager
+
+
+class TestExplainMatch:
+    FIG1 = [
+        [1.1, 100, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1, 1],
+        [1.4, 1.4, 1.4, 1.5, 100, 1.4, 1.2, 1.2, 1, 1],
+        [1, 1, 1, 1, 1, 1, 2, 100, 2, 2],
+        [20.0] * 10,
+    ]
+    QUERY = [1.0] * 10
+
+    def test_figure1_object3_explanation(self):
+        explanation = explain_match(self.FIG1, self.QUERY, point_id=2, n=6)
+        assert explanation.delta == 0.0
+        assert explanation.match_count == 6
+        assert set(explanation.matching_dimensions) == {0, 1, 2, 3, 4, 5}
+        # the 100-difference dimension is the top outlier
+        assert explanation.outlier_dimensions[0] == 7
+
+    def test_outliers_sorted_descending(self):
+        explanation = explain_match(self.FIG1, self.QUERY, point_id=0, n=7)
+        diffs = [explanation.differences[i] for i in explanation.outlier_dimensions]
+        assert diffs == sorted(diffs, reverse=True)
+
+    def test_matching_count_at_least_n(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        result = db.k_n_match(small_query, 3, 5)
+        for pid in result.ids:
+            explanation = explain_match(small_data, small_query, pid, 5)
+            assert explanation.match_count >= 5
+            assert explanation.delta == pytest.approx(
+                np.sort(np.abs(small_data[pid] - small_query))[4]
+            )
+
+    def test_describe_with_names(self):
+        explanation = explain_match(self.FIG1, self.QUERY, 2, 6)
+        names = [f"f{i}" for i in range(10)]
+        text = explanation.describe(names)
+        assert "6 of 10 dimensions" in text
+        assert "f7" in text  # the outlier is named
+
+    def test_describe_default_names(self):
+        text = explain_match(self.FIG1, self.QUERY, 2, 6).describe()
+        assert "dim0" in text
+
+    def test_describe_name_count_checked(self):
+        explanation = explain_match(self.FIG1, self.QUERY, 2, 6)
+        with pytest.raises(ValidationError):
+            explanation.describe(["too", "few"])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            explain_match(self.FIG1, self.QUERY, point_id=4, n=1)
+        with pytest.raises(ValidationError):
+            explain_match(self.FIG1, self.QUERY, point_id=0, n=11)
+
+
+class TestBufferPool:
+    @pytest.fixture
+    def pool(self):
+        pager = Pager(page_size=8)
+        for index in range(10):
+            pager.allocate(bytes([index]) * 4)
+        return BufferPool(pager, capacity=3)
+
+    def test_miss_then_hit(self, pool):
+        first = pool.read(0)
+        second = pool.read(0)
+        assert first == second
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.hit_rate == 0.5
+
+    def test_hits_do_not_touch_pager(self, pool):
+        pool.read(5)
+        before = pool.pager.recorder.total_reads
+        pool.read(5)
+        pool.read(5)
+        assert pool.pager.recorder.total_reads == before
+
+    def test_lru_eviction(self, pool):
+        pool.read(0)
+        pool.read(1)
+        pool.read(2)
+        pool.read(3)  # evicts 0
+        assert not pool.contains(0)
+        assert pool.contains(1)
+        pool.read(0)  # miss again
+        assert pool.misses == 5
+
+    def test_access_refreshes_recency(self, pool):
+        pool.read(0)
+        pool.read(1)
+        pool.read(2)
+        pool.read(0)  # refresh 0
+        pool.read(3)  # should evict 1, not 0
+        assert pool.contains(0)
+        assert not pool.contains(1)
+
+    def test_capacity_never_exceeded(self, pool):
+        for page in range(10):
+            pool.read(page)
+        assert pool.cached_pages <= 3
+
+    def test_invalidate_and_clear(self, pool):
+        pool.read(4)
+        pool.invalidate(4)
+        assert not pool.contains(4)
+        pool.read(4)
+        pool.read(5)
+        pool.clear()
+        assert pool.cached_pages == 0
+        assert pool.misses > 0  # counters preserved
+        pool.reset_counters()
+        assert pool.misses == 0
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool("not a pager", 3)
+        with pytest.raises(StorageError):
+            BufferPool(Pager(), 0)
+
+    def test_warm_rerun_is_cheap(self, small_data, small_query):
+        """A whole query's pages fit in a big pool: the second run hits
+        memory only — the warm-cache story the cold engines exclude."""
+        from repro.disk import DiskADEngine
+
+        engine = DiskADEngine(small_data)
+        engine.k_n_match(small_query, 5, 4)
+        pool = BufferPool(engine.pager, capacity=10_000)
+        # replay the pages the engine would touch via the pool
+        touched = [
+            engine.store.column(j).first_page for j in range(8)
+        ]
+        for page in touched:
+            pool.read(page)
+        before_hits = pool.hits
+        for page in touched:
+            pool.read(page)
+        assert pool.hits == before_hits + len(touched)

@@ -1,0 +1,169 @@
+"""Failure injection: engines must surface storage faults, not mask them."""
+
+import numpy as np
+import pytest
+
+from repro.data import correlated_dataset, float32_exact
+from repro.disk import DiskADEngine, DiskScanEngine
+from repro.errors import StorageError, ValidationError
+from repro.storage import FaultyPager
+
+
+@pytest.fixture
+def data(rng):
+    return float32_exact(rng.random((400, 6)))
+
+
+class TestFaultyPager:
+    def test_behaves_normally_without_faults(self):
+        pager = FaultyPager(page_size=16)
+        pid = pager.allocate(b"payload")
+        assert pager.read(pid).startswith(b"payload")
+        assert pager.faults_fired == 0
+
+    def test_fail_page_raises(self):
+        pager = FaultyPager(page_size=16, fail_pages={0})
+        pager.allocate(b"x")
+        with pytest.raises(StorageError, match="injected fault"):
+            pager.read(0)
+        assert pager.faults_fired == 1
+
+    def test_corrupt_page_flips_bit(self):
+        pager = FaultyPager(page_size=16, corrupt_pages={0})
+        pager.allocate(b"\x00garbage")
+        payload = pager.read(0)
+        assert payload[0] == 0x01
+
+    def test_fail_after_reads(self):
+        pager = FaultyPager(page_size=16, fail_after_reads=2)
+        for _ in range(3):
+            pager.allocate(b"x")
+        pager.read(0)
+        pager.read(1)
+        with pytest.raises(StorageError, match="device failed"):
+            pager.read(2)
+
+
+class TestEnginePropagation:
+    def test_disk_ad_surfaces_unreadable_page(self, data, rng):
+        pager = FaultyPager(page_size=256)
+        engine = DiskADEngine(data, pager=pager)
+        # fail a page in the middle of the first column
+        victim = data.shape[0] // pager.page_size * 0 + 2
+        pager.fail_pages.add(engine.store.column(0).first_page + 1)
+        query = float32_exact(rng.random(6))
+        with pytest.raises(StorageError, match="injected fault"):
+            # n = d forces deep walks that must cross the bad page
+            engine.frequent_k_n_match(query, 50, (1, 6))
+
+    def test_disk_scan_surfaces_unreadable_page(self, data, rng):
+        pager = FaultyPager(page_size=256)
+        engine = DiskScanEngine(data, pager=pager)
+        pager.fail_pages.add(engine.heap_file.page_of_point(100))
+        with pytest.raises(StorageError, match="injected fault"):
+            engine.k_n_match(float32_exact(rng.random(6)), 5, 3)
+
+    def test_device_death_mid_query(self, data, rng):
+        pager = FaultyPager(page_size=256)
+        engine = DiskScanEngine(data, pager=pager)
+        pager.fail_after_reads = 3
+        with pytest.raises(StorageError, match="device failed"):
+            engine.k_n_match(float32_exact(rng.random(6)), 5, 3)
+
+    def test_engine_usable_after_fault_cleared(self, data, rng):
+        """A transient fault must not wedge the engine."""
+        pager = FaultyPager(page_size=256)
+        engine = DiskScanEngine(data, pager=pager)
+        bad = engine.heap_file.page_of_point(0)
+        pager.fail_pages.add(bad)
+        query = float32_exact(rng.random(6))
+        with pytest.raises(StorageError):
+            engine.k_n_match(query, 5, 3)
+        pager.fail_pages.clear()
+        result = engine.k_n_match(query, 5, 3)
+        assert len(result.ids) == 5
+
+
+class TestCorrelatedGenerator:
+    def test_shape_and_range(self):
+        data = correlated_dataset(500, 6, correlation=0.5, seed=1)
+        assert data.shape == (500, 6)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_marginals_roughly_uniform(self):
+        data = correlated_dataset(20000, 2, correlation=0.7, seed=2)
+        for j in range(2):
+            hist, _ = np.histogram(data[:, j], bins=10, range=(0, 1))
+            assert hist.min() > 20000 / 10 * 0.8
+            assert hist.max() < 20000 / 10 * 1.2
+
+    def test_correlation_parameter_works(self):
+        low = correlated_dataset(5000, 4, correlation=0.05, seed=3)
+        high = correlated_dataset(5000, 4, correlation=0.9, seed=3)
+
+        def mean_corr(data):
+            corr = np.corrcoef(data.T)
+            return corr[np.triu_indices(4, 1)].mean()
+
+        assert mean_corr(low) < 0.15
+        assert mean_corr(high) > 0.7
+
+    def test_zero_correlation_is_independent_uniforms(self):
+        data = correlated_dataset(5000, 3, correlation=0.0, seed=4)
+        corr = np.corrcoef(data.T)
+        assert abs(corr[np.triu_indices(3, 1)]).max() < 0.06
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            correlated_dataset(10, 2, correlation=1.0)
+        with pytest.raises(ValidationError):
+            correlated_dataset(10, 2, correlation=-0.1)
+
+    def test_ad_benefits_from_correlation(self, rng):
+        """The ablation's premise: AD retrieves fewer attributes on
+        correlated data (appearance counts concentrate)."""
+        from repro.core.ad import ADEngine
+
+        fractions = {}
+        for rho in (0.0, 0.8):
+            data = correlated_dataset(4000, 8, correlation=rho, seed=5)
+            engine = ADEngine(data)
+            query = data[10]
+            stats = engine.frequent_k_n_match(
+                query, 10, (4, 8), keep_answer_sets=False
+            ).stats
+            fractions[rho] = stats.fraction_retrieved
+        assert fractions[0.8] < fractions[0.0]
+
+
+class TestAnticorrelatedGenerator:
+    def test_shape_and_range(self):
+        from repro.data import anticorrelated_dataset
+
+        data = anticorrelated_dataset(500, 5, seed=1)
+        assert data.shape == (500, 5)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_negative_pairwise_correlation(self):
+        from repro.data import anticorrelated_dataset
+
+        data = anticorrelated_dataset(5000, 4, seed=2)
+        corr = np.corrcoef(data.T)
+        off_diagonal = corr[np.triu_indices(4, 1)]
+        assert off_diagonal.mean() < -0.1
+
+    def test_skyline_explodes_vs_correlated(self):
+        """The classic contrast: anti-correlated data has a huge skyline,
+        correlated data a tiny one."""
+        from repro.baselines import skyline
+        from repro.data import anticorrelated_dataset, correlated_dataset
+
+        anti = anticorrelated_dataset(400, 3, seed=3)
+        corr = correlated_dataset(400, 3, correlation=0.9, seed=3)
+        assert len(skyline(anti)) > 3 * len(skyline(corr))
+
+    def test_validation(self):
+        from repro.data import anticorrelated_dataset
+
+        with pytest.raises(ValidationError):
+            anticorrelated_dataset(10, 2, spread=0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the row-oriented heap file."""
+
+import numpy as np
+import pytest
+
+from repro.data import float32_exact
+from repro.errors import StorageError
+from repro.storage import HeapFile, Pager
+
+
+@pytest.fixture
+def matrix(rng):
+    return float32_exact(rng.random((137, 5)))  # odd size: partial last page
+
+
+@pytest.fixture
+def heap(matrix):
+    # 5 floats x 4 bytes = 20 bytes per row; 3 rows per 64-byte page
+    return HeapFile(matrix, Pager(page_size=64))
+
+
+class TestLayout:
+    def test_points_per_page(self, heap):
+        assert heap.points_per_page == 3
+
+    def test_page_count(self, heap):
+        assert heap.page_count == -(-137 // 3)
+
+    def test_row_too_large(self):
+        with pytest.raises(StorageError):
+            HeapFile(np.zeros((2, 100)), Pager(page_size=64))
+
+    def test_page_of_point(self, heap):
+        assert heap.page_of_point(0) == 0
+        assert heap.page_of_point(2) == 0
+        assert heap.page_of_point(3) == 1
+        with pytest.raises(StorageError):
+            heap.page_of_point(137)
+
+
+class TestScan:
+    def test_round_trip(self, heap, matrix):
+        np.testing.assert_array_equal(heap.read_all(), matrix.astype(np.float32))
+
+    def test_scan_yields_in_order(self, heap):
+        first_ids = [first for first, _rows in heap.scan()]
+        assert first_ids == sorted(first_ids)
+        assert first_ids[0] == 0
+
+    def test_scan_is_sequential(self, heap):
+        heap.pager.reset_counters()
+        list(heap.scan())
+        recorder = heap.pager.recorder
+        assert recorder.random_reads == 1  # only the initial seek
+        assert recorder.sequential_reads == heap.page_count - 1
+
+
+class TestFetch:
+    def test_fetch_returns_requested_order(self, heap, matrix):
+        ids = [100, 3, 57, 3]
+        rows = heap.fetch_points(ids)
+        np.testing.assert_array_equal(rows, matrix[ids].astype(np.float32))
+
+    def test_fetch_reads_each_page_once(self, heap):
+        heap.pager.reset_counters()
+        heap.fetch_points([0, 1, 2])  # same page
+        assert heap.pager.recorder.total_reads == 1
+
+    def test_scattered_fetch_is_mostly_random(self, heap):
+        heap.pager.reset_counters()
+        heap.fetch_points([0, 30, 60, 90, 120])
+        recorder = heap.pager.recorder
+        assert recorder.random_reads == 5
+        assert recorder.sequential_reads == 0
+
+    def test_adjacent_pages_fetch_sequential(self, heap):
+        heap.pager.reset_counters()
+        heap.fetch_points([0, 3, 6])  # pages 0, 1, 2
+        recorder = heap.pager.recorder
+        assert recorder.random_reads == 1
+        assert recorder.sequential_reads == 2
+
+    def test_fetch_invalid_id(self, heap):
+        with pytest.raises(StorageError):
+            heap.fetch_points([9999])
+
+    def test_fetch_empty(self, heap):
+        rows = heap.fetch_points([])
+        assert rows.shape == (0, 5)
+
+
+class TestSharedPager:
+    def test_two_files_on_one_pager(self, matrix):
+        pager = Pager(page_size=64)
+        first = HeapFile(matrix, pager)
+        second = HeapFile(matrix * 0.5, pager)
+        np.testing.assert_array_equal(first.read_all(), matrix.astype(np.float32))
+        np.testing.assert_array_equal(
+            second.read_all(), (matrix * 0.5).astype(np.float32)
+        )
+        assert second.page_of_point(0) == first.page_count

@@ -1,0 +1,128 @@
+"""Cross-module integration: every engine, one workload, one truth.
+
+These tests exercise whole pipelines (generate -> build -> persist ->
+load -> query -> explain -> advise) and the grand equivalence: seven
+independent implementations of the same query semantics — naive scan,
+AD, block-AD, disk AD, disk scan, VA-file, IR middleware — agreeing on
+realistic workloads, including the skewed texture stand-in and varying
+page sizes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import assert_valid_frequent
+from repro import MatchDatabase, explain_match, load_database, save_database
+from repro.core.advisor import recommend_engine
+from repro.core.naive import NaiveScanEngine
+from repro.data import (
+    float32_exact,
+    make_texture_like,
+    sample_queries,
+    skewed_dataset,
+)
+from repro.disk import DiskADEngine, DiskScanEngine
+from repro.ir import MatchMiddleware, ScoreSystem
+from repro.storage import DiskModel, Pager
+from repro.vafile import VAFileEngine
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = make_texture_like(cardinality=2500, seed=99)
+    queries = sample_queries(data, 3, seed=100)
+    return data, queries
+
+
+class TestGrandEquivalence:
+    K = 12
+    N_RANGE = (5, 11)
+
+    def test_all_engines_agree_on_texture(self, workload):
+        data, queries = workload
+        naive = NaiveScanEngine(data)
+        db = MatchDatabase(data)
+        disk_ad = DiskADEngine(data)
+        disk_scan = DiskScanEngine(data)
+        va = VAFileEngine(data)
+        middleware = MatchMiddleware(
+            [ScoreSystem(f"s{j}", data[:, j]) for j in range(data.shape[1])]
+        )
+        for query in queries:
+            truth = naive.frequent_k_n_match(query, self.K, self.N_RANGE)
+            assert_valid_frequent(
+                data, query, self.N_RANGE, self.K, truth.answer_sets
+            )
+            for name, result in [
+                ("ad", db.frequent_k_n_match(query, self.K, self.N_RANGE, engine="ad")),
+                (
+                    "block-ad",
+                    db.frequent_k_n_match(query, self.K, self.N_RANGE, engine="block-ad"),
+                ),
+                ("disk-ad", disk_ad.frequent_k_n_match(query, self.K, self.N_RANGE)),
+                ("disk-scan", disk_scan.frequent_k_n_match(query, self.K, self.N_RANGE)),
+                ("va-file", va.frequent_k_n_match(query, self.K, self.N_RANGE)),
+                ("middleware", middleware.frequent_k_n_match(query, self.K, self.N_RANGE)),
+            ]:
+                assert result.ids == truth.ids, name
+                assert result.frequencies == truth.frequencies, name
+
+    @pytest.mark.parametrize("page_size", [256, 1024, 4096])
+    def test_page_size_never_changes_answers(self, workload, page_size):
+        data, queries = workload
+        model = DiskModel(page_size=page_size)
+        engine = DiskADEngine(data, pager=Pager(page_size), disk_model=model)
+        naive = NaiveScanEngine(data)
+        result = engine.frequent_k_n_match(queries[0], 8, (4, 9))
+        truth = naive.frequent_k_n_match(queries[0], 8, (4, 9))
+        assert result.ids == truth.ids
+
+    def test_smaller_pages_mean_more_page_reads(self, workload):
+        data, queries = workload
+        reads = {}
+        for page_size in (512, 4096):
+            engine = DiskADEngine(data, pager=Pager(page_size))
+            stats = engine.frequent_k_n_match(queries[0], 8, (4, 9)).stats
+            reads[page_size] = stats.page_reads
+        assert reads[512] > reads[4096]
+
+    def test_single_dimension_database_all_engines(self):
+        data = float32_exact(np.linspace(0, 1, 50).reshape(-1, 1))
+        query = np.array([0.52])
+        truth = NaiveScanEngine(data).k_n_match(query, 5, 1)
+        db = MatchDatabase(data)
+        for engine in ("ad", "block-ad"):
+            assert db.k_n_match(query, 5, 1, engine=engine).ids == truth.ids
+        assert DiskADEngine(data).k_n_match(query, 5, 1).ids == truth.ids
+        assert VAFileEngine(data).k_n_match(query, 5, 1).ids == truth.ids
+
+
+class TestEndToEndPipeline:
+    def test_generate_build_save_load_query_explain_advise(self, tmp_path):
+        # generate
+        data = skewed_dataset(800, 10, seed=3)
+        # build + persist + reload
+        db = MatchDatabase(data)
+        path = tmp_path / "pipeline.npz"
+        save_database(db, path)
+        restored = load_database(path)
+        # query
+        query = data[17]
+        result = restored.frequent_k_n_match(query, 6, (3, 8))
+        assert 17 in result.ids  # the point itself always makes the cut
+        # explain the top answer
+        explanation = explain_match(data, query, result.ids[0], 8)
+        assert explanation.match_count >= 8
+        # advise
+        advice = recommend_engine(restored, 6, (3, 8))
+        rerun = restored.frequent_k_n_match(query, 6, (3, 8), engine=advice.engine)
+        assert rerun.ids == result.ids
+
+    def test_stats_sum_is_consistent_across_batch(self, workload):
+        data, queries = workload
+        db = MatchDatabase(data)
+        batch = db.frequent_k_n_match_batch(queries, 5, (4, 8), engine="ad")
+        for result in batch:
+            stats = result.stats
+            assert 0 < stats.attributes_retrieved <= stats.total_attributes
+            assert stats.total_attributes == data.size

@@ -1,0 +1,138 @@
+"""Persistence round-trips and corruption handling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase, load_database, save_database
+from repro.errors import StorageError
+from repro.io import FORMAT_VERSION, _MAGIC
+
+
+@pytest.fixture
+def saved(tmp_path, small_data):
+    db = MatchDatabase(small_data, default_engine="block-ad")
+    path = tmp_path / "db.npz"
+    save_database(db, path)
+    return db, path
+
+
+class TestRoundTrip:
+    def test_data_survives(self, saved):
+        db, path = saved
+        loaded = load_database(path)
+        np.testing.assert_array_equal(loaded.data, db.data)
+        assert loaded.cardinality == db.cardinality
+        assert loaded.dimensionality == db.dimensionality
+        assert loaded.default_engine == "block-ad"
+
+    def test_answers_identical(self, saved, small_query):
+        db, path = saved
+        loaded = load_database(path)
+        original = db.frequent_k_n_match(small_query, 7, (3, 6))
+        restored = loaded.frequent_k_n_match(small_query, 7, (3, 6))
+        assert original.ids == restored.ids
+        assert original.answer_sets == restored.answer_sets
+
+    def test_columns_not_resorted(self, saved):
+        _db, path = saved
+        loaded = load_database(path)
+        for j in (0, 7):
+            values = loaded.columns.column_values(j)
+            assert np.all(np.diff(values) >= 0)
+
+    def test_save_requires_match_database(self, tmp_path):
+        with pytest.raises(StorageError):
+            save_database("not a db", tmp_path / "x.npz")
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "absent.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.arange(10))
+        with pytest.raises(StorageError, match="not a repro database"):
+            load_database(path)
+
+    def test_wrong_magic(self, tmp_path, saved):
+        _db, path = saved
+        archive = dict(np.load(path))
+        header = json.loads(bytes(archive["header"]).decode())
+        header["magic"] = "evil"
+        archive["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        bad = tmp_path / "bad_magic.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(StorageError, match="not a repro database"):
+            load_database(bad)
+
+    def test_wrong_version(self, tmp_path, saved):
+        _db, path = saved
+        archive = dict(np.load(path))
+        header = json.loads(bytes(archive["header"]).decode())
+        header["version"] = FORMAT_VERSION + 1
+        archive["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        bad = tmp_path / "bad_version.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(StorageError, match="format version"):
+            load_database(bad)
+
+    def test_corrupt_header_json(self, tmp_path, saved):
+        _db, path = saved
+        archive = dict(np.load(path))
+        archive["header"] = np.frombuffer(b"{not json", dtype=np.uint8)
+        bad = tmp_path / "bad_header.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(StorageError, match="corrupt header"):
+            load_database(bad)
+
+    def test_tampered_sorted_values(self, tmp_path, saved):
+        """Failure injection: shuffle one column's values."""
+        _db, path = saved
+        archive = dict(np.load(path))
+        values = archive["sorted_values"].copy()
+        values[0, 0], values[0, -1] = values[0, -1], values[0, 0]
+        archive["sorted_values"] = values
+        bad = tmp_path / "unsorted.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(StorageError, match="not sorted"):
+            load_database(bad)
+
+    def test_tampered_ids(self, tmp_path, saved):
+        """Failure injection: duplicate an id in one permutation."""
+        _db, path = saved
+        archive = dict(np.load(path))
+        ids = archive["sorted_ids"].copy()
+        ids[0, 0] = ids[0, 1]
+        archive["sorted_ids"] = ids
+        bad = tmp_path / "dup_ids.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(StorageError, match="permutation"):
+            load_database(bad)
+
+    def test_shape_mismatch(self, tmp_path, saved):
+        _db, path = saved
+        archive = dict(np.load(path))
+        archive["data"] = archive["data"][:-1]
+        bad = tmp_path / "short.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(StorageError, match="shape"):
+            load_database(bad)
+
+    def test_magic_constant_stable(self):
+        # the on-disk contract: changing this breaks every saved file
+        assert _MAGIC == "repro-knmatch"
+        assert FORMAT_VERSION == 1

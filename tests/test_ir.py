@@ -1,0 +1,122 @@
+"""The multiple-system retrieval model: systems and middleware."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_valid_knmatch
+from repro.core.naive import NaiveScanEngine
+from repro.errors import ValidationError
+from repro.ir import MatchMiddleware, ScoreSystem
+
+
+@pytest.fixture
+def score_matrix(rng):
+    return rng.random((200, 5))
+
+
+@pytest.fixture
+def systems(score_matrix):
+    return [
+        ScoreSystem(f"system-{j}", score_matrix[:, j])
+        for j in range(score_matrix.shape[1])
+    ]
+
+
+class TestScoreSystem:
+    def test_sorted_entries_ascend(self, systems):
+        system = systems[0]
+        scores = [system.sorted_entry(rank)[1] for rank in range(system.size)]
+        assert scores == sorted(scores)
+
+    def test_sorted_access_counted(self, systems):
+        system = systems[0]
+        system.sorted_entry(0)
+        system.sorted_entry(1)
+        assert system.sorted_accesses == 2
+        system.reset_counters()
+        assert system.sorted_accesses == 0
+
+    def test_random_access(self, score_matrix, systems):
+        system = systems[2]
+        assert system.random_access(17) == pytest.approx(score_matrix[17, 2])
+        assert system.random_accesses == 1
+
+    def test_locate(self, systems):
+        system = systems[0]
+        rank = system.locate(0.5)
+        if rank < system.size:
+            assert system.sorted_entry(rank)[1] >= 0.5
+        if rank > 0:
+            assert system.sorted_entry(rank - 1)[1] < 0.5
+
+    def test_bounds(self, systems):
+        with pytest.raises(ValidationError):
+            systems[0].sorted_entry(systems[0].size)
+        with pytest.raises(ValidationError):
+            systems[0].random_access(-1)
+
+    def test_rejects_bad_scores(self):
+        with pytest.raises(ValidationError):
+            ScoreSystem("bad", [])
+        with pytest.raises(ValidationError):
+            ScoreSystem("bad", [1.0, float("nan")])
+
+
+class TestMiddleware:
+    def test_matches_naive_over_stacked_scores(self, score_matrix, systems):
+        middleware = MatchMiddleware(systems)
+        target = score_matrix[33] * 1.01
+        result = middleware.k_n_match(target, k=6, n=3)
+        naive = NaiveScanEngine(score_matrix).k_n_match(target, 6, 3)
+        np.testing.assert_allclose(
+            sorted(result.differences), sorted(naive.differences), atol=1e-12
+        )
+        assert_valid_knmatch(score_matrix, target, 3, 6, result.ids)
+
+    def test_frequent_matches_naive(self, score_matrix, systems):
+        middleware = MatchMiddleware(systems)
+        target = score_matrix[10]
+        result = middleware.frequent_k_n_match(target, k=4, n_range=(2, 4))
+        naive = NaiveScanEngine(score_matrix).frequent_k_n_match(
+            target, 4, (2, 4)
+        )
+        assert result.ids == naive.ids
+
+    def test_access_bill_equals_stats(self, score_matrix, systems):
+        middleware = MatchMiddleware(systems)
+        result = middleware.k_n_match(score_matrix[5], k=3, n=2)
+        bill = middleware.access_bill()
+        assert set(bill) == {f"system-{j}" for j in range(5)}
+        assert sum(bill.values()) == result.stats.attributes_retrieved
+
+    def test_bill_is_partial_not_full(self, score_matrix, systems):
+        middleware = MatchMiddleware(systems)
+        middleware.k_n_match(score_matrix[5], k=1, n=1)
+        assert sum(middleware.access_bill().values()) < score_matrix.size / 2
+
+    def test_reset_counters(self, score_matrix, systems):
+        middleware = MatchMiddleware(systems)
+        middleware.k_n_match(score_matrix[5], k=1, n=1)
+        middleware.reset_counters()
+        assert sum(middleware.access_bill().values()) == 0
+
+    def test_size_mismatch_rejected(self):
+        a = ScoreSystem("a", [1.0, 2.0])
+        b = ScoreSystem("b", [1.0, 2.0, 3.0])
+        with pytest.raises(ValidationError):
+            MatchMiddleware([a, b])
+
+    def test_duplicate_names_rejected(self):
+        a = ScoreSystem("same", [1.0, 2.0])
+        b = ScoreSystem("same", [3.0, 4.0])
+        with pytest.raises(ValidationError):
+            MatchMiddleware([a, b])
+
+    def test_empty_systems_rejected(self):
+        with pytest.raises(ValidationError):
+            MatchMiddleware([])
+
+    def test_n_bounded_by_system_count(self, systems, score_matrix):
+        middleware = MatchMiddleware(systems)
+        with pytest.raises(ValidationError):
+            middleware.k_n_match(score_matrix[0], k=1, n=6)

@@ -1,0 +1,82 @@
+"""The shared AD consumption loop, driven by scripted frontiers."""
+
+from repro.core.matchloop import run_frequent_k_n_match, run_k_n_match
+
+
+class ScriptedFrontier:
+    """Feeds a fixed (pid, slot, diff) sequence to the loop."""
+
+    def __init__(self, triples):
+        self._triples = list(triples)
+        self._index = 0
+
+    def pop(self):
+        if self._index >= len(self._triples):
+            return None
+        triple = self._triples[self._index]
+        self._index += 1
+        return triple
+
+    @property
+    def consumed(self):
+        return self._index
+
+
+def make(seq):
+    """Build triples from (pid, diff) pairs; slots are irrelevant."""
+    return ScriptedFrontier([(pid, 0, diff) for pid, diff in seq])
+
+
+class TestRunKNMatch:
+    def test_first_to_n_appearances_wins(self):
+        frontier = make([(1, 0.1), (2, 0.2), (1, 0.3), (2, 0.4)])
+        ids, diffs = run_k_n_match(frontier, cardinality=3, k=1, n=2)
+        assert ids == [1]
+        assert diffs == [0.3]
+
+    def test_stops_immediately_after_kth_completion(self):
+        frontier = make([(0, 0.1), (0, 0.2), (1, 0.3), (1, 0.4), (2, 0.5)])
+        ids, _ = run_k_n_match(frontier, cardinality=3, k=2, n=2)
+        assert ids == [0, 1]
+        assert frontier.consumed == 4  # (2, 0.5) never popped
+
+    def test_n_equals_1_takes_first_k_distinct(self):
+        frontier = make([(5, 0.0), (5, 0.1), (7, 0.2), (5, 0.3), (9, 0.4)])
+        ids, diffs = run_k_n_match(frontier, cardinality=10, k=3, n=1)
+        assert ids == [5, 7, 9]
+        assert diffs == [0.0, 0.2, 0.4]
+
+    def test_exhausted_frontier_returns_partial(self):
+        frontier = make([(0, 0.1)])
+        ids, _ = run_k_n_match(frontier, cardinality=2, k=2, n=1)
+        assert ids == [0]
+
+
+class TestRunFrequent:
+    def test_sets_record_completion_order(self):
+        frontier = make(
+            [(0, 0.1), (1, 0.2), (1, 0.3), (0, 0.4), (2, 0.5), (2, 0.6)]
+        )
+        sets = run_frequent_k_n_match(frontier, cardinality=3, k=2, n0=1, n1=2)
+        assert sets[1] == [0, 1]  # point 2 never surfaces before the stop
+        assert sets[2] == [1, 0]
+        assert frontier.consumed == 4
+
+    def test_stops_when_k_reach_n1(self):
+        frontier = make(
+            [(0, 0.1), (0, 0.2), (1, 0.3), (1, 0.4), (2, 0.5), (2, 0.6)]
+        )
+        sets = run_frequent_k_n_match(frontier, cardinality=3, k=2, n0=1, n1=2)
+        assert sets[2] == [0, 1]
+        assert frontier.consumed == 4
+
+    def test_counts_below_n0_ignored(self):
+        frontier = make([(0, 0.1), (1, 0.2), (0, 0.3), (0, 0.4)])
+        sets = run_frequent_k_n_match(frontier, cardinality=2, k=1, n0=3, n1=3)
+        assert sets == {3: [0]}
+
+    def test_sets_for_all_n_in_range_present(self):
+        frontier = make([(0, 0.1), (0, 0.2), (0, 0.3)])
+        sets = run_frequent_k_n_match(frontier, cardinality=1, k=1, n0=1, n1=3)
+        assert sorted(sets) == [1, 2, 3]
+        assert sets[1] == sets[2] == sets[3] == [0]

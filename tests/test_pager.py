@@ -1,0 +1,133 @@
+"""Unit tests for the page simulator and its access recorder."""
+
+import pytest
+
+from repro.errors import PageOverflowError, StorageError
+from repro.storage import PageAccessRecorder, Pager
+
+
+class TestRecorder:
+    def test_first_access_is_random(self):
+        recorder = PageAccessRecorder()
+        recorder.record(5, "s")
+        assert recorder.random_reads == 1
+        assert recorder.sequential_reads == 0
+
+    def test_forward_adjacent_is_sequential(self):
+        recorder = PageAccessRecorder()
+        recorder.record(5, "s")
+        recorder.record(6, "s")
+        assert recorder.sequential_reads == 1
+
+    def test_backward_adjacent_is_sequential(self):
+        recorder = PageAccessRecorder()
+        recorder.record(5, "s")
+        recorder.record(4, "s")
+        assert recorder.sequential_reads == 1
+
+    def test_jump_is_random(self):
+        recorder = PageAccessRecorder()
+        recorder.record(5, "s")
+        recorder.record(9, "s")
+        assert recorder.random_reads == 2
+
+    def test_same_page_is_free(self):
+        recorder = PageAccessRecorder()
+        recorder.record(5, "s")
+        recorder.record(5, "s")
+        assert recorder.total_reads == 1
+
+    def test_streams_are_independent(self):
+        recorder = PageAccessRecorder()
+        recorder.record(0, "a")
+        recorder.record(100, "b")
+        recorder.record(1, "a")  # adjacent within stream a
+        recorder.record(101, "b")  # adjacent within stream b
+        assert recorder.random_reads == 2
+        assert recorder.sequential_reads == 2
+
+    def test_interleaved_single_stream_is_random(self):
+        recorder = PageAccessRecorder()
+        for page in (0, 100, 1, 101):
+            recorder.record(page, "one")
+        assert recorder.random_reads == 4
+
+    def test_reset(self):
+        recorder = PageAccessRecorder()
+        recorder.record(3, "s")
+        recorder.reset()
+        assert recorder.total_reads == 0
+        recorder.record(4, "s")  # no memory of page 3 -> random again
+        assert recorder.random_reads == 1
+
+
+class TestPager:
+    def test_allocate_and_read(self):
+        pager = Pager(page_size=16)
+        pid = pager.allocate(b"hello")
+        page = pager.read(pid)
+        assert page.startswith(b"hello")
+        assert len(page) == 16
+
+    def test_zero_padding(self):
+        pager = Pager(page_size=8)
+        pid = pager.allocate(b"ab")
+        assert pager.read(pid) == b"ab" + b"\x00" * 6
+
+    def test_overflow_rejected(self):
+        pager = Pager(page_size=4)
+        with pytest.raises(PageOverflowError):
+            pager.allocate(b"too long")
+
+    def test_allocate_run_splits_payload(self):
+        pager = Pager(page_size=4)
+        run = pager.allocate_run(b"abcdefghij")
+        assert len(run) == 3
+        assert pager.read(run[0]) == b"abcd"
+        assert pager.read(run[2]) == b"ij\x00\x00"
+
+    def test_allocate_run_empty_payload_gets_one_page(self):
+        pager = Pager(page_size=4)
+        run = pager.allocate_run(b"")
+        assert len(run) == 1
+
+    def test_read_out_of_range(self):
+        pager = Pager()
+        with pytest.raises(StorageError):
+            pager.read(0)
+
+    def test_write_round_trip(self):
+        pager = Pager(page_size=8)
+        pid = pager.allocate(b"old")
+        pager.write(pid, b"new")
+        assert pager.read(pid).startswith(b"new")
+
+    def test_write_errors(self):
+        pager = Pager(page_size=4)
+        pid = pager.allocate()
+        with pytest.raises(PageOverflowError):
+            pager.write(pid, b"12345")
+        with pytest.raises(StorageError):
+            pager.write(pid + 1, b"x")
+
+    def test_invalid_page_size(self):
+        with pytest.raises(StorageError):
+            Pager(page_size=0)
+
+    def test_reads_drive_recorder(self):
+        pager = Pager(page_size=4)
+        a = pager.allocate(b"a")
+        b = pager.allocate(b"b")
+        pager.read(a, "s")
+        pager.read(b, "s")
+        assert pager.recorder.sequential_reads == 1
+        assert pager.recorder.random_reads == 1
+        pager.reset_counters()
+        assert pager.recorder.total_reads == 0
+
+    def test_page_count(self):
+        pager = Pager(page_size=4)
+        assert pager.page_count == 0
+        pager.allocate()
+        pager.allocate()
+        assert pager.page_count == 2

@@ -1,0 +1,145 @@
+"""The paper's worked examples, reproduced end-to-end.
+
+Every number asserted here appears verbatim in the paper's text:
+Figure 1's 6/7/8-match answers, Figure 2's query-type contrast,
+Figure 3/5's 2-2-match run of the AD algorithm, and the FA
+counterexample of Sec. 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase
+from repro.baselines import fa_top_k, skyline
+from repro.core.ad import ADEngine
+
+
+class TestFigure1:
+    """10-d example: partial similarity that Euclidean distance misses."""
+
+    QUERY = [1.0] * 10
+
+    def test_euclidean_nn_returns_object_4(self, figure1_database):
+        distances = np.linalg.norm(figure1_database - np.array(self.QUERY), axis=1)
+        assert int(np.argmin(distances)) == 3  # object 4, 0-indexed
+
+    @pytest.mark.parametrize(
+        "n, expected_object, expected_delta",
+        [(6, 3, 0.0), (7, 1, 0.2), (8, 2, 0.4)],
+    )
+    def test_n_match_answers(self, figure1_database, n, expected_object, expected_delta):
+        db = MatchDatabase(figure1_database)
+        result = db.k_n_match(self.QUERY, k=1, n=n)
+        assert result.ids == [expected_object - 1]
+        assert result.differences[0] == pytest.approx(expected_delta, abs=1e-9)
+
+    def test_6_match_with_delta_02_adds_object_1(self, figure1_database):
+        """Sec. 1: 'If we set delta to 0.2, we would have an additional
+        answer, object 1, for the 6-match query.'"""
+        db = MatchDatabase(figure1_database)
+        result = db.k_n_match(self.QUERY, k=2, n=6)
+        assert sorted(result.ids) == [0, 2]  # objects 1 and 3
+        assert result.match_difference == pytest.approx(0.2, abs=1e-9)
+
+
+class TestFigure3And5:
+    """The running example of the AD algorithm (Sec. 3.1)."""
+
+    def test_2_2_match_answer(self, figure3_database, figure3_query):
+        db = MatchDatabase(figure3_database)
+        result = db.k_n_match(figure3_query, k=2, n=2)
+        # paper: "The 2-2-match set is {point 2, point 3} and ... the
+        # 2-2-match difference, 1.5."
+        assert sorted(result.ids) == [1, 2]
+        assert result.match_difference == pytest.approx(1.5)
+
+    def test_completion_order_matches_trace(self, figure3_database, figure3_query):
+        # The paper's trace: point 3 completes first (via (3,5,1.0)),
+        # then point 2 (via (2,2,1.5)).
+        db = MatchDatabase(figure3_database)
+        result = db.k_n_match(figure3_query, k=2, n=2)
+        assert result.ids == [2, 1]
+        assert result.differences == pytest.approx([1.0, 1.5])
+
+    def test_sorted_dimensions_match_figure5(self, figure3_database):
+        engine = ADEngine(figure3_database)
+        columns = engine.columns
+        # Figure 5, dimension 1: (1,0.4) (2,2.8) (5,3.5) (3,6.5) (4,9.0)
+        np.testing.assert_array_equal(columns.column_ids(0), [0, 1, 4, 2, 3])
+        np.testing.assert_allclose(
+            columns.column_values(0), [0.4, 2.8, 3.5, 6.5, 9.0]
+        )
+        # dimension 2: (1,1.0) (5,1.5) (2,5.5) (3,7.8) (4,9.0)
+        np.testing.assert_array_equal(columns.column_ids(1), [0, 4, 1, 2, 3])
+        # dimension 3: (1,1.0) (2,2.0) (3,5.0) (5,8.0) (4,9.0)
+        np.testing.assert_array_equal(columns.column_ids(2), [0, 1, 2, 4, 3])
+
+    def test_1_match_is_point_2(self, figure3_database, figure3_query):
+        # "we are looking for the 1-match of the query (3.0, 7.0, 4.0)"
+        # -> point 2 with difference 0.2 (dimension 1: |2.8 - 3.0|).
+        db = MatchDatabase(figure3_database)
+        result = db.k_n_match(figure3_query, k=1, n=1)
+        assert result.ids == [1]
+        assert result.differences[0] == pytest.approx(0.2)
+
+
+class TestFAGetsItWrong:
+    """Sec. 3: FA assumes monotone aggregation; n-match breaks it."""
+
+    def test_fa_returns_point_1_instead_of_point_2(
+        self, figure3_database, figure3_query
+    ):
+        def one_match(row: np.ndarray) -> float:
+            return float(np.min(np.abs(row - figure3_query)))
+
+        run = fa_top_k(figure3_database, one_match, k=1)
+        assert run.ids == [0]  # FA's wrong answer: point 1
+        assert run.aggregates[0] == pytest.approx(2.6)
+        # The correct answer was never even seen by sorted access.
+        assert 1 not in run.seen
+
+    def test_fa_correct_for_monotone_aggregate(self, figure3_database):
+        # Minimising the raw coordinate sum IS monotone in the sorted
+        # lists' order, so FA must agree with brute force.
+        def total(row: np.ndarray) -> float:
+            return float(row.sum())
+
+        run = fa_top_k(figure3_database, total, k=2)
+        brute = np.argsort(figure3_database.sum(axis=1))[:2]
+        assert sorted(run.ids) == sorted(int(i) for i in brute)
+
+
+class TestFigure2Contrast:
+    """k-n-match vs skyline on a 2-d layout like the paper's Figure 2."""
+
+    POINTS = {
+        "A": [5.05, 9.0],
+        "B": [6.0, 6.5],
+        "C": [9.5, 5.8],
+        "D": [4.7, 1.0],
+        "E": [5.4, 0.5],
+    }
+    QUERY = np.array([5.0, 6.0])
+
+    def _db(self):
+        names = list(self.POINTS)
+        return names, MatchDatabase(np.array([self.POINTS[n] for n in names]))
+
+    def test_1_match_is_best_single_dimension(self):
+        names, db = self._db()
+        result = db.k_n_match(self.QUERY, k=1, n=1)
+        assert names[result.ids[0]] == "A"  # x within 0.05
+
+    def test_knmatch_depends_on_k_and_n(self):
+        names, db = self._db()
+        one = {names[i] for i in db.k_n_match(self.QUERY, k=3, n=1).ids}
+        two = {names[i] for i in db.k_n_match(self.QUERY, k=2, n=2).ids}
+        assert one != two  # different (k, n) -> different answers
+
+    def test_skyline_is_a_fixed_set(self):
+        names, db = self._db()
+        sky = {names[i] for i in skyline(db.data, query=self.QUERY)}
+        assert sky == {"A", "B", "C"}
+        # ... and differs from the k-n-match answers above.
+        two = {names[i] for i in db.k_n_match(self.QUERY, k=2, n=2).ids}
+        assert sky != two

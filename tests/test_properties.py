@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from conftest import assert_valid_knmatch, reference_differences
+from repro.baselines import dominates, skyline
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.core.distance import (
+    chebyshev_distance,
+    dpf_distance,
+    match_count_within,
+    n_match_difference,
+)
+from repro.core.naive import NaiveScanEngine
+from repro.core.types import rank_by_frequency
+from repro.vafile import VAQuantizer
+
+finite = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def point_pairs(max_d=10):
+    return st.integers(2, max_d).flatmap(
+        lambda d: st.tuples(
+            arrays(np.float64, d, elements=finite),
+            arrays(np.float64, d, elements=finite),
+        )
+    )
+
+
+def database_and_query(max_c=60, max_d=6):
+    return st.tuples(st.integers(2, max_c), st.integers(1, max_d)).flatmap(
+        lambda shape: st.tuples(
+            arrays(np.float64, shape, elements=finite),
+            arrays(np.float64, shape[1], elements=finite),
+        )
+    )
+
+
+class TestNMatchProperties:
+    @given(point_pairs())
+    def test_monotone_in_n(self, pair):
+        p, q = pair
+        diffs = [n_match_difference(p, q, n) for n in range(1, len(p) + 1)]
+        assert all(a <= b for a, b in zip(diffs, diffs[1:]))
+
+    @given(point_pairs())
+    def test_symmetric(self, pair):
+        p, q = pair
+        for n in (1, len(p)):
+            assert n_match_difference(p, q, n) == n_match_difference(q, p, n)
+
+    @given(point_pairs())
+    def test_d_match_is_chebyshev(self, pair):
+        p, q = pair
+        assert n_match_difference(p, q, len(p)) == chebyshev_distance(p, q)
+
+    @given(point_pairs())
+    def test_identity(self, pair):
+        p, _ = pair
+        assert n_match_difference(p, p, len(p)) == 0.0
+
+    @given(point_pairs())
+    def test_match_count_duality(self, pair):
+        p, q = pair
+        for n in range(1, len(p) + 1):
+            delta = n_match_difference(p, q, n)
+            assert match_count_within(p, q, delta) >= n
+
+    @given(point_pairs())
+    def test_dpf_dominates_order_statistic(self, pair):
+        """DPF aggregates n diffs, each >= 0 and the largest of them is
+        the n-match difference, so DPF(p, q, n) >= n-match difference
+        under L1 and bounds it under L2."""
+        p, q = pair
+        for n in range(1, len(p) + 1):
+            assert dpf_distance(p, q, n, p=1.0) >= n_match_difference(p, q, n) - 1e-12
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(database_and_query(), st.integers(1, 8), st.data())
+    def test_ad_valid_and_matches_naive_differences(self, workload, k, data):
+        database, query = workload
+        c, d = database.shape
+        k = min(k, c)
+        n = data.draw(st.integers(1, d))
+        ad = ADEngine(database).k_n_match(query, k, n)
+        naive = NaiveScanEngine(database).k_n_match(query, k, n)
+        np.testing.assert_allclose(
+            sorted(ad.differences), sorted(naive.differences), atol=1e-12
+        )
+        assert_valid_knmatch(database, query, n, k, ad.ids)
+
+    @settings(max_examples=40, deadline=None)
+    @given(database_and_query(), st.integers(1, 8), st.data())
+    def test_block_ad_valid(self, workload, k, data):
+        database, query = workload
+        c, d = database.shape
+        k = min(k, c)
+        n0 = data.draw(st.integers(1, d))
+        n1 = data.draw(st.integers(n0, d))
+        result = BlockADEngine(database).frequent_k_n_match(query, k, (n0, n1))
+        for n, ids in result.answer_sets.items():
+            assert_valid_knmatch(database, query, n, k, ids)
+
+    @settings(max_examples=40, deadline=None)
+    @given(database_and_query())
+    def test_completion_order_is_sorted(self, workload):
+        database, query = workload
+        c, d = database.shape
+        result = ADEngine(database).k_n_match(query, min(5, c), d)
+        assert result.differences == sorted(result.differences)
+
+
+class TestQuantizerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(database_and_query(), st.integers(1, 8))
+    def test_bounds_bracket_truth(self, workload, bits):
+        database, query = workload
+        quantizer = VAQuantizer(database, bits=bits)
+        cells = quantizer.encode(database)
+        for j in range(database.shape[1]):
+            lower, upper = quantizer.difference_bounds(
+                j, cells[:, j], float(query[j])
+            )
+            truth = np.abs(database[:, j] - query[j])
+            assert np.all(lower <= truth + 1e-9)
+            assert np.all(truth <= upper + 1e-9)
+
+
+class TestSkylineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.integers(1, 4)),
+            elements=finite,
+        )
+    )
+    def test_skyline_definition(self, database):
+        members = set(skyline(database))
+        assert members  # never empty
+        for i in range(database.shape[0]):
+            dominated = any(
+                dominates(database[j], database[i])
+                for j in range(database.shape[0])
+                if j != i
+            )
+            assert (i in members) == (not dominated)
+
+
+class TestRankingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(1, 6),
+            st.lists(st.integers(0, 20), max_size=8),
+            max_size=5,
+        ),
+        st.integers(1, 10),
+    )
+    def test_rank_by_frequency_invariants(self, sets, k):
+        ids, freqs = rank_by_frequency(sets, k)
+        assert len(ids) == len(freqs) <= k
+        assert len(set(ids)) == len(ids)
+        assert freqs == sorted(freqs, reverse=True)
+        # reported frequencies are true counts
+        for pid, freq in zip(ids, freqs):
+            true = sum(pid in members for members in sets.values())
+            assert freq == true

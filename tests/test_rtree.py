@@ -1,0 +1,174 @@
+"""The R-tree baseline: structure invariants, queries, the curse."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KnnEngine, Rect, RTree
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def tree_and_data(rng):
+    data = rng.random((500, 4))
+    return RTree.build(data, max_entries=16), data
+
+
+class TestRect:
+    def test_point_rect(self):
+        rect = Rect.point(np.array([1.0, 2.0]))
+        assert rect.area() == 0.0
+        assert rect.contains_point(np.array([1.0, 2.0]))
+
+    def test_extend_and_area(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        rect.extend(Rect(np.array([2.0, 0.5]), np.array([3.0, 2.0])))
+        np.testing.assert_array_equal(rect.low, [0.0, 0.0])
+        np.testing.assert_array_equal(rect.high, [3.0, 2.0])
+        assert rect.area() == pytest.approx(6.0)
+
+    def test_enlargement(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        other = Rect.point(np.array([2.0, 1.0]))
+        assert rect.enlargement(other) == pytest.approx(1.0)
+
+    def test_intersects(self):
+        a = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = Rect(np.array([0.5, 0.5]), np.array([2.0, 2.0]))
+        c = Rect(np.array([1.5, 1.5]), np.array([2.0, 2.0]))
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+        # touching edges do intersect
+        d = Rect(np.array([1.0, 0.0]), np.array([2.0, 1.0]))
+        assert a.intersects(d)
+
+    def test_min_distance(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert rect.min_distance(np.array([0.5, 0.5])) == 0.0
+        assert rect.min_distance(np.array([2.0, 0.5])) == pytest.approx(1.0)
+        assert rect.min_distance(np.array([2.0, 2.0])) == pytest.approx(np.sqrt(2))
+
+
+class TestStructure:
+    def test_size_and_nodes(self, tree_and_data):
+        tree, data = tree_and_data
+        assert tree.size == 500
+        assert tree.node_count > 1
+        assert tree.height >= 2
+
+    def test_fanout_bounds(self, tree_and_data):
+        tree, _ = tree_and_data
+        stack = [(tree._root, True)]
+        while stack:
+            node, is_root = stack.pop()
+            assert node.fanout() <= tree.max_entries
+            if not is_root:
+                assert node.fanout() >= 1
+            if not node.leaf:
+                stack.extend((child, False) for child in node.children)
+
+    def test_rects_contain_children(self, tree_and_data):
+        tree, _ = tree_and_data
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for _pid, coords in node.entries:
+                    assert node.rect.contains_point(coords)
+            else:
+                for child in node.children:
+                    assert np.all(node.rect.low <= child.rect.low + 1e-12)
+                    assert np.all(child.rect.high <= node.rect.high + 1e-12)
+                    stack.append(child)
+
+    def test_all_points_present(self, tree_and_data):
+        tree, data = tree_and_data
+        found = tree.range_query(np.zeros(4), np.ones(4))
+        assert found == list(range(500))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RTree(0)
+        with pytest.raises(ValidationError):
+            RTree(2, max_entries=3)
+        with pytest.raises(ValidationError):
+            RTree(2).k_nearest([0.0, 0.0], 1)
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, tree_and_data, rng):
+        tree, data = tree_and_data
+        for _ in range(10):
+            low = rng.random(4) * 0.6
+            high = low + rng.random(4) * 0.4
+            expected = sorted(
+                int(i)
+                for i in np.flatnonzero(
+                    np.all((data >= low) & (data <= high), axis=1)
+                )
+            )
+            assert tree.range_query(low, high) == expected
+
+    def test_empty_window(self, tree_and_data):
+        tree, _ = tree_and_data
+        assert tree.range_query(np.full(4, 2.0), np.full(4, 3.0)) == []
+
+    def test_inverted_window_rejected(self, tree_and_data):
+        tree, _ = tree_and_data
+        with pytest.raises(ValidationError):
+            tree.range_query(np.ones(4), np.zeros(4))
+
+
+class TestKNearest:
+    def test_matches_scan_knn(self, tree_and_data, rng):
+        tree, data = tree_and_data
+        knn = KnnEngine(data)
+        for _ in range(5):
+            query = rng.random(4)
+            tree_result = tree.k_nearest(query, 10)
+            scan_result = knn.top_k(query, 10)
+            np.testing.assert_allclose(
+                [dist for _pid, dist in tree_result],
+                scan_result.distances,
+                atol=1e-9,
+            )
+
+    def test_distances_ascending(self, tree_and_data, rng):
+        tree, _ = tree_and_data
+        result = tree.k_nearest(rng.random(4), 20)
+        distances = [dist for _pid, dist in result]
+        assert distances == sorted(distances)
+
+    def test_self_query(self, tree_and_data):
+        tree, data = tree_and_data
+        result = tree.k_nearest(data[123], 1)
+        assert result[0][0] == 123
+        assert result[0][1] == pytest.approx(0.0)
+
+    def test_k_validated(self, tree_and_data):
+        tree, _ = tree_and_data
+        with pytest.raises(ValidationError):
+            tree.k_nearest(np.zeros(4), 501)
+
+    def test_node_access_counter(self, tree_and_data, rng):
+        tree, _ = tree_and_data
+        tree.reset_counters()
+        tree.k_nearest(rng.random(4), 5)
+        assert 0 < tree.node_accesses <= tree.node_count
+
+
+class TestDimensionalityCurse:
+    def test_node_access_fraction_grows_with_d(self, rng):
+        """The paper's Sec.-6 claim, measured: at low d a kNN query
+        touches a small share of nodes; at high d nearly all of them."""
+        fractions = {}
+        for d in (2, 16):
+            data = rng.random((2000, d))
+            tree = RTree.build(data, max_entries=16)
+            tree.reset_counters()
+            for query in rng.random((5, d)):
+                tree.k_nearest(query, 10)
+            fractions[d] = tree.node_accesses / (5 * tree.node_count)
+        assert fractions[2] < 0.35
+        assert fractions[16] > 0.85
+        assert fractions[2] < fractions[16]

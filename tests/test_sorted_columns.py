@@ -1,0 +1,176 @@
+"""Unit tests for the sorted-column substrate (columns, cursors, heap)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sorted_lists import (
+    DOWN,
+    UP,
+    AscendingDifferenceFrontier,
+    DirectionCursor,
+    SortedColumns,
+    make_cursors,
+)
+
+
+class TestSortedColumns:
+    def test_columns_are_sorted(self, small_data):
+        columns = SortedColumns(small_data)
+        for j in range(columns.dimensionality):
+            values = columns.column_values(j)
+            assert np.all(np.diff(values) >= 0)
+
+    def test_ids_are_permutations(self, small_data):
+        columns = SortedColumns(small_data)
+        for j in range(columns.dimensionality):
+            ids = columns.column_ids(j)
+            assert sorted(ids) == list(range(columns.cardinality))
+
+    def test_values_align_with_ids(self, small_data):
+        columns = SortedColumns(small_data)
+        for j in (0, columns.dimensionality - 1):
+            ids = columns.column_ids(j)
+            np.testing.assert_array_equal(
+                columns.column_values(j), small_data[ids, j]
+            )
+
+    def test_stable_sort_orders_ties_by_id(self):
+        data = np.array([[2.0], [1.0], [2.0], [1.0]])
+        columns = SortedColumns(data)
+        np.testing.assert_array_equal(columns.column_ids(0), [1, 3, 0, 2])
+
+    def test_entry(self):
+        columns = SortedColumns([[3.0], [1.0], [2.0]])
+        assert columns.entry(0, 0) == (1, 1.0)
+        assert columns.entry(0, 2) == (0, 3.0)
+
+    def test_entry_bounds(self):
+        columns = SortedColumns([[1.0]])
+        with pytest.raises(ValidationError):
+            columns.entry(0, 1)
+        with pytest.raises(ValidationError):
+            columns.entry(1, 0)
+
+    def test_locate_is_searchsorted_left(self, small_data):
+        columns = SortedColumns(small_data)
+        for value in (0.0, 0.5, 1.0, small_data[0, 0]):
+            expected = int(
+                np.searchsorted(columns.column_values(0), value, side="left")
+            )
+            assert columns.locate(0, value) == expected
+
+    def test_locate_all(self, small_data, small_query):
+        columns = SortedColumns(small_data)
+        positions = columns.locate_all(small_query)
+        for j, pos in enumerate(positions):
+            assert columns.locate(j, small_query[j]) == pos
+
+    def test_total_attributes(self, small_data):
+        columns = SortedColumns(small_data)
+        assert columns.total_attributes == small_data.size
+
+
+class TestDirectionCursor:
+    def test_up_cursor_walks_ascending_values(self):
+        columns = SortedColumns([[1.0], [3.0], [2.0]])
+        cursor = DirectionCursor(columns, 0, UP, 0, query_value=0.0)
+        seen = [cursor.next() for _ in range(3)]
+        assert [pid for pid, _ in seen] == [0, 2, 1]
+        diffs = [dif for _, dif in seen]
+        assert diffs == sorted(diffs)
+        assert cursor.next() is None
+        assert cursor.exhausted
+
+    def test_down_cursor_walks_descending_positions(self):
+        columns = SortedColumns([[1.0], [3.0], [2.0]])
+        cursor = DirectionCursor(columns, 0, DOWN, 2, query_value=4.0)
+        seen = [cursor.next() for _ in range(3)]
+        assert [pid for pid, _ in seen] == [1, 2, 0]
+        diffs = [dif for _, dif in seen]
+        assert diffs == sorted(diffs)
+
+    def test_retrieved_counter(self):
+        columns = SortedColumns([[1.0], [2.0]])
+        cursor = DirectionCursor(columns, 0, UP, 0, query_value=1.5)
+        cursor.next()
+        assert cursor.retrieved == 1
+        cursor.next()
+        cursor.next()  # exhausted; must not count
+        assert cursor.retrieved == 2
+
+    def test_invalid_direction(self):
+        columns = SortedColumns([[1.0]])
+        with pytest.raises(ValueError):
+            DirectionCursor(columns, 0, 0, 0, 0.0)
+
+    def test_make_cursors_partition_each_dimension(self, small_data, small_query):
+        """Each attribute is covered by exactly one of the 2d cursors."""
+        columns = SortedColumns(small_data)
+        cursors = make_cursors(columns, small_query)
+        assert len(cursors) == 2 * columns.dimensionality
+        for j in range(columns.dimensionality):
+            down, up = cursors[2 * j], cursors[2 * j + 1]
+            seen = []
+            while True:
+                pair = down.next()
+                if pair is None:
+                    break
+                seen.append(pair[0])
+            while True:
+                pair = up.next()
+                if pair is None:
+                    break
+                seen.append(pair[0])
+            assert sorted(seen) == list(range(columns.cardinality))
+
+
+class TestFrontier:
+    def test_pops_in_ascending_difference_order(self, small_data, small_query):
+        columns = SortedColumns(small_data)
+        frontier = AscendingDifferenceFrontier(make_cursors(columns, small_query))
+        last = -1.0
+        count = 0
+        while True:
+            popped = frontier.pop()
+            if popped is None:
+                break
+            _pid, _slot, dif = popped
+            assert dif >= last - 1e-12
+            last = dif
+            count += 1
+        assert count == small_data.size  # every attribute exactly once
+
+    def test_each_attribute_popped_once(self):
+        data = np.array([[1.0, 5.0], [2.0, 6.0], [3.0, 7.0]])
+        columns = SortedColumns(data)
+        frontier = AscendingDifferenceFrontier(
+            make_cursors(columns, np.array([2.0, 6.0]))
+        )
+        pops = []
+        while True:
+            popped = frontier.pop()
+            if popped is None:
+                break
+            pops.append(popped[0])
+        assert sorted(pops) == [0, 0, 1, 1, 2, 2]
+
+    def test_peek_difference(self):
+        columns = SortedColumns([[1.0], [4.0]])
+        frontier = AscendingDifferenceFrontier(
+            make_cursors(columns, np.array([2.0]))
+        )
+        assert frontier.peek_difference() == pytest.approx(1.0)
+        frontier.pop()
+        assert frontier.peek_difference() == pytest.approx(2.0)
+        frontier.pop()
+        assert frontier.peek_difference() is None
+        assert not frontier
+
+    def test_attributes_retrieved_includes_frontier_fill(self, small_data, small_query):
+        columns = SortedColumns(small_data)
+        frontier = AscendingDifferenceFrontier(make_cursors(columns, small_query))
+        # Nothing popped yet, but up to 2d attributes were read to fill g[].
+        assert 0 < frontier.attributes_retrieved <= 2 * columns.dimensionality
+        frontier.pop()
+        assert frontier.pops == 1

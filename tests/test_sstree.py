@@ -1,0 +1,112 @@
+"""The SS-tree baseline: invariants, exact kNN, the curse again."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KnnEngine, RTree, SSTree
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def tree_and_data(rng):
+    data = rng.random((400, 4))
+    return SSTree.build(data, max_entries=16), data
+
+
+class TestStructure:
+    def test_size_and_nodes(self, tree_and_data):
+        tree, _ = tree_and_data
+        assert tree.size == 400
+        assert tree.node_count > 1
+
+    def test_fanout_bounds(self, tree_and_data):
+        tree, _ = tree_and_data
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            assert 1 <= node.fanout() <= tree.max_entries
+            if not node.leaf:
+                stack.extend(node.children)
+
+    def test_spheres_cover_contents(self, tree_and_data):
+        tree, _ = tree_and_data
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for _pid, coords in node.entries:
+                    distance = np.linalg.norm(coords - node.sphere.center)
+                    assert distance <= node.sphere.radius + 1e-9
+            else:
+                for child in node.children:
+                    reach = (
+                        np.linalg.norm(child.sphere.center - node.sphere.center)
+                        + child.sphere.radius
+                    )
+                    assert reach <= node.sphere.radius + 1e-9
+                    stack.append(child)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SSTree(0)
+        with pytest.raises(ValidationError):
+            SSTree(2, max_entries=2)
+        with pytest.raises(ValidationError):
+            SSTree(2).k_nearest([0.0, 0.0], 1)
+
+
+class TestKNearest:
+    def test_matches_scan_knn(self, tree_and_data, rng):
+        tree, data = tree_and_data
+        knn = KnnEngine(data)
+        for _ in range(5):
+            query = rng.random(4)
+            tree_result = tree.k_nearest(query, 8)
+            scan_result = knn.top_k(query, 8)
+            np.testing.assert_allclose(
+                [dist for _pid, dist in tree_result],
+                scan_result.distances,
+                atol=1e-9,
+            )
+
+    def test_self_query(self, tree_and_data):
+        tree, data = tree_and_data
+        result = tree.k_nearest(data[55], 1)
+        assert result[0][0] == 55
+        assert result[0][1] == pytest.approx(0.0)
+
+    def test_distances_ascending(self, tree_and_data, rng):
+        tree, _ = tree_and_data
+        result = tree.k_nearest(rng.random(4), 15)
+        distances = [dist for _pid, dist in result]
+        assert distances == sorted(distances)
+
+    def test_node_accounting(self, tree_and_data, rng):
+        tree, _ = tree_and_data
+        tree.reset_counters()
+        tree.k_nearest(rng.random(4), 5)
+        assert 0 < tree.node_accesses <= tree.node_count
+
+
+class TestCurse:
+    def test_sstree_also_collapses_at_high_d(self, rng):
+        fractions = {}
+        for d in (2, 16):
+            data = rng.random((1500, d))
+            tree = SSTree.build(data, max_entries=16)
+            tree.reset_counters()
+            for query in rng.random((5, d)):
+                tree.k_nearest(query, 10)
+            fractions[d] = tree.node_accesses / (5 * tree.node_count)
+        assert fractions[2] < 0.6
+        assert fractions[16] > 0.9
+
+    def test_agrees_with_rtree(self, rng):
+        """Two independent exact indexes, identical kNN distances."""
+        data = rng.random((600, 3))
+        ss = SSTree.build(data)
+        rt = RTree.build(data)
+        query = rng.random(3)
+        ss_dists = [dist for _pid, dist in ss.k_nearest(query, 12)]
+        rt_dists = [dist for _pid, dist in rt.k_nearest(query, 12)]
+        np.testing.assert_allclose(ss_dists, rt_dists, atol=1e-9)

@@ -1,0 +1,113 @@
+"""Fagin's TA and the kNN-recall evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ta_top_k
+from repro.errors import ValidationError
+from repro.eval import (
+    frequent_knmatch_searcher,
+    knn_recall,
+    knn_searcher,
+)
+
+
+class TestThresholdAlgorithm:
+    def test_correct_for_monotone_sum(self, rng):
+        data = rng.random((80, 4))
+        run = ta_top_k(data, lambda row: float(row.sum()), k=5)
+        expected = np.argsort(data.sum(axis=1))[:5]
+        assert sorted(run.ids) == sorted(int(i) for i in expected)
+
+    def test_correct_for_monotone_max(self, rng):
+        data = rng.random((80, 4))
+        run = ta_top_k(data, lambda row: float(row.max()), k=3)
+        expected = np.argsort(data.max(axis=1))[:3]
+        assert sorted(run.ids) == sorted(int(i) for i in expected)
+
+    def test_aggregates_ascending(self, rng):
+        data = rng.random((60, 3))
+        run = ta_top_k(data, lambda row: float(row.sum()), k=5)
+        assert run.aggregates == sorted(run.aggregates)
+
+    def test_stops_before_full_scan_on_correlated_data(self, rng):
+        data = np.sort(rng.random((200, 3)), axis=0)
+        run = ta_top_k(data, lambda row: float(row.sum()), k=1)
+        assert run.sorted_accesses < 200 * 3 / 2
+
+    def test_ta_at_most_fa_depth(self, rng):
+        """TA's threshold always stops no later than FA (classic result)."""
+        from repro.baselines import fa_top_k
+
+        data = rng.random((100, 4))
+        agg = lambda row: float(row.sum())  # noqa: E731
+        ta = ta_top_k(data, agg, k=3)
+        fa = fa_top_k(data, agg, k=3)
+        assert ta.sorted_accesses <= fa.sorted_accesses
+        assert sorted(ta.ids) == sorted(fa.ids)
+
+    def test_breaks_on_n_match_difference(self, figure3_database, figure3_query):
+        """The paper's Fig.-3 setup defeats TA exactly like FA: the true
+        1-match (point 2, diff 0.2) is missed."""
+
+        def one_match(row: np.ndarray) -> float:
+            return float(np.min(np.abs(row - figure3_query)))
+
+        run = ta_top_k(figure3_database, one_match, k=1)
+        assert run.ids != [1]  # the correct answer is point index 1
+
+    def test_k_validated(self, rng):
+        with pytest.raises(ValidationError):
+            ta_top_k(rng.random((5, 2)), lambda row: 0.0, k=6)
+
+
+class TestKnnRecall:
+    def test_knn_searcher_has_perfect_recall(self, small_data):
+        report = knn_recall(
+            small_data, knn_searcher(small_data), "knn", queries=20, k=10
+        )
+        assert report.mean_recall == 1.0
+
+    def test_random_searcher_has_poor_recall(self, small_data, rng):
+        def random_searcher(query, k):
+            return rng.choice(300, size=k, replace=False).tolist()
+
+        report = knn_recall(
+            small_data, random_searcher, "random", queries=20, k=10
+        )
+        assert report.mean_recall < 0.3
+
+    def test_frequent_knmatch_is_not_a_knn_approximation(self, small_data):
+        """The paper's Sec.-6 point: matching is a different query, not
+        an approximate kNN — its recall sits strictly between random
+        and perfect."""
+        report = knn_recall(
+            small_data,
+            frequent_knmatch_searcher(small_data),
+            "freq-knmatch",
+            queries=20,
+            k=10,
+        )
+        assert 0.2 < report.mean_recall < 1.0
+
+    def test_str(self, small_data):
+        report = knn_recall(
+            small_data, knn_searcher(small_data), "knn", queries=5, k=3
+        )
+        assert "recall" in str(report)
+
+    def test_validation(self, small_data):
+        searcher = knn_searcher(small_data)
+        with pytest.raises(ValidationError):
+            knn_recall(small_data, searcher, "x", queries=0)
+        with pytest.raises(ValidationError):
+            knn_recall(small_data, searcher, "x", k=301)
+        with pytest.raises(ValidationError):
+            knn_recall(np.zeros(5), searcher, "x")
+
+    def test_searcher_answer_count_enforced(self, small_data):
+        def lazy(query, k):
+            return [0]
+
+        with pytest.raises(ValidationError):
+            knn_recall(small_data, lazy, "lazy", queries=2, k=5)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.types."""
+
+import math
+
+import pytest
+
+from repro.core.types import (
+    FrequentMatchResult,
+    MatchResult,
+    SearchStats,
+    rank_by_frequency,
+)
+
+
+class TestSearchStats:
+    def test_defaults_are_zero(self):
+        stats = SearchStats()
+        assert stats.attributes_retrieved == 0
+        assert stats.page_reads == 0
+        assert stats.fraction_retrieved == 0.0
+
+    def test_page_reads_sums_both_kinds(self):
+        stats = SearchStats(sequential_page_reads=7, random_page_reads=3)
+        assert stats.page_reads == 10
+
+    def test_fraction_retrieved(self):
+        stats = SearchStats(attributes_retrieved=25, total_attributes=100)
+        assert stats.fraction_retrieved == pytest.approx(0.25)
+
+    def test_merge_sums_counters(self):
+        a = SearchStats(attributes_retrieved=10, heap_pops=5, total_attributes=100)
+        b = SearchStats(attributes_retrieved=3, random_page_reads=2, total_attributes=100)
+        merged = a.merge(b)
+        assert merged.attributes_retrieved == 13
+        assert merged.heap_pops == 5
+        assert merged.random_page_reads == 2
+        assert merged.total_attributes == 100  # max, not sum
+
+    def test_merge_does_not_mutate(self):
+        a = SearchStats(attributes_retrieved=1)
+        b = SearchStats(attributes_retrieved=2)
+        a.merge(b)
+        assert a.attributes_retrieved == 1
+        assert b.attributes_retrieved == 2
+
+
+class TestMatchResult:
+    def test_iteration_and_len(self):
+        result = MatchResult(ids=[4, 9], differences=[0.1, 0.2], k=2, n=3)
+        assert len(result) == 2
+        assert list(result) == [(4, 0.1), (9, 0.2)]
+
+    def test_match_difference_is_max(self):
+        result = MatchResult(ids=[4, 9], differences=[0.1, 0.2], k=2, n=3)
+        assert result.match_difference == pytest.approx(0.2)
+
+    def test_empty_match_difference_is_nan(self):
+        result = MatchResult(ids=[], differences=[], k=1, n=1)
+        assert math.isnan(result.match_difference)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MatchResult(ids=[1], differences=[0.1, 0.2], k=2, n=1)
+
+
+class TestFrequentMatchResult:
+    def test_iteration(self):
+        result = FrequentMatchResult(
+            ids=[4, 9], frequencies=[5, 3], k=2, n_range=(1, 5)
+        )
+        assert list(result) == [(4, 5), (9, 3)]
+        assert len(result) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FrequentMatchResult(ids=[1, 2], frequencies=[1], k=2, n_range=(1, 2))
+
+
+class TestRankByFrequency:
+    def test_counts_appearances(self):
+        sets = {1: [10, 20], 2: [20, 30], 3: [20, 10]}
+        ids, freqs = rank_by_frequency(sets, k=2)
+        assert ids == [20, 10]
+        assert freqs == [3, 2]
+
+    def test_tie_broken_by_best_rank(self):
+        # 10 and 20 both appear twice; 20 once ranked first, 10 never.
+        sets = {1: [20, 10], 2: [30, 10, 20]}
+        ids, freqs = rank_by_frequency(sets, k=2)
+        assert ids == [20, 10]
+        assert freqs == [2, 2]
+
+    def test_tie_broken_by_id_last(self):
+        sets = {1: [7, 5]}  # both appear once; 7 has the better rank
+        ids, _ = rank_by_frequency(sets, k=2)
+        assert ids == [7, 5]
+        sets = {1: [5], 2: [7]}  # identical frequency and rank -> id order
+        ids, _ = rank_by_frequency(sets, k=2)
+        assert ids == [5, 7]
+
+    def test_k_larger_than_distinct_ids(self):
+        ids, freqs = rank_by_frequency({1: [1], 2: [1]}, k=5)
+        assert ids == [1]
+        assert freqs == [2]
+
+    def test_empty_sets(self):
+        ids, freqs = rank_by_frequency({}, k=3)
+        assert ids == []
+        assert freqs == []

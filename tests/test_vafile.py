@@ -1,0 +1,135 @@
+"""VA-file quantizer, bounds and the two-phase search engine."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_valid_frequent, reference_differences
+from repro.core.naive import NaiveScanEngine
+from repro.errors import ValidationError
+from repro.vafile import VAFile, VAFileEngine, VAQuantizer
+
+
+class TestQuantizer:
+    def test_encode_within_cell_count(self, small_data):
+        quantizer = VAQuantizer(small_data, bits=8)
+        cells = quantizer.encode(small_data)
+        assert cells.min() >= 0
+        assert cells.max() <= 255
+
+    def test_value_inside_its_cell(self, small_data):
+        quantizer = VAQuantizer(small_data, bits=6)
+        cells = quantizer.encode(small_data)
+        for j in (0, 7):
+            lo, hi = quantizer.cell_bounds(j, cells[:, j])
+            assert np.all(small_data[:, j] >= lo - 1e-9)
+            assert np.all(small_data[:, j] <= hi + 1e-9)
+
+    def test_difference_bounds_bracket_truth(self, small_data, small_query):
+        quantizer = VAQuantizer(small_data, bits=5)
+        cells = quantizer.encode(small_data)
+        for j in range(small_data.shape[1]):
+            lower, upper = quantizer.difference_bounds(
+                j, cells[:, j], float(small_query[j])
+            )
+            truth = np.abs(small_data[:, j] - small_query[j])
+            assert np.all(lower <= truth + 1e-9)
+            assert np.all(truth <= upper + 1e-9)
+            assert np.all(lower >= 0)
+
+    def test_query_inside_cell_has_zero_lower_bound(self):
+        data = np.array([[0.5], [0.1]])
+        quantizer = VAQuantizer(data, bits=2)
+        cells = quantizer.encode(np.array([[0.5]]))
+        lower, _upper = quantizer.difference_bounds(0, cells[:, 0], 0.5)
+        assert lower[0] == 0.0
+
+    def test_constant_dimension(self):
+        data = np.array([[0.5, 1.0], [0.5, 2.0]])
+        quantizer = VAQuantizer(data, bits=4)
+        cells = quantizer.encode(data)
+        assert cells[0, 0] == cells[1, 0]
+
+    def test_bits_validation(self, small_data):
+        with pytest.raises(ValidationError):
+            VAQuantizer(small_data, bits=0)
+        with pytest.raises(ValidationError):
+            VAQuantizer(small_data, bits=17)
+
+    def test_bytes_per_point(self, small_data):
+        assert VAQuantizer(small_data, bits=8).bytes_per_point() == 8
+        assert VAQuantizer(small_data, bits=4).bytes_per_point() == 4
+
+
+class TestVAFileStructure:
+    def test_approximation_file_is_quarter_of_data(self, small_data):
+        va = VAFile(small_data, bits=8)
+        # 8 bits/dim vs 32-bit attributes -> 25% as the paper notes
+        data_bytes = small_data.shape[0] * small_data.shape[1] * 4
+        approx_bytes = va.quantizer.bytes_per_point() * small_data.shape[0]
+        assert approx_bytes * 4 == data_bytes
+        assert va.approximation_page_count == -(-approx_bytes // va.pager.page_size)
+
+    def test_match_bounds_bracket_truth(self, small_data, small_query):
+        va = VAFile(small_data, bits=6)
+        for n in (1, 4, 8):
+            lb, ub = va.match_difference_bounds(small_query, n)
+            truth = reference_differences(small_data, small_query, n)
+            assert np.all(lb <= truth + 1e-9)
+            assert np.all(truth <= ub + 1e-9)
+
+    def test_scan_approximation_is_sequential(self, small_data):
+        va = VAFile(small_data)
+        va.pager.reset_counters()
+        va.scan_approximation()
+        recorder = va.pager.recorder
+        assert recorder.random_reads == 1
+        assert recorder.sequential_reads == va.approximation_page_count - 1
+
+
+class TestVAFileEngine:
+    @pytest.mark.parametrize("n", [1, 4, 8])
+    def test_k_n_match_matches_oracle(self, small_data, small_query, n):
+        va = VAFileEngine(small_data).k_n_match(small_query, 9, n)
+        naive = NaiveScanEngine(small_data).k_n_match(small_query, 9, n)
+        assert va.ids == naive.ids
+        np.testing.assert_allclose(va.differences, naive.differences, atol=1e-6)
+
+    def test_frequent_matches_oracle(self, small_data, small_query):
+        va = VAFileEngine(small_data).frequent_k_n_match(small_query, 8, (3, 7))
+        naive = NaiveScanEngine(small_data).frequent_k_n_match(
+            small_query, 8, (3, 7)
+        )
+        assert va.ids == naive.ids
+        assert va.answer_sets == naive.answer_sets
+        assert_valid_frequent(small_data, small_query, (3, 7), 8, va.answer_sets)
+
+    def test_pruning_leaves_few_candidates(self, rng):
+        data = rng.random((5000, 8)).astype(np.float32).astype(np.float64)
+        query = rng.random(8).astype(np.float32).astype(np.float64)
+        stats = VAFileEngine(data).k_n_match(query, 10, 4).stats
+        assert stats.candidates_refined < 5000 / 4
+
+    def test_stats_counters(self, small_data, small_query):
+        stats = VAFileEngine(small_data).frequent_k_n_match(
+            small_query, 5, (2, 6)
+        ).stats
+        assert stats.approximation_entries_scanned == small_data.size
+        assert stats.candidates_refined >= 5
+        assert stats.attributes_retrieved == stats.candidates_refined * 8
+        assert stats.page_reads > 0
+
+    def test_coarse_quantizer_still_correct(self, small_data, small_query):
+        va = VAFileEngine(small_data, bits=2).k_n_match(small_query, 6, 5)
+        naive = NaiveScanEngine(small_data).k_n_match(small_query, 6, 5)
+        assert va.ids == naive.ids
+
+    def test_coarser_bits_refine_more(self, small_data, small_query):
+        fine = VAFileEngine(small_data, bits=8).k_n_match(small_query, 6, 5)
+        coarse = VAFileEngine(small_data, bits=2).k_n_match(small_query, 6, 5)
+        assert (
+            coarse.stats.candidates_refined >= fine.stats.candidates_refined
+        )
+
+    def test_k_equals_cardinality(self, small_data, small_query):
+        result = VAFileEngine(small_data).k_n_match(small_query, 300, 4)
+        assert sorted(result.ids) == list(range(300))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import validation
+from repro.errors import (
+    DimensionalityMismatchError,
+    EmptyDatabaseError,
+    ValidationError,
+)
+
+
+class TestDatabaseArray:
+    def test_accepts_lists(self):
+        array = validation.as_database_array([[1, 2], [3, 4]])
+        assert array.dtype == np.float64
+        assert array.shape == (2, 2)
+
+    def test_contiguous_output(self):
+        strided = np.asfortranarray(np.random.default_rng(0).random((4, 3)))
+        array = validation.as_database_array(strided)
+        assert array.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            validation.as_database_array([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyDatabaseError):
+            validation.as_database_array(np.empty((0, 3)))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValidationError):
+            validation.as_database_array(np.empty((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            validation.as_database_array([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            validation.as_database_array([[1.0, float("inf")]])
+
+
+class TestQueryArray:
+    def test_accepts_list(self):
+        q = validation.as_query_array([1, 2, 3], 3)
+        assert q.dtype == np.float64
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError) as info:
+            validation.as_query_array([1.0, 2.0], 3)
+        assert info.value.expected == 3
+        assert info.value.got == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            validation.as_query_array([[1.0, 2.0]], 2)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValidationError):
+            validation.as_query_array([1.0, float("nan")], 2)
+
+
+class TestScalarValidation:
+    def test_k_bounds(self):
+        assert validation.validate_k(1, 10) == 1
+        assert validation.validate_k(10, 10) == 10
+        with pytest.raises(ValidationError):
+            validation.validate_k(0, 10)
+        with pytest.raises(ValidationError):
+            validation.validate_k(11, 10)
+
+    def test_k_accepts_numpy_integers(self):
+        assert validation.validate_k(np.int64(3), 10) == 3
+
+    def test_k_accepts_integral_floats(self):
+        assert validation.validate_k(3.0, 10) == 3
+
+    def test_k_rejects_bool_and_fractional(self):
+        with pytest.raises(ValidationError):
+            validation.validate_k(True, 10)
+        with pytest.raises(ValidationError):
+            validation.validate_k(2.5, 10)
+        with pytest.raises(ValidationError):
+            validation.validate_k("3", 10)
+
+    def test_n_bounds(self):
+        assert validation.validate_n(1, 4) == 1
+        assert validation.validate_n(4, 4) == 4
+        with pytest.raises(ValidationError):
+            validation.validate_n(0, 4)
+        with pytest.raises(ValidationError):
+            validation.validate_n(5, 4)
+
+    def test_n_range(self):
+        assert validation.validate_n_range((2, 3), 4) == (2, 3)
+        assert validation.validate_n_range((1, 1), 4) == (1, 1)
+
+    def test_n_range_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            validation.validate_n_range((3, 2), 4)
+
+    def test_n_range_rejects_out_of_bounds(self):
+        with pytest.raises(ValidationError):
+            validation.validate_n_range((0, 2), 4)
+        with pytest.raises(ValidationError):
+            validation.validate_n_range((1, 5), 4)
+
+    def test_n_range_rejects_non_pairs(self):
+        with pytest.raises(ValidationError):
+            validation.validate_n_range(3, 4)
+        with pytest.raises(ValidationError):
+            validation.validate_n_range((1, 2, 3), 4)

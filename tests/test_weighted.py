@@ -1,0 +1,93 @@
+"""Weighted k-n-match: scaling equivalence and validation."""
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase, WeightedMatchDatabase
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self, small_data):
+        db = WeightedMatchDatabase(small_data, np.ones(8))
+        assert db.cardinality == 300
+        assert db.dimensionality == 8
+        assert len(db) == 300
+        np.testing.assert_array_equal(db.data, small_data)
+
+    def test_weight_validation(self, small_data):
+        with pytest.raises(ValidationError):
+            WeightedMatchDatabase(small_data, np.ones(7))
+        with pytest.raises(ValidationError):
+            WeightedMatchDatabase(small_data, np.zeros(8))
+        with pytest.raises(ValidationError):
+            WeightedMatchDatabase(small_data, -np.ones(8))
+        with pytest.raises(ValidationError):
+            WeightedMatchDatabase(small_data, np.full(8, np.inf))
+        with pytest.raises(ValidationError):
+            WeightedMatchDatabase(small_data, np.ones((8, 1)))
+
+
+class TestEquivalence:
+    def test_unit_weights_match_plain_database(self, small_data, small_query):
+        weighted = WeightedMatchDatabase(small_data, np.ones(8))
+        plain = MatchDatabase(small_data)
+        w = weighted.k_n_match(small_query, 7, 4)
+        p = plain.k_n_match(small_query, 7, 4)
+        assert w.ids == p.ids
+        np.testing.assert_allclose(w.differences, p.differences, atol=1e-12)
+
+    def test_uniform_scaling_preserves_answers(self, small_data, small_query):
+        """Scaling every weight by the same factor cannot change ids."""
+        base = WeightedMatchDatabase(small_data, np.full(8, 1.0))
+        scaled = WeightedMatchDatabase(small_data, np.full(8, 3.5))
+        b = base.frequent_k_n_match(small_query, 6, (2, 6))
+        s = scaled.frequent_k_n_match(small_query, 6, (2, 6))
+        assert b.ids == s.ids
+
+    def test_matches_manual_weighted_oracle(self, small_data, small_query, rng):
+        weights = rng.uniform(0.5, 3.0, 8)
+        db = WeightedMatchDatabase(small_data, weights)
+        result = db.k_n_match(small_query, 9, 5)
+        deltas = np.abs(small_data - small_query) * weights
+        expected_diffs = np.partition(deltas, 4, axis=1)[:, 4]
+        order = np.lexsort((np.arange(300), expected_diffs))[:9]
+        assert sorted(result.ids) == sorted(int(i) for i in order)
+        np.testing.assert_allclose(
+            sorted(result.differences), sorted(expected_diffs[order]), atol=1e-12
+        )
+
+    def test_all_engines_agree(self, small_data, small_query, rng):
+        weights = rng.uniform(0.5, 2.0, 8)
+        db = WeightedMatchDatabase(small_data, weights)
+        results = [
+            db.k_n_match(small_query, 5, 3, engine=name)
+            for name in ("ad", "block-ad", "naive")
+        ]
+        assert results[0].ids == results[1].ids == results[2].ids
+
+
+class TestSemantics:
+    def test_heavy_weight_dominates_full_match(self):
+        """With n = d the max weighted difference governs, so a huge
+        weight on dimension 0 makes the ranking follow dimension 0."""
+        data = np.array([[0.10, 0.9], [0.20, 0.5], [0.11, 0.0]])
+        query = np.array([0.10, 0.45])
+        db = WeightedMatchDatabase(data, [1000.0, 1.0])
+        result = db.k_n_match(query, k=3, n=2)
+        assert result.ids == [0, 2, 1]  # ordered purely by dim 0
+
+    def test_downweighting_mutes_noisy_dimension(self):
+        """Down-weighting the paper's '100' outlier dimension makes even
+        plain d-match sensible."""
+        data = np.array(
+            [
+                [1.1, 100.0, 1.2],
+                [20.0, 20.0, 20.0],
+            ]
+        )
+        query = np.array([1.0, 1.0, 1.0])
+        fair = WeightedMatchDatabase(data, [1.0, 1.0, 1.0])
+        muted = WeightedMatchDatabase(data, [1.0, 0.001, 1.0])
+        assert fair.k_n_match(query, 1, 3).ids == [1]  # outlier dominates
+        assert muted.k_n_match(query, 1, 3).ids == [0]  # real match wins
