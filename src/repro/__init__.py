@@ -61,6 +61,7 @@ from .errors import (
     ValidationError,
 )
 from .io import load_database, save_database
+from .parallel import BatchBlockADEngine, BatchStats, ParallelBatchExecutor
 from .sorted_lists import SortedColumns
 
 __version__ = "1.0.0"
@@ -79,6 +80,7 @@ __all__ = [
     "AnytimeADEngine",
     "AnytimeResult",
     "BlockADEngine",
+    "BatchBlockADEngine",
     "NaiveScanEngine",
     "MatchExplanation",
     "explain_match",
@@ -88,6 +90,9 @@ __all__ = [
     "MatchResult",
     "FrequentMatchResult",
     "SearchStats",
+    # batch execution
+    "ParallelBatchExecutor",
+    "BatchStats",
     # distances
     "n_match_difference",
     "n_match_differences",

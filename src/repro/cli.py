@@ -7,6 +7,7 @@ Subcommands::
     repro info      db.npz
     repro query     db.npz --k 5 --n 8 --query 0.1,0.2,...     (k-n-match)
     repro query     db.npz --k 5 --n-range 4:12 --query-row 42 (frequent)
+    repro batch     db.npz --k 5 --n 8 --queries batch.npy --workers 4
     repro advise    db.npz --k 20 --n-range 4:8
     repro experiments --scale 0.1 --only table4,fig12
 
@@ -86,6 +87,47 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--engine", choices=ENGINE_NAMES, default=None)
     query.add_argument(
         "--stats", action="store_true", help="also print work counters"
+    )
+
+    batch = commands.add_parser(
+        "batch", help="run many (frequent) k-n-match queries in one go"
+    )
+    batch.add_argument("database", help="database .npz path")
+    batch.add_argument("--k", type=int, required=True)
+    batch_mode = batch.add_mutually_exclusive_group(required=True)
+    batch_mode.add_argument("--n", type=int, help="single n: plain k-n-match")
+    batch_mode.add_argument(
+        "--n-range", type=str, help="n0:n1 -> frequent k-n-match"
+    )
+    batch_source = batch.add_mutually_exclusive_group(required=True)
+    batch_source.add_argument(
+        "--queries", type=str, help=".npy file with one query per row"
+    )
+    batch_source.add_argument(
+        "--query-rows",
+        type=str,
+        help="A:B -> use database rows [A, B) as the queries",
+    )
+    batch.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="batch-block-ad",
+        help="engine to run each shard with",
+    )
+    batch.add_argument(
+        "--parallel",
+        action="store_true",
+        default=None,
+        help="shard the batch across a thread pool",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size (implies --parallel)",
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="also print aggregate counters"
     )
 
     advise = commands.add_parser(
@@ -210,6 +252,65 @@ def _run_query(args) -> int:
     return 0
 
 
+def _resolve_query_batch(args, db: MatchDatabase) -> np.ndarray:
+    if args.queries is not None:
+        try:
+            queries = np.load(args.queries)
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot read {args.queries!r}: {error}"
+            ) from error
+        return np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    start, stop = _parse_range(args.query_rows)
+    if not 0 <= start <= stop <= db.cardinality:
+        raise ReproError(
+            f"--query-rows {args.query_rows!r} out of range "
+            f"[0, {db.cardinality}]"
+        )
+    return db.data[start:stop]
+
+
+def _run_batch(args) -> int:
+    import time
+
+    db = load_database(args.database)
+    queries = _resolve_query_batch(args, db)
+    kwargs = dict(engine=args.engine, parallel=args.parallel, workers=args.workers)
+    started = time.perf_counter()
+    if args.n is not None:
+        results = db.k_n_match_batch(queries, args.k, args.n, **kwargs)
+        elapsed = time.perf_counter() - started
+        print(
+            f"{args.k}-{args.n}-match over {len(results)} queries "
+            f"(query: id,id,... in ascending difference order):"
+        )
+        for index, result in enumerate(results):
+            print(f"  {index:6d}: {','.join(str(pid) for pid in result.ids)}")
+    else:
+        n_range = _parse_range(args.n_range)
+        results = db.frequent_k_n_match_batch(
+            queries, args.k, n_range, keep_answer_sets=False, **kwargs
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"frequent {args.k}-n-match over n in [{n_range[0]}, {n_range[1]}], "
+            f"{len(results)} queries (query: id,id,... by appearances):"
+        )
+        for index, result in enumerate(results):
+            print(f"  {index:6d}: {','.join(str(pid) for pid in result.ids)}")
+    if args.stats:
+        from .core.types import SearchStats
+
+        total = SearchStats.aggregate([result.stats for result in results])
+        rate = len(results) / elapsed if elapsed > 0 else 0.0
+        print(
+            f"batch: {len(results)} queries in {elapsed:.3f}s "
+            f"({rate:.1f} q/s)"
+        )
+        _print_stats(total)
+    return 0
+
+
 def _run_advise(args) -> int:
     db = load_database(args.database)
     advice = recommend_engine(
@@ -250,6 +351,7 @@ _HANDLERS = {
     "build": _run_build,
     "info": _run_info,
     "query": _run_query,
+    "batch": _run_batch,
     "advise": _run_advise,
     "experiments": _run_experiments,
 }

@@ -154,12 +154,17 @@ class BlockADEngine:
         each tried eps, ascending) drives the per-n candidate pruning.
         """
         c, d = self._columns.cardinality, self._columns.dimensionality
-        eps = self._initial_epsilon(query, k, n1)
+        # Hoist the per-dimension sorted arrays once per query: the views
+        # are immutable for the lifetime of the build, and re-fetching
+        # them every epsilon round is measurable on high-round queries.
+        values = [self._columns.column_values(j) for j in range(d)]
+        ids = [self._columns.column_ids(j) for j in range(d)]
+        eps = self._initial_epsilon(query, k, n1, values)
         probes = d  # the locate_all pass inside _initial_epsilon
         history: List[np.ndarray] = []
         while True:
             probes += 2 * d
-            counts, attributes = self._window_counts(query, eps)
+            counts, attributes = self._window_counts(query, eps, values, ids)
             history.append(counts)
             satisfied = int(np.count_nonzero(counts >= n1))
             if satisfied >= k:
@@ -168,7 +173,7 @@ class BlockADEngine:
                 # Whole database consumed; guaranteed to satisfy k <= c.
                 return history, attributes, probes
             if eps <= 0:
-                eps = self._smallest_positive(query)
+                eps = self._smallest_positive(query, values)
                 continue
             # Adaptive growth: the count of points matching in >= n1
             # dimensions scales roughly like eps^n1 locally, so the
@@ -177,22 +182,33 @@ class BlockADEngine:
             needed = (k / max(satisfied, 0.5)) ** (1.0 / n1)
             eps *= min(self.MAX_GROWTH, max(self.MIN_GROWTH, needed))
 
-    def _window_counts(self, query: np.ndarray, eps: float) -> Tuple[np.ndarray, int]:
-        """Per-point count of dimensions within ``eps`` (inclusive)."""
+    def _window_counts(
+        self,
+        query: np.ndarray,
+        eps: float,
+        values: List[np.ndarray],
+        ids: List[np.ndarray],
+    ) -> Tuple[np.ndarray, int]:
+        """Per-point count of dimensions within ``eps`` (inclusive).
+
+        ``values``/``ids`` are the hoisted per-dimension arrays; the
+        ``attributes`` accounting (window sizes at this ``eps``) is
+        unchanged by the hoist.
+        """
         c, d = self._columns.cardinality, self._columns.dimensionality
         counts = np.zeros(c, dtype=np.int64)
         attributes = 0
         for j in range(d):
-            values = self._columns.column_values(j)
-            ids = self._columns.column_ids(j)
-            lo = np.searchsorted(values, query[j] - eps, side="left")
-            hi = np.searchsorted(values, query[j] + eps, side="right")
+            lo = np.searchsorted(values[j], query[j] - eps, side="left")
+            hi = np.searchsorted(values[j], query[j] + eps, side="right")
             if hi > lo:
-                np.add.at(counts, ids[lo:hi], 1)
+                np.add.at(counts, ids[j][lo:hi], 1)
                 attributes += int(hi - lo)
         return counts, attributes
 
-    def _initial_epsilon(self, query: np.ndarray, k: int, n1: int) -> float:
+    def _initial_epsilon(
+        self, query: np.ndarray, k: int, n1: int, values: List[np.ndarray]
+    ) -> float:
         """A cheap starting threshold.
 
         Looks at the ``m``-th closest attribute per dimension where
@@ -206,10 +222,9 @@ class BlockADEngine:
         splits = self._columns.locate_all(query)
         best = np.inf
         for j in range(d):
-            values = self._columns.column_values(j)
             lo = max(0, splits[j] - m)
             hi = min(c, splits[j] + m)
-            window = np.abs(values[lo:hi] - query[j])
+            window = np.abs(values[j][lo:hi] - query[j])
             if window.size >= m:
                 candidate = float(np.partition(window, m - 1)[m - 1])
             elif window.size:
@@ -217,14 +232,18 @@ class BlockADEngine:
             else:  # pragma: no cover - c >= 1 makes windows non-empty
                 candidate = 0.0
             best = min(best, candidate)
-        return best if np.isfinite(best) and best > 0 else self._smallest_positive(query)
+        if np.isfinite(best) and best > 0:
+            return best
+        return self._smallest_positive(query, values)
 
-    def _smallest_positive(self, query: np.ndarray) -> float:
+    def _smallest_positive(
+        self, query: np.ndarray, values: List[np.ndarray]
+    ) -> float:
         """Fallback threshold when every nearest difference is zero."""
         d = self._columns.dimensionality
         smallest = np.inf
         for j in range(d):
-            deltas = np.abs(self._columns.column_values(j) - query[j])
+            deltas = np.abs(values[j] - query[j])
             positive = deltas[deltas > 0]
             if positive.size:
                 smallest = min(smallest, float(positive.min()))

@@ -5,6 +5,8 @@ frequent k-n-match queries with a selectable engine:
 
 * ``"ad"`` — the paper's AD algorithm (optimal attribute retrieval),
 * ``"block-ad"`` — the vectorised variant (same answers, numpy speed),
+* ``"batch-block-ad"`` — block-AD growing a whole query batch in
+  lock-step (same answers; much higher batch throughput),
 * ``"naive"`` — the full-scan oracle.
 
 All engines share one :class:`~repro.sorted_lists.SortedColumns` build, so
@@ -33,7 +35,7 @@ from .types import FrequentMatchResult, MatchResult
 __all__ = ["MatchDatabase", "ENGINE_NAMES"]
 
 #: Engines selectable through :class:`MatchDatabase`.
-ENGINE_NAMES = ("ad", "block-ad", "naive")
+ENGINE_NAMES = ("ad", "block-ad", "batch-block-ad", "naive")
 
 
 class MatchDatabase:
@@ -83,6 +85,11 @@ class MatchDatabase:
                 self._engines[name] = ADEngine(self._columns)
             elif name == "block-ad":
                 self._engines[name] = BlockADEngine(self._columns)
+            elif name == "batch-block-ad":
+                # Imported lazily: repro.parallel depends on this module.
+                from ..parallel import BatchBlockADEngine
+
+                self._engines[name] = BatchBlockADEngine(self._columns)
             else:
                 self._engines[name] = NaiveScanEngine(self._columns.data)
         return self._engines[name]
@@ -120,18 +127,37 @@ class MatchDatabase:
         )
 
     def k_n_match_batch(
-        self, queries, k: int, n: int, engine: Optional[str] = None
+        self,
+        queries,
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> "List[MatchResult]":
-        """Run one k-n-match per row of ``queries``.
+        """Run one k-n-match per row of ``queries``; results in query order.
 
-        Engines keep their build across the batch, so this amortises the
-        sorted-column construction over many queries; results are in
-        query order.
+        The sorted-column *build* is amortised across the batch (all
+        engines share one build), but by default the queries themselves
+        run serially, one engine call per row — except for engines with
+        a native batch path (``"batch-block-ad"``), which execute the
+        whole batch in one lock-step call.
+
+        ``parallel=True`` (or passing ``workers``) instead shards the
+        batch across a :class:`~repro.parallel.ParallelBatchExecutor`
+        thread pool — an escape hatch for large batches on multi-core
+        machines.  Answers are identical on every path.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2:
             raise ValidationError("queries must be a 2-D array (one row each)")
         selected = self.engine(engine)
+        executor = self._batch_executor(selected, parallel, workers)
+        if executor is not None:
+            return executor.k_n_match_batch(queries, k, n)
+        native = getattr(selected, "k_n_match_batch", None)
+        if native is not None:
+            return native(queries, k, n)
         return [selected.k_n_match(query, k, n) for query in queries]
 
     def frequent_k_n_match_batch(
@@ -141,20 +167,49 @@ class MatchDatabase:
         n_range: Union[Tuple[int, int], None] = None,
         engine: Optional[str] = None,
         keep_answer_sets: bool = False,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> "List[FrequentMatchResult]":
-        """Run one frequent k-n-match per row of ``queries``."""
+        """Run one frequent k-n-match per row of ``queries``.
+
+        Batch dispatch (native batch engines, the ``parallel=`` /
+        ``workers=`` escape hatch) works exactly as in
+        :meth:`k_n_match_batch`.
+        """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2:
             raise ValidationError("queries must be a 2-D array (one row each)")
         if n_range is None:
             n_range = (1, self.dimensionality)
         selected = self.engine(engine)
+        executor = self._batch_executor(selected, parallel, workers)
+        if executor is not None:
+            return executor.frequent_k_n_match_batch(
+                queries, k, n_range, keep_answer_sets=keep_answer_sets
+            )
+        native = getattr(selected, "frequent_k_n_match_batch", None)
+        if native is not None:
+            return native(queries, k, n_range, keep_answer_sets=keep_answer_sets)
         return [
             selected.frequent_k_n_match(
                 query, k, n_range, keep_answer_sets=keep_answer_sets
             )
             for query in queries
         ]
+
+    def _batch_executor(self, selected, parallel, workers):
+        """The thread-pool executor for a batch call, or None for in-line.
+
+        ``parallel=True`` opts in explicitly; passing ``workers`` alone
+        implies it.  ``parallel=False`` always stays in-line.
+        """
+        use_parallel = bool(parallel) or (parallel is None and workers is not None)
+        if not use_parallel:
+            return None
+        # Imported lazily: repro.parallel depends on this module.
+        from ..parallel import ParallelBatchExecutor
+
+        return ParallelBatchExecutor(selected, workers=workers)
 
     def __len__(self) -> int:
         return self.cardinality

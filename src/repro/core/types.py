@@ -89,6 +89,33 @@ class SearchStats:
             points_scanned=self.points_scanned + other.points_scanned,
         )
 
+    def __add__(self, other: "SearchStats") -> "SearchStats":
+        """Alias of :meth:`merge` so stats roll up with ``+`` / ``sum``.
+
+        Batch executors and evaluation harnesses aggregate many per-query
+        :class:`SearchStats`; ``+`` keeps that a one-liner instead of
+        ad-hoc per-field dict math.  Like :meth:`merge`,
+        ``total_attributes`` is combined with ``max`` (the queries ran
+        against the same database, so the denominator must not inflate).
+        """
+        if not isinstance(other, SearchStats):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other) -> "SearchStats":
+        # Support ``sum(stats_list)`` which starts from the int 0.
+        if other == 0:
+            return self
+        return NotImplemented
+
+    @classmethod
+    def aggregate(cls, stats: "Sequence[SearchStats]") -> "SearchStats":
+        """Component-wise sum of many stats (empty input -> all zeros)."""
+        total = cls()
+        for item in stats:
+            total = total.merge(item)
+        return total
+
 
 @dataclass
 class MatchResult:

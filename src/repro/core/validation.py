@@ -56,6 +56,23 @@ def as_query_array(query, dimensionality: int) -> np.ndarray:
     return array
 
 
+def as_query_batch(queries, dimensionality: int) -> np.ndarray:
+    """Coerce ``queries`` to a finite 2-D float64 array of width ``d``.
+
+    A batch may be empty (zero rows); each row is one query.
+    """
+    array = np.asarray(queries, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValidationError(
+            f"queries must be a 2-D array (one row each); got ndim={array.ndim}"
+        )
+    if array.shape[1] != dimensionality and array.shape[0] > 0:
+        raise DimensionalityMismatchError(dimensionality, array.shape[1])
+    if not np.isfinite(array).all():
+        raise ValidationError("queries contain NaN or infinite values")
+    return np.ascontiguousarray(array)
+
+
 def validate_k(k: int, cardinality: int) -> int:
     """Check ``1 <= k <= cardinality`` and return ``k`` as an int."""
     k = _as_int("k", k)

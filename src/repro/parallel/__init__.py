@@ -1,0 +1,21 @@
+"""Batch query execution: vectorised multi-query engines and threading.
+
+Two independent, composable layers:
+
+* :class:`BatchBlockADEngine` — grows the epsilon windows of a whole
+  query batch in lock-step, sharing each round's sorted-column passes
+  across the batch (one :func:`numpy.searchsorted` per dimension per
+  round for all queries).  Answers and stats are bit-identical to the
+  serial :class:`~repro.core.ad_block.BlockADEngine`.
+* :class:`ParallelBatchExecutor` — shards any engine's batch across a
+  thread pool with work-stealing slack, aggregating per-shard
+  :class:`~repro.core.types.SearchStats` into a :class:`BatchStats`.
+
+See ``docs/batching.md`` for the design discussion.
+"""
+
+from .batch_block_ad import BatchBlockADEngine
+from .executor import ParallelBatchExecutor
+from .stats import BatchStats
+
+__all__ = ["BatchBlockADEngine", "BatchStats", "ParallelBatchExecutor"]

@@ -1,0 +1,171 @@
+"""Thread-pool batch executor over any k-n-match engine.
+
+:class:`ParallelBatchExecutor` shards a query batch across a
+``ThreadPoolExecutor`` and reassembles the per-query results in query
+order.  Each shard runs the wrapped engine's own batch method when it
+has one (so a sharded :class:`~repro.parallel.BatchBlockADEngine` keeps
+its lock-step vectorisation within every shard) and falls back to a
+per-query loop otherwise — either way the answers are exactly the ones
+serial execution would produce, because the engines are pure readers of
+a shared immutable :class:`~repro.sorted_lists.SortedColumns` build and
+every query is independent.
+
+Threads (not processes) are the right pool here: the hot loops sit
+inside numpy ufuncs that release the GIL, and processes would have to
+copy the sorted-column build into every worker.  See
+``docs/batching.md`` for the full rationale and measured scaling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..core.types import FrequentMatchResult, MatchResult, SearchStats
+from ..errors import ValidationError
+from .stats import BatchStats
+
+__all__ = ["ParallelBatchExecutor"]
+
+#: shards per worker; >1 gives the pool work-stealing slack so one slow
+#: shard (a straggler query with many epsilon rounds) does not leave the
+#: other workers idle for the rest of the batch.
+_SHARDS_PER_WORKER = 4
+
+
+class ParallelBatchExecutor:
+    """Shard query batches over a thread pool, results in query order."""
+
+    def __init__(
+        self,
+        engine,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        """Wrap ``engine`` for parallel batch execution.
+
+        Parameters
+        ----------
+        engine:
+            Any object exposing ``k_n_match``/``frequent_k_n_match``
+            (and optionally their ``*_batch`` variants, which each shard
+            will use when present).
+        workers:
+            Thread-pool size; defaults to ``os.cpu_count()``.
+        chunk_size:
+            Queries per shard; defaults to splitting the batch into
+            ``workers * 4`` shards (minimum one query each) so the pool
+            can rebalance around slow shards.
+        """
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1; got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValidationError(
+                f"chunk_size must be >= 1 or None; got {chunk_size}"
+            )
+        self._engine = engine
+        self._workers = int(workers)
+        self._chunk_size = None if chunk_size is None else int(chunk_size)
+        self._last_batch_stats: Optional[BatchStats] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def last_batch_stats(self) -> Optional[BatchStats]:
+        """The :class:`BatchStats` of the most recent batch call."""
+        return self._last_batch_stats
+
+    # ------------------------------------------------------------------
+    def k_n_match_batch(self, queries, k: int, n: int) -> List[MatchResult]:
+        """One k-n-match per row of ``queries``, sharded over the pool."""
+
+        def run_shard(shard: np.ndarray) -> Sequence[MatchResult]:
+            batch = getattr(self._engine, "k_n_match_batch", None)
+            if batch is not None:
+                return batch(shard, k, n)
+            return [self._engine.k_n_match(query, k, n) for query in shard]
+
+        return self._run(queries, run_shard)
+
+    def frequent_k_n_match_batch(
+        self,
+        queries,
+        k: int,
+        n_range: Tuple[int, int],
+        keep_answer_sets: bool = False,
+    ) -> List[FrequentMatchResult]:
+        """One frequent k-n-match per row, sharded over the pool."""
+
+        def run_shard(shard: np.ndarray) -> Sequence[FrequentMatchResult]:
+            batch = getattr(self._engine, "frequent_k_n_match_batch", None)
+            if batch is not None:
+                return batch(
+                    shard, k, n_range, keep_answer_sets=keep_answer_sets
+                )
+            return [
+                self._engine.frequent_k_n_match(
+                    query, k, n_range, keep_answer_sets=keep_answer_sets
+                )
+                for query in shard
+            ]
+
+        return self._run(queries, run_shard)
+
+    # ------------------------------------------------------------------
+    def _run(self, queries, run_shard) -> List:
+        dimensionality = getattr(self._engine, "dimensionality", None)
+        if dimensionality is not None:
+            queries = validation.as_query_batch(queries, dimensionality)
+        else:
+            queries = np.asarray(queries, dtype=np.float64)
+        count = queries.shape[0]
+        started = time.perf_counter()
+        if count == 0:
+            self._last_batch_stats = BatchStats(
+                queries=0, shards=0, workers=self._workers
+            )
+            return []
+
+        bounds = self._shard_bounds(count)
+        shards = [queries[lo:hi] for lo, hi in bounds]
+        if len(shards) == 1 or self._workers == 1:
+            # No point paying pool overhead for a single runnable unit.
+            outputs = [run_shard(shard) for shard in shards]
+        else:
+            with ThreadPoolExecutor(max_workers=self._workers) as pool:
+                outputs = list(pool.map(run_shard, shards))
+
+        results: List = []
+        for output in outputs:
+            results.extend(output)
+        elapsed = time.perf_counter() - started
+        self._last_batch_stats = BatchStats(
+            queries=count,
+            shards=len(shards),
+            workers=self._workers,
+            wall_time_seconds=elapsed,
+            total=SearchStats.aggregate([result.stats for result in results]),
+        )
+        return results
+
+    def _shard_bounds(self, count: int) -> List[Tuple[int, int]]:
+        """Split ``count`` queries into contiguous, near-equal shards."""
+        if self._chunk_size is not None:
+            size = self._chunk_size
+        else:
+            size = max(1, -(-count // (self._workers * _SHARDS_PER_WORKER)))
+        return [(lo, min(lo + size, count)) for lo in range(0, count, size)]

@@ -1,0 +1,52 @@
+"""Aggregate statistics for one batch execution.
+
+Per-query work counters stay on each result's :class:`SearchStats`
+(exactly as in serial execution — the parallel paths are bit-identical);
+:class:`BatchStats` is the roll-up the executor reports for the batch as
+a whole: how the work was sharded, how long the batch took wall-clock,
+and the component-wise total of every per-query counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.types import SearchStats
+
+__all__ = ["BatchStats"]
+
+
+@dataclass
+class BatchStats:
+    """Execution summary of one batch run.
+
+    Attributes
+    ----------
+    queries:
+        Number of queries in the batch.
+    shards:
+        Number of work units the batch was split into (1 when the whole
+        batch ran as a single engine call).
+    workers:
+        Thread-pool size used (1 for in-line execution).
+    wall_time_seconds:
+        End-to-end wall-clock time of the batch, including sharding and
+        result reassembly.
+    total:
+        Component-wise sum of every query's :class:`SearchStats` (via
+        ``SearchStats.aggregate``; ``total_attributes`` is the max, since
+        all queries ran against the same database).
+    """
+
+    queries: int = 0
+    shards: int = 0
+    workers: int = 1
+    wall_time_seconds: float = 0.0
+    total: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput; 0.0 when the wall time is unmeasurably small."""
+        if self.wall_time_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.wall_time_seconds

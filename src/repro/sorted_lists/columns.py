@@ -77,6 +77,21 @@ class SortedColumns:
         self._check_dimension(dimension)
         return self._ids[dimension]
 
+    @property
+    def values_matrix(self) -> np.ndarray:
+        """All sorted columns as one ``(d, c)`` array (row ``j`` = dim ``j``).
+
+        A contiguous view over the build's internal storage, shared by the
+        batch engines so a whole query batch can consume every column
+        without per-dimension Python calls.  Treat it as read-only.
+        """
+        return self._values
+
+    @property
+    def ids_matrix(self) -> np.ndarray:
+        """Point ids aligned row-wise with :attr:`values_matrix`."""
+        return self._ids
+
     def entry(self, dimension: int, position: int) -> Tuple[int, float]:
         """The ``(point id, attribute)`` pair at one sorted position."""
         self._check_dimension(dimension)

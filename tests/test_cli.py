@@ -158,6 +158,116 @@ class TestQuery:
         assert status == 0
 
 
+class TestBatch:
+    def test_query_rows(self, db_file, capsys):
+        status = main(
+            ["batch", str(db_file), "--k", "3", "--n", "4", "--query-rows", "0:5"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "3-4-match over 5 queries" in out
+
+    def test_queries_file_with_stats(self, tmp_path, data_file, db_file, capsys):
+        queries = tmp_path / "q.npy"
+        np.save(queries, np.load(data_file)[:4])
+        status = main(
+            [
+                "batch",
+                str(db_file),
+                "--k",
+                "2",
+                "--n-range",
+                "2:5",
+                "--queries",
+                str(queries),
+                "--stats",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "frequent 2-n-match over n in [2, 5], 4 queries" in out
+        assert "stats: attributes=" in out
+
+    def test_engines_print_identical_answers(self, db_file, capsys):
+        outputs = set()
+        for extra in ([], ["--engine", "block-ad"], ["--workers", "2"]):
+            status = main(
+                ["batch", str(db_file), "--k", "3", "--n", "4", "--query-rows", "0:6"]
+                + extra
+            )
+            assert status == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_workers_implies_parallel(self, db_file, monkeypatch):
+        from repro.parallel import executor as executor_module
+
+        ran = []
+        original = executor_module.ParallelBatchExecutor._run
+
+        def spy(self, *args, **kwargs):
+            ran.append(True)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(executor_module.ParallelBatchExecutor, "_run", spy)
+        status = main(
+            [
+                "batch",
+                str(db_file),
+                "--k",
+                "3",
+                "--n",
+                "4",
+                "--query-rows",
+                "0:5",
+                "--workers",
+                "2",
+            ]
+        )
+        assert status == 0
+        assert ran
+
+    def test_workers_zero_rejected(self, db_file, capsys):
+        status = main(
+            [
+                "batch",
+                str(db_file),
+                "--k",
+                "3",
+                "--n",
+                "4",
+                "--query-rows",
+                "0:5",
+                "--workers",
+                "0",
+            ]
+        )
+        assert status == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_wrong_width_queries_file(self, tmp_path, db_file, capsys):
+        queries = tmp_path / "bad.npy"
+        np.save(queries, np.zeros((3, 2)))
+        status = main(
+            [
+                "batch",
+                str(db_file),
+                "--k",
+                "1",
+                "--n",
+                "2",
+                "--queries",
+                str(queries),
+            ]
+        )
+        assert status == 2
+        assert "dimensions" in capsys.readouterr().err
+
+    def test_requires_exactly_one_query_source(self, db_file):
+        with pytest.raises(SystemExit):
+            main(["batch", str(db_file), "--k", "1", "--n", "2"])
+
+
 class TestAdvise:
     def test_advise(self, db_file, capsys):
         status = main(

@@ -18,7 +18,7 @@ class TestConstruction:
         assert len(db) == 2
 
     def test_engine_names_constant(self):
-        assert set(ENGINE_NAMES) == {"ad", "block-ad", "naive"}
+        assert set(ENGINE_NAMES) == {"ad", "block-ad", "batch-block-ad", "naive"}
 
     def test_invalid_default_engine(self):
         with pytest.raises(ValidationError):

@@ -1,0 +1,280 @@
+"""Batch execution subsystem: vectorised lock-step engine + thread pool.
+
+The contract under test is *bit-identity*: every batch path (native
+lock-step batch, thread-pool sharding, and their composition through
+``MatchDatabase``) must return exactly the answers — ids, differences,
+frequencies, answer sets — that the serial engines produce, including
+under duplicate-value ties, where the canonical deterministic order is
+the naive oracle's (ascending difference, then ascending id).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.core.naive import NaiveScanEngine
+from repro.core.types import SearchStats
+from repro.errors import ValidationError
+from repro.parallel import BatchBlockADEngine, BatchStats, ParallelBatchExecutor
+
+
+def _random_case(rng, tie_prone: bool):
+    c = int(rng.integers(40, 300))
+    d = int(rng.integers(2, 9))
+    data = rng.uniform(0.0, 10.0, size=(c, d))
+    batch = int(rng.integers(1, 9))
+    queries = rng.uniform(0.0, 10.0, size=(batch, d))
+    if tie_prone:
+        # Rounding to one decimal forces plenty of exact duplicate
+        # values, exercising the tie-break order of every path.
+        data = np.round(data, 1)
+        queries = np.round(queries, 1)
+    k = int(rng.integers(1, min(c, 10) + 1))
+    n0 = int(rng.integers(1, d + 1))
+    n1 = int(rng.integers(n0, d + 1))
+    return data, queries, k, n0, n1
+
+
+def _assert_match_equal(actual, expected):
+    assert actual.ids == expected.ids
+    assert actual.differences == expected.differences
+
+
+def _assert_frequent_equal(actual, expected, check_answer_sets=True):
+    assert actual.ids == expected.ids
+    assert actual.frequencies == expected.frequencies
+    if check_answer_sets:
+        assert actual.answer_sets == expected.answer_sets
+
+
+class TestBatchEngineMatchesOracles:
+    """Vectorised lock-step answers == serial block-AD == naive oracle."""
+
+    @pytest.mark.parametrize("tie_prone", [False, True])
+    def test_k_n_match_bit_identical(self, tie_prone):
+        rng = np.random.default_rng(2006 + tie_prone)
+        for _ in range(4):
+            data, queries, k, _, n1 = _random_case(rng, tie_prone)
+            serial = BlockADEngine(data)
+            naive = NaiveScanEngine(data)
+            batch = BatchBlockADEngine(serial.columns)
+            results = batch.k_n_match_batch(queries, k, n1)
+            assert len(results) == len(queries)
+            for query, result in zip(queries, results):
+                _assert_match_equal(result, serial.k_n_match(query, k, n1))
+                _assert_match_equal(result, naive.k_n_match(query, k, n1))
+                # Identical epsilon schedule -> identical work counters.
+                assert result.stats == serial.k_n_match(query, k, n1).stats
+
+    @pytest.mark.parametrize("tie_prone", [False, True])
+    def test_frequent_bit_identical(self, tie_prone):
+        rng = np.random.default_rng(1906 + tie_prone)
+        for _ in range(4):
+            data, queries, k, n0, n1 = _random_case(rng, tie_prone)
+            serial = BlockADEngine(data)
+            naive = NaiveScanEngine(data)
+            batch = BatchBlockADEngine(serial.columns)
+            results = batch.frequent_k_n_match_batch(
+                queries, k, (n0, n1), keep_answer_sets=True
+            )
+            for query, result in zip(queries, results):
+                _assert_frequent_equal(
+                    result, serial.frequent_k_n_match(query, k, (n0, n1))
+                )
+                _assert_frequent_equal(
+                    result, naive.frequent_k_n_match(query, k, (n0, n1))
+                )
+
+    def test_matches_ad_engine_on_tie_free_data(self, small_data):
+        # The AD engine's within-tie order is its heap discovery order,
+        # so exact equality across engines is only guaranteed tie-free.
+        rng = np.random.default_rng(4)
+        queries = rng.uniform(0.0, 1.0, size=(5, small_data.shape[1]))
+        ad = ADEngine(small_data)
+        batch = BatchBlockADEngine(small_data)
+        for query, result in zip(queries, batch.k_n_match_batch(queries, 4, 5)):
+            _assert_match_equal(result, ad.k_n_match(query, 4, 5))
+
+    def test_chunking_does_not_change_answers(self):
+        rng = np.random.default_rng(11)
+        data = np.round(rng.uniform(0, 5, size=(150, 5)), 1)
+        queries = np.round(rng.uniform(0, 5, size=(9, 5)), 1)
+        wide = BatchBlockADEngine(data)
+        narrow = BatchBlockADEngine(data, chunk_size=2)
+        for a, b in zip(
+            wide.k_n_match_batch(queries, 3, 3),
+            narrow.k_n_match_batch(queries, 3, 3),
+        ):
+            _assert_match_equal(a, b)
+            assert a.stats == b.stats
+
+    def test_empty_batch(self):
+        batch = BatchBlockADEngine(np.ones((10, 3)))
+        assert batch.k_n_match_batch(np.empty((0, 3)), 2, 2) == []
+        assert batch.frequent_k_n_match_batch(np.empty((0, 3)), 2, (1, 2)) == []
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            BatchBlockADEngine(np.ones((10, 3)), chunk_size=0)
+
+    def test_rejects_wrong_width_queries(self):
+        batch = BatchBlockADEngine(np.ones((10, 3)))
+        with pytest.raises(Exception):
+            batch.k_n_match_batch(np.ones((2, 4)), 2, 2)
+
+
+class TestParallelExecutor:
+    """Thread-pool sharding: same answers, deterministic, in query order."""
+
+    @pytest.mark.parametrize("engine_cls", [BlockADEngine, BatchBlockADEngine])
+    def test_matches_serial(self, engine_cls):
+        rng = np.random.default_rng(77)
+        data = np.round(rng.uniform(0, 5, size=(200, 6)), 1)
+        queries = np.round(rng.uniform(0, 5, size=(11, 6)), 1)
+        engine = engine_cls(data)
+        serial = BlockADEngine(data)
+        executor = ParallelBatchExecutor(engine, workers=4)
+        for query, result in zip(queries, executor.k_n_match_batch(queries, 4, 3)):
+            _assert_match_equal(result, serial.k_n_match(query, 4, 3))
+        for query, result in zip(
+            queries,
+            executor.frequent_k_n_match_batch(
+                queries, 4, (2, 5), keep_answer_sets=True
+            ),
+        ):
+            _assert_frequent_equal(
+                result, serial.frequent_k_n_match(query, 4, (2, 5))
+            )
+
+    def test_deterministic_across_runs(self):
+        rng = np.random.default_rng(8)
+        data = rng.uniform(0, 1, size=(180, 7))
+        queries = rng.uniform(0, 1, size=(13, 7))
+        executor = ParallelBatchExecutor(
+            BatchBlockADEngine(data), workers=4, chunk_size=3
+        )
+        first = executor.k_n_match_batch(queries, 5, 4)
+        for _ in range(3):
+            again = executor.k_n_match_batch(queries, 5, 4)
+            for a, b in zip(first, again):
+                _assert_match_equal(a, b)
+                assert a.stats == b.stats
+
+    def test_batch_stats(self):
+        rng = np.random.default_rng(9)
+        data = rng.uniform(0, 1, size=(120, 4))
+        queries = rng.uniform(0, 1, size=(10, 4))
+        executor = ParallelBatchExecutor(
+            BlockADEngine(data), workers=2, chunk_size=4
+        )
+        results = executor.k_n_match_batch(queries, 3, 2)
+        stats = executor.last_batch_stats
+        assert isinstance(stats, BatchStats)
+        assert stats.queries == 10
+        assert stats.shards == 3  # ceil(10 / 4)
+        assert stats.workers == 2
+        assert stats.wall_time_seconds > 0
+        assert stats.queries_per_second > 0
+        assert stats.total == SearchStats.aggregate(
+            [result.stats for result in results]
+        )
+
+    def test_empty_batch(self):
+        executor = ParallelBatchExecutor(BlockADEngine(np.ones((10, 3))))
+        assert executor.k_n_match_batch(np.empty((0, 3)), 2, 2) == []
+        assert executor.last_batch_stats.queries == 0
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValidationError):
+            ParallelBatchExecutor(BlockADEngine(np.ones((10, 3))), workers=0)
+
+
+class TestMatchDatabaseDispatch:
+    """The facade routes batches to native/parallel paths transparently."""
+
+    @pytest.fixture
+    def db(self, small_data):
+        return MatchDatabase(small_data)
+
+    @pytest.fixture
+    def queries(self, small_data):
+        return small_data[:7] + 1e-3
+
+    def test_batch_engine_name(self, db, queries):
+        native = db.k_n_match_batch(queries, 4, 5, engine="batch-block-ad")
+        reference = db.k_n_match_batch(queries, 4, 5, engine="block-ad")
+        for a, b in zip(native, reference):
+            _assert_match_equal(a, b)
+            assert a.stats == b.stats
+
+    def test_workers_implies_parallel(self, db, queries):
+        sharded = db.k_n_match_batch(queries, 4, 5, engine="block-ad", workers=3)
+        reference = db.k_n_match_batch(queries, 4, 5, engine="block-ad")
+        for a, b in zip(sharded, reference):
+            _assert_match_equal(a, b)
+
+    def test_parallel_false_overrides_workers(self, db, queries):
+        # parallel=False pins the in-line path even if workers is given.
+        inline = db.k_n_match_batch(
+            queries, 4, 5, engine="block-ad", parallel=False, workers=3
+        )
+        reference = db.k_n_match_batch(queries, 4, 5, engine="block-ad")
+        for a, b in zip(inline, reference):
+            _assert_match_equal(a, b)
+
+    def test_frequent_paths_agree(self, db, queries):
+        paths = [
+            db.frequent_k_n_match_batch(queries, 4, (2, 6), engine="block-ad"),
+            db.frequent_k_n_match_batch(
+                queries, 4, (2, 6), engine="batch-block-ad"
+            ),
+            db.frequent_k_n_match_batch(
+                queries, 4, (2, 6), engine="batch-block-ad", parallel=True, workers=2
+            ),
+        ]
+        for results in paths[1:]:
+            for a, b in zip(results, paths[0]):
+                assert a.ids == b.ids
+                assert a.frequencies == b.frequencies
+
+
+@pytest.mark.tier2
+class TestTier2PropertySweep:
+    """Wider randomized sweep of every path (deselect-by-default)."""
+
+    def test_all_paths_bit_identical(self):
+        rng = np.random.default_rng(20060912)
+        for trial in range(12):
+            data, queries, k, n0, n1 = _random_case(rng, tie_prone=trial % 2 == 0)
+            serial = BlockADEngine(data)
+            naive = NaiveScanEngine(data)
+            batch = BatchBlockADEngine(serial.columns)
+            pooled = ParallelBatchExecutor(batch, workers=4, chunk_size=2)
+
+            expected_m = [naive.k_n_match(q, k, n1) for q in queries]
+            for path in (
+                [serial.k_n_match(q, k, n1) for q in queries],
+                batch.k_n_match_batch(queries, k, n1),
+                pooled.k_n_match_batch(queries, k, n1),
+            ):
+                for a, b in zip(path, expected_m):
+                    _assert_match_equal(a, b)
+
+            expected_f = [
+                naive.frequent_k_n_match(q, k, (n0, n1)) for q in queries
+            ]
+            for path in (
+                [serial.frequent_k_n_match(q, k, (n0, n1)) for q in queries],
+                batch.frequent_k_n_match_batch(
+                    queries, k, (n0, n1), keep_answer_sets=True
+                ),
+                pooled.frequent_k_n_match_batch(
+                    queries, k, (n0, n1), keep_answer_sets=True
+                ),
+            ):
+                for a, b in zip(path, expected_f):
+                    _assert_frequent_equal(a, b)

@@ -43,6 +43,34 @@ class TestSearchStats:
         assert a.attributes_retrieved == 1
         assert b.attributes_retrieved == 2
 
+    def test_add_operator_is_merge(self):
+        a = SearchStats(attributes_retrieved=10, total_attributes=100)
+        b = SearchStats(attributes_retrieved=3, heap_pops=4, total_attributes=100)
+        assert a + b == a.merge(b)
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            SearchStats() + 1
+
+    def test_sum_builtin(self):
+        stats = [
+            SearchStats(attributes_retrieved=i, total_attributes=50)
+            for i in (1, 2, 3)
+        ]
+        total = sum(stats)
+        assert total.attributes_retrieved == 6
+        assert total.total_attributes == 50
+
+    def test_aggregate(self):
+        stats = [
+            SearchStats(points_scanned=2, total_attributes=10),
+            SearchStats(points_scanned=5, total_attributes=10),
+        ]
+        total = SearchStats.aggregate(stats)
+        assert total.points_scanned == 7
+        assert total.total_attributes == 10
+        assert SearchStats.aggregate([]) == SearchStats()
+
 
 class TestMatchResult:
     def test_iteration_and_len(self):
