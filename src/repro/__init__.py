@@ -61,6 +61,13 @@ from .errors import (
     ValidationError,
 )
 from .io import load_database, save_database
+from .obs import (
+    MetricsRegistry,
+    QueryTrace,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+)
 from .parallel import BatchBlockADEngine, BatchStats, ParallelBatchExecutor
 from .sorted_lists import SortedColumns
 
@@ -93,6 +100,12 @@ __all__ = [
     # batch execution
     "ParallelBatchExecutor",
     "BatchStats",
+    # observability
+    "MetricsRegistry",
+    "QueryTrace",
+    "render_prometheus",
+    "render_json",
+    "registry_to_dict",
     # distances
     "n_match_difference",
     "n_match_differences",

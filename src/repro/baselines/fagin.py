@@ -25,7 +25,7 @@ even seen — see :func:`repro.baselines.fagin.fa_top_k` used in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 import numpy as np
 

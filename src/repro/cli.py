@@ -8,11 +8,17 @@ Subcommands::
     repro query     db.npz --k 5 --n 8 --query 0.1,0.2,...     (k-n-match)
     repro query     db.npz --k 5 --n-range 4:12 --query-row 42 (frequent)
     repro batch     db.npz --k 5 --n 8 --queries batch.npy --workers 4
+    repro stats     db.npz --k 5 --n 8 --format prom
     repro advise    db.npz --k 20 --n-range 4:8
     repro experiments --scale 0.1 --only table4,fig12
 
 ``query`` accepts either an inline comma-separated vector (``--query``)
-or a row of the database itself (``--query-row``).  All output goes to
+or a row of the database itself (``--query-row``).  ``query`` and
+``batch`` accept ``--metrics-out PATH`` to run under a fresh
+:class:`~repro.obs.MetricsRegistry` and write its export next to the
+answers (Prometheus text for ``.prom``/``.txt`` paths, JSON otherwise);
+``stats`` probes a database with one in-memory ``ad`` query and one
+disk-backed query and prints the resulting registry.  All output goes to
 stdout; exit status is non-zero on any validation or storage error.
 """
 
@@ -88,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--stats", action="store_true", help="also print work counters"
     )
+    query.add_argument(
+        "--trace", action="store_true", help="also print a per-query trace"
+    )
+    query.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="export query metrics to this path (.prom -> text, else JSON)",
+    )
 
     batch = commands.add_parser(
         "batch", help="run many (frequent) k-n-match queries in one go"
@@ -128,6 +143,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--stats", action="store_true", help="also print aggregate counters"
+    )
+    batch.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="export batch metrics to this path (.prom -> text, else JSON)",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="probe a database and export its metrics registry",
+        description=(
+            "Run one in-memory ad query and one disk-backed AD query "
+            "against the database under a fresh metrics registry, then "
+            "print the registry (Prometheus text or JSON).  A quick way "
+            "to see the attribute-retrieval and page-access profile of "
+            "a dataset, and a smoke test for the observability layer."
+        ),
+    )
+    stats.add_argument("database", help="database .npz path")
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument(
+        "--n", type=int, default=None, help="defaults to half the dimensions"
+    )
+    stats.add_argument(
+        "--query-row", type=int, default=0, help="database row used as probe"
+    )
+    stats.add_argument(
+        "--format", choices=("prom", "json"), default="prom"
+    )
+    stats.add_argument(
+        "--no-disk",
+        action="store_true",
+        help="skip the disk-backed probe (page-read counters stay zero)",
     )
 
     advise = commands.add_parser(
@@ -180,6 +229,27 @@ def _resolve_query(args, db: MatchDatabase) -> np.ndarray:
     return db.data[args.query_row]
 
 
+def _make_registry(args):
+    """A fresh registry when ``--metrics-out`` was given, else ``None``."""
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    from .obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(registry, path: str) -> None:
+    from .obs import render_json, render_prometheus
+
+    if path.endswith((".prom", ".txt")):
+        text = render_prometheus(registry)
+    else:
+        text = render_json(registry) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"wrote metrics to {path}")
+
+
 def _print_stats(stats) -> None:
     print(
         f"stats: attributes={stats.attributes_retrieved}"
@@ -228,18 +298,26 @@ def _run_info(args) -> int:
 
 def _run_query(args) -> int:
     db = load_database(args.database)
+    registry = _make_registry(args)
+    if registry is not None:
+        db.set_metrics(registry)
     query = _resolve_query(args, db)
     if args.n is not None:
-        result = db.k_n_match(query, args.k, args.n, engine=args.engine)
+        result = db.k_n_match(
+            query, args.k, args.n, engine=args.engine, trace=args.trace
+        )
         print(f"{args.k}-{args.n}-match answers (id, difference):")
         for pid, diff in result:
             print(f"  {pid:8d}  {diff:.6f}")
-        if args.stats:
-            _print_stats(result.stats)
     else:
         n_range = _parse_range(args.n_range)
         result = db.frequent_k_n_match(
-            query, args.k, n_range, engine=args.engine, keep_answer_sets=False
+            query,
+            args.k,
+            n_range,
+            engine=args.engine,
+            keep_answer_sets=False,
+            trace=args.trace,
         )
         print(
             f"frequent {args.k}-n-match over n in "
@@ -247,8 +325,12 @@ def _run_query(args) -> int:
         )
         for pid, count in result:
             print(f"  {pid:8d}  {count}")
-        if args.stats:
-            _print_stats(result.stats)
+    if args.stats:
+        _print_stats(result.stats)
+    if args.trace and result.trace is not None:
+        print(result.trace.summary())
+    if registry is not None:
+        _write_metrics(registry, args.metrics_out)
     return 0
 
 
@@ -274,6 +356,9 @@ def _run_batch(args) -> int:
     import time
 
     db = load_database(args.database)
+    registry = _make_registry(args)
+    if registry is not None:
+        db.set_metrics(registry)
     queries = _resolve_query_batch(args, db)
     kwargs = dict(engine=args.engine, parallel=args.parallel, workers=args.workers)
     started = time.perf_counter()
@@ -308,6 +393,33 @@ def _run_batch(args) -> int:
             f"({rate:.1f} q/s)"
         )
         _print_stats(total)
+    if registry is not None:
+        _write_metrics(registry, args.metrics_out)
+    return 0
+
+
+def _run_stats(args) -> int:
+    db = load_database(args.database)
+    if not 0 <= args.query_row < db.cardinality:
+        raise ReproError(
+            f"--query-row {args.query_row} out of range [0, {db.cardinality})"
+        )
+    from .obs import MetricsRegistry, render_json, render_prometheus
+
+    registry = MetricsRegistry()
+    db.set_metrics(registry)
+    query = db.data[args.query_row]
+    n = args.n if args.n is not None else max(1, db.dimensionality // 2)
+    db.k_n_match(query, args.k, n, engine="ad")
+    if not args.no_disk:
+        from .disk import DiskADEngine
+
+        disk = DiskADEngine(db.data, metrics=registry)
+        disk.k_n_match(query, args.k, n)
+    if args.format == "json":
+        print(render_json(registry))
+    else:
+        print(render_prometheus(registry), end="")
     return 0
 
 
@@ -352,6 +464,7 @@ _HANDLERS = {
     "info": _run_info,
     "query": _run_query,
     "batch": _run_batch,
+    "stats": _run_stats,
     "advise": _run_advise,
     "experiments": _run_experiments,
 }

@@ -25,7 +25,8 @@ instead.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+import time
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,16 +43,33 @@ class ADEngine:
 
     Accepts either a raw ``(c, d)`` array (sorted columns are built once
     at construction) or a prebuilt :class:`SortedColumns`, so the same
-    substrate can be shared between engines.
+    substrate can be shared between engines.  An optional
+    :class:`~repro.obs.MetricsRegistry` (``metrics=``) makes the engine
+    record per-query counters; with no registry the instrumentation path
+    is a single ``is not None`` branch and answers are identical.
     """
 
     name = "ad"
 
-    def __init__(self, data: Union[np.ndarray, SortedColumns]) -> None:
+    def __init__(
+        self,
+        data: Union[np.ndarray, SortedColumns],
+        metrics: Optional[object] = None,
+    ) -> None:
         if isinstance(data, SortedColumns):
             self._columns = data
         else:
             self._columns = SortedColumns(data)
+        self._metrics = metrics
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
 
     @property
     def columns(self) -> SortedColumns:
@@ -82,13 +100,20 @@ class ADEngine:
         answer, i.e. that answer's exact n-match difference.
         """
         c, d = self._columns.cardinality, self._columns.dimensionality
-        k = validation.validate_k(k, c)
-        n = validation.validate_n(n, d)
-        query = validation.as_query_array(query, d)
+        query, k, n = validation.validate_match_args(query, k, n, c, d)
 
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
         frontier = AscendingDifferenceFrontier(make_cursors(self._columns, query))
         answer_ids, answer_differences = run_k_n_match(frontier, c, k, n)
         stats = self._make_stats(frontier)
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "k_n_match", stats,
+                time.perf_counter() - started, d,
+            )
         return MatchResult(
             ids=answer_ids, differences=answer_differences, k=k, n=n, stats=stats
         )
@@ -113,10 +138,12 @@ class ADEngine:
         the (truncated) sets are returned.
         """
         c, d = self._columns.cardinality, self._columns.dimensionality
-        k = validation.validate_k(k, c)
-        n0, n1 = validation.validate_n_range(n_range, d)
-        query = validation.as_query_array(query, d)
+        query, k, (n0, n1) = validation.validate_frequent_args(
+            query, k, n_range, c, d
+        )
 
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
         frontier = AscendingDifferenceFrontier(make_cursors(self._columns, query))
         sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
 
@@ -126,6 +153,13 @@ class ADEngine:
             answer_sets = sets
         chosen, frequencies = rank_by_frequency(answer_sets, k)
         stats = self._make_stats(frontier)
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "frequent_k_n_match", stats,
+                time.perf_counter() - started, d,
+            )
         return FrequentMatchResult(
             ids=chosen,
             frequencies=frequencies,

@@ -27,7 +27,8 @@ small constant factor of optimal.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,11 +48,25 @@ class BlockADEngine:
     MIN_GROWTH = 1.25
     MAX_GROWTH = 4.0
 
-    def __init__(self, data: Union[np.ndarray, SortedColumns]) -> None:
+    def __init__(
+        self,
+        data: Union[np.ndarray, SortedColumns],
+        metrics: Optional[object] = None,
+    ) -> None:
         if isinstance(data, SortedColumns):
             self._columns = data
         else:
             self._columns = SortedColumns(data)
+        self._metrics = metrics
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
 
     @property
     def columns(self) -> SortedColumns:
@@ -72,14 +87,24 @@ class BlockADEngine:
     # ------------------------------------------------------------------
     def k_n_match(self, query, k: int, n: int) -> MatchResult:
         """k-n-match via windows + exact refinement of the candidates."""
-        query = validation.as_query_array(query, self.dimensionality)
-        result = self.frequent_k_n_match(query, k, (n, n), keep_answer_sets=True)
+        c, d = self._columns.cardinality, self._columns.dimensionality
+        query, k, n = validation.validate_match_args(query, k, n, c, d)
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
+        result = self._frequent_impl(query, k, n, n, keep_answer_sets=True)
         ids = result.answer_sets[n]
         data = self._columns.data
         differences = [
             float(np.partition(np.abs(data[pid] - query), n - 1)[n - 1])
             for pid in ids
         ]
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "k_n_match", result.stats,
+                time.perf_counter() - started, d,
+            )
         return MatchResult(
             ids=list(ids), differences=differences, k=k, n=n, stats=result.stats
         )
@@ -93,10 +118,33 @@ class BlockADEngine:
     ) -> FrequentMatchResult:
         """Frequent k-n-match with answer sets identical to the oracle."""
         c, d = self._columns.cardinality, self._columns.dimensionality
-        k = validation.validate_k(k, c)
-        n0, n1 = validation.validate_n_range(n_range, d)
-        query = validation.as_query_array(query, d)
+        query, k, (n0, n1) = validation.validate_frequent_args(
+            query, k, n_range, c, d
+        )
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
+        result = self._frequent_impl(
+            query, k, n0, n1, keep_answer_sets=keep_answer_sets
+        )
+        if registry is not None:
+            from ..obs import observe_query
 
+            observe_query(
+                registry, self.name, "frequent_k_n_match", result.stats,
+                time.perf_counter() - started, d,
+            )
+        return result
+
+    def _frequent_impl(
+        self,
+        query: np.ndarray,
+        k: int,
+        n0: int,
+        n1: int,
+        keep_answer_sets: bool,
+    ) -> FrequentMatchResult:
+        """The window-growth + refinement body (arguments pre-validated)."""
+        c, d = self._columns.cardinality, self._columns.dimensionality
         history, attributes, probes = self._grow_windows(query, k, n1)
 
         # Candidate set: every point that can belong to the k-n-match set

@@ -21,12 +21,14 @@ switching engines on the same database is cheap.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import ValidationError
 from ..sorted_lists import SortedColumns
+from . import validation
 from .ad import ADEngine
 from .ad_block import BlockADEngine
 from .naive import NaiveScanEngine
@@ -39,9 +41,20 @@ ENGINE_NAMES = ("ad", "block-ad", "batch-block-ad", "naive")
 
 
 class MatchDatabase:
-    """In-memory matching-based similarity search over a point set."""
+    """In-memory matching-based similarity search over a point set.
 
-    def __init__(self, data, default_engine: str = "ad") -> None:
+    Pass ``metrics=`` (a :class:`~repro.obs.MetricsRegistry`) to have
+    every engine record per-query cost counters; pass ``trace=True`` on
+    a query call to get a :class:`~repro.obs.QueryTrace` attached to the
+    result.  Both are off by default and cost nothing when off.
+    """
+
+    def __init__(
+        self,
+        data,
+        default_engine: str = "ad",
+        metrics: Optional[object] = None,
+    ) -> None:
         if default_engine not in ENGINE_NAMES:
             raise ValidationError(
                 f"unknown engine {default_engine!r}; choose from {ENGINE_NAMES}"
@@ -49,6 +62,7 @@ class MatchDatabase:
         self._columns = SortedColumns(data)
         self._default_engine = default_engine
         self._engines: Dict[str, object] = {}
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +87,21 @@ class MatchDatabase:
     def default_engine(self) -> str:
         return self._default_engine
 
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    def set_metrics(self, registry) -> None:
+        """Install (or remove, with ``None``) a metrics registry.
+
+        Applies to already-constructed engines as well as engines built
+        after the call.
+        """
+        self._metrics = registry
+        for engine in self._engines.values():
+            engine.metrics = registry
+
     def engine(self, name: Optional[str] = None):
         """Return (lazily constructing) the engine called ``name``."""
         name = name or self._default_engine
@@ -82,29 +111,52 @@ class MatchDatabase:
             )
         if name not in self._engines:
             if name == "ad":
-                self._engines[name] = ADEngine(self._columns)
+                self._engines[name] = ADEngine(
+                    self._columns, metrics=self._metrics
+                )
             elif name == "block-ad":
-                self._engines[name] = BlockADEngine(self._columns)
+                self._engines[name] = BlockADEngine(
+                    self._columns, metrics=self._metrics
+                )
             elif name == "batch-block-ad":
                 # Imported lazily: repro.parallel depends on this module.
                 from ..parallel import BatchBlockADEngine
 
-                self._engines[name] = BatchBlockADEngine(self._columns)
+                self._engines[name] = BatchBlockADEngine(
+                    self._columns, metrics=self._metrics
+                )
             else:
-                self._engines[name] = NaiveScanEngine(self._columns.data)
+                self._engines[name] = NaiveScanEngine(
+                    self._columns.data, metrics=self._metrics
+                )
         return self._engines[name]
 
     # ------------------------------------------------------------------
     def k_n_match(
-        self, query, k: int, n: int, engine: Optional[str] = None
+        self,
+        query,
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+        trace: bool = False,
     ) -> MatchResult:
         """The k-n-match query (Definition 3).
 
         Find the ``k`` points whose n-match difference w.r.t. ``query``
         is smallest; the ``n`` best-matching dimensions are chosen
-        per point, dynamically.
+        per point, dynamically.  With ``trace=True`` the result carries
+        a :class:`~repro.obs.QueryTrace` in ``result.trace``.
         """
-        return self.engine(engine).k_n_match(query, k, n)
+        selected = self.engine(engine)
+        if not trace:
+            return selected.k_n_match(query, k, n)
+        started = time.perf_counter()
+        result = selected.k_n_match(query, k, n)
+        result.trace = self._build_trace(
+            selected, "k_n_match", result.k, (result.n, result.n),
+            result.stats, started,
+        )
+        return result
 
     def frequent_k_n_match(
         self,
@@ -113,17 +165,43 @@ class MatchDatabase:
         n_range: Union[Tuple[int, int], None] = None,
         engine: Optional[str] = None,
         keep_answer_sets: bool = True,
+        trace: bool = False,
     ) -> FrequentMatchResult:
         """The frequent k-n-match query (Definition 4).
 
         Runs k-n-match for every ``n`` in ``n_range`` (default
         ``[1, d]``) and returns the ``k`` points appearing most often
-        across the answer sets.
+        across the answer sets.  With ``trace=True`` the result carries
+        a :class:`~repro.obs.QueryTrace` in ``result.trace``.
         """
         if n_range is None:
             n_range = (1, self.dimensionality)
-        return self.engine(engine).frequent_k_n_match(
+        selected = self.engine(engine)
+        if not trace:
+            return selected.frequent_k_n_match(
+                query, k, n_range, keep_answer_sets=keep_answer_sets
+            )
+        started = time.perf_counter()
+        result = selected.frequent_k_n_match(
             query, k, n_range, keep_answer_sets=keep_answer_sets
+        )
+        result.trace = self._build_trace(
+            selected, "frequent_k_n_match", result.k, result.n_range,
+            result.stats, started,
+        )
+        return result
+
+    def _build_trace(self, selected, kind, k, n_range, stats, started):
+        from ..obs import QueryTrace
+
+        return QueryTrace.from_stats(
+            engine=selected.name,
+            kind=kind,
+            k=k,
+            n_range=n_range,
+            stats=stats,
+            wall_time_seconds=time.perf_counter() - started,
+            dimensionality=self.dimensionality,
         )
 
     def k_n_match_batch(
@@ -148,9 +226,12 @@ class MatchDatabase:
         thread pool — an escape hatch for large batches on multi-core
         machines.  Answers are identical on every path.
         """
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim != 2:
-            raise ValidationError("queries must be a 2-D array (one row each)")
+        # Validate everything up front (canonical order: k, n, queries)
+        # so every engine — including an empty batch, where no per-query
+        # call ever runs — rejects the same bad input the same way.
+        queries, k, n = validation.validate_batch_match_args(
+            queries, k, n, self.cardinality, self.dimensionality
+        )
         selected = self.engine(engine)
         executor = self._batch_executor(selected, parallel, workers)
         if executor is not None:
@@ -176,11 +257,11 @@ class MatchDatabase:
         ``workers=`` escape hatch) works exactly as in
         :meth:`k_n_match_batch`.
         """
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim != 2:
-            raise ValidationError("queries must be a 2-D array (one row each)")
         if n_range is None:
             n_range = (1, self.dimensionality)
+        queries, k, n_range = validation.validate_batch_frequent_args(
+            queries, k, n_range, self.cardinality, self.dimensionality
+        )
         selected = self.engine(engine)
         executor = self._batch_executor(selected, parallel, workers)
         if executor is not None:
@@ -209,7 +290,9 @@ class MatchDatabase:
         # Imported lazily: repro.parallel depends on this module.
         from ..parallel import ParallelBatchExecutor
 
-        return ParallelBatchExecutor(selected, workers=workers)
+        return ParallelBatchExecutor(
+            selected, workers=workers, metrics=self._metrics
+        )
 
     def __len__(self) -> int:
         return self.cardinality

@@ -14,7 +14,8 @@ deterministic tie-breaking (ascending difference, then ascending id).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,8 +30,18 @@ class NaiveScanEngine:
 
     name = "naive-scan"
 
-    def __init__(self, data) -> None:
+    def __init__(self, data, metrics: Optional[object] = None) -> None:
         self._data = validation.as_database_array(data)
+        self._metrics = metrics
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
 
     @property
     def data(self) -> np.ndarray:
@@ -52,10 +63,10 @@ class NaiveScanEngine:
         making the answer set unique and reproducible.
         """
         c, d = self._data.shape
-        k = validation.validate_k(k, c)
-        n = validation.validate_n(n, d)
-        query = validation.as_query_array(query, d)
+        query, k, n = validation.validate_match_args(query, k, n, c, d)
 
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
         deltas = np.abs(self._data - query)
         differences = np.partition(deltas, n - 1, axis=1)[:, n - 1]
         order = np.lexsort((np.arange(c), differences))
@@ -65,6 +76,13 @@ class NaiveScanEngine:
             total_attributes=c * d,
             points_scanned=c,
         )
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "k_n_match", stats,
+                time.perf_counter() - started, d,
+            )
         return MatchResult(
             ids=[int(i) for i in chosen],
             differences=[float(differences[i]) for i in chosen],
@@ -87,10 +105,12 @@ class NaiveScanEngine:
         then holds every point's n-match difference.
         """
         c, d = self._data.shape
-        k = validation.validate_k(k, c)
-        n0, n1 = validation.validate_n_range(n_range, d)
-        query = validation.as_query_array(query, d)
+        query, k, (n0, n1) = validation.validate_frequent_args(
+            query, k, n_range, c, d
+        )
 
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
         profiles = np.sort(np.abs(self._data - query), axis=1)
         ids = np.arange(c)
         answer_sets: Dict[int, List[int]] = {}
@@ -105,6 +125,13 @@ class NaiveScanEngine:
             total_attributes=c * d,
             points_scanned=c,
         )
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "frequent_k_n_match", stats,
+                time.perf_counter() - started, d,
+            )
         return FrequentMatchResult(
             ids=chosen,
             frequencies=frequencies,

@@ -133,6 +133,10 @@ class MatchResult:
     k: int
     n: int
     stats: SearchStats = field(default_factory=SearchStats)
+    #: optional per-query cost trace (:class:`repro.obs.QueryTrace`),
+    #: attached by :class:`~repro.core.engine.MatchDatabase` when the
+    #: caller passes ``trace=True``; ``None`` otherwise.
+    trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if len(self.ids) != len(self.differences):
@@ -177,6 +181,10 @@ class FrequentMatchResult:
     n_range: Tuple[int, int]
     answer_sets: Optional[Dict[int, List[int]]] = None
     stats: SearchStats = field(default_factory=SearchStats)
+    #: optional per-query cost trace (:class:`repro.obs.QueryTrace`),
+    #: attached by :class:`~repro.core.engine.MatchDatabase` when the
+    #: caller passes ``trace=True``; ``None`` otherwise.
+    trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if len(self.ids) != len(self.frequencies):

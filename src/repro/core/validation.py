@@ -59,14 +59,16 @@ def as_query_array(query, dimensionality: int) -> np.ndarray:
 def as_query_batch(queries, dimensionality: int) -> np.ndarray:
     """Coerce ``queries`` to a finite 2-D float64 array of width ``d``.
 
-    A batch may be empty (zero rows); each row is one query.
+    A batch may be empty (zero rows); each row is one query.  The width
+    must match the database dimensionality even for an empty batch — a
+    degenerate batch is validated exactly like a full one.
     """
     array = np.asarray(queries, dtype=np.float64)
     if array.ndim != 2:
         raise ValidationError(
             f"queries must be a 2-D array (one row each); got ndim={array.ndim}"
         )
-    if array.shape[1] != dimensionality and array.shape[0] > 0:
+    if array.shape[1] != dimensionality:
         raise DimensionalityMismatchError(dimensionality, array.shape[1])
     if not np.isfinite(array).all():
         raise ValidationError("queries contain NaN or infinite values")
@@ -110,6 +112,58 @@ def validate_n_range(
     if n0 > n1:
         raise ValidationError(f"n_range requires n0 <= n1; got ({n0}, {n1})")
     return n0, n1
+
+
+def validate_match_args(query, k, n, cardinality: int, dimensionality: int):
+    """Validate a k-n-match call in the one canonical order.
+
+    Every engine funnels through here so that the same bad input raises
+    the same :class:`ValidationError` everywhere: ``k`` first, then
+    ``n``, then the query vector.  Returns ``(query, k, n)`` coerced.
+    """
+    k = validate_k(k, cardinality)
+    n = validate_n(n, dimensionality)
+    query = as_query_array(query, dimensionality)
+    return query, k, n
+
+
+def validate_frequent_args(
+    query, k, n_range, cardinality: int, dimensionality: int
+):
+    """Validate a frequent k-n-match call in the canonical order.
+
+    Returns ``(query, k, (n0, n1))`` coerced; ordering matches
+    :func:`validate_match_args` (``k``, then the range, then the query).
+    """
+    k = validate_k(k, cardinality)
+    n0, n1 = validate_n_range(n_range, dimensionality)
+    query = as_query_array(query, dimensionality)
+    return query, k, (n0, n1)
+
+
+def validate_batch_match_args(
+    queries, k, n, cardinality: int, dimensionality: int
+):
+    """Validate a batch k-n-match call (canonical order, batch query).
+
+    ``k``/``n`` are checked even when the batch is empty, so a zero-row
+    batch with invalid parameters raises instead of silently returning
+    ``[]`` on some engines and raising on others.
+    """
+    k = validate_k(k, cardinality)
+    n = validate_n(n, dimensionality)
+    queries = as_query_batch(queries, dimensionality)
+    return queries, k, n
+
+
+def validate_batch_frequent_args(
+    queries, k, n_range, cardinality: int, dimensionality: int
+):
+    """Validate a batch frequent k-n-match call (canonical order)."""
+    k = validate_k(k, cardinality)
+    n0, n1 = validate_n_range(n_range, dimensionality)
+    queries = as_query_batch(queries, dimensionality)
+    return queries, k, (n0, n1)
 
 
 def _as_int(name: str, value) -> int:

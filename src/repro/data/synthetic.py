@@ -10,7 +10,7 @@ float32-exact values (see :mod:`repro.data.normalize`).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

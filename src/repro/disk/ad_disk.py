@@ -10,9 +10,9 @@ response time under a :class:`~repro.storage.DiskModel`.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
-import numpy as np
 
 from ..core import validation
 from ..core.matchloop import run_frequent_k_n_match, run_k_n_match
@@ -34,10 +34,26 @@ class DiskADEngine:
         data,
         pager: Optional[Pager] = None,
         disk_model: DiskModel = DEFAULT_DISK_MODEL,
+        metrics: Optional[object] = None,
     ) -> None:
         self.disk_model = disk_model
-        self._pager = pager if pager is not None else Pager(disk_model.page_size)
+        if pager is None:
+            pager = Pager(disk_model.page_size, metrics=metrics)
+        elif metrics is not None and pager.metrics is None:
+            pager.metrics = metrics
+        self._pager = pager
+        self._metrics = metrics
         self._store = SortedColumnStore(data, self._pager)
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        self._pager.metrics = registry
 
     @property
     def store(self) -> SortedColumnStore:
@@ -59,14 +75,21 @@ class DiskADEngine:
     def k_n_match(self, query, k: int, n: int) -> MatchResult:
         """KNMatchAD over the paged columns."""
         c, d = self.cardinality, self.dimensionality
-        k = validation.validate_k(k, c)
-        n = validation.validate_n(n, d)
-        query = validation.as_query_array(query, d)
+        query, k, n = validation.validate_match_args(query, k, n, c, d)
 
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
         baseline = self._io_snapshot()
         frontier = AscendingDifferenceFrontier(make_disk_cursors(self._store, query))
         ids, differences = run_k_n_match(frontier, c, k, n)
         stats = self._make_stats(frontier, baseline)
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "k_n_match", stats,
+                time.perf_counter() - started, d,
+            )
         return MatchResult(ids=ids, differences=differences, k=k, n=n, stats=stats)
 
     def frequent_k_n_match(
@@ -78,16 +101,25 @@ class DiskADEngine:
     ) -> FrequentMatchResult:
         """FKNMatchAD over the paged columns."""
         c, d = self.cardinality, self.dimensionality
-        k = validation.validate_k(k, c)
-        n0, n1 = validation.validate_n_range(n_range, d)
-        query = validation.as_query_array(query, d)
+        query, k, (n0, n1) = validation.validate_frequent_args(
+            query, k, n_range, c, d
+        )
 
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
         baseline = self._io_snapshot()
         frontier = AscendingDifferenceFrontier(make_disk_cursors(self._store, query))
         sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
         answer_sets = {n: ids[:k] for n, ids in sets.items()}
         chosen, frequencies = rank_by_frequency(answer_sets, k)
         stats = self._make_stats(frontier, baseline)
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "frequent_k_n_match", stats,
+                time.perf_counter() - started, d,
+            )
         return FrequentMatchResult(
             ids=chosen,
             frequencies=frequencies,

@@ -15,7 +15,7 @@ annotated with min/max.  No interpolation — honest dots only.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence
+from typing import List, Mapping
 
 from ..errors import ValidationError
 

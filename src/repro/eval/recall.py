@@ -14,7 +14,7 @@ does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+
 
 import numpy as np
 

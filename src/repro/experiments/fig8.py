@@ -11,7 +11,7 @@ stand-ins, class-stripping protocol.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..data import make_uci_standin
 from ..eval import class_stripping_accuracy, frequent_knmatch_searcher

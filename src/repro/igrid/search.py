@@ -16,7 +16,7 @@ query/point pair (the contrast Sec. 6 draws).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

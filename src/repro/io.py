@@ -112,6 +112,7 @@ def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
         db._columns = columns
         db._default_engine = header.get("default_engine", "ad")
         db._engines = {}
+        db._metrics = None
         return db
     finally:
         archive.close()

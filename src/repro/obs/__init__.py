@@ -1,0 +1,58 @@
+"""repro.obs — lightweight, dependency-free metrics and tracing.
+
+The paper's claims are *cost* claims (attributes retrieved, page
+accesses), so the observability layer makes those costs first-class:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms with exact totals under threads;
+* :class:`QueryTrace` — a per-query cost record derived from the
+  :class:`~repro.core.types.SearchStats` every engine already returns;
+* :func:`render_prometheus` / :func:`render_json` — deterministic
+  exporters for scraping or archiving.
+
+Instrumented components hold an optional registry and guard every
+record with ``if registry is not None`` — with no registry installed
+the entire layer costs one attribute load and branch per query, and
+answers are bit-identical either way (instrumentation only *reads* the
+stats the engines already produce).
+
+See ``docs/observability.md`` for metric names, label conventions and
+measured overhead.
+"""
+
+from .export import registry_to_dict, render_json, render_prometheus
+from .instrument import (
+    observe_batch,
+    observe_page_read,
+    observe_pager_fault,
+    observe_query,
+)
+from .registry import (
+    Counter,
+    DEFAULT_COST_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .trace import QueryTrace, epsilon_rounds_from_stats
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QueryTrace",
+    "epsilon_rounds_from_stats",
+    "render_prometheus",
+    "render_json",
+    "registry_to_dict",
+    "observe_query",
+    "observe_batch",
+    "observe_page_read",
+    "observe_pager_fault",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COST_BUCKETS",
+]

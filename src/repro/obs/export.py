@@ -1,0 +1,100 @@
+"""Registry exporters: Prometheus text format and a JSON dump.
+
+Both exporters are deterministic — families sorted by name, children by
+sorted label items — so their output is diffable and golden-file
+testable.  The text format follows the Prometheus exposition format
+version 0.0.4 (``# HELP``/``# TYPE`` headers, cumulative ``_bucket``
+series with an ``le`` label, ``_sum``/``_count`` for histograms).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "render_json", "registry_to_dict"]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(items, extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in items]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help_text:
+            lines.append(f"# HELP {family.name} {family.help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for child in family.children():
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{_format_labels(child.labels)} "
+                    f"{_format_number(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                bounds = [_format_number(b) for b in child.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    le = 'le="%s"' % bound
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(child.labels, le)} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(child.labels)} "
+                    f"{_format_number(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(child.labels)} "
+                    f"{child.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict:
+    """The registry as a plain JSON-serialisable dict."""
+    out: Dict = {}
+    for family in registry.collect():
+        series = []
+        for child in family.children():
+            entry: Dict = {"labels": dict(child.labels)}
+            if isinstance(child, (Counter, Gauge)):
+                entry["value"] = child.value
+            elif isinstance(child, Histogram):
+                entry["buckets"] = list(child.buckets)
+                entry["cumulative_counts"] = child.cumulative_counts()
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+            series.append(entry)
+        out[family.name] = {
+            "type": family.kind,
+            "help": family.help_text,
+            "series": series,
+        }
+    return out
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry as pretty-printed JSON text."""
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)

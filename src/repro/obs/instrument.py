@@ -1,0 +1,157 @@
+"""Shared instrumentation hooks: one vocabulary of metric names.
+
+Every instrumented component (engines, the batch executor, the pager,
+the disk engines) records through the helpers here, so metric names and
+label conventions live in exactly one place.  See
+``docs/observability.md`` for the full catalogue.
+
+All helpers take the registry explicitly and must only be called behind
+an ``if registry is not None`` guard — the guard at the call site is the
+whole zero-cost story; none of these functions tolerates ``None``.
+"""
+
+from __future__ import annotations
+
+from ..core.types import SearchStats
+from .registry import (
+    DEFAULT_COST_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from .trace import epsilon_rounds_from_stats
+
+__all__ = [
+    "observe_query",
+    "observe_batch",
+    "observe_page_read",
+    "observe_pager_fault",
+    "SHARD_SIZE_BUCKETS",
+    "STRAGGLER_RATIO_BUCKETS",
+]
+
+#: Shard-size buckets: powers of two up to the chunked maximum.
+SHARD_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Straggler-ratio buckets (slowest shard / mean shard wall time); 1.0
+#: means perfectly balanced shards.
+STRAGGLER_RATIO_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+
+def observe_query(
+    registry: MetricsRegistry,
+    engine: str,
+    kind: str,
+    stats: SearchStats,
+    wall_seconds: float,
+    dimensionality: int,
+) -> None:
+    """Record one finished query on ``registry``.
+
+    ``stats`` is the query's :class:`SearchStats` — the engines' single
+    source of truth — so instrumentation can never disagree with the
+    counters a result reports, and the engines' answers stay
+    bit-identical whether or not a registry is installed.
+    """
+    labels = {"engine": engine, "kind": kind}
+    registry.counter(
+        "repro_queries_total", "queries executed"
+    ).labels(**labels).inc()
+    registry.counter(
+        "repro_attributes_retrieved_total",
+        "individual attributes retrieved (the paper's cost measure)",
+    ).labels(**labels).inc(stats.attributes_retrieved)
+    registry.counter(
+        "repro_heap_pops_total", "frontier heap pops"
+    ).labels(**labels).inc(stats.heap_pops)
+    rounds = epsilon_rounds_from_stats(stats, dimensionality)
+    registry.counter(
+        "repro_epsilon_rounds_total", "block-engine window growth rounds"
+    ).labels(**labels).inc(rounds)
+    if stats.sequential_page_reads or stats.random_page_reads:
+        pages = registry.counter(
+            "repro_query_page_reads_total", "page reads charged to queries"
+        )
+        pages.labels(engine=engine, pattern="sequential").inc(
+            stats.sequential_page_reads
+        )
+        pages.labels(engine=engine, pattern="random").inc(
+            stats.random_page_reads
+        )
+    registry.histogram(
+        "repro_query_seconds",
+        "query wall time",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(**labels).observe(wall_seconds)
+    registry.histogram(
+        "repro_query_attributes",
+        "attributes retrieved per query",
+        buckets=DEFAULT_COST_BUCKETS,
+    ).labels(**labels).observe(stats.attributes_retrieved)
+
+
+def observe_batch(
+    registry: MetricsRegistry,
+    engine: str,
+    queries: int,
+    shard_sizes,
+    shard_seconds,
+    worker_busy_seconds,
+    wall_seconds: float,
+) -> None:
+    """Record one executor batch: shards, stragglers, worker utilisation."""
+    labels = {"engine": engine}
+    registry.counter(
+        "repro_batches_total", "executor batches run"
+    ).labels(**labels).inc()
+    registry.counter(
+        "repro_batch_queries_total", "queries run through the executor"
+    ).labels(**labels).inc(queries)
+    size_histogram = registry.histogram(
+        "repro_batch_shard_queries",
+        "queries per shard",
+        buckets=SHARD_SIZE_BUCKETS,
+    ).labels(**labels)
+    time_histogram = registry.histogram(
+        "repro_batch_shard_seconds",
+        "shard wall time",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(**labels)
+    for size, seconds in zip(shard_sizes, shard_seconds):
+        size_histogram.observe(size)
+        time_histogram.observe(seconds)
+    if shard_seconds:
+        mean = sum(shard_seconds) / len(shard_seconds)
+        ratio = (max(shard_seconds) / mean) if mean > 0 else 1.0
+        registry.histogram(
+            "repro_batch_straggler_ratio",
+            "slowest shard / mean shard wall time per batch",
+            buckets=STRAGGLER_RATIO_BUCKETS,
+        ).labels(**labels).observe(ratio)
+    utilisation = registry.gauge(
+        "repro_batch_worker_utilization",
+        "per-worker busy fraction of the last batch",
+    )
+    busy_total = registry.counter(
+        "repro_batch_worker_busy_seconds_total",
+        "cumulative per-worker busy time",
+    )
+    for index, busy in enumerate(worker_busy_seconds):
+        worker = str(index)
+        busy_total.labels(engine=engine, worker=worker).inc(busy)
+        utilisation.labels(engine=engine, worker=worker).set(
+            busy / wall_seconds if wall_seconds > 0 else 0.0
+        )
+
+
+def observe_page_read(registry: MetricsRegistry, sequential: bool) -> None:
+    """Record one pager-level page read (called from the recorder)."""
+    registry.counter(
+        "repro_pager_reads_total", "pages served by the pager"
+    ).labels(pattern="sequential" if sequential else "random").inc()
+
+
+def observe_pager_fault(registry: MetricsRegistry, kind: str) -> None:
+    """Record one injected pager fault (``kind``: hard / corruption)."""
+    registry.counter(
+        "repro_pager_faults_total", "injected storage faults"
+    ).labels(kind=kind).inc()

@@ -33,7 +33,8 @@ superset, so the windows only decide *how much* work is done, never
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -73,14 +74,18 @@ class BatchBlockADEngine:
         self,
         data: Union[np.ndarray, SortedColumns],
         chunk_size: Union[int, None] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         if isinstance(data, SortedColumns):
             self._columns = data
         else:
             self._columns = SortedColumns(data)
         # Serial engine for single-query calls and the rare zero-epsilon
-        # fallback; shares the same build.
+        # fallback; shares the same build.  It keeps metrics=None: the
+        # batch engine records its own events (including for delegated
+        # single-query calls) so nothing is double-counted.
         self._serial = BlockADEngine(self._columns)
+        self._metrics = metrics
         # (d, c) view shared by every batch round's bound searches.
         self._values_matrix = self._columns.values_matrix
         # Narrow id copy: point ids fit int32, and the delta scatters are
@@ -112,30 +117,62 @@ class BatchBlockADEngine:
     def dimensionality(self) -> int:
         return self._columns.dimensionality
 
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+
     # ------------------------------------------------------------------
     # single-query API (delegates to the serial engine, same answers)
     # ------------------------------------------------------------------
     def k_n_match(self, query, k: int, n: int) -> MatchResult:
-        return self._serial.k_n_match(query, k, n)
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
+        result = self._serial.k_n_match(query, k, n)
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "k_n_match", result.stats,
+                time.perf_counter() - started, self.dimensionality,
+            )
+        return result
 
     def frequent_k_n_match(
         self, query, k: int, n_range: Tuple[int, int], keep_answer_sets: bool = True
     ) -> FrequentMatchResult:
-        return self._serial.frequent_k_n_match(
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
+        result = self._serial.frequent_k_n_match(
             query, k, n_range, keep_answer_sets=keep_answer_sets
         )
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, self.name, "frequent_k_n_match", result.stats,
+                time.perf_counter() - started, self.dimensionality,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # batch API
     # ------------------------------------------------------------------
     def k_n_match_batch(self, queries, k: int, n: int) -> List[MatchResult]:
         """One k-n-match per row of ``queries`` in one lock-step run."""
-        d = self.dimensionality
-        n = validation.validate_n(n, d)
-        frequents = self.frequent_k_n_match_batch(
-            queries, k, (n, n), keep_answer_sets=True
+        c, d = self.cardinality, self.dimensionality
+        queries, k, n = validation.validate_batch_match_args(
+            queries, k, n, c, d
         )
-        queries = validation.as_query_batch(queries, d)
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
+        frequents = self._frequent_batch_impl(
+            queries, k, n, n, keep_answer_sets=True
+        )
         data = self._columns.data
         results: List[MatchResult] = []
         for query, freq in zip(queries, frequents):
@@ -153,6 +190,8 @@ class BatchBlockADEngine:
                     stats=freq.stats,
                 )
             )
+        if registry is not None:
+            self._observe_batch(registry, "k_n_match", results, started)
         return results
 
     def frequent_k_n_match_batch(
@@ -164,9 +203,47 @@ class BatchBlockADEngine:
     ) -> List[FrequentMatchResult]:
         """One frequent k-n-match per row of ``queries``, lock-step."""
         c, d = self.cardinality, self.dimensionality
-        k = validation.validate_k(k, c)
-        n0, n1 = validation.validate_n_range(n_range, d)
-        queries = validation.as_query_batch(queries, d)
+        queries, k, (n0, n1) = validation.validate_batch_frequent_args(
+            queries, k, n_range, c, d
+        )
+        registry = self._metrics
+        started = time.perf_counter() if registry is not None else 0.0
+        results = self._frequent_batch_impl(
+            queries, k, n0, n1, keep_answer_sets=keep_answer_sets
+        )
+        if registry is not None:
+            self._observe_batch(
+                registry, "frequent_k_n_match", results, started
+            )
+        return results
+
+    def _observe_batch(self, registry, kind, results, started: float) -> None:
+        """Record one event per batched query, amortising the wall time.
+
+        The batch runs lock-step, so individual query latencies do not
+        exist; each query is charged the batch mean (documented in
+        ``docs/observability.md``).  Cost counters come from each
+        query's own :class:`SearchStats`, so totals are exact.
+        """
+        from ..obs import observe_query
+
+        if not results:
+            return
+        share = (time.perf_counter() - started) / len(results)
+        d = self.dimensionality
+        for result in results:
+            observe_query(registry, self.name, kind, result.stats, share, d)
+
+    def _frequent_batch_impl(
+        self,
+        queries: np.ndarray,
+        k: int,
+        n0: int,
+        n1: int,
+        keep_answer_sets: bool,
+    ) -> List[FrequentMatchResult]:
+        """The lock-step batch body (arguments pre-validated)."""
+        c, d = self.cardinality, self.dimensionality
         a = queries.shape[0]
         if a == 0:
             return []
@@ -177,10 +254,11 @@ class BatchBlockADEngine:
             results: List[FrequentMatchResult] = []
             for start in range(0, a, self._chunk_size):
                 results.extend(
-                    self.frequent_k_n_match_batch(
+                    self._frequent_batch_impl(
                         queries[start : start + self._chunk_size],
                         k,
-                        (n0, n1),
+                        n0,
+                        n1,
                         keep_answer_sets=keep_answer_sets,
                     )
                 )

@@ -14,14 +14,22 @@ Threads (not processes) are the right pool here: the hot loops sit
 inside numpy ufuncs that release the GIL, and processes would have to
 copy the sorted-column build into every worker.  See
 ``docs/batching.md`` for the full rationale and measured scaling.
+
+With a :class:`~repro.obs.MetricsRegistry` installed (``metrics=``), the
+executor additionally records shard-size and shard-latency histograms, a
+per-batch straggler ratio (slowest shard over mean shard time) and
+per-worker busy-time/utilisation — the signals needed to tune
+``workers``/``chunk_size`` on real workloads.  With no registry the
+per-shard timing is skipped entirely.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +54,7 @@ class ParallelBatchExecutor:
         engine,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         """Wrap ``engine`` for parallel batch execution.
 
@@ -61,6 +70,9 @@ class ParallelBatchExecutor:
             Queries per shard; defaults to splitting the batch into
             ``workers * 4`` shards (minimum one query each) so the pool
             can rebalance around slow shards.
+        metrics:
+            Optional :class:`~repro.obs.MetricsRegistry` for shard and
+            worker-utilisation metrics.
         """
         if workers is None:
             workers = os.cpu_count() or 1
@@ -73,6 +85,7 @@ class ParallelBatchExecutor:
         self._engine = engine
         self._workers = int(workers)
         self._chunk_size = None if chunk_size is None else int(chunk_size)
+        self._metrics = metrics
         self._last_batch_stats: Optional[BatchStats] = None
 
     # ------------------------------------------------------------------
@@ -85,6 +98,15 @@ class ParallelBatchExecutor:
         return self._workers
 
     @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+
+    @property
     def last_batch_stats(self) -> Optional[BatchStats]:
         """The :class:`BatchStats` of the most recent batch call."""
         return self._last_batch_stats
@@ -92,6 +114,7 @@ class ParallelBatchExecutor:
     # ------------------------------------------------------------------
     def k_n_match_batch(self, queries, k: int, n: int) -> List[MatchResult]:
         """One k-n-match per row of ``queries``, sharded over the pool."""
+        queries, k, n = self._validate_batch(queries, k, n=n)
 
         def run_shard(shard: np.ndarray) -> Sequence[MatchResult]:
             batch = getattr(self._engine, "k_n_match_batch", None)
@@ -109,6 +132,7 @@ class ParallelBatchExecutor:
         keep_answer_sets: bool = False,
     ) -> List[FrequentMatchResult]:
         """One frequent k-n-match per row, sharded over the pool."""
+        queries, k, n_range = self._validate_batch(queries, k, n_range=n_range)
 
         def run_shard(shard: np.ndarray) -> Sequence[FrequentMatchResult]:
             batch = getattr(self._engine, "frequent_k_n_match_batch", None)
@@ -126,12 +150,30 @@ class ParallelBatchExecutor:
         return self._run(queries, run_shard)
 
     # ------------------------------------------------------------------
-    def _run(self, queries, run_shard) -> List:
-        dimensionality = getattr(self._engine, "dimensionality", None)
-        if dimensionality is not None:
-            queries = validation.as_query_batch(queries, dimensionality)
-        else:
+    def _validate_batch(self, queries, k, n=None, n_range=None):
+        """Validate batch arguments once, up front, in the canonical order.
+
+        Engines validate again inside each shard (harmless — validation
+        is idempotent), but doing it here guarantees the same
+        :class:`ValidationError` for the same bad input on *every*
+        engine, including for empty batches where no shard ever runs.
+        """
+        c = getattr(self._engine, "cardinality", None)
+        d = getattr(self._engine, "dimensionality", None)
+        if c is None or d is None:
+            # Duck-typed engine without shape metadata: best effort.
             queries = np.asarray(queries, dtype=np.float64)
+            if queries.ndim != 2:
+                raise ValidationError(
+                    "queries must be a 2-D array (one row each); "
+                    f"got ndim={queries.ndim}"
+                )
+            return queries, k, n if n_range is None else n_range
+        if n_range is None:
+            return validation.validate_batch_match_args(queries, k, n, c, d)
+        return validation.validate_batch_frequent_args(queries, k, n_range, c, d)
+
+    def _run(self, queries: np.ndarray, run_shard) -> List:
         count = queries.shape[0]
         started = time.perf_counter()
         if count == 0:
@@ -140,14 +182,36 @@ class ParallelBatchExecutor:
             )
             return []
 
+        registry = self._metrics
         bounds = self._shard_bounds(count)
         shards = [queries[lo:hi] for lo, hi in bounds]
+        shard_seconds: List[float] = [0.0] * len(shards)
+        worker_busy: Dict[int, float] = {}
+        if registry is not None:
+            inner = run_shard
+
+            def run_shard(item):
+                index, shard = item
+                shard_started = time.perf_counter()
+                output = inner(shard)
+                elapsed = time.perf_counter() - shard_started
+                shard_seconds[index] = elapsed
+                ident = threading.get_ident()
+                # Per-thread slot writes race only with themselves: each
+                # pool thread touches exactly its own key.
+                worker_busy[ident] = worker_busy.get(ident, 0.0) + elapsed
+                return output
+
+            work: Sequence = list(enumerate(shards))
+        else:
+            work = shards
+
         if len(shards) == 1 or self._workers == 1:
             # No point paying pool overhead for a single runnable unit.
-            outputs = [run_shard(shard) for shard in shards]
+            outputs = [run_shard(item) for item in work]
         else:
             with ThreadPoolExecutor(max_workers=self._workers) as pool:
-                outputs = list(pool.map(run_shard, shards))
+                outputs = list(pool.map(run_shard, work))
 
         results: List = []
         for output in outputs:
@@ -160,10 +224,27 @@ class ParallelBatchExecutor:
             wall_time_seconds=elapsed,
             total=SearchStats.aggregate([result.stats for result in results]),
         )
+        if registry is not None:
+            from ..obs import observe_batch
+
+            observe_batch(
+                registry,
+                getattr(self._engine, "name", "unknown"),
+                count,
+                [hi - lo for lo, hi in bounds],
+                shard_seconds,
+                sorted(worker_busy.values(), reverse=True),
+                elapsed,
+            )
         return results
 
     def _shard_bounds(self, count: int) -> List[Tuple[int, int]]:
-        """Split ``count`` queries into contiguous, near-equal shards."""
+        """Split ``count`` queries into contiguous, near-equal shards.
+
+        For small batches (``count < workers * 4``) this degenerates to
+        one query per shard — never an empty shard, and the shard list
+        always partitions ``[0, count)`` exactly.
+        """
         if self._chunk_size is not None:
             size = self._chunk_size
         else:

@@ -20,7 +20,30 @@ __all__ = ["FaultyPager"]
 
 
 class FaultyPager(Pager):
-    """A pager with scheduled read faults."""
+    """A pager with scheduled read faults.
+
+    Counter semantics (every :meth:`read` call falls into exactly one
+    outcome; ``reads_attempted`` counts them all):
+
+    ``reads_attempted``
+        Every call to :meth:`read`, whether it succeeded, failed hard,
+        or returned corrupted bytes.
+    ``reads_served``
+        Calls that returned a payload — clean *or* corrupted.  Always
+        ``reads_attempted - faults_hard``.
+    ``corruptions_served``
+        The subset of ``reads_served`` whose payload was silently
+        corrupted, so clean reads are ``reads_served -
+        corruptions_served``.
+    ``faults_fired``
+        Every injected fault, hard failures and corruptions alike.
+
+    ``fail_after_reads=N`` is indexed on ``reads_attempted``: the first
+    ``N`` read *attempts* proceed (even if some of them fail because of
+    ``fail_pages``) and attempt ``N+1`` raises.  Earlier versions
+    indexed it on served reads only, so a preceding ``fail_pages`` hit
+    silently pushed the device failure to a later read index.
+    """
 
     def __init__(
         self,
@@ -28,34 +51,46 @@ class FaultyPager(Pager):
         fail_pages: Optional[Iterable[int]] = None,
         corrupt_pages: Optional[Iterable[int]] = None,
         fail_after_reads: Optional[int] = None,
+        metrics: Optional[object] = None,
     ) -> None:
-        super().__init__(page_size)
+        super().__init__(page_size, metrics=metrics)
         self.fail_pages: Set[int] = set(fail_pages or ())
         self.corrupt_pages: Set[int] = set(corrupt_pages or ())
         self.fail_after_reads = fail_after_reads
+        self.reads_attempted = 0
         self.reads_served = 0
+        self.corruptions_served = 0
         self.faults_fired = 0
 
     def read(self, page_id: int, stream: str = "default") -> bytes:
+        self.reads_attempted += 1
         if (
             self.fail_after_reads is not None
-            and self.reads_served >= self.fail_after_reads
+            and self.reads_attempted > self.fail_after_reads
         ):
-            self.faults_fired += 1
+            self._fire_fault("hard")
             raise StorageError(
                 f"injected fault: device failed after "
-                f"{self.reads_served} reads"
+                f"{self.fail_after_reads} reads"
             )
         if page_id in self.fail_pages:
-            self.faults_fired += 1
+            self._fire_fault("hard")
             raise StorageError(f"injected fault: unreadable page {page_id}")
         payload = super().read(page_id, stream)
         self.reads_served += 1
         if page_id in self.corrupt_pages:
-            self.faults_fired += 1
+            self._fire_fault("corruption")
+            self.corruptions_served += 1
             if not payload:
                 return payload
             # flip the lowest bit of the first byte: a silent corruption
             corrupted = bytes([payload[0] ^ 0x01]) + payload[1:]
             return corrupted
         return payload
+
+    def _fire_fault(self, kind: str) -> None:
+        self.faults_fired += 1
+        if self.metrics is not None:
+            from ..obs import observe_pager_fault
+
+            observe_pager_fault(self.metrics, kind)

@@ -18,7 +18,7 @@ Two access paths are offered, matching the two phases the paper analyses:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 

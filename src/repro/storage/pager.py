@@ -17,7 +17,7 @@ hide.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..errors import PageOverflowError, StorageError
 from .diskmodel import PAGE_SIZE
@@ -37,11 +37,17 @@ class PageAccessRecorder:
     sorted column) also count as sequential: the buffer pool read-behind
     case.  Everything else — the first access of a stream, or any jump —
     is a seek, i.e. random.
+
+    With a :class:`~repro.obs.MetricsRegistry` installed (``metrics=``),
+    every counted read also increments ``repro_pager_reads_total`` with
+    a ``pattern`` label; with no registry the extra cost is one ``is
+    not None`` branch per read.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[object] = None) -> None:
         self.sequential_reads = 0
         self.random_reads = 0
+        self.metrics = metrics
         self._last_page: dict = {}
 
     @property
@@ -58,11 +64,16 @@ class PageAccessRecorder:
         last = self._last_page.get(stream)
         if last is not None and page_id == last:
             return
-        if last is not None and abs(page_id - last) == 1:
+        sequential = last is not None and abs(page_id - last) == 1
+        if sequential:
             self.sequential_reads += 1
         else:
             self.random_reads += 1
         self._last_page[stream] = page_id
+        if self.metrics is not None:
+            from ..obs import observe_page_read
+
+            observe_page_read(self.metrics, sequential)
 
     def reset(self) -> None:
         """Forget all stream positions and zero the counters."""
@@ -81,14 +92,29 @@ class PageAccessRecorder:
 
 
 class Pager:
-    """An in-memory array of fixed-size pages with access accounting."""
+    """An in-memory array of fixed-size pages with access accounting.
 
-    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+    ``metrics=`` installs a :class:`~repro.obs.MetricsRegistry` on the
+    access recorder so page reads surface as pager-level counters.
+    """
+
+    def __init__(
+        self, page_size: int = PAGE_SIZE, metrics: Optional[object] = None
+    ) -> None:
         if page_size <= 0:
             raise StorageError(f"page size must be positive; got {page_size}")
         self.page_size = page_size
         self._pages: List[bytes] = []
-        self.recorder = PageAccessRecorder()
+        self.recorder = PageAccessRecorder(metrics=metrics)
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self.recorder.metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self.recorder.metrics = registry
 
     @property
     def page_count(self) -> int:

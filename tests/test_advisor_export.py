@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro import MatchDatabase
@@ -14,7 +13,6 @@ from repro.core.advisor import (
 from repro.errors import ValidationError
 from repro.eval import (
     experiment_to_csv,
-    experiment_to_dict,
     experiment_to_json,
     result_to_dict,
     stats_to_dict,

@@ -1,0 +1,122 @@
+"""Degenerate batch shapes: 0, 1, and fewer-queries-than-workers.
+
+Regression tests for the batch sweep: every engine, on every dispatch
+path (in-line, native lock-step, thread pool), must handle empty and
+tiny batches and still validate k/n exactly like a non-empty batch
+would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ENGINE_NAMES, MatchDatabase
+from repro.errors import ValidationError
+from repro.parallel import ParallelBatchExecutor
+
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(11)
+    return MatchDatabase(rng.random((300, 6)))
+
+
+def _batches(db, count):
+    return db.data[:count].copy()
+
+
+class TestEmptyBatch:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_k_n_match_empty(self, db, engine, parallel):
+        results = db.k_n_match_batch(
+            _batches(db, 0), 3, 4, engine=engine, parallel=parallel,
+            workers=WORKERS if parallel else None,
+        )
+        assert results == []
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_frequent_empty(self, db, engine, parallel):
+        results = db.frequent_k_n_match_batch(
+            _batches(db, 0), 3, (2, 5), engine=engine, parallel=parallel,
+            workers=WORKERS if parallel else None,
+        )
+        assert results == []
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_empty_batch_still_validates_k(self, db, engine):
+        """An empty batch with bad k/n must raise, not silently return [].
+
+        Before the sweep, engines without a native batch path skipped
+        validation entirely when the per-query loop had zero iterations.
+        """
+        empty = _batches(db, 0)
+        with pytest.raises(ValidationError):
+            db.k_n_match_batch(empty, 0, 4, engine=engine)
+        with pytest.raises(ValidationError):
+            db.k_n_match_batch(empty, 3, 99, engine=engine)
+        with pytest.raises(ValidationError):
+            db.frequent_k_n_match_batch(empty, 0, (2, 5), engine=engine)
+        with pytest.raises(ValidationError):
+            db.frequent_k_n_match_batch(empty, 3, (5, 2), engine=engine)
+
+    def test_empty_batch_wrong_width_raises(self, db):
+        with pytest.raises(ValidationError):
+            db.k_n_match_batch(np.empty((0, 99)), 3, 4)
+
+
+class TestTinyBatches:
+    """1-query and (workers-1)-query batches agree with the serial oracle."""
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    @pytest.mark.parametrize("count", [1, WORKERS - 1])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_k_n_match_matches_single_calls(self, db, engine, count, parallel):
+        queries = _batches(db, count)
+        results = db.k_n_match_batch(
+            queries, 3, 4, engine=engine, parallel=parallel,
+            workers=WORKERS if parallel else None,
+        )
+        assert len(results) == count
+        for query, result in zip(queries, results):
+            reference = db.k_n_match(query, 3, 4, engine="ad")
+            assert result.ids == reference.ids
+            assert result.differences == pytest.approx(reference.differences)
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    @pytest.mark.parametrize("count", [1, WORKERS - 1])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_frequent_matches_single_calls(self, db, engine, count, parallel):
+        queries = _batches(db, count)
+        results = db.frequent_k_n_match_batch(
+            queries, 3, (2, 5), engine=engine, parallel=parallel,
+            workers=WORKERS if parallel else None,
+        )
+        assert len(results) == count
+        for query, result in zip(queries, results):
+            reference = db.frequent_k_n_match(query, 3, (2, 5), engine="ad")
+            assert result.ids == reference.ids
+            assert result.frequencies == reference.frequencies
+
+
+class TestExecutorDirectly:
+    """The executor itself (not via the facade) on degenerate input."""
+
+    def test_empty_batch(self, db):
+        executor = ParallelBatchExecutor(db.engine("block-ad"), workers=3)
+        assert executor.k_n_match_batch(_batches(db, 0), 2, 3) == []
+
+    def test_empty_batch_bad_k_raises(self, db):
+        executor = ParallelBatchExecutor(db.engine("block-ad"), workers=3)
+        with pytest.raises(ValidationError):
+            executor.k_n_match_batch(_batches(db, 0), 0, 3)
+
+    def test_more_workers_than_queries(self, db):
+        executor = ParallelBatchExecutor(db.engine("block-ad"), workers=8)
+        queries = _batches(db, 2)
+        results = executor.k_n_match_batch(queries, 2, 3)
+        assert len(results) == 2
+        for query, result in zip(queries, results):
+            assert result.ids == db.k_n_match(query, 2, 3).ids

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import assert_valid_frequent, assert_valid_knmatch
+from conftest import assert_valid_frequent
 from repro.core.ad import ADEngine
 from repro.core.ad_block import BlockADEngine
 from repro.core.naive import NaiveScanEngine

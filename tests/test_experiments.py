@@ -7,7 +7,6 @@ the claims that hold at any scale (e.g. AD retrieves fewer attributes
 as n1 shrinks; the planted COIL narrative).
 """
 
-import numpy as np
 import pytest
 
 from repro.data import PARTIAL_MATCH_IMAGE

@@ -20,6 +20,9 @@ class TestFaultyPager:
         pid = pager.allocate(b"payload")
         assert pager.read(pid).startswith(b"payload")
         assert pager.faults_fired == 0
+        assert pager.reads_attempted == 1
+        assert pager.reads_served == 1
+        assert pager.corruptions_served == 0
 
     def test_fail_page_raises(self):
         pager = FaultyPager(page_size=16, fail_pages={0})
@@ -27,12 +30,28 @@ class TestFaultyPager:
         with pytest.raises(StorageError, match="injected fault"):
             pager.read(0)
         assert pager.faults_fired == 1
+        # A hard failure is attempted but never served.
+        assert pager.reads_attempted == 1
+        assert pager.reads_served == 0
 
     def test_corrupt_page_flips_bit(self):
         pager = FaultyPager(page_size=16, corrupt_pages={0})
         pager.allocate(b"\x00garbage")
         payload = pager.read(0)
         assert payload[0] == 0x01
+
+    def test_corruption_is_served_and_counted(self):
+        pager = FaultyPager(page_size=16, corrupt_pages={0})
+        pager.allocate(b"\x00x")
+        pager.allocate(b"\x00y")
+        pager.read(0)
+        pager.read(1)
+        # A corruption IS a served read (the caller got bytes back),
+        # distinct from a hard failure.
+        assert pager.reads_attempted == 2
+        assert pager.reads_served == 2
+        assert pager.corruptions_served == 1
+        assert pager.faults_fired == 1
 
     def test_fail_after_reads(self):
         pager = FaultyPager(page_size=16, fail_after_reads=2)
@@ -42,6 +61,36 @@ class TestFaultyPager:
         pager.read(1)
         with pytest.raises(StorageError, match="device failed"):
             pager.read(2)
+        assert pager.reads_attempted == 3
+        assert pager.reads_served == 2
+
+    def test_fail_after_reads_counts_attempts_not_successes(self):
+        """A fail_pages hit must not postpone the device failure.
+
+        fail_after_reads indexes read *attempts*: with fail_after_reads=2
+        and the first attempt failing hard on a bad page, the device
+        still dies on attempt 3 (not attempt 4, as the old served-reads
+        accounting had it).
+        """
+        pager = FaultyPager(page_size=16, fail_pages={0}, fail_after_reads=2)
+        for _ in range(3):
+            pager.allocate(b"x")
+        with pytest.raises(StorageError, match="unreadable page"):
+            pager.read(0)  # attempt 1: bad page, not served
+        pager.read(1)  # attempt 2: fine
+        with pytest.raises(StorageError, match="device failed"):
+            pager.read(2)  # attempt 3: device dead
+        assert pager.reads_attempted == 3
+        assert pager.reads_served == 1
+        assert pager.faults_fired == 2
+
+    def test_device_failure_preempts_page_faults(self):
+        """Once the device is dead, every read dies, even good pages."""
+        pager = FaultyPager(page_size=16, fail_after_reads=0)
+        pager.allocate(b"x")
+        with pytest.raises(StorageError, match="device failed"):
+            pager.read(0)
+        assert pager.reads_served == 0
 
 
 class TestEnginePropagation:

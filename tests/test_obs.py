@@ -1,0 +1,272 @@
+"""Unit tests for the repro.obs metrics layer.
+
+Covers the registry arithmetic, histogram bucket-edge semantics, the
+fail-fast registration rules, both exporters (against a golden output),
+and — as a tier-2 test — exact counter totals under a threaded
+executor.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import (
+    DEFAULT_COST_BUCKETS,
+    MetricsRegistry,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c_total").labels()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total").labels()
+        with pytest.raises(ValidationError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        family = MetricsRegistry().counter("c_total")
+        family.labels(engine="ad").inc(5)
+        family.labels(engine="naive-scan").inc(7)
+        assert family.labels(engine="ad").value == 5
+        assert family.labels(engine="naive-scan").value == 7
+
+    def test_label_order_is_irrelevant(self):
+        family = MetricsRegistry().counter("c_total")
+        family.labels(a="1", b="2").inc()
+        family.labels(b="2", a="1").inc()
+        assert family.labels(a="1", b="2").value == 2
+
+    def test_rejects_bad_label_names_and_values(self):
+        family = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValidationError):
+            family.labels(**{"bad-name": "x"})
+        with pytest.raises(ValidationError):
+            family.labels(engine=3)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g").labels()
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_edges_use_le_semantics(self):
+        histogram = (
+            MetricsRegistry()
+            .histogram("h", buckets=(1.0, 10.0))
+            .labels()
+        )
+        # exactly on a bound -> that bucket (le semantics), just above
+        # -> the next, above the last finite bound -> +Inf only
+        histogram.observe(1.0)
+        histogram.observe(1.0000001)
+        histogram.observe(10.0)
+        histogram.observe(11.0)
+        assert histogram.cumulative_counts() == [1, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(23.0000001)
+
+    def test_observation_below_first_bound(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(5.0,)).labels()
+        histogram.observe(0.0)
+        histogram.observe(-3.0)
+        assert histogram.cumulative_counts() == [2, 2]
+
+    def test_rejects_nan(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,)).labels()
+        with pytest.raises(ValidationError):
+            histogram.observe(float("nan"))
+
+    def test_inf_lands_in_overflow(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,)).labels()
+        histogram.observe(float("inf"))
+        assert histogram.cumulative_counts() == [0, 1]
+
+    def test_default_cost_buckets_cover_powers_of_four(self):
+        histogram = (
+            MetricsRegistry()
+            .histogram("h", buckets=DEFAULT_COST_BUCKETS)
+            .labels()
+        )
+        for value in DEFAULT_COST_BUCKETS:
+            histogram.observe(value)
+        counts = histogram.cumulative_counts()
+        # each bound catches exactly one observation, cumulatively
+        assert counts == list(range(1, len(DEFAULT_COST_BUCKETS) + 1)) + [
+            len(DEFAULT_COST_BUCKETS)
+        ]
+
+    def test_rejects_bad_bucket_layouts(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ValidationError):
+            registry.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ValidationError):
+            registry.histogram("h3", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_same_kind_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "other help is tolerated")
+        assert first is second
+
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        with pytest.raises(ValidationError):
+            registry.gauge("c_total")
+        with pytest.raises(ValidationError):
+            registry.histogram("c_total", buckets=(1.0,))
+
+    def test_bucket_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValidationError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_rejects_invalid_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("")
+        with pytest.raises(ValidationError):
+            registry.counter("bad name")
+
+    def test_collect_is_sorted_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total")
+        registry.counter("a_total")
+        assert [f.name for f in registry.collect()] == ["a_total", "z_total"]
+        assert "a_total" in registry
+        assert "missing" not in registry
+        assert len(registry) == 2
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP demo_latency_seconds request latency
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{engine="ad",le="0.5"} 1
+demo_latency_seconds_bucket{engine="ad",le="1"} 2
+demo_latency_seconds_bucket{engine="ad",le="+Inf"} 3
+demo_latency_seconds_sum{engine="ad"} 3.6
+demo_latency_seconds_count{engine="ad"} 3
+# HELP demo_queries_total queries served
+# TYPE demo_queries_total counter
+demo_queries_total{engine="ad",kind="k_n_match"} 3
+demo_queries_total{engine="naive-scan",kind="k_n_match"} 1.5
+# TYPE demo_utilization gauge
+demo_utilization{worker="0"} 0.25
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    queries = registry.counter("demo_queries_total", "queries served")
+    queries.labels(engine="ad", kind="k_n_match").inc(3)
+    queries.labels(kind="k_n_match", engine="naive-scan").inc(1.5)
+    registry.gauge("demo_utilization").labels(worker="0").set(0.25)
+    latency = registry.histogram(
+        "demo_latency_seconds", "request latency", buckets=(0.5, 1.0)
+    ).labels(engine="ad")
+    latency.observe(0.1)
+    latency.observe(1.0)
+    latency.observe(2.5)
+    return registry
+
+
+class TestExporters:
+    def test_prometheus_golden(self):
+        assert render_prometheus(_golden_registry()) == GOLDEN_PROMETHEUS
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert registry_to_dict(MetricsRegistry()) == {}
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_json_round_trips(self):
+        doc = json.loads(render_json(_golden_registry()))
+        assert doc["demo_queries_total"]["type"] == "counter"
+        series = doc["demo_queries_total"]["series"]
+        assert {
+            "labels": {"engine": "ad", "kind": "k_n_match"},
+            "value": 3.0,
+        } in series
+        histogram = doc["demo_latency_seconds"]["series"][0]
+        assert histogram["cumulative_counts"] == [1, 2, 3]
+        assert histogram["sum"] == pytest.approx(3.6)
+
+    def test_dict_matches_live_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").labels(a="x").inc(4)
+        doc = registry_to_dict(registry)
+        assert doc["c_total"]["series"] == [
+            {"labels": {"a": "x"}, "value": 4.0}
+        ]
+
+
+@pytest.mark.tier2
+class TestConcurrency:
+    def test_exact_totals_under_threaded_executor(self):
+        """8 workers hammering one registry must lose no increments."""
+        from repro.core.ad_block import BlockADEngine
+        from repro.parallel import ParallelBatchExecutor
+
+        rng = np.random.default_rng(3)
+        data = rng.random((1_000, 6))
+        queries = rng.random((96, 6))
+
+        registry = MetricsRegistry()
+        engine = BlockADEngine(data, metrics=registry)
+        executor = ParallelBatchExecutor(engine, workers=8, metrics=registry)
+        results = executor.k_n_match_batch(queries, 4, 3)
+
+        counted = registry.get("repro_queries_total").labels(
+            engine="block-ad", kind="k_n_match"
+        )
+        assert counted.value == len(queries) == 96
+        attrs = registry.get("repro_attributes_retrieved_total").labels(
+            engine="block-ad", kind="k_n_match"
+        )
+        assert attrs.value == sum(r.stats.attributes_retrieved for r in results)
+        batches = registry.get("repro_batches_total").labels(engine="block-ad")
+        assert batches.value == 1
+        batch_queries = registry.get("repro_batch_queries_total").labels(
+            engine="block-ad"
+        )
+        assert batch_queries.value == 96
+
+    def test_raw_counter_contention(self):
+        """Pure counter arithmetic is exact across threads."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        counter = MetricsRegistry().counter("c_total").labels()
+
+        def spin(_):
+            for _ in range(10_000):
+                counter.inc()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(spin, range(8)))
+        assert counter.value == 80_000

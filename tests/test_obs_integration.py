@@ -1,0 +1,238 @@
+"""End-to-end observability: engines, executor, disk, pager, CLI.
+
+The contract under test: with no registry installed nothing is
+recorded and answers are what they always were; with a registry
+installed the same answers come back and the registry fills with the
+cost counters the results themselves report.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase, MetricsRegistry, save_database
+from repro.cli import main as cli_main
+from repro.core.engine import ENGINE_NAMES
+from repro.disk import DiskADEngine
+from repro.obs import QueryTrace
+from repro.storage import Pager
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(21).random((400, 8))
+
+
+class TestEngineMetrics:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_answers_identical_with_and_without_registry(self, data, engine):
+        query = data[5]
+        plain = MatchDatabase(data).k_n_match(query, 4, 5, engine=engine)
+        registry = MetricsRegistry()
+        metered_db = MatchDatabase(data, metrics=registry)
+        metered = metered_db.k_n_match(query, 4, 5, engine=engine)
+        assert metered.ids == plain.ids
+        assert metered.differences == plain.differences
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_query_counters_match_result_stats(self, data, engine):
+        registry = MetricsRegistry()
+        db = MatchDatabase(data, metrics=registry)
+        result = db.k_n_match(data[0], 4, 5, engine=engine)
+        name = db.engine(engine).name
+        labels = dict(engine=name, kind="k_n_match")
+        assert registry.get("repro_queries_total").labels(**labels).value == 1
+        assert (
+            registry.get("repro_attributes_retrieved_total")
+            .labels(**labels)
+            .value
+            == result.stats.attributes_retrieved
+        )
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_frequent_counters(self, data, engine):
+        registry = MetricsRegistry()
+        db = MatchDatabase(data, metrics=registry)
+        result = db.frequent_k_n_match(data[1], 3, (2, 6), engine=engine)
+        name = db.engine(engine).name
+        labels = dict(engine=name, kind="frequent_k_n_match")
+        assert registry.get("repro_queries_total").labels(**labels).value == 1
+        assert (
+            registry.get("repro_attributes_retrieved_total")
+            .labels(**labels)
+            .value
+            == result.stats.attributes_retrieved
+        )
+
+    def test_no_registry_records_nothing(self, data):
+        db = MatchDatabase(data)
+        db.k_n_match(data[0], 3, 4)
+        assert db.metrics is None
+
+    def test_set_metrics_reaches_existing_engines(self, data):
+        db = MatchDatabase(data)
+        db.k_n_match(data[0], 3, 4, engine="block-ad")  # engine built
+        registry = MetricsRegistry()
+        db.set_metrics(registry)
+        db.k_n_match(data[0], 3, 4, engine="block-ad")
+        assert (
+            registry.get("repro_queries_total")
+            .labels(engine="block-ad", kind="k_n_match")
+            .value
+            == 1
+        )
+        db.set_metrics(None)
+        db.k_n_match(data[0], 3, 4, engine="block-ad")
+        assert (
+            registry.get("repro_queries_total")
+            .labels(engine="block-ad", kind="k_n_match")
+            .value
+            == 1
+        )
+
+
+class TestTrace:
+    def test_trace_attached_on_request(self, data):
+        db = MatchDatabase(data)
+        result = db.k_n_match(data[0], 3, 4, trace=True)
+        trace = result.trace
+        assert isinstance(trace, QueryTrace)
+        assert trace.engine == "ad"
+        assert trace.kind == "k_n_match"
+        assert trace.attributes_retrieved == result.stats.attributes_retrieved
+        assert trace.wall_time_seconds > 0
+        assert "ad/k_n_match" in trace.summary()
+
+    def test_trace_off_by_default(self, data):
+        result = MatchDatabase(data).k_n_match(data[0], 3, 4)
+        assert result.trace is None
+
+    def test_frequent_trace(self, data):
+        db = MatchDatabase(data)
+        result = db.frequent_k_n_match(
+            data[0], 3, (2, 6), engine="block-ad", trace=True
+        )
+        assert result.trace.kind == "frequent_k_n_match"
+        assert result.trace.n_range == (2, 6)
+        assert result.trace.epsilon_rounds >= 0
+
+    def test_trace_needs_no_registry(self, data):
+        db = MatchDatabase(data)
+        assert db.metrics is None
+        assert db.k_n_match(data[0], 3, 4, trace=True).trace is not None
+
+
+class TestExecutorMetrics:
+    def test_shard_histograms_and_worker_gauges(self, data):
+        registry = MetricsRegistry()
+        db = MatchDatabase(data, metrics=registry)
+        queries = data[:24]
+        db.k_n_match_batch(queries, 3, 4, engine="block-ad", workers=3)
+        labels = dict(engine="block-ad")
+        assert (
+            registry.get("repro_batch_queries_total").labels(**labels).value
+            == 24
+        )
+        shard_sizes = registry.get("repro_batch_shard_queries").labels(**labels)
+        assert shard_sizes.sum == 24
+        assert shard_sizes.count >= 3  # at least one shard per worker
+        seconds = registry.get("repro_batch_shard_seconds").labels(**labels)
+        assert seconds.count == shard_sizes.count
+        utilization = registry.get("repro_batch_worker_utilization")
+        assert utilization is not None and utilization.children()
+
+
+class TestDiskMetrics:
+    def test_disk_query_reports_page_reads(self, data):
+        registry = MetricsRegistry()
+        engine = DiskADEngine(data, metrics=registry)
+        result = engine.k_n_match(data[0], 4, 5)
+        pages = result.stats.sequential_page_reads + result.stats.random_page_reads
+        assert pages > 0
+        family = registry.get("repro_query_page_reads_total")
+        recorded = sum(child.value for child in family.children())
+        assert recorded == pages
+        pager_reads = registry.get("repro_pager_reads_total")
+        assert sum(child.value for child in pager_reads.children()) >= pages
+
+    def test_pager_metrics_standalone(self):
+        registry = MetricsRegistry()
+        pager = Pager(page_size=64, metrics=registry)
+        first = pager.allocate(b"a" * 64)
+        second = pager.allocate(b"b" * 64)
+        pager.read(first)
+        pager.read(second)  # sequential successor
+        pager.read(first)  # random jump back
+        family = registry.get("repro_pager_reads_total")
+        total = sum(child.value for child in family.children())
+        assert total == 3
+
+    def test_disk_answers_identical_with_registry(self, data):
+        query = data[7]
+        plain = DiskADEngine(data).k_n_match(query, 4, 5)
+        metered = DiskADEngine(data, metrics=MetricsRegistry()).k_n_match(
+            query, 4, 5
+        )
+        assert metered.ids == plain.ids
+        assert metered.differences == plain.differences
+
+
+class TestCli:
+    @pytest.fixture()
+    def db_path(self, tmp_path, data):
+        path = tmp_path / "db.npz"
+        save_database(MatchDatabase(data), str(path))
+        return str(path)
+
+    def test_stats_subcommand_prometheus(self, db_path, capsys):
+        assert cli_main(["stats", db_path, "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_queries_total{engine="ad",kind="k_n_match"} 1' in out
+        assert 'repro_queries_total{engine="disk-ad",kind="k_n_match"} 1' in out
+        for line in out.splitlines():
+            if line.startswith("repro_attributes_retrieved_total{"):
+                assert float(line.rsplit(" ", 1)[1]) > 0
+        assert "repro_pager_reads_total" in out
+
+    def test_stats_subcommand_json_no_disk(self, db_path, capsys):
+        assert (
+            cli_main(["stats", db_path, "--format", "json", "--no-disk"]) == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        engines = {
+            series["labels"]["engine"]
+            for series in doc["repro_queries_total"]["series"]
+        }
+        assert engines == {"ad"}
+        assert "repro_pager_reads_total" not in doc
+
+    def test_query_metrics_out(self, db_path, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        code = cli_main(
+            [
+                "query", db_path, "--k", "3", "--n", "4",
+                "--query-row", "0", "--trace", "--metrics-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "trace[ad/k_n_match]" in capsys.readouterr().out
+        text = out_path.read_text()
+        assert "# TYPE repro_queries_total counter" in text
+
+    def test_batch_metrics_out_json(self, db_path, tmp_path):
+        out_path = tmp_path / "metrics.json"
+        code = cli_main(
+            [
+                "batch", db_path, "--k", "3", "--n", "4",
+                "--query-rows", "0:6", "--workers", "2",
+                "--metrics-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        total = sum(
+            series["value"]
+            for series in doc["repro_batch_queries_total"]["series"]
+        )
+        assert total == 6

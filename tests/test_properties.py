@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from conftest import assert_valid_knmatch, reference_differences
+from conftest import assert_valid_knmatch
 from repro.baselines import dominates, skyline
 from repro.core.ad import ADEngine
 from repro.core.ad_block import BlockADEngine

@@ -4,11 +4,22 @@ import numpy as np
 import pytest
 
 from repro.core import validation
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.core.naive import NaiveScanEngine
 from repro.errors import (
     DimensionalityMismatchError,
     EmptyDatabaseError,
     ValidationError,
 )
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
 
 
 class TestDatabaseArray:
@@ -113,3 +124,140 @@ class TestScalarValidation:
             validation.validate_n_range(3, 4)
         with pytest.raises(ValidationError):
             validation.validate_n_range((1, 2, 3), 4)
+
+
+class TestCanonicalValidators:
+    """The validate_*_args helpers used by every engine."""
+
+    def test_match_args_normalises(self):
+        query, k, n = validation.validate_match_args(
+            [1, 2, 3], np.int64(2), 3.0, cardinality=10, dimensionality=3
+        )
+        assert query.dtype == np.float64
+        assert (k, n) == (2, 3)
+
+    def test_frequent_args_normalises(self):
+        query, k, (n0, n1) = validation.validate_frequent_args(
+            [1.0, 2.0], 1, (1, 2), cardinality=10, dimensionality=2
+        )
+        assert (k, n0, n1) == (1, 1, 2)
+
+    def test_order_is_k_before_n_before_query(self):
+        # Everything wrong at once: the k error must win.
+        with pytest.raises(ValidationError, match="k"):
+            validation.validate_match_args(
+                [1.0], 0, 99, cardinality=10, dimensionality=3
+            )
+        # k fine, n and query wrong: the n error must win.
+        with pytest.raises(ValidationError, match="n"):
+            validation.validate_match_args(
+                [1.0], 1, 99, cardinality=10, dimensionality=3
+            )
+
+    def test_batch_validators_check_k_even_for_empty_batches(self):
+        empty = np.empty((0, 3))
+        with pytest.raises(ValidationError):
+            validation.validate_batch_match_args(
+                empty, 0, 2, cardinality=10, dimensionality=3
+            )
+        with pytest.raises(ValidationError):
+            validation.validate_batch_match_args(
+                empty, 1, 99, cardinality=10, dimensionality=3
+            )
+        with pytest.raises(ValidationError):
+            validation.validate_batch_frequent_args(
+                empty, 1, (3, 2), cardinality=10, dimensionality=3
+            )
+        # all-valid empty batch passes
+        queries, k, n = validation.validate_batch_match_args(
+            empty, 1, 2, cardinality=10, dimensionality=3
+        )
+        assert queries.shape == (0, 3)
+
+    def test_batch_validators_reject_wrong_width(self):
+        with pytest.raises(DimensionalityMismatchError):
+            validation.validate_batch_match_args(
+                np.zeros((2, 4)), 1, 2, cardinality=10, dimensionality=3
+            )
+
+
+def _all_engines(data):
+    from repro.parallel import BatchBlockADEngine
+
+    return [
+        ADEngine(data),
+        BlockADEngine(data),
+        BatchBlockADEngine(data),
+        NaiveScanEngine(data),
+    ]
+
+
+class TestCrossEngineErrorAgreement:
+    """Every engine must reject the same bad input the same way."""
+
+    DATA = np.arange(30.0).reshape(10, 3)
+
+    BAD_MATCH_CALLS = [
+        # (query, k, n) -> every engine must raise for these
+        ([0.0, 0.0, 0.0], 0, 2),       # k too small
+        ([0.0, 0.0, 0.0], 11, 2),      # k > cardinality
+        ([0.0, 0.0, 0.0], 2.5, 2),     # fractional k
+        ([0.0, 0.0, 0.0], 3, 0),       # n too small
+        ([0.0, 0.0, 0.0], 3, 4),       # n > dimensionality
+        ([0.0, 0.0], 3, 2),            # query too short
+        ([0.0, 0.0, 0.0, 0.0], 3, 2),  # query too long
+        ([0.0, float("nan"), 0.0], 3, 2),  # non-finite query
+        ([0.0, 0.0, 0.0], 0, 99),      # k AND n bad: same winner everywhere
+        ([0.0, 0.0], 0, 99),           # everything bad at once
+    ]
+
+    @pytest.mark.parametrize("query,k,n", BAD_MATCH_CALLS)
+    def test_k_n_match_agreement(self, query, k, n):
+        outcomes = set()
+        for engine in _all_engines(self.DATA):
+            with pytest.raises(ValidationError) as info:
+                engine.k_n_match(query, k, n)
+            outcomes.add((type(info.value), str(info.value)))
+        assert len(outcomes) == 1, f"engines disagree: {outcomes}"
+
+    BAD_FREQUENT_CALLS = [
+        ([0.0, 0.0, 0.0], 0, (1, 3)),
+        ([0.0, 0.0, 0.0], 3, (2, 1)),   # inverted range
+        ([0.0, 0.0, 0.0], 3, (0, 3)),   # n0 too small
+        ([0.0, 0.0, 0.0], 3, (1, 4)),   # n1 too large
+        ([0.0, 0.0], 3, (1, 3)),        # short query
+        ([0.0, 0.0], 0, (9, 1)),        # everything bad at once
+    ]
+
+    @pytest.mark.parametrize("query,k,n_range", BAD_FREQUENT_CALLS)
+    def test_frequent_agreement(self, query, k, n_range):
+        outcomes = set()
+        for engine in _all_engines(self.DATA):
+            with pytest.raises(ValidationError) as info:
+                engine.frequent_k_n_match(query, k, n_range)
+            outcomes.add((type(info.value), str(info.value)))
+        assert len(outcomes) == 1, f"engines disagree: {outcomes}"
+
+    @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+    @settings(max_examples=60, deadline=None)
+    @given(
+        k=st.integers(min_value=-2, max_value=12),
+        n=st.integers(min_value=-2, max_value=5),
+        width=st.integers(min_value=1, max_value=5),
+    )
+    def test_property_agreement(self, k, n, width):
+        """For EVERY (k, n, query-width), all engines either all succeed
+        with identical answers or all raise identically."""
+        query = [0.5] * width
+        outcomes = set()
+        answers = []
+        for engine in _all_engines(self.DATA):
+            try:
+                result = engine.k_n_match(query, k, n)
+                outcomes.add("ok")
+                answers.append((result.ids, result.differences))
+            except ValidationError as error:
+                outcomes.add((type(error), str(error)))
+        assert len(outcomes) == 1, f"engines disagree: {outcomes}"
+        if answers:
+            assert all(answer == answers[0] for answer in answers)
