@@ -1,0 +1,279 @@
+"""Sharded scatter-gather benchmark: shards x workers vs serial block-AD.
+
+Measures queries/second of :class:`repro.shard.ShardedMatchDatabase`
+batch execution over a shards x workers sweep, against the plain
+per-query ``BlockADEngine`` loop (the same serial baseline
+``bench_batch.py`` reports against).  Sharding wins even on one core
+because every shard runs the whole batch through the lock-step
+``batch-block-ad`` engine, so the speedup is vectorisation first and
+thread-level parallelism second.
+
+Answers are asserted identical to the serial baseline before any timing
+is recorded, and the observability layer is asserted inert when no
+registry is installed.  Results are written as machine-readable JSON
+(see ``BENCH_shard.json`` at the repository root for a recorded run)::
+
+    python benchmarks/bench_shard.py --smoke -o BENCH_shard.json
+    python benchmarks/bench_shard.py -o BENCH_shard.json
+
+``--smoke`` keeps the sweep small but still runs the headline
+acceptance configuration (c=50k, d=32, k=20, n=16, batch=64) at
+4 shards / 4 workers, recording its speedup under ``headline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.core.ad_block import BlockADEngine
+from repro.obs import MetricsRegistry
+from repro.shard import ShardedMatchDatabase
+
+#: (cardinality, dimensionality, k, n, batch size) per configuration.
+HEADLINE_CONFIG = (50_000, 32, 20, 16, 64)
+FULL_CONFIGS = [
+    HEADLINE_CONFIG,
+    (50_000, 32, 20, 16, 8),
+    (20_000, 16, 20, 8, 64),
+]
+SMOKE_CONFIGS = [HEADLINE_CONFIG]
+
+#: (shards, workers) sweep points.
+FULL_SWEEP = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 4), (8, 4)]
+SMOKE_SWEEP = [(1, 1), (4, 1), (4, 4)]
+
+#: The acceptance point: >= 1.5x over serial block-AD here.
+HEADLINE_POINT = (4, 4)
+HEADLINE_TARGET = 1.5
+
+ENGINE = "batch-block-ad"
+PARTITIONER = "round-robin"
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_config(
+    cardinality: int,
+    dimensionality: int,
+    k: int,
+    n: int,
+    batch: int,
+    sweep: List[Tuple[int, int]],
+    repeats: int,
+    seed: int = 42,
+) -> Dict:
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(cardinality, dimensionality))
+    queries = rng.uniform(0.0, 1.0, size=(batch, dimensionality))
+
+    serial = BlockADEngine(data)
+    expected = [serial.k_n_match(query, k, n) for query in queries]
+    serial_seconds = _best_of(
+        repeats, lambda: [serial.k_n_match(query, k, n) for query in queries]
+    )
+
+    points: Dict[str, Dict] = {}
+    for shards, workers in sweep:
+        db = ShardedMatchDatabase(
+            data, shards=shards, partitioner=PARTITIONER, workers=workers
+        )
+        # correctness gate + warm-up in one: sharded must equal serial
+        for result, reference in zip(
+            db.k_n_match_batch(queries, k, n, engine=ENGINE), expected
+        ):
+            assert result.ids == reference.ids
+            assert result.differences == reference.differences
+        seconds = _best_of(
+            repeats,
+            lambda: db.k_n_match_batch(queries, k, n, engine=ENGINE),
+        )
+        points[f"{shards}x{workers}"] = {
+            "shards": shards,
+            "workers": workers,
+            "seconds": seconds,
+            "queries_per_second": batch / seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+        }
+
+    return {
+        "cardinality": cardinality,
+        "dimensionality": dimensionality,
+        "k": k,
+        "n": n,
+        "batch_size": batch,
+        "engine": ENGINE,
+        "partitioner": PARTITIONER,
+        "serial": {
+            "seconds": serial_seconds,
+            "queries_per_second": batch / serial_seconds,
+        },
+        "sharded": points,
+    }
+
+
+def check_instrumentation(repeats: int, seed: int = 7) -> Dict:
+    """Assert the shard layer's observability is strictly opt-in.
+
+    1. answers are bit-identical with and without a registry installed,
+    2. a registry created but never installed records nothing,
+    3. the no-registry path is not materially slower than the metered
+       path being disabled.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(5_000, 8))
+    queries = rng.uniform(0.0, 1.0, size=(16, 8))
+    k, n = 5, 4
+
+    probe = MetricsRegistry()  # never installed: must stay empty
+    plain = ShardedMatchDatabase(data, shards=4, workers=1)
+    registry = MetricsRegistry()
+    metered = ShardedMatchDatabase(data, shards=4, workers=1, metrics=registry)
+
+    expected = plain.k_n_match_batch(queries, k, n, engine=ENGINE)
+    observed = metered.k_n_match_batch(queries, k, n, engine=ENGINE)
+    for result, reference in zip(observed, expected):
+        assert result.ids == reference.ids
+        assert result.differences == reference.differences
+    assert probe.collect() == [], "uninstalled registry must record nothing"
+    assert any(
+        family.name == "repro_shard_calls_total"
+        for family in registry.collect()
+    ), "installed registry must record shard-level events"
+
+    unmetered_seconds = _best_of(
+        repeats, lambda: plain.k_n_match_batch(queries, k, n, engine=ENGINE)
+    )
+    metered_seconds = _best_of(
+        repeats, lambda: metered.k_n_match_batch(queries, k, n, engine=ENGINE)
+    )
+    assert unmetered_seconds <= metered_seconds * 1.25, (
+        f"no-registry path slower than metered path: "
+        f"{unmetered_seconds:.6f}s vs {metered_seconds:.6f}s"
+    )
+    return {
+        "unmetered_seconds": unmetered_seconds,
+        "metered_seconds": metered_seconds,
+        "metered_overhead": metered_seconds / unmetered_seconds - 1.0,
+        "answers_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="headline configuration only, reduced sweep",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per path (best kept)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default=None,
+        help="also write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+    # best-of-2 even in smoke mode: single runs are too noisy to judge
+    # the headline speedup against its target
+    repeats = 2 if args.smoke else args.repeats
+
+    report = {
+        "benchmark": "bench_shard",
+        "mode": "smoke" if args.smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "repeats": repeats,
+        "results": [],
+    }
+    print("instrumentation check ...", flush=True)
+    report["instrumentation"] = check_instrumentation(max(repeats, 3))
+    print(
+        f"  metered overhead "
+        f"{report['instrumentation']['metered_overhead']:+.1%} "
+        f"(answers identical, no-registry path records nothing)",
+        flush=True,
+    )
+    for cardinality, dimensionality, k, n, batch in configs:
+        print(
+            f"config c={cardinality} d={dimensionality} k={k} n={n} "
+            f"batch={batch} ...",
+            flush=True,
+        )
+        entry = bench_config(
+            cardinality, dimensionality, k, n, batch, sweep, repeats
+        )
+        report["results"].append(entry)
+        print(
+            f"  serial      {entry['serial']['queries_per_second']:8.1f} q/s",
+            flush=True,
+        )
+        for key, stats in entry["sharded"].items():
+            print(
+                f"  sharded {key:>5} {stats['queries_per_second']:6.1f} q/s "
+                f"({stats['speedup_vs_serial']:.2f}x)",
+                flush=True,
+            )
+        if (cardinality, dimensionality, k, n, batch) == HEADLINE_CONFIG:
+            key = f"{HEADLINE_POINT[0]}x{HEADLINE_POINT[1]}"
+            point = entry["sharded"].get(key)
+            if point is not None:
+                report["headline"] = {
+                    "config": {
+                        "cardinality": cardinality,
+                        "dimensionality": dimensionality,
+                        "k": k,
+                        "n": n,
+                        "batch_size": batch,
+                    },
+                    "shards": HEADLINE_POINT[0],
+                    "workers": HEADLINE_POINT[1],
+                    "speedup_vs_serial": point["speedup_vs_serial"],
+                    "target": HEADLINE_TARGET,
+                    "meets_target": (
+                        point["speedup_vs_serial"] >= HEADLINE_TARGET
+                    ),
+                }
+                print(
+                    f"  headline: {point['speedup_vs_serial']:.2f}x at "
+                    f"{key} (target {HEADLINE_TARGET}x, "
+                    f"{'met' if report['headline']['meets_target'] else 'MISSED'})",
+                    flush=True,
+                )
+
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,7 +60,13 @@ from .errors import (
     StorageError,
     ValidationError,
 )
-from .io import load_database, save_database
+from .io import (
+    load_any_database,
+    load_database,
+    load_sharded_database,
+    save_database,
+    save_sharded_database,
+)
 from .obs import (
     MetricsRegistry,
     QueryTrace,
@@ -69,6 +75,14 @@ from .obs import (
     render_prometheus,
 )
 from .parallel import BatchBlockADEngine, BatchStats, ParallelBatchExecutor
+from .shard import (
+    Partitioner,
+    ScatterGatherCoordinator,
+    ShardedMatchDatabase,
+    make_partitioner,
+    partitioner_names,
+    register_partitioner,
+)
 from .sorted_lists import SortedColumns
 
 __version__ = "1.0.0"
@@ -100,6 +114,13 @@ __all__ = [
     # batch execution
     "ParallelBatchExecutor",
     "BatchStats",
+    # sharding
+    "ShardedMatchDatabase",
+    "ScatterGatherCoordinator",
+    "Partitioner",
+    "register_partitioner",
+    "make_partitioner",
+    "partitioner_names",
     # observability
     "MetricsRegistry",
     "QueryTrace",
@@ -121,6 +142,9 @@ __all__ = [
     "naive_frequent_k_n_match",
     "save_database",
     "load_database",
+    "save_sharded_database",
+    "load_sharded_database",
+    "load_any_database",
     # errors
     "ReproError",
     "ValidationError",

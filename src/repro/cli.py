@@ -3,8 +3,9 @@
 Subcommands::
 
     repro generate  --kind uniform --cardinality 10000 --dimensionality 16 out.npy
-    repro build     data.npy db.npz
+    repro build     data.npy db.npz [--shards 4 --partitioner hash]
     repro info      db.npz
+    repro shard-info db.npz
     repro query     db.npz --k 5 --n 8 --query 0.1,0.2,...     (k-n-match)
     repro query     db.npz --k 5 --n-range 4:12 --query-row 42 (frequent)
     repro batch     db.npz --k 5 --n 8 --queries batch.npy --workers 4
@@ -20,6 +21,13 @@ answers (Prometheus text for ``.prom``/``.txt`` paths, JSON otherwise);
 ``stats`` probes a database with one in-memory ``ad`` query and one
 disk-backed query and prints the resulting registry.  All output goes to
 stdout; exit status is non-zero on any validation or storage error.
+
+Sharding: ``build --shards S`` writes a sharded database file;
+``query``/``batch`` open either kind of file and also accept
+``--shards S [--partitioner NAME]`` to (re)shard in memory and answer
+by scatter-gather — answers are exact either way, so sharded and flat
+invocations print identical ids.  ``shard-info`` describes a sharded
+file's partitioner and per-shard balance.
 """
 
 from __future__ import annotations
@@ -35,7 +43,13 @@ from .core.advisor import recommend_engine
 from .core.engine import ENGINE_NAMES, MatchDatabase
 from .data import gaussian_clusters, skewed_dataset, uniform_dataset
 from .errors import ReproError
-from .io import load_database, save_database
+from .io import (
+    load_any_database,
+    load_database,
+    save_database,
+    save_sharded_database,
+)
+from .shard.partition import DEFAULT_PARTITIONER, partitioner_names
 
 __all__ = ["main", "build_parser"]
 
@@ -69,9 +83,33 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--engine", choices=ENGINE_NAMES, default="ad", help="default engine"
     )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="write a sharded database with this many shards",
+    )
+    build.add_argument(
+        "--partitioner",
+        choices=partitioner_names(),
+        default=None,
+        help=f"shard assignment strategy (default {DEFAULT_PARTITIONER})",
+    )
+    build.add_argument(
+        "--partition-dim",
+        type=int,
+        default=0,
+        help="dimension for the range partitioner",
+    )
 
     info = commands.add_parser("info", help="describe a database file")
     info.add_argument("database", help="database .npz path")
+
+    shard_info = commands.add_parser(
+        "shard-info",
+        help="describe a sharded database file (partitioner, balance)",
+    )
+    shard_info.add_argument("database", help="sharded database .npz path")
 
     query = commands.add_parser(
         "query", help="run a (frequent) k-n-match query"
@@ -91,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-row", type=int, help="use this database row as the query"
     )
     query.add_argument("--engine", choices=ENGINE_NAMES, default=None)
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the data and answer by scatter-gather (exact)",
+    )
+    query.add_argument(
+        "--partitioner",
+        choices=partitioner_names(),
+        default=None,
+        help="shard assignment strategy (requires --shards)",
+    )
     query.add_argument(
         "--stats", action="store_true", help="also print work counters"
     )
@@ -128,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_NAMES,
         default="batch-block-ad",
         help="engine to run each shard with",
+    )
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the data and answer by scatter-gather (exact)",
+    )
+    batch.add_argument(
+        "--partitioner",
+        choices=partitioner_names(),
+        default=None,
+        help="shard assignment strategy (requires --shards)",
     )
     batch.add_argument(
         "--parallel",
@@ -229,6 +291,31 @@ def _resolve_query(args, db: MatchDatabase) -> np.ndarray:
     return db.data[args.query_row]
 
 
+def _load_db(args):
+    """Open a flat or sharded database; (re)shard when ``--shards``.
+
+    With ``--shards`` the data is repartitioned in memory regardless of
+    how the file was stored — answers are exact either way, so this only
+    changes the execution strategy, never the output.
+    """
+    db = load_any_database(args.database)
+    shards = getattr(args, "shards", None)
+    partitioner = getattr(args, "partitioner", None)
+    if shards is None:
+        if partitioner is not None:
+            raise ReproError("--partitioner requires --shards")
+        return db
+    from .shard import ShardedMatchDatabase
+
+    return ShardedMatchDatabase(
+        db.data,
+        shards=shards,
+        partitioner=partitioner or DEFAULT_PARTITIONER,
+        default_engine=db.default_engine,
+        workers=getattr(args, "workers", None),
+    )
+
+
 def _make_registry(args):
     """A fresh registry when ``--metrics-out`` was given, else ``None``."""
     if getattr(args, "metrics_out", None) is None:
@@ -278,6 +365,30 @@ def _run_build(args) -> int:
         data = np.load(args.data)
     except (OSError, ValueError) as error:
         raise ReproError(f"cannot read {args.data!r}: {error}") from error
+    if args.shards is not None:
+        from .shard import ShardedMatchDatabase
+
+        options = (
+            {"dimension": args.partition_dim}
+            if args.partitioner == "range"
+            else {}
+        )
+        db = ShardedMatchDatabase(
+            data,
+            shards=args.shards,
+            partitioner=args.partitioner or DEFAULT_PARTITIONER,
+            default_engine=args.engine,
+            **options,
+        )
+        save_sharded_database(db, args.output)
+        print(
+            f"built sharded database: {db.cardinality} points x "
+            f"{db.dimensionality} dims, {db.shard_count} shards "
+            f"({db.partitioner.describe()}) -> {args.output}"
+        )
+        return 0
+    if args.partitioner is not None:
+        raise ReproError("--partitioner requires --shards")
     db = MatchDatabase(data, default_engine=args.engine)
     save_database(db, args.output)
     print(
@@ -288,16 +399,45 @@ def _run_build(args) -> int:
 
 
 def _run_info(args) -> int:
-    db = load_database(args.database)
+    db = load_any_database(args.database)
     print(f"cardinality:     {db.cardinality}")
     print(f"dimensionality:  {db.dimensionality}")
     print(f"default engine:  {db.default_engine}")
     print(f"attribute count: {db.cardinality * db.dimensionality}")
+    if hasattr(db, "shard_count"):
+        print(f"shards:          {db.shard_count}")
+        print(f"partitioner:     {db.partitioner.describe()}")
+    return 0
+
+
+def _run_shard_info(args) -> int:
+    db = load_any_database(args.database)
+    if not hasattr(db, "shard_count"):
+        raise ReproError(
+            f"{args.database!r} is a flat database; rebuild it with "
+            f"'repro build --shards' to shard it"
+        )
+    sizes = db.shard_sizes
+    occupied = [size for size in sizes if size]
+    print(f"cardinality:     {db.cardinality}")
+    print(f"dimensionality:  {db.dimensionality}")
+    print(f"default engine:  {db.default_engine}")
+    print(f"partitioner:     {db.partitioner.describe()}")
+    print(f"shards:          {db.shard_count} ({len(occupied)} non-empty)")
+    if occupied:
+        mean = db.cardinality / len(occupied)
+        balance = max(occupied) / mean if mean else 1.0
+        print(
+            f"shard sizes:     min={min(occupied)} max={max(occupied)} "
+            f"(balance: largest/mean = {balance:.2f})"
+        )
+    for index, size in enumerate(sizes):
+        print(f"  shard {index:4d}: {size} points")
     return 0
 
 
 def _run_query(args) -> int:
-    db = load_database(args.database)
+    db = _load_db(args)
     registry = _make_registry(args)
     if registry is not None:
         db.set_metrics(registry)
@@ -355,12 +495,18 @@ def _resolve_query_batch(args, db: MatchDatabase) -> np.ndarray:
 def _run_batch(args) -> int:
     import time
 
-    db = load_database(args.database)
+    db = _load_db(args)
     registry = _make_registry(args)
     if registry is not None:
         db.set_metrics(registry)
     queries = _resolve_query_batch(args, db)
-    kwargs = dict(engine=args.engine, parallel=args.parallel, workers=args.workers)
+    if hasattr(db, "shard_count"):
+        # the coordinator owns parallelism; workers were set at load time
+        kwargs = dict(engine=args.engine)
+    else:
+        kwargs = dict(
+            engine=args.engine, parallel=args.parallel, workers=args.workers
+        )
     started = time.perf_counter()
     if args.n is not None:
         results = db.k_n_match_batch(queries, args.k, args.n, **kwargs)
@@ -462,6 +608,7 @@ _HANDLERS = {
     "generate": _run_generate,
     "build": _run_build,
     "info": _run_info,
+    "shard-info": _run_shard_info,
     "query": _run_query,
     "batch": _run_batch,
     "stats": _run_stats,

@@ -14,7 +14,8 @@ from .distance import (
     n_match_differences,
 )
 from .dynamic import DynamicMatchDatabase
-from .engine import ENGINE_NAMES, MatchDatabase
+from .engine import ENGINE_NAMES, MatchDatabase, validate_engine_name
+from .merge import merge_shard_stats, merge_top_k
 from .mixed import CATEGORICAL, NUMERIC, MixedMatchDatabase, Schema
 from .advisor import (
     CostEstimate,
@@ -48,6 +49,9 @@ __all__ = [
     "NUMERIC",
     "CATEGORICAL",
     "ENGINE_NAMES",
+    "validate_engine_name",
+    "merge_top_k",
+    "merge_shard_stats",
     "MatchResult",
     "FrequentMatchResult",
     "SearchStats",

@@ -34,10 +34,56 @@ from .ad_block import BlockADEngine
 from .naive import NaiveScanEngine
 from .types import FrequentMatchResult, MatchResult
 
-__all__ = ["MatchDatabase", "ENGINE_NAMES"]
+__all__ = ["MatchDatabase", "ENGINE_NAMES", "validate_engine_name"]
 
-#: Engines selectable through :class:`MatchDatabase`.
-ENGINE_NAMES = ("ad", "block-ad", "batch-block-ad", "naive")
+
+def _make_ad(columns: SortedColumns, metrics):
+    return ADEngine(columns, metrics=metrics)
+
+
+def _make_block_ad(columns: SortedColumns, metrics):
+    return BlockADEngine(columns, metrics=metrics)
+
+
+def _make_batch_block_ad(columns: SortedColumns, metrics):
+    # Imported lazily: repro.parallel depends on this module.
+    from ..parallel import BatchBlockADEngine
+
+    return BatchBlockADEngine(columns, metrics=metrics)
+
+
+def _make_naive(columns: SortedColumns, metrics):
+    return NaiveScanEngine(columns.data, metrics=metrics)
+
+
+#: The one engine registry: name -> factory taking ``(columns, metrics)``.
+#: Adding an engine here is the whole registration step — the name tuple,
+#: :class:`MatchDatabase` construction, the shard layer and the CLI
+#: choices all derive from this mapping.
+_ENGINE_FACTORIES = {
+    "ad": _make_ad,
+    "block-ad": _make_block_ad,
+    "batch-block-ad": _make_batch_block_ad,
+    "naive": _make_naive,
+}
+
+#: Engines selectable through :class:`MatchDatabase` (registry order).
+ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
+
+
+def validate_engine_name(name: str) -> str:
+    """Check ``name`` against the engine registry and return it.
+
+    Every layer that accepts an engine name (:class:`MatchDatabase`, the
+    sharded database, the CLI) funnels through here, so an unknown
+    engine raises the same :class:`ValidationError` — same message, same
+    valid-name list — everywhere.
+    """
+    if name not in _ENGINE_FACTORIES:
+        raise ValidationError(
+            f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
+        )
+    return name
 
 
 class MatchDatabase:
@@ -55,10 +101,7 @@ class MatchDatabase:
         default_engine: str = "ad",
         metrics: Optional[object] = None,
     ) -> None:
-        if default_engine not in ENGINE_NAMES:
-            raise ValidationError(
-                f"unknown engine {default_engine!r}; choose from {ENGINE_NAMES}"
-            )
+        validate_engine_name(default_engine)
         self._columns = SortedColumns(data)
         self._default_engine = default_engine
         self._engines: Dict[str, object] = {}
@@ -104,31 +147,11 @@ class MatchDatabase:
 
     def engine(self, name: Optional[str] = None):
         """Return (lazily constructing) the engine called ``name``."""
-        name = name or self._default_engine
-        if name not in ENGINE_NAMES:
-            raise ValidationError(
-                f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
-            )
+        name = validate_engine_name(name or self._default_engine)
         if name not in self._engines:
-            if name == "ad":
-                self._engines[name] = ADEngine(
-                    self._columns, metrics=self._metrics
-                )
-            elif name == "block-ad":
-                self._engines[name] = BlockADEngine(
-                    self._columns, metrics=self._metrics
-                )
-            elif name == "batch-block-ad":
-                # Imported lazily: repro.parallel depends on this module.
-                from ..parallel import BatchBlockADEngine
-
-                self._engines[name] = BatchBlockADEngine(
-                    self._columns, metrics=self._metrics
-                )
-            else:
-                self._engines[name] = NaiveScanEngine(
-                    self._columns.data, metrics=self._metrics
-                )
+            self._engines[name] = _ENGINE_FACTORIES[name](
+                self._columns, self._metrics
+            )
         return self._engines[name]
 
     # ------------------------------------------------------------------

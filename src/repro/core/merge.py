@@ -1,0 +1,75 @@
+"""Exact cross-partition merging of k-n-match answers.
+
+Shards partition the *point set* (every point lives in exactly one
+shard), so per-shard answers can be merged into the exact global answer:
+any point in the global k-n-match set has one of the ``k`` smallest
+n-match differences overall, hence one of the ``min(k, |shard|)``
+smallest within its own shard — the per-shard top-k lists together
+always contain the global top-k.  The helpers here perform that merge
+with the library's canonical deterministic tie-break (ascending n-match
+difference, then ascending global point id — the naive oracle's order),
+so merged answers are bit-identical to a single unsharded engine.
+
+The same argument applies per ``n`` value of a frequent k-n-match query:
+merge each per-``n`` answer set across shards *first*, then count
+frequencies over the merged sets — Definition 4 counts appearances in
+answer sets of size exactly ``k``, so frequency counting must happen
+after the per-``n`` merge, never before (per-shard frequencies are
+meaningless globally).  See ``docs/sharding.md`` for the worked
+exactness argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .types import SearchStats
+
+__all__ = ["merge_top_k", "merge_shard_stats"]
+
+
+def merge_top_k(
+    ids: np.ndarray, differences: np.ndarray, k: int
+) -> Tuple[List[int], List[float]]:
+    """The ``k`` best ``(difference, id)`` pairs in canonical order.
+
+    ``ids`` and ``differences`` are aligned 1-D arrays — typically the
+    concatenation of per-shard answer lists with ids already mapped to
+    the global id space.  Returns ids and differences sorted by
+    ascending difference, ties broken by ascending id (the naive
+    oracle's order), truncated to ``k`` entries.
+
+    For this to reproduce an unsharded engine bit-for-bit, each input
+    list must itself be a superset of the global answers it can
+    contribute (per-shard top-``min(k, |shard|)`` lists are — see the
+    module docstring) and the differences must be computed with the same
+    float64 arithmetic the serial engines use (``|data[pid] - query|``
+    order statistics; same operands, same result, bit for bit).
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    differences = np.asarray(differences, dtype=np.float64)
+    order = np.lexsort((ids, differences))
+    chosen = order[:k]
+    return (
+        [int(ids[i]) for i in chosen],
+        [float(differences[i]) for i in chosen],
+    )
+
+
+def merge_shard_stats(
+    stats: Sequence[SearchStats], total_attributes: int
+) -> SearchStats:
+    """Component-wise sum of per-shard stats with a global denominator.
+
+    :meth:`SearchStats.merge` combines ``total_attributes`` with ``max``
+    because it models two phases of one query on *one* database; shards
+    are disjoint slices of one database, so here the denominator is the
+    whole database's attribute count, supplied by the caller — the sum
+    of the per-shard denominators, which the plain ``max`` would
+    under-report.
+    """
+    merged = SearchStats.aggregate(stats)
+    merged.total_attributes = int(total_attributes)
+    return merged

@@ -1,4 +1,4 @@
-"""Persistence: save and load match databases.
+"""Persistence: save and load match databases, flat or sharded.
 
 A :class:`~repro.core.engine.MatchDatabase` is cheap to rebuild (one
 argsort per dimension), but for the 100k-point workloads of the
@@ -8,6 +8,13 @@ sorted columns avoids the rebuild entirely.  The format is a single
 and id permutations, plus a small JSON header with the format version
 and shape, so a stale or foreign file fails loudly instead of
 deserialising garbage.
+
+Sharded databases (:class:`~repro.shard.ShardedMatchDatabase`) use the
+same container with their own magic: the full data array, the
+``point -> shard`` assignment, and each non-empty shard's prebuilt
+sorted columns.  :func:`load_any_database` sniffs the header and
+dispatches, so callers (the CLI in particular) can open either kind
+without knowing which they were handed.
 """
 
 from __future__ import annotations
@@ -22,10 +29,20 @@ from .core.engine import MatchDatabase
 from .errors import StorageError
 from .sorted_lists import SortedColumns
 
-__all__ = ["save_database", "load_database", "FORMAT_VERSION"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "save_sharded_database",
+    "load_sharded_database",
+    "load_any_database",
+    "FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
 _MAGIC = "repro-knmatch"
+SHARDED_FORMAT_VERSION = 1
+_SHARDED_MAGIC = "repro-knmatch-shards"
 
 
 def save_database(db: MatchDatabase, path: Union[str, os.PathLike]) -> None:
@@ -78,10 +95,7 @@ def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
             raise StorageError(
                 f"{path!r} is not a repro database file (missing {sorted(missing)})"
             )
-        try:
-            header = json.loads(bytes(archive["header"]).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise StorageError(f"{path!r} has a corrupt header") from error
+        header = _parse_header(archive, path)
         if header.get("magic") != _MAGIC:
             raise StorageError(f"{path!r} is not a repro database file")
         if header.get("version") != FORMAT_VERSION:
@@ -90,25 +104,16 @@ def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
                 f"this build reads version {FORMAT_VERSION}"
             )
         data = archive["data"]
-        sorted_values = archive["sorted_values"]
-        sorted_ids = archive["sorted_ids"]
         c = header.get("cardinality")
         d = header.get("dimensionality")
         if data.shape != (c, d):
             raise StorageError(
                 f"{path!r}: data shape {data.shape} does not match header ({c}, {d})"
             )
-        if sorted_values.shape != (d, c) or sorted_ids.shape != (d, c):
-            raise StorageError(f"{path!r}: sorted-column shapes are inconsistent")
-
+        columns = _columns_from_arrays(
+            data, archive["sorted_values"], archive["sorted_ids"], path
+        )
         db = MatchDatabase.__new__(MatchDatabase)
-        columns = SortedColumns.__new__(SortedColumns)
-        columns._data = np.ascontiguousarray(data, dtype=np.float64)
-        columns._values = np.ascontiguousarray(sorted_values, dtype=np.float64)
-        columns._ids = np.ascontiguousarray(sorted_ids, dtype=np.int64)
-        columns._cardinality = int(c)
-        columns._dimensionality = int(d)
-        _verify_columns(columns, path)
         db._columns = columns
         db._default_engine = header.get("default_engine", "ad")
         db._engines = {}
@@ -116,6 +121,214 @@ def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
         return db
     finally:
         archive.close()
+
+
+def _parse_header(archive, path) -> dict:
+    """Decode the JSON header array of an ``.npz`` database file."""
+    try:
+        return json.loads(bytes(archive["header"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise StorageError(f"{path!r} has a corrupt header") from error
+
+
+def _columns_from_arrays(
+    data: np.ndarray, sorted_values: np.ndarray, sorted_ids: np.ndarray, path
+) -> SortedColumns:
+    """Install stored sorted columns without re-sorting, after checks."""
+    c, d = data.shape
+    if sorted_values.shape != (d, c) or sorted_ids.shape != (d, c):
+        raise StorageError(f"{path!r}: sorted-column shapes are inconsistent")
+    columns = SortedColumns.__new__(SortedColumns)
+    columns._data = np.ascontiguousarray(data, dtype=np.float64)
+    columns._values = np.ascontiguousarray(sorted_values, dtype=np.float64)
+    columns._ids = np.ascontiguousarray(sorted_ids, dtype=np.int64)
+    columns._cardinality = int(c)
+    columns._dimensionality = int(d)
+    _verify_columns(columns, path)
+    return columns
+
+
+def save_sharded_database(db, path: Union[str, os.PathLike]) -> None:
+    """Write a sharded database (data + assignment + shard columns).
+
+    Each non-empty shard's prebuilt sorted columns are stored under
+    ``shard{i}_values`` / ``shard{i}_ids``, so loading skips every
+    per-shard re-sort; empty shards are represented solely by their
+    absence from the assignment.
+    """
+    from .shard import ShardedMatchDatabase
+
+    if not isinstance(db, ShardedMatchDatabase):
+        raise StorageError(
+            "save_sharded_database expects a ShardedMatchDatabase"
+        )
+    header = json.dumps(
+        {
+            "magic": _SHARDED_MAGIC,
+            "version": SHARDED_FORMAT_VERSION,
+            "cardinality": db.cardinality,
+            "dimensionality": db.dimensionality,
+            "shards": db.shard_count,
+            "partitioner": db.partitioner.describe(),
+            "default_engine": db.default_engine,
+        }
+    )
+    arrays = {
+        "header": np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+        "data": db.data,
+        "assignment": db.assignment,
+    }
+    for index in range(db.shard_count):
+        shard = db.shard(index)
+        if shard is None:
+            continue
+        columns = shard.columns
+        d = shard.dimensionality
+        arrays[f"shard{index}_values"] = np.stack(
+            [columns.column_values(j) for j in range(d)]
+        )
+        arrays[f"shard{index}_ids"] = np.stack(
+            [columns.column_ids(j) for j in range(d)]
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_sharded_database(path: Union[str, os.PathLike]):
+    """Load a sharded database written by :func:`save_sharded_database`.
+
+    The stored assignment is reused verbatim (the partitioner is *not*
+    re-run — its name in the header is informational), and each shard's
+    stored sorted columns are verified against the shard's data slice
+    exactly like the flat loader verifies a flat file.
+    """
+    from .shard import ShardedMatchDatabase
+    from .shard.coordinator import ScatterGatherCoordinator
+    from .shard.partition import Partitioner
+
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as error:
+        raise StorageError(f"cannot read database file {path!r}: {error}") from error
+    try:
+        required = {"header", "data", "assignment"}
+        missing = required - set(archive.files)
+        if missing:
+            raise StorageError(
+                f"{path!r} is not a sharded repro database file "
+                f"(missing {sorted(missing)})"
+            )
+        header = _parse_header(archive, path)
+        if header.get("magic") != _SHARDED_MAGIC:
+            raise StorageError(
+                f"{path!r} is not a sharded repro database file"
+            )
+        if header.get("version") != SHARDED_FORMAT_VERSION:
+            raise StorageError(
+                f"{path!r} uses sharded format version "
+                f"{header.get('version')}; this build reads version "
+                f"{SHARDED_FORMAT_VERSION}"
+            )
+        data = archive["data"]
+        c = header.get("cardinality")
+        d = header.get("dimensionality")
+        shards = header.get("shards")
+        if not isinstance(shards, int) or shards < 1:
+            raise StorageError(f"{path!r}: bad shard count {shards!r}")
+        if data.shape != (c, d):
+            raise StorageError(
+                f"{path!r}: data shape {data.shape} does not match header ({c}, {d})"
+            )
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        assignment = np.asarray(archive["assignment"], dtype=np.int64)
+        if assignment.shape != (c,):
+            raise StorageError(
+                f"{path!r}: assignment shape {assignment.shape} does not "
+                f"match cardinality {c}"
+            )
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= shards
+        ):
+            raise StorageError(
+                f"{path!r}: assignment references shards outside "
+                f"[0, {shards})"
+            )
+        default_engine = header.get("default_engine", "ad")
+
+        global_ids = [np.flatnonzero(assignment == s) for s in range(shards)]
+        shard_dbs = []
+        for index, gids in enumerate(global_ids):
+            if not gids.size:
+                shard_dbs.append(None)
+                continue
+            values_key = f"shard{index}_values"
+            ids_key = f"shard{index}_ids"
+            if values_key not in archive.files or ids_key not in archive.files:
+                raise StorageError(
+                    f"{path!r}: missing sorted columns for shard {index}"
+                )
+            columns = _columns_from_arrays(
+                np.ascontiguousarray(data[gids]),
+                archive[values_key],
+                archive[ids_key],
+                path,
+            )
+            shard = MatchDatabase.__new__(MatchDatabase)
+            shard._columns = columns
+            shard._default_engine = default_engine
+            shard._engines = {}
+            shard._metrics = None
+            shard_dbs.append(shard)
+
+        # A stored file carries the materialised assignment, not the
+        # strategy object; expose the recorded name through a stub so
+        # `db.partitioner.describe()` keeps working.
+        stub = Partitioner()
+        stub.name = str(header.get("partitioner", "stored"))
+
+        db = ShardedMatchDatabase.__new__(ShardedMatchDatabase)
+        db._data = data
+        db._assignment = assignment
+        db._shard_count = int(shards)
+        db._default_engine = default_engine
+        db._metrics = None
+        db._partitioner = stub
+        db._global_ids = global_ids
+        db._shard_dbs = shard_dbs
+        db._coordinator = ScatterGatherCoordinator(
+            [
+                (s, shard, gids)
+                for s, (shard, gids) in enumerate(zip(shard_dbs, global_ids))
+                if shard is not None
+            ],
+            total_attributes=int(c) * int(d),
+        )
+        return db
+    finally:
+        archive.close()
+
+
+def load_any_database(path: Union[str, os.PathLike]):
+    """Open a database file of either kind, dispatching on its header.
+
+    Returns a :class:`MatchDatabase` for flat files and a
+    :class:`~repro.shard.ShardedMatchDatabase` for sharded ones; raises
+    :class:`StorageError` for anything else.
+    """
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as error:
+        raise StorageError(f"cannot read database file {path!r}: {error}") from error
+    try:
+        if "header" not in archive.files:
+            raise StorageError(f"{path!r} is not a repro database file")
+        magic = _parse_header(archive, path).get("magic")
+    finally:
+        archive.close()
+    if magic == _SHARDED_MAGIC:
+        return load_sharded_database(path)
+    if magic == _MAGIC:
+        return load_database(path)
+    raise StorageError(f"{path!r} is not a repro database file")
 
 
 def _verify_columns(columns: SortedColumns, path) -> None:

@@ -26,6 +26,7 @@ from .instrument import (
     observe_page_read,
     observe_pager_fault,
     observe_query,
+    observe_shard_call,
 )
 from .registry import (
     Counter,
@@ -51,6 +52,7 @@ __all__ = [
     "registry_to_dict",
     "observe_query",
     "observe_batch",
+    "observe_shard_call",
     "observe_page_read",
     "observe_pager_fault",
     "DEFAULT_LATENCY_BUCKETS",

@@ -23,6 +23,7 @@ from .trace import epsilon_rounds_from_stats
 __all__ = [
     "observe_query",
     "observe_batch",
+    "observe_shard_call",
     "observe_page_read",
     "observe_pager_fault",
     "SHARD_SIZE_BUCKETS",
@@ -141,6 +142,43 @@ def observe_batch(
         utilisation.labels(engine=engine, worker=worker).set(
             busy / wall_seconds if wall_seconds > 0 else 0.0
         )
+
+
+def observe_shard_call(
+    registry: MetricsRegistry,
+    shard: str,
+    engine: str,
+    kind: str,
+    queries: int,
+    stats: SearchStats,
+    wall_seconds: float,
+) -> None:
+    """Record one per-shard engine call of a scatter-gather fan-out.
+
+    A *call* covers every query of the scattered request on that shard
+    (one for a single query, the batch size for a ``*_batch``); ``stats``
+    is the shard's rolled-up :class:`SearchStats` for the call.  The
+    shard-labelled counters expose per-partition skew — the signal for
+    choosing a partitioner — while the logical-query counters
+    (``repro_queries_total``...) stay un-inflated because the shard
+    layer, not the per-shard engines, is the metered component.
+    """
+    labels = {"shard": shard, "engine": engine, "kind": kind}
+    registry.counter(
+        "repro_shard_calls_total", "per-shard engine calls in scatter-gather"
+    ).labels(**labels).inc()
+    registry.counter(
+        "repro_shard_queries_total", "queries scattered to a shard"
+    ).labels(**labels).inc(queries)
+    registry.counter(
+        "repro_shard_attributes_retrieved_total",
+        "attributes retrieved within a shard",
+    ).labels(**labels).inc(stats.attributes_retrieved)
+    registry.histogram(
+        "repro_shard_call_seconds",
+        "per-shard wall time of one scatter call",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(**labels).observe(wall_seconds)
 
 
 def observe_page_read(registry: MetricsRegistry, sequential: bool) -> None:

@@ -1,0 +1,51 @@
+"""repro.shard — sharded scatter-gather search with exact global merge.
+
+The next scaling axis after batch execution (:mod:`repro.parallel`):
+partition the point set into shards, search them concurrently, and merge
+per-shard top-k answers into the *exact* global k-n-match and frequent
+k-n-match answers — bit-identical ids, differences, frequencies and
+answer sets, because shards partition the point set and the merge uses
+the library's canonical deterministic tie-break.
+
+Three layers, each usable on its own:
+
+* :class:`Partitioner` strategies (``round-robin``, ``hash``, ``range``)
+  in a pluggable registry (:func:`register_partitioner`,
+  :func:`make_partitioner`);
+* :class:`ShardedMatchDatabase` — one
+  :class:`~repro.core.engine.MatchDatabase` per shard with local-to-
+  global id mapping, mirroring the unsharded query surface;
+* :class:`ScatterGatherCoordinator` — the fan-out/merge engine, built
+  on :class:`~repro.parallel.ParallelBatchExecutor`.
+
+See ``docs/sharding.md`` for partitioner trade-offs and the exactness
+argument.
+"""
+
+from .coordinator import ScatterGatherCoordinator
+from .database import ShardedMatchDatabase
+from .partition import (
+    DEFAULT_PARTITIONER,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+    partitioner_names,
+    register_partitioner,
+    validate_shard_count,
+)
+
+__all__ = [
+    "ShardedMatchDatabase",
+    "ScatterGatherCoordinator",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "register_partitioner",
+    "make_partitioner",
+    "partitioner_names",
+    "validate_shard_count",
+    "DEFAULT_PARTITIONER",
+]

@@ -1,0 +1,448 @@
+"""Scatter-gather query execution across database shards.
+
+:class:`ScatterGatherCoordinator` fans a (frequent) k-n-match query —
+or a whole batch — out to per-shard :class:`~repro.core.engine.MatchDatabase`
+instances, then merges the per-shard answers into the exact global
+answer with the canonical tie-break (ascending difference, then
+ascending *global* id; see :mod:`repro.core.merge`).
+
+The fan-out reuses :class:`~repro.parallel.ParallelBatchExecutor`: shard
+indices are presented to the executor as a one-column "query batch"
+(one row per shard, ``chunk_size=1`` so every shard is its own work
+unit), which buys the shard layer the executor's whole scheduling
+stack — thread pool, inline fast path for one shard or one worker, and,
+with a metrics registry installed, per-shard latency/straggler/worker-
+utilisation metrics under the ``shard-scatter`` engine label.
+
+Frequent k-n-match merging runs the per-``n`` merge *before* frequency
+counting: each ``n``'s answer sets are merged across shards into the
+exact global k-list first, and only then are appearance frequencies
+counted over the merged sets — Definition 4 counts appearances in
+answer sets of size exactly ``k``, so counting per shard and summing
+would be wrong whenever a shard's local top-k differs from the global
+one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.engine import MatchDatabase
+from ..core.merge import merge_shard_stats, merge_top_k
+from ..core.types import (
+    FrequentMatchResult,
+    MatchResult,
+    SearchStats,
+    rank_by_frequency,
+)
+from ..errors import ValidationError
+from ..parallel import BatchStats, ParallelBatchExecutor
+
+__all__ = ["ScatterGatherCoordinator"]
+
+
+class _ShardOutput:
+    """One shard's contribution to a scatter: payload + rolled-up stats.
+
+    ``stats`` is what :class:`ParallelBatchExecutor` aggregates into its
+    :class:`BatchStats`; ``queries`` feeds the per-shard obs counters.
+    """
+
+    __slots__ = ("payload", "stats", "queries")
+
+    def __init__(self, payload, stats: SearchStats, queries: int) -> None:
+        self.payload = payload
+        self.stats = stats
+        self.queries = queries
+
+
+class _ShardTaskEngine:
+    """Adapter letting :class:`ParallelBatchExecutor` schedule shards.
+
+    The executor fans out rows of a query batch; here each "row" is a
+    shard position encoded as a one-element float vector.  The adapter
+    deliberately defines no ``k_n_match_batch`` so the executor falls
+    back to its per-row loop — one :meth:`k_n_match` call per shard —
+    and ``k``/``n`` are ignored dummies.
+    """
+
+    name = "shard-scatter"
+
+    def __init__(self, run_shard) -> None:
+        self._run_shard = run_shard
+
+    def k_n_match(self, task: np.ndarray, k: int, n: int) -> _ShardOutput:
+        return self._run_shard(int(task[0]))
+
+
+def _answer_set_differences(
+    data: np.ndarray, query: np.ndarray, answer_sets: Dict[int, List[int]]
+) -> Dict[int, np.ndarray]:
+    """Exact n-match differences of each per-``n`` answer set's ids.
+
+    Uses the same float64 arithmetic as the serial engines (``n-1``-th
+    order statistic of ``|data[pid] - query|``), so merged orderings are
+    bit-identical to unsharded execution.  ``data`` and the ids are
+    shard-local here; the caller maps ids to the global space.
+    """
+    differences: Dict[int, np.ndarray] = {}
+    for n, ids in answer_sets.items():
+        rows = np.abs(data[np.asarray(ids, dtype=np.int64)] - query)
+        differences[n] = np.partition(rows, n - 1, axis=1)[:, n - 1]
+    return differences
+
+
+class ScatterGatherCoordinator:
+    """Fan queries out over shards; merge exact global answers back.
+
+    Parameters
+    ----------
+    shards:
+        ``(shard_index, database, global_ids)`` triples for every
+        *non-empty* shard.  ``global_ids`` maps the shard's local point
+        ids (its row numbers) to global ids and must be ascending — the
+        sharded database builds shards in ascending global id order, so
+        local id order preserves global id order and the merge tie-break
+        is exact.
+    total_attributes:
+        ``cardinality * dimensionality`` of the *whole* database, used
+        as the denominator of merged :class:`SearchStats`.
+    workers:
+        Fan-out thread-pool size; defaults to one worker per shard,
+        capped at ``os.cpu_count()``.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; enables per-shard
+        counters/latency (``repro_shard_*``) plus the executor's
+        scatter-level metrics.  Answers are identical either way.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Tuple[int, MatchDatabase, np.ndarray]],
+        total_attributes: int,
+        workers: Optional[int] = None,
+        metrics: Optional[object] = None,
+    ) -> None:
+        if not shards:
+            raise ValidationError("scatter-gather needs at least one shard")
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1; got {workers}")
+        self._shards = list(shards)
+        self._total_attributes = int(total_attributes)
+        self._workers = (
+            int(workers)
+            if workers is not None
+            else max(1, min(len(self._shards), os.cpu_count() or 1))
+        )
+        self._metrics = metrics
+        self._last_batch_stats: Optional[BatchStats] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def metrics(self):
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+
+    @property
+    def last_batch_stats(self) -> Optional[BatchStats]:
+        """The :class:`BatchStats` of the most recent ``*_batch`` call."""
+        return self._last_batch_stats
+
+    # ------------------------------------------------------------------
+    def k_n_match(
+        self, query: np.ndarray, k: int, n: int, engine: Optional[str] = None
+    ) -> MatchResult:
+        """Exact global k-n-match via per-shard top-k + canonical merge."""
+        engine_name = self._engine_name(engine)
+
+        def run_one(position: int) -> _ShardOutput:
+            _, db, _ = self._shards[position]
+            result = db.k_n_match(query, min(k, db.cardinality), n, engine=engine)
+            return _ShardOutput(result, result.stats, 1)
+
+        outputs = self._scatter("k_n_match", engine_name, run_one)
+        ids = np.concatenate(
+            [
+                gids[np.asarray(output.payload.ids, dtype=np.int64)]
+                for (_, _, gids), output in zip(self._shards, outputs)
+            ]
+        )
+        differences = np.concatenate(
+            [
+                np.asarray(output.payload.differences, dtype=np.float64)
+                for output in outputs
+            ]
+        )
+        merged_ids, merged_differences = merge_top_k(ids, differences, k)
+        return MatchResult(
+            ids=merged_ids,
+            differences=merged_differences,
+            k=k,
+            n=n,
+            stats=merge_shard_stats(
+                [output.stats for output in outputs], self._total_attributes
+            ),
+        )
+
+    def frequent_k_n_match(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_range: Tuple[int, int],
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = True,
+    ) -> FrequentMatchResult:
+        """Exact global frequent k-n-match.
+
+        Per-``n`` answer sets are merged across shards first (each to
+        the exact global k-list), and frequencies are counted over the
+        merged sets — the order Definition 4 requires.
+        """
+        n0, n1 = n_range
+        engine_name = self._engine_name(engine)
+
+        def run_one(position: int) -> _ShardOutput:
+            _, db, _ = self._shards[position]
+            result = db.frequent_k_n_match(
+                query,
+                min(k, db.cardinality),
+                (n0, n1),
+                engine=engine,
+                keep_answer_sets=True,
+            )
+            differences = _answer_set_differences(
+                db.data, query, result.answer_sets
+            )
+            return _ShardOutput((result, differences), result.stats, 1)
+
+        outputs = self._scatter("frequent_k_n_match", engine_name, run_one)
+        merged_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            ids = np.concatenate(
+                [
+                    gids[
+                        np.asarray(
+                            output.payload[0].answer_sets[n], dtype=np.int64
+                        )
+                    ]
+                    for (_, _, gids), output in zip(self._shards, outputs)
+                ]
+            )
+            differences = np.concatenate(
+                [output.payload[1][n] for output in outputs]
+            )
+            merged_sets[n], _ = merge_top_k(ids, differences, k)
+        chosen, frequencies = rank_by_frequency(merged_sets, k)
+        return FrequentMatchResult(
+            ids=chosen,
+            frequencies=frequencies,
+            k=k,
+            n_range=(n0, n1),
+            answer_sets=merged_sets if keep_answer_sets else None,
+            stats=merge_shard_stats(
+                [output.stats for output in outputs], self._total_attributes
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def k_n_match_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+    ) -> List[MatchResult]:
+        """One exact global k-n-match per query row, shard-parallel.
+
+        Every shard runs the *whole* batch through its own engine's
+        native batch path (lock-step vectorisation for
+        ``batch-block-ad``), so the scatter parallelism composes with
+        the batch engines rather than replacing them.
+        """
+        count = queries.shape[0]
+        started = time.perf_counter()
+        if count == 0:
+            self._last_batch_stats = BatchStats(
+                queries=0, shards=0, workers=self._workers
+            )
+            return []
+        engine_name = self._engine_name(engine)
+
+        def run_one(position: int) -> _ShardOutput:
+            _, db, _ = self._shards[position]
+            results = db.k_n_match_batch(
+                queries, min(k, db.cardinality), n, engine=engine
+            )
+            return _ShardOutput(
+                results,
+                SearchStats.aggregate([result.stats for result in results]),
+                count,
+            )
+
+        outputs = self._scatter("k_n_match_batch", engine_name, run_one)
+        merged: List[MatchResult] = []
+        for qi in range(count):
+            ids = np.concatenate(
+                [
+                    gids[np.asarray(output.payload[qi].ids, dtype=np.int64)]
+                    for (_, _, gids), output in zip(self._shards, outputs)
+                ]
+            )
+            differences = np.concatenate(
+                [
+                    np.asarray(
+                        output.payload[qi].differences, dtype=np.float64
+                    )
+                    for output in outputs
+                ]
+            )
+            merged_ids, merged_differences = merge_top_k(ids, differences, k)
+            merged.append(
+                MatchResult(
+                    ids=merged_ids,
+                    differences=merged_differences,
+                    k=k,
+                    n=n,
+                    stats=merge_shard_stats(
+                        [output.payload[qi].stats for output in outputs],
+                        self._total_attributes,
+                    ),
+                )
+            )
+        self._record_batch(count, started, merged)
+        return merged
+
+    def frequent_k_n_match_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        n_range: Tuple[int, int],
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = False,
+    ) -> List[FrequentMatchResult]:
+        """One exact global frequent k-n-match per query row."""
+        count = queries.shape[0]
+        started = time.perf_counter()
+        if count == 0:
+            self._last_batch_stats = BatchStats(
+                queries=0, shards=0, workers=self._workers
+            )
+            return []
+        n0, n1 = n_range
+        engine_name = self._engine_name(engine)
+
+        def run_one(position: int) -> _ShardOutput:
+            _, db, _ = self._shards[position]
+            results = db.frequent_k_n_match_batch(
+                queries,
+                min(k, db.cardinality),
+                (n0, n1),
+                engine=engine,
+                keep_answer_sets=True,
+            )
+            differences = [
+                _answer_set_differences(db.data, query, result.answer_sets)
+                for query, result in zip(queries, results)
+            ]
+            return _ShardOutput(
+                (results, differences),
+                SearchStats.aggregate([result.stats for result in results]),
+                count,
+            )
+
+        outputs = self._scatter(
+            "frequent_k_n_match_batch", engine_name, run_one
+        )
+        merged: List[FrequentMatchResult] = []
+        for qi in range(count):
+            merged_sets: Dict[int, List[int]] = {}
+            for n in range(n0, n1 + 1):
+                ids = np.concatenate(
+                    [
+                        gids[
+                            np.asarray(
+                                output.payload[0][qi].answer_sets[n],
+                                dtype=np.int64,
+                            )
+                        ]
+                        for (_, _, gids), output in zip(self._shards, outputs)
+                    ]
+                )
+                differences = np.concatenate(
+                    [output.payload[1][qi][n] for output in outputs]
+                )
+                merged_sets[n], _ = merge_top_k(ids, differences, k)
+            chosen, frequencies = rank_by_frequency(merged_sets, k)
+            merged.append(
+                FrequentMatchResult(
+                    ids=chosen,
+                    frequencies=frequencies,
+                    k=k,
+                    n_range=(n0, n1),
+                    answer_sets=merged_sets if keep_answer_sets else None,
+                    stats=merge_shard_stats(
+                        [output.payload[0][qi].stats for output in outputs],
+                        self._total_attributes,
+                    ),
+                )
+            )
+        self._record_batch(count, started, merged)
+        return merged
+
+    # ------------------------------------------------------------------
+    def _engine_name(self, engine: Optional[str]) -> str:
+        return engine or self._shards[0][1].default_engine
+
+    def _scatter(
+        self, kind: str, engine_name: str, run_one
+    ) -> List[_ShardOutput]:
+        """Run ``run_one(position)`` for every shard via the executor."""
+        registry = self._metrics
+        if registry is None:
+            run = run_one
+        else:
+            from ..obs import observe_shard_call
+
+            def run(position: int) -> _ShardOutput:
+                shard_index = self._shards[position][0]
+                shard_started = time.perf_counter()
+                output = run_one(position)
+                observe_shard_call(
+                    registry,
+                    shard=str(shard_index),
+                    engine=engine_name,
+                    kind=kind,
+                    queries=output.queries,
+                    stats=output.stats,
+                    wall_seconds=time.perf_counter() - shard_started,
+                )
+                return output
+
+        tasks = np.arange(len(self._shards), dtype=np.float64).reshape(-1, 1)
+        executor = ParallelBatchExecutor(
+            _ShardTaskEngine(run),
+            workers=min(self._workers, len(self._shards)),
+            chunk_size=1,
+            metrics=registry,
+        )
+        return list(executor.k_n_match_batch(tasks, 1, 1))
+
+    def _record_batch(self, count: int, started: float, merged) -> None:
+        self._last_batch_stats = BatchStats(
+            queries=count,
+            shards=len(self._shards),
+            workers=self._workers,
+            wall_time_seconds=time.perf_counter() - started,
+            total=SearchStats.aggregate([result.stats for result in merged]),
+        )

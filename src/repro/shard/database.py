@@ -1,0 +1,348 @@
+"""The sharded database facade: partition, scatter, gather, exactly.
+
+:class:`ShardedMatchDatabase` mirrors the
+:class:`~repro.core.engine.MatchDatabase` query surface but holds one
+independent ``MatchDatabase`` per shard, each over a disjoint slice of
+the point set chosen by a :class:`~repro.shard.partition.Partitioner`.
+Queries fan out through a
+:class:`~repro.shard.coordinator.ScatterGatherCoordinator` and come back
+merged into the exact global answer — ids, differences, frequencies and
+answer sets bit-identical to a single unsharded database for the
+canonical-tie-break engines (``naive``, ``block-ad``,
+``batch-block-ad``; the heap ``ad`` engine agrees wherever its
+within-tie discovery order does, i.e. always on tie-free data).
+
+Shard membership is materialised in ascending global id order, so each
+shard's local id ``j`` maps to ``global_ids(s)[j]`` and local id order
+preserves global id order — the invariant the merge tie-break relies
+on.  Empty shards (more shards than points, or an unlucky hash) are
+tracked for :meth:`shard_sizes` but never queried; shards smaller than
+``k`` simply contribute their whole point set.
+
+Metrics (``metrics=``) are recorded by the shard layer itself — one
+logical query produces shard-labelled ``repro_shard_*`` counters plus
+the scatter executor's batch metrics — rather than by the per-shard
+engines, so aggregate query counters keep counting *logical* queries,
+not ``shards``-times-inflated ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core import validation
+from ..core.engine import MatchDatabase, validate_engine_name
+from ..core.types import FrequentMatchResult, MatchResult
+from ..errors import ValidationError
+from ..parallel import BatchStats
+from .coordinator import ScatterGatherCoordinator
+from .partition import (
+    DEFAULT_PARTITIONER,
+    Partitioner,
+    make_partitioner,
+    validate_shard_count,
+)
+
+__all__ = ["ShardedMatchDatabase"]
+
+
+class ShardedMatchDatabase:
+    """Scatter-gather k-n-match over a partitioned point set.
+
+    >>> import numpy as np
+    >>> from repro.shard import ShardedMatchDatabase
+    >>> db = ShardedMatchDatabase(np.arange(20.0).reshape(10, 2), shards=3)
+    >>> db.k_n_match([8.0, 9.0], k=2, n=2).ids
+    [4, 3]
+    """
+
+    def __init__(
+        self,
+        data,
+        shards: int = 4,
+        partitioner: Union[str, Partitioner] = DEFAULT_PARTITIONER,
+        default_engine: str = "ad",
+        metrics: Optional[object] = None,
+        workers: Optional[int] = None,
+        **partitioner_options,
+    ) -> None:
+        array = validation.as_database_array(data)
+        validate_engine_name(default_engine)
+        shards = validate_shard_count(shards)
+        if isinstance(partitioner, Partitioner):
+            if partitioner_options:
+                raise ValidationError(
+                    "partitioner options are only accepted with a "
+                    "partitioner name, not a Partitioner instance"
+                )
+            self._partitioner = partitioner
+        else:
+            self._partitioner = make_partitioner(
+                partitioner, **partitioner_options
+            )
+        assignment = self._checked_assignment(array, shards)
+        self._data = array
+        self._assignment = assignment
+        self._shard_count = shards
+        self._default_engine = default_engine
+        self._metrics = metrics
+        self._global_ids: List[np.ndarray] = [
+            np.flatnonzero(assignment == s) for s in range(shards)
+        ]
+        self._shard_dbs: List[Optional[MatchDatabase]] = [
+            MatchDatabase(array[gids], default_engine=default_engine)
+            if gids.size
+            else None
+            for gids in self._global_ids
+        ]
+        self._coordinator = ScatterGatherCoordinator(
+            [
+                (s, db, gids)
+                for s, (db, gids) in enumerate(
+                    zip(self._shard_dbs, self._global_ids)
+                )
+                if db is not None
+            ],
+            total_attributes=array.shape[0] * array.shape[1],
+            workers=workers,
+            metrics=metrics,
+        )
+
+    def _checked_assignment(
+        self, array: np.ndarray, shards: int
+    ) -> np.ndarray:
+        """Run the partitioner and validate its output defensively.
+
+        Custom partitioners are user code; a malformed assignment would
+        otherwise surface as silently wrong answers, the one failure
+        mode this subsystem exists to rule out.
+        """
+        assignment = np.asarray(self._partitioner.assign(array, shards))
+        if assignment.shape != (array.shape[0],):
+            raise ValidationError(
+                f"partitioner {self._partitioner.describe()!r} returned "
+                f"shape {assignment.shape}; expected ({array.shape[0]},)"
+            )
+        if not np.issubdtype(assignment.dtype, np.integer):
+            raise ValidationError(
+                f"partitioner {self._partitioner.describe()!r} returned "
+                f"dtype {assignment.dtype}; expected integers"
+            )
+        assignment = assignment.astype(np.int64)
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= shards
+        ):
+            raise ValidationError(
+                f"partitioner {self._partitioner.describe()!r} assigned "
+                f"shards outside [0, {shards})"
+            )
+        return assignment
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The full ``(cardinality, dimensionality)`` array (global ids)."""
+        return self._data
+
+    @property
+    def cardinality(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def dimensionality(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards, including empty ones."""
+        return self._shard_count
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Points per shard (zeros mark empty shards)."""
+        return tuple(int(gids.size) for gids in self._global_ids)
+
+    @property
+    def partitioner(self) -> Partitioner:
+        return self._partitioner
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """The ``point id -> shard`` map (treat as read-only)."""
+        return self._assignment
+
+    @property
+    def default_engine(self) -> str:
+        return self._default_engine
+
+    @property
+    def workers(self) -> int:
+        """Fan-out thread-pool size used by the coordinator."""
+        return self._coordinator.workers
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    def set_metrics(self, registry) -> None:
+        """Install (or remove, with ``None``) a metrics registry.
+
+        Only the shard layer records (see the module docstring); the
+        per-shard engines stay unmetered so logical query counts are
+        not inflated by the shard count.
+        """
+        self._metrics = registry
+        self._coordinator.metrics = registry
+
+    @property
+    def last_batch_stats(self) -> Optional[BatchStats]:
+        """The :class:`BatchStats` of the most recent ``*_batch`` call."""
+        return self._coordinator.last_batch_stats
+
+    def shard(self, index: int) -> Optional[MatchDatabase]:
+        """The per-shard database (``None`` for an empty shard)."""
+        self._check_shard(index)
+        return self._shard_dbs[index]
+
+    def global_ids(self, index: int) -> np.ndarray:
+        """Ascending global ids of the points in one shard."""
+        self._check_shard(index)
+        return self._global_ids[index]
+
+    def shard_of(self, point_id: int) -> int:
+        """The shard a global point id was assigned to."""
+        if not 0 <= point_id < self.cardinality:
+            raise ValidationError(
+                f"point id {point_id} out of range [0, {self.cardinality})"
+            )
+        return int(self._assignment[point_id])
+
+    def _check_shard(self, index: int) -> None:
+        if not 0 <= index < self._shard_count:
+            raise ValidationError(
+                f"shard {index} out of range [0, {self._shard_count})"
+            )
+
+    # ------------------------------------------------------------------
+    def k_n_match(
+        self,
+        query,
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+        trace: bool = False,
+    ) -> MatchResult:
+        """The exact global k-n-match (Definition 3), scatter-gathered."""
+        query, k, n = validation.validate_match_args(
+            query, k, n, self.cardinality, self.dimensionality
+        )
+        if engine is not None:
+            validate_engine_name(engine)
+        started = time.perf_counter() if trace else 0.0
+        result = self._coordinator.k_n_match(query, k, n, engine=engine)
+        if trace:
+            result.trace = self._build_trace(
+                engine, "k_n_match", k, (n, n), result.stats, started
+            )
+        return result
+
+    def frequent_k_n_match(
+        self,
+        query,
+        k: int,
+        n_range: Union[Tuple[int, int], None] = None,
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = True,
+        trace: bool = False,
+    ) -> FrequentMatchResult:
+        """The exact global frequent k-n-match (Definition 4)."""
+        if n_range is None:
+            n_range = (1, self.dimensionality)
+        query, k, n_range = validation.validate_frequent_args(
+            query, k, n_range, self.cardinality, self.dimensionality
+        )
+        if engine is not None:
+            validate_engine_name(engine)
+        started = time.perf_counter() if trace else 0.0
+        result = self._coordinator.frequent_k_n_match(
+            query, k, n_range, engine=engine, keep_answer_sets=keep_answer_sets
+        )
+        if trace:
+            result.trace = self._build_trace(
+                engine, "frequent_k_n_match", k, n_range, result.stats, started
+            )
+        return result
+
+    def k_n_match_batch(
+        self,
+        queries,
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+    ) -> List[MatchResult]:
+        """One exact global k-n-match per row of ``queries``.
+
+        Each shard runs the whole batch through its engine's native
+        batch path; shards execute concurrently on the coordinator's
+        thread pool.
+        """
+        queries, k, n = validation.validate_batch_match_args(
+            queries, k, n, self.cardinality, self.dimensionality
+        )
+        if engine is not None:
+            validate_engine_name(engine)
+        return self._coordinator.k_n_match_batch(queries, k, n, engine=engine)
+
+    def frequent_k_n_match_batch(
+        self,
+        queries,
+        k: int,
+        n_range: Union[Tuple[int, int], None] = None,
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = False,
+    ) -> List[FrequentMatchResult]:
+        """One exact global frequent k-n-match per row of ``queries``."""
+        if n_range is None:
+            n_range = (1, self.dimensionality)
+        queries, k, n_range = validation.validate_batch_frequent_args(
+            queries, k, n_range, self.cardinality, self.dimensionality
+        )
+        if engine is not None:
+            validate_engine_name(engine)
+        return self._coordinator.frequent_k_n_match_batch(
+            queries, k, n_range, engine=engine,
+            keep_answer_sets=keep_answer_sets,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_trace(self, engine, kind, k, n_range, stats, started):
+        from ..obs import QueryTrace
+
+        label = (
+            f"sharded[{self._shard_count}x{engine or self._default_engine}]"
+        )
+        return QueryTrace.from_stats(
+            engine=label,
+            kind=kind,
+            k=k,
+            n_range=n_range,
+            stats=stats,
+            wall_time_seconds=time.perf_counter() - started,
+            dimensionality=self.dimensionality,
+        )
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedMatchDatabase(cardinality={self.cardinality}, "
+            f"dimensionality={self.dimensionality}, "
+            f"shards={self._shard_count}, "
+            f"partitioner={self._partitioner.describe()!r}, "
+            f"default_engine={self._default_engine!r})"
+        )

@@ -1,0 +1,184 @@
+"""Partitioner strategies: how points are assigned to shards.
+
+A partitioner maps every point of a ``(c, d)`` database to one of ``S``
+shards.  Because the shards partition the *point set*, any strategy
+yields exact global answers after the scatter-gather merge — the choice
+only affects balance and locality:
+
+* ``"round-robin"`` — point ``i`` goes to shard ``i % S``.  Perfectly
+  balanced (sizes differ by at most one), no data dependence.
+* ``"hash"`` — a splitmix64-style mix of the point id, modulo ``S``.
+  Statistically balanced and stable under id-preserving reorderings of
+  the build pipeline; the mix matters because raw ``id % S`` would just
+  be round-robin and raw ``hash(int)`` is the identity in CPython.
+* ``"range"`` — equal-count contiguous ranges of one chosen dimension's
+  sorted order.  Gives shards value-locality in that dimension (useful
+  when queries cluster there), still perfectly count-balanced because
+  the split is on ranks, not values.
+
+Strategies live in a registry so downstream code (and the CLI) can look
+them up by name; :func:`register_partitioner` adds new ones.
+
+A strategy only produces the ``point -> shard`` assignment; the sharded
+database itself materialises each shard in *ascending global id* order,
+so local id order always preserves global id order regardless of the
+strategy.  That invariant is what lets the merge's tie-break on global
+id reproduce the unsharded engines' deterministic order, and it is why
+a custom partitioner never needs to worry about ordering — only about
+which shard each point lands in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "register_partitioner",
+    "make_partitioner",
+    "partitioner_names",
+    "validate_shard_count",
+    "DEFAULT_PARTITIONER",
+]
+
+#: Strategy used when the caller does not pick one.
+DEFAULT_PARTITIONER = "round-robin"
+
+_PARTITIONERS: Dict[str, Type["Partitioner"]] = {}
+
+
+def register_partitioner(cls: Type["Partitioner"]) -> Type["Partitioner"]:
+    """Class decorator adding a strategy to the by-name registry."""
+    if not getattr(cls, "name", None):
+        raise ValidationError("a partitioner class must define a name")
+    _PARTITIONERS[cls.name] = cls
+    return cls
+
+
+def partitioner_names() -> Tuple[str, ...]:
+    """Registered strategy names, sorted (stable for error messages)."""
+    return tuple(sorted(_PARTITIONERS))
+
+
+def make_partitioner(name: str, **options) -> "Partitioner":
+    """Instantiate a registered strategy by name.
+
+    ``options`` are forwarded to the strategy constructor (e.g.
+    ``dimension=`` for ``"range"``).  Unknown names raise a
+    :class:`ValidationError` listing the registered strategies.
+    """
+    if name not in _PARTITIONERS:
+        raise ValidationError(
+            f"unknown partitioner {name!r}; choose from {partitioner_names()}"
+        )
+    return _PARTITIONERS[name](**options)
+
+
+def validate_shard_count(shards) -> int:
+    """Check ``shards`` is an integer >= 1 and return it as an int."""
+    if isinstance(shards, bool) or not isinstance(shards, (int, np.integer)):
+        raise ValidationError(f"shards must be an integer; got {shards!r}")
+    shards = int(shards)
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1; got {shards}")
+    return shards
+
+
+class Partitioner:
+    """Base class: assigns every point of a database to a shard."""
+
+    #: registry key; subclasses must override.
+    name: str = ""
+
+    def assign(self, data: np.ndarray, shards: int) -> np.ndarray:
+        """Return a ``(cardinality,)`` int64 array of shard indices.
+
+        Every entry must lie in ``[0, shards)``; empty shards are
+        allowed (and handled by the sharded database).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable form for ``repr`` / CLI output."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+@register_partitioner
+class RoundRobinPartitioner(Partitioner):
+    """Point ``i`` -> shard ``i % shards``; sizes differ by at most 1."""
+
+    name = "round-robin"
+
+    def assign(self, data: np.ndarray, shards: int) -> np.ndarray:
+        shards = validate_shard_count(shards)
+        return np.arange(data.shape[0], dtype=np.int64) % shards
+
+
+@register_partitioner
+class HashPartitioner(Partitioner):
+    """Shard by a mixed hash of the point id (splitmix64 finaliser).
+
+    Deterministic across processes (unlike Python's seeded ``hash``) and
+    well-mixed (unlike CPython's identity hash on small ints, which
+    would collapse to round-robin).
+    """
+
+    name = "hash"
+
+    def assign(self, data: np.ndarray, shards: int) -> np.ndarray:
+        shards = validate_shard_count(shards)
+        x = np.arange(data.shape[0], dtype=np.uint64)
+        # splitmix64 finaliser; uint64 arithmetic wraps, as intended.
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+        return (x % np.uint64(shards)).astype(np.int64)
+
+
+@register_partitioner
+class RangePartitioner(Partitioner):
+    """Equal-count value ranges of one dimension's sorted order.
+
+    The ``r``-th point in ascending order of ``data[:, dimension]`` goes
+    to shard ``r * shards // cardinality`` — contiguous value ranges,
+    perfectly count-balanced regardless of the value distribution (the
+    split is on ranks).  The rank sort is stable, so ties on the value
+    keep ascending id order, making the assignment deterministic.
+    """
+
+    name = "range"
+
+    def __init__(self, dimension: int = 0) -> None:
+        if isinstance(dimension, bool) or not isinstance(
+            dimension, (int, np.integer)
+        ):
+            raise ValidationError(
+                f"dimension must be an integer; got {dimension!r}"
+            )
+        self.dimension = int(dimension)
+
+    def assign(self, data: np.ndarray, shards: int) -> np.ndarray:
+        shards = validate_shard_count(shards)
+        c, d = data.shape
+        if not 0 <= self.dimension < d:
+            raise ValidationError(
+                f"range partitioner dimension {self.dimension} out of "
+                f"range [0, {d})"
+            )
+        order = np.argsort(data[:, self.dimension], kind="stable")
+        ranks = np.empty(c, dtype=np.int64)
+        ranks[order] = np.arange(c, dtype=np.int64)
+        return ranks * shards // c
+
+    def describe(self) -> str:
+        return f"{self.name}(dimension={self.dimension})"

@@ -1,0 +1,617 @@
+"""repro.shard: partitioners, exact scatter-gather merge, io, CLI, obs.
+
+The load-bearing suite here is the bit-identity property block: for the
+canonical-tie-break engines (``naive``, ``block-ad``, ``batch-block-ad``)
+a sharded database must return *exactly* the answers of an unsharded
+one — same ids, same differences, same tie order — across partitioners,
+shard counts (including more shards than points) and both the single
+and batch query paths, on deliberately tie-heavy data.  The heap ``ad``
+engine is only compared on tie-free data, matching the repo-wide
+cross-engine convention (its within-tie discovery order is its own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.engine import MatchDatabase, validate_engine_name
+from repro.errors import StorageError, ValidationError
+from repro.io import (
+    load_any_database,
+    load_database,
+    load_sharded_database,
+    save_database,
+    save_sharded_database,
+)
+from repro.shard import (
+    DEFAULT_PARTITIONER,
+    Partitioner,
+    ScatterGatherCoordinator,
+    ShardedMatchDatabase,
+    make_partitioner,
+    partitioner_names,
+    register_partitioner,
+    validate_shard_count,
+)
+from repro.shard.partition import _PARTITIONERS
+
+CANONICAL_ENGINES = ("naive", "block-ad", "batch-block-ad")
+ALL_PARTITIONERS = ("round-robin", "hash", "range")
+
+
+@pytest.fixture
+def tie_data(rng) -> np.ndarray:
+    """60 x 6 points on a coarse integer grid: ties everywhere."""
+    return rng.integers(0, 5, size=(60, 6)).astype(np.float64)
+
+
+@pytest.fixture
+def tie_query() -> np.ndarray:
+    return np.full(6, 2.0)
+
+
+def _flat(data, engine="block-ad"):
+    return MatchDatabase(data, default_engine=engine)
+
+
+def assert_same_match(a, b):
+    assert a.ids == b.ids
+    assert a.differences == b.differences
+
+
+def assert_same_frequent(a, b):
+    assert a.ids == b.ids
+    assert a.frequencies == b.frequencies
+    assert a.answer_sets == b.answer_sets
+
+
+# ----------------------------------------------------------------------
+# partitioners
+# ----------------------------------------------------------------------
+
+
+class TestPartitioners:
+    def test_registry_lists_builtins(self):
+        assert set(ALL_PARTITIONERS) <= set(partitioner_names())
+        assert DEFAULT_PARTITIONER in partitioner_names()
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown partitioner"):
+            make_partitioner("bogus")
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_assignment_is_valid_and_deterministic(self, name, tie_data):
+        partitioner = make_partitioner(name)
+        first = partitioner.assign(tie_data, 7)
+        second = partitioner.assign(tie_data, 7)
+        assert first.shape == (60,)
+        assert first.min() >= 0 and first.max() < 7
+        np.testing.assert_array_equal(first, second)
+
+    @pytest.mark.parametrize("name", ("round-robin", "range"))
+    def test_count_balanced(self, name, tie_data):
+        assignment = make_partitioner(name).assign(tie_data, 7)
+        sizes = np.bincount(assignment, minlength=7)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_hash_differs_from_round_robin(self, tie_data):
+        hashed = make_partitioner("hash").assign(tie_data, 4)
+        rr = make_partitioner("round-robin").assign(tie_data, 4)
+        assert not np.array_equal(hashed, rr)
+
+    def test_range_gives_contiguous_value_ranges(self, tie_data):
+        partitioner = make_partitioner("range", dimension=3)
+        assignment = partitioner.assign(tie_data, 4)
+        values = tie_data[:, 3]
+        for low in range(3):
+            assert values[assignment == low].max() <= (
+                values[assignment == low + 1].min()
+            )
+
+    def test_range_bad_dimension(self, tie_data):
+        with pytest.raises(ValidationError, match="dimension"):
+            make_partitioner("range", dimension=9).assign(tie_data, 2)
+
+    def test_validate_shard_count(self):
+        assert validate_shard_count(3) == 3
+        for bad in (0, -1, 2.5, True, "4"):
+            with pytest.raises(ValidationError):
+                validate_shard_count(bad)
+
+    def test_custom_partitioner_registration(self, tie_data):
+        @register_partitioner
+        class EveryoneToShardZero(Partitioner):
+            name = "all-zero"
+
+            def assign(self, data, shards):
+                return np.zeros(data.shape[0], dtype=np.int64)
+
+        try:
+            db = ShardedMatchDatabase(tie_data, shards=3, partitioner="all-zero")
+            assert db.shard_sizes == (60, 0, 0)
+        finally:
+            del _PARTITIONERS["all-zero"]
+
+    def test_malformed_partitioner_rejected(self, tie_data):
+        class Bad(Partitioner):
+            name = "bad"
+
+            def assign(self, data, shards):
+                return np.full(data.shape[0], shards, dtype=np.int64)
+
+        with pytest.raises(ValidationError, match="outside"):
+            ShardedMatchDatabase(tie_data, shards=2, partitioner=Bad())
+
+    def test_options_need_a_name(self, tie_data):
+        with pytest.raises(ValidationError, match="options"):
+            ShardedMatchDatabase(
+                tie_data, shards=2, partitioner=make_partitioner("hash"),
+                dimension=1,
+            )
+
+
+# ----------------------------------------------------------------------
+# bit-identity: sharded answers == unsharded answers
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", (1, 2, 7, 200))
+@pytest.mark.parametrize("partitioner", ALL_PARTITIONERS)
+class TestExactness:
+    def test_k_n_match(self, tie_data, tie_query, shards, partitioner):
+        flat = _flat(tie_data)
+        db = ShardedMatchDatabase(
+            tie_data, shards=shards, partitioner=partitioner
+        )
+        for engine in CANONICAL_ENGINES:
+            for k, n in ((1, 1), (5, 3), (17, 6), (60, 2)):
+                assert_same_match(
+                    db.k_n_match(tie_query, k, n, engine=engine),
+                    flat.k_n_match(tie_query, k, n, engine=engine),
+                )
+
+    def test_frequent(self, tie_data, tie_query, shards, partitioner):
+        flat = _flat(tie_data)
+        db = ShardedMatchDatabase(
+            tie_data, shards=shards, partitioner=partitioner
+        )
+        for engine in CANONICAL_ENGINES:
+            assert_same_frequent(
+                db.frequent_k_n_match(tie_query, 6, (2, 5), engine=engine),
+                flat.frequent_k_n_match(tie_query, 6, (2, 5), engine=engine),
+            )
+
+    def test_batch_paths(self, tie_data, tie_query, shards, partitioner):
+        flat = _flat(tie_data)
+        db = ShardedMatchDatabase(
+            tie_data, shards=shards, partitioner=partitioner
+        )
+        queries = np.vstack([tie_query, tie_data[11], tie_data[42] + 0.5])
+        for engine in CANONICAL_ENGINES:
+            sharded = db.k_n_match_batch(queries, 8, 4, engine=engine)
+            serial = flat.k_n_match_batch(queries, 8, 4, engine=engine)
+            for a, b in zip(sharded, serial):
+                assert_same_match(a, b)
+            sharded_f = db.frequent_k_n_match_batch(
+                queries, 5, (1, 6), engine=engine, keep_answer_sets=True
+            )
+            serial_f = flat.frequent_k_n_match_batch(
+                queries, 5, (1, 6), engine=engine, keep_answer_sets=True
+            )
+            for a, b in zip(sharded_f, serial_f):
+                assert_same_frequent(a, b)
+
+
+class TestExactnessTieFree:
+    """The heap ``ad`` engine agrees on tie-free data (repo convention)."""
+
+    @pytest.mark.parametrize("shards", (1, 3, 7))
+    def test_ad_engine(self, small_data, small_query, shards):
+        flat = _flat(small_data, engine="ad")
+        db = ShardedMatchDatabase(
+            small_data, shards=shards, default_engine="ad"
+        )
+        for k, n in ((1, 1), (10, 4), (25, 8)):
+            assert_same_match(
+                db.k_n_match(small_query, k, n),
+                flat.k_n_match(small_query, k, n),
+            )
+        assert_same_frequent(
+            db.frequent_k_n_match(small_query, 7, (3, 6)),
+            flat.frequent_k_n_match(small_query, 7, (3, 6)),
+        )
+
+
+class TestDegenerateShards:
+    def test_more_shards_than_points(self, tie_query):
+        data = np.arange(30.0).reshape(5, 6)
+        db = ShardedMatchDatabase(data, shards=9, partitioner="round-robin")
+        assert db.shard_sizes.count(0) == 4
+        flat = _flat(data)
+        assert_same_match(
+            db.k_n_match(tie_query, 5, 3, engine="block-ad"),
+            flat.k_n_match(tie_query, 5, 3, engine="block-ad"),
+        )
+
+    def test_shards_smaller_than_k(self, tie_data, tie_query):
+        db = ShardedMatchDatabase(tie_data, shards=25)
+        assert max(db.shard_sizes) < 50
+        flat = _flat(tie_data)
+        assert_same_match(
+            db.k_n_match(tie_query, 50, 4, engine="block-ad"),
+            flat.k_n_match(tie_query, 50, 4, engine="block-ad"),
+        )
+
+    def test_single_point(self):
+        db = ShardedMatchDatabase(np.ones((1, 3)), shards=4)
+        result = db.k_n_match(np.zeros(3), 1, 2)
+        assert result.ids == [0]
+
+    def test_empty_batch(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=3)
+        assert db.k_n_match_batch(np.empty((0, 6)), 3, 2) == []
+        stats = db.last_batch_stats
+        assert stats.queries == 0
+        with pytest.raises(ValidationError):
+            db.k_n_match_batch(np.empty((0, 6)), 0, 2)
+
+    def test_k_capped_per_shard_not_globally(self, tie_data, tie_query):
+        # global k close to the cardinality forces every shard to return
+        # its entire point set; merge must still be exact.
+        db = ShardedMatchDatabase(tie_data, shards=7, partitioner="hash")
+        flat = _flat(tie_data)
+        assert_same_match(
+            db.k_n_match(tie_query, 59, 6, engine="naive"),
+            flat.k_n_match(tie_query, 59, 6, engine="naive"),
+        )
+
+
+# ----------------------------------------------------------------------
+# shared engine registry
+# ----------------------------------------------------------------------
+
+
+class TestEngineRegistry:
+    def test_identical_unknown_engine_errors(self, tie_data):
+        messages = []
+        for build in (
+            lambda: MatchDatabase(tie_data, default_engine="bogus"),
+            lambda: ShardedMatchDatabase(tie_data, default_engine="bogus"),
+            lambda: validate_engine_name("bogus"),
+        ):
+            with pytest.raises(ValidationError) as excinfo:
+                build()
+            messages.append(str(excinfo.value))
+        assert len(set(messages)) == 1
+
+    def test_query_time_unknown_engine(self, tie_data, tie_query):
+        flat = MatchDatabase(tie_data)
+        db = ShardedMatchDatabase(tie_data, shards=2)
+        with pytest.raises(ValidationError) as flat_error:
+            flat.k_n_match(tie_query, 2, 2, engine="bogus")
+        with pytest.raises(ValidationError) as shard_error:
+            db.k_n_match(tie_query, 2, 2, engine="bogus")
+        assert str(flat_error.value) == str(shard_error.value)
+
+
+# ----------------------------------------------------------------------
+# facade surface: stats, traces, metrics, accessors
+# ----------------------------------------------------------------------
+
+
+class TestFacade:
+    def test_merged_stats_use_global_denominator(self, tie_data, tie_query):
+        db = ShardedMatchDatabase(tie_data, shards=4)
+        result = db.k_n_match(tie_query, 5, 3, engine="block-ad")
+        assert result.stats.total_attributes == 60 * 6
+        assert result.stats.attributes_retrieved > 0
+        # window re-scans can push the fraction past 1 on tiny shards;
+        # the point is the denominator is global, not per-shard
+        assert result.stats.fraction_retrieved > 0
+
+    def test_trace(self, tie_data, tie_query):
+        db = ShardedMatchDatabase(tie_data, shards=4, default_engine="ad")
+        result = db.k_n_match(tie_query, 5, 3, trace=True)
+        assert result.trace is not None
+        assert "sharded[4xad]" in result.trace.summary()
+        frequent = db.frequent_k_n_match(tie_query, 4, (2, 4), trace=True)
+        assert "sharded[4xad]" in frequent.trace.summary()
+
+    def test_last_batch_stats(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=4, workers=2)
+        assert db.last_batch_stats is None
+        db.k_n_match_batch(tie_data[:5], 3, 2, engine="block-ad")
+        stats = db.last_batch_stats
+        assert stats.queries == 5
+        assert stats.shards == 4
+        assert stats.workers == 2
+        assert stats.total.attributes_retrieved > 0
+
+    def test_accessors(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=7, partitioner="hash")
+        assert len(db) == 60
+        assert db.shard_count == 7
+        assert sum(db.shard_sizes) == 60
+        assert db.partitioner.name == "hash"
+        reunion = np.concatenate(
+            [db.global_ids(s) for s in range(7)]
+        )
+        assert sorted(reunion.tolist()) == list(range(60))
+        for pid in (0, 13, 59):
+            assert pid in db.global_ids(db.shard_of(pid)).tolist()
+        with pytest.raises(ValidationError):
+            db.shard(7)
+        with pytest.raises(ValidationError):
+            db.shard_of(60)
+
+    def test_shard_metrics_labels(self, tie_data, tie_query):
+        from repro.obs import MetricsRegistry, registry_to_dict
+
+        registry = MetricsRegistry()
+        db = ShardedMatchDatabase(tie_data, shards=3, metrics=registry)
+        db.k_n_match(tie_query, 4, 2, engine="block-ad")
+        db.k_n_match_batch(tie_data[:4], 3, 2, engine="block-ad")
+        families = registry_to_dict(registry)
+        calls = families["repro_shard_calls_total"]["series"]
+        shards_seen = {series["labels"]["shard"] for series in calls}
+        assert shards_seen == {"0", "1", "2"}
+        kinds = {series["labels"]["kind"] for series in calls}
+        assert kinds == {"k_n_match", "k_n_match_batch"}
+        # 1 (single) + 4 (batch) logical queries scattered to each shard
+        per_shard = {}
+        for series in families["repro_shard_queries_total"]["series"]:
+            shard = series["labels"]["shard"]
+            per_shard[shard] = per_shard.get(shard, 0.0) + series["value"]
+        assert per_shard == {"0": 5.0, "1": 5.0, "2": 5.0}
+        # scatter-level executor metrics ride along under their own label
+        engines = {
+            series["labels"]["engine"]
+            for series in families["repro_batches_total"]["series"]
+        }
+        assert engines == {"shard-scatter"}
+
+    def test_metrics_do_not_change_answers(self, tie_data, tie_query):
+        from repro.obs import MetricsRegistry
+
+        bare = ShardedMatchDatabase(tie_data, shards=3)
+        metered = ShardedMatchDatabase(
+            tie_data, shards=3, metrics=MetricsRegistry()
+        )
+        assert_same_match(
+            bare.k_n_match(tie_query, 6, 3, engine="block-ad"),
+            metered.k_n_match(tie_query, 6, 3, engine="block-ad"),
+        )
+
+    def test_set_metrics_round_trip(self, tie_data, tie_query):
+        from repro.obs import MetricsRegistry, registry_to_dict
+
+        db = ShardedMatchDatabase(tie_data, shards=2)
+        registry = MetricsRegistry()
+        db.set_metrics(registry)
+        db.k_n_match(tie_query, 2, 2, engine="naive")
+        assert "repro_shard_calls_total" in registry_to_dict(registry)
+        db.set_metrics(None)
+        assert db.metrics is None
+        db.k_n_match(tie_query, 2, 2, engine="naive")  # still answers
+
+    def test_coordinator_validation(self):
+        with pytest.raises(ValidationError, match="at least one shard"):
+            ScatterGatherCoordinator([], total_attributes=0)
+        data = np.ones((4, 2))
+        with pytest.raises(ValidationError, match="workers"):
+            ShardedMatchDatabase(data, shards=2, workers=0)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+
+class TestShardIO:
+    def test_round_trip(self, tmp_path, tie_data, tie_query):
+        db = ShardedMatchDatabase(
+            tie_data, shards=5, partitioner="hash", default_engine="block-ad"
+        )
+        path = tmp_path / "sharded.npz"
+        save_sharded_database(db, path)
+        loaded = load_sharded_database(path)
+        assert loaded.shard_sizes == db.shard_sizes
+        assert loaded.default_engine == "block-ad"
+        assert loaded.partitioner.describe() == "hash"
+        np.testing.assert_array_equal(loaded.assignment, db.assignment)
+        assert_same_match(
+            loaded.k_n_match(tie_query, 7, 3),
+            db.k_n_match(tie_query, 7, 3),
+        )
+        assert_same_frequent(
+            loaded.frequent_k_n_match(tie_query, 4, (2, 5)),
+            db.frequent_k_n_match(tie_query, 4, (2, 5)),
+        )
+
+    def test_round_trip_with_empty_shards(self, tmp_path):
+        data = np.arange(12.0).reshape(4, 3)
+        db = ShardedMatchDatabase(data, shards=7)
+        path = tmp_path / "sparse.npz"
+        save_sharded_database(db, path)
+        loaded = load_sharded_database(path)
+        assert loaded.shard_sizes == db.shard_sizes
+        assert_same_match(
+            loaded.k_n_match(np.zeros(3), 4, 2),
+            db.k_n_match(np.zeros(3), 4, 2),
+        )
+
+    def test_load_any_dispatch(self, tmp_path, tie_data):
+        flat_path = tmp_path / "flat.npz"
+        sharded_path = tmp_path / "sharded.npz"
+        save_database(MatchDatabase(tie_data), flat_path)
+        save_sharded_database(
+            ShardedMatchDatabase(tie_data, shards=3), sharded_path
+        )
+        assert isinstance(load_any_database(flat_path), MatchDatabase)
+        assert isinstance(
+            load_any_database(sharded_path), ShardedMatchDatabase
+        )
+
+    def test_wrong_loader_fails_loudly(self, tmp_path, tie_data):
+        flat_path = tmp_path / "flat.npz"
+        sharded_path = tmp_path / "sharded.npz"
+        save_database(MatchDatabase(tie_data), flat_path)
+        save_sharded_database(
+            ShardedMatchDatabase(tie_data, shards=3), sharded_path
+        )
+        with pytest.raises(StorageError):
+            load_database(sharded_path)
+        with pytest.raises(StorageError):
+            load_sharded_database(flat_path)
+
+    def test_save_type_checks(self, tmp_path, tie_data):
+        with pytest.raises(StorageError):
+            save_sharded_database(MatchDatabase(tie_data), tmp_path / "x.npz")
+
+    def test_load_any_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, junk=np.ones(3))
+        with pytest.raises(StorageError):
+            load_any_database(path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestShardCLI:
+    @pytest.fixture
+    def data_file(self, tmp_path, rng):
+        path = tmp_path / "data.npy"
+        np.save(path, rng.integers(0, 4, size=(80, 5)).astype(np.float64))
+        return path
+
+    @pytest.fixture
+    def flat_file(self, tmp_path, data_file):
+        path = tmp_path / "flat.npz"
+        assert main(["build", str(data_file), str(path)]) == 0
+        return path
+
+    @pytest.fixture
+    def sharded_file(self, tmp_path, data_file):
+        path = tmp_path / "sharded.npz"
+        status = main(
+            [
+                "build", str(data_file), str(path),
+                "--shards", "4", "--partitioner", "hash",
+            ]
+        )
+        assert status == 0
+        return path
+
+    def test_shard_info(self, sharded_file, capsys):
+        assert main(["shard-info", str(sharded_file)]) == 0
+        out = capsys.readouterr().out
+        assert "shards:          4" in out
+        assert "partitioner:     hash" in out
+        assert "balance" in out
+
+    def test_shard_info_rejects_flat(self, flat_file, capsys):
+        assert main(["shard-info", str(flat_file)]) == 2
+        assert "flat database" in capsys.readouterr().err
+
+    def test_info_reads_sharded(self, sharded_file, capsys):
+        assert main(["info", str(sharded_file)]) == 0
+        assert "shards:          4" in capsys.readouterr().out
+
+    def _query_output(self, capsys, *argv):
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_query_identical_across_layouts(
+        self, flat_file, sharded_file, capsys
+    ):
+        # tie-heavy data: pin a canonical-tie-break engine, since the
+        # default heap `ad` engine's within-tie order is its own
+        base = [
+            "--k", "4", "--n", "3", "--query-row", "9",
+            "--engine", "block-ad",
+        ]
+        flat_out = self._query_output(
+            capsys, "query", str(flat_file), *base
+        )
+        stored = self._query_output(
+            capsys, "query", str(sharded_file), *base
+        )
+        resharded = self._query_output(
+            capsys, "query", str(flat_file), *base,
+            "--shards", "7", "--partitioner", "range",
+        )
+        assert flat_out == stored == resharded
+
+    def test_batch_identical_across_layouts(
+        self, flat_file, sharded_file, capsys
+    ):
+        base = ["--k", "3", "--n", "2", "--query-rows", "0:12"]
+        flat_out = self._query_output(capsys, "batch", str(flat_file), *base)
+        stored = self._query_output(capsys, "batch", str(sharded_file), *base)
+        resharded = self._query_output(
+            capsys, "batch", str(flat_file), *base, "--shards", "3"
+        )
+        assert flat_out == stored == resharded
+
+    def test_partitioner_requires_shards(self, flat_file, capsys):
+        status = main(
+            [
+                "query", str(flat_file), "--k", "2", "--n", "2",
+                "--query-row", "0", "--partitioner", "hash",
+            ]
+        )
+        assert status == 2
+        assert "--partitioner requires --shards" in capsys.readouterr().err
+
+    def test_query_metrics_out(self, flat_file, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        status = main(
+            [
+                "query", str(flat_file), "--k", "3", "--n", "2",
+                "--query-row", "1", "--shards", "2",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert status == 0
+        import json
+
+        families = json.loads(metrics_path.read_text())
+        assert "repro_shard_calls_total" in families
+
+
+# ----------------------------------------------------------------------
+# tier-2: multi-worker x multi-shard exactness sweep
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("workers", (1, 2, 4))
+@pytest.mark.parametrize("shards", (2, 5, 16))
+def test_sweep_workers_shards_exact(rng, workers, shards):
+    data = rng.integers(0, 6, size=(400, 10)).astype(np.float64)
+    queries = np.vstack(
+        [data[3] + 0.25, rng.integers(0, 6, size=(6, 10)).astype(np.float64)]
+    )
+    flat = MatchDatabase(data)
+    for partitioner in ALL_PARTITIONERS:
+        db = ShardedMatchDatabase(
+            data, shards=shards, partitioner=partitioner, workers=workers
+        )
+        for engine in CANONICAL_ENGINES:
+            sharded = db.k_n_match_batch(queries, 20, 5, engine=engine)
+            serial = flat.k_n_match_batch(queries, 20, 5, engine=engine)
+            for a, b in zip(sharded, serial):
+                assert_same_match(a, b)
+        sharded_f = db.frequent_k_n_match_batch(
+            queries, 10, (2, 9), engine="block-ad", keep_answer_sets=True
+        )
+        serial_f = flat.frequent_k_n_match_batch(
+            queries, 10, (2, 9), engine="block-ad", keep_answer_sets=True
+        )
+        for a, b in zip(sharded_f, serial_f):
+            assert_same_frequent(a, b)
