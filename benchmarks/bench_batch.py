@@ -37,7 +37,7 @@ sys.path.insert(
 import numpy as np
 
 from repro.core.ad_block import BlockADEngine
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, SpanCollector
 from repro.parallel import BatchBlockADEngine, ParallelBatchExecutor
 
 #: (cardinality, dimensionality, k, n, batch size) per configuration.
@@ -129,17 +129,19 @@ def bench_config(
 
 
 def check_instrumentation(repeats: int, seed: int = 7) -> Dict:
-    """Assert the observability layer is inert when no registry is set.
+    """Assert the observability layer is inert when not installed.
 
-    Three guarantees, all asserted (the benchmark fails loudly if the
+    Guarantees, all asserted (the benchmark fails loudly if the
     instrumentation ever stops being opt-in):
 
     1. answers are bit-identical with and without a registry installed,
+       and with and without a span collector installed,
     2. an engine without a registry records nothing (a probe registry
        created alongside it stays empty),
-    3. the no-registry path pays no material overhead versus the metered
-       path being disabled — the unmetered run must not be slower than
-       the metered one beyond timing noise.
+    3. the uninstrumented path pays no material overhead versus either
+       instrumented path being disabled — the plain run must not be
+       slower than the metered or span-traced one beyond timing noise
+       (the ``None``-check guard discipline in the hot paths).
     """
     rng = np.random.default_rng(seed)
     data = rng.uniform(0.0, 1.0, size=(5_000, 8))
@@ -150,16 +152,23 @@ def check_instrumentation(repeats: int, seed: int = 7) -> Dict:
     probe = MetricsRegistry()  # never installed: must stay empty
     registry = MetricsRegistry()
     metered = BatchBlockADEngine(plain.columns, metrics=registry)
+    collector = SpanCollector()
+    spanned = BatchBlockADEngine(plain.columns, spans=collector)
 
     expected = plain.k_n_match_batch(queries, k, n)
     observed = metered.k_n_match_batch(queries, k, n)
+    traced = spanned.k_n_match_batch(queries, k, n)
     for result, reference in zip(observed, expected):
+        assert result.ids == reference.ids
+        assert result.differences == reference.differences
+    for result, reference in zip(traced, expected):
         assert result.ids == reference.ids
         assert result.differences == reference.differences
     assert probe.collect() == [], "uninstalled registry must record nothing"
     assert any(
         family.name == "repro_queries_total" for family in registry.collect()
     ), "installed registry must record query events"
+    assert collector.traces(), "installed collector must record spans"
 
     unmetered_seconds = _best_of(
         repeats, lambda: plain.k_n_match_batch(queries, k, n)
@@ -167,16 +176,25 @@ def check_instrumentation(repeats: int, seed: int = 7) -> Dict:
     metered_seconds = _best_of(
         repeats, lambda: metered.k_n_match_batch(queries, k, n)
     )
-    # The unmetered path must not be paying for the instrumentation: it
-    # may not be slower than the metered path by more than timing noise.
+    spanned_seconds = _best_of(
+        repeats, lambda: spanned.k_n_match_batch(queries, k, n)
+    )
+    # The uninstrumented path must not be paying for the instrumentation:
+    # it may not be slower than an instrumented path beyond timing noise.
     assert unmetered_seconds <= metered_seconds * 1.25, (
         f"no-registry path slower than metered path: "
         f"{unmetered_seconds:.6f}s vs {metered_seconds:.6f}s"
+    )
+    assert unmetered_seconds <= spanned_seconds * 1.25, (
+        f"no-collector path slower than span-traced path: "
+        f"{unmetered_seconds:.6f}s vs {spanned_seconds:.6f}s"
     )
     return {
         "unmetered_seconds": unmetered_seconds,
         "metered_seconds": metered_seconds,
         "metered_overhead": metered_seconds / unmetered_seconds - 1.0,
+        "spanned_seconds": spanned_seconds,
+        "span_overhead": spanned_seconds / unmetered_seconds - 1.0,
         "answers_identical": True,
     }
 
@@ -217,8 +235,10 @@ def main(argv=None) -> int:
     report["instrumentation"] = check_instrumentation(max(repeats, 3))
     print(
         f"  metered overhead "
-        f"{report['instrumentation']['metered_overhead']:+.1%} "
-        f"(answers identical, no-registry path records nothing)",
+        f"{report['instrumentation']['metered_overhead']:+.1%}, "
+        f"span overhead "
+        f"{report['instrumentation']['span_overhead']:+.1%} "
+        f"(answers identical, uninstrumented path records nothing)",
         flush=True,
     )
     for cardinality, dimensionality, k, n, batch in configs:

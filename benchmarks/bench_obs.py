@@ -1,0 +1,212 @@
+"""Observability-overhead benchmark: plain vs metered vs span-traced.
+
+Times the same k-n-match workload through identical engines in three
+modes — no instrumentation, a :class:`~repro.obs.MetricsRegistry`
+installed, and a :class:`~repro.obs.SpanCollector` installed — for both
+the heap ``ad`` engine and the vectorised ``block-ad`` engine (the two
+span-densest hot paths: per-query cursor/heap phases and per-round
+window phases respectively).
+
+Two invariants are asserted before anything is reported:
+
+* answers are bit-identical across all three modes, and
+* the uninstrumented run is not slower than an instrumented one beyond
+  timing noise (the ``None``-check guard discipline: disabled
+  observability must cost nothing).
+
+Results are written under the shared bench JSON schema (every leaf is a
+``queries_per_second`` dict), so ``benchmarks/regress.py`` can gate
+them; see ``BENCH_obs.json`` at the repository root for a recorded
+run::
+
+    python benchmarks/bench_obs.py --smoke          # < 10 s sanity run
+    python benchmarks/bench_obs.py -o BENCH_obs.json
+
+The smoke configuration is the first full configuration (fewer
+repeats), so a smoke run produces a key subset of the committed full
+report and regress.py finds genuine matches in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.core.ad import ADEngine
+from repro.core.ad_block import BlockADEngine
+from repro.obs import MetricsRegistry, SpanCollector
+
+#: (cardinality, dimensionality, k, n, batch size) per configuration.
+FULL_CONFIGS = [
+    (10_000, 16, 10, 8, 32),
+    (20_000, 16, 10, 8, 32),
+]
+SMOKE_CONFIGS = FULL_CONFIGS[:1]
+
+#: The allowed slowdown of the *uninstrumented* path relative to an
+#: instrumented one — pure timing noise headroom, same tolerance as
+#: bench_batch's instrumentation check.
+NOISE_TOLERANCE = 1.25
+
+_ENGINES = {
+    "ad": lambda columns, metrics, spans: ADEngine(
+        columns, metrics=metrics, spans=spans
+    ),
+    "block-ad": lambda columns, metrics, spans: BlockADEngine(
+        columns, metrics=metrics, spans=spans
+    ),
+}
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_config(
+    cardinality: int,
+    dimensionality: int,
+    k: int,
+    n: int,
+    batch: int,
+    repeats: int,
+    seed: int = 42,
+) -> Dict:
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(cardinality, dimensionality))
+    queries = rng.uniform(0.0, 1.0, size=(batch, dimensionality))
+
+    engines: Dict[str, Dict] = {}
+    shared_columns = None
+    for engine_name, factory in _ENGINES.items():
+        plain = factory(
+            shared_columns if shared_columns is not None else data, None, None
+        )
+        shared_columns = plain.columns  # one sorted-column build for all
+        metered = factory(shared_columns, MetricsRegistry(), None)
+        spanned = factory(shared_columns, None, SpanCollector())
+
+        modes = {"off": plain, "metrics": metered, "spans": spanned}
+        expected = [plain.k_n_match(query, k, n) for query in queries]
+        for mode_name, engine in modes.items():
+            if engine is plain:
+                continue
+            for result, reference in zip(
+                [engine.k_n_match(query, k, n) for query in queries], expected
+            ):
+                assert result.ids == reference.ids, (
+                    f"{engine_name}/{mode_name}: ids diverged"
+                )
+                assert result.differences == reference.differences, (
+                    f"{engine_name}/{mode_name}: differences diverged"
+                )
+
+        timings: Dict[str, Dict] = {}
+        for mode_name, engine in modes.items():
+            seconds = _best_of(
+                repeats,
+                lambda engine=engine: [
+                    engine.k_n_match(query, k, n) for query in queries
+                ],
+            )
+            timings[mode_name] = {
+                "seconds": seconds,
+                "queries_per_second": batch / seconds,
+            }
+        off = timings["off"]["seconds"]
+        for mode_name in ("metrics", "spans"):
+            seconds = timings[mode_name]["seconds"]
+            timings[mode_name]["overhead_vs_off"] = seconds / off - 1.0
+            # Disabled instrumentation must be free: the plain engine may
+            # not be slower than the instrumented one beyond noise.
+            assert off <= seconds * NOISE_TOLERANCE, (
+                f"{engine_name}: uninstrumented path slower than "
+                f"{mode_name} path: {off:.6f}s vs {seconds:.6f}s"
+            )
+        engines[engine_name] = timings
+
+    return {
+        "cardinality": cardinality,
+        "dimensionality": dimensionality,
+        "k": k,
+        "n": n,
+        "batch_size": batch,
+        "engines": engines,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="first configuration only, fewer repeats, < 10 s end to end",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per mode (best kept)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default=None,
+        help="also write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    configs: List = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    repeats = 2 if args.smoke else args.repeats
+
+    report = {
+        "benchmark": "bench_obs",
+        "mode": "smoke" if args.smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "repeats": repeats,
+        "results": [],
+    }
+    for cardinality, dimensionality, k, n, batch in configs:
+        print(
+            f"config c={cardinality} d={dimensionality} k={k} n={n} "
+            f"batch={batch} ...",
+            flush=True,
+        )
+        entry = bench_config(
+            cardinality, dimensionality, k, n, batch, repeats
+        )
+        report["results"].append(entry)
+        for engine_name, timings in entry["engines"].items():
+            print(
+                f"  {engine_name:9s} off {timings['off']['queries_per_second']:8.1f} q/s"
+                f"  metrics {timings['metrics']['overhead_vs_off']:+6.1%}"
+                f"  spans {timings['spans']['overhead_vs_off']:+6.1%}",
+                flush=True,
+            )
+
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

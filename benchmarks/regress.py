@@ -1,0 +1,229 @@
+"""Perf-regression gate over the ``BENCH_*.json`` reports.
+
+Every benchmark in this directory writes its results under one shared
+schema: a top-level ``benchmark`` name plus nested dicts/lists whose
+leaves carry a ``"queries_per_second"`` number.  This script flattens
+two such report sets — a *baseline* (e.g. the committed ``BENCH_*.json``
+files at the repository root) and a *current* run — into
+``benchmark:path`` keyed throughput maps, matches the keys, and fails
+when any matched throughput dropped by more than ``--threshold``.
+
+List entries (the ``results`` arrays) are keyed by their scalar
+configuration fields (``cardinality=...,k=...``), not by position, so
+adding or reordering configurations never mis-pairs measurements —
+unmatched keys are reported but do not fail the gate (smoke runs are a
+subset of full runs by design).
+
+Usage::
+
+    python benchmarks/regress.py --baseline . --current bench_out
+    python benchmarks/regress.py --baseline . --current bench_out \
+        --threshold 0.5 --require-match 1
+    python benchmarks/regress.py --list .          # show extracted keys
+
+Exit status: 0 when every matched key is within tolerance, 1 when any
+key regressed (or ``--require-match`` was not met), 2 on usage errors
+(no report files found, unreadable JSON).
+
+The default threshold is deliberately generous: CI runners are shared
+and noisy, and this gate exists to catch *collapses* (an accidentally
+quadratic merge, instrumentation left always-on), not single-digit
+jitter.  Tighten it locally when comparing runs on one quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+#: Fail when current throughput < baseline * (1 - threshold).
+DEFAULT_THRESHOLD = 0.5
+
+#: Scalar fields that are measurements or run metadata, never part of a
+#: configuration's identity.
+_NON_CONFIG_KEYS = {
+    "seconds",
+    "queries_per_second",
+    "speedup_vs_serial",
+    "timestamp",
+    "cpu_count",
+    "numpy",
+    "repeats",
+    "mode",
+}
+
+
+def _signature(entry: Dict) -> str:
+    """Stable identity of a list entry: its scalar config fields."""
+    parts = []
+    for key in sorted(entry):
+        value = entry[key]
+        if key in _NON_CONFIG_KEYS or isinstance(value, (bool, dict, list)):
+            continue
+        if isinstance(value, (int, str)):
+            parts.append(f"{key}={value}")
+    return ",".join(parts)
+
+
+def extract_rates(report: Dict) -> Dict[str, float]:
+    """Flatten one report into ``benchmark:path -> queries_per_second``."""
+    benchmark = report.get("benchmark", "unknown")
+    rates: Dict[str, float] = {}
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, dict):
+            rate = node.get("queries_per_second")
+            if isinstance(rate, (int, float)) and not isinstance(rate, bool):
+                rates[f"{benchmark}:{path}"] = float(rate)
+            for key in sorted(node):
+                value = node[key]
+                if isinstance(value, (dict, list)):
+                    walk(value, f"{path}.{key}" if path else key)
+        elif isinstance(node, list):
+            for position, item in enumerate(node):
+                if isinstance(item, dict):
+                    label = _signature(item) or str(position)
+                    walk(item, f"{path}[{label}]")
+
+    walk(report, "")
+    return rates
+
+
+def collect_reports(path: str) -> Dict[str, float]:
+    """Load every ``BENCH_*.json`` under ``path`` (or the file itself).
+
+    Raises ``ValueError`` when nothing is found or a file is not valid
+    JSON — a silent empty baseline would make the gate vacuous.
+    """
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    else:
+        files = [path]
+    if not files:
+        raise ValueError(f"no BENCH_*.json files under {path!r}")
+    rates: Dict[str, float] = {}
+    for name in files:
+        try:
+            with open(name) as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"cannot read report {name!r}: {error}") from error
+        if not isinstance(report, dict):
+            raise ValueError(f"report {name!r} is not a JSON object")
+        rates.update(extract_rates(report))
+    return rates
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+) -> Tuple[List[Tuple[str, float, float, float]], List[str], List[str]]:
+    """Match keys and classify: (regressions, matched keys, unmatched)."""
+    regressions = []
+    matched = []
+    for key in sorted(baseline):
+        if key not in current:
+            continue
+        matched.append(key)
+        base, cur = baseline[key], current[key]
+        change = (cur / base - 1.0) if base > 0 else 0.0
+        if change < -threshold:
+            regressions.append((key, base, cur, change))
+    unmatched = sorted(set(baseline) ^ set(current))
+    return regressions, matched, unmatched
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        help="directory of BENCH_*.json files (or one file) to compare against",
+    )
+    parser.add_argument(
+        "--current",
+        help="directory of BENCH_*.json files (or one file) from the new run",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated q/s drop as a fraction "
+        f"(default {DEFAULT_THRESHOLD}: fail below "
+        f"{1 - DEFAULT_THRESHOLD:.0%} of baseline)",
+    )
+    parser.add_argument(
+        "--require-match",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail unless at least N keys matched between the two sets "
+        "(guards against a vacuously green comparison)",
+    )
+    parser.add_argument(
+        "--list",
+        metavar="PATH",
+        help="print the extracted throughput keys for PATH and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        try:
+            rates = collect_reports(args.list)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for key in sorted(rates):
+            print(f"{rates[key]:12.1f} q/s  {key}")
+        print(f"{len(rates)} throughput keys")
+        return 0
+
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or use --list)")
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be a fraction in (0, 1)")
+
+    try:
+        baseline = collect_reports(args.baseline)
+        current = collect_reports(args.current)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    regressions, matched, unmatched = compare(
+        baseline, current, args.threshold
+    )
+
+    for key in matched:
+        base, cur = baseline[key], current[key]
+        change = (cur / base - 1.0) if base > 0 else 0.0
+        flag = "REGRESSED" if change < -args.threshold else "ok"
+        print(
+            f"{flag:9s} {key}\n"
+            f"          baseline {base:10.1f} q/s   "
+            f"current {cur:10.1f} q/s   ({change:+.1%})"
+        )
+    for key in unmatched:
+        side = "baseline" if key in baseline else "current"
+        print(f"unmatched ({side} only) {key}")
+    print(
+        f"{len(matched)} matched, {len(unmatched)} unmatched, "
+        f"{len(regressions)} regressed (threshold {args.threshold:.0%})"
+    )
+
+    if len(matched) < args.require_match:
+        print(
+            f"error: only {len(matched)} matched keys; "
+            f"--require-match {args.require_match} not met",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

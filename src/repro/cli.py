@@ -9,7 +9,8 @@ Subcommands::
     repro query     db.npz --k 5 --n 8 --query 0.1,0.2,...     (k-n-match)
     repro query     db.npz --k 5 --n-range 4:12 --query-row 42 (frequent)
     repro batch     db.npz --k 5 --n 8 --queries batch.npy --workers 4
-    repro stats     db.npz --k 5 --n 8 --format prom
+    repro stats     db.npz --k 5 --n 8 --format prom [--engine block-ad]
+    repro trace     db.npz --k 5 --n 8 --query-row 0 [--chrome-out t.json]
     repro advise    db.npz --k 20 --n-range 4:8
     repro experiments --scale 0.1 --only table4,fig12
 
@@ -233,12 +234,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-row", type=int, default=0, help="database row used as probe"
     )
     stats.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="ad",
+        help="engine for the in-memory probe query",
+    )
+    stats.add_argument(
         "--format", choices=("prom", "json"), default="prom"
     )
     stats.add_argument(
         "--no-disk",
         action="store_true",
         help="skip the disk-backed probe (page-read counters stay zero)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a query under a span collector and print phase spans",
+        description=(
+            "Run one (frequent) k-n-match query with a SpanCollector "
+            "installed and print the phase-span tree (where the time "
+            "went inside the query).  --chrome-out writes the spans as "
+            "Chrome trace_event JSON loadable in chrome://tracing or "
+            "Perfetto; --audit additionally checks the engine's "
+            "attribute cost against the Fagin-model lower bound of "
+            "Thm 3.2/3.3."
+        ),
+    )
+    trace.add_argument("database", help="database .npz path")
+    trace.add_argument("--k", type=int, required=True)
+    trace_mode = trace.add_mutually_exclusive_group(required=True)
+    trace_mode.add_argument("--n", type=int, help="single n: plain k-n-match")
+    trace_mode.add_argument(
+        "--n-range", type=str, help="n0:n1 -> frequent k-n-match"
+    )
+    trace_source = trace.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument(
+        "--query", type=str, help="comma-separated query vector"
+    )
+    trace_source.add_argument(
+        "--query-row", type=int, help="use this database row as the query"
+    )
+    trace.add_argument("--engine", choices=ENGINE_NAMES, default=None)
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the data and trace the scatter-gather fan-out",
+    )
+    trace.add_argument(
+        "--partitioner",
+        choices=partitioner_names(),
+        default=None,
+        help="shard assignment strategy (requires --shards)",
+    )
+    trace.add_argument(
+        "--chrome-out",
+        type=str,
+        default=None,
+        help="write the spans as Chrome trace_event JSON to this path",
+    )
+    trace.add_argument(
+        "--audit",
+        action="store_true",
+        help="audit the engine cost against the Fagin lower bound",
+    )
+    trace.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-query-log threshold in milliseconds",
     )
 
     advise = commands.add_parser(
@@ -424,6 +489,10 @@ def _run_shard_info(args) -> int:
     print(f"default engine:  {db.default_engine}")
     print(f"partitioner:     {db.partitioner.describe()}")
     print(f"shards:          {db.shard_count} ({len(occupied)} non-empty)")
+    print(
+        f"trace label:     sharded[{db.shard_count}x{db.default_engine}"
+        f"/{db.partitioner.name}]"
+    )
     if occupied:
         mean = db.cardinality / len(occupied)
         balance = max(occupied) / mean if mean else 1.0
@@ -556,7 +625,7 @@ def _run_stats(args) -> int:
     db.set_metrics(registry)
     query = db.data[args.query_row]
     n = args.n if args.n is not None else max(1, db.dimensionality // 2)
-    db.k_n_match(query, args.k, n, engine="ad")
+    db.k_n_match(query, args.k, n, engine=args.engine)
     if not args.no_disk:
         from .disk import DiskADEngine
 
@@ -566,6 +635,57 @@ def _run_stats(args) -> int:
         print(render_json(registry))
     else:
         print(render_prometheus(registry), end="")
+    return 0
+
+
+def _run_trace(args) -> int:
+    from .obs import SpanCollector, render_chrome_json, render_span_text
+
+    db = _load_db(args)
+    query = _resolve_query(args, db)
+    threshold = (
+        args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    )
+    collector = SpanCollector(slow_threshold_seconds=threshold)
+    db.set_spans(collector)
+    if args.n is not None:
+        result = db.k_n_match(query, args.k, args.n, engine=args.engine)
+        print(f"{args.k}-{args.n}-match answers (id, difference):")
+        for pid, diff in result:
+            print(f"  {pid:8d}  {diff:.6f}")
+    else:
+        n_range = _parse_range(args.n_range)
+        result = db.frequent_k_n_match(
+            query, args.k, n_range, engine=args.engine, keep_answer_sets=False
+        )
+        print(
+            f"frequent {args.k}-n-match over n in "
+            f"[{n_range[0]}, {n_range[1]}] (id, appearances):"
+        )
+        for pid, count in result:
+            print(f"  {pid:8d}  {count}")
+    traces = collector.traces()
+    print(f"spans ({len(traces)} trace{'s' if len(traces) != 1 else ''}):")
+    for root in traces:
+        print(render_span_text(root))
+    if threshold is not None:
+        slow = collector.slow_traces()
+        print(
+            f"slow-query log (>= {args.slow_ms:g}ms): "
+            f"{len(slow)} trace{'s' if len(slow) != 1 else ''}"
+        )
+    if args.chrome_out is not None:
+        with open(args.chrome_out, "w") as handle:
+            handle.write(
+                render_chrome_json(traces, epoch=collector.epoch) + "\n"
+            )
+        print(f"wrote Chrome trace to {args.chrome_out}")
+    if args.audit:
+        from .obs import audit_result
+
+        engine_label = args.engine or db.default_engine
+        report = audit_result(db.data, query, result, engine=engine_label)
+        print(report.summary())
     return 0
 
 
@@ -612,6 +732,7 @@ _HANDLERS = {
     "query": _run_query,
     "batch": _run_batch,
     "stats": _run_stats,
+    "trace": _run_trace,
     "advise": _run_advise,
     "experiments": _run_experiments,
 }

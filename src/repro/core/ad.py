@@ -45,8 +45,11 @@ class ADEngine:
     at construction) or a prebuilt :class:`SortedColumns`, so the same
     substrate can be shared between engines.  An optional
     :class:`~repro.obs.MetricsRegistry` (``metrics=``) makes the engine
-    record per-query counters; with no registry the instrumentation path
-    is a single ``is not None`` branch and answers are identical.
+    record per-query counters, and an optional
+    :class:`~repro.obs.SpanCollector` (``spans=``) records phase spans
+    (``cursor_init`` / ``heap_consume`` / ``rank``); with neither
+    installed the instrumentation path is a single ``is not None``
+    branch per query and answers are identical.
     """
 
     name = "ad"
@@ -55,12 +58,14 @@ class ADEngine:
         self,
         data: Union[np.ndarray, SortedColumns],
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         if isinstance(data, SortedColumns):
             self._columns = data
         else:
             self._columns = SortedColumns(data)
         self._metrics = metrics
+        self._spans = spans
 
     @property
     def metrics(self):
@@ -70,6 +75,15 @@ class ADEngine:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
 
     @property
     def columns(self) -> SortedColumns:
@@ -103,9 +117,27 @@ class ADEngine:
         query, k, n = validation.validate_match_args(query, k, n, c, d)
 
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        frontier = AscendingDifferenceFrontier(make_cursors(self._columns, query))
-        answer_ids, answer_differences = run_k_n_match(frontier, c, k, n)
+        if spans is None:
+            frontier = AscendingDifferenceFrontier(
+                make_cursors(self._columns, query)
+            )
+            answer_ids, answer_differences = run_k_n_match(frontier, c, k, n)
+        else:
+            with spans.span(f"{self.name}/k_n_match", k=k, n=n):
+                with spans.span("cursor_init", dimensions=d):
+                    frontier = AscendingDifferenceFrontier(
+                        make_cursors(self._columns, query)
+                    )
+                with spans.span("heap_consume"):
+                    answer_ids, answer_differences = run_k_n_match(
+                        frontier, c, k, n
+                    )
+                    spans.annotate(
+                        heap_pops=frontier.pops,
+                        attributes_retrieved=frontier.attributes_retrieved,
+                    )
         stats = self._make_stats(frontier)
         if registry is not None:
             from ..obs import observe_query
@@ -143,15 +175,38 @@ class ADEngine:
         )
 
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        frontier = AscendingDifferenceFrontier(make_cursors(self._columns, query))
-        sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
-
-        if truncate_answer_sets:
-            answer_sets = {n: ids[:k] for n, ids in sets.items()}
+        if spans is None:
+            frontier = AscendingDifferenceFrontier(
+                make_cursors(self._columns, query)
+            )
+            sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
+            if truncate_answer_sets:
+                answer_sets = {n: ids[:k] for n, ids in sets.items()}
+            else:
+                answer_sets = sets
+            chosen, frequencies = rank_by_frequency(answer_sets, k)
         else:
-            answer_sets = sets
-        chosen, frequencies = rank_by_frequency(answer_sets, k)
+            with spans.span(
+                f"{self.name}/frequent_k_n_match", k=k, n0=n0, n1=n1
+            ):
+                with spans.span("cursor_init", dimensions=d):
+                    frontier = AscendingDifferenceFrontier(
+                        make_cursors(self._columns, query)
+                    )
+                with spans.span("heap_consume"):
+                    sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
+                    spans.annotate(
+                        heap_pops=frontier.pops,
+                        attributes_retrieved=frontier.attributes_retrieved,
+                    )
+                with spans.span("rank"):
+                    if truncate_answer_sets:
+                        answer_sets = {n: ids[:k] for n, ids in sets.items()}
+                    else:
+                        answer_sets = sets
+                    chosen, frequencies = rank_by_frequency(answer_sets, k)
         stats = self._make_stats(frontier)
         if registry is not None:
             from ..obs import observe_query

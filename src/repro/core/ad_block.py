@@ -52,12 +52,14 @@ class BlockADEngine:
         self,
         data: Union[np.ndarray, SortedColumns],
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         if isinstance(data, SortedColumns):
             self._columns = data
         else:
             self._columns = SortedColumns(data)
         self._metrics = metrics
+        self._spans = spans
 
     @property
     def metrics(self):
@@ -67,6 +69,15 @@ class BlockADEngine:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
 
     @property
     def columns(self) -> SortedColumns:
@@ -90,14 +101,30 @@ class BlockADEngine:
         c, d = self._columns.cardinality, self._columns.dimensionality
         query, k, n = validation.validate_match_args(query, k, n, c, d)
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        result = self._frequent_impl(query, k, n, n, keep_answer_sets=True)
-        ids = result.answer_sets[n]
-        data = self._columns.data
-        differences = [
-            float(np.partition(np.abs(data[pid] - query), n - 1)[n - 1])
-            for pid in ids
-        ]
+        if spans is None:
+            result = self._frequent_impl(query, k, n, n, keep_answer_sets=True)
+            ids = result.answer_sets[n]
+            data = self._columns.data
+            differences = [
+                float(np.partition(np.abs(data[pid] - query), n - 1)[n - 1])
+                for pid in ids
+            ]
+        else:
+            with spans.span(f"{self.name}/k_n_match", k=k, n=n):
+                result = self._frequent_impl(
+                    query, k, n, n, keep_answer_sets=True
+                )
+                with spans.span("finalize"):
+                    ids = result.answer_sets[n]
+                    data = self._columns.data
+                    differences = [
+                        float(
+                            np.partition(np.abs(data[pid] - query), n - 1)[n - 1]
+                        )
+                        for pid in ids
+                    ]
         if registry is not None:
             from ..obs import observe_query
 
@@ -122,10 +149,19 @@ class BlockADEngine:
             query, k, n_range, c, d
         )
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        result = self._frequent_impl(
-            query, k, n0, n1, keep_answer_sets=keep_answer_sets
-        )
+        if spans is None:
+            result = self._frequent_impl(
+                query, k, n0, n1, keep_answer_sets=keep_answer_sets
+            )
+        else:
+            with spans.span(
+                f"{self.name}/frequent_k_n_match", k=k, n0=n0, n1=n1
+            ):
+                result = self._frequent_impl(
+                    query, k, n0, n1, keep_answer_sets=keep_answer_sets
+                )
         if registry is not None:
             from ..obs import observe_query
 
@@ -145,7 +181,15 @@ class BlockADEngine:
     ) -> FrequentMatchResult:
         """The window-growth + refinement body (arguments pre-validated)."""
         c, d = self._columns.cardinality, self._columns.dimensionality
-        history, attributes, probes = self._grow_windows(query, k, n1)
+        spans = self._spans
+        if spans is None:
+            history, attributes, probes = self._grow_windows(query, k, n1)
+        else:
+            with spans.span("window_grow"):
+                history, attributes, probes = self._grow_windows(query, k, n1)
+                spans.annotate(
+                    rounds=len(history), window_attributes=int(attributes)
+                )
 
         # Candidate set: every point that can belong to the k-n-match set
         # of some n in [n0, n1].  A member's n-match difference is at
@@ -155,27 +199,24 @@ class BlockADEngine:
         # earliest sufficient round per n keeps the candidate set tight
         # for small n, where the final (largest) eps would admit nearly
         # everything.
-        candidate_mask = np.zeros(c, dtype=bool)
-        for n in range(n0, n1 + 1):
-            for counts in history:
-                if int(np.count_nonzero(counts >= n)) >= k:
-                    candidate_mask |= counts >= n
-                    break
-            else:
-                # Fewer than k points ever matched in >= n windows (only
-                # possible when the whole database was consumed).
-                candidate_mask[:] = True
-        candidates = np.flatnonzero(candidate_mask)
-        data = self._columns.data
-        profiles = np.sort(np.abs(data[candidates] - query), axis=1)
+        if spans is None:
+            candidates, profiles = self._refine(query, k, n0, n1, history, c)
+        else:
+            with spans.span("refine"):
+                candidates, profiles = self._refine(
+                    query, k, n0, n1, history, c
+                )
+                spans.annotate(candidates=int(candidates.shape[0]))
 
-        answer_sets: Dict[int, List[int]] = {}
-        for n in range(n0, n1 + 1):
-            column = profiles[:, n - 1]
-            order = np.lexsort((candidates, column))
-            answer_sets[n] = [int(candidates[i]) for i in order[:k]]
-
-        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        if spans is None:
+            answer_sets = self._answer_sets(candidates, profiles, k, n0, n1)
+            chosen, frequencies = rank_by_frequency(answer_sets, k)
+        else:
+            with spans.span("rank"):
+                answer_sets = self._answer_sets(
+                    candidates, profiles, k, n0, n1
+                )
+                chosen, frequencies = rank_by_frequency(answer_sets, k)
         stats = SearchStats(
             attributes_retrieved=int(attributes + candidates.shape[0] * d),
             total_attributes=c * d,
@@ -190,6 +231,47 @@ class BlockADEngine:
             answer_sets=answer_sets if keep_answer_sets else None,
             stats=stats,
         )
+
+    def _refine(
+        self,
+        query: np.ndarray,
+        k: int,
+        n0: int,
+        n1: int,
+        history: List[np.ndarray],
+        c: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate ids and their sorted exact difference profiles."""
+        candidate_mask = np.zeros(c, dtype=bool)
+        for n in range(n0, n1 + 1):
+            for counts in history:
+                if int(np.count_nonzero(counts >= n)) >= k:
+                    candidate_mask |= counts >= n
+                    break
+            else:
+                # Fewer than k points ever matched in >= n windows (only
+                # possible when the whole database was consumed).
+                candidate_mask[:] = True
+        candidates = np.flatnonzero(candidate_mask)
+        data = self._columns.data
+        profiles = np.sort(np.abs(data[candidates] - query), axis=1)
+        return candidates, profiles
+
+    @staticmethod
+    def _answer_sets(
+        candidates: np.ndarray,
+        profiles: np.ndarray,
+        k: int,
+        n0: int,
+        n1: int,
+    ) -> Dict[int, List[int]]:
+        """Per-n answer sets from the refined profiles (oracle order)."""
+        answer_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            column = profiles[:, n - 1]
+            order = np.lexsort((candidates, column))
+            answer_sets[n] = [int(candidates[i]) for i in order[:k]]
+        return answer_sets
 
     # ------------------------------------------------------------------
     def _grow_windows(
@@ -210,9 +292,19 @@ class BlockADEngine:
         eps = self._initial_epsilon(query, k, n1, values)
         probes = d  # the locate_all pass inside _initial_epsilon
         history: List[np.ndarray] = []
+        spans = self._spans
         while True:
             probes += 2 * d
-            counts, attributes = self._window_counts(query, eps, values, ids)
+            if spans is None:
+                counts, attributes = self._window_counts(
+                    query, eps, values, ids
+                )
+            else:
+                with spans.span("round", eps=float(eps)):
+                    counts, attributes = self._window_counts(
+                        query, eps, values, ids
+                    )
+                    spans.annotate(window_attributes=int(attributes))
             history.append(counts)
             satisfied = int(np.count_nonzero(counts >= n1))
             if satisfied >= k:

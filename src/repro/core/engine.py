@@ -37,29 +37,30 @@ from .types import FrequentMatchResult, MatchResult
 __all__ = ["MatchDatabase", "ENGINE_NAMES", "validate_engine_name"]
 
 
-def _make_ad(columns: SortedColumns, metrics):
-    return ADEngine(columns, metrics=metrics)
+def _make_ad(columns: SortedColumns, metrics, spans):
+    return ADEngine(columns, metrics=metrics, spans=spans)
 
 
-def _make_block_ad(columns: SortedColumns, metrics):
-    return BlockADEngine(columns, metrics=metrics)
+def _make_block_ad(columns: SortedColumns, metrics, spans):
+    return BlockADEngine(columns, metrics=metrics, spans=spans)
 
 
-def _make_batch_block_ad(columns: SortedColumns, metrics):
+def _make_batch_block_ad(columns: SortedColumns, metrics, spans):
     # Imported lazily: repro.parallel depends on this module.
     from ..parallel import BatchBlockADEngine
 
-    return BatchBlockADEngine(columns, metrics=metrics)
+    return BatchBlockADEngine(columns, metrics=metrics, spans=spans)
 
 
-def _make_naive(columns: SortedColumns, metrics):
-    return NaiveScanEngine(columns.data, metrics=metrics)
+def _make_naive(columns: SortedColumns, metrics, spans):
+    return NaiveScanEngine(columns.data, metrics=metrics, spans=spans)
 
 
-#: The one engine registry: name -> factory taking ``(columns, metrics)``.
-#: Adding an engine here is the whole registration step — the name tuple,
-#: :class:`MatchDatabase` construction, the shard layer and the CLI
-#: choices all derive from this mapping.
+#: The one engine registry: name -> factory taking
+#: ``(columns, metrics, spans)``.  Adding an engine here is the whole
+#: registration step — the name tuple, :class:`MatchDatabase`
+#: construction, the shard layer and the CLI choices all derive from
+#: this mapping.
 _ENGINE_FACTORIES = {
     "ad": _make_ad,
     "block-ad": _make_block_ad,
@@ -90,9 +91,11 @@ class MatchDatabase:
     """In-memory matching-based similarity search over a point set.
 
     Pass ``metrics=`` (a :class:`~repro.obs.MetricsRegistry`) to have
-    every engine record per-query cost counters; pass ``trace=True`` on
-    a query call to get a :class:`~repro.obs.QueryTrace` attached to the
-    result.  Both are off by default and cost nothing when off.
+    every engine record per-query cost counters; pass ``spans=`` (a
+    :class:`~repro.obs.SpanCollector`) to have every engine record
+    hierarchical phase spans; pass ``trace=True`` on a query call to get
+    a :class:`~repro.obs.QueryTrace` attached to the result.  All are
+    off by default and cost nothing when off.
     """
 
     def __init__(
@@ -100,12 +103,14 @@ class MatchDatabase:
         data,
         default_engine: str = "ad",
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         validate_engine_name(default_engine)
         self._columns = SortedColumns(data)
         self._default_engine = default_engine
         self._engines: Dict[str, object] = {}
         self._metrics = metrics
+        self._spans = spans
 
     # ------------------------------------------------------------------
     @property
@@ -145,12 +150,27 @@ class MatchDatabase:
         for engine in self._engines.values():
             engine.metrics = registry
 
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    def set_spans(self, collector) -> None:
+        """Install (or remove, with ``None``) a span collector.
+
+        Applies to already-constructed engines as well as engines built
+        after the call.
+        """
+        self._spans = collector
+        for engine in self._engines.values():
+            engine.spans = collector
+
     def engine(self, name: Optional[str] = None):
         """Return (lazily constructing) the engine called ``name``."""
         name = validate_engine_name(name or self._default_engine)
         if name not in self._engines:
             self._engines[name] = _ENGINE_FACTORIES[name](
-                self._columns, self._metrics
+                self._columns, self._metrics, self._spans
             )
         return self._engines[name]
 
@@ -314,7 +334,8 @@ class MatchDatabase:
         from ..parallel import ParallelBatchExecutor
 
         return ParallelBatchExecutor(
-            selected, workers=workers, metrics=self._metrics
+            selected, workers=workers, metrics=self._metrics,
+            spans=self._spans,
         )
 
     def __len__(self) -> int:

@@ -30,9 +30,15 @@ class NaiveScanEngine:
 
     name = "naive-scan"
 
-    def __init__(self, data, metrics: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        data,
+        metrics: Optional[object] = None,
+        spans: Optional[object] = None,
+    ) -> None:
         self._data = validation.as_database_array(data)
         self._metrics = metrics
+        self._spans = spans
 
     @property
     def metrics(self):
@@ -42,6 +48,15 @@ class NaiveScanEngine:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
 
     @property
     def data(self) -> np.ndarray:
@@ -66,11 +81,14 @@ class NaiveScanEngine:
         query, k, n = validation.validate_match_args(query, k, n, c, d)
 
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        deltas = np.abs(self._data - query)
-        differences = np.partition(deltas, n - 1, axis=1)[:, n - 1]
-        order = np.lexsort((np.arange(c), differences))
-        chosen = order[:k]
+        if spans is None:
+            differences, chosen = self._scan(query, k, n, c)
+        else:
+            with spans.span(f"{self.name}/k_n_match", k=k, n=n):
+                differences, chosen = self._scan(query, k, n, c)
+                spans.annotate(points_scanned=c)
         stats = SearchStats(
             attributes_retrieved=c * d,
             total_attributes=c * d,
@@ -91,6 +109,13 @@ class NaiveScanEngine:
             stats=stats,
         )
 
+    def _scan(self, query, k: int, n: int, c: int):
+        """The full-scan body: every point's n-match difference, top k."""
+        deltas = np.abs(self._data - query)
+        differences = np.partition(deltas, n - 1, axis=1)[:, n - 1]
+        order = np.lexsort((np.arange(c), differences))
+        return differences, order[:k]
+
     def frequent_k_n_match(
         self,
         query,
@@ -110,16 +135,18 @@ class NaiveScanEngine:
         )
 
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        profiles = np.sort(np.abs(self._data - query), axis=1)
-        ids = np.arange(c)
-        answer_sets: Dict[int, List[int]] = {}
-        for n in range(n0, n1 + 1):
-            column = profiles[:, n - 1]
-            order = np.lexsort((ids, column))
-            answer_sets[n] = [int(i) for i in order[:k]]
-
-        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        if spans is None:
+            answer_sets = self._scan_frequent(query, k, n0, n1, c)
+            chosen, frequencies = rank_by_frequency(answer_sets, k)
+        else:
+            with spans.span(
+                f"{self.name}/frequent_k_n_match", k=k, n0=n0, n1=n1
+            ):
+                answer_sets = self._scan_frequent(query, k, n0, n1, c)
+                with spans.span("rank"):
+                    chosen, frequencies = rank_by_frequency(answer_sets, k)
         stats = SearchStats(
             attributes_retrieved=c * d,
             total_attributes=c * d,
@@ -140,6 +167,19 @@ class NaiveScanEngine:
             answer_sets=answer_sets if keep_answer_sets else None,
             stats=stats,
         )
+
+    def _scan_frequent(
+        self, query, k: int, n0: int, n1: int, c: int
+    ) -> Dict[int, List[int]]:
+        """One scan of the match profiles; a top-k answer set per n."""
+        profiles = np.sort(np.abs(self._data - query), axis=1)
+        ids = np.arange(c)
+        answer_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            column = profiles[:, n - 1]
+            order = np.lexsort((ids, column))
+            answer_sets[n] = [int(i) for i in order[:k]]
+        return answer_sets
 
 
 def naive_k_n_match(data, query, k: int, n: int) -> MatchResult:

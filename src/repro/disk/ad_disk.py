@@ -35,6 +35,7 @@ class DiskADEngine:
         pager: Optional[Pager] = None,
         disk_model: DiskModel = DEFAULT_DISK_MODEL,
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         self.disk_model = disk_model
         if pager is None:
@@ -43,6 +44,7 @@ class DiskADEngine:
             pager.metrics = metrics
         self._pager = pager
         self._metrics = metrics
+        self._spans = spans
         self._store = SortedColumnStore(data, self._pager)
 
     @property
@@ -54,6 +56,15 @@ class DiskADEngine:
     def metrics(self, registry) -> None:
         self._metrics = registry
         self._pager.metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
 
     @property
     def store(self) -> SortedColumnStore:
@@ -78,10 +89,26 @@ class DiskADEngine:
         query, k, n = validation.validate_match_args(query, k, n, c, d)
 
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
         baseline = self._io_snapshot()
-        frontier = AscendingDifferenceFrontier(make_disk_cursors(self._store, query))
-        ids, differences = run_k_n_match(frontier, c, k, n)
+        if spans is None:
+            frontier = AscendingDifferenceFrontier(
+                make_disk_cursors(self._store, query)
+            )
+            ids, differences = run_k_n_match(frontier, c, k, n)
+        else:
+            with spans.span(f"{self.name}/k_n_match", k=k, n=n):
+                with spans.span("cursor_init", dimensions=d):
+                    frontier = AscendingDifferenceFrontier(
+                        make_disk_cursors(self._store, query)
+                    )
+                with spans.span("heap_consume"):
+                    ids, differences = run_k_n_match(frontier, c, k, n)
+                    spans.annotate(
+                        heap_pops=frontier.pops,
+                        attributes_retrieved=frontier.attributes_retrieved,
+                    )
         stats = self._make_stats(frontier, baseline)
         if registry is not None:
             from ..obs import observe_query
@@ -106,12 +133,33 @@ class DiskADEngine:
         )
 
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
         baseline = self._io_snapshot()
-        frontier = AscendingDifferenceFrontier(make_disk_cursors(self._store, query))
-        sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
-        answer_sets = {n: ids[:k] for n, ids in sets.items()}
-        chosen, frequencies = rank_by_frequency(answer_sets, k)
+        if spans is None:
+            frontier = AscendingDifferenceFrontier(
+                make_disk_cursors(self._store, query)
+            )
+            sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
+            answer_sets = {n: ids[:k] for n, ids in sets.items()}
+            chosen, frequencies = rank_by_frequency(answer_sets, k)
+        else:
+            with spans.span(
+                f"{self.name}/frequent_k_n_match", k=k, n0=n0, n1=n1
+            ):
+                with spans.span("cursor_init", dimensions=d):
+                    frontier = AscendingDifferenceFrontier(
+                        make_disk_cursors(self._store, query)
+                    )
+                with spans.span("heap_consume"):
+                    sets = run_frequent_k_n_match(frontier, c, k, n0, n1)
+                    spans.annotate(
+                        heap_pops=frontier.pops,
+                        attributes_retrieved=frontier.attributes_retrieved,
+                    )
+                with spans.span("rank"):
+                    answer_sets = {n: ids[:k] for n, ids in sets.items()}
+                    chosen, frequencies = rank_by_frequency(answer_sets, k)
         stats = self._make_stats(frontier, baseline)
         if registry is not None:
             from ..obs import observe_query

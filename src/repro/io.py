@@ -118,6 +118,7 @@ def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
         db._default_engine = header.get("default_engine", "ad")
         db._engines = {}
         db._metrics = None
+        db._spans = None
         return db
     finally:
         archive.close()
@@ -277,6 +278,7 @@ def load_sharded_database(path: Union[str, os.PathLike]):
             shard._default_engine = default_engine
             shard._engines = {}
             shard._metrics = None
+            shard._spans = None
             shard_dbs.append(shard)
 
         # A stored file carries the materialised assignment, not the
@@ -291,6 +293,7 @@ def load_sharded_database(path: Union[str, os.PathLike]):
         db._shard_count = int(shards)
         db._default_engine = default_engine
         db._metrics = None
+        db._spans = None
         db._partitioner = stub
         db._global_ids = global_ids
         db._shard_dbs = shard_dbs

@@ -8,7 +8,13 @@ accesses), so the observability layer makes those costs first-class:
 * :class:`QueryTrace` — a per-query cost record derived from the
   :class:`~repro.core.types.SearchStats` every engine already returns;
 * :func:`render_prometheus` / :func:`render_json` — deterministic
-  exporters for scraping or archiving.
+  exporters for scraping or archiving;
+* :class:`SpanCollector` — hierarchical phase spans (where does the
+  time go *inside* a query), with a slow-query log, a Chrome
+  ``trace_event`` exporter and a text renderer;
+* :func:`audit_result` / :func:`audit_engines` — the optimality
+  auditor: each engine's attribute cost versus the Fagin-model lower
+  bound of Thm 3.2/3.3 (AD audits at ratio 1.0 on tie-free data).
 
 Instrumented components hold an optional registry and guard every
 record with ``if registry is not None`` — with no registry installed
@@ -20,6 +26,13 @@ See ``docs/observability.md`` for metric names, label conventions and
 measured overhead.
 """
 
+from .audit import (
+    OptimalityReport,
+    audit_engines,
+    audit_result,
+    examined_cost,
+    fagin_lower_bound,
+)
 from .export import registry_to_dict, render_json, render_prometheus
 from .instrument import (
     observe_batch,
@@ -37,6 +50,14 @@ from .registry import (
     MetricFamily,
     MetricsRegistry,
 )
+from .spans import (
+    PHASE_NAMES,
+    Span,
+    SpanCollector,
+    chrome_trace_events,
+    render_chrome_json,
+    render_span_text,
+)
 from .trace import QueryTrace, epsilon_rounds_from_stats
 
 __all__ = [
@@ -47,6 +68,17 @@ __all__ = [
     "Histogram",
     "QueryTrace",
     "epsilon_rounds_from_stats",
+    "Span",
+    "SpanCollector",
+    "PHASE_NAMES",
+    "chrome_trace_events",
+    "render_chrome_json",
+    "render_span_text",
+    "OptimalityReport",
+    "fagin_lower_bound",
+    "examined_cost",
+    "audit_result",
+    "audit_engines",
     "render_prometheus",
     "render_json",
     "registry_to_dict",

@@ -1,0 +1,214 @@
+"""Optimality audit: is an engine at the Fagin-model lower bound?
+
+The paper's headline theorem is a *cost* claim: in the multiple-system
+model of Fagin (one sorted list per dimension, cost = individual
+attributes retrieved), the AD algorithm is optimal — Thm 3.2 for
+k-n-match, Thm 3.3 for the frequent variant (whose cost equals a plain
+k-``n1``-match search).  This module turns that claim into an executable
+check: given a finished query result, compute the model's lower bound
+and report the engine's ratio to it.
+
+**The lower bound.**  Let ``delta`` be the final k-n-match difference
+(the ``k``-th smallest n-match difference; ``n1`` for the frequent
+variant, by Thm 3.3).  Thm 3.2's adversary can relabel any *unretrieved*
+attribute whose difference is strictly below ``delta`` so that its point
+enters the answer set — so every correct algorithm must retrieve all of
+them, plus at least one attribute at ``delta`` to witness that the
+``k``-th answer's difference is reached::
+
+    lower_bound = #{attributes with |value - query_dim| < delta} + 1
+
+**What an engine is charged.**  Frontier engines (``ad``, ``disk-ad``)
+are charged their heap pops — the attributes the algorithm actually
+acted on.  (Their ``attributes_retrieved`` additionally counts the at
+most ``2d`` look-ahead attributes parked in the frontier when the search
+stops; the pop count is the quantity Thm 3.2 bounds, and the band test
+in ``tests/test_ad_optimality.py`` pins it the same way.)  Window and
+scan engines have no frontier: they are charged every attribute *and*
+every approximation-file / inverted-list cell they examined, because in
+the Fagin model each of those is an access to per-dimension information.
+
+On attribute-difference *tie-free* data (no two attributes at exactly
+``delta``) AD's pop count equals the lower bound exactly, so its ratio
+audits at 1.0 — the executable form of Thm 3.2/3.3.  With ties at
+``delta`` any correct algorithm may have to consume the whole tie group,
+so ratios are >= 1.0 but not necessarily 1.0; the report exposes
+``attributes_at_delta`` so callers can tell the two regimes apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.distance import n_match_differences
+from ..core.types import FrequentMatchResult, MatchResult, SearchStats
+from ..errors import ValidationError
+
+__all__ = [
+    "OptimalityReport",
+    "fagin_lower_bound",
+    "examined_cost",
+    "audit_result",
+    "audit_engines",
+]
+
+
+@dataclass(frozen=True)
+class OptimalityReport:
+    """One engine's attribute cost versus the Fagin-model lower bound.
+
+    Attributes
+    ----------
+    engine / kind:
+        What produced the audited result (``kind`` is ``"k_n_match"`` or
+        ``"frequent_k_n_match"``).
+    k / n:
+        The query parameters; ``n`` is ``n1`` for the frequent variant
+        (Thm 3.3: the frequent search costs a k-``n1``-match search).
+    delta:
+        The exact final match difference the lower bound is built from.
+    lower_bound:
+        Minimum attributes any correct algorithm must examine.
+    examined:
+        What this engine was charged (see :func:`examined_cost`).
+    attributes_at_delta:
+        Number of attributes whose difference equals ``delta`` exactly;
+        1 means tie-free at the stopping difference, where AD must audit
+        at ratio 1.0.
+    """
+
+    engine: str
+    kind: str
+    k: int
+    n: int
+    delta: float
+    lower_bound: int
+    examined: int
+    attributes_at_delta: int
+
+    @property
+    def ratio(self) -> float:
+        """``examined / lower_bound`` — 1.0 is provably unbeatable."""
+        return self.examined / self.lower_bound
+
+    @property
+    def tie_free(self) -> bool:
+        """True when exactly one attribute sits at ``delta``."""
+        return self.attributes_at_delta == 1
+
+    def summary(self) -> str:
+        """One-line human-readable rendering (used by the CLI)."""
+        return (
+            f"audit[{self.engine}/{self.kind}] delta={self.delta:.6f} "
+            f"lower_bound={self.lower_bound} examined={self.examined} "
+            f"ratio={self.ratio:.4f}"
+            f"{'' if self.tie_free else f' (ties_at_delta={self.attributes_at_delta})'}"
+        )
+
+
+def fagin_lower_bound(
+    data: np.ndarray, query: np.ndarray, k: int, n: int
+) -> Tuple[int, float, int]:
+    """``(lower_bound, delta, attributes_at_delta)`` for one query.
+
+    ``delta`` is computed with the same float64 arithmetic the engines
+    use (``n-1``-th order statistic of ``|data[i] - query|``), so the
+    strict / equal comparisons below are exact, not tolerance-based.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValidationError(f"data must be 2-D; got ndim={data.ndim}")
+    c, d = data.shape
+    if not 1 <= k <= c:
+        raise ValidationError(f"k must be in [1, {c}]; got {k}")
+    if not 1 <= n <= d:
+        raise ValidationError(f"n must be in [1, {d}]; got {n}")
+    differences = n_match_differences(data, query, n)
+    delta = float(np.partition(differences, k - 1)[k - 1])
+    attribute_differences = np.abs(data - query)
+    below = int(np.count_nonzero(attribute_differences < delta))
+    at_delta = int(np.count_nonzero(attribute_differences == delta))
+    return below + 1, delta, at_delta
+
+
+def examined_cost(stats: SearchStats) -> int:
+    """Attributes (or per-dimension cells) an engine examined.
+
+    Frontier engines report ``heap_pops`` (see the module docstring for
+    why the <= 2d unread look-ahead attributes are excluded); all other
+    engines are charged every attribute plus every approximation-file /
+    inverted-list entry they scanned.
+    """
+    if stats.heap_pops:
+        return stats.heap_pops
+    return (
+        stats.attributes_retrieved
+        + stats.approximation_entries_scanned
+        + stats.inverted_list_entries
+    )
+
+
+def audit_result(
+    data: np.ndarray,
+    query: np.ndarray,
+    result: Union[MatchResult, FrequentMatchResult],
+    engine: str = "unknown",
+) -> OptimalityReport:
+    """Audit one finished (frequent) k-n-match result.
+
+    ``data``/``query`` must be the array and query the result was
+    computed from — the lower bound is recomputed from first principles,
+    independent of the engine, which is what makes the audit a check
+    rather than a restatement.
+    """
+    if isinstance(result, FrequentMatchResult):
+        kind = "frequent_k_n_match"
+        n = result.n_range[1]
+    elif isinstance(result, MatchResult):
+        kind = "k_n_match"
+        n = result.n
+    else:
+        raise ValidationError(
+            f"cannot audit a {type(result).__name__}; expected a "
+            "MatchResult or FrequentMatchResult"
+        )
+    lower_bound, delta, at_delta = fagin_lower_bound(data, query, result.k, n)
+    return OptimalityReport(
+        engine=engine,
+        kind=kind,
+        k=result.k,
+        n=n,
+        delta=delta,
+        lower_bound=lower_bound,
+        examined=examined_cost(result.stats),
+        attributes_at_delta=at_delta,
+    )
+
+
+def audit_engines(
+    db,
+    query,
+    k: int,
+    n: int,
+    engines: Optional[Sequence[str]] = None,
+) -> Dict[str, OptimalityReport]:
+    """Run one k-n-match per engine on ``db`` and audit each result.
+
+    ``db`` is a :class:`~repro.core.engine.MatchDatabase` (or anything
+    with ``data``, ``k_n_match(query, k, n, engine=...)`` and a default
+    engine registry); ``engines`` defaults to the database's registry
+    names.  Returns ``{engine name: report}`` in the order given.
+    """
+    if engines is None:
+        from ..core.engine import ENGINE_NAMES
+
+        engines = ENGINE_NAMES
+    reports: Dict[str, OptimalityReport] = {}
+    for name in engines:
+        result = db.k_n_match(query, k, n, engine=name)
+        reports[name] = audit_result(db.data, query, result, engine=name)
+    return reports

@@ -152,6 +152,7 @@ def observe_shard_call(
     queries: int,
     stats: SearchStats,
     wall_seconds: float,
+    partitioner: str = "",
 ) -> None:
     """Record one per-shard engine call of a scatter-gather fan-out.
 
@@ -159,11 +160,17 @@ def observe_shard_call(
     (one for a single query, the batch size for a ``*_batch``); ``stats``
     is the shard's rolled-up :class:`SearchStats` for the call.  The
     shard-labelled counters expose per-partition skew — the signal for
-    choosing a partitioner — while the logical-query counters
+    choosing a partitioner, which is why the partitioner name is itself
+    a label — while the logical-query counters
     (``repro_queries_total``...) stay un-inflated because the shard
     layer, not the per-shard engines, is the metered component.
     """
-    labels = {"shard": shard, "engine": engine, "kind": kind}
+    labels = {
+        "shard": shard,
+        "engine": engine,
+        "kind": kind,
+        "partitioner": partitioner,
+    }
     registry.counter(
         "repro_shard_calls_total", "per-shard engine calls in scatter-gather"
     ).labels(**labels).inc()

@@ -75,6 +75,7 @@ class BatchBlockADEngine:
         data: Union[np.ndarray, SortedColumns],
         chunk_size: Union[int, None] = None,
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         if isinstance(data, SortedColumns):
             self._columns = data
@@ -83,9 +84,12 @@ class BatchBlockADEngine:
         # Serial engine for single-query calls and the rare zero-epsilon
         # fallback; shares the same build.  It keeps metrics=None: the
         # batch engine records its own events (including for delegated
-        # single-query calls) so nothing is double-counted.
-        self._serial = BlockADEngine(self._columns)
+        # single-query calls) so nothing is double-counted.  Spans *are*
+        # shared: delegated single-query calls trace as the serial
+        # engine's phases, which is what they run.
+        self._serial = BlockADEngine(self._columns, spans=spans)
         self._metrics = metrics
+        self._spans = spans
         # (d, c) view shared by every batch round's bound searches.
         self._values_matrix = self._columns.values_matrix
         # Narrow id copy: point ids fit int32, and the delta scatters are
@@ -125,6 +129,16 @@ class BatchBlockADEngine:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
+        self._serial.spans = collector
 
     # ------------------------------------------------------------------
     # single-query API (delegates to the serial engine, same answers)
@@ -169,7 +183,24 @@ class BatchBlockADEngine:
             queries, k, n, c, d
         )
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
+        if spans is None:
+            results = self._k_n_match_batch_impl(queries, k, n)
+        else:
+            with spans.span(
+                f"{self.name}/k_n_match_batch",
+                batch=int(queries.shape[0]), k=k, n=n,
+            ):
+                results = self._k_n_match_batch_impl(queries, k, n)
+        if registry is not None:
+            self._observe_batch(registry, "k_n_match", results, started)
+        return results
+
+    def _k_n_match_batch_impl(
+        self, queries: np.ndarray, k: int, n: int
+    ) -> List[MatchResult]:
+        """The lock-step run plus per-query conversion to MatchResult."""
         frequents = self._frequent_batch_impl(
             queries, k, n, n, keep_answer_sets=True
         )
@@ -190,8 +221,6 @@ class BatchBlockADEngine:
                     stats=freq.stats,
                 )
             )
-        if registry is not None:
-            self._observe_batch(registry, "k_n_match", results, started)
         return results
 
     def frequent_k_n_match_batch(
@@ -207,10 +236,20 @@ class BatchBlockADEngine:
             queries, k, n_range, c, d
         )
         registry = self._metrics
+        spans = self._spans
         started = time.perf_counter() if registry is not None else 0.0
-        results = self._frequent_batch_impl(
-            queries, k, n0, n1, keep_answer_sets=keep_answer_sets
-        )
+        if spans is None:
+            results = self._frequent_batch_impl(
+                queries, k, n0, n1, keep_answer_sets=keep_answer_sets
+            )
+        else:
+            with spans.span(
+                f"{self.name}/frequent_k_n_match_batch",
+                batch=int(queries.shape[0]), k=k, n0=n0, n1=n1,
+            ):
+                results = self._frequent_batch_impl(
+                    queries, k, n0, n1, keep_answer_sets=keep_answer_sets
+                )
         if registry is not None:
             self._observe_batch(
                 registry, "frequent_k_n_match", results, started
@@ -243,7 +282,6 @@ class BatchBlockADEngine:
         keep_answer_sets: bool,
     ) -> List[FrequentMatchResult]:
         """The lock-step batch body (arguments pre-validated)."""
-        c, d = self.cardinality, self.dimensionality
         a = queries.shape[0]
         if a == 0:
             return []
@@ -264,8 +302,40 @@ class BatchBlockADEngine:
                 )
             return results
 
-        masks, final_attrs, rounds = self._grow_windows_batch(queries, k, n0, n1)
+        spans = self._spans
+        if spans is None:
+            masks, final_attrs, rounds = self._grow_windows_batch(
+                queries, k, n0, n1
+            )
+            return self._finalize_batch(
+                queries, k, n0, n1, keep_answer_sets, masks, final_attrs,
+                rounds,
+            )
+        with spans.span("lockstep", queries=a):
+            masks, final_attrs, rounds = self._grow_windows_batch(
+                queries, k, n0, n1
+            )
+            spans.annotate(rounds=int(max(rounds)))
+        with spans.span("finalize"):
+            return self._finalize_batch(
+                queries, k, n0, n1, keep_answer_sets, masks, final_attrs,
+                rounds,
+            )
 
+    def _finalize_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        n0: int,
+        n1: int,
+        keep_answer_sets: bool,
+        masks: np.ndarray,
+        final_attrs,
+        rounds,
+    ) -> List[FrequentMatchResult]:
+        """Exact refinement + result assembly after the lock-step rounds."""
+        c, d = self.cardinality, self.dimensionality
+        a = queries.shape[0]
         data = self._columns.data
         results: List[FrequentMatchResult] = []
         for i in range(a):

@@ -55,6 +55,7 @@ class ParallelBatchExecutor:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         """Wrap ``engine`` for parallel batch execution.
 
@@ -73,6 +74,12 @@ class ParallelBatchExecutor:
         metrics:
             Optional :class:`~repro.obs.MetricsRegistry` for shard and
             worker-utilisation metrics.
+        spans:
+            Optional :class:`~repro.obs.SpanCollector`; each shard then
+            opens a ``batch_shard`` span on its worker thread (a root of
+            its own trace — span stacks are thread-confined), with the
+            wrapped engine's phases nested underneath when it shares the
+            collector.
         """
         if workers is None:
             workers = os.cpu_count() or 1
@@ -86,6 +93,7 @@ class ParallelBatchExecutor:
         self._workers = int(workers)
         self._chunk_size = None if chunk_size is None else int(chunk_size)
         self._metrics = metrics
+        self._spans = spans
         self._last_batch_stats: Optional[BatchStats] = None
 
     # ------------------------------------------------------------------
@@ -105,6 +113,15 @@ class ParallelBatchExecutor:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
 
     @property
     def last_batch_stats(self) -> Optional[BatchStats]:
@@ -183,23 +200,37 @@ class ParallelBatchExecutor:
             return []
 
         registry = self._metrics
+        spans = self._spans
         bounds = self._shard_bounds(count)
         shards = [queries[lo:hi] for lo, hi in bounds]
         shard_seconds: List[float] = [0.0] * len(shards)
         worker_busy: Dict[int, float] = {}
-        if registry is not None:
+        if registry is not None or spans is not None:
             inner = run_shard
 
             def run_shard(item):
                 index, shard = item
-                shard_started = time.perf_counter()
-                output = inner(shard)
-                elapsed = time.perf_counter() - shard_started
-                shard_seconds[index] = elapsed
-                ident = threading.get_ident()
-                # Per-thread slot writes race only with themselves: each
-                # pool thread touches exactly its own key.
-                worker_busy[ident] = worker_busy.get(ident, 0.0) + elapsed
+                shard_started = (
+                    time.perf_counter() if registry is not None else 0.0
+                )
+                if spans is None:
+                    output = inner(shard)
+                else:
+                    # A root span on the worker thread: span stacks are
+                    # thread-confined, so each shard traces separately.
+                    with spans.span(
+                        "batch_shard",
+                        shard=index,
+                        queries=int(shard.shape[0]),
+                    ):
+                        output = inner(shard)
+                if registry is not None:
+                    elapsed = time.perf_counter() - shard_started
+                    shard_seconds[index] = elapsed
+                    ident = threading.get_ident()
+                    # Per-thread slot writes race only with themselves:
+                    # each pool thread touches exactly its own key.
+                    worker_busy[ident] = worker_busy.get(ident, 0.0) + elapsed
                 return output
 
             work: Sequence = list(enumerate(shards))

@@ -118,6 +118,15 @@ class ScatterGatherCoordinator:
         Optional :class:`~repro.obs.MetricsRegistry`; enables per-shard
         counters/latency (``repro_shard_*``) plus the executor's
         scatter-level metrics.  Answers are identical either way.
+    spans:
+        Optional :class:`~repro.obs.SpanCollector`; each logical query
+        then traces as a ``sharded/<kind>`` root with ``shard_fanout``
+        and ``merge`` phases, plus one ``shard_call`` span per shard on
+        its worker thread.
+    partitioner:
+        Name of the partitioning strategy that built the shards, carried
+        as a label on the ``repro_shard_*`` metrics so per-shard skew
+        can be attributed to the strategy that caused it.
     """
 
     def __init__(
@@ -126,6 +135,8 @@ class ScatterGatherCoordinator:
         total_attributes: int,
         workers: Optional[int] = None,
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
+        partitioner: str = "",
     ) -> None:
         if not shards:
             raise ValidationError("scatter-gather needs at least one shard")
@@ -139,6 +150,8 @@ class ScatterGatherCoordinator:
             else max(1, min(len(self._shards), os.cpu_count() or 1))
         )
         self._metrics = metrics
+        self._spans = spans
+        self._partitioner = str(partitioner)
         self._last_batch_stats: Optional[BatchStats] = None
 
     # ------------------------------------------------------------------
@@ -153,6 +166,20 @@ class ScatterGatherCoordinator:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    @spans.setter
+    def spans(self, collector) -> None:
+        self._spans = collector
+
+    @property
+    def partitioner(self) -> str:
+        """The partitioner name used as a ``repro_shard_*`` label."""
+        return self._partitioner
 
     @property
     def last_batch_stats(self) -> Optional[BatchStats]:
@@ -171,7 +198,21 @@ class ScatterGatherCoordinator:
             result = db.k_n_match(query, min(k, db.cardinality), n, engine=engine)
             return _ShardOutput(result, result.stats, 1)
 
-        outputs = self._scatter("k_n_match", engine_name, run_one)
+        spans = self._spans
+        if spans is None:
+            outputs = self._scatter("k_n_match", engine_name, run_one)
+            return self._merge_match(outputs, k, n)
+        with spans.span(
+            "sharded/k_n_match", k=k, n=n, shards=len(self._shards)
+        ):
+            outputs = self._scatter("k_n_match", engine_name, run_one)
+            with spans.span("merge"):
+                return self._merge_match(outputs, k, n)
+
+    def _merge_match(
+        self, outputs: List[_ShardOutput], k: int, n: int
+    ) -> MatchResult:
+        """Gather per-shard top-k lists into the exact global answer."""
         ids = np.concatenate(
             [
                 gids[np.asarray(output.payload.ids, dtype=np.int64)]
@@ -226,7 +267,33 @@ class ScatterGatherCoordinator:
             )
             return _ShardOutput((result, differences), result.stats, 1)
 
-        outputs = self._scatter("frequent_k_n_match", engine_name, run_one)
+        spans = self._spans
+        if spans is None:
+            outputs = self._scatter(
+                "frequent_k_n_match", engine_name, run_one
+            )
+            return self._merge_frequent(outputs, k, n0, n1, keep_answer_sets)
+        with spans.span(
+            "sharded/frequent_k_n_match",
+            k=k, n0=n0, n1=n1, shards=len(self._shards),
+        ):
+            outputs = self._scatter(
+                "frequent_k_n_match", engine_name, run_one
+            )
+            with spans.span("merge"):
+                return self._merge_frequent(
+                    outputs, k, n0, n1, keep_answer_sets
+                )
+
+    def _merge_frequent(
+        self,
+        outputs: List[_ShardOutput],
+        k: int,
+        n0: int,
+        n1: int,
+        keep_answer_sets: bool,
+    ) -> FrequentMatchResult:
+        """Per-``n`` merge first, frequency counting second (Def. 4)."""
         merged_sets: Dict[int, List[int]] = {}
         for n in range(n0, n1 + 1):
             ids = np.concatenate(
@@ -290,7 +357,27 @@ class ScatterGatherCoordinator:
                 count,
             )
 
-        outputs = self._scatter("k_n_match_batch", engine_name, run_one)
+        spans = self._spans
+        if spans is None:
+            outputs = self._scatter("k_n_match_batch", engine_name, run_one)
+            merged = self._merge_match_batch(outputs, count, k, n)
+        else:
+            with spans.span(
+                "sharded/k_n_match_batch",
+                batch=count, k=k, n=n, shards=len(self._shards),
+            ):
+                outputs = self._scatter(
+                    "k_n_match_batch", engine_name, run_one
+                )
+                with spans.span("merge"):
+                    merged = self._merge_match_batch(outputs, count, k, n)
+        self._record_batch(count, started, merged)
+        return merged
+
+    def _merge_match_batch(
+        self, outputs: List[_ShardOutput], count: int, k: int, n: int
+    ) -> List[MatchResult]:
+        """Per-query gather of the per-shard batch results."""
         merged: List[MatchResult] = []
         for qi in range(count):
             ids = np.concatenate(
@@ -320,7 +407,6 @@ class ScatterGatherCoordinator:
                     ),
                 )
             )
-        self._record_batch(count, started, merged)
         return merged
 
     def frequent_k_n_match_batch(
@@ -361,9 +447,39 @@ class ScatterGatherCoordinator:
                 count,
             )
 
-        outputs = self._scatter(
-            "frequent_k_n_match_batch", engine_name, run_one
-        )
+        spans = self._spans
+        if spans is None:
+            outputs = self._scatter(
+                "frequent_k_n_match_batch", engine_name, run_one
+            )
+            merged = self._merge_frequent_batch(
+                outputs, count, k, n0, n1, keep_answer_sets
+            )
+        else:
+            with spans.span(
+                "sharded/frequent_k_n_match_batch",
+                batch=count, k=k, n0=n0, n1=n1, shards=len(self._shards),
+            ):
+                outputs = self._scatter(
+                    "frequent_k_n_match_batch", engine_name, run_one
+                )
+                with spans.span("merge"):
+                    merged = self._merge_frequent_batch(
+                        outputs, count, k, n0, n1, keep_answer_sets
+                    )
+        self._record_batch(count, started, merged)
+        return merged
+
+    def _merge_frequent_batch(
+        self,
+        outputs: List[_ShardOutput],
+        count: int,
+        k: int,
+        n0: int,
+        n1: int,
+        keep_answer_sets: bool,
+    ) -> List[FrequentMatchResult]:
+        """Per-query, per-``n`` gather of the per-shard batch results."""
         merged: List[FrequentMatchResult] = []
         for qi in range(count):
             merged_sets: Dict[int, List[int]] = {}
@@ -397,7 +513,6 @@ class ScatterGatherCoordinator:
                     ),
                 )
             )
-        self._record_batch(count, started, merged)
         return merged
 
     # ------------------------------------------------------------------
@@ -409,24 +524,42 @@ class ScatterGatherCoordinator:
     ) -> List[_ShardOutput]:
         """Run ``run_one(position)`` for every shard via the executor."""
         registry = self._metrics
-        if registry is None:
+        spans = self._spans
+        if registry is None and spans is None:
             run = run_one
         else:
-            from ..obs import observe_shard_call
 
             def run(position: int) -> _ShardOutput:
                 shard_index = self._shards[position][0]
-                shard_started = time.perf_counter()
-                output = run_one(position)
-                observe_shard_call(
-                    registry,
-                    shard=str(shard_index),
-                    engine=engine_name,
-                    kind=kind,
-                    queries=output.queries,
-                    stats=output.stats,
-                    wall_seconds=time.perf_counter() - shard_started,
+                shard_started = (
+                    time.perf_counter() if registry is not None else 0.0
                 )
+                if spans is None:
+                    output = run_one(position)
+                else:
+                    # On a pool worker this opens a new root (span stacks
+                    # are thread-confined); inline it nests under the
+                    # ``shard_fanout`` span of the calling thread.
+                    with spans.span(
+                        "shard_call",
+                        shard=shard_index,
+                        engine=engine_name,
+                        kind=kind,
+                    ):
+                        output = run_one(position)
+                if registry is not None:
+                    from ..obs import observe_shard_call
+
+                    observe_shard_call(
+                        registry,
+                        shard=str(shard_index),
+                        engine=engine_name,
+                        kind=kind,
+                        queries=output.queries,
+                        stats=output.stats,
+                        wall_seconds=time.perf_counter() - shard_started,
+                        partitioner=self._partitioner,
+                    )
                 return output
 
         tasks = np.arange(len(self._shards), dtype=np.float64).reshape(-1, 1)
@@ -436,7 +569,15 @@ class ScatterGatherCoordinator:
             chunk_size=1,
             metrics=registry,
         )
-        return list(executor.k_n_match_batch(tasks, 1, 1))
+        if spans is None:
+            return list(executor.k_n_match_batch(tasks, 1, 1))
+        with spans.span(
+            "shard_fanout",
+            kind=kind,
+            engine=engine_name,
+            shards=len(self._shards),
+        ):
+            return list(executor.k_n_match_batch(tasks, 1, 1))
 
     def _record_batch(self, count: int, started: float, merged) -> None:
         self._last_batch_stats = BatchStats(

@@ -66,6 +66,7 @@ class ShardedMatchDatabase:
         partitioner: Union[str, Partitioner] = DEFAULT_PARTITIONER,
         default_engine: str = "ad",
         metrics: Optional[object] = None,
+        spans: Optional[object] = None,
         workers: Optional[int] = None,
         **partitioner_options,
     ) -> None:
@@ -89,6 +90,7 @@ class ShardedMatchDatabase:
         self._shard_count = shards
         self._default_engine = default_engine
         self._metrics = metrics
+        self._spans = spans
         self._global_ids: List[np.ndarray] = [
             np.flatnonzero(assignment == s) for s in range(shards)
         ]
@@ -109,6 +111,8 @@ class ShardedMatchDatabase:
             total_attributes=array.shape[0] * array.shape[1],
             workers=workers,
             metrics=metrics,
+            spans=spans,
+            partitioner=self._partitioner.name,
         )
 
     def _checked_assignment(
@@ -197,6 +201,22 @@ class ShardedMatchDatabase:
         """
         self._metrics = registry
         self._coordinator.metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    def set_spans(self, collector) -> None:
+        """Install (or remove, with ``None``) a span collector.
+
+        Like metrics, only the shard layer traces: each logical query
+        becomes a ``sharded/<kind>`` root with ``shard_fanout`` and
+        ``merge`` phases plus per-shard ``shard_call`` spans on the
+        fan-out worker threads.
+        """
+        self._spans = collector
+        self._coordinator.spans = collector
 
     @property
     def last_batch_stats(self) -> Optional[BatchStats]:
@@ -323,7 +343,8 @@ class ShardedMatchDatabase:
         from ..obs import QueryTrace
 
         label = (
-            f"sharded[{self._shard_count}x{engine or self._default_engine}]"
+            f"sharded[{self._shard_count}x{engine or self._default_engine}"
+            f"/{self._partitioner.name}]"
         )
         return QueryTrace.from_stats(
             engine=label,

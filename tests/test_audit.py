@@ -1,0 +1,146 @@
+"""Unit tests for the repro.obs optimality audit.
+
+The audit is the executable form of Thm 3.2/3.3: on attribute-difference
+tie-free data the AD engine must sit exactly at the Fagin-model lower
+bound (ratio 1.0), and every other correct engine must sit at or above
+it.  The lower bound itself is pinned on hand-checked data first so the
+engine assertions mean something.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ENGINE_NAMES, MatchDatabase
+from repro.errors import ValidationError
+from repro.obs import (
+    OptimalityReport,
+    audit_engines,
+    audit_result,
+    examined_cost,
+    fagin_lower_bound,
+)
+
+
+class TestLowerBound:
+    def test_hand_checked_small_case(self):
+        # 1-D, query 0: differences are 1, 2, 10.  k=2, n=1 -> delta=2.
+        # Attributes strictly below delta: {1}.  Bound = 1 + 1 = 2.
+        data = np.array([[1.0], [2.0], [10.0]])
+        bound, delta, at_delta = fagin_lower_bound(data, [0.0], k=2, n=1)
+        assert delta == 2.0
+        assert bound == 2
+        assert at_delta == 1
+
+    def test_two_dimensional_counts_all_attributes(self):
+        # Query (0, 0); per-point sorted attribute differences:
+        #   point 0: (1, 4), point 1: (2, 3), point 2: (9, 9).
+        # n=1 matches are 1, 2, 9 -> k=2 gives delta=2; attributes
+        # strictly below 2 across the whole matrix: just the 1.
+        data = np.array([[1.0, 4.0], [2.0, 3.0], [9.0, 9.0]])
+        bound, delta, at_delta = fagin_lower_bound(data, [0.0, 0.0], k=2, n=1)
+        assert delta == 2.0
+        assert bound == 2
+        assert at_delta == 1
+
+    def test_ties_at_delta_are_reported(self):
+        data = np.array([[1.0], [1.0], [5.0]])
+        bound, delta, at_delta = fagin_lower_bound(data, [0.0], k=1, n=1)
+        assert delta == 1.0
+        assert bound == 1  # nothing strictly below delta
+        assert at_delta == 2
+
+    def test_validates_arguments(self):
+        data = np.zeros((3, 2))
+        with pytest.raises(ValidationError):
+            fagin_lower_bound(np.zeros(3), [0.0], k=1, n=1)
+        with pytest.raises(ValidationError):
+            fagin_lower_bound(data, [0.0, 0.0], k=0, n=1)
+        with pytest.raises(ValidationError):
+            fagin_lower_bound(data, [0.0, 0.0], k=4, n=1)
+        with pytest.raises(ValidationError):
+            fagin_lower_bound(data, [0.0, 0.0], k=1, n=3)
+
+
+class TestExaminedCost:
+    def test_frontier_engines_are_charged_heap_pops(self):
+        from repro.core.types import SearchStats
+
+        stats = SearchStats(heap_pops=7, attributes_retrieved=20)
+        assert examined_cost(stats) == 7
+
+    def test_scan_engines_are_charged_everything_examined(self):
+        from repro.core.types import SearchStats
+
+        stats = SearchStats(
+            attributes_retrieved=30,
+            approximation_entries_scanned=12,
+            inverted_list_entries=5,
+        )
+        assert examined_cost(stats) == 47
+
+
+@pytest.fixture
+def tie_free_db(rng):
+    # Continuous uniform draws are attribute-difference tie-free with
+    # probability 1; the fixed seed makes the property reproducible.
+    data = rng.random((400, 5))
+    query = rng.random(5)
+    return MatchDatabase(data), query
+
+
+class TestEngineOptimality:
+    def test_ad_audits_at_exactly_one_on_tie_free_data(self, tie_free_db):
+        db, query = tie_free_db
+        result = db.k_n_match(query, 8, 3, engine="ad")
+        report = audit_result(db.data, query, result, engine="ad")
+        assert report.tie_free
+        assert report.ratio == 1.0
+        assert report.examined == report.lower_bound
+
+    def test_ad_frequent_audits_at_one(self, tie_free_db):
+        db, query = tie_free_db
+        result = db.frequent_k_n_match(query, 8, (2, 4), engine="ad")
+        report = audit_result(db.data, query, result, engine="ad")
+        assert report.kind == "frequent_k_n_match"
+        assert report.n == 4  # Thm 3.3: charged as a k-n1-match search
+        assert report.tie_free
+        assert report.ratio == 1.0
+
+    def test_every_engine_is_at_or_above_the_bound(self, tie_free_db):
+        db, query = tie_free_db
+        reports = audit_engines(db, query, k=8, n=3)
+        assert set(reports) == set(ENGINE_NAMES)
+        for name, report in reports.items():
+            assert isinstance(report, OptimalityReport)
+            assert report.ratio >= 1.0, f"{name} audited below the bound"
+        assert reports["ad"].ratio == 1.0
+
+    def test_disk_ad_audits_at_one(self, tie_free_db):
+        from repro.disk import DiskADEngine
+
+        db, query = tie_free_db
+        engine = DiskADEngine(db.data)
+        result = engine.k_n_match(query, 8, 3)
+        report = audit_result(db.data, query, result, engine="disk-ad")
+        assert report.ratio == 1.0
+
+    def test_vafile_audits_at_or_above_one(self, tie_free_db):
+        from repro.vafile import VAFileEngine
+
+        db, query = tie_free_db
+        engine = VAFileEngine(db.data)
+        result = engine.k_n_match(query, 8, 3)
+        report = audit_result(db.data, query, result, engine="va-file")
+        assert report.ratio >= 1.0
+
+    def test_summary_format(self, tie_free_db):
+        db, query = tie_free_db
+        result = db.k_n_match(query, 8, 3, engine="ad")
+        summary = audit_result(db.data, query, result, engine="ad").summary()
+        assert summary.startswith("audit[ad/k_n_match] delta=")
+        assert "ratio=1.0000" in summary
+
+    def test_rejects_unknown_result_type(self, tie_free_db):
+        db, query = tie_free_db
+        with pytest.raises(ValidationError):
+            audit_result(db.data, query, object(), engine="ad")

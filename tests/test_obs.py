@@ -270,3 +270,43 @@ class TestConcurrency:
         with ThreadPoolExecutor(max_workers=8) as pool:
             list(pool.map(spin, range(8)))
         assert counter.value == 80_000
+
+    def test_exporters_are_deterministic_after_concurrent_writes(self):
+        """Concurrent registration order must not leak into the output.
+
+        Eight threads create labelled children of one registry in eight
+        different interleavings; the rendered output must have exact
+        totals and be byte-identical to a serially-built registry —
+        stable family and label-set ordering regardless of which thread
+        touched a series first.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        hammered = MetricsRegistry()
+
+        def spin(worker):
+            family = hammered.counter("c_total")
+            gauge = hammered.gauge("g")
+            # Each worker walks the label space in its own rotation, so
+            # first-registration order differs run to run and thread to
+            # thread.
+            for step in range(1_000):
+                engine = f"e{(worker + step) % 4}"
+                family.labels(engine=engine, kind="k_n_match").inc()
+                gauge.labels(engine=engine).set(7)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(spin, range(8)))
+
+        serial = MetricsRegistry()
+        for engine in ("e0", "e1", "e2", "e3"):
+            serial.counter("c_total").labels(
+                engine=engine, kind="k_n_match"
+            ).inc(2_000)
+        for engine in ("e3", "e2", "e1", "e0"):  # reverse on purpose
+            serial.gauge("g").labels(engine=engine).set(7)
+
+        text = render_prometheus(hammered)
+        assert text == render_prometheus(serial)
+        assert render_json(hammered) == render_json(serial)
+        assert registry_to_dict(hammered) == registry_to_dict(serial)

@@ -236,3 +236,133 @@ class TestCli:
             for series in doc["repro_batch_queries_total"]["series"]
         )
         assert total == 6
+
+
+class TestCliStatsEngine:
+    @pytest.fixture()
+    def db_path(self, tmp_path, data):
+        path = tmp_path / "db.npz"
+        save_database(MatchDatabase(data), str(path))
+        return str(path)
+
+    def test_stats_engine_selects_the_probed_engine(self, db_path, capsys):
+        code = cli_main(
+            [
+                "stats", db_path, "--k", "3",
+                "--engine", "block-ad", "--no-disk",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'repro_queries_total{engine="block-ad",kind="k_n_match"} 1' in out
+        assert 'engine="ad"' not in out
+
+    def test_stats_engine_rejects_unknown_names(self, db_path, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["stats", db_path, "--k", "3", "--engine", "nope"])
+
+
+class TestCliTrace:
+    @pytest.fixture()
+    def db_path(self, tmp_path, data):
+        path = tmp_path / "db.npz"
+        save_database(MatchDatabase(data), str(path))
+        return str(path)
+
+    def test_trace_knmatch_prints_span_tree(self, db_path, capsys):
+        code = cli_main(
+            ["trace", db_path, "--k", "3", "--n", "4", "--query-row", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3-4-match answers (id, difference):" in out
+        assert "spans (1 trace):" in out
+        assert "ad/k_n_match" in out
+        assert "cursor_init" in out
+        assert "heap_consume" in out
+
+    def test_trace_frequent_block_ad(self, db_path, capsys):
+        code = cli_main(
+            [
+                "trace", db_path, "--k", "3", "--n-range", "2:6",
+                "--query-row", "1", "--engine", "block-ad",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frequent 3-n-match over n in [2, 6]" in out
+        assert "block-ad/frequent_k_n_match" in out
+        assert "window_grow" in out
+        assert "rank" in out
+
+    def test_trace_sharded_fanout(self, db_path, capsys):
+        code = cli_main(
+            [
+                "trace", db_path, "--k", "3", "--n", "4",
+                "--query-row", "0", "--shards", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded/k_n_match" in out
+        assert "shard_fanout" in out
+        assert "merge" in out
+
+    def test_trace_chrome_out_is_valid_trace_event_json(
+        self, db_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "trace.json"
+        code = cli_main(
+            [
+                "trace", db_path, "--k", "3", "--n", "4",
+                "--query-row", "0", "--chrome-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert f"wrote Chrome trace to {out_path}" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        spans = [event for event in events if event["ph"] == "X"]
+        assert {"ad/k_n_match", "cursor_init", "heap_consume"} <= {
+            event["name"] for event in spans
+        }
+        for event in spans:
+            assert event["dur"] >= 0.0
+            assert {"ph", "name", "cat", "pid", "tid", "ts", "dur", "args"} <= (
+                set(event)
+            )
+
+    def test_trace_audit_reports_ratio_one_for_ad(self, db_path, capsys):
+        code = cli_main(
+            [
+                "trace", db_path, "--k", "3", "--n", "4",
+                "--query-row", "2", "--audit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit[ad/k_n_match]" in out
+        assert "ratio=1.0000" in out
+
+    def test_trace_slow_log_line(self, db_path, capsys):
+        code = cli_main(
+            [
+                "trace", db_path, "--k", "3", "--n", "4",
+                "--query-row", "0", "--slow-ms", "0",
+            ]
+        )
+        assert code == 0
+        assert "slow-query log (>= 0ms): 1 trace" in capsys.readouterr().out
+
+    def test_trace_bad_query_row(self, db_path, capsys):
+        code = cli_main(
+            ["trace", db_path, "--k", "3", "--n", "4", "--query-row", "9999"]
+        )
+        assert code == 2
+        assert "query-row" in capsys.readouterr().err
+
+    def test_trace_requires_one_n_mode(self, db_path):
+        with pytest.raises(SystemExit):
+            cli_main(["trace", db_path, "--k", "3", "--query-row", "0"])

@@ -1,0 +1,195 @@
+"""The perf-regression gate (``benchmarks/regress.py``), on fixtures.
+
+Builds small BENCH_*.json fixtures in a temp directory and checks the
+flattening (config-signature keying, not positional), the comparison
+classification, and the process-level contract: exit 0 when within
+tolerance, exit 1 on an injected regression or an unmet
+``--require-match``, exit 2 on unusable inputs.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_REGRESS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "regress.py",
+)
+_spec = importlib.util.spec_from_file_location("regress", _REGRESS_PATH)
+regress = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("regress", regress)
+_spec.loader.exec_module(regress)
+
+
+def _report(rate_a=100.0, rate_b=500.0):
+    return {
+        "benchmark": "bench_demo",
+        "mode": "full",
+        "timestamp": "2026-01-01T00:00:00",
+        "repeats": 5,
+        "results": [
+            {
+                "cardinality": 1000,
+                "k": 5,
+                "serial": {"seconds": 1.0, "queries_per_second": rate_a},
+                "parallel": {
+                    "2": {"seconds": 0.2, "queries_per_second": rate_b}
+                },
+            }
+        ],
+    }
+
+
+def _write(directory, name, report):
+    path = directory / name
+    path.write_text(json.dumps(report))
+    return path
+
+
+class TestExtraction:
+    def test_keys_use_config_signature_not_position(self):
+        rates = regress.extract_rates(_report())
+        assert rates == {
+            "bench_demo:results[cardinality=1000,k=5].serial": 100.0,
+            "bench_demo:results[cardinality=1000,k=5].parallel.2": 500.0,
+        }
+
+    def test_reordered_results_produce_identical_keys(self):
+        report = _report()
+        entry = dict(report["results"][0], cardinality=2000)
+        report["results"].append(entry)
+        reordered = dict(report, results=list(reversed(report["results"])))
+        assert regress.extract_rates(report) == regress.extract_rates(
+            reordered
+        )
+
+    def test_measurement_fields_are_not_identity(self):
+        faster = _report()
+        faster["results"][0]["serial"]["seconds"] = 0.5
+        assert set(regress.extract_rates(_report())) == set(
+            regress.extract_rates(faster)
+        )
+
+    def test_real_reports_extract(self, tmp_path):
+        # The committed benchmark reports must stay flattenable — the
+        # gate is only as good as its coverage of the real schema.
+        root = os.path.dirname(os.path.dirname(_REGRESS_PATH))
+        rates = regress.collect_reports(root)
+        assert len(rates) >= 10
+        assert all(rate > 0 for rate in rates.values())
+        assert any(key.startswith("bench_obs:") for key in rates)
+        assert any(key.startswith("bench_batch:") for key in rates)
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        baseline = {"a": 100.0, "b": 50.0}
+        current = {"a": 80.0, "b": 60.0}
+        regressions, matched, unmatched = regress.compare(
+            baseline, current, threshold=0.5
+        )
+        assert regressions == []
+        assert matched == ["a", "b"]
+        assert unmatched == []
+
+    def test_regression_is_flagged(self):
+        regressions, _, _ = regress.compare(
+            {"a": 100.0}, {"a": 40.0}, threshold=0.5
+        )
+        assert len(regressions) == 1
+        key, base, cur, change = regressions[0]
+        assert (key, base, cur) == ("a", 100.0, 40.0)
+        assert change == pytest.approx(-0.6)
+
+    def test_unmatched_keys_do_not_fail(self):
+        regressions, matched, unmatched = regress.compare(
+            {"a": 100.0, "old": 1.0}, {"a": 100.0, "new": 1.0}, threshold=0.5
+        )
+        assert regressions == []
+        assert matched == ["a"]
+        assert unmatched == ["new", "old"]
+
+
+class TestMain:
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        _write(base, "BENCH_demo.json", _report())
+        _write(cur, "BENCH_demo.json", _report())
+        status = regress.main(
+            [
+                "--baseline", str(base),
+                "--current", str(cur),
+                "--require-match", "2",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "2 matched, 0 unmatched, 0 regressed" in out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        _write(base, "BENCH_demo.json", _report())
+        _write(cur, "BENCH_demo.json", _report(rate_a=10.0))  # 10x collapse
+        status = regress.main(
+            ["--baseline", str(base), "--current", str(cur)]
+        )
+        assert status == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_require_match_guards_vacuous_comparisons(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        _write(base, "BENCH_demo.json", _report())
+        other = dict(_report(), benchmark="bench_other")
+        _write(cur, "BENCH_other.json", other)
+        assert (
+            regress.main(["--baseline", str(base), "--current", str(cur)])
+            == 0
+        )
+        capsys.readouterr()
+        status = regress.main(
+            [
+                "--baseline", str(base),
+                "--current", str(cur),
+                "--require-match", "1",
+            ]
+        )
+        assert status == 1
+        assert "--require-match" in capsys.readouterr().err
+
+    def test_missing_reports_exit_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        status = regress.main(
+            ["--baseline", str(empty), "--current", str(empty)]
+        )
+        assert status == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_corrupt_report_exits_two(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        base.mkdir()
+        (base / "BENCH_bad.json").write_text("{not json")
+        status = regress.main(
+            ["--baseline", str(base), "--current", str(base)]
+        )
+        assert status == 2
+        assert "cannot read report" in capsys.readouterr().err
+
+    def test_list_mode(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        base.mkdir()
+        _write(base, "BENCH_demo.json", _report())
+        assert regress.main(["--list", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "2 throughput keys" in out
+        assert "bench_demo:results[cardinality=1000,k=5].serial" in out

@@ -315,9 +315,9 @@ class TestFacade:
         db = ShardedMatchDatabase(tie_data, shards=4, default_engine="ad")
         result = db.k_n_match(tie_query, 5, 3, trace=True)
         assert result.trace is not None
-        assert "sharded[4xad]" in result.trace.summary()
+        assert "sharded[4xad/round-robin]" in result.trace.summary()
         frequent = db.frequent_k_n_match(tie_query, 4, (2, 4), trace=True)
-        assert "sharded[4xad]" in frequent.trace.summary()
+        assert "sharded[4xad/round-robin]" in frequent.trace.summary()
 
     def test_last_batch_stats(self, tie_data):
         db = ShardedMatchDatabase(tie_data, shards=4, workers=2)
