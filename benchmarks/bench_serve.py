@@ -1,0 +1,284 @@
+"""Serving benchmark: HTTP throughput cold vs cache-hit, shed rate under overload.
+
+Runs a real :class:`repro.serve.MatchServer` on an ephemeral localhost
+port and measures, through :class:`repro.serve.ServeClient`:
+
+* **cold** queries/second — every request is a distinct query, so each
+  one misses the result cache and runs the engine;
+* **cache-hit** queries/second — one query repeated, answered from the
+  generation-keyed cache (the acceptance bar: at least
+  ``HIT_SPEEDUP_TARGET`` x cold);
+* **overload behaviour** — a deliberately slow database behind
+  ``max_inflight=2`` and a short deadline, hammered by concurrent
+  clients: every request must resolve as 200 or 429 (never hang, never
+  5xx), with a non-zero shed rate.
+
+Before any timing, remote answers are asserted bit-identical to direct
+facade calls.  Results are written as machine-readable JSON under the
+shared ``BENCH_*.json`` schema (see ``BENCH_serve.json`` at the
+repository root for a recorded run)::
+
+    python benchmarks/bench_serve.py --smoke -o BENCH_serve.json
+    python benchmarks/bench_serve.py -o BENCH_serve.json
+
+``--smoke`` runs the headline configuration only; its result entry
+carries the same configuration signature as the full run's, so
+``regress.py`` matches smoke runs against the committed full baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.core.engine import MatchDatabase
+from repro.serve import MatchServer, ServeApp, ServeClient, canonical_json
+
+#: (cardinality, dimensionality, k, n) per configuration.
+HEADLINE_CONFIG = (20_000, 16, 10, 8)
+FULL_CONFIGS = [
+    HEADLINE_CONFIG,
+    (5_000, 8, 5, 4),
+]
+SMOKE_CONFIGS = [HEADLINE_CONFIG]
+
+#: The acceptance bar: cache-hit throughput >= this multiple of cold.
+HIT_SPEEDUP_TARGET = 5.0
+
+COLD_QUERIES = 64
+HIT_REQUESTS = 256
+
+#: Overload section parameters.
+OVERLOAD_MAX_INFLIGHT = 2
+OVERLOAD_DEADLINE_MS = 100.0
+OVERLOAD_CLIENTS = 12
+OVERLOAD_QUERY_SECONDS = 0.15
+
+
+def bench_config(
+    cardinality: int, dimensionality: int, k: int, n: int, seed: int = 42
+) -> Dict:
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(cardinality, dimensionality))
+    cold_queries = rng.uniform(
+        0.0, 1.0, size=(COLD_QUERIES, dimensionality)
+    )
+    hot_query = list(rng.uniform(0.0, 1.0, size=dimensionality))
+
+    db = MatchDatabase(data)
+    app = ServeApp(db, cache_size=COLD_QUERIES + 8)
+    with MatchServer(app) as server:
+        client = ServeClient(server.host, server.port)
+
+        # correctness gate: remote answers bit-identical to direct calls
+        for query in cold_queries[:4]:
+            direct = db.k_n_match(query, k, n)
+            remote = client.query(list(query), k, n)
+            assert remote.ids == direct.ids
+            assert remote.differences == direct.differences
+        app.cache.clear()
+
+        started = time.perf_counter()
+        for query in cold_queries:
+            client.query(list(query), k, n)
+        cold_seconds = time.perf_counter() - started
+        assert app.cache.hits == 0, "cold pass must never hit the cache"
+
+        body = canonical_json({"query": hot_query, "k": k, "n": n})
+        status, headers, _ = client.post_raw("/v1/query", body)  # prime
+        assert status == 200 and headers["X-Repro-Cache"] == "miss"
+        started = time.perf_counter()
+        for _ in range(HIT_REQUESTS):
+            client.post_raw("/v1/query", body)
+        hit_seconds = time.perf_counter() - started
+        status, headers, _ = client.post_raw("/v1/query", body)
+        assert headers["X-Repro-Cache"] == "hit", "hot pass must hit"
+
+    cold_qps = COLD_QUERIES / cold_seconds
+    hit_qps = HIT_REQUESTS / hit_seconds
+    return {
+        "cardinality": cardinality,
+        "dimensionality": dimensionality,
+        "k": k,
+        "n": n,
+        "cold": {
+            "queries": COLD_QUERIES,
+            "seconds": cold_seconds,
+            "queries_per_second": cold_qps,
+        },
+        "cache_hit": {
+            "queries": HIT_REQUESTS,
+            "seconds": hit_seconds,
+            "queries_per_second": hit_qps,
+        },
+        "hit_over_cold_speedup": hit_qps / cold_qps,
+    }
+
+
+class _SlowDB:
+    """Duck-typed facade whose queries take a fixed wall time."""
+
+    def __init__(self, inner: MatchDatabase, seconds: float) -> None:
+        self._inner = inner
+        self._seconds = seconds
+        self.cardinality = inner.cardinality
+        self.dimensionality = inner.dimensionality
+
+    def k_n_match(self, query, k, n):
+        time.sleep(self._seconds)
+        return self._inner.k_n_match(query, k, n)
+
+
+def bench_overload(seed: int = 7) -> Dict:
+    """Hammer a slow server past ``max_inflight``; count the sheds."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(500, 8))
+    db = _SlowDB(MatchDatabase(data), OVERLOAD_QUERY_SECONDS)
+    app = ServeApp(
+        db,
+        max_inflight=OVERLOAD_MAX_INFLIGHT,
+        deadline_ms=OVERLOAD_DEADLINE_MS,
+        cache_size=0,
+    )
+    statuses: List[int] = []
+    lock = threading.Lock()
+    with MatchServer(app) as server:
+        client = ServeClient(server.host, server.port)
+
+        def fire(index: int) -> None:
+            body = canonical_json(
+                {"query": list(rng.uniform(size=8)), "k": 3, "n": 4}
+            )
+            status, _, _ = client.post_raw("/v1/query", body)
+            with lock:
+                statuses.append(status)
+
+        threads = [
+            threading.Thread(target=fire, args=(index,))
+            for index in range(OVERLOAD_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        elapsed = time.perf_counter() - started
+
+    answered = statuses.count(200)
+    shed = statuses.count(429)
+    assert len(statuses) == OVERLOAD_CLIENTS, "every request must resolve"
+    assert answered + shed == OVERLOAD_CLIENTS, (
+        f"only 200/429 allowed under overload; got {sorted(set(statuses))}"
+    )
+    assert shed > 0, "overload past max_inflight must shed"
+    assert app.admission.inflight == 0
+    return {
+        "clients": OVERLOAD_CLIENTS,
+        "max_inflight": OVERLOAD_MAX_INFLIGHT,
+        "deadline_ms": OVERLOAD_DEADLINE_MS,
+        "query_seconds": OVERLOAD_QUERY_SECONDS,
+        "answered": answered,
+        "shed": shed,
+        "shed_rate": shed / OVERLOAD_CLIENTS,
+        "wall_seconds": elapsed,
+        "never_hung": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="headline configuration only"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default=None,
+        help="also write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    report = {
+        "benchmark": "bench_serve",
+        "mode": "smoke" if args.smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "results": [],
+    }
+    for cardinality, dimensionality, k, n in configs:
+        print(
+            f"config c={cardinality} d={dimensionality} k={k} n={n} ...",
+            flush=True,
+        )
+        entry = bench_config(cardinality, dimensionality, k, n)
+        report["results"].append(entry)
+        print(
+            f"  cold      {entry['cold']['queries_per_second']:8.1f} q/s\n"
+            f"  cache-hit {entry['cache_hit']['queries_per_second']:8.1f} q/s "
+            f"({entry['hit_over_cold_speedup']:.1f}x)",
+            flush=True,
+        )
+        if (cardinality, dimensionality, k, n) == HEADLINE_CONFIG:
+            report["headline"] = {
+                "config": {
+                    "cardinality": cardinality,
+                    "dimensionality": dimensionality,
+                    "k": k,
+                    "n": n,
+                },
+                "hit_over_cold_speedup": entry["hit_over_cold_speedup"],
+                "target": HIT_SPEEDUP_TARGET,
+                "meets_target": (
+                    entry["hit_over_cold_speedup"] >= HIT_SPEEDUP_TARGET
+                ),
+            }
+            print(
+                f"  headline: {entry['hit_over_cold_speedup']:.1f}x cache-hit "
+                f"speedup (target {HIT_SPEEDUP_TARGET:g}x, "
+                f"{'met' if report['headline']['meets_target'] else 'MISSED'})",
+                flush=True,
+            )
+
+    print("overload shedding ...", flush=True)
+    report["overload"] = bench_overload()
+    print(
+        f"  {report['overload']['answered']} answered, "
+        f"{report['overload']['shed']} shed "
+        f"({report['overload']['shed_rate']:.0%}) in "
+        f"{report['overload']['wall_seconds']:.2f}s; every request resolved",
+        flush=True,
+    )
+
+    if not args.smoke and not report["headline"]["meets_target"]:
+        print(
+            "error: cache-hit speedup below target in a full run",
+            file=sys.stderr,
+        )
+        return 1
+
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

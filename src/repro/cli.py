@@ -12,6 +12,7 @@ Subcommands::
     repro stats     db.npz --k 5 --n 8 --format prom [--engine block-ad]
     repro trace     db.npz --k 5 --n 8 --query-row 0 [--chrome-out t.json]
     repro advise    db.npz --k 20 --n-range 4:8
+    repro serve     db.npz --port 8707 --max-inflight 64 --cache-size 1024
     repro experiments --scale 0.1 --only table4,fig12
 
 ``query`` accepts either an inline comma-separated vector (``--query``)
@@ -60,7 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="matching-based similarity search (k-n-match, VLDB'06)",
     )
-    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -316,6 +319,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--minimize", choices=("attributes", "wall-clock"), default="wall-clock"
     )
     advise.add_argument("--samples", type=int, default=5)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve (frequent) k-n-match queries over HTTP",
+        description=(
+            "Run an HTTP server answering k-n-match, frequent k-n-match "
+            "and batch queries over a versioned JSON protocol (see "
+            "docs/serving.md).  Admission control bounds concurrent "
+            "queries (--max-inflight) with deadline-aware 429 shedding "
+            "(--deadline-ms); a generation-keyed LRU cache (--cache-size) "
+            "replays repeated queries byte-identically.  GET /metrics "
+            "exposes the repro_serve_* and engine counters in Prometheus "
+            "text; SIGTERM/SIGINT drains in-flight queries before exit.  "
+            "--port 0 picks an ephemeral port, printed on startup."
+        ),
+    )
+    serve.add_argument("database", help="database .npz path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8707,
+        help="listen port (0 picks an ephemeral one, printed on startup)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help="default engine for served queries",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the data and serve by scatter-gather (exact)",
+    )
+    serve.add_argument(
+        "--partitioner",
+        choices=partitioner_names(),
+        default=None,
+        help="shard assignment strategy (requires --shards)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard coordinator thread-pool size (requires --shards)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="concurrent query limit; excess requests queue then shed (429)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        help="default per-request queueing deadline in milliseconds",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="result-cache capacity in entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="how long shutdown waits for in-flight queries",
+    )
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
@@ -724,6 +799,35 @@ def _run_experiments(args) -> int:
     return runall.main(argv)
 
 
+def _run_serve(args) -> int:
+    from .serve import MatchServer, ServeApp
+
+    db = _load_db(args)
+    app = ServeApp(
+        db,
+        default_engine=args.engine,
+        max_inflight=args.max_inflight,
+        deadline_ms=args.deadline_ms,
+        cache_size=args.cache_size,
+    )
+    server = MatchServer(app, host=args.host, port=args.port)
+    shard_note = (
+        f", {db.shard_count} shards" if hasattr(db, "shard_count") else ""
+    )
+    # the port line is load-bearing: with --port 0, clients (and the CLI
+    # e2e test) learn the ephemeral port from it.
+    print(
+        f"serving {db.cardinality} points x {db.dimensionality} dims"
+        f"{shard_note} on http://{server.host}:{server.port} "
+        f"(max-inflight={args.max_inflight}, deadline={args.deadline_ms:g}ms, "
+        f"cache={args.cache_size})",
+        flush=True,
+    )
+    server.run(drain_seconds=args.drain_seconds)
+    print("server drained and stopped", flush=True)
+    return 0
+
+
 _HANDLERS = {
     "generate": _run_generate,
     "build": _run_build,
@@ -734,6 +838,7 @@ _HANDLERS = {
     "stats": _run_stats,
     "trace": _run_trace,
     "advise": _run_advise,
+    "serve": _run_serve,
     "experiments": _run_experiments,
 }
 

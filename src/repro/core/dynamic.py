@@ -21,10 +21,28 @@ a new base segment and the sorted columns are rebuilt once.
 
 Point ids are stable across compactions — they are assigned at insert
 time and never reused.
+
+The structure is **thread-safe**: one reentrant lock serialises updates
+and queries, so it can sit behind the threaded HTTP server
+(:mod:`repro.serve`) with writers racing readers.  Every mutation bumps
+a monotonic :attr:`generation` counter, which the serving layer's
+result cache keys on — a cached answer is valid exactly as long as the
+generation it was computed under.
+
+Like every other facade, ``metrics=`` installs a
+:class:`~repro.obs.MetricsRegistry` (queries recorded under
+``engine="dynamic"``) and ``spans=`` a
+:class:`~repro.obs.SpanCollector` (roots ``dynamic/k_n_match`` /
+``dynamic/frequent_k_n_match`` with ``base_search``, ``buffer_scan``
+and ``merge`` phases).  The inner base engine stays uninstrumented so
+logical query counters are not double-counted, mirroring the shard
+layer's convention.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -46,6 +64,8 @@ class DynamicMatchDatabase:
         dimensionality: Optional[int] = None,
         compaction_threshold: float = 0.25,
         min_buffer: int = 64,
+        metrics: Optional[object] = None,
+        spans: Optional[object] = None,
     ) -> None:
         if data is None and dimensionality is None:
             raise ValidationError(
@@ -86,6 +106,12 @@ class DynamicMatchDatabase:
         self._tombstones: set = set()
         self._base_engine: Optional[BlockADEngine] = None
         self.compactions = 0
+        self._metrics = metrics
+        self._spans = spans
+        self._generation = 0
+        # Reentrant: insert -> _maybe_compact -> compact re-enters, and
+        # insert_many loops over insert.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # introspection
@@ -95,11 +121,43 @@ class DynamicMatchDatabase:
         return self._dimensionality
 
     @property
+    def generation(self) -> int:
+        """Monotonic mutation counter; bumps on insert/delete/compact.
+
+        Two queries observing the same generation see the same live
+        point set, so any result computed at generation ``g`` may be
+        replayed verbatim while :attr:`generation` still equals ``g`` —
+        the invariant the :mod:`repro.serve` result cache relies on.
+        """
+        return self._generation
+
+    @property
+    def metrics(self):
+        """The installed :class:`~repro.obs.MetricsRegistry`, or ``None``."""
+        return self._metrics
+
+    def set_metrics(self, registry) -> None:
+        """Install (or remove, with ``None``) a metrics registry."""
+        self._metrics = registry
+
+    @property
+    def spans(self):
+        """The installed :class:`~repro.obs.SpanCollector`, or ``None``."""
+        return self._spans
+
+    def set_spans(self, collector) -> None:
+        """Install (or remove, with ``None``) a span collector."""
+        self._spans = collector
+
+    @property
     def cardinality(self) -> int:
         """Number of live (non-deleted) points."""
-        return (
-            self._base.shape[0] + len(self._buffer_rows) - len(self._tombstones)
-        )
+        with self._lock:
+            return (
+                self._base.shape[0]
+                + len(self._buffer_rows)
+                - len(self._tombstones)
+            )
 
     @property
     def buffer_size(self) -> int:
@@ -113,43 +171,46 @@ class DynamicMatchDatabase:
         return self.cardinality
 
     def __contains__(self, pid: int) -> bool:
-        if pid in self._tombstones:
-            return False
-        if pid in self._buffer_pids:
-            return True
-        position = np.searchsorted(self._base_pids, pid)
-        return bool(
-            position < self._base_pids.shape[0]
-            and self._base_pids[position] == pid
-        )
+        with self._lock:
+            if pid in self._tombstones:
+                return False
+            if pid in self._buffer_pids:
+                return True
+            position = np.searchsorted(self._base_pids, pid)
+            return bool(
+                position < self._base_pids.shape[0]
+                and self._base_pids[position] == pid
+            )
 
     def get_point(self, pid: int) -> np.ndarray:
         """The coordinates of a live point."""
-        if pid in self._tombstones:
-            raise ValidationError(f"point {pid} was deleted")
-        if pid in self._buffer_pids:
-            return self._buffer_rows[self._buffer_pids.index(pid)].copy()
-        position = int(np.searchsorted(self._base_pids, pid))
-        if (
-            position < self._base_pids.shape[0]
-            and self._base_pids[position] == pid
-        ):
-            return self._base[position].copy()
-        raise ValidationError(f"unknown point id {pid}")
+        with self._lock:
+            if pid in self._tombstones:
+                raise ValidationError(f"point {pid} was deleted")
+            if pid in self._buffer_pids:
+                return self._buffer_rows[self._buffer_pids.index(pid)].copy()
+            position = int(np.searchsorted(self._base_pids, pid))
+            if (
+                position < self._base_pids.shape[0]
+                and self._base_pids[position] == pid
+            ):
+                return self._base[position].copy()
+            raise ValidationError(f"unknown point id {pid}")
 
     def snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
         """All live points as ``(rows, pids)``, base then buffer order."""
-        rows = [self._base]
-        pids = [self._base_pids]
-        if self._buffer_rows:
-            rows.append(np.vstack(self._buffer_rows))
-            pids.append(np.asarray(self._buffer_pids, dtype=np.int64))
-        all_rows = np.vstack(rows) if rows else self._base
-        all_pids = np.concatenate(pids)
-        if self._tombstones:
-            live = ~np.isin(all_pids, list(self._tombstones))
-            return all_rows[live], all_pids[live]
-        return all_rows, all_pids
+        with self._lock:
+            rows = [self._base]
+            pids = [self._base_pids]
+            if self._buffer_rows:
+                rows.append(np.vstack(self._buffer_rows))
+                pids.append(np.asarray(self._buffer_pids, dtype=np.int64))
+            all_rows = np.vstack(rows) if rows else self._base
+            all_pids = np.concatenate(pids)
+            if self._tombstones:
+                live = ~np.isin(all_pids, list(self._tombstones))
+                return all_rows[live], all_pids[live]
+            return all_rows, all_pids
 
     # ------------------------------------------------------------------
     # updates
@@ -157,11 +218,13 @@ class DynamicMatchDatabase:
     def insert(self, point) -> int:
         """Insert one point; returns its (stable) id."""
         coords = validation.as_query_array(point, self._dimensionality)
-        pid = self._next_pid
-        self._next_pid += 1
-        self._buffer_rows.append(coords)
-        self._buffer_pids.append(pid)
-        self._maybe_compact()
+        with self._lock:
+            pid = self._next_pid
+            self._next_pid += 1
+            self._buffer_rows.append(coords)
+            self._buffer_pids.append(pid)
+            self._generation += 1
+            self._maybe_compact()
         return pid
 
     def insert_many(self, points) -> List[int]:
@@ -172,26 +235,33 @@ class DynamicMatchDatabase:
                 f"points have {array.shape[1]} dimensions; expected "
                 f"{self._dimensionality}"
             )
-        return [self.insert(row) for row in array]
+        with self._lock:
+            return [self.insert(row) for row in array]
 
     def delete(self, pid: int) -> None:
         """Delete a live point by id."""
-        if pid not in self:
-            raise ValidationError(f"point {pid} does not exist or was deleted")
-        self._tombstones.add(pid)
-        self._maybe_compact()
+        with self._lock:
+            if pid not in self:
+                raise ValidationError(
+                    f"point {pid} does not exist or was deleted"
+                )
+            self._tombstones.add(pid)
+            self._generation += 1
+            self._maybe_compact()
 
     def compact(self) -> None:
         """Consolidate live points into a fresh base segment."""
-        rows, pids = self.snapshot()
-        order = np.argsort(pids)
-        self._base = np.ascontiguousarray(rows[order])
-        self._base_pids = pids[order]
-        self._buffer_rows = []
-        self._buffer_pids = []
-        self._tombstones = set()
-        self._base_engine = None
-        self.compactions += 1
+        with self._lock:
+            rows, pids = self.snapshot()
+            order = np.argsort(pids)
+            self._base = np.ascontiguousarray(rows[order])
+            self._base_pids = pids[order]
+            self._buffer_rows = []
+            self._buffer_pids = []
+            self._tombstones = set()
+            self._base_engine = None
+            self.compactions += 1
+            self._generation += 1
 
     def _maybe_compact(self) -> None:
         churn = len(self._buffer_rows) + len(self._tombstones)
@@ -206,14 +276,31 @@ class DynamicMatchDatabase:
     # ------------------------------------------------------------------
     def k_n_match(self, query, k: int, n: int) -> MatchResult:
         """Exact k-n-match over the live points."""
-        if self.cardinality == 0:
-            raise EmptyDatabaseError("no live points to search")
-        k = validation.validate_k(k, self.cardinality)
-        n = validation.validate_n(n, self._dimensionality)
-        query = validation.as_query_array(query, self._dimensionality)
+        registry = self._metrics
+        spans = self._spans
+        started = time.perf_counter() if registry is not None else 0.0
+        with self._lock:
+            if self.cardinality == 0:
+                raise EmptyDatabaseError("no live points to search")
+            k = validation.validate_k(k, self.cardinality)
+            n = validation.validate_n(n, self._dimensionality)
+            query = validation.as_query_array(query, self._dimensionality)
 
-        candidates, stats = self._candidates(query, k, (n, n))
-        merged = sorted(candidates[n])[:k]
+            if spans is None:
+                candidates, stats = self._candidates(query, k, (n, n))
+                merged = sorted(candidates[n])[:k]
+            else:
+                with spans.span("dynamic/k_n_match", k=k, n=n):
+                    candidates, stats = self._candidates(query, k, (n, n))
+                    with spans.span("merge"):
+                        merged = sorted(candidates[n])[:k]
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, "dynamic", "k_n_match", stats,
+                time.perf_counter() - started, self._dimensionality,
+            )
         return MatchResult(
             ids=[pid for _diff, pid in merged],
             differences=[diff for diff, _pid in merged],
@@ -226,18 +313,34 @@ class DynamicMatchDatabase:
         self, query, k: int, n_range: Tuple[int, int], keep_answer_sets: bool = True
     ) -> FrequentMatchResult:
         """Exact frequent k-n-match over the live points."""
-        if self.cardinality == 0:
-            raise EmptyDatabaseError("no live points to search")
-        k = validation.validate_k(k, self.cardinality)
-        n0, n1 = validation.validate_n_range(n_range, self._dimensionality)
-        query = validation.as_query_array(query, self._dimensionality)
+        registry = self._metrics
+        spans = self._spans
+        started = time.perf_counter() if registry is not None else 0.0
+        with self._lock:
+            if self.cardinality == 0:
+                raise EmptyDatabaseError("no live points to search")
+            k = validation.validate_k(k, self.cardinality)
+            n0, n1 = validation.validate_n_range(n_range, self._dimensionality)
+            query = validation.as_query_array(query, self._dimensionality)
 
-        candidates, stats = self._candidates(query, k, (n0, n1))
-        answer_sets: Dict[int, List[int]] = {}
-        for n in range(n0, n1 + 1):
-            merged = sorted(candidates[n])[:k]
-            answer_sets[n] = [pid for _diff, pid in merged]
+            if spans is None:
+                candidates, stats = self._candidates(query, k, (n0, n1))
+                answer_sets = self._answer_sets(candidates, k, n0, n1)
+            else:
+                with spans.span(
+                    "dynamic/frequent_k_n_match", k=k, n0=n0, n1=n1
+                ):
+                    candidates, stats = self._candidates(query, k, (n0, n1))
+                    with spans.span("merge"):
+                        answer_sets = self._answer_sets(candidates, k, n0, n1)
         chosen, frequencies = rank_by_frequency(answer_sets, k)
+        if registry is not None:
+            from ..obs import observe_query
+
+            observe_query(
+                registry, "dynamic", "frequent_k_n_match", stats,
+                time.perf_counter() - started, self._dimensionality,
+            )
         return FrequentMatchResult(
             ids=chosen,
             frequencies=frequencies,
@@ -246,6 +349,14 @@ class DynamicMatchDatabase:
             answer_sets=answer_sets if keep_answer_sets else None,
             stats=stats,
         )
+
+    @staticmethod
+    def _answer_sets(candidates, k: int, n0: int, n1: int) -> Dict[int, List[int]]:
+        answer_sets: Dict[int, List[int]] = {}
+        for n in range(n0, n1 + 1):
+            merged = sorted(candidates[n])[:k]
+            answer_sets[n] = [pid for _diff, pid in merged]
+        return answer_sets
 
     # ------------------------------------------------------------------
     def _candidates(
@@ -262,28 +373,47 @@ class DynamicMatchDatabase:
 
         # Base segment through the static engine, over-fetching enough to
         # survive tombstone filtering.
+        spans = self._spans
         if self._base.shape[0]:
-            base_k = min(self._base.shape[0], k + len(self._tombstones))
-            engine = self._engine()
-            result = engine.frequent_k_n_match(
-                query, base_k, (n0, n1), keep_answer_sets=True
-            )
-            stats = stats.merge(result.stats)
-            profiles_cache: Dict[int, np.ndarray] = {}
-            for n, rows in result.answer_sets.items():
-                for row_index in rows:
-                    pid = int(self._base_pids[row_index])
-                    if pid in self._tombstones:
-                        continue
-                    if row_index not in profiles_cache:
-                        profiles_cache[row_index] = np.sort(
-                            np.abs(self._base[row_index] - query)
-                        )
-                    per_n[n].append(
-                        (float(profiles_cache[row_index][n - 1]), pid)
+            if spans is None:
+                stats = self._base_candidates(query, k, n0, n1, per_n, stats)
+            else:
+                with spans.span("base_search"):
+                    stats = self._base_candidates(
+                        query, k, n0, n1, per_n, stats
                     )
 
         # Delta buffer by brute force.
+        if spans is None:
+            self._buffer_candidates(query, n0, n1, per_n, stats)
+        else:
+            with spans.span("buffer_scan", buffered=len(self._buffer_rows)):
+                self._buffer_candidates(query, n0, n1, per_n, stats)
+        return per_n, stats
+
+    def _base_candidates(self, query, k, n0, n1, per_n, stats) -> SearchStats:
+        base_k = min(self._base.shape[0], k + len(self._tombstones))
+        engine = self._engine()
+        result = engine.frequent_k_n_match(
+            query, base_k, (n0, n1), keep_answer_sets=True
+        )
+        stats = stats.merge(result.stats)
+        profiles_cache: Dict[int, np.ndarray] = {}
+        for n, rows in result.answer_sets.items():
+            for row_index in rows:
+                pid = int(self._base_pids[row_index])
+                if pid in self._tombstones:
+                    continue
+                if row_index not in profiles_cache:
+                    profiles_cache[row_index] = np.sort(
+                        np.abs(self._base[row_index] - query)
+                    )
+                per_n[n].append(
+                    (float(profiles_cache[row_index][n - 1]), pid)
+                )
+        return stats
+
+    def _buffer_candidates(self, query, n0, n1, per_n, stats) -> None:
         for coords, pid in zip(self._buffer_rows, self._buffer_pids):
             if pid in self._tombstones:
                 continue
@@ -291,7 +421,6 @@ class DynamicMatchDatabase:
             stats.attributes_retrieved += self._dimensionality
             for n in range(n0, n1 + 1):
                 per_n[n].append((float(profile[n - 1]), pid))
-        return per_n, stats
 
     def _engine(self) -> BlockADEngine:
         if self._base_engine is None:

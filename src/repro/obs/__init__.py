@@ -39,7 +39,11 @@ from .instrument import (
     observe_page_read,
     observe_pager_fault,
     observe_query,
+    observe_serve_cache,
+    observe_serve_request,
+    observe_serve_shed,
     observe_shard_call,
+    serve_inflight_gauge,
 )
 from .registry import (
     Counter,
@@ -87,6 +91,10 @@ __all__ = [
     "observe_shard_call",
     "observe_page_read",
     "observe_pager_fault",
+    "observe_serve_request",
+    "observe_serve_shed",
+    "observe_serve_cache",
+    "serve_inflight_gauge",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_COST_BUCKETS",
 ]

@@ -26,6 +26,10 @@ __all__ = [
     "observe_shard_call",
     "observe_page_read",
     "observe_pager_fault",
+    "observe_serve_request",
+    "observe_serve_shed",
+    "observe_serve_cache",
+    "serve_inflight_gauge",
     "SHARD_SIZE_BUCKETS",
     "STRAGGLER_RATIO_BUCKETS",
 ]
@@ -186,6 +190,78 @@ def observe_shard_call(
         "per-shard wall time of one scatter call",
         buckets=DEFAULT_LATENCY_BUCKETS,
     ).labels(**labels).observe(wall_seconds)
+
+
+def observe_serve_request(
+    registry: MetricsRegistry,
+    endpoint: str,
+    status: int,
+    wall_seconds: float,
+    queue_seconds: float,
+) -> None:
+    """Record one finished HTTP request of the serving layer.
+
+    ``endpoint`` is the request path (``/v1/query``...), ``status`` the
+    HTTP status sent, ``wall_seconds`` the whole in-server handling time
+    and ``queue_seconds`` the admission queue wait (0 for requests that
+    never queued — GETs, early 4xx rejections).
+    """
+    labels = {"endpoint": endpoint, "status": str(status)}
+    registry.counter(
+        "repro_serve_requests_total", "HTTP requests served"
+    ).labels(**labels).inc()
+    registry.histogram(
+        "repro_serve_request_seconds",
+        "in-server request handling time",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(endpoint=endpoint).observe(wall_seconds)
+    registry.histogram(
+        "repro_serve_queue_seconds",
+        "admission queue wait before a request runs",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(endpoint=endpoint).observe(queue_seconds)
+
+
+def observe_serve_shed(
+    registry: MetricsRegistry, endpoint: str, reason: str
+) -> None:
+    """Record one load-shed (429) decision (``reason``: queue_full /
+    deadline)."""
+    registry.counter(
+        "repro_serve_sheds_total", "requests shed by admission control"
+    ).labels(endpoint=endpoint, reason=reason).inc()
+
+
+def observe_serve_cache(
+    registry: MetricsRegistry,
+    endpoint: str,
+    event: str,
+    evictions: int = 0,
+) -> None:
+    """Record one result-cache outcome (``event``: hit / miss / bypass).
+
+    ``evictions`` is the number of entries evicted while storing the
+    miss, counted separately under ``repro_serve_cache_evictions_total``.
+    """
+    if event == "hit":
+        registry.counter(
+            "repro_serve_cache_hits_total", "result-cache hits"
+        ).labels(endpoint=endpoint).inc()
+    elif event == "miss":
+        registry.counter(
+            "repro_serve_cache_misses_total", "result-cache misses"
+        ).labels(endpoint=endpoint).inc()
+    if evictions:
+        registry.counter(
+            "repro_serve_cache_evictions_total", "result-cache evictions"
+        ).labels().inc(evictions)
+
+
+def serve_inflight_gauge(registry: MetricsRegistry):
+    """The gauge tracking currently-executing serve requests."""
+    return registry.gauge(
+        "repro_serve_inflight", "requests currently holding an admission slot"
+    ).labels()
 
 
 def observe_page_read(registry: MetricsRegistry, sequential: bool) -> None:

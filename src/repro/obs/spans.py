@@ -69,6 +69,10 @@ PHASE_NAMES: Tuple[str, ...] = (
     "shard_fanout",   # scatter a query to every database shard
     "shard_call",     # one shard's engine call within a fan-out
     "merge",          # gather: merge per-shard answers to the global one
+    "base_search",    # dynamic database: the static base-segment search
+    "buffer_scan",    # dynamic database: brute-force delta-buffer scan
+    "serve_handle",   # one HTTP request through the serving layer
+    "serve_cache",    # a result-cache lookup or store within a request
 )
 
 

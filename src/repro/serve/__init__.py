@@ -1,0 +1,71 @@
+"""repro.serve — an HTTP query-serving subsystem (stdlib only).
+
+Fronts any database facade (:class:`~repro.core.engine.MatchDatabase`,
+:class:`~repro.shard.ShardedMatchDatabase`,
+:class:`~repro.core.dynamic.DynamicMatchDatabase`) with a versioned
+JSON protocol, admission control (bounded in-flight slots with
+deadline-aware 429 shedding) and a generation-keyed LRU result cache
+whose hits are byte-identical to cold queries.
+
+Layers (each independently testable):
+
+* :mod:`~repro.serve.protocol` — request/response shapes, canonical
+  JSON encoding, structured errors;
+* :mod:`~repro.serve.admission` — :class:`AdmissionController`,
+  :class:`ShedError`, queue-wait :class:`Ticket`;
+* :mod:`~repro.serve.cache` — :class:`ResultCache`,
+  :func:`cache_key`, :func:`query_fingerprint`;
+* :mod:`~repro.serve.server` — the socket-free :class:`ServeApp`
+  request lifecycle and the :class:`MatchServer` HTTP shell;
+* :mod:`~repro.serve.client` — :class:`ServeClient`, a facade-shaped
+  remote client, and :class:`ServeError`.
+
+See ``docs/serving.md`` for the endpoint reference, protocol examples
+and operational guidance; ``repro serve`` runs a server from the CLI.
+"""
+
+from .admission import AdmissionController, ShedError, Ticket
+from .cache import ResultCache, cache_key, query_fingerprint
+from .client import ServeClient, ServeError
+from .protocol import (
+    PROTOCOL_VERSION,
+    BatchRequest,
+    FrequentRequest,
+    QueryRequest,
+    canonical_json,
+    decode_frequent_result,
+    decode_match_result,
+    encode_frequent_result,
+    encode_match_result,
+    error_payload,
+    parse_batch_request,
+    parse_frequent_request,
+    parse_query_request,
+)
+from .server import MatchServer, ServeApp
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServeApp",
+    "MatchServer",
+    "ServeClient",
+    "ServeError",
+    "AdmissionController",
+    "ShedError",
+    "Ticket",
+    "ResultCache",
+    "cache_key",
+    "query_fingerprint",
+    "QueryRequest",
+    "FrequentRequest",
+    "BatchRequest",
+    "parse_query_request",
+    "parse_frequent_request",
+    "parse_batch_request",
+    "encode_match_result",
+    "encode_frequent_result",
+    "decode_match_result",
+    "decode_frequent_result",
+    "canonical_json",
+    "error_payload",
+]

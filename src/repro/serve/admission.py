@@ -1,0 +1,171 @@
+"""Admission control: bounded concurrency with deadline-aware shedding.
+
+A production query server must degrade *predictably* under overload:
+beyond a concurrency limit, extra requests should wait briefly and then
+be rejected with a clear signal (HTTP 429), never pile up unboundedly or
+hang.  :class:`AdmissionController` implements exactly that:
+
+* a **max-in-flight semaphore** — at most ``max_inflight`` requests
+  execute concurrently;
+* a **per-request deadline budget** — a request waits for a slot at
+  most its deadline (the server default, or the request's own
+  ``deadline_ms``); if the wait exhausts the budget the request is
+  *shed* with :class:`ShedError` and never touches the database;
+* **queue-wait accounting** — every admitted request knows how long it
+  queued (:attr:`Ticket.queue_seconds`), which the server exports as
+  the ``repro_serve_queue_seconds`` histogram and an
+  ``X-Repro-Queue-Ms`` response header.
+
+Admission happens before cache lookup and query execution, so a shed
+request costs one semaphore wait and nothing else.  Execution itself is
+never preempted: the deadline bounds *queueing*, not engine work — by
+the time a request holds a slot, finishing it is the cheapest outcome.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import ReproError, ValidationError
+
+__all__ = ["AdmissionController", "ShedError", "Ticket"]
+
+#: Default per-request deadline budget (seconds) when neither the
+#: server configuration nor the request specifies one.
+DEFAULT_DEADLINE_SECONDS = 1.0
+
+
+class ShedError(ReproError):
+    """A request was rejected by admission control (maps to HTTP 429)."""
+
+    def __init__(self, reason: str, message: str, queue_seconds: float) -> None:
+        self.reason = reason
+        self.queue_seconds = queue_seconds
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Proof of admission: one in-flight slot, plus queue accounting."""
+
+    queue_seconds: float
+    deadline_seconds: float
+
+    @property
+    def remaining_seconds(self) -> float:
+        """Deadline budget left after the queue wait."""
+        return max(0.0, self.deadline_seconds - self.queue_seconds)
+
+
+class AdmissionController:
+    """Gate requests through a bounded in-flight slot pool.
+
+    >>> controller = AdmissionController(max_inflight=2)
+    >>> ticket = controller.admit()
+    >>> controller.inflight
+    1
+    >>> controller.release()
+    >>> controller.inflight
+    0
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
+    ) -> None:
+        if not isinstance(max_inflight, int) or isinstance(max_inflight, bool):
+            raise ValidationError(
+                f"max_inflight must be an integer; got {max_inflight!r}"
+            )
+        if max_inflight < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1; got {max_inflight}"
+            )
+        if deadline_seconds <= 0:
+            raise ValidationError(
+                f"deadline_seconds must be > 0; got {deadline_seconds}"
+            )
+        self.max_inflight = max_inflight
+        self.deadline_seconds = float(deadline_seconds)
+        self._semaphore = threading.BoundedSemaphore(max_inflight)
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._sheds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a slot."""
+        return self._inflight
+
+    @property
+    def sheds(self) -> int:
+        """Total requests shed since construction."""
+        return self._sheds
+
+    def admit(self, deadline_seconds: float = None) -> Ticket:
+        """Wait for a slot within the deadline budget, or shed.
+
+        Returns a :class:`Ticket` recording the queue wait; raises
+        :class:`ShedError` when no slot frees up in time.  Callers must
+        pair every successful ``admit`` with exactly one
+        :meth:`release`.
+        """
+        budget = (
+            self.deadline_seconds
+            if deadline_seconds is None
+            else float(deadline_seconds)
+        )
+        if budget <= 0:
+            raise ValidationError(
+                f"deadline_seconds must be > 0; got {budget}"
+            )
+        started = time.perf_counter()
+        acquired = self._semaphore.acquire(timeout=budget)
+        waited = time.perf_counter() - started
+        if not acquired:
+            with self._lock:
+                self._sheds += 1
+            raise ShedError(
+                "queue_full",
+                f"no in-flight slot freed within the {budget * 1000:.0f}ms "
+                f"deadline ({self.max_inflight} in flight); retry later",
+                waited,
+            )
+        if waited >= budget:
+            # Acquired exactly at the deadline edge: the budget is gone,
+            # so running the query now can only miss it further.
+            self._semaphore.release()
+            with self._lock:
+                self._sheds += 1
+            raise ShedError(
+                "deadline",
+                f"deadline budget ({budget * 1000:.0f}ms) consumed while "
+                f"queued ({waited * 1000:.0f}ms); retry later",
+                waited,
+            )
+        with self._lock:
+            self._inflight += 1
+        return Ticket(queue_seconds=waited, deadline_seconds=budget)
+
+    def release(self) -> None:
+        """Return one slot (exactly once per successful :meth:`admit`)."""
+        with self._lock:
+            self._inflight -= 1
+        self._semaphore.release()
+
+    def wait_idle(self, timeout_seconds: float) -> bool:
+        """Block until nothing is in flight; ``False`` on timeout.
+
+        Used by graceful drain: stop admitting, then wait for the
+        in-flight tail to finish.
+        """
+        deadline = time.perf_counter() + timeout_seconds
+        while self._inflight > 0:
+            if time.perf_counter() >= deadline:
+                return False
+            time.sleep(0.005)
+        return True

@@ -1,0 +1,130 @@
+"""A thread-safe, generation-keyed LRU cache for encoded query results.
+
+The cache stores the **canonical response bytes** of finished queries,
+keyed on everything that determines the answer::
+
+    (db_generation, engine, kind, k, n-or-range, query-bytes)
+
+``db_generation`` is the database facade's mutation counter (static
+facades never change, so theirs is the constant 0; a
+:class:`~repro.core.dynamic.DynamicMatchDatabase` bumps it on every
+insert/delete/compact).  A mutation therefore *implicitly* invalidates
+every cached answer — stale keys can never be looked up again and age
+out of the LRU — which keeps a cache hit bit-identical to a cold query
+at every moment, with no explicit invalidation hooks to forget.
+
+``query-bytes`` is the raw float64 buffer of the (coerced) query, so
+two textually different JSON spellings of the same vector (``1`` vs
+``1.0``) share an entry, while any numeric difference — however small —
+does not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ResultCache", "cache_key", "query_fingerprint"]
+
+
+def query_fingerprint(query) -> bytes:
+    """The byte identity of a query vector or batch.
+
+    The shape prefix keeps a ``(2, 3)`` batch distinct from a ``(3, 2)``
+    one with the same flat buffer.
+    """
+    array = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
+    return repr(array.shape).encode("ascii") + array.tobytes()
+
+
+def cache_key(
+    generation: int,
+    engine: str,
+    kind: str,
+    k: object,
+    n_spec: object,
+    fingerprint: bytes,
+) -> Tuple:
+    """The full identity of one cacheable query execution."""
+    return (generation, engine, kind, k, n_spec, fingerprint)
+
+
+class ResultCache:
+    """Thread-safe LRU over canonical response bytes.
+
+    ``capacity`` is the maximum number of entries; 0 disables caching
+    entirely (every :meth:`get` misses, every :meth:`put` is a no-op).
+    Hit/miss/eviction totals are tracked here; the serving layer mirrors
+    them into the metrics registry.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            raise ValidationError(
+                f"capacity must be an integer; got {capacity!r}"
+            )
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0; got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[bytes]:
+        """The cached bytes for ``key`` (refreshing recency), or ``None``."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Tuple, value: bytes) -> int:
+        """Store ``value``; returns how many entries were evicted."""
+        if self.capacity == 0:
+            return 0
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()

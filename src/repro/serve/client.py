@@ -1,0 +1,199 @@
+"""ServeClient: a stdlib (urllib) client for the repro serve protocol.
+
+The client mirrors the facade surface — :meth:`ServeClient.query` /
+:meth:`~ServeClient.frequent` / :meth:`~ServeClient.batch` return real
+:class:`~repro.core.types.MatchResult` / :class:`~repro.core.types.
+FrequentMatchResult` objects decoded from the wire, so code written
+against a local :class:`~repro.core.engine.MatchDatabase` ports to a
+remote server by swapping the object.  Differences survive the
+round-trip bit-identically (the server encodes floats via ``repr``,
+the shortest exact round-trip).
+
+Server-side rejections raise :class:`ServeError` carrying the HTTP
+status and the structured error body (``type`` + ``message``), so a bad
+``k`` rejected remotely reads exactly like the local
+:class:`~repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.types import FrequentMatchResult, MatchResult
+from ..errors import ReproError
+from . import protocol
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """A non-2xx response from the server, decoded from the error body."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        self.status = status
+        self.error_type = error_type
+        super().__init__(message)
+
+
+class ServeClient:
+    """Talk the serve protocol to one server.
+
+    >>> client = ServeClient("127.0.0.1", 8080)   # doctest: +SKIP
+    >>> client.query([1.0, 2.0], k=3, n=2).ids    # doctest: +SKIP
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_seconds: float = 30.0
+    ) -> None:
+        self._base = f"http://{host}:{port}"
+        self.timeout_seconds = timeout_seconds
+
+    # ------------------------------------------------------------------
+    # raw transport
+    # ------------------------------------------------------------------
+    def post_raw(
+        self, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """POST raw bytes; returns ``(status, headers, body)`` verbatim.
+
+        Unlike the typed methods this never raises on 4xx/5xx — tests
+        use it to assert exact wire bytes and headers.
+        """
+        request = urllib.request.Request(
+            self._base + path,
+            data=body,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        return self._send(request)
+
+    def get_raw(self, path: str) -> Tuple[int, Dict[str, str], bytes]:
+        """GET; returns ``(status, headers, body)`` without raising."""
+        request = urllib.request.Request(self._base + path, method="GET")
+        return self._send(request)
+
+    def _send(self, request) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_seconds
+            ) as response:
+                return (
+                    response.status,
+                    dict(response.headers.items()),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as error:
+            with error:
+                return error.code, dict(error.headers.items()), error.read()
+
+    # ------------------------------------------------------------------
+    def _post_json(self, path: str, payload: Dict) -> Dict:
+        status, _, body = self.post_raw(
+            path, protocol.canonical_json(payload)
+        )
+        decoded = json.loads(body.decode("utf-8"))
+        if status != 200:
+            error = decoded.get("error", {})
+            raise ServeError(
+                status,
+                error.get("type", "unknown"),
+                error.get("message", f"server returned HTTP {status}"),
+            )
+        return decoded
+
+    @staticmethod
+    def _request_payload(**fields) -> Dict:
+        payload = {"protocol": protocol.PROTOCOL_VERSION}
+        payload.update(
+            {name: value for name, value in fields.items() if value is not None}
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    # the facade-shaped surface
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Sequence[float],
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> MatchResult:
+        """One k-n-match against the remote database."""
+        decoded = self._post_json(
+            "/v1/query",
+            self._request_payload(
+                query=[float(value) for value in query],
+                k=k,
+                n=n,
+                engine=engine,
+                deadline_ms=deadline_ms,
+            ),
+        )
+        return protocol.decode_match_result(decoded["result"])
+
+    def frequent(
+        self,
+        query: Sequence[float],
+        k: int,
+        n_range: Optional[Tuple[int, int]] = None,
+        engine: Optional[str] = None,
+        keep_answer_sets: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> FrequentMatchResult:
+        """One frequent k-n-match against the remote database."""
+        decoded = self._post_json(
+            "/v1/frequent",
+            self._request_payload(
+                query=[float(value) for value in query],
+                k=k,
+                n_range=None if n_range is None else list(n_range),
+                engine=engine,
+                keep_answer_sets=keep_answer_sets or None,
+                deadline_ms=deadline_ms,
+            ),
+        )
+        return protocol.decode_frequent_result(decoded["result"])
+
+    def batch(
+        self,
+        queries: Sequence[Sequence[float]],
+        k: int,
+        n: int,
+        engine: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> List[MatchResult]:
+        """A batch of k-n-matches against the remote database."""
+        decoded = self._post_json(
+            "/v1/batch",
+            self._request_payload(
+                queries=[
+                    [float(value) for value in row] for row in queries
+                ],
+                k=k,
+                n=n,
+                engine=engine,
+                deadline_ms=deadline_ms,
+            ),
+        )
+        return [
+            protocol.decode_match_result(result)
+            for result in decoded["results"]
+        ]
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        """The decoded ``/healthz`` body (any status)."""
+        _, _, body = self.get_raw("/healthz")
+        return json.loads(body.decode("utf-8"))
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics``."""
+        status, _, body = self.get_raw("/metrics")
+        if status != 200:
+            raise ServeError(status, "metrics", f"GET /metrics -> {status}")
+        return body.decode("utf-8")

@@ -1,0 +1,330 @@
+"""The serve wire protocol: versioned JSON requests and responses.
+
+Everything the HTTP layer reads or writes is defined here, so the
+protocol can be tested without a socket and the client/server can never
+drift apart.  Three request shapes (one per POST endpoint)::
+
+    POST /v1/query     {"query": [..], "k": 5, "n": 8}
+    POST /v1/frequent  {"query": [..], "k": 5, "n_range": [4, 12]}
+    POST /v1/batch     {"queries": [[..], ..], "k": 5, "n": 8}
+
+All three accept optional ``"engine"`` (a registry engine name, only
+for facades that support per-query engine selection), ``"deadline_ms"``
+(per-request admission budget, overriding the server default) and
+``"protocol"`` (must equal :data:`PROTOCOL_VERSION` when present).  The
+frequent endpoint additionally accepts ``"keep_answer_sets"``.
+
+Responses are **canonically encoded** — ``sort_keys=True``, compact
+separators, floats via Python ``repr`` (shortest round-trip, so decoded
+differences are bit-identical to the engine's float64 output).  The
+result cache stores the canonical bytes, which makes "a cache hit is
+byte-identical to a cold query" trivially auditable.
+
+Errors map to structured bodies::
+
+    {"protocol": 1, "error": {"type": "validation", "message": "..."}}
+
+with the *message* taken verbatim from the library's canonical
+:mod:`repro.core.validation` errors, so a bad ``k`` rejected over HTTP
+reads exactly like the same bad ``k`` rejected by a direct facade call.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import FrequentMatchResult, MatchResult, SearchStats
+from ..errors import ValidationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QueryRequest",
+    "FrequentRequest",
+    "BatchRequest",
+    "parse_query_request",
+    "parse_frequent_request",
+    "parse_batch_request",
+    "encode_stats",
+    "encode_match_result",
+    "encode_frequent_result",
+    "decode_match_result",
+    "decode_frequent_result",
+    "canonical_json",
+    "error_payload",
+]
+
+#: Bump when a request or response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: ``SearchStats`` integer fields, in dataclass order; the stats wire
+#: encoding is exactly this mapping.
+_STATS_FIELDS = (
+    "attributes_retrieved",
+    "total_attributes",
+    "heap_pops",
+    "binary_search_probes",
+    "sequential_page_reads",
+    "random_page_reads",
+    "candidates_refined",
+    "approximation_entries_scanned",
+    "inverted_list_entries",
+    "points_scanned",
+)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A parsed ``POST /v1/query`` body."""
+
+    query: List[float]
+    k: object
+    n: object
+    engine: Optional[str] = None
+    deadline_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FrequentRequest:
+    """A parsed ``POST /v1/frequent`` body."""
+
+    query: List[float]
+    k: object
+    n_range: Optional[Tuple[object, object]] = None
+    engine: Optional[str] = None
+    keep_answer_sets: bool = False
+    deadline_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A parsed ``POST /v1/batch`` body."""
+
+    queries: List[List[float]]
+    k: object
+    n: object
+    engine: Optional[str] = None
+    deadline_ms: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+def _check_shape(payload: Dict, required, optional) -> None:
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"request body must be a JSON object; got {type(payload).__name__}"
+        )
+    version = payload.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ValidationError(
+            f"unsupported protocol version {version!r}; "
+            f"this server speaks version {PROTOCOL_VERSION}"
+        )
+    for name in required:
+        if name not in payload:
+            raise ValidationError(f"missing required field {name!r}")
+    allowed = set(required) | set(optional) | {"protocol"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ValidationError(
+            f"unknown field {unknown[0]!r}; "
+            f"expected {sorted(allowed)}"
+        )
+
+
+def _as_vector(value, name: str) -> List[float]:
+    if not isinstance(value, list):
+        raise ValidationError(
+            f"{name} must be a JSON array of numbers; "
+            f"got {type(value).__name__}"
+        )
+    for index, item in enumerate(value):
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise ValidationError(
+                f"{name}[{index}] must be a number; got {item!r}"
+            )
+    return [float(item) for item in value]
+
+
+def _as_engine(value) -> Optional[str]:
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ValidationError(
+            f"engine must be a string engine name; got {value!r}"
+        )
+    return value
+
+
+def _as_deadline(value) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"deadline_ms must be a positive number; got {value!r}"
+        )
+    if value <= 0:
+        raise ValidationError(
+            f"deadline_ms must be a positive number; got {value!r}"
+        )
+    return float(value)
+
+
+def parse_query_request(payload: Dict) -> QueryRequest:
+    """Validate the JSON-level shape of a ``/v1/query`` body.
+
+    Numeric *range* validation (``1 <= k <= c``...) is deliberately left
+    to the database facade, so its canonical messages flow back
+    unchanged.
+    """
+    _check_shape(
+        payload, ("query", "k", "n"), ("engine", "deadline_ms")
+    )
+    return QueryRequest(
+        query=_as_vector(payload["query"], "query"),
+        k=payload["k"],
+        n=payload["n"],
+        engine=_as_engine(payload.get("engine")),
+        deadline_ms=_as_deadline(payload.get("deadline_ms")),
+    )
+
+
+def parse_frequent_request(payload: Dict) -> FrequentRequest:
+    """Validate the JSON-level shape of a ``/v1/frequent`` body."""
+    _check_shape(
+        payload,
+        ("query", "k"),
+        ("n_range", "engine", "keep_answer_sets", "deadline_ms"),
+    )
+    n_range = payload.get("n_range")
+    if n_range is not None:
+        if not isinstance(n_range, list) or len(n_range) != 2:
+            raise ValidationError(
+                f"n_range must be a two-element array [n0, n1]; "
+                f"got {n_range!r}"
+            )
+        n_range = (n_range[0], n_range[1])
+    keep = payload.get("keep_answer_sets", False)
+    if not isinstance(keep, bool):
+        raise ValidationError(
+            f"keep_answer_sets must be a boolean; got {keep!r}"
+        )
+    return FrequentRequest(
+        query=_as_vector(payload["query"], "query"),
+        k=payload["k"],
+        n_range=n_range,
+        engine=_as_engine(payload.get("engine")),
+        keep_answer_sets=keep,
+        deadline_ms=_as_deadline(payload.get("deadline_ms")),
+    )
+
+
+def parse_batch_request(payload: Dict) -> BatchRequest:
+    """Validate the JSON-level shape of a ``/v1/batch`` body."""
+    _check_shape(
+        payload, ("queries", "k", "n"), ("engine", "deadline_ms")
+    )
+    queries = payload["queries"]
+    if not isinstance(queries, list):
+        raise ValidationError(
+            f"queries must be a JSON array of query rows; "
+            f"got {type(queries).__name__}"
+        )
+    rows = [_as_vector(row, f"queries[{index}]") for index, row in enumerate(queries)]
+    return BatchRequest(
+        queries=rows,
+        k=payload["k"],
+        n=payload["n"],
+        engine=_as_engine(payload.get("engine")),
+        deadline_ms=_as_deadline(payload.get("deadline_ms")),
+    )
+
+
+# ----------------------------------------------------------------------
+# result encoding / decoding
+# ----------------------------------------------------------------------
+def encode_stats(stats: SearchStats) -> Dict:
+    """``SearchStats`` as a plain dict of its integer counters."""
+    return {name: getattr(stats, name) for name in _STATS_FIELDS}
+
+
+def decode_stats(payload: Dict) -> SearchStats:
+    return SearchStats(**{name: payload[name] for name in _STATS_FIELDS})
+
+
+def encode_match_result(result: MatchResult) -> Dict:
+    return {
+        "ids": list(result.ids),
+        "differences": [float(d) for d in result.differences],
+        "k": result.k,
+        "n": result.n,
+        "stats": encode_stats(result.stats),
+    }
+
+
+def decode_match_result(payload: Dict) -> MatchResult:
+    return MatchResult(
+        ids=list(payload["ids"]),
+        differences=list(payload["differences"]),
+        k=payload["k"],
+        n=payload["n"],
+        stats=decode_stats(payload["stats"]),
+    )
+
+
+def encode_frequent_result(result: FrequentMatchResult) -> Dict:
+    answer_sets = None
+    if result.answer_sets is not None:
+        # JSON object keys are strings; n is recovered on decode.
+        answer_sets = {
+            str(n): list(ids) for n, ids in result.answer_sets.items()
+        }
+    return {
+        "ids": list(result.ids),
+        "frequencies": list(result.frequencies),
+        "k": result.k,
+        "n_range": [result.n_range[0], result.n_range[1]],
+        "answer_sets": answer_sets,
+        "stats": encode_stats(result.stats),
+    }
+
+
+def decode_frequent_result(payload: Dict) -> FrequentMatchResult:
+    answer_sets = payload.get("answer_sets")
+    if answer_sets is not None:
+        answer_sets = {
+            int(n): list(ids) for n, ids in answer_sets.items()
+        }
+    return FrequentMatchResult(
+        ids=list(payload["ids"]),
+        frequencies=list(payload["frequencies"]),
+        k=payload["k"],
+        n_range=(payload["n_range"][0], payload["n_range"][1]),
+        answer_sets=answer_sets,
+        stats=decode_stats(payload["stats"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# canonical bytes and errors
+# ----------------------------------------------------------------------
+def canonical_json(payload: Dict) -> bytes:
+    """The one byte encoding of a response body.
+
+    Deterministic (sorted keys, compact separators) so that equal
+    payloads are equal bytes — the property the result cache's
+    byte-identity guarantee rests on.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def error_payload(error_type: str, message: str) -> Dict:
+    """The structured body sent with every non-2xx response."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "error": {"type": error_type, "message": message},
+    }

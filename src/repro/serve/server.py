@@ -1,0 +1,593 @@
+"""The HTTP query server: ThreadingHTTPServer around a framework-free app.
+
+Two layers, deliberately separated:
+
+* :class:`ServeApp` — the whole request lifecycle as a pure function
+  ``(method, path, body) -> (status, headers, body)``: routing, JSON
+  parsing, admission control, the generation-keyed result cache, query
+  execution against *any* database facade (:class:`~repro.core.engine.
+  MatchDatabase`, :class:`~repro.shard.ShardedMatchDatabase`,
+  :class:`~repro.core.dynamic.DynamicMatchDatabase`), canonical
+  encoding and error mapping.  No sockets anywhere, so every behaviour
+  is unit-testable in-process.
+* :class:`MatchServer` — a ``ThreadingHTTPServer`` that owns one
+  :class:`ServeApp` and does nothing but move bytes.  ``start()`` runs
+  it on a background thread (tests, benchmarks); ``run()`` serves on
+  the calling thread with SIGTERM/SIGINT triggering a graceful drain
+  (the CLI path).
+
+Endpoints::
+
+    POST /v1/query      one k-n-match
+    POST /v1/frequent   one frequent k-n-match
+    POST /v1/batch      a batch of k-n-matches
+    GET  /healthz       liveness + database generation
+    GET  /metrics       Prometheus 0.0.4 text (the repro.obs exporter)
+
+Observability: the app always owns a
+:class:`~repro.obs.MetricsRegistry` (``/metrics`` must have something
+to export) and records ``repro_serve_*`` series through the canonical
+helpers in :mod:`repro.obs.instrument`; with ``instrument_database=True``
+(the default) the registry — and the span collector, when one is passed
+— is also installed on the facade, so engine-level counters and
+``serve_handle``/``serve_cache`` phase spans land in the same registry
+a scrape sees.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import validation
+from ..core.engine import validate_engine_name
+from ..errors import ValidationError
+from ..obs import (
+    MetricsRegistry,
+    observe_serve_cache,
+    observe_serve_request,
+    observe_serve_shed,
+    render_prometheus,
+    serve_inflight_gauge,
+)
+from . import protocol
+from .admission import AdmissionController, ShedError
+from .cache import ResultCache, cache_key, query_fingerprint
+
+__all__ = ["ServeApp", "MatchServer"]
+
+_JSON = "application/json"
+
+#: Endpoint label used for paths that match no route, so the metrics
+#: registry's label cardinality stays bounded no matter what clients
+#: send.
+_UNKNOWN_ENDPOINT = "unknown"
+
+_POST_ENDPOINTS = ("/v1/query", "/v1/frequent", "/v1/batch")
+_GET_ENDPOINTS = ("/healthz", "/metrics")
+
+
+class ServeApp:
+    """The request lifecycle, independent of any socket (see module doc)."""
+
+    def __init__(
+        self,
+        db,
+        default_engine: Optional[str] = None,
+        max_inflight: int = 64,
+        deadline_ms: float = 1000.0,
+        cache_size: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[object] = None,
+        instrument_database: bool = True,
+    ) -> None:
+        self._db = db
+        self._supports_engine = "engine" in inspect.signature(
+            db.k_n_match
+        ).parameters
+        if default_engine is not None:
+            validate_engine_name(default_engine)
+            if not self._supports_engine:
+                raise ValidationError(
+                    "default_engine was given but this database does not "
+                    "support per-query engine selection"
+                )
+        self._default_engine = default_engine
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._spans = spans
+        self._admission = AdmissionController(
+            max_inflight=max_inflight,
+            deadline_seconds=deadline_ms / 1000.0,
+        )
+        self._cache = ResultCache(cache_size)
+        self._draining = False
+        if instrument_database:
+            if hasattr(db, "set_metrics"):
+                db.set_metrics(self._metrics)
+            if spans is not None and hasattr(db, "set_spans"):
+                db.set_spans(spans)
+
+    # ------------------------------------------------------------------
+    @property
+    def db(self):
+        return self._db
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def spans(self):
+        return self._spans
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new queries; in-flight ones run to completion."""
+        self._draining = True
+
+    def generation(self) -> int:
+        """The facade's mutation counter (static facades pin it at 0)."""
+        return int(getattr(self._db, "generation", 0))
+
+    # ------------------------------------------------------------------
+    # the one entry point
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        """Process one request; returns ``(status, headers, body)``."""
+        path = path.split("?", 1)[0]
+        if path in _GET_ENDPOINTS or path in _POST_ENDPOINTS:
+            expected = "GET" if path in _GET_ENDPOINTS else "POST"
+            if method != expected:
+                return self._finish(
+                    path, 0.0, 0.0,
+                    self._error(
+                        405, "method_not_allowed",
+                        f"{path} only accepts {expected}",
+                        extra_headers=[("Allow", expected)],
+                    ),
+                )
+        started = time.perf_counter()
+        if path == "/healthz":
+            response = self._handle_health()
+        elif path == "/metrics":
+            response = self._handle_metrics()
+        elif path in _POST_ENDPOINTS:
+            return self._handle_post(path, body, started)
+        else:
+            response = self._error(
+                404, "not_found",
+                f"unknown path {path!r}; endpoints: "
+                f"{', '.join(_POST_ENDPOINTS + _GET_ENDPOINTS)}",
+            )
+            return self._finish(
+                _UNKNOWN_ENDPOINT, time.perf_counter() - started, 0.0,
+                response,
+            )
+        return self._finish(
+            path, time.perf_counter() - started, 0.0, response
+        )
+
+    # ------------------------------------------------------------------
+    # GET endpoints
+    # ------------------------------------------------------------------
+    def _handle_health(self):
+        payload = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "status": "draining" if self._draining else "ok",
+            "generation": self.generation(),
+            "cardinality": int(self._db.cardinality),
+            "dimensionality": int(self._db.dimensionality),
+            "inflight": self._admission.inflight,
+            "cache_entries": len(self._cache),
+        }
+        status = 503 if self._draining else 200
+        return status, [("Content-Type", _JSON)], protocol.canonical_json(
+            payload
+        )
+
+    def _handle_metrics(self):
+        text = render_prometheus(self._metrics)
+        return (
+            200,
+            [("Content-Type", "text/plain; version=0.0.4; charset=utf-8")],
+            text.encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------
+    # POST endpoints
+    # ------------------------------------------------------------------
+    def _handle_post(self, path: str, body: bytes, started: float):
+        if self._draining:
+            return self._finish(
+                path, time.perf_counter() - started, 0.0,
+                self._error(
+                    503, "draining", "server is draining; no new queries"
+                ),
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return self._finish(
+                path, time.perf_counter() - started, 0.0,
+                self._error(400, "bad_json", f"request body is not JSON: {error}"),
+            )
+        try:
+            if path == "/v1/query":
+                request = protocol.parse_query_request(payload)
+            elif path == "/v1/frequent":
+                request = protocol.parse_frequent_request(payload)
+            else:
+                request = protocol.parse_batch_request(payload)
+        except ValidationError as error:
+            return self._finish(
+                path, time.perf_counter() - started, 0.0,
+                self._error(400, "validation", str(error)),
+            )
+
+        deadline = (
+            None if request.deadline_ms is None
+            else request.deadline_ms / 1000.0
+        )
+        try:
+            ticket = self._admission.admit(deadline)
+        except ShedError as error:
+            registry = self._metrics
+            observe_serve_shed(registry, path, error.reason)
+            return self._finish(
+                path, time.perf_counter() - started, error.queue_seconds,
+                self._error(
+                    429, "shed", str(error),
+                    extra_headers=[("Retry-After", "1")],
+                ),
+            )
+        serve_inflight_gauge(self._metrics).set(self._admission.inflight)
+        try:
+            spans = self._spans
+            if spans is None:
+                response = self._answer(path, request)
+            else:
+                with spans.span("serve_handle", endpoint=path):
+                    response = self._answer(path, request)
+        finally:
+            self._admission.release()
+            serve_inflight_gauge(self._metrics).set(self._admission.inflight)
+        return self._finish(
+            path, time.perf_counter() - started, ticket.queue_seconds,
+            response,
+        )
+
+    def _answer(self, path: str, request):
+        """Cache lookup -> (maybe) execute -> encode, inside admission."""
+        spans = self._spans
+        try:
+            key = self._cache_key(path, request)
+        except ValidationError as error:
+            return self._error(400, "validation", str(error))
+        if self._cache.enabled:
+            if spans is None:
+                cached = self._cache.get(key[1])
+            else:
+                with spans.span("serve_cache", op="get"):
+                    cached = self._cache.get(key[1])
+            if cached is not None:
+                observe_serve_cache(self._metrics, path, "hit")
+                if spans is not None:
+                    spans.annotate(cache="hit")
+                return (
+                    200,
+                    [("Content-Type", _JSON), ("X-Repro-Cache", "hit")],
+                    cached,
+                )
+        generation_before = key[0]
+        try:
+            payload = self._execute(path, request)
+        except ValidationError as error:
+            return self._error(400, "validation", str(error))
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            return self._error(
+                500, "internal", f"{type(error).__name__}: {error}"
+            )
+        body = protocol.canonical_json(payload)
+        if self._cache.enabled:
+            event = "miss"
+            # Only cache what is still current: if a writer bumped the
+            # generation while we computed, the answer may reflect a
+            # mix of states and must not be replayed.
+            if self.generation() == generation_before:
+                if spans is None:
+                    evicted = self._cache.put(key[1], body)
+                else:
+                    with spans.span("serve_cache", op="put"):
+                        evicted = self._cache.put(key[1], body)
+            else:
+                evicted = 0
+            observe_serve_cache(self._metrics, path, event, evicted)
+        else:
+            event = "bypass"
+        if spans is not None:
+            spans.annotate(cache=event)
+        return (
+            200,
+            [("Content-Type", _JSON), ("X-Repro-Cache", event)],
+            body,
+        )
+
+    # ------------------------------------------------------------------
+    def _engine_kwargs(self, request) -> Dict:
+        engine = request.engine or self._default_engine
+        if engine is None:
+            return {}
+        if not self._supports_engine:
+            raise ValidationError(
+                "this database does not support per-query engine "
+                "selection; drop the 'engine' field"
+            )
+        validate_engine_name(engine)
+        return {"engine": engine}
+
+    def _engine_label(self, request) -> str:
+        return (
+            request.engine
+            or self._default_engine
+            or getattr(self._db, "default_engine", "")
+            or ""
+        )
+
+    def _resolved_n_range(self, request) -> Tuple:
+        if request.n_range is not None:
+            return (request.n_range[0], request.n_range[1])
+        return (1, int(self._db.dimensionality))
+
+    def _cache_key(self, path: str, request):
+        """``(generation, key)`` for this request, fingerprinting the query."""
+        generation = self.generation()
+        engine = self._engine_label(request)
+        if path == "/v1/query":
+            spec = request.n
+            fingerprint = query_fingerprint(request.query)
+            kind = "k_n_match"
+        elif path == "/v1/frequent":
+            spec = (self._resolved_n_range(request), request.keep_answer_sets)
+            fingerprint = query_fingerprint(request.query)
+            kind = "frequent_k_n_match"
+        else:
+            spec = request.n
+            fingerprint = query_fingerprint(self._batch_array(request))
+            kind = "k_n_match_batch"
+        return generation, cache_key(
+            generation, engine, kind, request.k, spec, fingerprint
+        )
+
+    def _batch_array(self, request) -> np.ndarray:
+        if not request.queries:
+            return np.empty((0, int(self._db.dimensionality)))
+        try:
+            return np.asarray(request.queries, dtype=np.float64)
+        except ValueError:
+            raise ValidationError(
+                "queries rows must all have the same length"
+            ) from None
+
+    def _execute(self, path: str, request) -> Dict:
+        db = self._db
+        kwargs = self._engine_kwargs(request)
+        if path == "/v1/query":
+            result = db.k_n_match(request.query, request.k, request.n, **kwargs)
+            return {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "kind": "k_n_match",
+                "result": protocol.encode_match_result(result),
+            }
+        if path == "/v1/frequent":
+            result = db.frequent_k_n_match(
+                request.query,
+                request.k,
+                self._resolved_n_range(request),
+                keep_answer_sets=request.keep_answer_sets,
+                **kwargs,
+            )
+            return {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "kind": "frequent_k_n_match",
+                "result": protocol.encode_frequent_result(result),
+            }
+        queries = self._batch_array(request)
+        native = getattr(db, "k_n_match_batch", None)
+        if native is not None:
+            results = native(queries, request.k, request.n, **kwargs)
+        else:
+            # Facades without a batch surface (the dynamic database) loop;
+            # k/n are validated up front so an empty batch still rejects
+            # bad parameters exactly like the batch-native facades.
+            k = validation.validate_k(request.k, db.cardinality)
+            n = validation.validate_n(request.n, db.dimensionality)
+            results = [db.k_n_match(row, k, n) for row in queries]
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "kind": "k_n_match_batch",
+            "count": len(results),
+            "results": [
+                protocol.encode_match_result(result) for result in results
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def _error(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        extra_headers: Optional[List[Tuple[str, str]]] = None,
+    ):
+        body = protocol.canonical_json(
+            protocol.error_payload(error_type, message)
+        )
+        headers = [("Content-Type", _JSON)] + (extra_headers or [])
+        return status, headers, body
+
+    def _finish(
+        self,
+        endpoint: str,
+        wall_seconds: float,
+        queue_seconds: float,
+        response,
+    ):
+        status, headers, body = response
+        observe_serve_request(
+            self._metrics, endpoint, status, wall_seconds, queue_seconds
+        )
+        if queue_seconds:
+            headers = headers + [
+                ("X-Repro-Queue-Ms", f"{queue_seconds * 1000:.3f}")
+            ]
+        return status, headers, body
+
+
+# ----------------------------------------------------------------------
+# the HTTP shell
+# ----------------------------------------------------------------------
+class _ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET", b"")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        self._dispatch("POST", body)
+
+    def _dispatch(self, method: str, body: bytes) -> None:
+        status, headers, payload = self.server.app.handle(
+            method, self.path, body
+        )
+        self.send_response(status)
+        for name, value in headers:
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass  # request logging is the metrics registry's job
+
+
+class MatchServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to one :class:`ServeApp`.
+
+    ``start()``/``stop()`` run it on a background thread (usable as a
+    context manager); ``run()`` serves on the calling thread until
+    SIGTERM/SIGINT, then drains gracefully: stop admitting, wait for
+    in-flight requests, close the socket.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        super().__init__((host, port), _ServeHandler)
+        self.app = app
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves an ephemeral ``port=0`` request)."""
+        return self.server_address[1]
+
+    # ------------------------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.1) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def start(self) -> "MatchServer":
+        """Serve on a daemon thread; returns immediately."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self, drain_seconds: float = 5.0) -> None:
+        """Graceful drain: reject new queries, wait, then shut down."""
+        self.app.begin_drain()
+        self.app.admission.wait_idle(drain_seconds)
+        if self._serving:
+            self.shutdown()
+        self._close()
+        if self._thread is not None:
+            self._thread.join(timeout=drain_seconds)
+            self._thread = None
+
+    def run(self, drain_seconds: float = 5.0) -> None:
+        """Serve on this thread until SIGTERM/SIGINT (the CLI path)."""
+        previous = {}
+
+        def _on_signal(signum, frame) -> None:
+            # stop() must run off the serving thread: shutdown() blocks
+            # until serve_forever returns.
+            threading.Thread(
+                target=self.stop,
+                kwargs={"drain_seconds": drain_seconds},
+                daemon=True,
+            ).start()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _on_signal)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        try:
+            self.serve_forever()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self._close()
+
+    def _close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.server_close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "MatchServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -295,11 +295,73 @@ class TestAdvise:
         assert "recommended engine: ad" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_serve_roundtrip_on_ephemeral_port(self, db_file, data_file):
+        """End to end: spawn `repro serve --port 0`, query it, SIGTERM it."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.io import load_database
+        from repro.serve import ServeClient
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(db_file),
+                "--port",
+                "0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            startup = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", startup)
+            assert match, f"no port in startup line: {startup!r}"
+            client = ServeClient("127.0.0.1", int(match.group(1)))
+            db = load_database(str(db_file))
+            query = np.load(data_file)[3] + 0.25
+            direct = db.k_n_match(query, 4, 3)
+            remote = client.query(list(query), 4, 3)
+            assert remote.ids == direct.ids
+            assert remote.differences == direct.differences
+            assert client.health()["status"] == "ok"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "server drained and stopped" in out
+
+    def test_partitioner_requires_shards(self, db_file, capsys):
+        status = main(
+            ["serve", str(db_file), "--port", "0", "--partitioner", "hash"]
+        )
+        assert status == 2
+        assert "--shards" in capsys.readouterr().err
+
+
 class TestParser:
     def test_version(self, capsys):
+        from repro import __version__
+
         with pytest.raises(SystemExit) as info:
             main(["--version"])
         assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out
+        assert out.startswith("repro ")
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

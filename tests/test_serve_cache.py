@@ -1,0 +1,186 @@
+"""The result cache: LRU mechanics and correctness under mutation.
+
+The load-bearing property: a cache hit is **byte-identical** to what a
+cold query would answer *right now* — so every mutation (insert,
+delete, compact) must make all previously cached answers unreachable,
+which the generation-keyed design gives for free.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicMatchDatabase
+from repro.errors import ValidationError
+from repro.serve import ResultCache, ServeApp, cache_key, canonical_json, query_fingerprint
+
+
+def post(app, path, payload):
+    return app.handle("POST", path, canonical_json(payload))
+
+
+# ----------------------------------------------------------------------
+# LRU mechanics
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_get_put_and_counters(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key(0, "ad", "k_n_match", 2, 3, b"q")
+        assert cache.get(key) is None
+        assert cache.put(key, b"answer") == 0
+        assert cache.get(key) == b"answer"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_evicts_least_recent(self):
+        cache = ResultCache(capacity=2)
+        keys = [cache_key(0, "ad", "k_n_match", 2, 3, bytes([i])) for i in range(3)]
+        cache.put(keys[0], b"0")
+        cache.put(keys[1], b"1")
+        cache.get(keys[0])  # refresh 0; 1 becomes the eviction victim
+        evicted = cache.put(keys[2], b"2")
+        assert evicted == 1
+        assert cache.get(keys[0]) == b"0"
+        assert cache.get(keys[1]) is None
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        key = cache_key(0, "ad", "k_n_match", 2, 3, b"q")
+        assert not cache.enabled
+        assert cache.put(key, b"x") == 0
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            ResultCache(capacity=-1)
+        with pytest.raises(ValidationError):
+            ResultCache(capacity=2.5)
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key(0, "ad", "k_n_match", 2, 3, b"q")
+        cache.put(key, b"x")
+        cache.clear()
+        assert cache.get(key) is None
+
+    def test_fingerprint_is_numeric_not_textual(self):
+        # 1 and 1.0 are the same float64 -> same entry
+        assert query_fingerprint([1, 2]) == query_fingerprint([1.0, 2.0])
+        # any numeric difference separates
+        assert query_fingerprint([1.0, 2.0]) != query_fingerprint([1.0, 2.0 + 1e-12])
+        # shape is part of the identity
+        assert query_fingerprint([[1.0, 2.0]]) != query_fingerprint([1.0, 2.0])
+
+
+# ----------------------------------------------------------------------
+# correctness under mutation, on a real dynamic database
+# ----------------------------------------------------------------------
+class TestGenerationInvalidation:
+    @pytest.fixture
+    def db(self, small_data):
+        return DynamicMatchDatabase(small_data)
+
+    @pytest.fixture
+    def app(self, db):
+        return ServeApp(db, cache_size=64)
+
+    def _query(self, app, query, k=5, n=4):
+        return post(app, "/v1/query", {"query": list(query), "k": k, "n": n})
+
+    def test_hit_is_byte_identical_to_cold(self, app, small_query):
+        _, h1, b1 = self._query(app, small_query)
+        _, h2, b2 = self._query(app, small_query)
+        assert dict(h1)["X-Repro-Cache"] == "miss"
+        assert dict(h2)["X-Repro-Cache"] == "hit"
+        assert b1 == b2
+
+    @pytest.mark.parametrize("mutation", ["insert", "delete", "compact"])
+    def test_mutation_invalidates(self, app, db, small_query, mutation):
+        _, _, before = self._query(app, small_query)
+        if mutation == "insert":
+            # insert a point that beats everything for this query
+            db.insert(np.asarray(small_query))
+        elif mutation == "delete":
+            # delete the current best answer
+            db.delete(json.loads(before)["result"]["ids"][0])
+        else:
+            db.compact()
+        _, headers, after = self._query(app, small_query)
+        assert dict(headers)["X-Repro-Cache"] == "miss"  # not replayed
+        direct = db.k_n_match(small_query, 5, 4)
+        assert json.loads(after)["result"]["ids"] == direct.ids
+        if mutation != "compact":  # compaction keeps answers identical
+            assert json.loads(before)["result"]["ids"] != direct.ids
+
+    def test_mutation_invalidates_frequent(self, app, db, small_query):
+        payload = {"query": list(small_query), "k": 4, "n_range": [2, 5]}
+        _, _, before = post(app, "/v1/frequent", payload)
+        _, headers, _ = post(app, "/v1/frequent", payload)
+        assert dict(headers)["X-Repro-Cache"] == "hit"
+        db.insert(np.asarray(small_query))
+        _, headers, after = post(app, "/v1/frequent", payload)
+        assert dict(headers)["X-Repro-Cache"] == "miss"
+        direct = db.frequent_k_n_match(small_query, 4, (2, 5))
+        assert json.loads(after)["result"]["ids"] == direct.ids
+        assert json.loads(before)["result"]["ids"] != direct.ids
+
+    def test_batch_cached_and_invalidated(self, app, db, small_data):
+        payload = {
+            "queries": [list(row) for row in small_data[:3]],
+            "k": 3,
+            "n": 4,
+        }
+        post(app, "/v1/batch", payload)
+        _, headers, _ = post(app, "/v1/batch", payload)
+        assert dict(headers)["X-Repro-Cache"] == "hit"
+        db.delete(0)
+        _, headers, _ = post(app, "/v1/batch", payload)
+        assert dict(headers)["X-Repro-Cache"] == "miss"
+
+    def test_distinct_parameters_never_collide(self, app, small_query):
+        self._query(app, small_query, k=5, n=4)
+        _, headers, _ = self._query(app, small_query, k=5, n=5)
+        assert dict(headers)["X-Repro-Cache"] == "miss"
+        _, headers, _ = self._query(app, small_query, k=6, n=4)
+        assert dict(headers)["X-Repro-Cache"] == "miss"
+
+
+# ----------------------------------------------------------------------
+# the no-poison guard: results computed across a mutation are not cached
+# ----------------------------------------------------------------------
+class TestMidExecutionMutation:
+    def test_result_computed_across_generations_is_not_cached(self, small_data):
+        class ShiftyDB:
+            """Bumps its generation *during* query execution once."""
+
+            def __init__(self, data):
+                self._inner = DynamicMatchDatabase(data)
+                self.cardinality = self._inner.cardinality
+                self.dimensionality = self._inner.dimensionality
+                self.generation = 0
+                self.shift_on_next_query = False
+
+            def k_n_match(self, query, k, n):
+                result = self._inner.k_n_match(query, k, n)
+                if self.shift_on_next_query:
+                    self.generation += 1  # a writer raced us
+                    self.shift_on_next_query = False
+                return result
+
+        db = ShiftyDB(small_data)
+        app = ServeApp(db, cache_size=64)
+        query = list(small_data[0] + 0.25)
+
+        db.shift_on_next_query = True
+        _, headers, _ = post(app, "/v1/query", {"query": query, "k": 2, "n": 3})
+        assert dict(headers)["X-Repro-Cache"] == "miss"
+        assert len(app.cache) == 0  # racing result was NOT stored
+
+        # a clean run at the new generation caches normally
+        _, headers, _ = post(app, "/v1/query", {"query": query, "k": 2, "n": 3})
+        assert dict(headers)["X-Repro-Cache"] == "miss"
+        assert len(app.cache) == 1
+        _, headers, _ = post(app, "/v1/query", {"query": query, "k": 2, "n": 3})
+        assert dict(headers)["X-Repro-Cache"] == "hit"
