@@ -40,6 +40,8 @@ from repro.core.ad_block import BlockADEngine
 from repro.obs import MetricsRegistry, SpanCollector
 from repro.parallel import BatchBlockADEngine, ParallelBatchExecutor
 
+from bench_meta import run_metadata
+
 #: (cardinality, dimensionality, k, n, batch size) per configuration.
 FULL_CONFIGS = [
     (50_000, 32, 20, 16, 64),  # the headline acceptance configuration
@@ -225,9 +227,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "bench_batch",
         "mode": "smoke" if args.smoke else "full",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "cpu_count": os.cpu_count(),
-        "numpy": np.__version__,
+        **run_metadata(backend="thread"),
         "repeats": repeats,
         "results": [],
     }

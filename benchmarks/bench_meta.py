@@ -1,0 +1,50 @@
+"""Shared run metadata for benchmark reports.
+
+Every ``BENCH_*.json`` report embeds the facts needed to judge whether
+its numbers transfer to another machine: how many cores the run
+actually had, which fan-out backend was exercised, and which
+multiprocessing start method a process backend would use.  A 4x4
+thread sweep on a single-core container and the same sweep on a
+16-core workstation produce wildly different speedups — without
+``cpu_count`` in the report the difference looks like a regression.
+
+Usage::
+
+    report = {"benchmark": "bench_shard", **run_metadata(backend="thread")}
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import platform
+import time
+from typing import Dict
+
+import numpy as np
+
+
+def run_metadata(backend: str = "thread") -> Dict:
+    """Top-level report fields describing this run's environment.
+
+    ``backend`` names the shard fan-out mode the benchmark exercised
+    (``"thread"``, ``"process"``, or ``"thread+process"`` for a
+    comparison run).  ``start_method`` records the spawn semantics the
+    process backend uses on this platform — always ``"spawn"`` for
+    :class:`repro.shard.ShardProcessPool`, recorded per-run so a report
+    from a fork-default platform cannot be misread.
+    """
+    try:
+        default_method = multiprocessing.get_start_method(allow_none=True)
+    except (ValueError, RuntimeError):  # pragma: no cover - exotic hosts
+        default_method = None
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "backend": backend,
+        "start_method": "spawn",
+        "platform_start_method_default": default_method or "unset",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }

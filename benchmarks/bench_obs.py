@@ -46,6 +46,8 @@ from repro.core.ad import ADEngine
 from repro.core.ad_block import BlockADEngine
 from repro.obs import MetricsRegistry, SpanCollector
 
+from bench_meta import run_metadata
+
 #: (cardinality, dimensionality, k, n, batch size) per configuration.
 FULL_CONFIGS = [
     (10_000, 16, 10, 8, 32),
@@ -174,9 +176,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "bench_obs",
         "mode": "smoke" if args.smoke else "full",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "cpu_count": os.cpu_count(),
-        "numpy": np.__version__,
+        **run_metadata(backend="thread"),
         "repeats": repeats,
         "results": [],
     }

@@ -45,6 +45,8 @@ import numpy as np
 from repro.core.engine import MatchDatabase
 from repro.serve import MatchServer, ServeApp, ServeClient, canonical_json
 
+from bench_meta import run_metadata
+
 #: (cardinality, dimensionality, k, n) per configuration.
 HEADLINE_CONFIG = (20_000, 16, 10, 8)
 FULL_CONFIGS = [
@@ -214,9 +216,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "bench_serve",
         "mode": "smoke" if args.smoke else "full",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "cpu_count": os.cpu_count(),
-        "numpy": np.__version__,
+        **run_metadata(backend="thread"),
         "results": [],
     }
     for cardinality, dimensionality, k, n in configs:

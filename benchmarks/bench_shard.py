@@ -19,6 +19,17 @@ registry is installed.  Results are written as machine-readable JSON
 ``--smoke`` keeps the sweep small but still runs the headline
 acceptance configuration (c=50k, d=32, k=20, n=16, batch=64) at
 4 shards / 4 workers, recording its speedup under ``headline``.
+
+``--backend process`` switches to the multiprocess comparison run: the
+report is named ``bench_shard_mp`` (so its keys never collide with the
+thread report), every configuration is swept over *both* backends
+against the same serial baseline, and a ``comparison`` section records
+which backend won with the honest context (``cpu_count`` — on a
+single-core host the process backend cannot win and the report says
+so rather than hiding it)::
+
+    python benchmarks/bench_shard.py --backend process --smoke \
+        -o BENCH_shard_mp.json
 """
 
 from __future__ import annotations
@@ -38,7 +49,9 @@ import numpy as np
 
 from repro.core.ad_block import BlockADEngine
 from repro.obs import MetricsRegistry
-from repro.shard import ShardedMatchDatabase
+from repro.shard import SHARD_BACKENDS, ShardedMatchDatabase
+
+from bench_meta import run_metadata
 
 #: (cardinality, dimensionality, k, n, batch size) per configuration.
 HEADLINE_CONFIG = (50_000, 32, 20, 16, 64)
@@ -52,6 +65,13 @@ SMOKE_CONFIGS = [HEADLINE_CONFIG]
 #: (shards, workers) sweep points.
 FULL_SWEEP = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 4), (8, 4)]
 SMOKE_SWEEP = [(1, 1), (4, 1), (4, 4)]
+
+#: The multiprocess comparison keeps both the sweep and the data small:
+#: every point spawns workers and republishes segments, so the sweep
+#: cost is dominated by pool start-up, not by the queries.
+MP_CONFIGS = [(20_000, 16, 20, 8, 64)]
+MP_SWEEP = [(1, 1), (2, 2), (4, 2)]
+MP_SMOKE_SWEEP = [(1, 1), (4, 2)]
 
 #: The acceptance point: >= 1.5x over serial block-AD here.
 HEADLINE_POINT = (4, 4)
@@ -79,6 +99,7 @@ def bench_config(
     sweep: List[Tuple[int, int]],
     repeats: int,
     seed: int = 42,
+    backend: str = "thread",
 ) -> Dict:
     rng = np.random.default_rng(seed)
     data = rng.uniform(0.0, 1.0, size=(cardinality, dimensionality))
@@ -92,19 +113,25 @@ def bench_config(
 
     points: Dict[str, Dict] = {}
     for shards, workers in sweep:
-        db = ShardedMatchDatabase(
-            data, shards=shards, partitioner=PARTITIONER, workers=workers
-        )
-        # correctness gate + warm-up in one: sharded must equal serial
-        for result, reference in zip(
-            db.k_n_match_batch(queries, k, n, engine=ENGINE), expected
-        ):
-            assert result.ids == reference.ids
-            assert result.differences == reference.differences
-        seconds = _best_of(
-            repeats,
-            lambda: db.k_n_match_batch(queries, k, n, engine=ENGINE),
-        )
+        with ShardedMatchDatabase(
+            data,
+            shards=shards,
+            partitioner=PARTITIONER,
+            workers=workers,
+            backend=backend,
+        ) as db:
+            # correctness gate + warm-up in one: sharded must equal
+            # serial (the first process-backend call also pays the pool
+            # spawn, which must never be inside the timed region)
+            for result, reference in zip(
+                db.k_n_match_batch(queries, k, n, engine=ENGINE), expected
+            ):
+                assert result.ids == reference.ids
+                assert result.differences == reference.differences
+            seconds = _best_of(
+                repeats,
+                lambda: db.k_n_match_batch(queries, k, n, engine=ENGINE),
+            )
         points[f"{shards}x{workers}"] = {
             "shards": shards,
             "workers": workers,
@@ -121,6 +148,7 @@ def bench_config(
         "batch_size": batch,
         "engine": ENGINE,
         "partitioner": PARTITIONER,
+        "backend": backend,
         "serial": {
             "seconds": serial_seconds,
             "queries_per_second": batch / serial_seconds,
@@ -168,12 +196,66 @@ def check_instrumentation(repeats: int, seed: int = 7) -> Dict:
         f"no-registry path slower than metered path: "
         f"{unmetered_seconds:.6f}s vs {metered_seconds:.6f}s"
     )
+    # A negative overhead is timing noise (the metered run happened to
+    # land on a quieter scheduler slice), not evidence that metrics
+    # speed anything up.  Clamp the headline number so nobody quotes a
+    # "-4% overhead", but keep the raw measurement and a flag so the
+    # clamp itself is visible in the report.
+    raw_overhead = metered_seconds / unmetered_seconds - 1.0
     return {
         "unmetered_seconds": unmetered_seconds,
         "metered_seconds": metered_seconds,
-        "metered_overhead": metered_seconds / unmetered_seconds - 1.0,
+        "metered_overhead": max(0.0, raw_overhead),
+        "metered_overhead_raw": raw_overhead,
+        "metered_overhead_clamped": raw_overhead < 0.0,
         "answers_identical": True,
     }
+
+
+def _best_point(entry: Dict) -> Dict:
+    key, stats = max(
+        entry["sharded"].items(),
+        key=lambda item: item[1]["queries_per_second"],
+    )
+    return {
+        "point": key,
+        "queries_per_second": stats["queries_per_second"],
+        "speedup_vs_serial": stats["speedup_vs_serial"],
+    }
+
+
+def _compare_backends(thread_entry: Dict, process_entry: Dict) -> Dict:
+    """Honest head-to-head: best point per backend, with the context.
+
+    ``vectorized_1x1`` is the thread backend's 1-shard point — the pure
+    batch-vectorisation win with no fan-out at all.  On a single-core
+    host (``cpu_count`` 1) the process backend pays IPC for zero extra
+    parallelism, so ``process_beats_thread`` being false there is the
+    expected, recorded outcome, not a failure.
+    """
+    thread_best = _best_point(thread_entry)
+    process_best = _best_point(process_entry)
+    comparison = {
+        "cardinality": thread_entry["cardinality"],
+        "dimensionality": thread_entry["dimensionality"],
+        "k": thread_entry["k"],
+        "n": thread_entry["n"],
+        "batch_size": thread_entry["batch_size"],
+        "cpu_count": os.cpu_count(),
+        "thread_best": thread_best,
+        "process_best": process_best,
+        "process_beats_thread": (
+            process_best["queries_per_second"]
+            > thread_best["queries_per_second"]
+        ),
+    }
+    vectorized = thread_entry["sharded"].get("1x1")
+    if vectorized is not None:
+        comparison["vectorized_1x1"] = {
+            "queries_per_second": vectorized["queries_per_second"],
+            "speedup_vs_serial": vectorized["speedup_vs_serial"],
+        }
+    return comparison
 
 
 def main(argv=None) -> int:
@@ -187,6 +269,14 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=3, help="timed runs per path (best kept)"
     )
     parser.add_argument(
+        "--backend",
+        choices=SHARD_BACKENDS,
+        default="thread",
+        help="'process' runs the multiprocess comparison report "
+        "(bench_shard_mp): both backends over the same sweep, plus a "
+        "thread-vs-process comparison section",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         type=str,
@@ -195,21 +285,30 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
-    sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+    comparing = args.backend == "process"
+    if comparing:
+        configs = MP_CONFIGS
+        sweep = MP_SMOKE_SWEEP if args.smoke else MP_SWEEP
+        backends = ["thread", "process"]
+    else:
+        configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+        sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+        backends = ["thread"]
     # best-of-2 even in smoke mode: single runs are too noisy to judge
     # the headline speedup against its target
     repeats = 2 if args.smoke else args.repeats
 
     report = {
-        "benchmark": "bench_shard",
+        "benchmark": "bench_shard_mp" if comparing else "bench_shard",
         "mode": "smoke" if args.smoke else "full",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "cpu_count": os.cpu_count(),
-        "numpy": np.__version__,
+        **run_metadata(
+            backend="thread+process" if comparing else args.backend
+        ),
         "repeats": repeats,
         "results": [],
     }
+    if comparing:
+        report["comparisons"] = []
     print("instrumentation check ...", flush=True)
     report["instrumentation"] = check_instrumentation(max(repeats, 3))
     print(
@@ -219,26 +318,54 @@ def main(argv=None) -> int:
         flush=True,
     )
     for cardinality, dimensionality, k, n, batch in configs:
-        print(
-            f"config c={cardinality} d={dimensionality} k={k} n={n} "
-            f"batch={batch} ...",
-            flush=True,
-        )
-        entry = bench_config(
-            cardinality, dimensionality, k, n, batch, sweep, repeats
-        )
-        report["results"].append(entry)
-        print(
-            f"  serial      {entry['serial']['queries_per_second']:8.1f} q/s",
-            flush=True,
-        )
-        for key, stats in entry["sharded"].items():
+        entries = {}
+        for backend in backends:
             print(
-                f"  sharded {key:>5} {stats['queries_per_second']:6.1f} q/s "
-                f"({stats['speedup_vs_serial']:.2f}x)",
+                f"config c={cardinality} d={dimensionality} k={k} n={n} "
+                f"batch={batch} backend={backend} ...",
                 flush=True,
             )
-        if (cardinality, dimensionality, k, n, batch) == HEADLINE_CONFIG:
+            entry = bench_config(
+                cardinality, dimensionality, k, n, batch, sweep, repeats,
+                backend=backend,
+            )
+            entries[backend] = entry
+            report["results"].append(entry)
+            print(
+                f"  serial          "
+                f"{entry['serial']['queries_per_second']:8.1f} q/s",
+                flush=True,
+            )
+            for key, stats in entry["sharded"].items():
+                print(
+                    f"  {backend:>7} {key:>5} "
+                    f"{stats['queries_per_second']:6.1f} q/s "
+                    f"({stats['speedup_vs_serial']:.2f}x)",
+                    flush=True,
+                )
+        if comparing:
+            comparison = _compare_backends(
+                entries["thread"], entries["process"]
+            )
+            report["comparisons"].append(comparison)
+            winner = (
+                "process"
+                if comparison["process_beats_thread"]
+                else "thread"
+            )
+            print(
+                f"  best thread {comparison['thread_best']['point']} "
+                f"{comparison['thread_best']['queries_per_second']:.1f} q/s  "
+                f"vs process {comparison['process_best']['point']} "
+                f"{comparison['process_best']['queries_per_second']:.1f} q/s "
+                f"-> {winner} wins on {comparison['cpu_count']} core(s)",
+                flush=True,
+            )
+        entry = entries["thread"]
+        if (
+            not comparing
+            and (cardinality, dimensionality, k, n, batch) == HEADLINE_CONFIG
+        ):
             key = f"{HEADLINE_POINT[0]}x{HEADLINE_POINT[1]}"
             point = entry["sharded"].get(key)
             if point is not None:

@@ -54,6 +54,14 @@ _NON_CONFIG_KEYS = {
     "numpy",
     "repeats",
     "mode",
+    # run_metadata() fields: environment facts, never config identity.
+    # "backend" is deliberately NOT here — a thread entry and a process
+    # entry of the same configuration are different measurements.
+    "start_method",
+    "platform_start_method_default",
+    "platform",
+    "python",
+    "point",
 }
 
 

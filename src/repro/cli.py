@@ -28,8 +28,10 @@ Sharding: ``build --shards S`` writes a sharded database file;
 ``query``/``batch`` open either kind of file and also accept
 ``--shards S [--partitioner NAME]`` to (re)shard in memory and answer
 by scatter-gather — answers are exact either way, so sharded and flat
-invocations print identical ids.  ``shard-info`` describes a sharded
-file's partitioner and per-shard balance.
+invocations print identical ids.  ``--shard-backend process`` moves the
+per-shard calls into a shared-memory worker-process pool (multi-core
+scaling past the GIL; same answers).  ``shard-info`` describes a
+sharded file's partitioner and per-shard balance.
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ from .io import (
     save_database,
     save_sharded_database,
 )
+from .shard.coordinator import SHARD_BACKENDS
 from .shard.partition import DEFAULT_PARTITIONER, partitioner_names
 
 __all__ = ["main", "build_parser"]
@@ -146,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard assignment strategy (requires --shards)",
     )
     query.add_argument(
+        "--shard-backend",
+        choices=SHARD_BACKENDS,
+        default="thread",
+        help="scatter fan-out backend for sharded execution "
+        "(process = shared-memory worker pool; identical answers)",
+    )
+    query.add_argument(
         "--stats", action="store_true", help="also print work counters"
     )
     query.add_argument(
@@ -194,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=partitioner_names(),
         default=None,
         help="shard assignment strategy (requires --shards)",
+    )
+    batch.add_argument(
+        "--shard-backend",
+        choices=SHARD_BACKENDS,
+        default="thread",
+        help="scatter fan-out backend for sharded execution "
+        "(process = shared-memory worker pool; identical answers)",
     )
     batch.add_argument(
         "--parallel",
@@ -292,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard assignment strategy (requires --shards)",
     )
     trace.add_argument(
+        "--shard-backend",
+        choices=SHARD_BACKENDS,
+        default="thread",
+        help="scatter fan-out backend for sharded execution",
+    )
+    trace.add_argument(
         "--chrome-out",
         type=str,
         default=None,
@@ -365,7 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="shard coordinator thread-pool size (requires --shards)",
+        help="shard coordinator pool size (requires --shards)",
+    )
+    serve.add_argument(
+        "--shard-backend",
+        choices=SHARD_BACKENDS,
+        default="thread",
+        help="scatter fan-out backend for sharded serving "
+        "(process = shared-memory worker pool; identical answers)",
     )
     serve.add_argument(
         "--max-inflight",
@@ -436,14 +466,23 @@ def _load_db(args):
 
     With ``--shards`` the data is repartitioned in memory regardless of
     how the file was stored — answers are exact either way, so this only
-    changes the execution strategy, never the output.
+    changes the execution strategy, never the output.  ``--shard-backend``
+    likewise only moves where the per-shard calls run (stored sharded
+    files included); it never changes answers.
     """
-    db = load_any_database(args.database)
+    backend = getattr(args, "shard_backend", None) or "thread"
+    db = load_any_database(
+        args.database, backend=backend, workers=getattr(args, "workers", None)
+    )
     shards = getattr(args, "shards", None)
     partitioner = getattr(args, "partitioner", None)
     if shards is None:
         if partitioner is not None:
             raise ReproError("--partitioner requires --shards")
+        if backend != "thread" and not hasattr(db, "shard_count"):
+            raise ReproError(
+                "--shard-backend requires a sharded database file or --shards"
+            )
         return db
     from .shard import ShardedMatchDatabase
 
@@ -453,6 +492,7 @@ def _load_db(args):
         partitioner=partitioner or DEFAULT_PARTITIONER,
         default_engine=db.default_engine,
         workers=getattr(args, "workers", None),
+        backend=backend,
     )
 
 
@@ -615,6 +655,8 @@ def _run_query(args) -> int:
         print(result.trace.summary())
     if registry is not None:
         _write_metrics(registry, args.metrics_out)
+    if hasattr(db, "close"):
+        db.close()
     return 0
 
 
@@ -685,6 +727,8 @@ def _run_batch(args) -> int:
         _print_stats(total)
     if registry is not None:
         _write_metrics(registry, args.metrics_out)
+    if hasattr(db, "close"):
+        db.close()
     return 0
 
 
@@ -761,6 +805,8 @@ def _run_trace(args) -> int:
         engine_label = args.engine or db.default_engine
         report = audit_result(db.data, query, result, engine=engine_label)
         print(report.summary())
+    if hasattr(db, "close"):
+        db.close()
     return 0
 
 

@@ -112,6 +112,29 @@ class MatchDatabase:
         self._metrics = metrics
         self._spans = spans
 
+    @classmethod
+    def from_columns(
+        cls,
+        columns: SortedColumns,
+        default_engine: str = "ad",
+        metrics: Optional[object] = None,
+        spans: Optional[object] = None,
+    ) -> "MatchDatabase":
+        """Wrap an existing :class:`SortedColumns` build without re-sorting.
+
+        The zero-copy constructor shared by the persistence loader and
+        the shared-memory shard workers: the columns (typically restored
+        from disk or mapped from a shared segment) are adopted as-is.
+        """
+        validate_engine_name(default_engine)
+        db = cls.__new__(cls)
+        db._columns = columns
+        db._default_engine = default_engine
+        db._engines = {}
+        db._metrics = metrics
+        db._spans = spans
+        return db
+
     # ------------------------------------------------------------------
     @property
     def data(self) -> np.ndarray:

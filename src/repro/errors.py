@@ -41,5 +41,16 @@ class StorageError(ReproError, IOError):
     """A simulated storage operation failed (bad page id, closed pager...)."""
 
 
+class ShardWorkerError(ReproError, RuntimeError):
+    """A shard worker process failed (crashed mid-task or raised).
+
+    Raised by the process-backed scatter-gather pool instead of hanging:
+    either a worker died while holding a task (the message names its pid
+    and exit code) or the task raised inside the worker (the message
+    carries the remote traceback).  The pool itself stays usable — dead
+    workers are respawned on the next scatter.
+    """
+
+
 class PageOverflowError(StorageError):
     """A record does not fit into a single page."""

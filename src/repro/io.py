@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -113,13 +113,9 @@ def load_database(path: Union[str, os.PathLike]) -> MatchDatabase:
         columns = _columns_from_arrays(
             data, archive["sorted_values"], archive["sorted_ids"], path
         )
-        db = MatchDatabase.__new__(MatchDatabase)
-        db._columns = columns
-        db._default_engine = header.get("default_engine", "ad")
-        db._engines = {}
-        db._metrics = None
-        db._spans = None
-        return db
+        return MatchDatabase.from_columns(
+            columns, default_engine=header.get("default_engine", "ad")
+        )
     finally:
         archive.close()
 
@@ -139,12 +135,11 @@ def _columns_from_arrays(
     c, d = data.shape
     if sorted_values.shape != (d, c) or sorted_ids.shape != (d, c):
         raise StorageError(f"{path!r}: sorted-column shapes are inconsistent")
-    columns = SortedColumns.__new__(SortedColumns)
-    columns._data = np.ascontiguousarray(data, dtype=np.float64)
-    columns._values = np.ascontiguousarray(sorted_values, dtype=np.float64)
-    columns._ids = np.ascontiguousarray(sorted_ids, dtype=np.int64)
-    columns._cardinality = int(c)
-    columns._dimensionality = int(d)
+    columns = SortedColumns.from_prebuilt(
+        np.ascontiguousarray(data, dtype=np.float64),
+        np.ascontiguousarray(sorted_values, dtype=np.float64),
+        np.ascontiguousarray(sorted_ids, dtype=np.int64),
+    )
     _verify_columns(columns, path)
     return columns
 
@@ -194,13 +189,20 @@ def save_sharded_database(db, path: Union[str, os.PathLike]) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_sharded_database(path: Union[str, os.PathLike]):
+def load_sharded_database(
+    path: Union[str, os.PathLike],
+    backend: str = "thread",
+    workers: Optional[int] = None,
+):
     """Load a sharded database written by :func:`save_sharded_database`.
 
     The stored assignment is reused verbatim (the partitioner is *not*
     re-run — its name in the header is informational), and each shard's
     stored sorted columns are verified against the shard's data slice
-    exactly like the flat loader verifies a flat file.
+    exactly like the flat loader verifies a flat file.  ``backend`` and
+    ``workers`` configure the scatter fan-out (see
+    :class:`~repro.shard.ScatterGatherCoordinator`) — answers are
+    identical for every setting.
     """
     from .shard import ShardedMatchDatabase
     from .shard.coordinator import ScatterGatherCoordinator
@@ -273,13 +275,11 @@ def load_sharded_database(path: Union[str, os.PathLike]):
                 archive[ids_key],
                 path,
             )
-            shard = MatchDatabase.__new__(MatchDatabase)
-            shard._columns = columns
-            shard._default_engine = default_engine
-            shard._engines = {}
-            shard._metrics = None
-            shard._spans = None
-            shard_dbs.append(shard)
+            shard_dbs.append(
+                MatchDatabase.from_columns(
+                    columns, default_engine=default_engine
+                )
+            )
 
         # A stored file carries the materialised assignment, not the
         # strategy object; expose the recorded name through a stub so
@@ -304,18 +304,25 @@ def load_sharded_database(path: Union[str, os.PathLike]):
                 if shard is not None
             ],
             total_attributes=int(c) * int(d),
+            workers=workers,
+            backend=backend,
         )
         return db
     finally:
         archive.close()
 
 
-def load_any_database(path: Union[str, os.PathLike]):
+def load_any_database(
+    path: Union[str, os.PathLike],
+    backend: str = "thread",
+    workers: Optional[int] = None,
+):
     """Open a database file of either kind, dispatching on its header.
 
     Returns a :class:`MatchDatabase` for flat files and a
     :class:`~repro.shard.ShardedMatchDatabase` for sharded ones; raises
-    :class:`StorageError` for anything else.
+    :class:`StorageError` for anything else.  ``backend``/``workers``
+    apply only to sharded files (flat databases have no fan-out).
     """
     try:
         archive = np.load(path)
@@ -328,7 +335,7 @@ def load_any_database(path: Union[str, os.PathLike]):
     finally:
         archive.close()
     if magic == _SHARDED_MAGIC:
-        return load_sharded_database(path)
+        return load_sharded_database(path, backend=backend, workers=workers)
     if magic == _MAGIC:
         return load_database(path)
     raise StorageError(f"{path!r} is not a repro database file")

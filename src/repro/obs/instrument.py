@@ -157,6 +157,7 @@ def observe_shard_call(
     stats: SearchStats,
     wall_seconds: float,
     partitioner: str = "",
+    backend: str = "",
 ) -> None:
     """Record one per-shard engine call of a scatter-gather fan-out.
 
@@ -168,12 +169,17 @@ def observe_shard_call(
     a label — while the logical-query counters
     (``repro_queries_total``...) stay un-inflated because the shard
     layer, not the per-shard engines, is the metered component.
+    ``backend`` says where the call ran (``thread`` in-process,
+    ``process`` in a shared-memory pool worker — there ``wall_seconds``
+    is the worker's own wall time, shipped back in the result
+    envelope).
     """
     labels = {
         "shard": shard,
         "engine": engine,
         "kind": kind,
         "partitioner": partitioner,
+        "backend": backend,
     }
     registry.counter(
         "repro_shard_calls_total", "per-shard engine calls in scatter-gather"

@@ -36,6 +36,11 @@ class BatchStats:
         Component-wise sum of every query's :class:`SearchStats` (via
         ``SearchStats.aggregate``; ``total_attributes`` is the max, since
         all queries ran against the same database).
+    backend:
+        Execution backend the fan-out ran on: ``"thread"`` for the
+        in-process pools (the executor's own, and the shard
+        coordinator's default), ``"process"`` for the shared-memory
+        worker pool of :mod:`repro.shard.procpool`.
     """
 
     queries: int = 0
@@ -43,6 +48,7 @@ class BatchStats:
     workers: int = 1
     wall_time_seconds: float = 0.0
     total: SearchStats = field(default_factory=SearchStats)
+    backend: str = "thread"
 
     @property
     def queries_per_second(self) -> float:

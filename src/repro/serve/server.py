@@ -143,6 +143,16 @@ class ServeApp:
         """Stop admitting new queries; in-flight ones run to completion."""
         self._draining = True
 
+    def close(self) -> None:
+        """Release the database's backend resources (idempotent).
+
+        Matters for process-backed sharded databases, whose worker pool
+        and shared-memory segments should not outlive the server; other
+        databases have no ``close`` and this is a no-op.
+        """
+        if hasattr(self._db, "close"):
+            self._db.close()
+
     def generation(self) -> int:
         """The facade's mutation counter (static facades pin it at 0)."""
         return int(getattr(self._db, "generation", 0))
@@ -584,6 +594,7 @@ class MatchServer(ThreadingHTTPServer):
         if not self._closed:
             self._closed = True
             self.server_close()
+            self.app.close()
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "MatchServer":

@@ -16,14 +16,22 @@ Three layers, each usable on its own:
   :class:`~repro.core.engine.MatchDatabase` per shard with local-to-
   global id mapping, mirroring the unsharded query surface;
 * :class:`ScatterGatherCoordinator` — the fan-out/merge engine, built
-  on :class:`~repro.parallel.ParallelBatchExecutor`.
+  on :class:`~repro.parallel.ParallelBatchExecutor` (``backend=
+  "thread"``) or on a persistent shared-memory worker-process pool
+  (``backend="process"``, :class:`ShardProcessPool`) that escapes the
+  GIL for real multi-core scaling.
 
-See ``docs/sharding.md`` for partitioner trade-offs and the exactness
-argument.
+See ``docs/sharding.md`` for partitioner trade-offs, the exactness
+argument and the process backend.
 """
 
-from .coordinator import ScatterGatherCoordinator
+from .coordinator import (
+    SHARD_BACKENDS,
+    ScatterGatherCoordinator,
+    validate_shard_backend,
+)
 from .database import ShardedMatchDatabase
+from .procpool import ShardProcessPool
 from .partition import (
     DEFAULT_PARTITIONER,
     HashPartitioner,
@@ -39,6 +47,9 @@ from .partition import (
 __all__ = [
     "ShardedMatchDatabase",
     "ScatterGatherCoordinator",
+    "ShardProcessPool",
+    "SHARD_BACKENDS",
+    "validate_shard_backend",
     "Partitioner",
     "RoundRobinPartitioner",
     "HashPartitioner",

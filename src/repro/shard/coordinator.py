@@ -42,7 +42,42 @@ from ..core.types import (
 from ..errors import ValidationError
 from ..parallel import BatchStats, ParallelBatchExecutor
 
-__all__ = ["ScatterGatherCoordinator"]
+__all__ = [
+    "ScatterGatherCoordinator",
+    "SHARD_BACKENDS",
+    "validate_shard_backend",
+]
+
+#: Execution backends for the scatter fan-out: ``"thread"`` reuses the
+#: executor's thread pool in-process; ``"process"`` runs each shard call
+#: in a persistent spawned worker over shared-memory columns
+#: (:mod:`repro.shard.procpool`), escaping the GIL.  Answers are
+#: bit-identical either way — the canonical merge always runs here, in
+#: the coordinator process.
+SHARD_BACKENDS = ("thread", "process")
+
+#: Pool task kind for each coordinator scatter kind.
+_POOL_KINDS = {
+    "k_n_match": "query",
+    "frequent_k_n_match": "frequent",
+    "k_n_match_batch": "batch",
+    "frequent_k_n_match_batch": "frequent_batch",
+}
+
+
+def validate_shard_backend(backend: str) -> str:
+    """Check ``backend`` against :data:`SHARD_BACKENDS` and return it.
+
+    Every layer that accepts a backend name (the coordinator, the
+    sharded database, the loader, the CLI, the server) funnels through
+    here so an unknown backend raises the same :class:`ValidationError`
+    everywhere.
+    """
+    if backend not in SHARD_BACKENDS:
+        raise ValidationError(
+            f"unknown shard backend {backend!r}; choose from {SHARD_BACKENDS}"
+        )
+    return backend
 
 
 class _ShardOutput:
@@ -96,6 +131,31 @@ def _answer_set_differences(
     return differences
 
 
+def _wrap_pool_payload(pool_kind: str, payload) -> _ShardOutput:
+    """Roll a worker payload into the same envelope the closures build.
+
+    The payload shapes match the thread closures exactly (see
+    :func:`repro.shard.procpool._run_task`); only the stats roll-up and
+    query count need reconstructing on this side of the boundary.
+    """
+    if pool_kind == "query":
+        return _ShardOutput(payload, payload.stats, 1)
+    if pool_kind == "frequent":
+        return _ShardOutput(payload, payload[0].stats, 1)
+    if pool_kind == "batch":
+        return _ShardOutput(
+            payload,
+            SearchStats.aggregate([result.stats for result in payload]),
+            len(payload),
+        )
+    results = payload[0]  # frequent_batch
+    return _ShardOutput(
+        payload,
+        SearchStats.aggregate([result.stats for result in results]),
+        len(results),
+    )
+
+
 class ScatterGatherCoordinator:
     """Fan queries out over shards; merge exact global answers back.
 
@@ -127,6 +187,12 @@ class ScatterGatherCoordinator:
         Name of the partitioning strategy that built the shards, carried
         as a label on the ``repro_shard_*`` metrics so per-shard skew
         can be attributed to the strategy that caused it.
+    backend:
+        ``"thread"`` (default) fans out on the executor's thread pool;
+        ``"process"`` fans out to a persistent spawned worker pool over
+        shared-memory shard columns (lazy-started on the first scatter;
+        release it with :meth:`close` or a ``with`` block).  Answers and
+        merged stats are bit-identical in both modes.
     """
 
     def __init__(
@@ -137,6 +203,7 @@ class ScatterGatherCoordinator:
         metrics: Optional[object] = None,
         spans: Optional[object] = None,
         partitioner: str = "",
+        backend: str = "thread",
     ) -> None:
         if not shards:
             raise ValidationError("scatter-gather needs at least one shard")
@@ -152,12 +219,70 @@ class ScatterGatherCoordinator:
         self._metrics = metrics
         self._spans = spans
         self._partitioner = str(partitioner)
+        self._backend = validate_shard_backend(backend)
+        self._pool = None
         self._last_batch_stats: Optional[BatchStats] = None
 
     # ------------------------------------------------------------------
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def backend(self) -> str:
+        """The fan-out backend, ``"thread"`` or ``"process"``."""
+        return self._backend
+
+    def set_backend(
+        self, backend: str, workers: Optional[int] = None
+    ) -> None:
+        """Switch the fan-out backend (and optionally the worker count).
+
+        Releases the process pool (if any) when the configuration
+        changes; the next scatter lazily builds whatever the new mode
+        needs.  Answers are identical before and after.
+        """
+        backend = validate_shard_backend(backend)
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1; got {workers}")
+        changed = backend != self._backend or (
+            workers is not None and int(workers) != self._workers
+        )
+        if changed:
+            self.close()
+            self._pool = None
+        self._backend = backend
+        if workers is not None:
+            self._workers = int(workers)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent, restart-friendly).
+
+        Only the process backend holds releasable state — its worker
+        pool and shared-memory segments.  A scatter after ``close()``
+        transparently restarts the pool, so ``close()`` is a resource
+        release, never a poison pill; the thread backend makes this a
+        no-op, keeping one lifecycle contract across backends.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ScatterGatherCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from .procpool import ShardProcessPool
+
+            self._pool = ShardProcessPool(
+                [(shard_index, db) for shard_index, db, _ in self._shards],
+                workers=min(self._workers, len(self._shards)),
+                default_engine=self._shards[0][1].default_engine,
+            )
+        return self._pool
 
     @property
     def metrics(self):
@@ -198,14 +323,19 @@ class ScatterGatherCoordinator:
             result = db.k_n_match(query, min(k, db.cardinality), n, engine=engine)
             return _ShardOutput(result, result.stats, 1)
 
+        pool_args = (query, k, n, engine_name)
         spans = self._spans
         if spans is None:
-            outputs = self._scatter("k_n_match", engine_name, run_one)
+            outputs = self._scatter(
+                "k_n_match", engine_name, run_one, pool_args
+            )
             return self._merge_match(outputs, k, n)
         with spans.span(
             "sharded/k_n_match", k=k, n=n, shards=len(self._shards)
         ):
-            outputs = self._scatter("k_n_match", engine_name, run_one)
+            outputs = self._scatter(
+                "k_n_match", engine_name, run_one, pool_args
+            )
             with spans.span("merge"):
                 return self._merge_match(outputs, k, n)
 
@@ -267,10 +397,11 @@ class ScatterGatherCoordinator:
             )
             return _ShardOutput((result, differences), result.stats, 1)
 
+        pool_args = (query, k, (n0, n1), engine_name)
         spans = self._spans
         if spans is None:
             outputs = self._scatter(
-                "frequent_k_n_match", engine_name, run_one
+                "frequent_k_n_match", engine_name, run_one, pool_args
             )
             return self._merge_frequent(outputs, k, n0, n1, keep_answer_sets)
         with spans.span(
@@ -278,7 +409,7 @@ class ScatterGatherCoordinator:
             k=k, n0=n0, n1=n1, shards=len(self._shards),
         ):
             outputs = self._scatter(
-                "frequent_k_n_match", engine_name, run_one
+                "frequent_k_n_match", engine_name, run_one, pool_args
             )
             with spans.span("merge"):
                 return self._merge_frequent(
@@ -341,7 +472,8 @@ class ScatterGatherCoordinator:
         started = time.perf_counter()
         if count == 0:
             self._last_batch_stats = BatchStats(
-                queries=0, shards=0, workers=self._workers
+                queries=0, shards=0, workers=self._workers,
+                backend=self._backend,
             )
             return []
         engine_name = self._engine_name(engine)
@@ -357,9 +489,12 @@ class ScatterGatherCoordinator:
                 count,
             )
 
+        pool_args = (queries, k, n, engine_name)
         spans = self._spans
         if spans is None:
-            outputs = self._scatter("k_n_match_batch", engine_name, run_one)
+            outputs = self._scatter(
+                "k_n_match_batch", engine_name, run_one, pool_args
+            )
             merged = self._merge_match_batch(outputs, count, k, n)
         else:
             with spans.span(
@@ -367,7 +502,7 @@ class ScatterGatherCoordinator:
                 batch=count, k=k, n=n, shards=len(self._shards),
             ):
                 outputs = self._scatter(
-                    "k_n_match_batch", engine_name, run_one
+                    "k_n_match_batch", engine_name, run_one, pool_args
                 )
                 with spans.span("merge"):
                     merged = self._merge_match_batch(outputs, count, k, n)
@@ -422,7 +557,8 @@ class ScatterGatherCoordinator:
         started = time.perf_counter()
         if count == 0:
             self._last_batch_stats = BatchStats(
-                queries=0, shards=0, workers=self._workers
+                queries=0, shards=0, workers=self._workers,
+                backend=self._backend,
             )
             return []
         n0, n1 = n_range
@@ -447,10 +583,11 @@ class ScatterGatherCoordinator:
                 count,
             )
 
+        pool_args = (queries, k, (n0, n1), engine_name)
         spans = self._spans
         if spans is None:
             outputs = self._scatter(
-                "frequent_k_n_match_batch", engine_name, run_one
+                "frequent_k_n_match_batch", engine_name, run_one, pool_args
             )
             merged = self._merge_frequent_batch(
                 outputs, count, k, n0, n1, keep_answer_sets
@@ -461,7 +598,8 @@ class ScatterGatherCoordinator:
                 batch=count, k=k, n0=n0, n1=n1, shards=len(self._shards),
             ):
                 outputs = self._scatter(
-                    "frequent_k_n_match_batch", engine_name, run_one
+                    "frequent_k_n_match_batch", engine_name, run_one,
+                    pool_args,
                 )
                 with spans.span("merge"):
                     merged = self._merge_frequent_batch(
@@ -520,6 +658,20 @@ class ScatterGatherCoordinator:
         return engine or self._shards[0][1].default_engine
 
     def _scatter(
+        self, kind: str, engine_name: str, run_one, pool_args: tuple
+    ) -> List[_ShardOutput]:
+        """Fan the scatter out on the configured backend.
+
+        ``run_one(position)`` is the thread-backend closure; ``pool_args``
+        is the equivalent worker-task argument tuple for the process
+        backend.  Both produce the same payload shapes, so everything
+        downstream (merge, stats roll-up) is backend-agnostic.
+        """
+        if self._backend == "process":
+            return self._scatter_process(kind, engine_name, pool_args)
+        return self._scatter_thread(kind, engine_name, run_one)
+
+    def _scatter_thread(
         self, kind: str, engine_name: str, run_one
     ) -> List[_ShardOutput]:
         """Run ``run_one(position)`` for every shard via the executor."""
@@ -545,6 +697,7 @@ class ScatterGatherCoordinator:
                         shard=shard_index,
                         engine=engine_name,
                         kind=kind,
+                        backend="thread",
                     ):
                         output = run_one(position)
                 if registry is not None:
@@ -559,6 +712,7 @@ class ScatterGatherCoordinator:
                         stats=output.stats,
                         wall_seconds=time.perf_counter() - shard_started,
                         partitioner=self._partitioner,
+                        backend="thread",
                     )
                 return output
 
@@ -576,8 +730,77 @@ class ScatterGatherCoordinator:
             kind=kind,
             engine=engine_name,
             shards=len(self._shards),
+            backend="thread",
         ):
             return list(executor.k_n_match_batch(tasks, 1, 1))
+
+    def _scatter_process(
+        self, kind: str, engine_name: str, pool_args: tuple
+    ) -> List[_ShardOutput]:
+        """Fan the scatter out to the shared-memory worker pool.
+
+        One pool task per shard; the pool load-balances them over its
+        workers and ships back the same payload shapes the thread
+        closures produce, plus a per-shard envelope (worker pid, worker
+        wall seconds).  Spans and metrics are recorded here, post hoc —
+        worker processes never see the obs objects — with the worker's
+        own wall time as the duration of record.
+        """
+        pool = self._ensure_pool()
+        pool_kind = _POOL_KINDS[kind]
+        tasks = [
+            (position, pool_kind, pool_args)
+            for position in range(len(self._shards))
+        ]
+        spans = self._spans
+        if spans is None:
+            results = pool.run_tasks(tasks)
+        else:
+            with spans.span(
+                "shard_fanout",
+                kind=kind,
+                engine=engine_name,
+                shards=len(self._shards),
+                backend="process",
+                workers=pool.workers,
+            ):
+                results = pool.run_tasks(tasks)
+        registry = self._metrics
+        outputs: List[_ShardOutput] = []
+        for position, result in enumerate(results):
+            shard_index = self._shards[position][0]
+            output = _wrap_pool_payload(pool_kind, result.payload)
+            if spans is not None:
+                # Post-hoc marker span: the shard ran in a worker
+                # process, so the span's own duration is ~0 and the
+                # authoritative timing is the shipped-back
+                # ``worker_seconds`` annotation.
+                with spans.span(
+                    "shard_call",
+                    shard=shard_index,
+                    engine=engine_name,
+                    kind=kind,
+                    backend="process",
+                    worker_pid=result.worker_pid,
+                    worker_seconds=result.worker_seconds,
+                ):
+                    pass
+            if registry is not None:
+                from ..obs import observe_shard_call
+
+                observe_shard_call(
+                    registry,
+                    shard=str(shard_index),
+                    engine=engine_name,
+                    kind=kind,
+                    queries=output.queries,
+                    stats=output.stats,
+                    wall_seconds=result.worker_seconds,
+                    partitioner=self._partitioner,
+                    backend="process",
+                )
+            outputs.append(output)
+        return outputs
 
     def _record_batch(self, count: int, started: float, merged) -> None:
         self._last_batch_stats = BatchStats(
@@ -586,4 +809,5 @@ class ScatterGatherCoordinator:
             workers=self._workers,
             wall_time_seconds=time.perf_counter() - started,
             total=SearchStats.aggregate([result.stats for result in merged]),
+            backend=self._backend,
         )

@@ -68,6 +68,7 @@ class ShardedMatchDatabase:
         metrics: Optional[object] = None,
         spans: Optional[object] = None,
         workers: Optional[int] = None,
+        backend: str = "thread",
         **partitioner_options,
     ) -> None:
         array = validation.as_database_array(data)
@@ -113,6 +114,7 @@ class ShardedMatchDatabase:
             metrics=metrics,
             spans=spans,
             partitioner=self._partitioner.name,
+            backend=backend,
         )
 
     def _checked_assignment(
@@ -184,8 +186,38 @@ class ShardedMatchDatabase:
 
     @property
     def workers(self) -> int:
-        """Fan-out thread-pool size used by the coordinator."""
+        """Fan-out pool size (threads or processes) of the coordinator."""
         return self._coordinator.workers
+
+    @property
+    def backend(self) -> str:
+        """The fan-out backend, ``"thread"`` or ``"process"``."""
+        return self._coordinator.backend
+
+    def set_backend(
+        self, backend: str, workers: Optional[int] = None
+    ) -> None:
+        """Switch the fan-out backend (see the coordinator's docs).
+
+        Answers stay bit-identical; only where the per-shard engine
+        calls execute changes.
+        """
+        self._coordinator.set_backend(backend, workers=workers)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; queries still work).
+
+        With the process backend this shuts the worker pool down and
+        unlinks the shared-memory segments; the next query transparently
+        restarts them.  The thread backend holds nothing releasable.
+        """
+        self._coordinator.close()
+
+    def __enter__(self) -> "ShardedMatchDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def metrics(self):

@@ -44,6 +44,35 @@ class SortedColumns:
         self._cardinality = c
         self._dimensionality = d
 
+    @classmethod
+    def from_prebuilt(
+        cls, data: np.ndarray, values: np.ndarray, ids: np.ndarray
+    ) -> "SortedColumns":
+        """Install already-sorted columns without re-sorting.
+
+        ``data`` is the row-major ``(c, d)`` array, ``values``/``ids``
+        the ``(d, c)`` sorted-column matrices exactly as
+        :attr:`values_matrix`/:attr:`ids_matrix` expose them.  The
+        arrays are adopted as-is (no copy, no argsort) — this is the
+        zero-copy path used by the persistence loader and by the
+        shared-memory process workers, where the matrices are views
+        over storage built (and verified) elsewhere.  Callers own the
+        consistency of the three arrays.
+        """
+        c, d = data.shape
+        if values.shape != (d, c) or ids.shape != (d, c):
+            raise ValidationError(
+                f"prebuilt column shapes {values.shape}/{ids.shape} do not "
+                f"match data shape {data.shape}"
+            )
+        columns = cls.__new__(cls)
+        columns._data = data
+        columns._values = values
+        columns._ids = ids
+        columns._cardinality = int(c)
+        columns._dimensionality = int(d)
+        return columns
+
     # ------------------------------------------------------------------
     # basic shape
     # ------------------------------------------------------------------

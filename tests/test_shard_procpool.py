@@ -1,0 +1,317 @@
+"""The process backend: shared-memory pool, bit-identity, lifecycle.
+
+The contract under test: ``backend="process"`` must be invisible in the
+answers.  Every query kind (single, frequent, batch, frequent-batch)
+must return ids, differences, frequencies, answer sets *and stats*
+bit-identical to the thread backend and to serial execution, across
+partitioners and shard counts, on tie-heavy data — the merge-order
+worst case.  The compact identity block runs tier-1; the full
+partitioner x shard-count x engine matrix is marked ``tier2``.
+
+The lifecycle half covers what exactness tests cannot: worker death
+surfaces as a structured :class:`ShardWorkerError` (never a hang) and
+the pool recovers; remote exceptions ship back as errors without
+killing workers; ``close()`` is idempotent, restart-friendly, shared
+via one context-manager contract with the thread backend, and never
+leaks a shared-memory segment — including on exception paths.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MatchDatabase
+from repro.errors import ShardWorkerError, ValidationError
+from repro.shard import (
+    SHARD_BACKENDS,
+    ShardProcessPool,
+    ShardedMatchDatabase,
+    validate_shard_backend,
+)
+
+CANONICAL_ENGINES = ("naive", "block-ad", "batch-block-ad")
+ALL_PARTITIONERS = ("round-robin", "hash", "range")
+
+
+@pytest.fixture
+def tie_data(rng) -> np.ndarray:
+    """60 x 6 points on a coarse integer grid: ties everywhere."""
+    return rng.integers(0, 5, size=(60, 6)).astype(np.float64)
+
+
+@pytest.fixture
+def tie_query() -> np.ndarray:
+    return np.full(6, 2.0)
+
+
+@pytest.fixture
+def tie_batch(rng) -> np.ndarray:
+    return rng.integers(0, 5, size=(5, 6)).astype(np.float64)
+
+
+def _shm_names() -> set:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return set()
+    return {n for n in os.listdir("/dev/shm") if n.startswith("repro-shard-")}
+
+
+@pytest.fixture
+def no_segment_leak():
+    """Fail the test if it leaves new repro shared-memory segments behind."""
+    before = _shm_names()
+    yield
+    leaked = _shm_names() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def assert_same_match(a, b):
+    assert a.ids == b.ids
+    assert a.differences == b.differences
+    assert a.stats == b.stats
+
+
+def assert_same_frequent(a, b):
+    assert a.ids == b.ids
+    assert a.frequencies == b.frequencies
+    assert a.answer_sets == b.answer_sets
+    assert a.stats == b.stats
+
+
+def _run_all_kinds(db, query, batch, engine=None):
+    """One result tuple covering every scatter kind."""
+    return (
+        db.k_n_match(query, k=7, n=3, engine=engine),
+        db.frequent_k_n_match(query, k=5, n_range=(1, 6), engine=engine),
+        db.k_n_match_batch(batch, k=4, n=2, engine=engine),
+        db.frequent_k_n_match_batch(
+            batch, k=3, n_range=(2, 5), engine=engine, keep_answer_sets=True
+        ),
+    )
+
+
+def _assert_same_all_kinds(got, want):
+    assert_same_match(got[0], want[0])
+    assert_same_frequent(got[1], want[1])
+    assert len(got[2]) == len(want[2])
+    for a, b in zip(got[2], want[2]):
+        assert_same_match(a, b)
+    assert len(got[3]) == len(want[3])
+    for a, b in zip(got[3], want[3]):
+        assert_same_frequent(a, b)
+
+
+# ----------------------------------------------------------------------
+# bit-identity: process vs thread vs serial
+# ----------------------------------------------------------------------
+
+
+class TestProcessBackendIdentity:
+    def test_all_kinds_match_thread_and_serial(
+        self, tie_data, tie_query, tie_batch, no_segment_leak
+    ):
+        serial = ShardedMatchDatabase(
+            tie_data, shards=1, default_engine="block-ad", workers=1
+        )
+        thread = ShardedMatchDatabase(
+            tie_data, shards=3, default_engine="block-ad"
+        )
+        with ShardedMatchDatabase(
+            tie_data, shards=3, default_engine="block-ad",
+            backend="process", workers=2,
+        ) as process:
+            assert process.backend == "process"
+            assert thread.backend == "thread"
+            got = _run_all_kinds(process, tie_query, tie_batch)
+            _assert_same_all_kinds(got, _run_all_kinds(thread, tie_query, tie_batch))
+            # serial merges 1 shard, so stats denominators match but the
+            # answers are the real cross-check
+            want = _run_all_kinds(serial, tie_query, tie_batch)
+            assert got[0].ids == want[0].ids
+            assert got[0].differences == want[0].differences
+            assert got[1].ids == want[1].ids
+            assert got[1].answer_sets == want[1].answer_sets
+            assert [r.ids for r in got[2]] == [r.ids for r in want[2]]
+            assert [r.ids for r in got[3]] == [r.ids for r in want[3]]
+            assert process.last_batch_stats.backend == "process"
+            assert thread.last_batch_stats.backend == "thread"
+
+    def test_engine_override_and_k_clamp(
+        self, tie_data, tie_query, no_segment_leak
+    ):
+        # k > smallest shard: per-shard clamp must match the thread path
+        thread = ShardedMatchDatabase(
+            tie_data, shards=7, partitioner="hash", default_engine="block-ad"
+        )
+        with ShardedMatchDatabase(
+            tie_data, shards=7, partitioner="hash", default_engine="block-ad",
+            backend="process",
+        ) as process:
+            for engine in ("naive", "batch-block-ad"):
+                assert_same_match(
+                    process.k_n_match(tie_query, k=20, n=4, engine=engine),
+                    thread.k_n_match(tie_query, k=20, n=4, engine=engine),
+                )
+
+
+@pytest.mark.tier2
+class TestProcessBackendPropertyMatrix:
+    """The full matrix the acceptance criteria call for."""
+
+    @pytest.mark.parametrize("partitioner", ALL_PARTITIONERS)
+    @pytest.mark.parametrize("shards", (1, 3, 7))
+    def test_matrix(
+        self, partitioner, shards, tie_data, tie_query, tie_batch,
+        no_segment_leak,
+    ):
+        serial = MatchDatabase(tie_data, default_engine="block-ad")
+        thread = ShardedMatchDatabase(
+            tie_data, shards=shards, partitioner=partitioner,
+            default_engine="block-ad",
+        )
+        with ShardedMatchDatabase(
+            tie_data, shards=shards, partitioner=partitioner,
+            default_engine="block-ad", backend="process", workers=2,
+        ) as process:
+            for engine in CANONICAL_ENGINES:
+                got = _run_all_kinds(process, tie_query, tie_batch, engine)
+                _assert_same_all_kinds(
+                    got, _run_all_kinds(thread, tie_query, tie_batch, engine)
+                )
+                want = _run_all_kinds(serial, tie_query, tie_batch, engine)
+                assert got[0].ids == want[0].ids
+                assert got[0].differences == want[0].differences
+                assert got[1].ids == want[1].ids
+                assert got[1].answer_sets == want[1].answer_sets
+                assert [r.ids for r in got[2]] == [r.ids for r in want[2]]
+                assert [r.ids for r in got[3]] == [r.ids for r in want[3]]
+
+
+# ----------------------------------------------------------------------
+# lifecycle: close, context manager, restart, leaks
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_backend_validation(self):
+        assert set(SHARD_BACKENDS) == {"thread", "process"}
+        with pytest.raises(ValidationError, match="unknown shard backend"):
+            validate_shard_backend("fork")
+        with pytest.raises(ValidationError, match="unknown shard backend"):
+            ShardedMatchDatabase(np.eye(4), shards=2, backend="fork")
+
+    @pytest.mark.parametrize("backend", SHARD_BACKENDS)
+    def test_close_is_idempotent_and_restart_friendly(
+        self, backend, tie_data, tie_query, no_segment_leak
+    ):
+        db = ShardedMatchDatabase(
+            tie_data, shards=2, default_engine="block-ad", backend=backend
+        )
+        first = db.k_n_match(tie_query, k=3, n=2)
+        db.close()
+        db.close()  # idempotent
+        again = db.k_n_match(tie_query, k=3, n=2)  # transparent restart
+        assert_same_match(again, first)
+        db.close()
+
+    @pytest.mark.parametrize("backend", SHARD_BACKENDS)
+    def test_coordinator_context_manager(self, backend, tie_data, tie_query):
+        db = ShardedMatchDatabase(
+            tie_data, shards=2, default_engine="block-ad", backend=backend
+        )
+        coordinator = db._coordinator
+        with coordinator as entered:
+            assert entered is coordinator
+            result = coordinator.k_n_match(tie_query, 3, 2)
+            assert len(result.ids) == 3
+        coordinator.close()  # idempotent after __exit__
+
+    def test_segments_released_on_close_and_exception(
+        self, tie_data, tie_query, no_segment_leak
+    ):
+        db = ShardedMatchDatabase(
+            tie_data, shards=2, default_engine="block-ad", backend="process"
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            with db:
+                db.k_n_match(tie_query, k=3, n=2)
+                names = db._coordinator._pool.segment_names()
+                assert names  # pool is live, segments published
+                raise RuntimeError("boom")
+        # __exit__ ran close(): every segment is gone
+        assert db._coordinator._pool.segment_names() == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_set_backend_switches_and_revalidates(
+        self, tie_data, tie_query, no_segment_leak
+    ):
+        db = ShardedMatchDatabase(
+            tie_data, shards=3, default_engine="block-ad"
+        )
+        want = db.k_n_match(tie_query, k=5, n=3)
+        db.set_backend("process", workers=2)
+        assert db.backend == "process" and db.workers == 2
+        assert_same_match(db.k_n_match(tie_query, k=5, n=3), want)
+        db.set_backend("thread")
+        assert db.backend == "thread"
+        assert_same_match(db.k_n_match(tie_query, k=5, n=3), want)
+        with pytest.raises(ValidationError, match="unknown shard backend"):
+            db.set_backend("fork")
+        with pytest.raises(ValidationError, match="workers"):
+            db.set_backend("process", workers=0)
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# worker death and remote errors
+# ----------------------------------------------------------------------
+
+
+class TestWorkerFailure:
+    @pytest.fixture
+    def pool(self, tie_data, no_segment_leak):
+        shards = [
+            (0, MatchDatabase(tie_data[:30], default_engine="block-ad")),
+            (1, MatchDatabase(tie_data[30:], default_engine="block-ad")),
+        ]
+        with ShardProcessPool(
+            shards, workers=2, default_engine="block-ad"
+        ) as pool:
+            yield pool
+
+    def test_crash_mid_task_raises_structured_error_then_recovers(
+        self, pool, tie_query
+    ):
+        with pytest.raises(ShardWorkerError, match="died"):
+            pool.run_tasks([(0, "__test_crash__", ())])
+        # the pool stays usable: dead workers respawn on the next scatter
+        results = pool.run_tasks(
+            [
+                (0, "query", (tie_query, 3, 2, "block-ad")),
+                (1, "query", (tie_query, 3, 2, "block-ad")),
+            ]
+        )
+        assert len(results) == 2
+        assert all(len(r.payload.ids) == 3 for r in results)
+        assert all(r.worker_seconds >= 0.0 for r in results)
+        assert len(pool.worker_pids()) == 2
+
+    def test_remote_exception_ships_back_as_error(self, pool, tie_query):
+        with pytest.raises(ShardWorkerError, match="ValidationError"):
+            pool.run_tasks([(0, "query", (tie_query, 3, 2, "bogus-engine"))])
+        # an error does not kill the worker; the pool answers right away
+        results = pool.run_tasks([(1, "query", (tie_query, 2, 1, None))])
+        assert len(results[0].payload.ids) == 2
+
+    def test_pool_rejects_bad_construction(self, tie_data):
+        with pytest.raises(ValidationError, match="at least one shard"):
+            ShardProcessPool([], workers=1)
+        with pytest.raises(ValidationError, match="workers"):
+            ShardProcessPool(
+                [(0, MatchDatabase(tie_data[:10]))], workers=0
+            )
