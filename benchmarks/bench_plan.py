@@ -1,0 +1,266 @@
+"""Planner benchmark: ``engine="auto"`` vs every manual engine choice.
+
+Runs workloads engineered so that *different* manual engines win — a
+low-retrieval-fraction configuration where the frontier ``block-ad``
+engine dominates, a high-fraction configuration where the vectorised
+``naive`` scan does, and a batch configuration where the lock-step
+``batch-block-ad`` engine competes — and measures whether the
+cost-based planner behind ``engine="auto"`` actually lands on the
+winner.
+
+Per workload the report records queries/second for every manual engine
+and for ``auto`` (planned once, decision cached — the one-off planning
+cost is recorded separately as ``plan_seconds``), plus two acceptance
+flags:
+
+* ``auto_within_10pct_of_best`` — auto's throughput is >= 90% of the
+  best manual engine's on this workload;
+* ``auto_beats_worst_1_5x`` — auto is >= 1.5x the worst manual engine
+  (the reference ``ad`` engine's Python heap makes this the price of
+  *not* planning).
+
+Answers are asserted bit-identical between auto and every manual engine
+before any timing is recorded (the data is tie-free uniform, where all
+engines agree exactly).  Results are written as machine-readable JSON
+(see ``BENCH_plan.json`` at the repository root for a recorded run)::
+
+    python benchmarks/bench_plan.py --smoke -o BENCH_plan.json
+    python benchmarks/bench_plan.py -o BENCH_plan.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.core.engine import MatchDatabase
+
+from bench_meta import run_metadata
+
+#: Manual engines every workload is priced against; ``ad`` is the
+#: reference heap implementation and the expected worst case.
+SINGLE_ENGINES = ("ad", "block-ad", "naive")
+BATCH_ENGINES = ("ad", "batch-block-ad", "block-ad", "naive")
+
+#: name, kind, cardinality, dimensionality, k, (n0, n1), queries, batched
+WORKLOADS = [
+    # Low retrieval fraction: the frontier engines stop early, the scan
+    # cannot — block-ad should win and auto should follow it.
+    ("low-fraction", "k_n_match", 6_000, 12, 10, (4, 4), 8, False),
+    # High retrieval fraction (n ~ d, large k): the frontier's early
+    # stop buys nothing, the plain scan's simplicity wins.
+    ("high-fraction", "frequent_k_n_match", 3_000, 8, 150, (7, 8), 8, False),
+    # Batch: the lock-step batch engine joins the candidate set.
+    ("batch", "k_n_match", 6_000, 12, 10, (6, 6), 16, True),
+]
+
+AUTO_TOLERANCE = 0.9  # auto >= 90% of the best manual engine
+WORST_MARGIN = 1.5  # auto >= 1.5x the worst manual engine, somewhere
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _runner(db, kind, queries, k, n_range, batched, engine):
+    """A zero-argument callable executing the whole workload once."""
+    if batched:
+        if kind == "k_n_match":
+            return lambda: db.k_n_match_batch(queries, k, n_range[0], engine=engine)
+        return lambda: db.frequent_k_n_match_batch(
+            queries, k, n_range, engine=engine
+        )
+    if kind == "k_n_match":
+        return lambda: [
+            db.k_n_match(query, k, n_range[0], engine=engine)
+            for query in queries
+        ]
+    return lambda: [
+        db.frequent_k_n_match(query, k, n_range, engine=engine)
+        for query in queries
+    ]
+
+
+def _answers(results):
+    if isinstance(results, list):
+        return [(r.ids, r.differences if hasattr(r, "differences") else r.frequencies) for r in results]
+    return [(results.ids, getattr(results, "differences", None))]
+
+
+def bench_workload(
+    name: str,
+    kind: str,
+    cardinality: int,
+    dimensionality: int,
+    k: int,
+    n_range,
+    num_queries: int,
+    batched: bool,
+    repeats: int,
+    seed: int = 42,
+) -> Dict:
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(cardinality, dimensionality))
+    queries = rng.uniform(0.0, 1.0, size=(num_queries, dimensionality))
+
+    db = MatchDatabase(data)
+    manual_engines = BATCH_ENGINES if batched else SINGLE_ENGINES
+
+    # Plan once up front: the decision is cached per workload, so the
+    # planner's estimate+probe cost is a one-off, reported separately.
+    started = time.perf_counter()
+    plan = db.plan_query(kind, k, n_range, batched=batched)
+    plan_seconds = time.perf_counter() - started
+
+    # Correctness gate before any timing: auto must answer bit-identical
+    # to every manual engine (tie-free data: all engines agree exactly).
+    reference = _answers(_runner(db, kind, queries, k, n_range, batched, "auto")())
+    for engine in manual_engines:
+        answers = _answers(_runner(db, kind, queries, k, n_range, batched, engine)())
+        assert answers == reference, (
+            f"{name}: auto answers differ from engine={engine}"
+        )
+
+    engines: Dict[str, Dict] = {}
+    for engine in manual_engines + ("auto",):
+        run = _runner(db, kind, queries, k, n_range, batched, engine)
+        run()  # warm-up (sorted-column build, planner cache)
+        seconds = _best_of(repeats, run)
+        engines[engine] = {
+            "seconds": seconds,
+            "queries_per_second": num_queries / seconds,
+        }
+
+    manual_rates = {
+        engine: engines[engine]["queries_per_second"]
+        for engine in manual_engines
+    }
+    best = max(manual_rates, key=manual_rates.get)
+    worst = min(manual_rates, key=manual_rates.get)
+    auto_rate = engines["auto"]["queries_per_second"]
+    return {
+        "workload": name,
+        "kind": kind,
+        "cardinality": cardinality,
+        "dimensionality": dimensionality,
+        "k": k,
+        "n0": n_range[0],
+        "n1": n_range[1],
+        "num_queries": num_queries,
+        "batched": batched,
+        "engines": engines,
+        "plan": {
+            "chosen_engine": plan.engine,
+            "predicted_seconds": plan.predicted_seconds,
+            "plan_seconds": plan_seconds,
+            "estimated_fraction": (
+                plan.estimate.mean_fraction if plan.estimate else None
+            ),
+        },
+        "best_manual": best,
+        "worst_manual": worst,
+        "auto_vs_best": auto_rate / manual_rates[best],
+        "auto_vs_worst": auto_rate / manual_rates[worst],
+        "auto_within_10pct_of_best": auto_rate >= AUTO_TOLERANCE * manual_rates[best],
+        "auto_beats_worst_1_5x": auto_rate >= WORST_MARGIN * manual_rates[worst],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer timed repeats (same workloads: the decision quality "
+        "being measured does not shrink)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per path (best kept)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default=None,
+        help="also write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+    # best-of-3 even in smoke mode: the 10%-of-best acceptance margin is
+    # tighter than two-run timing noise on a shared CI core
+    repeats = 3 if args.smoke else args.repeats
+
+    report = {
+        "benchmark": "bench_plan",
+        "mode": "smoke" if args.smoke else "full",
+        **run_metadata(),
+        "repeats": repeats,
+        "results": [],
+    }
+    for name, kind, cardinality, dimensionality, k, n_range, queries, batched in WORKLOADS:
+        print(
+            f"workload {name}: {kind} c={cardinality} d={dimensionality} "
+            f"k={k} n={n_range}{' batch' if batched else ''} ...",
+            flush=True,
+        )
+        entry = bench_workload(
+            name, kind, cardinality, dimensionality, k, n_range, queries,
+            batched, repeats,
+        )
+        report["results"].append(entry)
+        for engine, stats in entry["engines"].items():
+            marker = " <- auto" if engine == entry["plan"]["chosen_engine"] else ""
+            print(
+                f"  {engine:15s} {stats['queries_per_second']:8.1f} q/s{marker}",
+                flush=True,
+            )
+        print(
+            f"  auto planned {entry['plan']['chosen_engine']} "
+            f"(plan cost {entry['plan']['plan_seconds'] * 1e3:.1f}ms); "
+            f"{entry['auto_vs_best']:.2f}x best manual, "
+            f"{entry['auto_vs_worst']:.2f}x worst manual",
+            flush=True,
+        )
+
+    report["acceptance"] = {
+        "auto_within_10pct_everywhere": all(
+            entry["auto_within_10pct_of_best"] for entry in report["results"]
+        ),
+        "auto_beats_worst_1_5x_somewhere": any(
+            entry["auto_beats_worst_1_5x"] for entry in report["results"]
+        ),
+    }
+    print(
+        f"acceptance: within-10%-of-best everywhere "
+        f"{'MET' if report['acceptance']['auto_within_10pct_everywhere'] else 'MISSED'}; "
+        f">=1.5x-over-worst somewhere "
+        f"{'MET' if report['acceptance']['auto_beats_worst_1_5x_somewhere'] else 'MISSED'}",
+        flush=True,
+    )
+
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

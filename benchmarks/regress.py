@@ -62,6 +62,10 @@ _NON_CONFIG_KEYS = {
     "platform",
     "python",
     "point",
+    # bench_plan outcome fields: which engine won is a measurement, not
+    # identity — a run where best/worst flip must still match keys.
+    "best_manual",
+    "worst_manual",
 }
 
 

@@ -11,7 +11,8 @@ Subcommands::
     repro batch     db.npz --k 5 --n 8 --queries batch.npy --workers 4
     repro stats     db.npz --k 5 --n 8 --format prom [--engine block-ad]
     repro trace     db.npz --k 5 --n 8 --query-row 0 [--chrome-out t.json]
-    repro advise    db.npz --k 20 --n-range 4:8
+    repro advise    db.npz --k 20 --n-range 4:8 [--minimize disk-time]
+    repro plan      db.npz --k 20 --n 8 [--save]   (calibrate engine=auto)
     repro serve     db.npz --port 8707 --max-inflight 64 --cache-size 1024
     repro experiments --scale 0.1 --only table4,fig12
 
@@ -32,6 +33,13 @@ invocations print identical ids.  ``--shard-backend process`` moves the
 per-shard calls into a shared-memory worker-process pool (multi-core
 scaling past the GIL; same answers).  ``shard-info`` describes a
 sharded file's partitioner and per-shard balance.
+
+Planning: ``--engine auto`` on ``query``/``batch``/``trace``/``serve``
+lets the cost-based planner (:mod:`repro.plan`) pick the engine per
+query; ``repro plan`` calibrates the per-database cost model and
+persists it as a ``<db>.plan.json`` sidecar, which every later
+invocation loads automatically.  Answers are bit-identical to any
+manual engine choice.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ import numpy as np
 
 from . import __version__
 from .core.advisor import recommend_engine
-from .core.engine import ENGINE_NAMES, MatchDatabase
+from .core.engine import ENGINE_CHOICES, ENGINE_NAMES, MatchDatabase
 from .data import gaussian_clusters, skewed_dataset, uniform_dataset
 from .errors import ReproError
 from .io import (
@@ -135,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument(
         "--query-row", type=int, help="use this database row as the query"
     )
-    query.add_argument("--engine", choices=ENGINE_NAMES, default=None)
+    query.add_argument("--engine", choices=ENGINE_CHOICES, default=None)
     query.add_argument(
         "--shards",
         type=int,
@@ -189,9 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--engine",
-        choices=ENGINE_NAMES,
+        choices=ENGINE_CHOICES,
         default="batch-block-ad",
-        help="engine to run each shard with",
+        help="engine to run each shard with (auto = planner's choice)",
     )
     batch.add_argument(
         "--shards",
@@ -295,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_source.add_argument(
         "--query-row", type=int, help="use this database row as the query"
     )
-    trace.add_argument("--engine", choices=ENGINE_NAMES, default=None)
+    trace.add_argument("--engine", choices=ENGINE_CHOICES, default=None)
     trace.add_argument(
         "--shards",
         type=int,
@@ -339,9 +347,63 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--k", type=int, required=True)
     advise.add_argument("--n-range", type=str, required=True, help="n0:n1")
     advise.add_argument(
-        "--minimize", choices=("attributes", "wall-clock"), default="wall-clock"
+        "--minimize",
+        choices=("attributes", "wall-clock", "disk-time"),
+        default="wall-clock",
+        help="what the recommendation optimises (disk-time prices the "
+        "disk engines under the calibrated DiskModel)",
+    )
+    advise.add_argument(
+        "--kind",
+        choices=("frequent", "k-n-match"),
+        default="frequent",
+        help="the workload kind the estimate is taken for",
+    )
+    advise.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="disk-model page size in bytes (rescales transfer costs; "
+        "only meaningful with --minimize disk-time)",
     )
     advise.add_argument("--samples", type=int, default=5)
+
+    plan = commands.add_parser(
+        "plan",
+        help="calibrate the engine=auto planner and show its decision",
+        description=(
+            "Run the cost-based planner for one workload: estimate the "
+            "retrieval fraction, probe the candidate engines, print the "
+            "decision with per-candidate predicted costs, and (with "
+            "--save) persist the calibrated cost model as a "
+            "<database>.plan.json sidecar that query/batch/trace/serve "
+            "--engine auto load automatically."
+        ),
+    )
+    plan.add_argument("database", help="database .npz path")
+    plan.add_argument("--k", type=int, required=True)
+    plan_mode = plan.add_mutually_exclusive_group(required=True)
+    plan_mode.add_argument("--n", type=int, help="single n: plain k-n-match")
+    plan_mode.add_argument(
+        "--n-range", type=str, help="n0:n1 -> frequent k-n-match"
+    )
+    plan.add_argument(
+        "--batch",
+        action="store_true",
+        help="plan the batch variant of the workload",
+    )
+    plan.add_argument(
+        "--save",
+        action="store_true",
+        help="persist the calibrated model as <database>.plan.json",
+    )
+    plan.add_argument(
+        "--from-bench",
+        type=str,
+        default=None,
+        help="seed the model with priors from BENCH_*.json under this "
+        "directory before probing",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -368,9 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine",
-        choices=ENGINE_NAMES,
+        choices=ENGINE_CHOICES,
         default=None,
-        help="default engine for served queries",
+        help="default engine for served queries (auto = planner's choice)",
     )
     serve.add_argument(
         "--shards",
@@ -476,24 +538,35 @@ def _load_db(args):
     )
     shards = getattr(args, "shards", None)
     partitioner = getattr(args, "partitioner", None)
-    if shards is None:
+    if shards is not None:
+        from .shard import ShardedMatchDatabase
+
+        db = ShardedMatchDatabase(
+            db.data,
+            shards=shards,
+            partitioner=partitioner or DEFAULT_PARTITIONER,
+            default_engine=db.default_engine,
+            workers=getattr(args, "workers", None),
+            backend=backend,
+        )
+    else:
         if partitioner is not None:
             raise ReproError("--partitioner requires --shards")
         if backend != "thread" and not hasattr(db, "shard_count"):
             raise ReproError(
                 "--shard-backend requires a sharded database file or --shards"
             )
-        return db
-    from .shard import ShardedMatchDatabase
+    _install_plan_model(db, args.database)
+    return db
 
-    return ShardedMatchDatabase(
-        db.data,
-        shards=shards,
-        partitioner=partitioner or DEFAULT_PARTITIONER,
-        default_engine=db.default_engine,
-        workers=getattr(args, "workers", None),
-        backend=backend,
-    )
+
+def _install_plan_model(db, database_path: str) -> None:
+    """Load the ``<db>.plan.json`` sidecar, when present, onto the facade."""
+    from .plan import load_plan_model
+
+    model = load_plan_model(database_path)
+    if model is not None and hasattr(db, "set_plan_model"):
+        db.set_plan_model(model)
 
 
 def _make_registry(args):
@@ -812,16 +885,61 @@ def _run_trace(args) -> int:
 
 def _run_advise(args) -> int:
     db = load_database(args.database)
+    disk_model = None
+    if args.page_size is not None:
+        from .storage import DEFAULT_DISK_MODEL
+
+        disk_model = DEFAULT_DISK_MODEL.with_page_size(args.page_size)
     advice = recommend_engine(
         db,
         args.k,
         _parse_range(args.n_range),
         minimize=args.minimize,
         sample_queries=args.samples,
+        kind=args.kind,
+        disk_model=disk_model,
     )
     print(str(advice.estimate))
     print(f"recommended engine: {advice.engine}")
     print(f"reason: {advice.reason}")
+    return 0
+
+
+def _run_plan(args) -> int:
+    from .plan import PlanModel, load_plan_model, save_plan_model
+
+    db = load_any_database(args.database)
+    model = load_plan_model(args.database)
+    if model is None and args.from_bench is not None:
+        model = PlanModel.from_reports(args.from_bench)
+        print(
+            f"seeded model from bench reports: "
+            f"{', '.join(model.engines) or 'none matched'}"
+        )
+    if model is not None:
+        db.set_plan_model(model)
+    if args.n is not None:
+        kind, n_range = "k_n_match", (args.n, args.n)
+    else:
+        kind, n_range = "frequent_k_n_match", _parse_range(args.n_range)
+    plan = db.plan_query(kind, args.k, n_range, batched=args.batch)
+    print(plan.describe())
+    if plan.estimate is not None:
+        print(f"estimate: {plan.estimate}")
+    fitted = db.planner.model
+    print("cost curves (seconds per cell):")
+    for name in fitted.engines:
+        curve = fitted.curve(name)
+        print(
+            f"  {name:15s} {curve.seconds_per_cell:.3e} "
+            f"({curve.source}, {curve.samples} sample"
+            f"{'s' if curve.samples != 1 else ''})"
+        )
+    if args.save:
+        path = save_plan_model(fitted, args.database)
+        print(f"wrote plan model to {path}")
+    if hasattr(db, "close"):
+        db.close()
     return 0
 
 
@@ -884,6 +1002,7 @@ _HANDLERS = {
     "stats": _run_stats,
     "trace": _run_trace,
     "advise": _run_advise,
+    "plan": _run_plan,
     "serve": _run_serve,
     "experiments": _run_experiments,
 }

@@ -9,22 +9,73 @@ query protocol), and :func:`recommend_engine` turns the estimate plus
 the workload shape into a concrete engine choice with a stated reason.
 
 The estimate is exact for the sampled queries (it runs the real engine
-and reads the real counters) — the only approximation is sampling.
+and reads the real counters) — the only approximation is sampling.  It
+is run with the query **kind actually being planned** (``kind=``): a
+frequent query consumes until every ``n`` in the range is satisfied
+(``n1`` binds, so its cost is the plain cost *at* ``n1``), while a
+plain k-n-match workload over the same range issues single-``n``
+queries across it, whose expected cost is the *average* of the plain
+costs over the range — strictly cheaper whenever ``n0 < n1``.
+Conflating the two (the old behaviour: always ``frequent``) charged
+every plain-k-n-match plan the worst ``n`` in its range.
+
+``recommend_engine`` covers the full engine family: the in-memory
+registry engines for ``minimize="attributes"`` / ``"wall-clock"``, and
+the disk-resident engines (sequential scan, disk-AD, VA-file) priced
+under a calibrated :class:`~repro.storage.DiskModel` for
+``minimize="disk-time"``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
 from . import validation
 from .ad import ADEngine
-from .engine import MatchDatabase
 
-__all__ = ["CostEstimate", "EngineAdvice", "estimate_fraction_retrieved", "recommend_engine"]
+__all__ = [
+    "CostEstimate",
+    "EngineAdvice",
+    "ESTIMATE_KINDS",
+    "estimate_fraction_retrieved",
+    "recommend_engine",
+    "sample_row_ids",
+]
+
+#: Workload kinds an estimate can be taken for.
+ESTIMATE_KINDS = ("frequent", "k-n-match")
+
+#: Bytes per stored attribute (float64 columns).
+_ATTRIBUTE_BYTES = 8
+
+
+def sample_row_ids(
+    cardinality: int, size: int, seed: int = 0
+) -> np.ndarray:
+    """``size`` distinct row ids in O(size), deterministic per seed.
+
+    Floyd's sampling algorithm: the old
+    ``rng.choice(cardinality, replace=False)`` materialised (and
+    permuted) all ``cardinality`` ids to draw a handful of samples —
+    O(cardinality) time and memory per estimate, which the planner pays
+    on every cold workload.  This touches only ``size`` ids.
+    """
+    size = min(int(size), int(cardinality))
+    rng = np.random.default_rng(seed)
+    chosen = []
+    seen = set()
+    for upper in range(cardinality - size, cardinality):
+        pick = int(rng.integers(0, upper + 1))
+        if pick in seen:
+            pick = upper
+        seen.add(pick)
+        chosen.append(pick)
+    return np.asarray(chosen, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -36,10 +87,14 @@ class CostEstimate:
     sample_size: int
     mean_fraction: float
     max_fraction: float
+    kind: str = "frequent"
 
     def __str__(self) -> str:
+        workload = (
+            "AD" if self.kind == "frequent" else f"k-{self.n_range[1]}-match AD"
+        )
         return (
-            f"k={self.k}, n in {self.n_range}: AD retrieves "
+            f"k={self.k}, n in {self.n_range}: {workload} retrieves "
             f"{self.mean_fraction:.1%} of attributes on average "
             f"(max {self.max_fraction:.1%} over {self.sample_size} sampled queries)"
         )
@@ -55,53 +110,77 @@ class EngineAdvice:
 
 
 def estimate_fraction_retrieved(
-    db: MatchDatabase,
+    db,
     k: int,
     n_range: Tuple[int, int],
     sample_queries: int = 5,
     seed: int = 0,
+    kind: str = "frequent",
+    metrics: Optional[object] = None,
+    spans: Optional[object] = None,
 ) -> CostEstimate:
     """Expected fraction of attributes AD retrieves for this workload.
 
     Queries are sampled from the database itself and run through the
     reference AD engine; the reported fractions are exact counters.
+
+    ``kind`` is the workload being planned: ``"frequent"`` runs the
+    frequent k-n-match over ``n_range`` (the historical behaviour);
+    ``"k-n-match"`` models a workload of single-``n`` queries spread
+    across the range by running plain k-n-match at ``n0``, the midpoint
+    and ``n1`` and pooling the fractions — callers planning one fixed
+    ``n`` pass ``(n, n)`` and get exactly the plain cost at that ``n``.
+
+    ``metrics=`` / ``spans=`` install the observability hooks on the
+    probe engine, so planning cost shows up in the same registry and
+    span trees as the queries it plans for.
     """
     k = validation.validate_k(k, db.cardinality)
     n0, n1 = validation.validate_n_range(n_range, db.dimensionality)
+    if kind not in ESTIMATE_KINDS:
+        raise ValidationError(
+            f"unknown estimate kind {kind!r}; choose from {ESTIMATE_KINDS}"
+        )
     if sample_queries < 1:
         raise ValidationError(
             f"sample_queries must be >= 1; got {sample_queries}"
         )
-    rng = np.random.default_rng(seed)
-    picks = rng.choice(
-        db.cardinality,
-        size=min(sample_queries, db.cardinality),
-        replace=False,
-    )
-    engine = ADEngine(db.columns)
-    fractions = [
-        engine.frequent_k_n_match(
-            db.data[index], k, (n0, n1), keep_answer_sets=False
-        ).stats.fraction_retrieved
-        for index in picks
-    ]
+    picks = sample_row_ids(db.cardinality, sample_queries, seed)
+    engine = ADEngine(db.columns, metrics=metrics, spans=spans)
+    if kind == "frequent":
+        fractions = [
+            engine.frequent_k_n_match(
+                db.data[index], k, (n0, n1), keep_answer_sets=False
+            ).stats.fraction_retrieved
+            for index in picks
+        ]
+    else:
+        sampled_ns = sorted({n0, (n0 + n1) // 2, n1})
+        fractions = [
+            engine.k_n_match(db.data[index], k, n).stats.fraction_retrieved
+            for index in picks
+            for n in sampled_ns
+        ]
     return CostEstimate(
         k=k,
         n_range=(n0, n1),
         sample_size=len(fractions),
         mean_fraction=float(np.mean(fractions)),
         max_fraction=float(np.max(fractions)),
+        kind=kind,
     )
 
 
 def recommend_engine(
-    db: MatchDatabase,
+    db,
     k: int,
     n_range: Tuple[int, int],
     minimize: str = "wall-clock",
     sample_queries: int = 5,
     seed: int = 0,
     estimate: Optional[CostEstimate] = None,
+    kind: str = "frequent",
+    disk_model=None,
 ) -> EngineAdvice:
     """Pick an engine for this workload and say why.
 
@@ -114,14 +193,24 @@ def recommend_engine(
       batching usually wins, except when the estimated retrieval is so
       close to everything that a plain vectorised scan is simpler and at
       least as fast.
+    * ``"disk-time"`` — disk-resident data: the sequential scan, the
+      disk-AD engine and the VA-file are priced under ``disk_model``
+      (default :data:`~repro.storage.DEFAULT_DISK_MODEL`) using the
+      sampled estimate, and the cheapest simulated time wins.
+
+    ``kind`` is forwarded to :func:`estimate_fraction_retrieved` when no
+    ``estimate`` is supplied, so a plain-k-n-match workload is estimated
+    as one.
     """
-    if minimize not in ("attributes", "wall-clock"):
+    if minimize not in ("attributes", "wall-clock", "disk-time"):
         raise ValidationError(
-            f"minimize must be 'attributes' or 'wall-clock'; got {minimize!r}"
+            "minimize must be 'attributes', 'wall-clock' or 'disk-time'; "
+            f"got {minimize!r}"
         )
     if estimate is None:
         estimate = estimate_fraction_retrieved(
-            db, k, n_range, sample_queries=sample_queries, seed=seed
+            db, k, n_range, sample_queries=sample_queries, seed=seed,
+            kind=kind,
         )
 
     if minimize == "attributes":
@@ -133,6 +222,8 @@ def recommend_engine(
             ),
             estimate=estimate,
         )
+    if minimize == "disk-time":
+        return _recommend_disk_engine(db, k, estimate, disk_model)
     if estimate.mean_fraction > 0.6:
         return EngineAdvice(
             engine="naive",
@@ -148,6 +239,64 @@ def recommend_engine(
         reason=(
             f"AD needs only {estimate.mean_fraction:.0%} of the "
             "attributes and block-AD fetches them in numpy batches"
+        ),
+        estimate=estimate,
+    )
+
+
+def _recommend_disk_engine(
+    db, k: int, estimate: CostEstimate, disk_model
+) -> EngineAdvice:
+    """Price the disk-resident engines under the disk model; pick min.
+
+    The formulas mirror ``docs/cost_model.md``: the scan streams every
+    heap page sequentially; disk-AD pays ~3 seeks per dimension (locate
+    plus two cursor starts) and then walks its fraction of the columns
+    sequentially; the VA-file streams the whole approximation and then
+    fetches each surviving candidate's page randomly (id order over
+    scattered survivors).
+    """
+    if disk_model is None:
+        from ..storage import DEFAULT_DISK_MODEL
+
+        disk_model = DEFAULT_DISK_MODEL
+    cardinality = db.cardinality
+    dimensionality = db.dimensionality
+    total = cardinality * dimensionality
+    page = disk_model.page_size
+
+    def pages(byte_count: float) -> int:
+        return max(1, math.ceil(byte_count / page))
+
+    costs: Dict[str, float] = {}
+    costs["naive"] = (
+        pages(total * _ATTRIBUTE_BYTES) * disk_model.sequential_read_seconds
+        + total * disk_model.cpu_seconds_per_attribute
+    )
+    retrieved = estimate.mean_fraction * total
+    costs["disk-ad"] = (
+        3 * dimensionality * disk_model.random_read_seconds
+        + pages(retrieved * _ATTRIBUTE_BYTES)
+        * disk_model.sequential_read_seconds
+        + retrieved * disk_model.cpu_seconds_per_attribute
+    )
+    # 8-bit approximation cells; candidates bounded below by the k answers
+    candidates = max(k, estimate.max_fraction * cardinality)
+    costs["va-file"] = (
+        pages(total) * disk_model.sequential_read_seconds
+        + candidates * disk_model.random_read_seconds
+        + total * disk_model.cpu_seconds_per_attribute
+        + candidates * dimensionality * disk_model.cpu_seconds_per_attribute
+    )
+    engine = min(costs, key=lambda name: (costs[name], name))
+    priced = ", ".join(
+        f"{name} {costs[name] * 1e3:.1f}ms" for name in sorted(costs)
+    )
+    return EngineAdvice(
+        engine=engine,
+        reason=(
+            f"cheapest simulated disk time at {estimate.mean_fraction:.0%} "
+            f"estimated retrieval ({priced}; page size {page} B)"
         ),
         estimate=estimate,
     )

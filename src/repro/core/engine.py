@@ -7,7 +7,10 @@ frequent k-n-match queries with a selectable engine:
 * ``"block-ad"`` — the vectorised variant (same answers, numpy speed),
 * ``"batch-block-ad"`` — block-AD growing a whole query batch in
   lock-step (same answers; much higher batch throughput),
-* ``"naive"`` — the full-scan oracle.
+* ``"naive"`` — the full-scan oracle,
+* ``"auto"`` — not an engine but a *choice*: the cost-based planner
+  (:mod:`repro.plan`) picks one of the exact engines per query, so
+  answers stay bit-identical while the wall clock tracks the winner.
 
 All engines share one :class:`~repro.sorted_lists.SortedColumns` build, so
 switching engines on the same database is cheap.
@@ -34,7 +37,15 @@ from .ad_block import BlockADEngine
 from .naive import NaiveScanEngine
 from .types import FrequentMatchResult, MatchResult
 
-__all__ = ["MatchDatabase", "ENGINE_NAMES", "validate_engine_name"]
+__all__ = [
+    "MatchDatabase",
+    "ENGINE_NAMES",
+    "ENGINE_CHOICES",
+    "AUTO_ENGINE",
+    "validate_engine_name",
+    "validate_engine_choice",
+    "make_engine",
+]
 
 
 def _make_ad(columns: SortedColumns, metrics, spans):
@@ -71,6 +82,15 @@ _ENGINE_FACTORIES = {
 #: Engines selectable through :class:`MatchDatabase` (registry order).
 ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
 
+#: The pseudo-engine resolved per query by the cost-based planner
+#: (:mod:`repro.plan`).  It is *not* in the registry — it never runs —
+#: so ``engine()`` rejects it while the query methods accept it.
+AUTO_ENGINE = "auto"
+
+#: What callers may pass as ``engine=``: every registry engine plus the
+#: planner pseudo-engine.  CLI ``--engine`` choices derive from this.
+ENGINE_CHOICES = ENGINE_NAMES + (AUTO_ENGINE,)
+
 
 def validate_engine_name(name: str) -> str:
     """Check ``name`` against the engine registry and return it.
@@ -85,6 +105,33 @@ def validate_engine_name(name: str) -> str:
             f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
         )
     return name
+
+
+def validate_engine_choice(name: str) -> str:
+    """Like :func:`validate_engine_name`, but also admitting ``"auto"``.
+
+    Layers that resolve the planner pseudo-engine per query (the
+    database facades, ``serve``, the CLI) validate through here; layers
+    that need a concrete engine keep using :func:`validate_engine_name`.
+    """
+    if name == AUTO_ENGINE:
+        return name
+    if name not in _ENGINE_FACTORIES:
+        raise ValidationError(
+            f"unknown engine {name!r}; choose from {ENGINE_CHOICES}"
+        )
+    return name
+
+
+def make_engine(name: str, columns: SortedColumns, metrics=None, spans=None):
+    """Build a standalone engine over an existing sorted-column build.
+
+    Used by the planner's calibration probes, which need throwaway
+    engine instances (typically unmetered, so probe queries never
+    inflate the logical query counters) sharing the database's columns.
+    """
+    name = validate_engine_name(name)
+    return _ENGINE_FACTORIES[name](columns, metrics, spans)
 
 
 class MatchDatabase:
@@ -105,12 +152,14 @@ class MatchDatabase:
         metrics: Optional[object] = None,
         spans: Optional[object] = None,
     ) -> None:
-        validate_engine_name(default_engine)
+        validate_engine_choice(default_engine)
         self._columns = SortedColumns(data)
         self._default_engine = default_engine
         self._engines: Dict[str, object] = {}
         self._metrics = metrics
         self._spans = spans
+        self._planner = None
+        self._plan_model = None
 
     @classmethod
     def from_columns(
@@ -126,13 +175,15 @@ class MatchDatabase:
         the shared-memory shard workers: the columns (typically restored
         from disk or mapped from a shared segment) are adopted as-is.
         """
-        validate_engine_name(default_engine)
+        validate_engine_choice(default_engine)
         db = cls.__new__(cls)
         db._columns = columns
         db._default_engine = default_engine
         db._engines = {}
         db._metrics = metrics
         db._spans = spans
+        db._planner = None
+        db._plan_model = None
         return db
 
     # ------------------------------------------------------------------
@@ -189,13 +240,81 @@ class MatchDatabase:
             engine.spans = collector
 
     def engine(self, name: Optional[str] = None):
-        """Return (lazily constructing) the engine called ``name``."""
-        name = validate_engine_name(name or self._default_engine)
+        """Return (lazily constructing) the engine called ``name``.
+
+        ``"auto"`` is rejected here: it is a per-query planner decision,
+        not a constructible engine — run a query with ``engine="auto"``
+        or ask :meth:`plan_query` which engine it resolves to.
+        """
+        name = name or self._default_engine
+        if name == AUTO_ENGINE:
+            raise ValidationError(
+                "engine 'auto' is resolved per query by the planner; run "
+                "a query with engine='auto' or call plan_query() to see "
+                "the decision"
+            )
+        name = validate_engine_name(name)
         if name not in self._engines:
             self._engines[name] = _ENGINE_FACTORIES[name](
                 self._columns, self._metrics, self._spans
             )
         return self._engines[name]
+
+    # ------------------------------------------------------------------
+    # cost-based planning (engine="auto")
+    # ------------------------------------------------------------------
+    @property
+    def planner(self):
+        """The lazily built :class:`~repro.plan.QueryPlanner` for this db."""
+        if self._planner is None:
+            from ..plan import QueryPlanner
+
+            self._planner = QueryPlanner(self, model=self._plan_model)
+        return self._planner
+
+    def set_plan_model(self, model) -> None:
+        """Install a :class:`~repro.plan.PlanModel` (e.g. a loaded sidecar).
+
+        Resets the planner so cached decisions are re-made against the
+        new curves.  ``None`` reverts to an empty model (probe-on-demand).
+        """
+        self._plan_model = model
+        self._planner = None
+
+    def plan_query(self, kind: str, k: int, n_range, batched: bool = False):
+        """The :class:`~repro.plan.QueryPlan` ``engine="auto"`` would use."""
+        return self.planner.plan(kind, k, n_range, batched=batched)
+
+    def _resolve_engine(self, name, kind, k, n_range, batched=False):
+        """Resolve an ``engine=`` choice to ``(concrete name, plan|None)``."""
+        choice = name if name is not None else self._default_engine
+        if choice != AUTO_ENGINE:
+            return validate_engine_name(choice), None
+        plan = self.plan_query(kind, k, n_range, batched=batched)
+        return plan.engine, plan
+
+    def _observe_plan(self, plan, cells, seconds) -> None:
+        """Export one executed plan and feed its cost back into the model."""
+        if self._metrics is not None:
+            from ..obs.instrument import observe_plan_decision
+
+            observe_plan_decision(
+                self._metrics,
+                engine=plan.engine,
+                kind=plan.kind,
+                predicted_seconds=plan.predicted_seconds,
+                actual_seconds=seconds,
+                fanout=plan.fanout,
+            )
+        self.planner.record_actual(plan, float(cells), seconds)
+
+    def _observe_plan_batch(self, plan, results, started) -> None:
+        """Per-query averages of one planned batch into model + metrics."""
+        seconds = time.perf_counter() - started
+        cells = sum(result.stats.attributes_retrieved for result in results)
+        self._observe_plan(
+            plan, cells / len(results), seconds / len(results)
+        )
 
     # ------------------------------------------------------------------
     def k_n_match(
@@ -213,15 +332,23 @@ class MatchDatabase:
         per point, dynamically.  With ``trace=True`` the result carries
         a :class:`~repro.obs.QueryTrace` in ``result.trace``.
         """
-        selected = self.engine(engine)
-        if not trace:
+        resolved, plan = self._resolve_engine(engine, "k_n_match", k, (n, n))
+        selected = self.engine(resolved)
+        if not trace and plan is None:
             return selected.k_n_match(query, k, n)
         started = time.perf_counter()
         result = selected.k_n_match(query, k, n)
-        result.trace = self._build_trace(
-            selected, "k_n_match", result.k, (result.n, result.n),
-            result.stats, started,
-        )
+        if plan is not None:
+            self._observe_plan(
+                plan,
+                result.stats.attributes_retrieved,
+                time.perf_counter() - started,
+            )
+        if trace:
+            result.trace = self._build_trace(
+                selected, "k_n_match", result.k, (result.n, result.n),
+                result.stats, started,
+            )
         return result
 
     def frequent_k_n_match(
@@ -242,8 +369,11 @@ class MatchDatabase:
         """
         if n_range is None:
             n_range = (1, self.dimensionality)
-        selected = self.engine(engine)
-        if not trace:
+        resolved, plan = self._resolve_engine(
+            engine, "frequent_k_n_match", k, n_range
+        )
+        selected = self.engine(resolved)
+        if not trace and plan is None:
             return selected.frequent_k_n_match(
                 query, k, n_range, keep_answer_sets=keep_answer_sets
             )
@@ -251,10 +381,17 @@ class MatchDatabase:
         result = selected.frequent_k_n_match(
             query, k, n_range, keep_answer_sets=keep_answer_sets
         )
-        result.trace = self._build_trace(
-            selected, "frequent_k_n_match", result.k, result.n_range,
-            result.stats, started,
-        )
+        if plan is not None:
+            self._observe_plan(
+                plan,
+                result.stats.attributes_retrieved,
+                time.perf_counter() - started,
+            )
+        if trace:
+            result.trace = self._build_trace(
+                selected, "frequent_k_n_match", result.k, result.n_range,
+                result.stats, started,
+            )
         return result
 
     def _build_trace(self, selected, kind, k, n_range, stats, started):
@@ -298,14 +435,25 @@ class MatchDatabase:
         queries, k, n = validation.validate_batch_match_args(
             queries, k, n, self.cardinality, self.dimensionality
         )
-        selected = self.engine(engine)
+        resolved, plan = self._resolve_engine(
+            engine, "k_n_match", k, (n, n), batched=True
+        )
+        selected = self.engine(resolved)
         executor = self._batch_executor(selected, parallel, workers)
+        started = time.perf_counter() if plan is not None else None
         if executor is not None:
-            return executor.k_n_match_batch(queries, k, n)
-        native = getattr(selected, "k_n_match_batch", None)
-        if native is not None:
-            return native(queries, k, n)
-        return [selected.k_n_match(query, k, n) for query in queries]
+            results = executor.k_n_match_batch(queries, k, n)
+        else:
+            native = getattr(selected, "k_n_match_batch", None)
+            if native is not None:
+                results = native(queries, k, n)
+            else:
+                results = [
+                    selected.k_n_match(query, k, n) for query in queries
+                ]
+        if plan is not None and results:
+            self._observe_plan_batch(plan, results, started)
+        return results
 
     def frequent_k_n_match_batch(
         self,
@@ -328,21 +476,32 @@ class MatchDatabase:
         queries, k, n_range = validation.validate_batch_frequent_args(
             queries, k, n_range, self.cardinality, self.dimensionality
         )
-        selected = self.engine(engine)
+        resolved, plan = self._resolve_engine(
+            engine, "frequent_k_n_match", k, n_range, batched=True
+        )
+        selected = self.engine(resolved)
         executor = self._batch_executor(selected, parallel, workers)
+        started = time.perf_counter() if plan is not None else None
         if executor is not None:
-            return executor.frequent_k_n_match_batch(
+            results = executor.frequent_k_n_match_batch(
                 queries, k, n_range, keep_answer_sets=keep_answer_sets
             )
-        native = getattr(selected, "frequent_k_n_match_batch", None)
-        if native is not None:
-            return native(queries, k, n_range, keep_answer_sets=keep_answer_sets)
-        return [
-            selected.frequent_k_n_match(
-                query, k, n_range, keep_answer_sets=keep_answer_sets
-            )
-            for query in queries
-        ]
+        else:
+            native = getattr(selected, "frequent_k_n_match_batch", None)
+            if native is not None:
+                results = native(
+                    queries, k, n_range, keep_answer_sets=keep_answer_sets
+                )
+            else:
+                results = [
+                    selected.frequent_k_n_match(
+                        query, k, n_range, keep_answer_sets=keep_answer_sets
+                    )
+                    for query in queries
+                ]
+        if plan is not None and results:
+            self._observe_plan_batch(plan, results, started)
+        return results
 
     def _batch_executor(self, selected, parallel, workers):
         """The thread-pool executor for a batch call, or None for in-line.

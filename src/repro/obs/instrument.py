@@ -29,6 +29,7 @@ __all__ = [
     "observe_serve_request",
     "observe_serve_shed",
     "observe_serve_cache",
+    "observe_plan_decision",
     "serve_inflight_gauge",
     "SHARD_SIZE_BUCKETS",
     "STRAGGLER_RATIO_BUCKETS",
@@ -261,6 +262,44 @@ def observe_serve_cache(
         registry.counter(
             "repro_serve_cache_evictions_total", "result-cache evictions"
         ).labels().inc(evictions)
+
+
+def observe_plan_decision(
+    registry: MetricsRegistry,
+    engine: str,
+    kind: str,
+    predicted_seconds: float,
+    actual_seconds: float,
+    fanout: int = 1,
+) -> None:
+    """Record one executed ``engine="auto"`` planning decision.
+
+    ``engine`` is the concrete engine the planner resolved to, ``kind``
+    the query kind planned, and the two latency series put the model's
+    prediction next to what the query actually took — the drift signal
+    for re-calibrating a stale plan-model sidecar.  ``fanout`` is the
+    shard fan-out the plan scattered to (1 on a flat database).
+    """
+    labels = {"engine": engine, "kind": kind}
+    registry.counter(
+        "repro_plan_decisions_total",
+        "engine=auto queries by resolved engine",
+    ).labels(**labels).inc()
+    registry.histogram(
+        "repro_plan_predicted_seconds",
+        "planner-predicted per-query cost",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(**labels).observe(predicted_seconds)
+    registry.histogram(
+        "repro_plan_actual_seconds",
+        "measured per-query cost of planned queries",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(**labels).observe(actual_seconds)
+    if fanout > 1:
+        registry.counter(
+            "repro_plan_fanout_total",
+            "shard calls scattered by planned queries",
+        ).labels(**labels).inc(fanout)
 
 
 def serve_inflight_gauge(registry: MetricsRegistry):

@@ -73,6 +73,7 @@ PHASE_NAMES: Tuple[str, ...] = (
     "buffer_scan",    # dynamic database: brute-force delta-buffer scan
     "serve_handle",   # one HTTP request through the serving layer
     "serve_cache",    # a result-cache lookup or store within a request
+    "plan",           # an engine="auto" planning decision (estimate+probes)
 )
 
 

@@ -1,0 +1,294 @@
+"""Calibrated per-database cost curves for the query planner.
+
+A :class:`PlanModel` answers one question: *how many seconds will engine
+E take on a workload that touches roughly C cells?*  A "cell" is one
+(point, dimension) attribute an engine processes — the same unit the
+paper's cost analysis (Thm 3.2) and :class:`~repro.core.types.SearchStats`
+count — so the curves compose directly with the advisor's sampled
+fraction-retrieved estimates.
+
+Each engine gets one :class:`CostCurve`::
+
+    seconds(engine, cells)  =  base_seconds + cells * seconds_per_cell
+
+deliberately linear: what separates the engines is not the shape of
+their curves but the *constant* — the reference ``ad`` engine pays a
+Python heap pop per cell while ``block-ad`` and ``naive`` stream cells
+through numpy, a two-orders-of-magnitude gap that no plausible timing
+noise can blur.  The planner only needs the argmin, not an accurate
+latency forecast (though predicted-vs-actual is exported as
+``repro_plan_*`` metrics so drift is visible).
+
+Curves come from three sources, cheapest-first:
+
+* :meth:`PlanModel.from_reports` — priors fit from the committed
+  ``BENCH_*.json`` reports (the obs overhead matrix times ``ad`` and
+  ``block-ad`` on known configurations);
+* :meth:`PlanModel.calibrate` / :class:`~repro.plan.planner.QueryPlanner`
+  probes — a few real queries per engine on *this* database, timed and
+  divided by the cells they touched;
+* :meth:`PlanModel.observe` — online refinement: every ``engine="auto"``
+  query feeds its measured (cells, seconds) back into the curve it ran
+  under, so the model tracks the machine it is actually on.
+
+A model is persisted *alongside the index* as a JSON sidecar
+(``<database>.plan.json``, see :func:`plan_model_path`): build once,
+plan forever, and decisions become reproducible across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Optional, Union
+
+from ..errors import ValidationError
+
+__all__ = [
+    "CostCurve",
+    "PlanModel",
+    "plan_model_path",
+    "save_plan_model",
+    "load_plan_model",
+]
+
+PLAN_MODEL_VERSION = 1
+
+#: Online updates beyond this many observations keep moving the curve
+#: but stop shrinking the step, so a long-running server still adapts
+#: when the machine's behaviour shifts (thermal throttling, a noisy
+#: neighbour) instead of freezing on ancient history.
+_OBSERVATION_WINDOW = 32
+
+
+@dataclass
+class CostCurve:
+    """One engine's linear cost curve (see the module docstring)."""
+
+    engine: str
+    seconds_per_cell: float
+    base_seconds: float = 0.0
+    source: str = "probe"
+    samples: int = 1
+
+    def predict(self, cells: float) -> float:
+        """Predicted seconds for one query touching ``cells`` cells."""
+        return self.base_seconds + cells * self.seconds_per_cell
+
+
+class PlanModel:
+    """A set of per-engine :class:`CostCurve`\\ s plus fit provenance."""
+
+    def __init__(self, curves: Optional[Dict[str, CostCurve]] = None) -> None:
+        self._curves: Dict[str, CostCurve] = dict(curves or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def engines(self):
+        """Engine names with a fitted curve (sorted, deterministic)."""
+        return tuple(sorted(self._curves))
+
+    def curve(self, engine: str) -> Optional[CostCurve]:
+        return self._curves.get(engine)
+
+    def has_curve(self, engine: str) -> bool:
+        return engine in self._curves
+
+    def predict(self, engine: str, cells: float) -> Optional[float]:
+        """Predicted seconds for ``engine`` on ``cells``; None if unfit."""
+        curve = self._curves.get(engine)
+        if curve is None:
+            return None
+        return curve.predict(max(0.0, float(cells)))
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        engine: str,
+        cells: float,
+        seconds: float,
+        source: str = "probe",
+    ) -> CostCurve:
+        """Install (replacing) a curve from one measured (cells, seconds)."""
+        cells = max(1.0, float(cells))
+        curve = CostCurve(
+            engine=engine,
+            seconds_per_cell=max(0.0, float(seconds)) / cells,
+            source=source,
+            samples=1,
+        )
+        self._curves[engine] = curve
+        return curve
+
+    def observe(self, engine: str, cells: float, seconds: float) -> None:
+        """Online update: blend one measured query into the curve.
+
+        Unknown engines get a fresh curve (source ``"observed"``); known
+        ones move by a ``1/samples`` step, with ``samples`` capped at a
+        window so the model keeps adapting (see module docstring).
+        """
+        cells = max(1.0, float(cells))
+        measured = max(0.0, float(seconds)) / cells
+        curve = self._curves.get(engine)
+        if curve is None:
+            self._curves[engine] = CostCurve(
+                engine=engine,
+                seconds_per_cell=measured,
+                source="observed",
+            )
+            return
+        weight = min(curve.samples, _OBSERVATION_WINDOW)
+        curve.seconds_per_cell += (measured - curve.seconds_per_cell) / (
+            weight + 1
+        )
+        curve.samples += 1
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_reports(cls, path: Union[str, os.PathLike]) -> "PlanModel":
+        """Priors from committed ``BENCH_*.json`` reports under ``path``.
+
+        Walks every report for entries that name an engine, a
+        configuration (``cardinality`` x ``dimensionality``) and a
+        ``queries_per_second`` leaf, and fits each engine's curve from
+        the *slowest* per-cell observation (a conservative prior: bench
+        configurations touch at most every cell, so dividing by
+        ``cardinality * dimensionality`` under-estimates the per-cell
+        price of frontier engines; probes refine it).
+        """
+        import glob
+
+        model = cls()
+        if os.path.isdir(path):
+            files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        else:
+            files = [os.fspath(path)]
+        worst: Dict[str, float] = {}
+        for name in files:
+            try:
+                with open(name) as handle:
+                    report = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            for engine, per_cell in _report_per_cell(report):
+                worst[engine] = max(worst.get(engine, 0.0), per_cell)
+        for engine, per_cell in worst.items():
+            model._curves[engine] = CostCurve(
+                engine=engine,
+                seconds_per_cell=per_cell,
+                source="bench",
+            )
+        return model
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "version": PLAN_MODEL_VERSION,
+            "curves": {
+                name: asdict(curve)
+                for name, curve in sorted(self._curves.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PlanModel":
+        if not isinstance(payload, dict) or "curves" not in payload:
+            raise ValidationError(
+                "plan model payload must be a dict with a 'curves' mapping"
+            )
+        if payload.get("version") != PLAN_MODEL_VERSION:
+            raise ValidationError(
+                f"plan model version {payload.get('version')!r} is not "
+                f"readable; this build reads version {PLAN_MODEL_VERSION}"
+            )
+        curves = {}
+        for name, fields in payload["curves"].items():
+            try:
+                curves[name] = CostCurve(**fields)
+            except TypeError as error:
+                raise ValidationError(
+                    f"malformed plan-model curve {name!r}: {error}"
+                ) from None
+        return cls(curves)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PlanModel(engines={list(self.engines)!r})"
+
+
+def _report_per_cell(report: Dict) -> Iterable:
+    """Yield ``(engine, seconds_per_cell)`` observations from one report."""
+    for entry in report.get("results", ()):
+        if not isinstance(entry, dict):
+            continue
+        cells = _entry_cells(entry)
+        if cells is None:
+            continue
+        engines = entry.get("engines")
+        if isinstance(engines, dict):  # bench_obs: engines.<name>.off.qps
+            for engine, modes in engines.items():
+                rate = _rate(modes.get("off") if isinstance(modes, dict) else None)
+                if rate:
+                    yield engine, 1.0 / rate / cells
+        engine = entry.get("engine")
+        if isinstance(engine, str):  # bench_batch/shard: one engine per entry
+            rate = _rate(entry.get("vectorised") or entry.get("serial"))
+            if rate:
+                yield engine, 1.0 / rate / cells
+
+
+def _entry_cells(entry: Dict) -> Optional[float]:
+    cardinality = entry.get("cardinality")
+    dimensionality = entry.get("dimensionality")
+    if isinstance(cardinality, int) and isinstance(dimensionality, int):
+        return float(cardinality * dimensionality)
+    return None
+
+
+def _rate(leaf) -> Optional[float]:
+    if isinstance(leaf, dict):
+        rate = leaf.get("queries_per_second")
+        if isinstance(rate, (int, float)) and rate > 0:
+            return float(rate)
+    return None
+
+
+# ----------------------------------------------------------------------
+# persistence: the sidecar next to the index
+# ----------------------------------------------------------------------
+def plan_model_path(database_path: Union[str, os.PathLike]) -> str:
+    """The sidecar path a database's plan model is persisted at."""
+    return f"{os.fspath(database_path)}.plan.json"
+
+
+def save_plan_model(
+    model: PlanModel, database_path: Union[str, os.PathLike]
+) -> str:
+    """Write ``model`` next to the index; returns the sidecar path."""
+    path = plan_model_path(database_path)
+    with open(path, "w") as handle:
+        json.dump(model.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_plan_model(
+    database_path: Union[str, os.PathLike]
+) -> Optional[PlanModel]:
+    """Load the sidecar model for a database, or ``None`` if absent.
+
+    A *malformed* sidecar raises (silently ignoring it would undo the
+    calibration without telling anyone); a missing one is the normal
+    uncalibrated state.
+    """
+    path = plan_model_path(database_path)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValidationError(
+            f"cannot read plan model {path!r}: {error}"
+        ) from error
+    return PlanModel.from_dict(payload)

@@ -24,6 +24,7 @@ the time a request holds a slot, finishing it is the cheapest outcome.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -31,6 +32,11 @@ from dataclasses import dataclass
 from ..errors import ReproError, ValidationError
 
 __all__ = ["AdmissionController", "ShedError", "Ticket"]
+
+#: Exponential-moving-average weight for observed queue waits: small
+#: enough to smooth single outliers, large enough that a sustained
+#: overload moves the average within a handful of requests.
+_QUEUE_WAIT_EWMA_ALPHA = 0.3
 
 #: Default per-request deadline budget (seconds) when neither the
 #: server configuration nor the request specifies one.
@@ -94,6 +100,7 @@ class AdmissionController:
         self._inflight = 0
         self._lock = threading.Lock()
         self._sheds = 0
+        self._queue_wait_ewma = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -126,6 +133,7 @@ class AdmissionController:
         started = time.perf_counter()
         acquired = self._semaphore.acquire(timeout=budget)
         waited = time.perf_counter() - started
+        self._observe_queue_wait(waited)
         if not acquired:
             with self._lock:
                 self._sheds += 1
@@ -156,6 +164,30 @@ class AdmissionController:
         with self._lock:
             self._inflight -= 1
         self._semaphore.release()
+
+    # ------------------------------------------------------------------
+    def _observe_queue_wait(self, waited: float) -> None:
+        with self._lock:
+            self._queue_wait_ewma += _QUEUE_WAIT_EWMA_ALPHA * (
+                waited - self._queue_wait_ewma
+            )
+
+    @property
+    def queue_wait_ewma_seconds(self) -> float:
+        """Smoothed queue wait over recent admits *and* sheds."""
+        return self._queue_wait_ewma
+
+    def retry_after_seconds(self, queue_seconds: float = 0.0) -> int:
+        """Honest ``Retry-After`` for a shed request (whole seconds, >= 1).
+
+        Derived from the load actually observed — the larger of this
+        request's own queue wait and the smoothed recent wait — rounded
+        *up*, so a retry earlier than the advertised delay is never the
+        controller's suggestion.  An idle controller says 1, the
+        protocol minimum.
+        """
+        observed = max(float(queue_seconds), self._queue_wait_ewma)
+        return max(1, math.ceil(observed))
 
     def wait_idle(self, timeout_seconds: float) -> bool:
         """Block until nothing is in flight; ``False`` on timeout.

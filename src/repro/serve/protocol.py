@@ -8,8 +8,9 @@ drift apart.  Three request shapes (one per POST endpoint)::
     POST /v1/frequent  {"query": [..], "k": 5, "n_range": [4, 12]}
     POST /v1/batch     {"queries": [[..], ..], "k": 5, "n": 8}
 
-All three accept optional ``"engine"`` (a registry engine name, only
-for facades that support per-query engine selection), ``"deadline_ms"``
+All three accept optional ``"engine"`` (a registry engine name or
+``"auto"`` for the cost-based planner, only for facades that support
+per-query engine selection), ``"deadline_ms"``
 (per-request admission budget, overriding the server default) and
 ``"protocol"`` (must equal :data:`PROTOCOL_VERSION` when present).  The
 frequent endpoint additionally accepts ``"keep_answer_sets"``.

@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import validation
-from ..core.engine import validate_engine_name
+from ..core.engine import validate_engine_choice
 from ..errors import ValidationError
 from ..obs import (
     MetricsRegistry,
@@ -93,7 +93,7 @@ class ServeApp:
             db.k_n_match
         ).parameters
         if default_engine is not None:
-            validate_engine_name(default_engine)
+            validate_engine_choice(default_engine)
             if not self._supports_engine:
                 raise ValidationError(
                     "default_engine was given but this database does not "
@@ -263,11 +263,17 @@ class ServeApp:
         except ShedError as error:
             registry = self._metrics
             observe_serve_shed(registry, path, error.reason)
+            # An honest Retry-After: the queue wait this request (and
+            # its recent peers) actually observed, rounded up — not a
+            # hardcoded constant that under-advises loaded servers.
+            retry_after = self._admission.retry_after_seconds(
+                error.queue_seconds
+            )
             return self._finish(
                 path, time.perf_counter() - started, error.queue_seconds,
                 self._error(
                     429, "shed", str(error),
-                    extra_headers=[("Retry-After", "1")],
+                    extra_headers=[("Retry-After", str(retry_after))],
                 ),
             )
         serve_inflight_gauge(self._metrics).set(self._admission.inflight)
@@ -352,7 +358,7 @@ class ServeApp:
                 "this database does not support per-query engine "
                 "selection; drop the 'engine' field"
             )
-        validate_engine_name(engine)
+        validate_engine_choice(engine)
         return {"engine": engine}
 
     def _engine_label(self, request) -> str:

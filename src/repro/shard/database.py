@@ -34,7 +34,12 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..core import validation
-from ..core.engine import MatchDatabase, validate_engine_name
+from ..core.engine import (
+    AUTO_ENGINE,
+    MatchDatabase,
+    validate_engine_choice,
+    validate_engine_name,
+)
 from ..core.types import FrequentMatchResult, MatchResult
 from ..errors import ValidationError
 from ..parallel import BatchStats
@@ -72,7 +77,7 @@ class ShardedMatchDatabase:
         **partitioner_options,
     ) -> None:
         array = validation.as_database_array(data)
-        validate_engine_name(default_engine)
+        validate_engine_choice(default_engine)
         shards = validate_shard_count(shards)
         if isinstance(partitioner, Partitioner):
             if partitioner_options:
@@ -92,11 +97,18 @@ class ShardedMatchDatabase:
         self._default_engine = default_engine
         self._metrics = metrics
         self._spans = spans
+        self._planner = None
+        self._plan_model = None
         self._global_ids: List[np.ndarray] = [
             np.flatnonzero(assignment == s) for s in range(shards)
         ]
+        # An "auto" facade default is resolved *before* the scatter, so
+        # per-shard databases always hold a concrete engine default.
+        shard_default = (
+            "block-ad" if default_engine == AUTO_ENGINE else default_engine
+        )
         self._shard_dbs: List[Optional[MatchDatabase]] = [
-            MatchDatabase(array[gids], default_engine=default_engine)
+            MatchDatabase(array[gids], default_engine=shard_default)
             if gids.size
             else None
             for gids in self._global_ids
@@ -280,6 +292,83 @@ class ShardedMatchDatabase:
             )
 
     # ------------------------------------------------------------------
+    # cost-based planning (engine="auto")
+    # ------------------------------------------------------------------
+    @property
+    def planner(self):
+        """The facade's :class:`~repro.plan.QueryPlanner`.
+
+        Plans over the *largest* shard's database (the representative
+        slice: per-shard cost is what the scatter pays per worker) and
+        reports the non-empty shard count as the plan fan-out.
+        """
+        if self._planner is None:
+            from ..plan import QueryPlanner
+
+            populated = [db for db in self._shard_dbs if db is not None]
+            base = max(populated, key=lambda db: db.cardinality)
+            self._planner = QueryPlanner(
+                base,
+                model=self._plan_model,
+                fanout=len(populated),
+                spans_owner=self,
+            )
+        return self._planner
+
+    def set_plan_model(self, model) -> None:
+        """Install a :class:`~repro.plan.PlanModel` (e.g. a loaded sidecar)."""
+        self._plan_model = model
+        self._planner = None
+
+    def plan_query(self, kind: str, k: int, n_range, batched: bool = False):
+        """The :class:`~repro.plan.QueryPlan` ``engine="auto"`` would use.
+
+        ``k`` is clamped to the planning shard's cardinality — shards
+        smaller than ``k`` contribute their whole point set, so that is
+        the cost actually paid per shard.
+        """
+        planner = self.planner
+        shard_k = min(int(k), planner.db.cardinality)
+        return planner.plan(kind, shard_k, n_range, batched=batched)
+
+    def _resolve_engine(self, name, kind, k, n_range, batched=False):
+        """Resolve ``engine=`` to ``(concrete name or None, plan|None)``.
+
+        ``None`` means "per-shard default" exactly as before; ``"auto"``
+        (explicit or the facade default) is planned here, before the
+        scatter, so every shard runs the same concrete engine.
+        """
+        choice = name if name is not None else self._default_engine
+        if choice == AUTO_ENGINE:
+            plan = self.plan_query(kind, k, n_range, batched=batched)
+            return plan.engine, plan
+        if name is not None:
+            validate_engine_name(name)
+        return name, None
+
+    def _observe_plan(self, plan, results, started) -> None:
+        """Export one executed plan; feed per-shard cost back to the model."""
+        seconds = time.perf_counter() - started
+        count = max(1, len(results))
+        cells = sum(r.stats.attributes_retrieved for r in results)
+        if self._metrics is not None:
+            from ..obs.instrument import observe_plan_decision
+
+            observe_plan_decision(
+                self._metrics,
+                engine=plan.engine,
+                kind=plan.kind,
+                predicted_seconds=plan.predicted_seconds,
+                actual_seconds=seconds / count,
+                fanout=plan.fanout,
+            )
+        # The model prices one engine call on one shard; the measured
+        # retrieval spans all shards, so charge the per-shard share.
+        self.planner.record_actual(
+            plan, cells / count / plan.fanout, seconds / count
+        )
+
+    # ------------------------------------------------------------------
     def k_n_match(
         self,
         query,
@@ -292,10 +381,11 @@ class ShardedMatchDatabase:
         query, k, n = validation.validate_match_args(
             query, k, n, self.cardinality, self.dimensionality
         )
-        if engine is not None:
-            validate_engine_name(engine)
-        started = time.perf_counter() if trace else 0.0
+        engine, plan = self._resolve_engine(engine, "k_n_match", k, (n, n))
+        started = time.perf_counter() if (trace or plan is not None) else 0.0
         result = self._coordinator.k_n_match(query, k, n, engine=engine)
+        if plan is not None:
+            self._observe_plan(plan, [result], started)
         if trace:
             result.trace = self._build_trace(
                 engine, "k_n_match", k, (n, n), result.stats, started
@@ -317,12 +407,15 @@ class ShardedMatchDatabase:
         query, k, n_range = validation.validate_frequent_args(
             query, k, n_range, self.cardinality, self.dimensionality
         )
-        if engine is not None:
-            validate_engine_name(engine)
-        started = time.perf_counter() if trace else 0.0
+        engine, plan = self._resolve_engine(
+            engine, "frequent_k_n_match", k, n_range
+        )
+        started = time.perf_counter() if (trace or plan is not None) else 0.0
         result = self._coordinator.frequent_k_n_match(
             query, k, n_range, engine=engine, keep_answer_sets=keep_answer_sets
         )
+        if plan is not None:
+            self._observe_plan(plan, [result], started)
         if trace:
             result.trace = self._build_trace(
                 engine, "frequent_k_n_match", k, n_range, result.stats, started
@@ -345,9 +438,16 @@ class ShardedMatchDatabase:
         queries, k, n = validation.validate_batch_match_args(
             queries, k, n, self.cardinality, self.dimensionality
         )
-        if engine is not None:
-            validate_engine_name(engine)
-        return self._coordinator.k_n_match_batch(queries, k, n, engine=engine)
+        engine, plan = self._resolve_engine(
+            engine, "k_n_match", k, (n, n), batched=True
+        )
+        started = time.perf_counter() if plan is not None else 0.0
+        results = self._coordinator.k_n_match_batch(
+            queries, k, n, engine=engine
+        )
+        if plan is not None and results:
+            self._observe_plan(plan, results, started)
+        return results
 
     def frequent_k_n_match_batch(
         self,
@@ -363,12 +463,17 @@ class ShardedMatchDatabase:
         queries, k, n_range = validation.validate_batch_frequent_args(
             queries, k, n_range, self.cardinality, self.dimensionality
         )
-        if engine is not None:
-            validate_engine_name(engine)
-        return self._coordinator.frequent_k_n_match_batch(
+        engine, plan = self._resolve_engine(
+            engine, "frequent_k_n_match", k, n_range, batched=True
+        )
+        started = time.perf_counter() if plan is not None else 0.0
+        results = self._coordinator.frequent_k_n_match_batch(
             queries, k, n_range, engine=engine,
             keep_answer_sets=keep_answer_sets,
         )
+        if plan is not None and results:
+            self._observe_plan(plan, results, started)
+        return results
 
     # ------------------------------------------------------------------
     def _build_trace(self, engine, kind, k, n_range, stats, started):

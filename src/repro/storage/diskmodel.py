@@ -58,8 +58,27 @@ class DiskModel:
         return io + cpu
 
     def with_page_size(self, page_size: int) -> "DiskModel":
-        """A copy of this model with a different page size."""
-        return replace(self, page_size=page_size)
+        """A copy of this model re-calibrated for a different page size.
+
+        ``sequential_read_seconds`` is a *transfer-bound* per-page cost
+        (the drive streams bytes at a fixed MB/s), so it scales linearly
+        with the page size: a model whose pages are twice as large takes
+        twice as long per sequential page.  ``random_read_seconds`` is
+        seek/rotation dominated and the CPU constants are per-attribute,
+        so none of them move with the page size.
+        """
+        from ..errors import ValidationError
+
+        if page_size < 1:
+            raise ValidationError(
+                f"page_size must be >= 1 byte; got {page_size}"
+            )
+        scale = page_size / self.page_size
+        return replace(
+            self,
+            page_size=page_size,
+            sequential_read_seconds=self.sequential_read_seconds * scale,
+        )
 
 
 #: 2006-era commodity hard drive (the paper's setting).

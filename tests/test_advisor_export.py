@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro import MatchDatabase
@@ -9,6 +10,7 @@ from repro.core.advisor import (
     CostEstimate,
     estimate_fraction_retrieved,
     recommend_engine,
+    sample_row_ids,
 )
 from repro.errors import ValidationError
 from repro.eval import (
@@ -60,6 +62,55 @@ class TestEstimate:
         text = str(estimate_fraction_retrieved(db, 5, (2, 5)))
         assert "k=5" in text and "%" in text
 
+    def test_kind_defaults_to_frequent(self, db):
+        estimate = estimate_fraction_retrieved(db, 5, (2, 5), seed=3)
+        assert estimate.kind == "frequent"
+        # Positional construction predating the kind field still works.
+        legacy = CostEstimate(5, (2, 5), 5, 0.1, 0.2)
+        assert legacy.kind == "frequent"
+
+    def test_plain_kind_estimates_differ_on_ranges(self, rng):
+        # The original advisor estimated every workload with a frequent
+        # query, over-charging plain k-n-match range workloads: a
+        # frequent (n0, n1) query must certify *every* n simultaneously,
+        # while a plain workload issues independent single-n queries
+        # whose average cost is strictly cheaper on tie-heavy data.
+        tied = np.round(rng.random((250, 6)) * 4) / 4
+        db = MatchDatabase(tied)
+        frequent = estimate_fraction_retrieved(db, 5, (2, 5), seed=9)
+        plain = estimate_fraction_retrieved(db, 5, (2, 5), seed=9, kind="k-n-match")
+        assert frequent.kind == "frequent"
+        assert plain.kind == "k-n-match"
+        assert plain.mean_fraction < frequent.mean_fraction
+
+    def test_plain_kind_matches_frequent_at_fixed_n(self, db):
+        # At a degenerate range (n, n) the two kinds describe the same
+        # query, so their costs must coincide exactly.
+        frequent = estimate_fraction_retrieved(db, 5, (4, 4), seed=2)
+        plain = estimate_fraction_retrieved(db, 5, (4, 4), seed=2, kind="k-n-match")
+        assert plain.mean_fraction == frequent.mean_fraction
+        assert plain.max_fraction == frequent.max_fraction
+
+    def test_invalid_kind(self, db):
+        with pytest.raises(ValidationError):
+            estimate_fraction_retrieved(db, 5, (2, 5), kind="approximate")
+
+
+class TestSampleRowIds:
+    def test_deterministic_distinct_and_bounded(self):
+        ids = sample_row_ids(1000, 10, seed=4)
+        assert list(ids) == list(sample_row_ids(1000, 10, seed=4))
+        assert len(ids) == len(set(ids.tolist())) == 10
+        assert all(0 <= i < 1000 for i in ids)
+
+    def test_full_population_when_size_exceeds_cardinality(self):
+        assert sorted(sample_row_ids(5, 50).tolist()) == [0, 1, 2, 3, 4]
+
+    def test_seed_changes_sample(self):
+        a = sample_row_ids(10_000, 8, seed=1)
+        b = sample_row_ids(10_000, 8, seed=2)
+        assert list(a) != list(b)
+
 
 class TestRecommendation:
     def test_attributes_mode_always_ad(self, db):
@@ -80,6 +131,24 @@ class TestRecommendation:
     def test_invalid_mode(self, db):
         with pytest.raises(ValidationError):
             recommend_engine(db, 5, (2, 4), minimize="latency")
+
+    def test_disk_time_prices_all_disk_engines(self, db):
+        advice = recommend_engine(db, 5, (2, 5), minimize="disk-time")
+        assert advice.engine in {"naive", "disk-ad", "va-file"}
+        # The reason quotes every priced alternative, not just the winner.
+        for name in ("disk-ad", "naive", "va-file"):
+            assert name in advice.reason
+
+    def test_disk_time_respects_disk_model(self, db):
+        from repro.storage import DEFAULT_DISK_MODEL
+
+        slow_seq = DEFAULT_DISK_MODEL.with_page_size(4 * DEFAULT_DISK_MODEL.page_size)
+        a = recommend_engine(db, 5, (2, 5), minimize="disk-time")
+        b = recommend_engine(
+            db, 5, (2, 5), minimize="disk-time", disk_model=slow_seq
+        )
+        # Same decision procedure, different priced costs in the reason.
+        assert a.reason != b.reason
 
     def test_recommended_engine_actually_runs(self, db, small_query):
         advice = recommend_engine(db, 5, (2, 5))

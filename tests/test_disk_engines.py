@@ -66,6 +66,32 @@ class TestDiskADIO:
         assert pager.page_count > 0
 
 
+class TestDiskModelPageSize:
+    def test_doubling_page_size_doubles_sequential_cost(self):
+        base = DiskModel()
+        doubled = base.with_page_size(base.page_size * 2)
+        assert doubled.page_size == base.page_size * 2
+        assert doubled.sequential_read_seconds == 2 * base.sequential_read_seconds
+
+    def test_seek_and_cpu_costs_unchanged(self):
+        base = DiskModel()
+        doubled = base.with_page_size(base.page_size * 2)
+        assert doubled.random_read_seconds == base.random_read_seconds
+        assert doubled.cpu_seconds_per_attribute == base.cpu_seconds_per_attribute
+        assert doubled.cpu_seconds_per_list_entry == base.cpu_seconds_per_list_entry
+
+    def test_round_trip_restores_original(self):
+        base = DiskModel()
+        back = base.with_page_size(8192).with_page_size(base.page_size)
+        assert back == base
+
+    def test_invalid_page_size(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            DiskModel().with_page_size(0)
+
+
 class TestDiskScan:
     def test_k_n_match_matches_oracle(self, small_data, small_query):
         scan = DiskScanEngine(small_data).k_n_match(small_query, 12, 5)

@@ -193,6 +193,34 @@ class TestAdmission:
         with pytest.raises(ValidationError):
             AdmissionController().admit(deadline_seconds=-1)
 
+    def test_retry_after_idle_minimum(self):
+        controller = AdmissionController(max_inflight=1)
+        assert controller.retry_after_seconds() == 1
+        assert controller.retry_after_seconds(0.2) == 1
+
+    def test_retry_after_tracks_observed_wait(self):
+        controller = AdmissionController(max_inflight=1)
+        # This shed request itself queued 2.4s: the advertised delay
+        # must cover it (rounded up), not the idle minimum.
+        assert controller.retry_after_seconds(2.4) == 3
+
+    def test_retry_after_tracks_sustained_load(self):
+        controller = AdmissionController(
+            max_inflight=1, deadline_seconds=0.05
+        )
+        controller.admit()
+        # Sustained overload: several sheds, each waiting a full budget,
+        # drag the smoothed queue wait above zero.
+        for _ in range(4):
+            with pytest.raises(ShedError):
+                controller.admit()
+        assert controller.queue_wait_ewma_seconds > 0.0
+        # A new shed's advertised delay covers the *larger* of its own
+        # wait and the smoothed recent wait.
+        assert controller.retry_after_seconds(0.0) >= 1
+        assert controller.retry_after_seconds(5.2) == 6
+        controller.release()
+
 
 # ----------------------------------------------------------------------
 # routing and error mapping (socket-free, via ServeApp.handle)
@@ -455,6 +483,31 @@ class TestOverload:
         assert app.admission.inflight == 0
         text = render_prometheus(app.metrics)
         assert 'repro_serve_sheds_total{endpoint="/v1/query",reason="queue_full"} 3' in text
+
+    def test_429_retry_after_tracks_queue_wait(self, small_data, small_query):
+        gate = threading.Event()
+        db = GatedDB(MatchDatabase(small_data), gate)
+        app = ServeApp(db, max_inflight=1, deadline_ms=1200.0, cache_size=0)
+        app.admission.admit()  # occupy the only slot
+        # Shed after queueing ~1.2s: the advertised retry delay must
+        # cover the wait actually observed (ceil(1.2) = 2), not a
+        # hard-coded constant.
+        status, headers, _ = post(
+            app, "/v1/query", {"query": list(small_query), "k": 2, "n": 3}
+        )
+        assert status == 429
+        header = dict(headers)
+        assert int(header["Retry-After"]) == 2
+        # A fast shed on an idle-again controller still advertises the
+        # protocol minimum of one second.
+        status, headers, _ = post(
+            app,
+            "/v1/query",
+            {"query": list(small_query), "k": 2, "n": 3, "deadline_ms": 20},
+        )
+        assert status == 429
+        assert int(dict(headers)["Retry-After"]) >= 1
+        app.admission.release()
 
     def test_per_request_deadline_overrides_default(self, small_data, small_query):
         gate = threading.Event()

@@ -16,7 +16,11 @@ import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.core.engine import MatchDatabase, validate_engine_name
+from repro.core.engine import (
+    MatchDatabase,
+    validate_engine_choice,
+    validate_engine_name,
+)
 from repro.errors import StorageError, ValidationError
 from repro.io import (
     load_any_database,
@@ -275,16 +279,22 @@ class TestDegenerateShards:
 
 class TestEngineRegistry:
     def test_identical_unknown_engine_errors(self, tie_data):
+        # The facades admit "auto" as a default engine, so they share the
+        # choice validator's message; the concrete-engine validator keeps
+        # its own list without "auto".
         messages = []
         for build in (
             lambda: MatchDatabase(tie_data, default_engine="bogus"),
             lambda: ShardedMatchDatabase(tie_data, default_engine="bogus"),
-            lambda: validate_engine_name("bogus"),
+            lambda: validate_engine_choice("bogus"),
         ):
             with pytest.raises(ValidationError) as excinfo:
                 build()
             messages.append(str(excinfo.value))
         assert len(set(messages)) == 1
+        with pytest.raises(ValidationError) as concrete:
+            validate_engine_name("bogus")
+        assert "'auto'" not in str(concrete.value)
 
     def test_query_time_unknown_engine(self, tie_data, tie_query):
         flat = MatchDatabase(tie_data)
