@@ -1,0 +1,297 @@
+"""Approximate-tier benchmark: certified engines vs exact block-AD.
+
+Runs each approximate engine (``budget-ad``, ``pivot-sketch``) against
+the exact ``block-ad`` baseline on workloads where approximation should
+pay — clustered data with a high retrieval fraction (n close to d),
+where the exact frontier has to touch most cells but a sketch filter
+or a budgeted frontier prefix does not — plus a uniform control.
+
+**Soundness is asserted before any timing**: for every benched query
+the certificate must hold (tie-aware measured recall >= certified
+recall, via the shared :mod:`repro.eval` helpers) and every reported
+difference must be the exact n-match difference of its id.  A single
+unsound certificate aborts the run.
+
+Per engine and workload the report records queries/second, the speedup
+over exact block-AD, and the measured/certified recall distribution.
+The acceptance target (recorded in ``BENCH_approx.json``, asserted
+only as a report flag — shared CI runners make wall-clock gates
+flaky): **>= 5x the exact throughput at measured recall >= 0.9 on at
+least one workload**.  Recall fields are floats, so the regression
+gate's config signatures ignore them by construction (and
+``regress._NON_CONFIG_KEYS`` lists them explicitly)::
+
+    python benchmarks/bench_approx.py --smoke -o BENCH_approx.json
+    python benchmarks/bench_approx.py -o BENCH_approx.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.core.engine import MatchDatabase
+from repro.data import gaussian_clusters
+from repro.eval import certificate_holds, tie_aware_match_recall
+
+from bench_meta import run_metadata
+
+APPROX_ENGINES = ("budget-ad", "pivot-sketch")
+
+#: name, clustered?, cardinality, dimensionality, k, n, queries,
+#: per-engine kwargs.  The clustered high-n workloads are where the
+#: acceptance speedup is expected; uniform mid-n is the honest control
+#: where approximation helps less.
+WORKLOADS = [
+    (
+        "clustered-high-n",
+        True,
+        8_000,
+        32,
+        10,
+        24,
+        12,
+        {
+            "budget-ad": {"budget": 12_800},  # 5% of the cells
+            "pivot-sketch": {"candidate_multiplier": 64},
+        },
+    ),
+    (
+        "clustered-wide",
+        True,
+        4_000,
+        64,
+        10,
+        48,
+        12,
+        {
+            "budget-ad": {"budget": 12_800},  # 5% of the cells
+            "pivot-sketch": {"candidate_multiplier": 64},
+        },
+    ),
+    (
+        "uniform-mid-n",
+        False,
+        6_000,
+        16,
+        10,
+        8,
+        12,
+        {
+            "budget-ad": {"budget": 4_800},  # 5% of the cells
+            "pivot-sketch": {"candidate_multiplier": 64},
+        },
+    ),
+]
+
+SPEEDUP_TARGET = 5.0
+RECALL_TARGET = 0.9
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _make_data(clustered: bool, cardinality: int, dimensionality: int, seed: int):
+    if clustered:
+        data, _labels = gaussian_clusters(
+            cardinality, dimensionality, seed=seed
+        )
+        return data
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(cardinality, dimensionality))
+
+
+def bench_workload(
+    name: str,
+    clustered: bool,
+    cardinality: int,
+    dimensionality: int,
+    k: int,
+    n: int,
+    num_queries: int,
+    engine_kwargs: Dict[str, Dict],
+    repeats: int,
+    seed: int = 42,
+) -> Dict:
+    data = _make_data(clustered, cardinality, dimensionality, seed)
+    rng = np.random.default_rng(seed + 1)
+    picks = rng.choice(cardinality, size=num_queries, replace=False)
+    # queries near the data (the paper's protocol): sampled rows, jittered
+    queries = data[picks] + rng.normal(0.0, 0.01, size=(num_queries, dimensionality))
+
+    db = MatchDatabase(data)
+    exact = [db.k_n_match(query, k, n, engine="block-ad") for query in queries]
+
+    entry = {
+        "workload": name,
+        "kind": "k_n_match",
+        "clustered": clustered,
+        "cardinality": cardinality,
+        "dimensionality": dimensionality,
+        "k": k,
+        "n0": n,
+        "n1": n,
+        "num_queries": num_queries,
+        "engines": {},
+    }
+
+    # exact baseline throughput
+    def run_exact():
+        for query in queries:
+            db.k_n_match(query, k, n, engine="block-ad")
+
+    run_exact()  # warm-up
+    exact_seconds = _best_of(repeats, run_exact)
+    exact_rate = num_queries / exact_seconds
+    entry["engines"]["block-ad"] = {
+        "seconds": exact_seconds,
+        "queries_per_second": exact_rate,
+    }
+
+    for engine in APPROX_ENGINES:
+        kwargs = dict(engine_kwargs.get(engine, {}))
+
+        # Correctness gate BEFORE timing: certificates sound on every
+        # query, and every reported difference is the true one.
+        measured, certified = [], []
+        for query, truth in zip(queries, exact):
+            result = db.k_n_match(
+                query, k, n, mode="approx", engine=engine, **kwargs
+            )
+            assert certificate_holds(
+                result.certified_recall,
+                result.differences,
+                truth.differences,
+            ), f"{name}/{engine}: UNSOUND certificate"
+            profile = np.sort(np.abs(data[result.ids] - query), axis=1)[:, n - 1]
+            assert np.allclose(result.differences, profile, atol=1e-9), (
+                f"{name}/{engine}: reported differences are not exact"
+            )
+            measured.append(
+                tie_aware_match_recall(result.differences, truth.differences)
+            )
+            certified.append(result.certified_recall)
+
+        def run_approx(engine=engine, kwargs=kwargs):
+            for query in queries:
+                db.k_n_match(
+                    query, k, n, mode="approx", engine=engine, **kwargs
+                )
+
+        run_approx()  # warm-up (sketch index build, curve caches)
+        seconds = _best_of(repeats, run_approx)
+        rate = num_queries / seconds
+        mean_measured = float(np.mean(measured))
+        entry["engines"][engine] = {
+            "seconds": seconds,
+            "queries_per_second": rate,
+            "speedup_vs_exact": rate / exact_rate,
+            "measured_recall_mean": mean_measured,
+            "measured_recall_min": float(np.min(measured)),
+            "certified_recall_mean": float(np.mean(certified)),
+            "certified_recall_min": float(np.min(certified)),
+            "certificates_sound": True,  # asserted above, per query
+            "meets_target": bool(
+                rate >= SPEEDUP_TARGET * exact_rate
+                and mean_measured >= RECALL_TARGET
+            ),
+        }
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer timed repeats (soundness is asserted either way)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per path (best kept)"
+    )
+    parser.add_argument(
+        "-o", "--output", type=str, default=None,
+        help="also write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+    repeats = 2 if args.smoke else args.repeats
+
+    report = {
+        "benchmark": "bench_approx",
+        "mode": "smoke" if args.smoke else "full",
+        **run_metadata(),
+        "repeats": repeats,
+        "speedup_target": SPEEDUP_TARGET,
+        "recall_target": RECALL_TARGET,
+        "results": [],
+    }
+    for (
+        name, clustered, cardinality, dimensionality, k, n, queries, kwargs,
+    ) in WORKLOADS:
+        print(
+            f"workload {name}: c={cardinality} d={dimensionality} "
+            f"k={k} n={n} ...",
+            flush=True,
+        )
+        entry = bench_workload(
+            name, clustered, cardinality, dimensionality, k, n, queries,
+            kwargs, repeats,
+        )
+        report["results"].append(entry)
+        exact_rate = entry["engines"]["block-ad"]["queries_per_second"]
+        print(f"  {'block-ad':13s} {exact_rate:8.1f} q/s (exact)", flush=True)
+        for engine in APPROX_ENGINES:
+            stats = entry["engines"][engine]
+            print(
+                f"  {engine:13s} {stats['queries_per_second']:8.1f} q/s "
+                f"({stats['speedup_vs_exact']:.1f}x, measured recall "
+                f"{stats['measured_recall_mean']:.3f}, certified "
+                f">= {stats['certified_recall_min']:.3f})"
+                f"{'  <- target met' if stats['meets_target'] else ''}",
+                flush=True,
+            )
+
+    report["acceptance"] = {
+        "speedup_5x_at_recall_0_9_somewhere": any(
+            stats.get("meets_target")
+            for entry in report["results"]
+            for stats in entry["engines"].values()
+        ),
+        "certificates_sound_everywhere": True,  # per-query asserts above
+    }
+    print(
+        f"acceptance: >={SPEEDUP_TARGET:.0f}x at recall "
+        f">={RECALL_TARGET} somewhere "
+        f"{'MET' if report['acceptance']['speedup_5x_at_recall_0_9_somewhere'] else 'MISSED'}; "
+        f"certificates sound on every benched query",
+        flush=True,
+    )
+
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

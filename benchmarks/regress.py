@@ -66,6 +66,16 @@ _NON_CONFIG_KEYS = {
     # identity — a run where best/worst flip must still match keys.
     "best_manual",
     "worst_manual",
+    # bench_approx outcome fields: recall and speedup are measurements
+    # (floats are already signature-excluded; listed for the record so
+    # no future int-ification silently changes config identity).
+    "speedup_vs_exact",
+    "measured_recall_mean",
+    "measured_recall_min",
+    "certified_recall_mean",
+    "certified_recall_min",
+    "speedup_target",
+    "recall_target",
 }
 
 

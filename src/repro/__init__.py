@@ -51,6 +51,12 @@ from .core import (
     naive_frequent_k_n_match,
     naive_k_n_match,
 )
+from .approx import (
+    APPROX_ENGINE_NAMES,
+    ApproxResult,
+    BudgetADEngine,
+    PivotSketchEngine,
+)
 from .errors import (
     DimensionalityMismatchError,
     EmptyDatabaseError,
@@ -107,6 +113,11 @@ __all__ = [
     "explain_match",
     "ENGINE_NAMES",
     "SortedColumns",
+    # approximate tier
+    "ApproxResult",
+    "BudgetADEngine",
+    "PivotSketchEngine",
+    "APPROX_ENGINE_NAMES",
     # results
     "MatchResult",
     "FrequentMatchResult",

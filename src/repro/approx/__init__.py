@@ -1,0 +1,69 @@
+"""Approximate search tier with per-query recall certificates.
+
+Two engines behind one :class:`~repro.approx.types.ApproxResult`:
+
+* ``budget-ad`` (:class:`~repro.approx.budget_ad.BudgetADEngine`) —
+  early-terminated AD under an attribute budget; its answers carry a
+  *sound* per-query recall certificate derived from the anytime
+  frontier's lower bound (``certified_recall`` never exceeds the true
+  recall).
+* ``pivot-sketch`` (:class:`~repro.approx.sketch.PivotSketchEngine`) —
+  a permutation/pivot sketch filter with exact re-ranking; fast,
+  tunable via a candidate multiplier, but uncertified
+  (``certified_recall == 0.0`` short of a full scan).
+
+Entry points: ``MatchDatabase.k_n_match(..., mode="approx",
+budget=/target_recall=)`` (also the sharded facade, ``serve`` requests
+with ``"mode": "approx"``, and the CLI ``--mode approx``).  Exact mode
+is the default everywhere and stays byte-identical to a build without
+this package.  See ``docs/approx.md``.
+"""
+
+from .budget_ad import DEFAULT_REFINE_MULTIPLIER, BudgetADEngine
+from .params import (
+    APPROX_ENGINE_CHOICES,
+    APPROX_ENGINE_NAMES,
+    APPROX_FREQUENT_MESSAGE,
+    APPROX_UNSUPPORTED_MESSAGE,
+    DEFAULT_APPROX_ENGINE,
+    DEFAULT_TARGET_RECALL,
+    MODES,
+    multiplier_from_target_recall,
+    validate_approx_engine,
+    validate_approx_params,
+    validate_budget,
+    validate_candidate_multiplier,
+    validate_mode,
+    validate_target_recall,
+)
+from .sketch import (
+    DEFAULT_CANDIDATE_MULTIPLIER,
+    DEFAULT_PIVOTS,
+    PivotSketchEngine,
+    PivotSketchIndex,
+)
+from .types import ApproxResult
+
+__all__ = [
+    "ApproxResult",
+    "BudgetADEngine",
+    "PivotSketchEngine",
+    "PivotSketchIndex",
+    "APPROX_ENGINE_NAMES",
+    "APPROX_ENGINE_CHOICES",
+    "DEFAULT_APPROX_ENGINE",
+    "DEFAULT_TARGET_RECALL",
+    "DEFAULT_CANDIDATE_MULTIPLIER",
+    "DEFAULT_PIVOTS",
+    "DEFAULT_REFINE_MULTIPLIER",
+    "MODES",
+    "APPROX_UNSUPPORTED_MESSAGE",
+    "APPROX_FREQUENT_MESSAGE",
+    "validate_mode",
+    "validate_approx_engine",
+    "validate_budget",
+    "validate_target_recall",
+    "validate_candidate_multiplier",
+    "validate_approx_params",
+    "multiplier_from_target_recall",
+]

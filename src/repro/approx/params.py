@@ -1,0 +1,164 @@
+"""Approximate-tier parameter validation and canonical messages.
+
+Every layer that accepts approximate-search knobs — the flat facade,
+the sharded facade, ``serve``, the CLI — funnels through these
+validators, so the same bad input raises the same
+:class:`~repro.errors.ValidationError` (same message, same valid-value
+list) everywhere.  ``serve`` forwards the messages verbatim as
+structured 400s per the canonical-error convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.validation import _as_int
+from ..errors import ValidationError
+
+__all__ = [
+    "APPROX_ENGINE_NAMES",
+    "APPROX_ENGINE_CHOICES",
+    "DEFAULT_APPROX_ENGINE",
+    "DEFAULT_TARGET_RECALL",
+    "MODES",
+    "APPROX_UNSUPPORTED_MESSAGE",
+    "APPROX_FREQUENT_MESSAGE",
+    "validate_mode",
+    "validate_approx_engine",
+    "validate_budget",
+    "validate_target_recall",
+    "validate_candidate_multiplier",
+    "validate_approx_params",
+    "multiplier_from_target_recall",
+]
+
+#: The approximate engines, registry order.  ``budget-ad`` certifies,
+#: ``pivot-sketch`` filters; see :mod:`repro.approx`.
+APPROX_ENGINE_NAMES = ("budget-ad", "pivot-sketch")
+
+#: What callers may pass as ``engine=`` under ``mode="approx"``: every
+#: approx engine plus the planner pseudo-engine.
+APPROX_ENGINE_CHOICES = APPROX_ENGINE_NAMES + ("auto",)
+
+#: The engine an approx query runs on when none is named: the certified
+#: one — a caller who asked for approximation but named nothing gets a
+#: sound per-query certificate by default.
+DEFAULT_APPROX_ENGINE = "budget-ad"
+
+#: The recall hint applied when an approx query names neither a budget
+#: nor a target (a bare ``mode="approx"`` must not silently be exact).
+DEFAULT_TARGET_RECALL = 0.9
+
+#: The query modes; ``None`` means ``"exact"`` everywhere.
+MODES = ("exact", "approx")
+
+#: Canonical message for facades without an approximate path (e.g. the
+#: mutable store).  ``serve`` returns it verbatim as a structured 400.
+APPROX_UNSUPPORTED_MESSAGE = (
+    "this database does not support approximate queries; "
+    "use mode='exact' or drop the 'mode' field"
+)
+
+#: Canonical message for ``mode="approx"`` on a frequent k-n-match:
+#: the frequency vote has no per-query certificate semantics.
+APPROX_FREQUENT_MESSAGE = (
+    "approximate mode does not support frequent_k_n_match; "
+    "use mode='exact'"
+)
+
+
+def validate_mode(mode: Optional[str]) -> str:
+    """Normalise a ``mode=`` value; ``None`` means ``"exact"``."""
+    if mode is None:
+        return "exact"
+    if mode not in MODES:
+        raise ValidationError(f"unknown mode {mode!r}; choose from {MODES}")
+    return mode
+
+
+def validate_approx_engine(name: str) -> str:
+    """Check an engine name against the approximate registry."""
+    if name not in APPROX_ENGINE_NAMES:
+        raise ValidationError(
+            f"unknown approx engine {name!r}; "
+            f"choose from {APPROX_ENGINE_CHOICES}"
+        )
+    return name
+
+
+def validate_budget(budget) -> Optional[int]:
+    """Check an attribute budget (``None`` means unbudgeted/exact)."""
+    if budget is None:
+        return None
+    budget = _as_int("budget", budget)
+    if budget < 0:
+        raise ValidationError(f"budget must be >= 0; got {budget}")
+    return budget
+
+
+def validate_target_recall(target_recall) -> Optional[float]:
+    """Check a recall hint lies in ``[0, 1]`` (``None`` means unset)."""
+    if target_recall is None:
+        return None
+    if isinstance(target_recall, bool) or not isinstance(
+        target_recall, (int, float)
+    ):
+        raise ValidationError(
+            f"target_recall must be a number; got {target_recall!r}"
+        )
+    value = float(target_recall)
+    if not 0.0 <= value <= 1.0 or math.isnan(value):
+        raise ValidationError(
+            f"target_recall must be within [0.0, 1.0]; got {target_recall}"
+        )
+    return value
+
+
+def validate_candidate_multiplier(multiplier) -> Optional[int]:
+    """Check a pivot-sketch candidate multiplier (``None`` means default)."""
+    if multiplier is None:
+        return None
+    multiplier = _as_int("candidate_multiplier", multiplier)
+    if multiplier < 1:
+        raise ValidationError(
+            f"candidate_multiplier must be >= 1; got {multiplier}"
+        )
+    return multiplier
+
+
+def validate_approx_params(mode, budget, target_recall, candidate_multiplier):
+    """Validate the approx knobs together, in one canonical order.
+
+    Returns ``(mode, budget, target_recall, candidate_multiplier)``
+    coerced.  The knobs only mean something under ``mode="approx"``, and
+    ``budget`` / ``target_recall`` are two ways of saying the same thing
+    — both at once is a contradiction, not a preference.
+    """
+    mode = validate_mode(mode)
+    budget = validate_budget(budget)
+    target_recall = validate_target_recall(target_recall)
+    candidate_multiplier = validate_candidate_multiplier(candidate_multiplier)
+    extras = (budget, target_recall, candidate_multiplier)
+    if mode != "approx" and any(value is not None for value in extras):
+        raise ValidationError(
+            "budget/target_recall/candidate_multiplier require mode='approx'"
+        )
+    if budget is not None and target_recall is not None:
+        raise ValidationError(
+            "budget and target_recall are mutually exclusive; pass one"
+        )
+    return mode, budget, target_recall, candidate_multiplier
+
+
+def multiplier_from_target_recall(target_recall: float) -> int:
+    """Map a recall hint to a pivot-sketch candidate multiplier.
+
+    The sketch has no certificate, so the hint only sizes the candidate
+    set: the closer to 1.0 the caller asks, the more candidates are
+    re-ranked exactly.  ``4 / (1 - r)`` clamped to ``[4, 64]`` spans
+    4x (r<=0) to 64x (r>=0.94) — past that, ask for ``mode="exact"``.
+    """
+    if target_recall >= 1.0:
+        return 0  # sentinel: re-rank everything (exact)
+    return int(min(64, max(4, math.ceil(4.0 / (1.0 - target_recall)))))

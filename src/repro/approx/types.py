@@ -1,0 +1,62 @@
+"""Result type shared by every approximate engine.
+
+An :class:`ApproxResult` looks like a :class:`~repro.core.types.MatchResult`
+(ids + ascending n-match differences) with the approximation contract
+attached:
+
+* ``certified_recall`` — a *sound per-query lower bound* on the recall
+  of ``ids`` against the exact tie-aware top-k.  ``certified_count`` of
+  the returned ids are **provably** members of the exact answer (their
+  exact n-match difference is at most ``unseen_lower_bound``, the
+  certified lower bound on every point the engine did not finish);
+  dividing by ``k`` gives the certificate.  The certificate never
+  exceeds the true recall — measured recall >= certified recall on
+  every query is the invariant the test suite pins.
+* ``budget`` — the attribute budget the query was asked to respect
+  (``None`` for unbudgeted runs); ``stats.attributes_retrieved`` is
+  what was actually spent, including exact re-ranking.
+* ``exact`` — True when the whole answer is certified (the result is a
+  valid exact tie-aware answer; ``certified_recall == 1.0``).
+
+Differences are exact for every returned id — approximation only ever
+drops candidates, it never reports a wrong difference — so results
+re-rank and merge with the exact machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.types import SearchStats
+
+__all__ = ["ApproxResult"]
+
+
+@dataclass
+class ApproxResult:
+    """Answer of an approximate k-n-match query (see module docstring)."""
+
+    ids: List[int]
+    differences: List[float]
+    k: int
+    n: int
+    engine: str
+    certified_recall: float
+    certified_count: int
+    unseen_lower_bound: Optional[float]
+    exact: bool
+    budget: Optional[int] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    trace: Optional[object] = None
+
+    @property
+    def match_difference(self) -> float:
+        """The largest (k-th) returned n-match difference."""
+        return max(self.differences) if self.differences else float("inf")
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self):
+        return iter(zip(self.ids, self.differences))

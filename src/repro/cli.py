@@ -51,6 +51,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from . import __version__
+from .approx import APPROX_ENGINE_NAMES, DEFAULT_TARGET_RECALL, MODES
 from .core.advisor import recommend_engine
 from .core.engine import ENGINE_CHOICES, ENGINE_NAMES, MatchDatabase
 from .data import gaussian_clusters, skewed_dataset, uniform_dataset
@@ -65,6 +66,42 @@ from .shard.coordinator import SHARD_BACKENDS
 from .shard.partition import DEFAULT_PARTITIONER, partitioner_names
 
 __all__ = ["main", "build_parser"]
+
+#: Engines a query-shaped subcommand accepts: the exact registry (plus
+#: ``auto``) and, under ``--mode approx``, the approximate tier.
+_QUERY_ENGINE_CHOICES = ENGINE_CHOICES + APPROX_ENGINE_NAMES
+
+
+def _add_approx_args(sub) -> None:
+    """The approximate-tier flags shared by query/batch/trace."""
+    sub.add_argument(
+        "--mode",
+        choices=MODES,
+        default=None,
+        help="approx = approximate tier with a per-query recall "
+        "certificate (k-n-match only); default exact",
+    )
+    sub.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="attribute budget for --mode approx (budget-ad)",
+    )
+    sub.add_argument(
+        "--target-recall",
+        type=float,
+        default=None,
+        dest="target_recall",
+        help=f"recall target for --mode approx "
+        f"(default {DEFAULT_TARGET_RECALL})",
+    )
+    sub.add_argument(
+        "--candidate-multiplier",
+        type=int,
+        default=None,
+        dest="candidate_multiplier",
+        help="re-rank pool size per answer slot for --mode approx",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,7 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument(
         "--query-row", type=int, help="use this database row as the query"
     )
-    query.add_argument("--engine", choices=ENGINE_CHOICES, default=None)
+    query.add_argument(
+        "--engine", choices=_QUERY_ENGINE_CHOICES, default=None
+    )
+    _add_approx_args(query)
     query.add_argument(
         "--shards",
         type=int,
@@ -197,10 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--engine",
-        choices=ENGINE_CHOICES,
+        choices=_QUERY_ENGINE_CHOICES,
         default="batch-block-ad",
         help="engine to run each shard with (auto = planner's choice)",
     )
+    _add_approx_args(batch)
     batch.add_argument(
         "--shards",
         type=int,
@@ -303,7 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_source.add_argument(
         "--query-row", type=int, help="use this database row as the query"
     )
-    trace.add_argument("--engine", choices=ENGINE_CHOICES, default=None)
+    trace.add_argument(
+        "--engine", choices=_QUERY_ENGINE_CHOICES, default=None
+    )
+    _add_approx_args(trace)
     trace.add_argument(
         "--shards",
         type=int,
@@ -430,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine",
-        choices=ENGINE_CHOICES,
+        choices=_QUERY_ENGINE_CHOICES,
         default=None,
         help="default engine for served queries (auto = planner's choice)",
     )
@@ -460,6 +504,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(process = shared-memory worker pool; identical answers)",
     )
     serve.add_argument(
+        "--mode",
+        choices=MODES,
+        default=None,
+        help="default query mode for requests that set no approx field",
+    )
+    serve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="default attribute budget under --mode approx",
+    )
+    serve.add_argument(
+        "--target-recall",
+        type=float,
+        default=None,
+        dest="target_recall",
+        help="default recall target under --mode approx",
+    )
+    serve.add_argument(
+        "--candidate-multiplier",
+        type=int,
+        default=None,
+        dest="candidate_multiplier",
+        help="default re-rank pool multiplier under --mode approx",
+    )
+    serve.add_argument(
         "--max-inflight",
         type=int,
         default=64,
@@ -482,6 +552,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="how long shutdown waits for in-flight queries",
+    )
+
+    approx_info = commands.add_parser(
+        "approx-info",
+        help="describe and probe the approximate tier for a database",
+        description=(
+            "Probe both approximate engines on a few database rows and "
+            "print what they deliver here: certified recall, attributes "
+            "touched versus the exact block-AD baseline, and (for "
+            "pivot-sketch) the sketch index footprint.  The certified "
+            "recall is a per-query *lower bound* the engine proves, not "
+            "a sample estimate."
+        ),
+    )
+    approx_info.add_argument("database", help="database .npz path")
+    approx_info.add_argument("--k", type=int, default=10)
+    approx_info.add_argument(
+        "--n", type=int, default=None, help="defaults to half the dimensions"
+    )
+    approx_info.add_argument(
+        "--target-recall",
+        type=float,
+        default=None,
+        dest="target_recall",
+        help=f"recall target probed (default {DEFAULT_TARGET_RECALL})",
+    )
+    approx_info.add_argument(
+        "--probe-queries",
+        type=int,
+        default=3,
+        help="database rows probed per engine",
     )
 
     experiments = commands.add_parser(
@@ -588,6 +689,56 @@ def _write_metrics(registry, path: str) -> None:
     with open(path, "w") as handle:
         handle.write(text)
     print(f"wrote metrics to {path}")
+
+
+def _approx_cli_kwargs(args) -> dict:
+    """The facade kwargs the approx CLI flags resolve to (non-None only)."""
+    fields = {
+        "mode": getattr(args, "mode", None),
+        "budget": getattr(args, "budget", None),
+        "target_recall": getattr(args, "target_recall", None),
+        "candidate_multiplier": getattr(args, "candidate_multiplier", None),
+    }
+    return {
+        name: value for name, value in fields.items() if value is not None
+    }
+
+
+def _check_frequent_approx_flags(args) -> dict:
+    """Frequent queries accept ``--mode`` only (to reject it canonically)."""
+    extras = [
+        flag
+        for flag, name in (
+            ("--budget", "budget"),
+            ("--target-recall", "target_recall"),
+            ("--candidate-multiplier", "candidate_multiplier"),
+        )
+        if getattr(args, name, None) is not None
+    ]
+    if extras:
+        raise ReproError(
+            f"{'/'.join(extras)} apply to k-n-match queries (--n); "
+            f"frequent k-n-match has no approximate mode"
+        )
+    mode = getattr(args, "mode", None)
+    return {} if mode is None else {"mode": mode}
+
+
+def _print_certificate(result) -> None:
+    """One line stating what an approximate answer provably delivers."""
+    if not hasattr(result, "certified_recall"):
+        return
+    bound = result.unseen_lower_bound
+    tail = (
+        f", unseen difference >= {bound:.6f}" if bound is not None else ""
+    )
+    print(
+        f"certificate: recall >= {result.certified_recall:.3f} "
+        f"({result.certified_count}/{result.k} answers certified, "
+        f"engine={result.engine}, attributes="
+        f"{result.stats.attributes_retrieved}"
+        f"/{result.stats.total_attributes}{tail})"
+    )
 
 
 def _print_stats(stats) -> None:
@@ -701,11 +852,13 @@ def _run_query(args) -> int:
     query = _resolve_query(args, db)
     if args.n is not None:
         result = db.k_n_match(
-            query, args.k, args.n, engine=args.engine, trace=args.trace
+            query, args.k, args.n, engine=args.engine, trace=args.trace,
+            **_approx_cli_kwargs(args),
         )
         print(f"{args.k}-{args.n}-match answers (id, difference):")
         for pid, diff in result:
             print(f"  {pid:8d}  {diff:.6f}")
+        _print_certificate(result)
     else:
         n_range = _parse_range(args.n_range)
         result = db.frequent_k_n_match(
@@ -715,6 +868,7 @@ def _run_query(args) -> int:
             engine=args.engine,
             keep_answer_sets=False,
             trace=args.trace,
+            **_check_frequent_approx_flags(args),
         )
         print(
             f"frequent {args.k}-n-match over n in "
@@ -766,9 +920,16 @@ def _run_batch(args) -> int:
         kwargs = dict(
             engine=args.engine, parallel=args.parallel, workers=args.workers
         )
+    approx = _approx_cli_kwargs(args)
+    if approx.get("mode") == "approx" and args.engine == "batch-block-ad":
+        # the batch default engine is exact; under --mode approx let the
+        # approximate tier pick its own default instead of rejecting
+        kwargs["engine"] = None
     started = time.perf_counter()
     if args.n is not None:
-        results = db.k_n_match_batch(queries, args.k, args.n, **kwargs)
+        results = db.k_n_match_batch(
+            queries, args.k, args.n, **kwargs, **approx
+        )
         elapsed = time.perf_counter() - started
         print(
             f"{args.k}-{args.n}-match over {len(results)} queries "
@@ -776,10 +937,18 @@ def _run_batch(args) -> int:
         )
         for index, result in enumerate(results):
             print(f"  {index:6d}: {','.join(str(pid) for pid in result.ids)}")
+        if results and hasattr(results[0], "certified_recall"):
+            recalls = [result.certified_recall for result in results]
+            print(
+                f"certificates: recall >= {min(recalls):.3f} (weakest), "
+                f"mean {sum(recalls) / len(recalls):.3f} over "
+                f"{len(recalls)} queries"
+            )
     else:
         n_range = _parse_range(args.n_range)
         results = db.frequent_k_n_match_batch(
-            queries, args.k, n_range, keep_answer_sets=False, **kwargs
+            queries, args.k, n_range, keep_answer_sets=False, **kwargs,
+            **_check_frequent_approx_flags(args),
         )
         elapsed = time.perf_counter() - started
         print(
@@ -841,14 +1010,19 @@ def _run_trace(args) -> int:
     collector = SpanCollector(slow_threshold_seconds=threshold)
     db.set_spans(collector)
     if args.n is not None:
-        result = db.k_n_match(query, args.k, args.n, engine=args.engine)
+        result = db.k_n_match(
+            query, args.k, args.n, engine=args.engine,
+            **_approx_cli_kwargs(args),
+        )
         print(f"{args.k}-{args.n}-match answers (id, difference):")
         for pid, diff in result:
             print(f"  {pid:8d}  {diff:.6f}")
+        _print_certificate(result)
     else:
         n_range = _parse_range(args.n_range)
         result = db.frequent_k_n_match(
-            query, args.k, n_range, engine=args.engine, keep_answer_sets=False
+            query, args.k, n_range, engine=args.engine,
+            keep_answer_sets=False, **_check_frequent_approx_flags(args),
         )
         print(
             f"frequent {args.k}-n-match over n in "
@@ -973,6 +1147,10 @@ def _run_serve(args) -> int:
         max_inflight=args.max_inflight,
         deadline_ms=args.deadline_ms,
         cache_size=args.cache_size,
+        default_mode=args.mode,
+        default_budget=args.budget,
+        default_target_recall=args.target_recall,
+        default_candidate_multiplier=args.candidate_multiplier,
     )
     server = MatchServer(app, host=args.host, port=args.port)
     shard_note = (
@@ -987,8 +1165,93 @@ def _run_serve(args) -> int:
         f"cache={args.cache_size})",
         flush=True,
     )
+    if args.mode == "approx":
+        target = (
+            args.target_recall
+            if args.target_recall is not None
+            else (DEFAULT_TARGET_RECALL if args.budget is None else None)
+        )
+        note = f"budget={args.budget}" if args.budget is not None else (
+            f"target recall {target:g}"
+        )
+        print(f"default mode: approx ({note})", flush=True)
     server.run(drain_seconds=args.drain_seconds)
     print("server drained and stopped", flush=True)
+    return 0
+
+
+def _run_approx_info(args) -> int:
+    import time as _time
+
+    from .eval import tie_aware_match_recall
+
+    db = load_any_database(args.database)
+    if args.k < 1 or args.k > db.cardinality:
+        raise ReproError(
+            f"--k {args.k} out of range [1, {db.cardinality}]"
+        )
+    n = args.n if args.n is not None else max(1, db.dimensionality // 2)
+    target = (
+        args.target_recall
+        if args.target_recall is not None
+        else DEFAULT_TARGET_RECALL
+    )
+    probes = max(1, min(args.probe_queries, db.cardinality))
+    rows = np.unique(
+        np.linspace(0, db.cardinality - 1, probes).astype(np.int64)
+    )
+    print(
+        f"approximate tier on {args.database}: "
+        f"{db.cardinality} points x {db.dimensionality} dims, "
+        f"k={args.k}, n={n}, target recall {target:g}"
+    )
+    exact = []
+    started = _time.perf_counter()
+    for row in rows:
+        exact.append(db.k_n_match(db.data[row], args.k, n, engine="block-ad"))
+    exact_seconds = _time.perf_counter() - started
+    exact_cells = sum(r.stats.attributes_retrieved for r in exact)
+    print(
+        f"exact block-ad baseline: {exact_cells} attributes, "
+        f"{exact_seconds / len(rows) * 1e3:.2f} ms/query over "
+        f"{len(rows)} probe queries"
+    )
+    for name in APPROX_ENGINE_NAMES:
+        certified, measured, cells = [], [], 0
+        started = _time.perf_counter()
+        for row, truth in zip(rows, exact):
+            result = db.k_n_match(
+                db.data[row], args.k, n,
+                mode="approx", engine=name, target_recall=target,
+            )
+            certified.append(result.certified_recall)
+            measured.append(
+                tie_aware_match_recall(result.differences, truth.differences)
+            )
+            cells += result.stats.attributes_retrieved
+        seconds = _time.perf_counter() - started
+        print(
+            f"  {name:12s} certified recall >= {min(certified):.3f} "
+            f"(weakest), measured {float(np.mean(measured)):.3f} mean; "
+            f"attributes {cells}/{exact_cells} of exact, "
+            f"{seconds / len(rows) * 1e3:.2f} ms/query"
+        )
+    engine = getattr(db, "_approx_engine", None)
+    if engine is not None:
+        sketch = engine("pivot-sketch")
+        index = getattr(sketch, "index", None)
+        if index is not None:
+            print(
+                f"pivot-sketch index: {index.pivot_count} pivots, "
+                f"{index.nbytes / 1024:.1f} KiB "
+                f"({index.nbytes / max(1, db.data.nbytes):.1%} of the data)"
+            )
+    print(
+        "certified recall is a per-query lower bound the engine proves; "
+        "measured recall is tie-aware agreement with the exact answer."
+    )
+    if hasattr(db, "close"):
+        db.close()
     return 0
 
 
@@ -1004,6 +1267,7 @@ _HANDLERS = {
     "advise": _run_advise,
     "plan": _run_plan,
     "serve": _run_serve,
+    "approx-info": _run_approx_info,
     "experiments": _run_experiments,
 }
 

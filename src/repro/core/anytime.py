@@ -51,6 +51,7 @@ class AnytimeResult:
     exact: bool
     unseen_lower_bound: Optional[float]
     stats: SearchStats = field(default_factory=SearchStats)
+    trace: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.ids)

@@ -42,6 +42,7 @@ __all__ = [
     "ENGINE_NAMES",
     "ENGINE_CHOICES",
     "AUTO_ENGINE",
+    "ANYTIME_ENGINE",
     "validate_engine_name",
     "validate_engine_choice",
     "make_engine",
@@ -90,6 +91,13 @@ AUTO_ENGINE = "auto"
 #: What callers may pass as ``engine=``: every registry engine plus the
 #: planner pseudo-engine.  CLI ``--engine`` choices derive from this.
 ENGINE_CHOICES = ENGINE_NAMES + (AUTO_ENGINE,)
+
+#: The budgeted-prefix engine (:class:`~repro.core.anytime.AnytimeADEngine`).
+#: Like ``"auto"`` it is not in the registry — it answers ``k_n_match``
+#: only, takes ``attribute_budget=`` and returns an
+#: :class:`~repro.core.anytime.AnytimeResult` (a verified *prefix*, not
+#: always k answers), so it is special-cased rather than registered.
+ANYTIME_ENGINE = "anytime"
 
 
 def validate_engine_name(name: str) -> str:
@@ -156,6 +164,8 @@ class MatchDatabase:
         self._columns = SortedColumns(data)
         self._default_engine = default_engine
         self._engines: Dict[str, object] = {}
+        self._approx_engines: Dict[str, object] = {}
+        self._anytime = None
         self._metrics = metrics
         self._spans = spans
         self._planner = None
@@ -180,6 +190,8 @@ class MatchDatabase:
         db._columns = columns
         db._default_engine = default_engine
         db._engines = {}
+        db._approx_engines = {}
+        db._anytime = None
         db._metrics = metrics
         db._spans = spans
         db._planner = None
@@ -223,6 +235,8 @@ class MatchDatabase:
         self._metrics = registry
         for engine in self._engines.values():
             engine.metrics = registry
+        for engine in self._approx_engines.values():
+            engine.metrics = registry
 
     @property
     def spans(self):
@@ -237,6 +251,8 @@ class MatchDatabase:
         """
         self._spans = collector
         for engine in self._engines.values():
+            engine.spans = collector
+        for engine in self._approx_engines.values():
             engine.spans = collector
 
     def engine(self, name: Optional[str] = None):
@@ -281,17 +297,194 @@ class MatchDatabase:
         self._plan_model = model
         self._planner = None
 
-    def plan_query(self, kind: str, k: int, n_range, batched: bool = False):
+    def plan_query(
+        self,
+        kind: str,
+        k: int,
+        n_range,
+        batched: bool = False,
+        mode: str = "exact",
+        target_recall=None,
+    ):
         """The :class:`~repro.plan.QueryPlan` ``engine="auto"`` would use."""
-        return self.planner.plan(kind, k, n_range, batched=batched)
+        return self.planner.plan(
+            kind, k, n_range, batched=batched, mode=mode,
+            target_recall=target_recall,
+        )
 
     def _resolve_engine(self, name, kind, k, n_range, batched=False):
         """Resolve an ``engine=`` choice to ``(concrete name, plan|None)``."""
         choice = name if name is not None else self._default_engine
         if choice != AUTO_ENGINE:
+            if choice not in _ENGINE_FACTORIES:
+                self._reject_special_engine(choice)
             return validate_engine_name(choice), None
         plan = self.plan_query(kind, k, n_range, batched=batched)
         return plan.engine, plan
+
+    def _reject_special_engine(self, choice) -> None:
+        """Precise errors for engine names that exist but don't fit here.
+
+        The approx engines and ``"anytime"`` are real engines a caller
+        may have heard of, so the unknown-engine message would mislead;
+        falls through to :func:`validate_engine_name` for truly unknown
+        names.
+        """
+        from ..approx import APPROX_ENGINE_NAMES
+
+        if choice in APPROX_ENGINE_NAMES:
+            raise ValidationError(
+                f"engine {choice!r} is approximate; pass mode='approx' "
+                "to use it"
+            )
+        if choice == ANYTIME_ENGINE:
+            raise ValidationError(
+                "engine 'anytime' supports k_n_match only (with "
+                "attribute_budget=)"
+            )
+        validate_engine_name(choice)
+
+    # ------------------------------------------------------------------
+    # approximate tier (mode="approx") and the anytime prefix engine
+    # ------------------------------------------------------------------
+    def _approx_engine(self, name: str):
+        """Return (lazily constructing) the approx engine called ``name``."""
+        if name not in self._approx_engines:
+            from ..approx import (
+                BudgetADEngine,
+                PivotSketchEngine,
+                validate_approx_engine,
+            )
+
+            validate_approx_engine(name)
+            factory = {
+                "budget-ad": BudgetADEngine,
+                "pivot-sketch": PivotSketchEngine,
+            }[name]
+            self._approx_engines[name] = factory(
+                self._columns, metrics=self._metrics, spans=self._spans
+            )
+        return self._approx_engines[name]
+
+    def _resolve_approx_engine(self, name, kind, k, n_range, target_recall):
+        """Resolve ``engine=`` under ``mode="approx"`` to (name, plan|None).
+
+        ``None`` defaults to the certified engine; ``"auto"`` asks the
+        planner, which only ever picks an approx engine here — never on
+        an exact query (the caller declared the mode, the planner just
+        prices within it).
+        """
+        from ..approx import DEFAULT_APPROX_ENGINE, validate_approx_engine
+
+        choice = name if name is not None else DEFAULT_APPROX_ENGINE
+        if choice != AUTO_ENGINE:
+            return validate_approx_engine(choice), None
+        plan = self.planner.plan(
+            kind, k, n_range, mode="approx", target_recall=target_recall
+        )
+        return plan.engine, plan
+
+    def _k_n_match_anytime(
+        self, query, k, n, engine, trace, mode, budget, target_recall,
+        candidate_multiplier, attribute_budget,
+    ):
+        if engine is not None and engine != ANYTIME_ENGINE:
+            raise ValidationError(
+                "attribute_budget requires engine='anytime'"
+            )
+        extras = (mode, budget, target_recall, candidate_multiplier)
+        if any(value is not None for value in extras):
+            raise ValidationError(
+                "engine 'anytime' takes attribute_budget=; mode/budget/"
+                "target_recall/candidate_multiplier do not apply"
+            )
+        if self._anytime is None:
+            from .anytime import AnytimeADEngine
+
+            self._anytime = AnytimeADEngine(self._columns)
+        started = time.perf_counter()
+        result = self._anytime.k_n_match(
+            query, k, n, attribute_budget=attribute_budget
+        )
+        if trace:
+            result.trace = self._build_trace(
+                self._anytime, "k_n_match", result.k, (result.n, result.n),
+                result.stats, started,
+            )
+        return result
+
+    def _k_n_match_approx(
+        self, query, k, n, engine, trace, budget, target_recall,
+        candidate_multiplier,
+    ):
+        from ..approx import DEFAULT_TARGET_RECALL
+
+        query, k, n = validation.validate_match_args(
+            query, k, n, self.cardinality, self.dimensionality
+        )
+        if (
+            budget is None
+            and target_recall is None
+            and candidate_multiplier is None
+        ):
+            target_recall = DEFAULT_TARGET_RECALL
+        resolved, plan = self._resolve_approx_engine(
+            engine, "k_n_match", k, (n, n), target_recall
+        )
+        selected = self._approx_engine(resolved)
+        started = time.perf_counter()
+        result = selected.k_n_match(
+            query, k, n, budget=budget, target_recall=target_recall,
+            candidate_multiplier=candidate_multiplier,
+        )
+        if plan is not None:
+            self._observe_plan(
+                plan,
+                result.stats.attributes_retrieved,
+                time.perf_counter() - started,
+            )
+            self.planner.record_recall(plan.engine, result.certified_recall)
+        if trace:
+            result.trace = self._build_trace(
+                selected, "k_n_match", result.k, (result.n, result.n),
+                result.stats, started,
+            )
+        return result
+
+    def _k_n_match_batch_approx(
+        self, queries, k, n, engine, budget, target_recall,
+        candidate_multiplier,
+    ):
+        from ..approx import DEFAULT_TARGET_RECALL
+
+        queries, k, n = validation.validate_batch_match_args(
+            queries, k, n, self.cardinality, self.dimensionality
+        )
+        if (
+            budget is None
+            and target_recall is None
+            and candidate_multiplier is None
+        ):
+            target_recall = DEFAULT_TARGET_RECALL
+        resolved, plan = self._resolve_approx_engine(
+            engine, "k_n_match", k, (n, n), target_recall
+        )
+        selected = self._approx_engine(resolved)
+        started = time.perf_counter()
+        results = [
+            selected.k_n_match(
+                query, k, n, budget=budget, target_recall=target_recall,
+                candidate_multiplier=candidate_multiplier,
+            )
+            for query in queries
+        ]
+        if plan is not None and results:
+            self._observe_plan_batch(plan, results, started)
+            mean_recall = sum(
+                result.certified_recall for result in results
+            ) / len(results)
+            self.planner.record_recall(plan.engine, mean_recall)
+        return results
 
     def _observe_plan(self, plan, cells, seconds) -> None:
         """Export one executed plan and feed its cost back into the model."""
@@ -324,6 +517,11 @@ class MatchDatabase:
         n: int,
         engine: Optional[str] = None,
         trace: bool = False,
+        mode: Optional[str] = None,
+        budget: Optional[int] = None,
+        target_recall: Optional[float] = None,
+        candidate_multiplier: Optional[int] = None,
+        attribute_budget: Optional[int] = None,
     ) -> MatchResult:
         """The k-n-match query (Definition 3).
 
@@ -331,7 +529,41 @@ class MatchDatabase:
         is smallest; the ``n`` best-matching dimensions are chosen
         per point, dynamically.  With ``trace=True`` the result carries
         a :class:`~repro.obs.QueryTrace` in ``result.trace``.
+
+        ``mode="approx"`` switches to the approximate tier
+        (:mod:`repro.approx`) and returns an
+        :class:`~repro.approx.ApproxResult` carrying a per-query recall
+        certificate; ``budget=`` / ``target_recall=`` /
+        ``candidate_multiplier=`` tune it, and ``engine=`` then names an
+        approx engine (or ``"auto"``).  ``engine="anytime"`` (with
+        ``attribute_budget=``) runs the budgeted prefix engine and
+        returns an :class:`~repro.core.anytime.AnytimeResult`.  The
+        default mode is exact and answers are byte-identical to a call
+        without any of these arguments.
         """
+        if engine == ANYTIME_ENGINE or attribute_budget is not None:
+            return self._k_n_match_anytime(
+                query, k, n, engine, trace, mode, budget, target_recall,
+                candidate_multiplier, attribute_budget,
+            )
+        if (
+            mode is not None
+            or budget is not None
+            or target_recall is not None
+            or candidate_multiplier is not None
+        ):
+            from ..approx import validate_approx_params
+
+            mode, budget, target_recall, candidate_multiplier = (
+                validate_approx_params(
+                    mode, budget, target_recall, candidate_multiplier
+                )
+            )
+            if mode == "approx":
+                return self._k_n_match_approx(
+                    query, k, n, engine, trace, budget, target_recall,
+                    candidate_multiplier,
+                )
         resolved, plan = self._resolve_engine(engine, "k_n_match", k, (n, n))
         selected = self.engine(resolved)
         if not trace and plan is None:
@@ -359,6 +591,7 @@ class MatchDatabase:
         engine: Optional[str] = None,
         keep_answer_sets: bool = True,
         trace: bool = False,
+        mode: Optional[str] = None,
     ) -> FrequentMatchResult:
         """The frequent k-n-match query (Definition 4).
 
@@ -366,7 +599,14 @@ class MatchDatabase:
         ``[1, d]``) and returns the ``k`` points appearing most often
         across the answer sets.  With ``trace=True`` the result carries
         a :class:`~repro.obs.QueryTrace` in ``result.trace``.
+        ``mode="approx"`` is rejected: the frequency vote has no
+        per-query certificate semantics.
         """
+        if mode is not None:
+            from ..approx import APPROX_FREQUENT_MESSAGE, validate_mode
+
+            if validate_mode(mode) == "approx":
+                raise ValidationError(APPROX_FREQUENT_MESSAGE)
         if n_range is None:
             n_range = (1, self.dimensionality)
         resolved, plan = self._resolve_engine(
@@ -415,6 +655,10 @@ class MatchDatabase:
         engine: Optional[str] = None,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        budget: Optional[int] = None,
+        target_recall: Optional[float] = None,
+        candidate_multiplier: Optional[int] = None,
     ) -> "List[MatchResult]":
         """Run one k-n-match per row of ``queries``; results in query order.
 
@@ -428,7 +672,34 @@ class MatchDatabase:
         batch across a :class:`~repro.parallel.ParallelBatchExecutor`
         thread pool — an escape hatch for large batches on multi-core
         machines.  Answers are identical on every path.
+
+        ``mode="approx"`` runs the whole batch on one approx engine
+        (planned once for ``engine="auto"``) and returns a list of
+        :class:`~repro.approx.ApproxResult`.
         """
+        if (
+            mode is not None
+            or budget is not None
+            or target_recall is not None
+            or candidate_multiplier is not None
+        ):
+            from ..approx import validate_approx_params
+
+            mode, budget, target_recall, candidate_multiplier = (
+                validate_approx_params(
+                    mode, budget, target_recall, candidate_multiplier
+                )
+            )
+            if mode == "approx":
+                if parallel or workers is not None:
+                    raise ValidationError(
+                        "parallel batch execution does not support "
+                        "mode='approx'"
+                    )
+                return self._k_n_match_batch_approx(
+                    queries, k, n, engine, budget, target_recall,
+                    candidate_multiplier,
+                )
         # Validate everything up front (canonical order: k, n, queries)
         # so every engine — including an empty batch, where no per-query
         # call ever runs — rejects the same bad input the same way.
@@ -464,13 +735,20 @@ class MatchDatabase:
         keep_answer_sets: bool = False,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> "List[FrequentMatchResult]":
         """Run one frequent k-n-match per row of ``queries``.
 
         Batch dispatch (native batch engines, the ``parallel=`` /
         ``workers=`` escape hatch) works exactly as in
-        :meth:`k_n_match_batch`.
+        :meth:`k_n_match_batch`.  ``mode="approx"`` is rejected as in
+        :meth:`frequent_k_n_match`.
         """
+        if mode is not None:
+            from ..approx import APPROX_FREQUENT_MESSAGE, validate_mode
+
+            if validate_mode(mode) == "approx":
+                raise ValidationError(APPROX_FREQUENT_MESSAGE)
         if n_range is None:
             n_range = (1, self.dimensionality)
         queries, k, n_range = validation.validate_batch_frequent_args(

@@ -21,6 +21,12 @@ from .export import (
 )
 from .harness import format_series, format_table
 from .recall import RecallReport, knn_recall
+from .approx_quality import (
+    RECALL_TOLERANCE,
+    answer_overlap,
+    certificate_holds,
+    tie_aware_match_recall,
+)
 
 __all__ = [
     "AccuracyReport",
@@ -35,6 +41,10 @@ __all__ = [
     "format_series",
     "RecallReport",
     "knn_recall",
+    "RECALL_TOLERANCE",
+    "answer_overlap",
+    "certificate_holds",
+    "tie_aware_match_recall",
     "ascii_chart",
     "stats_to_dict",
     "result_to_dict",

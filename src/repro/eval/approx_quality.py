@@ -1,0 +1,84 @@
+"""Measured quality of approximate k-n-match answers.
+
+The approximate tier (:mod:`repro.approx`) returns per-query *certified*
+recall — a lower bound each engine proves from what it has seen.  This
+module provides the matching *measured* side: given an approximate
+answer and the exact answer for the same ``(query, k, n)``, how much of
+the exact answer did the approximation actually deliver?
+
+Two subtleties make a naive ``|ids ∩ exact_ids| / k`` wrong:
+
+* **Ties.**  The exact k-th n-match difference is often shared by more
+  points than fit in k (integer and clustered data especially).  Any
+  point at or below that threshold is a legitimate member of *some*
+  exact top-k, so an approximate answer that returns a different — but
+  equally distant — point must not be scored as a miss.  Both engines
+  re-rank candidates with the exact semantics, so their reported
+  differences are exact and can be compared against the threshold
+  directly (:func:`tie_aware_match_recall`).
+* **Identity.**  When callers do want strict id agreement (e.g. the
+  byte-identity acceptance path), :func:`answer_overlap` scores plain
+  set overlap.
+
+These helpers are the single implementation shared by the hypothesis
+suite (``tests/test_approx_properties.py``), the approximate benchmark
+(``benchmarks/bench_approx.py``) and the ``approx-info`` CLI probe, so
+"measured recall" means the same thing everywhere it is printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "RECALL_TOLERANCE",
+    "answer_overlap",
+    "tie_aware_match_recall",
+    "certificate_holds",
+]
+
+#: Absolute slack when comparing exact n-match differences.  Differences
+#: come out of identical float64 pipelines, so ties are usually exact;
+#: the tolerance only absorbs non-associativity across engines.
+RECALL_TOLERANCE = 1e-12
+
+
+def answer_overlap(answer_ids, exact_ids) -> float:
+    """Plain set overlap ``|answer ∩ exact| / |exact|`` (tie-blind)."""
+    exact = set(int(i) for i in np.asarray(exact_ids).ravel())
+    if not exact:
+        return 1.0
+    answer = set(int(i) for i in np.asarray(answer_ids).ravel())
+    return len(answer & exact) / len(exact)
+
+
+def tie_aware_match_recall(
+    answer_differences,
+    exact_differences,
+    tol: float = RECALL_TOLERANCE,
+) -> float:
+    """Fraction of the exact answer the approximation delivered.
+
+    An approximate answer counts as a hit iff its (exact, re-ranked)
+    n-match difference is within ``tol`` of the exact k-th difference —
+    i.e. it belongs to some exact top-k under ties (see module doc).
+    An empty exact answer is trivially recalled.
+    """
+    exact = np.asarray(exact_differences, dtype=np.float64).ravel()
+    if exact.size == 0:
+        return 1.0
+    answer = np.asarray(answer_differences, dtype=np.float64).ravel()
+    threshold = float(np.max(exact))
+    hits = int(np.count_nonzero(answer <= threshold + tol))
+    return min(1.0, hits / exact.size)
+
+
+def certificate_holds(
+    certified_recall: float,
+    answer_differences,
+    exact_differences,
+    tol: float = RECALL_TOLERANCE,
+) -> bool:
+    """Whether a certificate is sound: measured recall >= certified."""
+    measured = tie_aware_match_recall(answer_differences, exact_differences, tol)
+    return measured >= float(certified_recall) - tol

@@ -35,6 +35,7 @@ from .audit import (
 )
 from .export import registry_to_dict, render_json, render_prometheus
 from .instrument import (
+    observe_approx_query,
     observe_batch,
     observe_page_read,
     observe_pager_fault,
@@ -87,6 +88,7 @@ __all__ = [
     "render_json",
     "registry_to_dict",
     "observe_query",
+    "observe_approx_query",
     "observe_batch",
     "observe_shard_call",
     "observe_page_read",

@@ -22,6 +22,7 @@ from .trace import epsilon_rounds_from_stats
 
 __all__ = [
     "observe_query",
+    "observe_approx_query",
     "observe_batch",
     "observe_shard_call",
     "observe_page_read",
@@ -33,6 +34,7 @@ __all__ = [
     "serve_inflight_gauge",
     "SHARD_SIZE_BUCKETS",
     "STRAGGLER_RATIO_BUCKETS",
+    "RECALL_BUCKETS",
 ]
 
 #: Shard-size buckets: powers of two up to the chunked maximum.
@@ -41,6 +43,9 @@ SHARD_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 #: Straggler-ratio buckets (slowest shard / mean shard wall time); 1.0
 #: means perfectly balanced shards.
 STRAGGLER_RATIO_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+#: Certified-recall buckets: dense near 1.0, where targets live.
+RECALL_BUCKETS = (0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
 
 
 def observe_query(
@@ -93,6 +98,31 @@ def observe_query(
         "attributes retrieved per query",
         buckets=DEFAULT_COST_BUCKETS,
     ).labels(**labels).observe(stats.attributes_retrieved)
+
+
+def observe_approx_query(
+    registry: MetricsRegistry,
+    engine: str,
+    kind: str,
+    stats: SearchStats,
+    wall_seconds: float,
+    dimensionality: int,
+    certified_recall: float,
+) -> None:
+    """Record one finished *approximate* query.
+
+    Everything :func:`observe_query` records (same names, so exact and
+    approx throughput share dashboards, separated by the engine label)
+    plus the per-query recall certificate — the
+    ``repro_approx_certified_recall`` histogram is the live view of how
+    much certified quality the configured budgets are actually buying.
+    """
+    observe_query(registry, engine, kind, stats, wall_seconds, dimensionality)
+    registry.histogram(
+        "repro_approx_certified_recall",
+        "certified (provable lower-bound) recall per approximate query",
+        buckets=RECALL_BUCKETS,
+    ).labels(engine=engine, kind=kind).observe(certified_recall)
 
 
 def observe_batch(

@@ -74,6 +74,8 @@ PHASE_NAMES: Tuple[str, ...] = (
     "serve_handle",   # one HTTP request through the serving layer
     "serve_cache",    # a result-cache lookup or store within a request
     "plan",           # an engine="auto" planning decision (estimate+probes)
+    "approx_filter",  # approx tier: budgeted frontier / sketch scoring
+    "approx_rerank",  # approx tier: exact re-rank of filtered candidates
 )
 
 

@@ -71,6 +71,11 @@ class CostCurve:
     base_seconds: float = 0.0
     source: str = "probe"
     samples: int = 1
+    #: Running mean of the *certified* recall observed under this curve
+    #: (approx engines only; exact engines never record one, so the
+    #: fields stay at their defaults and old sidecars round-trip).
+    mean_recall: Optional[float] = None
+    recall_samples: int = 0
 
     def predict(self, cells: float) -> float:
         """Predicted seconds for one query touching ``cells`` cells."""
@@ -143,6 +148,33 @@ class PlanModel:
             weight + 1
         )
         curve.samples += 1
+
+    def observe_recall(self, engine: str, recall: float) -> None:
+        """Online update: blend one certified recall into the curve.
+
+        The same windowed-mean scheme as :meth:`observe`, kept on the
+        engine's existing cost curve so recall and cost are always
+        priced from the same evidence.  Unknown engines are ignored —
+        a recall without a cost curve cannot influence planning.
+        """
+        curve = self._curves.get(engine)
+        if curve is None:
+            return
+        recall = min(1.0, max(0.0, float(recall)))
+        if curve.mean_recall is None:
+            curve.mean_recall = recall
+            curve.recall_samples = 1
+            return
+        weight = min(curve.recall_samples, _OBSERVATION_WINDOW)
+        curve.mean_recall += (recall - curve.mean_recall) / (weight + 1)
+        curve.recall_samples += 1
+
+    def predict_recall(self, engine: str) -> Optional[float]:
+        """Mean certified recall observed for ``engine``; None if unknown."""
+        curve = self._curves.get(engine)
+        if curve is None:
+            return None
+        return curve.mean_recall
 
     # ------------------------------------------------------------------
     @classmethod

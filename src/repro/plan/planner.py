@@ -66,6 +66,11 @@ PLAN_KINDS = ("k_n_match", "frequent_k_n_match")
 _SINGLE_CANDIDATES = ("block-ad", "naive")
 _BATCH_CANDIDATES = ("batch-block-ad", "block-ad", "naive")
 
+#: Planning modes.  ``"approx"`` admits the :mod:`repro.approx` engines
+#: as candidates — and *only* then: an exact plan never resolves to an
+#: approximate engine, the caller must declare ``mode="approx"`` first.
+PLAN_MODES = ("exact", "approx")
+
 #: Queries sampled for the advisor estimate and per-engine probes; small
 #: because decisions are cached per workload and refined online.
 _DEFAULT_SAMPLE_QUERIES = 3
@@ -92,6 +97,8 @@ class QueryPlan:
     reason: str = ""
     fallback: bool = False
     estimate: Optional[CostEstimate] = field(default=None, hash=False)
+    mode: str = "exact"
+    predicted_recall: Optional[float] = None
 
     def describe(self) -> str:
         """One line for logs and the CLI."""
@@ -177,17 +184,32 @@ class QueryPlanner:
         k: int,
         n_range: Tuple[int, int],
         batched: bool = False,
+        mode: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> QueryPlan:
-        """The engine to run this workload with (cached per workload)."""
+        """The engine to run this workload with (cached per workload).
+
+        ``mode="approx"`` plans among the approximate engines instead
+        (k-n-match only); ``target_recall`` then sizes their budgets and
+        filters candidates by the recall their curves have observed.
+        """
         if kind not in PLAN_KINDS:
             raise ValidationError(
                 f"unknown plan kind {kind!r}; choose from {PLAN_KINDS}"
             )
+        if mode not in PLAN_MODES:
+            raise ValidationError(
+                f"unknown plan mode {mode!r}; choose from {PLAN_MODES}"
+            )
+        if mode == "approx" and kind != "k_n_match":
+            from ..approx import APPROX_FREQUENT_MESSAGE
+
+            raise ValidationError(APPROX_FREQUENT_MESSAGE)
         k = validation.validate_k(k, self._db.cardinality)
         n0, n1 = validation.validate_n_range(
             n_range, self._db.dimensionality
         )
-        key = (kind, k, n0, n1, bool(batched))
+        key = (kind, k, n0, n1, bool(batched), mode, target_recall)
         with self._lock:
             cached = self._decisions.get(key)
         if cached is not None:
@@ -195,10 +217,14 @@ class QueryPlanner:
             return cached
         spans = getattr(self._spans_owner, "spans", None)
         if spans is None:
-            plan = self._plan_uncached(kind, k, (n0, n1), bool(batched))
+            plan = self._plan_dispatch(
+                kind, k, (n0, n1), bool(batched), mode, target_recall
+            )
         else:
-            with spans.span("plan", kind=kind, k=k, n0=n0, n1=n1):
-                plan = self._plan_uncached(kind, k, (n0, n1), bool(batched))
+            with spans.span("plan", kind=kind, k=k, n0=n0, n1=n1, mode=mode):
+                plan = self._plan_dispatch(
+                    kind, k, (n0, n1), bool(batched), mode, target_recall
+                )
                 spans.annotate(
                     engine=plan.engine,
                     predicted_ms=round(plan.predicted_seconds * 1e3, 3),
@@ -209,11 +235,27 @@ class QueryPlanner:
         self._last_plan = plan
         return plan
 
+    def _plan_dispatch(
+        self, kind, k, n_range, batched, mode, target_recall
+    ) -> QueryPlan:
+        if mode == "approx":
+            return self._plan_approx(k, n_range, target_recall)
+        return self._plan_uncached(kind, k, n_range, batched)
+
     def record_actual(self, plan: QueryPlan, cells: float, seconds: float) -> None:
         """Feed one executed planned query back into the cost model."""
         if cells <= 0:
             cells = plan.cells
         self._model.observe(plan.engine, cells, seconds)
+
+    def record_recall(self, engine: str, certified_recall: float) -> None:
+        """Feed one executed approx query's certificate into its curve.
+
+        The recall track is the cost curves' second output: the model
+        learns what certified quality each approx engine actually
+        delivers here, and later approx plans filter candidates by it.
+        """
+        self._model.observe_recall(engine, certified_recall)
 
     # ------------------------------------------------------------------
     def _plan_uncached(
@@ -364,3 +406,157 @@ class QueryPlanner:
         self._model.fit(
             engine, cells / len(results), seconds / len(results)
         )
+
+    # ------------------------------------------------------------------
+    # approximate planning (mode="approx")
+    # ------------------------------------------------------------------
+    def _plan_approx(
+        self, k: int, n_range, target_recall: Optional[float]
+    ) -> QueryPlan:
+        """Price the approx engines for one workload (k-n-match only).
+
+        Candidates whose curves have *observed* a certified recall below
+        the target are dropped (a cheap engine that can't deliver is no
+        bargain); among the rest the cheapest predicted wall clock wins.
+        Unlike exact planning there is no fallback outside the tier —
+        the caller declared ``mode="approx"``, so the answer is always
+        an approx engine.
+        """
+        from ..approx import (
+            APPROX_ENGINE_NAMES,
+            DEFAULT_APPROX_ENGINE,
+            DEFAULT_TARGET_RECALL,
+        )
+
+        recall_goal = (
+            target_recall if target_recall is not None else DEFAULT_TARGET_RECALL
+        )
+        total = self._db.cardinality * self._db.dimensionality
+        priced: Dict[str, float] = {}
+        recalls: Dict[str, Optional[float]] = {}
+        for engine in APPROX_ENGINE_NAMES:
+            if not self._model.has_curve(engine):
+                self._probe_approx(engine, k, n_range, recall_goal)
+            cells = self._approx_engine_cells(engine, k, recall_goal, total)
+            predicted = self._model.predict(engine, cells)
+            if predicted is not None:
+                priced[engine] = predicted
+                recalls[engine] = self._model.predict_recall(engine)
+        if not priced:
+            return QueryPlan(
+                engine=DEFAULT_APPROX_ENGINE,
+                kind="k_n_match",
+                k=k,
+                n_range=n_range,
+                batched=False,
+                fanout=self._fanout,
+                cells=float(total),
+                predicted_seconds=0.0,
+                candidates={},
+                reason=(
+                    "no approx cost curve could be fit; falling back to "
+                    "the certified engine"
+                ),
+                fallback=True,
+                estimate=None,
+                mode="approx",
+                predicted_recall=None,
+            )
+        meeting = {
+            name: seconds
+            for name, seconds in priced.items()
+            if recalls.get(name) is None or recalls[name] >= recall_goal
+        }
+        pool = meeting or priced
+        chosen = min(
+            pool,
+            key=lambda name: (pool[name], APPROX_ENGINE_NAMES.index(name)),
+        )
+        reason = (
+            f"approx mode (target recall {recall_goal:.2f}): {chosen} "
+            f"prices cheapest among "
+            f"{sorted(pool)}"
+        )
+        return QueryPlan(
+            engine=chosen,
+            kind="k_n_match",
+            k=k,
+            n_range=n_range,
+            batched=False,
+            fanout=self._fanout,
+            cells=self._approx_engine_cells(chosen, k, recall_goal, total),
+            predicted_seconds=priced[chosen],
+            candidates=priced,
+            reason=reason,
+            fallback=False,
+            estimate=None,
+            mode="approx",
+            predicted_recall=recalls.get(chosen),
+        )
+
+    def _approx_engine_cells(
+        self, engine: str, k: int, recall_goal: float, total: int
+    ) -> float:
+        """Cells an approx engine touches: frontier budget or sketch scan.
+
+        The unit matches what :meth:`_probe_approx` fits against —
+        ``attributes_retrieved + approximation_entries_scanned`` — so
+        the sketch's O(c p) rank scan is priced even though it never
+        touches a raw attribute.
+        """
+        from ..approx import DEFAULT_PIVOTS, multiplier_from_target_recall
+
+        d = self._db.dimensionality
+        c = self._db.cardinality
+        if engine == "budget-ad":
+            budget = recall_goal * total
+            return float(min(total, budget + 2 * k * d))
+        multiplier = multiplier_from_target_recall(recall_goal)
+        count = c if multiplier == 0 else min(c, multiplier * k)
+        return float(c * DEFAULT_PIVOTS + count * d + DEFAULT_PIVOTS * d)
+
+    def _probe_approx(
+        self, engine: str, k: int, n_range, recall_goal: float
+    ) -> None:
+        """Fit an approx engine's curve (cost and certified recall).
+
+        Probes reuse the database's cached approx engine — the
+        pivot-sketch build is expensive and would otherwise run twice —
+        with its metrics registry detached, so probe queries never
+        inflate the logical approx-query counters.
+        """
+        getter = getattr(self._db, "_approx_engine", None)
+        if getter is None:
+            return
+        try:
+            probe = getter(engine)
+        except ValidationError:
+            return
+        rows = sample_row_ids(
+            self._db.cardinality,
+            min(self._probe_queries, self._db.cardinality),
+            self._seed + 1,
+        )
+        queries = self._db.data[rows]
+        n = n_range[1]
+        saved_metrics = probe.metrics
+        probe.metrics = None
+        try:
+            started = time.perf_counter()
+            results = [
+                probe.k_n_match(query, k, n, target_recall=recall_goal)
+                for query in queries
+            ]
+            seconds = time.perf_counter() - started
+        finally:
+            probe.metrics = saved_metrics
+        cells = sum(
+            result.stats.attributes_retrieved
+            + result.stats.approximation_entries_scanned
+            for result in results
+        )
+        if cells <= 0:
+            cells = len(results) * self._db.cardinality * self._db.dimensionality
+        self._model.fit(engine, cells / len(results), seconds / len(results))
+        for result in results:
+            self._model.observe_recall(engine, result.certified_recall)

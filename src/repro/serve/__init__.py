@@ -33,8 +33,10 @@ from .protocol import (
     FrequentRequest,
     QueryRequest,
     canonical_json,
+    decode_approx_result,
     decode_frequent_result,
     decode_match_result,
+    encode_approx_result,
     encode_frequent_result,
     encode_match_result,
     error_payload,
@@ -64,8 +66,10 @@ __all__ = [
     "parse_batch_request",
     "encode_match_result",
     "encode_frequent_result",
+    "encode_approx_result",
     "decode_match_result",
     "decode_frequent_result",
+    "decode_approx_result",
     "canonical_json",
     "error_payload",
 ]

@@ -15,6 +15,16 @@ per-query engine selection), ``"deadline_ms"``
 ``"protocol"`` (must equal :data:`PROTOCOL_VERSION` when present).  The
 frequent endpoint additionally accepts ``"keep_answer_sets"``.
 
+``/v1/query`` and ``/v1/batch`` also accept the approximate-tier
+fields ``"mode"`` (``"exact"`` or ``"approx"``), ``"budget"``,
+``"target_recall"`` and ``"candidate_multiplier"`` — forwarded to the
+facade, whose canonical :mod:`repro.approx` validation messages come
+back verbatim as 400s.  ``/v1/frequent`` accepts ``"mode"`` only so
+that ``mode="approx"`` is rejected with the same message a direct call
+raises.  Approximate responses carry the certificate fields of
+:class:`~repro.approx.ApproxResult` and the server adds an
+``X-Repro-Recall`` header.
+
 Responses are **canonically encoded** — ``sort_keys=True``, compact
 separators, floats via Python ``repr`` (shortest round-trip, so decoded
 differences are bit-identical to the engine's float64 output).  The
@@ -49,8 +59,10 @@ __all__ = [
     "parse_batch_request",
     "encode_stats",
     "encode_match_result",
+    "encode_approx_result",
     "encode_frequent_result",
     "decode_match_result",
+    "decode_approx_result",
     "decode_frequent_result",
     "canonical_json",
     "error_payload",
@@ -84,6 +96,10 @@ class QueryRequest:
     n: object
     engine: Optional[str] = None
     deadline_ms: Optional[float] = None
+    mode: Optional[str] = None
+    budget: Optional[int] = None
+    target_recall: Optional[float] = None
+    candidate_multiplier: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -96,6 +112,7 @@ class FrequentRequest:
     engine: Optional[str] = None
     keep_answer_sets: bool = False
     deadline_ms: Optional[float] = None
+    mode: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -107,6 +124,10 @@ class BatchRequest:
     n: object
     engine: Optional[str] = None
     deadline_ms: Optional[float] = None
+    mode: Optional[str] = None
+    budget: Optional[int] = None
+    target_recall: Optional[float] = None
+    candidate_multiplier: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +180,34 @@ def _as_engine(value) -> Optional[str]:
     return value
 
 
+def _approx_fields(payload: Dict) -> Dict:
+    """JSON-level validation of the approximate-tier fields.
+
+    Each present field runs through the canonical :mod:`repro.approx`
+    validator so HTTP rejections read exactly like direct-call ones;
+    *cross*-field rules (mutual exclusivity, extras requiring
+    ``mode="approx"``) stay with the facade for the same reason.
+    """
+    from ..approx import (
+        validate_budget,
+        validate_candidate_multiplier,
+        validate_mode,
+        validate_target_recall,
+    )
+
+    mode = payload.get("mode")
+    if mode is not None:
+        validate_mode(mode)
+    return {
+        "mode": mode,
+        "budget": validate_budget(payload.get("budget")),
+        "target_recall": validate_target_recall(payload.get("target_recall")),
+        "candidate_multiplier": validate_candidate_multiplier(
+            payload.get("candidate_multiplier")
+        ),
+    }
+
+
 def _as_deadline(value) -> Optional[float]:
     if value is None:
         return None
@@ -181,7 +230,12 @@ def parse_query_request(payload: Dict) -> QueryRequest:
     unchanged.
     """
     _check_shape(
-        payload, ("query", "k", "n"), ("engine", "deadline_ms")
+        payload,
+        ("query", "k", "n"),
+        (
+            "engine", "deadline_ms", "mode", "budget", "target_recall",
+            "candidate_multiplier",
+        ),
     )
     return QueryRequest(
         query=_as_vector(payload["query"], "query"),
@@ -189,6 +243,7 @@ def parse_query_request(payload: Dict) -> QueryRequest:
         n=payload["n"],
         engine=_as_engine(payload.get("engine")),
         deadline_ms=_as_deadline(payload.get("deadline_ms")),
+        **_approx_fields(payload),
     )
 
 
@@ -197,7 +252,7 @@ def parse_frequent_request(payload: Dict) -> FrequentRequest:
     _check_shape(
         payload,
         ("query", "k"),
-        ("n_range", "engine", "keep_answer_sets", "deadline_ms"),
+        ("n_range", "engine", "keep_answer_sets", "deadline_ms", "mode"),
     )
     n_range = payload.get("n_range")
     if n_range is not None:
@@ -212,6 +267,11 @@ def parse_frequent_request(payload: Dict) -> FrequentRequest:
         raise ValidationError(
             f"keep_answer_sets must be a boolean; got {keep!r}"
         )
+    mode = payload.get("mode")
+    if mode is not None:
+        from ..approx import validate_mode
+
+        validate_mode(mode)
     return FrequentRequest(
         query=_as_vector(payload["query"], "query"),
         k=payload["k"],
@@ -219,13 +279,19 @@ def parse_frequent_request(payload: Dict) -> FrequentRequest:
         engine=_as_engine(payload.get("engine")),
         keep_answer_sets=keep,
         deadline_ms=_as_deadline(payload.get("deadline_ms")),
+        mode=mode,
     )
 
 
 def parse_batch_request(payload: Dict) -> BatchRequest:
     """Validate the JSON-level shape of a ``/v1/batch`` body."""
     _check_shape(
-        payload, ("queries", "k", "n"), ("engine", "deadline_ms")
+        payload,
+        ("queries", "k", "n"),
+        (
+            "engine", "deadline_ms", "mode", "budget", "target_recall",
+            "candidate_multiplier",
+        ),
     )
     queries = payload["queries"]
     if not isinstance(queries, list):
@@ -240,6 +306,7 @@ def parse_batch_request(payload: Dict) -> BatchRequest:
         n=payload["n"],
         engine=_as_engine(payload.get("engine")),
         deadline_ms=_as_deadline(payload.get("deadline_ms")),
+        **_approx_fields(payload),
     )
 
 
@@ -271,6 +338,47 @@ def decode_match_result(payload: Dict) -> MatchResult:
         differences=list(payload["differences"]),
         k=payload["k"],
         n=payload["n"],
+        stats=decode_stats(payload["stats"]),
+    )
+
+
+def encode_approx_result(result) -> Dict:
+    """An :class:`~repro.approx.ApproxResult` as a wire dict.
+
+    A strict superset of :func:`encode_match_result`, so clients that
+    only know the exact shape still find ``ids``/``differences`` where
+    they expect them.
+    """
+    bound = result.unseen_lower_bound
+    return {
+        "ids": list(result.ids),
+        "differences": [float(d) for d in result.differences],
+        "k": result.k,
+        "n": result.n,
+        "engine": result.engine,
+        "certified_recall": float(result.certified_recall),
+        "certified_count": int(result.certified_count),
+        "unseen_lower_bound": None if bound is None else float(bound),
+        "exact": bool(result.exact),
+        "budget": result.budget,
+        "stats": encode_stats(result.stats),
+    }
+
+
+def decode_approx_result(payload: Dict):
+    from ..approx import ApproxResult
+
+    return ApproxResult(
+        ids=list(payload["ids"]),
+        differences=list(payload["differences"]),
+        k=payload["k"],
+        n=payload["n"],
+        engine=payload["engine"],
+        certified_recall=payload["certified_recall"],
+        certified_count=payload["certified_count"],
+        unseen_lower_bound=payload["unseen_lower_bound"],
+        exact=payload["exact"],
+        budget=payload["budget"],
         stats=decode_stats(payload["stats"]),
     )
 

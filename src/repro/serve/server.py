@@ -87,13 +87,47 @@ class ServeApp:
         metrics: Optional[MetricsRegistry] = None,
         spans: Optional[object] = None,
         instrument_database: bool = True,
+        default_mode: Optional[str] = None,
+        default_budget: Optional[int] = None,
+        default_target_recall: Optional[float] = None,
+        default_candidate_multiplier: Optional[int] = None,
     ) -> None:
         self._db = db
-        self._supports_engine = "engine" in inspect.signature(
-            db.k_n_match
-        ).parameters
+        signature = inspect.signature(db.k_n_match).parameters
+        self._supports_engine = "engine" in signature
+        self._supports_approx = "mode" in signature
+        frequent = getattr(db, "frequent_k_n_match", None)
+        self._supports_frequent_mode = (
+            frequent is not None
+            and "mode" in inspect.signature(frequent).parameters
+        )
+        approx_defaults = (
+            default_mode, default_budget, default_target_recall,
+            default_candidate_multiplier,
+        )
+        if any(value is not None for value in approx_defaults):
+            from ..approx import (
+                APPROX_UNSUPPORTED_MESSAGE,
+                validate_approx_params,
+            )
+
+            if not self._supports_approx:
+                raise ValidationError(APPROX_UNSUPPORTED_MESSAGE)
+            (
+                default_mode, default_budget, default_target_recall,
+                default_candidate_multiplier,
+            ) = validate_approx_params(*approx_defaults)
+        self._default_mode = default_mode
+        self._default_budget = default_budget
+        self._default_target_recall = default_target_recall
+        self._default_candidate_multiplier = default_candidate_multiplier
         if default_engine is not None:
-            validate_engine_choice(default_engine)
+            if default_mode == "approx" and default_engine != "auto":
+                from ..approx import validate_approx_engine
+
+                validate_approx_engine(default_engine)
+            else:
+                validate_engine_choice(default_engine)
             if not self._supports_engine:
                 raise ValidationError(
                     "default_engine was given but this database does not "
@@ -309,11 +343,18 @@ class ServeApp:
                 observe_serve_cache(self._metrics, path, "hit")
                 if spans is not None:
                     spans.annotate(cache="hit")
-                return (
-                    200,
-                    [("Content-Type", _JSON), ("X-Repro-Cache", "hit")],
-                    cached,
-                )
+                headers = [("Content-Type", _JSON), ("X-Repro-Cache", "hit")]
+                # Replayed approx answers re-derive the recall header
+                # from the cached canonical bytes, so hit and miss
+                # responses are indistinguishable header-for-header.
+                if (
+                    path != "/v1/frequent"
+                    and self._approx_kwargs(request).get("mode") == "approx"
+                ):
+                    recall = self._payload_recall(json.loads(cached))
+                    if recall is not None:
+                        headers.append(("X-Repro-Recall", f"{recall:.6f}"))
+                return (200, headers, cached)
         generation_before = key[0]
         try:
             payload = self._execute(path, request)
@@ -342,14 +383,60 @@ class ServeApp:
             event = "bypass"
         if spans is not None:
             spans.annotate(cache=event)
-        return (
-            200,
-            [("Content-Type", _JSON), ("X-Repro-Cache", event)],
-            body,
-        )
+        headers = [("Content-Type", _JSON), ("X-Repro-Cache", event)]
+        recall = self._payload_recall(payload)
+        if recall is not None:
+            headers.append(("X-Repro-Recall", f"{recall:.6f}"))
+        return (200, headers, body)
+
+    @staticmethod
+    def _payload_recall(payload: Dict) -> Optional[float]:
+        """The certificate an approx payload carries (batch: the weakest)."""
+        if payload.get("mode") != "approx":
+            return None
+        if "result" in payload:
+            return float(payload["result"]["certified_recall"])
+        results = payload.get("results") or []
+        if not results:
+            return None
+        return min(float(entry["certified_recall"]) for entry in results)
 
     # ------------------------------------------------------------------
-    def _engine_kwargs(self, request) -> Dict:
+    def _approx_kwargs(self, request) -> Dict:
+        """The approximate-tier kwargs this request resolves to.
+
+        Request fields win outright; the server defaults apply only
+        when the request sets *none* of them (mixing per-request fields
+        with half-applied defaults would make ``budget`` vs
+        ``target_recall`` exclusivity unpredictable from the client
+        side).  Facades without the approx surface reject everything
+        but a redundant explicit ``mode="exact"``.
+        """
+        fields = {
+            "mode": request.mode,
+            "budget": request.budget,
+            "target_recall": request.target_recall,
+            "candidate_multiplier": request.candidate_multiplier,
+        }
+        if all(value is None for value in fields.values()):
+            fields = {
+                "mode": self._default_mode,
+                "budget": self._default_budget,
+                "target_recall": self._default_target_recall,
+                "candidate_multiplier": self._default_candidate_multiplier,
+            }
+        fields = {
+            name: value for name, value in fields.items() if value is not None
+        }
+        if fields and not self._supports_approx:
+            if fields == {"mode": "exact"}:
+                return {}
+            from ..approx import APPROX_UNSUPPORTED_MESSAGE
+
+            raise ValidationError(APPROX_UNSUPPORTED_MESSAGE)
+        return fields
+
+    def _engine_kwargs(self, request, approx: Optional[Dict] = None) -> Dict:
         engine = request.engine or self._default_engine
         if engine is None:
             return {}
@@ -358,7 +445,13 @@ class ServeApp:
                 "this database does not support per-query engine "
                 "selection; drop the 'engine' field"
             )
-        validate_engine_choice(engine)
+        if approx and approx.get("mode") == "approx":
+            if engine != "auto":
+                from ..approx import validate_approx_engine
+
+                validate_approx_engine(engine)
+        else:
+            validate_engine_choice(engine)
         return {"engine": engine}
 
     def _engine_label(self, request) -> str:
@@ -379,20 +472,34 @@ class ServeApp:
         generation = self.generation()
         engine = self._engine_label(request)
         if path == "/v1/query":
-            spec = request.n
+            spec = self._approx_spec(request, request.n)
             fingerprint = query_fingerprint(request.query)
             kind = "k_n_match"
         elif path == "/v1/frequent":
             spec = (self._resolved_n_range(request), request.keep_answer_sets)
+            if request.mode is not None:
+                spec = spec + (request.mode,)
             fingerprint = query_fingerprint(request.query)
             kind = "frequent_k_n_match"
         else:
-            spec = request.n
+            spec = self._approx_spec(request, request.n)
             fingerprint = query_fingerprint(self._batch_array(request))
             kind = "k_n_match_batch"
         return generation, cache_key(
             generation, engine, kind, request.k, spec, fingerprint
         )
+
+    def _approx_spec(self, request, spec):
+        """Fold resolved approx fields into a cache spec.
+
+        Requests with no approx surface keep the pre-approx spec, so
+        existing cache keys (and their byte-identity property) are
+        untouched.
+        """
+        approx = self._approx_kwargs(request)
+        if not approx:
+            return spec
+        return (spec, tuple(sorted(approx.items())))
 
     def _batch_array(self, request) -> np.ndarray:
         if not request.queries:
@@ -406,15 +513,33 @@ class ServeApp:
 
     def _execute(self, path: str, request) -> Dict:
         db = self._db
-        kwargs = self._engine_kwargs(request)
         if path == "/v1/query":
-            result = db.k_n_match(request.query, request.k, request.n, **kwargs)
+            approx = self._approx_kwargs(request)
+            kwargs = self._engine_kwargs(request, approx)
+            result = db.k_n_match(
+                request.query, request.k, request.n, **kwargs, **approx
+            )
+            if approx.get("mode") == "approx":
+                return {
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "kind": "k_n_match",
+                    "mode": "approx",
+                    "result": protocol.encode_approx_result(result),
+                }
             return {
                 "protocol": protocol.PROTOCOL_VERSION,
                 "kind": "k_n_match",
                 "result": protocol.encode_match_result(result),
             }
         if path == "/v1/frequent":
+            kwargs = self._engine_kwargs(request)
+            if request.mode is not None:
+                if self._supports_frequent_mode:
+                    kwargs["mode"] = request.mode
+                elif request.mode != "exact":
+                    from ..approx import APPROX_UNSUPPORTED_MESSAGE
+
+                    raise ValidationError(APPROX_UNSUPPORTED_MESSAGE)
             result = db.frequent_k_n_match(
                 request.query,
                 request.k,
@@ -427,17 +552,30 @@ class ServeApp:
                 "kind": "frequent_k_n_match",
                 "result": protocol.encode_frequent_result(result),
             }
+        approx = self._approx_kwargs(request)
+        kwargs = self._engine_kwargs(request, approx)
         queries = self._batch_array(request)
         native = getattr(db, "k_n_match_batch", None)
         if native is not None:
-            results = native(queries, request.k, request.n, **kwargs)
+            results = native(queries, request.k, request.n, **kwargs, **approx)
         else:
             # Facades without a batch surface (the dynamic database) loop;
             # k/n are validated up front so an empty batch still rejects
             # bad parameters exactly like the batch-native facades.
             k = validation.validate_k(request.k, db.cardinality)
             n = validation.validate_n(request.n, db.dimensionality)
-            results = [db.k_n_match(row, k, n) for row in queries]
+            results = [db.k_n_match(row, k, n, **approx) for row in queries]
+        if approx.get("mode") == "approx":
+            return {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "kind": "k_n_match_batch",
+                "mode": "approx",
+                "count": len(results),
+                "results": [
+                    protocol.encode_approx_result(result)
+                    for result in results
+                ],
+            }
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "kind": "k_n_match_batch",

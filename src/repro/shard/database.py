@@ -320,7 +320,15 @@ class ShardedMatchDatabase:
         self._plan_model = model
         self._planner = None
 
-    def plan_query(self, kind: str, k: int, n_range, batched: bool = False):
+    def plan_query(
+        self,
+        kind: str,
+        k: int,
+        n_range,
+        batched: bool = False,
+        mode: str = "exact",
+        target_recall: Optional[float] = None,
+    ):
         """The :class:`~repro.plan.QueryPlan` ``engine="auto"`` would use.
 
         ``k`` is clamped to the planning shard's cardinality — shards
@@ -329,7 +337,10 @@ class ShardedMatchDatabase:
         """
         planner = self.planner
         shard_k = min(int(k), planner.db.cardinality)
-        return planner.plan(kind, shard_k, n_range, batched=batched)
+        return planner.plan(
+            kind, shard_k, n_range, batched=batched, mode=mode,
+            target_recall=target_recall,
+        )
 
     def _resolve_engine(self, name, kind, k, n_range, batched=False):
         """Resolve ``engine=`` to ``(concrete name or None, plan|None)``.
@@ -376,8 +387,38 @@ class ShardedMatchDatabase:
         n: int,
         engine: Optional[str] = None,
         trace: bool = False,
+        mode: Optional[str] = None,
+        budget: Optional[int] = None,
+        target_recall: Optional[float] = None,
+        candidate_multiplier: Optional[int] = None,
     ) -> MatchResult:
-        """The exact global k-n-match (Definition 3), scatter-gathered."""
+        """The exact global k-n-match (Definition 3), scatter-gathered.
+
+        ``mode="approx"`` switches to the approximate tier: each shard
+        runs its approx engine under a proportional share of the budget
+        and the gather keeps the *weakest* shard certificate, so the
+        merged ``certified_recall`` is sound for the global answer.
+        Without any approx argument the call is byte-identical to
+        before the tier existed.
+        """
+        if (
+            mode is not None
+            or budget is not None
+            or target_recall is not None
+            or candidate_multiplier is not None
+        ):
+            from ..approx import validate_approx_params
+
+            mode, budget, target_recall, candidate_multiplier = (
+                validate_approx_params(
+                    mode, budget, target_recall, candidate_multiplier
+                )
+            )
+            if mode == "approx":
+                return self._k_n_match_approx(
+                    query, k, n, engine, trace, budget, target_recall,
+                    candidate_multiplier,
+                )
         query, k, n = validation.validate_match_args(
             query, k, n, self.cardinality, self.dimensionality
         )
@@ -400,8 +441,17 @@ class ShardedMatchDatabase:
         engine: Optional[str] = None,
         keep_answer_sets: bool = True,
         trace: bool = False,
+        mode: Optional[str] = None,
     ) -> FrequentMatchResult:
-        """The exact global frequent k-n-match (Definition 4)."""
+        """The exact global frequent k-n-match (Definition 4).
+
+        ``mode="approx"`` is rejected, exactly as on the flat facade.
+        """
+        if mode is not None:
+            from ..approx import APPROX_FREQUENT_MESSAGE, validate_mode
+
+            if validate_mode(mode) == "approx":
+                raise ValidationError(APPROX_FREQUENT_MESSAGE)
         if n_range is None:
             n_range = (1, self.dimensionality)
         query, k, n_range = validation.validate_frequent_args(
@@ -428,13 +478,36 @@ class ShardedMatchDatabase:
         k: int,
         n: int,
         engine: Optional[str] = None,
+        mode: Optional[str] = None,
+        budget: Optional[int] = None,
+        target_recall: Optional[float] = None,
+        candidate_multiplier: Optional[int] = None,
     ) -> List[MatchResult]:
         """One exact global k-n-match per row of ``queries``.
 
         Each shard runs the whole batch through its engine's native
         batch path; shards execute concurrently on the coordinator's
-        thread pool.
+        thread pool.  ``mode="approx"`` runs each query through the
+        budget-split scatter of :meth:`k_n_match` instead.
         """
+        if (
+            mode is not None
+            or budget is not None
+            or target_recall is not None
+            or candidate_multiplier is not None
+        ):
+            from ..approx import validate_approx_params
+
+            mode, budget, target_recall, candidate_multiplier = (
+                validate_approx_params(
+                    mode, budget, target_recall, candidate_multiplier
+                )
+            )
+            if mode == "approx":
+                return self._k_n_match_batch_approx(
+                    queries, k, n, engine, budget, target_recall,
+                    candidate_multiplier,
+                )
         queries, k, n = validation.validate_batch_match_args(
             queries, k, n, self.cardinality, self.dimensionality
         )
@@ -456,8 +529,14 @@ class ShardedMatchDatabase:
         n_range: Union[Tuple[int, int], None] = None,
         engine: Optional[str] = None,
         keep_answer_sets: bool = False,
+        mode: Optional[str] = None,
     ) -> List[FrequentMatchResult]:
         """One exact global frequent k-n-match per row of ``queries``."""
+        if mode is not None:
+            from ..approx import APPROX_FREQUENT_MESSAGE, validate_mode
+
+            if validate_mode(mode) == "approx":
+                raise ValidationError(APPROX_FREQUENT_MESSAGE)
         if n_range is None:
             n_range = (1, self.dimensionality)
         queries, k, n_range = validation.validate_batch_frequent_args(
@@ -473,6 +552,256 @@ class ShardedMatchDatabase:
         )
         if plan is not None and results:
             self._observe_plan(plan, results, started)
+        return results
+
+    # ------------------------------------------------------------------
+    # approximate tier (mode="approx")
+    # ------------------------------------------------------------------
+    def _resolve_approx_engine(self, name, k, n, target_recall):
+        """Resolve ``engine=`` under ``mode="approx"`` to (name, plan|None)."""
+        from ..approx import DEFAULT_APPROX_ENGINE, validate_approx_engine
+
+        choice = name if name is not None else DEFAULT_APPROX_ENGINE
+        if choice != AUTO_ENGINE:
+            return validate_approx_engine(choice), None
+        plan = self.plan_query(
+            "k_n_match", k, (n, n), mode="approx", target_recall=target_recall
+        )
+        return plan.engine, plan
+
+    def _approx_shard_budgets(self, budget: Optional[int]) -> List[Optional[int]]:
+        """Split a global attribute budget across shards by cardinality.
+
+        Cumulative rounding (``budget * cum // total``) so the shares
+        sum to exactly ``budget``, deterministically.  ``None`` (no
+        budget) passes through so every shard resolves its own default.
+        """
+        if budget is None:
+            return [None] * self._shard_count
+        total = self.cardinality
+        shares: List[Optional[int]] = []
+        cum = 0
+        allotted = 0
+        for gids in self._global_ids:
+            cum += int(gids.size)
+            share = budget * cum // total - allotted
+            allotted += share
+            shares.append(share)
+        return shares
+
+    def _approx_scatter(
+        self, query, k, n, engine_name, budget, target_recall, multiplier
+    ):
+        """One approximate query: scatter, gather, certify the merge.
+
+        Each shard answers under its budget share with ``k`` clamped to
+        its cardinality; the gather takes the global top-k of the union
+        and certifies against the *weakest* shard bound ``L``:
+
+        * a shard whose answer is exact (certificate 1.0) contributes
+          ``+inf`` — its unreturned points cannot displace any merged
+          answer that beats its own top-k (and if the merged answer
+          does not beat it, the shard's k returned candidates already
+          outrank it in the merge);
+        * a budgeted shard contributes its frontier bound — every
+          unreturned point there costs at least that much;
+        * an uncertified shard (pivot-sketch without a full scan)
+          contributes ``-inf``, collapsing the merged certificate to 0.
+
+        Any merged difference ``<= L`` is then provably within the
+        exact tie-aware global top-k.
+        """
+        from ..approx import ApproxResult
+
+        shard_budgets = self._approx_shard_budgets(budget)
+        shard_results = []
+        gid_arrays = []
+        for index, (db, gids) in enumerate(
+            zip(self._shard_dbs, self._global_ids)
+        ):
+            if db is None:
+                continue
+            engine = db._approx_engine(engine_name)
+            result = engine.k_n_match(
+                query,
+                min(k, db.cardinality),
+                n,
+                budget=shard_budgets[index],
+                target_recall=target_recall,
+                candidate_multiplier=multiplier,
+            )
+            shard_results.append(result)
+            gid_arrays.append(gids)
+
+        bounds = []
+        for result in shard_results:
+            if result.exact:
+                bounds.append(np.inf)
+            elif result.unseen_lower_bound is None:
+                bounds.append(-np.inf)
+            else:
+                bounds.append(result.unseen_lower_bound)
+        limit = min(bounds) if bounds else np.inf
+
+        all_ids = np.concatenate(
+            [
+                gids[np.asarray(result.ids, dtype=np.int64)]
+                for result, gids in zip(shard_results, gid_arrays)
+            ]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        all_diffs = np.concatenate(
+            [
+                np.asarray(result.differences, dtype=np.float64)
+                for result in shard_results
+            ]
+            or [np.empty(0, dtype=np.float64)]
+        )
+        order = np.lexsort((all_ids, all_diffs))[:k]
+        out_ids = all_ids[order]
+        out_diffs = all_diffs[order]
+        certified_count = int(np.count_nonzero(out_diffs <= limit))
+
+        from ..core.types import SearchStats
+
+        stats = SearchStats(
+            attributes_retrieved=sum(
+                r.stats.attributes_retrieved for r in shard_results
+            ),
+            total_attributes=self.cardinality * self.dimensionality,
+            heap_pops=sum(r.stats.heap_pops for r in shard_results),
+            binary_search_probes=sum(
+                r.stats.binary_search_probes for r in shard_results
+            ),
+            candidates_refined=sum(
+                r.stats.candidates_refined for r in shard_results
+            ),
+            approximation_entries_scanned=sum(
+                r.stats.approximation_entries_scanned for r in shard_results
+            ),
+        )
+        return ApproxResult(
+            ids=[int(pid) for pid in out_ids],
+            differences=[float(dif) for dif in out_diffs],
+            k=k,
+            n=n,
+            engine=engine_name,
+            certified_recall=certified_count / k,
+            certified_count=certified_count,
+            unseen_lower_bound=None if not np.isfinite(limit) else float(limit),
+            exact=certified_count == k,
+            budget=budget,
+            stats=stats,
+        )
+
+    def _k_n_match_approx(
+        self, query, k, n, engine, trace, budget, target_recall,
+        candidate_multiplier,
+    ):
+        from ..approx import DEFAULT_TARGET_RECALL
+
+        query, k, n = validation.validate_match_args(
+            query, k, n, self.cardinality, self.dimensionality
+        )
+        if (
+            budget is None
+            and target_recall is None
+            and candidate_multiplier is None
+        ):
+            target_recall = DEFAULT_TARGET_RECALL
+        resolved, plan = self._resolve_approx_engine(
+            engine, k, n, target_recall
+        )
+        started = time.perf_counter()
+        spans = self._spans
+        if spans is None:
+            result = self._approx_scatter(
+                query, k, n, resolved, budget, target_recall,
+                candidate_multiplier,
+            )
+        else:
+            with spans.span(
+                "sharded/k_n_match",
+                k=k,
+                n=n,
+                mode="approx",
+                engine=resolved,
+            ):
+                result = self._approx_scatter(
+                    query, k, n, resolved, budget, target_recall,
+                    candidate_multiplier,
+                )
+                spans.annotate(
+                    certified_recall=round(result.certified_recall, 4)
+                )
+        seconds = time.perf_counter() - started
+        if self._metrics is not None:
+            from ..obs import observe_approx_query
+
+            observe_approx_query(
+                self._metrics,
+                resolved,
+                "k_n_match",
+                result.stats,
+                seconds,
+                self.dimensionality,
+                result.certified_recall,
+            )
+        if plan is not None:
+            self._observe_plan(plan, [result], started)
+            self.planner.record_recall(plan.engine, result.certified_recall)
+        if trace:
+            result.trace = self._build_trace(
+                resolved, "k_n_match", k, (n, n), result.stats, started
+            )
+        return result
+
+    def _k_n_match_batch_approx(
+        self, queries, k, n, engine, budget, target_recall,
+        candidate_multiplier,
+    ):
+        from ..approx import DEFAULT_TARGET_RECALL
+
+        queries, k, n = validation.validate_batch_match_args(
+            queries, k, n, self.cardinality, self.dimensionality
+        )
+        if (
+            budget is None
+            and target_recall is None
+            and candidate_multiplier is None
+        ):
+            target_recall = DEFAULT_TARGET_RECALL
+        resolved, plan = self._resolve_approx_engine(
+            engine, k, n, target_recall
+        )
+        started = time.perf_counter()
+        results = [
+            self._approx_scatter(
+                query, k, n, resolved, budget, target_recall,
+                candidate_multiplier,
+            )
+            for query in queries
+        ]
+        if self._metrics is not None:
+            from ..obs import observe_approx_query
+
+            seconds = time.perf_counter() - started
+            for result in results:
+                observe_approx_query(
+                    self._metrics,
+                    resolved,
+                    "k_n_match",
+                    result.stats,
+                    seconds / len(results),
+                    self.dimensionality,
+                    result.certified_recall,
+                )
+        if plan is not None and results:
+            self._observe_plan(plan, results, started)
+            mean_recall = sum(
+                result.certified_recall for result in results
+            ) / len(results)
+            self.planner.record_recall(plan.engine, mean_recall)
         return results
 
     # ------------------------------------------------------------------

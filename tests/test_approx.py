@@ -1,0 +1,459 @@
+"""repro.approx: engines, certificates, facade wiring, anytime engine.
+
+The load-bearing invariants: certificates are *sound* (measured recall
+is never below ``certified_recall``, tie-aware), an unbudgeted or
+fully-budgeted approx query is **byte-identical** to exact ``block-ad``
+(the canonical-tie-break engine — the heap ``ad`` engine's within-tie
+order is its own), and every validation error carries the canonical
+message from :mod:`repro.approx.params` unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import reference_differences
+from repro.approx import (
+    APPROX_ENGINE_NAMES,
+    DEFAULT_APPROX_ENGINE,
+    ApproxResult,
+    BudgetADEngine,
+    PivotSketchEngine,
+    multiplier_from_target_recall,
+    validate_approx_params,
+)
+from repro.core.engine import MatchDatabase
+from repro.errors import ValidationError
+from repro.eval import certificate_holds, tie_aware_match_recall
+from repro.shard import ShardedMatchDatabase
+
+
+@pytest.fixture
+def tie_data(rng) -> np.ndarray:
+    """120 x 6 points on a coarse grid — ties everywhere by design."""
+    return rng.integers(0, 4, size=(120, 6)).astype(np.float64)
+
+
+def exact_answer(data, query, k, n):
+    return MatchDatabase(data).k_n_match(query, k, n, engine="block-ad")
+
+
+def assert_certificate_sound(data, query, n, result: ApproxResult):
+    """Measured (tie-aware) recall must dominate the certificate."""
+    exact = exact_answer(data, query, result.k, n)
+    assert certificate_holds(
+        result.certified_recall, result.differences, exact.differences
+    )
+    # and the differences the engine reports are the true ones
+    truth = reference_differences(data, query, n)
+    for pid, diff in result:
+        assert diff == pytest.approx(truth[pid], abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# parameter validation (canonical messages)
+# ----------------------------------------------------------------------
+class TestParams:
+    def test_unknown_mode(self):
+        with pytest.raises(ValidationError, match="unknown mode 'fast'"):
+            validate_approx_params("fast", None, None, None)
+
+    def test_extras_require_approx(self):
+        with pytest.raises(
+            ValidationError, match="require mode='approx'"
+        ):
+            validate_approx_params(None, 100, None, None)
+        with pytest.raises(
+            ValidationError, match="require mode='approx'"
+        ):
+            validate_approx_params("exact", None, 0.9, None)
+
+    def test_budget_and_target_conflict(self):
+        with pytest.raises(
+            ValidationError, match="mutually exclusive; pass one"
+        ):
+            validate_approx_params("approx", 100, 0.9, None)
+
+    def test_ranges(self):
+        with pytest.raises(ValidationError, match="budget must be >= 0"):
+            validate_approx_params("approx", -1, None, None)
+        with pytest.raises(ValidationError, match=r"within \[0.0, 1.0\]"):
+            validate_approx_params("approx", None, 1.5, None)
+        with pytest.raises(ValidationError, match="must be >= 1"):
+            validate_approx_params("approx", None, None, 0)
+
+    def test_multiplier_mapping_monotone(self):
+        targets = [0.0, 0.5, 0.8, 0.9, 0.95, 0.99]
+        mults = [multiplier_from_target_recall(t) for t in targets]
+        assert mults == sorted(mults)
+        assert mults[0] == 4 and mults[-1] == 64
+        assert multiplier_from_target_recall(1.0) == 0  # exact sentinel
+
+
+# ----------------------------------------------------------------------
+# budget-ad engine
+# ----------------------------------------------------------------------
+class TestBudgetAD:
+    def test_unbudgeted_is_exact_block_ad(self, small_data, small_query):
+        engine = BudgetADEngine(small_data)
+        result = engine.k_n_match(small_query, 10, 5)
+        exact = exact_answer(small_data, small_query, 10, 5)
+        assert result.exact
+        assert result.certified_recall == 1.0
+        assert result.certified_count == 10
+        assert result.ids == exact.ids
+        assert result.differences == exact.differences
+
+    def test_full_budget_delegates(self, small_data, small_query):
+        engine = BudgetADEngine(small_data)
+        total = 300 * 8
+        result = engine.k_n_match(small_query, 10, 5, budget=total)
+        assert result.exact and result.budget == total
+
+    def test_target_recall_one_is_exact(self, small_data, small_query):
+        engine = BudgetADEngine(small_data)
+        result = engine.k_n_match(small_query, 6, 4, target_recall=1.0)
+        exact = exact_answer(small_data, small_query, 6, 4)
+        assert result.exact
+        assert result.ids == exact.ids
+
+    def test_zero_budget(self, small_data, small_query):
+        result = BudgetADEngine(small_data).k_n_match(
+            small_query, 5, 3, budget=0
+        )
+        assert result.certified_recall == 0.0
+        assert result.certified_count == 0
+        assert not result.exact
+
+    def test_certificate_sound_across_budgets(self, tie_data, rng):
+        engine = BudgetADEngine(tie_data)
+        for budget in (0, 13, 60, 200, 500, 719):
+            for row in (0, 17, 55):
+                query = tie_data[row]
+                result = engine.k_n_match(query, 8, 4, budget=budget)
+                assert_certificate_sound(tie_data, query, 4, result)
+                assert len(result.ids) == len(set(result.ids))
+
+    def test_certified_ids_truly_in_exact_answer(self, tie_data):
+        """Every id the certificate covers belongs to a tie-aware top-k."""
+        query = tie_data[3]
+        result = BudgetADEngine(tie_data).k_n_match(query, 8, 4, budget=150)
+        exact = exact_answer(tie_data, query, 8, 4)
+        threshold = max(exact.differences)
+        certified = sorted(zip(result.differences, result.ids))[
+            : result.certified_count
+        ]
+        for diff, _pid in certified:
+            assert diff <= threshold + 1e-12
+
+    def test_budget_and_target_conflict(self, small_data, small_query):
+        with pytest.raises(ValidationError, match="mutually exclusive"):
+            BudgetADEngine(small_data).k_n_match(
+                small_query, 5, 3, budget=10, target_recall=0.5
+            )
+
+    def test_differences_ascending_canonical(self, tie_data):
+        result = BudgetADEngine(tie_data).k_n_match(
+            tie_data[0], 10, 3, budget=200
+        )
+        pairs = list(zip(result.differences, result.ids))
+        assert pairs == sorted(pairs)
+
+
+# ----------------------------------------------------------------------
+# pivot-sketch engine
+# ----------------------------------------------------------------------
+class TestPivotSketch:
+    def test_returns_exact_differences(self, small_data, small_query):
+        engine = PivotSketchEngine(small_data)
+        result = engine.k_n_match(small_query, 10, 5, candidate_multiplier=8)
+        assert len(result.ids) == 10
+        truth = reference_differences(small_data, small_query, 5)
+        for pid, diff in result:
+            assert diff == pytest.approx(truth[pid], abs=1e-12)
+
+    def test_certificate_is_conservative(self, small_data, small_query):
+        """The sketch cannot certify short of a full re-rank."""
+        result = PivotSketchEngine(small_data).k_n_match(
+            small_query, 10, 5, candidate_multiplier=4
+        )
+        assert not result.exact
+        assert result.certified_recall == 0.0
+        assert_certificate_sound(small_data, small_query, 5, result)
+
+    def test_target_recall_one_is_exact(self, small_data, small_query):
+        result = PivotSketchEngine(small_data).k_n_match(
+            small_query, 10, 5, target_recall=1.0
+        )
+        exact = exact_answer(small_data, small_query, 10, 5)
+        assert result.exact
+        assert result.ids == exact.ids
+        assert result.differences == exact.differences
+
+    def test_more_candidates_no_worse(self, small_data, small_query):
+        engine = PivotSketchEngine(small_data)
+        exact = exact_answer(small_data, small_query, 10, 5)
+        recalls = []
+        for multiplier in (2, 8, 29):
+            result = engine.k_n_match(
+                small_query, 10, 5, candidate_multiplier=multiplier
+            )
+            recalls.append(
+                tie_aware_match_recall(result.differences, exact.differences)
+            )
+        assert recalls == sorted(recalls)
+        assert recalls[-1] >= 0.9  # 29k candidates out of 300: near-exact
+
+    def test_index_reused_and_sized(self, small_data, small_query):
+        engine = PivotSketchEngine(small_data)
+        first = engine.index
+        engine.k_n_match(small_query, 5, 4)
+        assert engine.index is first
+        assert first.nbytes > 0
+        assert first.pivot_count > 0
+
+    def test_sketch_compresses_wide_data(self, rng):
+        """On wide rows the rank matrix undercuts the raw float64 data."""
+        wide = rng.random((200, 64))
+        index = PivotSketchEngine(wide).index
+        assert index.nbytes < wide.nbytes
+
+
+# ----------------------------------------------------------------------
+# flat facade wiring
+# ----------------------------------------------------------------------
+class TestFacade:
+    def test_mode_approx_default_engine(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        result = db.k_n_match(small_query, 8, 5, mode="approx")
+        assert isinstance(result, ApproxResult)
+        assert result.engine == DEFAULT_APPROX_ENGINE
+        assert_certificate_sound(small_data, small_query, 5, result)
+
+    @pytest.mark.parametrize("name", APPROX_ENGINE_NAMES)
+    def test_named_engines(self, small_data, small_query, name):
+        db = MatchDatabase(small_data)
+        result = db.k_n_match(
+            small_query, 8, 5, mode="approx", engine=name, target_recall=0.8
+        )
+        assert result.engine == name
+        assert_certificate_sound(small_data, small_query, 5, result)
+
+    def test_exact_mode_unchanged(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        plain = db.k_n_match(small_query, 8, 5, engine="block-ad")
+        explicit = db.k_n_match(
+            small_query, 8, 5, engine="block-ad", mode="exact"
+        )
+        assert plain.ids == explicit.ids
+        assert plain.differences == explicit.differences
+        assert not isinstance(explicit, ApproxResult)
+
+    def test_unbudgeted_approx_matches_block_ad(self, tie_data):
+        db = MatchDatabase(tie_data)
+        query = tie_data[7]
+        exact = db.k_n_match(query, 9, 4, engine="block-ad")
+        approx = db.k_n_match(query, 9, 4, mode="approx", target_recall=1.0)
+        assert approx.exact
+        assert approx.ids == exact.ids
+        assert approx.differences == exact.differences
+
+    def test_extras_without_mode_rejected(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        with pytest.raises(ValidationError, match="require mode='approx'"):
+            db.k_n_match(small_query, 5, 3, budget=10)
+        with pytest.raises(ValidationError, match="mutually exclusive"):
+            db.k_n_match(
+                small_query, 5, 3, mode="approx", budget=10, target_recall=0.5
+            )
+
+    def test_frequent_rejects_approx(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        with pytest.raises(
+            ValidationError, match="does not support frequent_k_n_match"
+        ):
+            db.frequent_k_n_match(small_query, 5, (1, 4), mode="approx")
+        # mode="exact" is accepted (and means what it always meant)
+        result = db.frequent_k_n_match(small_query, 5, (1, 4), mode="exact")
+        assert len(result.ids) == 5
+
+    def test_batch_approx(self, small_data):
+        db = MatchDatabase(small_data)
+        queries = small_data[:6]
+        results = db.k_n_match_batch(
+            queries, 5, 4, mode="approx", target_recall=0.9
+        )
+        assert len(results) == 6
+        for query, result in zip(queries, results):
+            assert isinstance(result, ApproxResult)
+            assert_certificate_sound(small_data, query, 4, result)
+
+    def test_metrics_observe_certified_recall(self, small_data, small_query):
+        from repro.obs import MetricsRegistry, render_prometheus
+
+        db = MatchDatabase(small_data, metrics=MetricsRegistry())
+        db.k_n_match(small_query, 5, 4, mode="approx", budget=300)
+        text = render_prometheus(db.metrics)
+        assert "repro_approx_certified_recall" in text
+
+    def test_spans_record_phases(self, small_data, small_query):
+        from repro.obs import SpanCollector
+
+        collector = SpanCollector()
+        db = MatchDatabase(small_data, spans=collector)
+        db.k_n_match(small_query, 5, 4, mode="approx", budget=300)
+
+        def walk(span):
+            yield span.name
+            for child in span.children:
+                yield from walk(child)
+
+        names = [
+            name for root in collector.traces() for name in walk(root)
+        ]
+        assert "approx_filter" in names
+
+
+# ----------------------------------------------------------------------
+# anytime engine through the facade (satellite: engine="anytime")
+# ----------------------------------------------------------------------
+class TestAnytimeFacade:
+    def test_prefix_of_exact_ad(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        exact = db.k_n_match(small_query, 12, 5, engine="ad")
+        partial = db.k_n_match(
+            small_query, 12, 5, engine="anytime", attribute_budget=400
+        )
+        assert not partial.exact
+        assert partial.ids == list(exact.ids)[: len(partial.ids)]
+
+    def test_budget_implies_anytime(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        result = db.k_n_match(small_query, 5, 3, attribute_budget=0)
+        assert result.ids == []
+        assert result.unseen_lower_bound is not None
+
+    def test_unbudgeted_anytime_is_exact(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        exact = db.k_n_match(small_query, 7, 5, engine="ad")
+        full = db.k_n_match(small_query, 7, 5, engine="anytime")
+        assert full.exact
+        assert full.ids == list(exact.ids)
+
+    def test_anytime_rejects_approx_knobs(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        with pytest.raises(ValidationError, match="takes attribute_budget="):
+            db.k_n_match(
+                small_query, 5, 3, engine="anytime", mode="approx"
+            )
+        with pytest.raises(
+            ValidationError, match="requires engine='anytime'"
+        ):
+            db.k_n_match(
+                small_query, 5, 3, engine="block-ad", attribute_budget=10
+            )
+
+    def test_anytime_frequent_rejected(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        with pytest.raises(
+            ValidationError, match="supports k_n_match only"
+        ):
+            db.frequent_k_n_match(small_query, 5, (1, 4), engine="anytime")
+
+
+# ----------------------------------------------------------------------
+# sharded facade
+# ----------------------------------------------------------------------
+class TestSharded:
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_certificate_sound(self, tie_data, shards):
+        db = ShardedMatchDatabase(tie_data, shards=shards)
+        try:
+            for budget in (0, 40, 200, 700, None):
+                for row in (0, 33):
+                    query = tie_data[row]
+                    kwargs = (
+                        {"budget": budget}
+                        if budget is not None
+                        else {"target_recall": 1.0}
+                    )
+                    result = db.k_n_match(
+                        query, 8, 4, mode="approx", **kwargs
+                    )
+                    assert_certificate_sound(tie_data, query, 4, result)
+        finally:
+            db.close()
+
+    def test_unbudgeted_matches_block_ad(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=3)
+        try:
+            query = tie_data[11]
+            exact = MatchDatabase(tie_data).k_n_match(
+                query, 10, 3, engine="block-ad"
+            )
+            approx = db.k_n_match(query, 10, 3, mode="approx", target_recall=1.0)
+            assert approx.exact
+            assert approx.ids == exact.ids
+            assert approx.differences == exact.differences
+        finally:
+            db.close()
+
+    def test_budget_split_sums_to_budget(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=4)
+        try:
+            for budget in (0, 1, 7, 100, 719):
+                shares = db._approx_shard_budgets(budget)
+                assert sum(shares) == budget
+                assert all(share >= 0 for share in shares)
+        finally:
+            db.close()
+
+    def test_merged_certificate_is_weakest(self, tie_data):
+        """The merged bound cannot certify more than the weakest shard
+        allows: certified ids all sit at or below the global bound."""
+        db = ShardedMatchDatabase(tie_data, shards=3)
+        try:
+            result = db.k_n_match(tie_data[0], 8, 4, mode="approx", budget=120)
+            if result.unseen_lower_bound is not None:
+                certified = sorted(result.differences)[: result.certified_count]
+                for diff in certified:
+                    assert diff <= result.unseen_lower_bound + 1e-12
+        finally:
+            db.close()
+
+    def test_batch_approx(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=3)
+        try:
+            queries = tie_data[:4]
+            results = db.k_n_match_batch(
+                queries, 6, 4, mode="approx", budget=240
+            )
+            assert len(results) == 4
+            for query, result in zip(queries, results):
+                assert_certificate_sound(tie_data, query, 4, result)
+        finally:
+            db.close()
+
+    def test_frequent_rejects_approx(self, tie_data):
+        db = ShardedMatchDatabase(tie_data, shards=2)
+        try:
+            with pytest.raises(
+                ValidationError, match="does not support frequent_k_n_match"
+            ):
+                db.frequent_k_n_match(tie_data[0], 5, (1, 4), mode="approx")
+        finally:
+            db.close()
+
+
+# ----------------------------------------------------------------------
+# dynamic facade has no approximate path
+# ----------------------------------------------------------------------
+class TestDynamicUnsupported:
+    def test_no_mode_parameter(self, small_data):
+        import inspect
+
+        from repro.core.dynamic import DynamicMatchDatabase
+
+        db = DynamicMatchDatabase(small_data)
+        assert "mode" not in inspect.signature(db.k_n_match).parameters

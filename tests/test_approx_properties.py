@@ -1,0 +1,232 @@
+"""Property-based soundness of the approximate tier (hypothesis).
+
+The one invariant everything else hangs on: **measured recall >=
+certified recall on every query** — flat and sharded facades, both
+engines, tie-heavy data, every budget including the degenerate ends
+(``budget=0`` certifies nothing; an unbounded budget is bit-identical
+to exact ``block-ad``).  Plus the anytime satellite: a budgeted prefix
+is always a prefix of the exact AD answer, ties and all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.approx import APPROX_ENGINE_NAMES
+from repro.core.engine import MatchDatabase
+from repro.eval import certificate_holds, tie_aware_match_recall
+from repro.shard import ShardedMatchDatabase
+
+# Coarse grids make ties the common case, not the corner case: a
+# (30 x 4) draw from 5 levels collides constantly, which is exactly
+# where naive certificates break.
+tie_values = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+def tie_workloads(max_c=40, max_d=5):
+    return st.tuples(st.integers(4, max_c), st.integers(2, max_d)).flatmap(
+        lambda shape: st.tuples(
+            arrays(np.float64, shape, elements=tie_values),
+            arrays(np.float64, shape[1], elements=tie_values),
+        )
+    )
+
+
+def exact_block_ad(database, query, k, n):
+    return MatchDatabase(database).k_n_match(query, k, n, engine="block-ad")
+
+
+class TestCertificateSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_flat_measured_recall_dominates_certified(self, workload, data):
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(8, c)))
+        n = data.draw(st.integers(1, d))
+        budget = data.draw(
+            st.one_of(st.just(0), st.integers(1, c * d), st.none())
+        )
+        engine = data.draw(st.sampled_from(APPROX_ENGINE_NAMES))
+        db = MatchDatabase(database)
+        result = db.k_n_match(
+            query, k, n, mode="approx", engine=engine, budget=budget
+        )
+        exact = exact_block_ad(database, query, k, n)
+        assert certificate_holds(
+            result.certified_recall, result.differences, exact.differences
+        )
+        assert 0.0 <= result.certified_recall <= 1.0
+        assert result.certified_count <= len(result.ids)
+        # reported differences are exact (approximation never lies)
+        truth = np.sort(np.abs(database - query), axis=1)[:, n - 1]
+        for pid, diff in result:
+            assert abs(diff - truth[pid]) <= 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_sharded_measured_recall_dominates_certified(self, workload, data):
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(8, c)))
+        n = data.draw(st.integers(1, d))
+        shards = data.draw(st.integers(2, 4))
+        budget = data.draw(
+            st.one_of(st.just(0), st.integers(1, c * d), st.none())
+        )
+        db = ShardedMatchDatabase(database, shards=shards)
+        try:
+            result = db.k_n_match(query, k, n, mode="approx", budget=budget)
+        finally:
+            db.close()
+        exact = exact_block_ad(database, query, k, n)
+        assert certificate_holds(
+            result.certified_recall, result.differences, exact.differences
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_zero_budget_certifies_nothing(self, workload, data):
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(6, c)))
+        n = data.draw(st.integers(1, d))
+        db = MatchDatabase(database)
+        result = db.k_n_match(query, k, n, mode="approx", budget=0)
+        assert result.certified_recall == 0.0
+        assert not result.exact
+
+
+class TestExactnessEnds:
+    @settings(max_examples=30, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_unbounded_budget_is_bit_identical(self, workload, data):
+        """budget >= total (and target_recall=1.0) reproduce block-ad
+        byte for byte: same ids, same differences, same tie order."""
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(8, c)))
+        n = data.draw(st.integers(1, d))
+        exact = exact_block_ad(database, query, k, n)
+        db = MatchDatabase(database)
+        for kwargs in ({"budget": c * d}, {"target_recall": 1.0}):
+            result = db.k_n_match(query, k, n, mode="approx", **kwargs)
+            assert result.exact
+            assert result.certified_recall == 1.0
+            assert result.ids == exact.ids
+            assert result.differences == exact.differences
+
+    @settings(max_examples=15, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_sharded_unbounded_budget_is_bit_identical(self, workload, data):
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(8, c)))
+        n = data.draw(st.integers(1, d))
+        shards = data.draw(st.integers(2, 4))
+        exact = exact_block_ad(database, query, k, n)
+        db = ShardedMatchDatabase(database, shards=shards)
+        try:
+            result = db.k_n_match(
+                query, k, n, mode="approx", target_recall=1.0
+            )
+        finally:
+            db.close()
+        assert result.exact
+        assert result.ids == exact.ids
+        assert result.differences == exact.differences
+
+    @settings(max_examples=30, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_recall_monotone_in_budget(self, workload, data):
+        """More budget never certifies less (budget-ad)."""
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(6, c)))
+        n = data.draw(st.integers(1, d))
+        db = MatchDatabase(database)
+        budgets = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, c * d), min_size=2, max_size=4, unique=True
+                )
+            )
+        )
+        certified = [
+            db.k_n_match(
+                query, k, n, mode="approx", budget=budget
+            ).certified_recall
+            for budget in budgets
+        ]
+        assert certified == sorted(certified)
+
+
+class TestAnytimePrefixProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_budgeted_prefix_of_exact_ad_under_ties(self, workload, data):
+        """Satellite invariant: the anytime engine's verified prefix is
+        a *prefix* of the exact AD answer — identical ids in identical
+        order — on deliberately tie-heavy data, for every budget."""
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(10, c)))
+        n = data.draw(st.integers(1, d))
+        budget = data.draw(st.integers(0, c * d + 5))
+        db = MatchDatabase(database)
+        exact = db.k_n_match(query, k, n, engine="ad")
+        partial = db.k_n_match(
+            query, k, n, engine="anytime", attribute_budget=budget
+        )
+        assert partial.ids == list(exact.ids)[: len(partial.ids)]
+        np.testing.assert_allclose(
+            partial.differences,
+            list(exact.differences)[: len(partial.ids)],
+            atol=1e-12,
+        )
+        if partial.exact:
+            assert len(partial.ids) == min(k, c)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tie_workloads(), st.data())
+    def test_unseen_bound_sound(self, workload, data):
+        database, query = workload
+        c, d = database.shape
+        k = data.draw(st.integers(1, min(10, c)))
+        n = data.draw(st.integers(1, d))
+        budget = data.draw(st.integers(0, c * d))
+        db = MatchDatabase(database)
+        partial = db.k_n_match(
+            query, k, n, engine="anytime", attribute_budget=budget
+        )
+        if partial.unseen_lower_bound is None:
+            return
+        truth = np.sort(np.abs(database - query), axis=1)[:, n - 1]
+        returned = set(partial.ids)
+        for pid in range(c):
+            if pid not in returned:
+                assert truth[pid] >= partial.unseen_lower_bound - 1e-12
+
+
+class TestEvalHelpers:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 12),
+            elements=st.floats(0, 1, allow_nan=False, width=32),
+        )
+    )
+    def test_recall_of_exact_answer_is_one(self, diffs):
+        ordered = np.sort(diffs)
+        assert tie_aware_match_recall(ordered, ordered) == 1.0
+
+    def test_tie_blindness_scored_as_hit(self):
+        # a different-but-equidistant id must not count as a miss
+        assert tie_aware_match_recall([0.5], [0.5]) == 1.0
+        assert tie_aware_match_recall([0.7], [0.5]) == 0.0
+        assert tie_aware_match_recall([], [0.5]) == 0.0
+        assert tie_aware_match_recall([0.1], []) == 1.0

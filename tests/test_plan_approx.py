@@ -1,0 +1,228 @@
+"""Planning the approximate tier (``mode="approx"``).
+
+The planner's approx track must (a) only ever pick approx engines, and
+only when the caller declared ``mode="approx"``; (b) cache approx and
+exact decisions under distinct keys; (c) drop candidates whose observed
+certified recall falls short of the target; and (d) fall back to the
+certified default engine — never an exact engine — when nothing can be
+priced.  Executed approx queries feed their certificates back into the
+cost curves (:meth:`PlanModel.observe_recall`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MatchDatabase
+from repro.approx import (
+    APPROX_ENGINE_NAMES,
+    APPROX_FREQUENT_MESSAGE,
+    DEFAULT_APPROX_ENGINE,
+    ApproxResult,
+)
+from repro.errors import ValidationError
+from repro.plan import CostCurve, PlanModel, QueryPlanner
+from repro.shard import ShardedMatchDatabase
+
+
+@pytest.fixture
+def db(rng):
+    return MatchDatabase(rng.random((200, 6)))
+
+
+def approx_model(budget_recall=None, sketch_recall=None):
+    """Curves that make pivot-sketch the predictable cheap choice."""
+    model = PlanModel(
+        {
+            "budget-ad": CostCurve(
+                "budget-ad", 1e-6, source="bench",
+                mean_recall=budget_recall,
+                recall_samples=0 if budget_recall is None else 5,
+            ),
+            "pivot-sketch": CostCurve(
+                "pivot-sketch", 1e-8, source="bench",
+                mean_recall=sketch_recall,
+                recall_samples=0 if sketch_recall is None else 5,
+            ),
+        }
+    )
+    return model
+
+
+class TestPlanApprox:
+    def test_only_approx_engines_eligible(self, db):
+        db.set_plan_model(approx_model())
+        plan = db.plan_query("k_n_match", 5, (3, 3), mode="approx")
+        assert plan.mode == "approx"
+        assert plan.engine in APPROX_ENGINE_NAMES
+        assert set(plan.candidates) <= set(APPROX_ENGINE_NAMES)
+
+    def test_exact_plan_never_picks_approx(self, db):
+        plan = db.plan_query("k_n_match", 5, (3, 3))
+        assert plan.mode == "exact"
+        assert plan.engine not in APPROX_ENGINE_NAMES
+
+    def test_cache_keys_distinct(self, db):
+        db.set_plan_model(approx_model())
+        exact = db.plan_query("k_n_match", 5, (3, 3))
+        approx = db.plan_query("k_n_match", 5, (3, 3), mode="approx")
+        again = db.plan_query("k_n_match", 5, (3, 3), mode="approx")
+        assert exact is not approx
+        assert approx is again  # cached decision object
+        other_target = db.plan_query(
+            "k_n_match", 5, (3, 3), mode="approx", target_recall=0.5
+        )
+        assert other_target is not approx
+
+    def test_low_recall_candidate_dropped(self, db):
+        """pivot-sketch is cheapest but has observed recall below the
+        target; the planner must prefer the engine that delivers."""
+        db.set_plan_model(
+            approx_model(budget_recall=0.95, sketch_recall=0.3)
+        )
+        plan = db.plan_query(
+            "k_n_match", 5, (3, 3), mode="approx", target_recall=0.9
+        )
+        assert plan.engine == "budget-ad"
+        relaxed = db.plan_query(
+            "k_n_match", 5, (3, 3), mode="approx", target_recall=0.2
+        )
+        assert relaxed.engine == "pivot-sketch"
+
+    def test_unknown_recall_passes_filter(self, db):
+        db.set_plan_model(approx_model())
+        plan = db.plan_query(
+            "k_n_match", 5, (3, 3), mode="approx", target_recall=0.99
+        )
+        assert plan.engine == "pivot-sketch"  # cheapest, recall unknown
+
+    def test_all_below_target_still_approx(self, db):
+        db.set_plan_model(
+            approx_model(budget_recall=0.1, sketch_recall=0.1)
+        )
+        plan = db.plan_query(
+            "k_n_match", 5, (3, 3), mode="approx", target_recall=0.9
+        )
+        assert plan.engine in APPROX_ENGINE_NAMES  # never exact
+
+    def test_frequent_rejected(self, db):
+        with pytest.raises(ValidationError) as info:
+            db.plan_query("frequent_k_n_match", 5, (1, 4), mode="approx")
+        assert str(info.value) == APPROX_FREQUENT_MESSAGE
+
+    def test_probing_fits_curves(self, db):
+        """With no curves at all, planning probes real queries and fits
+        both cost and recall tracks."""
+        plan = db.plan_query(
+            "k_n_match", 5, (3, 3), mode="approx", target_recall=0.8
+        )
+        assert plan.engine in APPROX_ENGINE_NAMES
+        assert not plan.fallback
+        model = db.planner.model
+        assert all(model.has_curve(name) for name in APPROX_ENGINE_NAMES)
+
+
+class TestAutoEngineApprox:
+    def test_engine_auto_under_mode_approx(self, db, rng):
+        db.set_plan_model(approx_model())
+        query = rng.random(6)
+        result = db.k_n_match(
+            query, 5, 3, mode="approx", engine="auto", target_recall=0.9
+        )
+        assert isinstance(result, ApproxResult)
+        assert result.engine in APPROX_ENGINE_NAMES
+
+    def test_sharded_auto(self, rng):
+        data = rng.random((150, 5))
+        db = ShardedMatchDatabase(data, shards=3)
+        try:
+            result = db.k_n_match(
+                data[0], 5, 3, mode="approx", engine="auto", budget=200
+            )
+            assert isinstance(result, ApproxResult)
+        finally:
+            db.close()
+
+    def test_executed_queries_feed_recall_back(self, db, rng):
+        db.set_plan_model(approx_model())
+        query = rng.random(6)
+        db.k_n_match(query, 5, 3, mode="approx", engine="auto", budget=500)
+        model = db.planner.model
+        observed = [
+            model.predict_recall(name)
+            for name in APPROX_ENGINE_NAMES
+            if model.predict_recall(name) is not None
+        ]
+        assert observed  # at least the executed engine recorded one
+
+
+class TestRecallModel:
+    def test_observe_recall_windowed_mean(self):
+        model = approx_model()
+        for value in (0.5, 1.0):
+            model.observe_recall("budget-ad", value)
+        mean = model.predict_recall("budget-ad")
+        assert 0.5 < mean <= 1.0
+        model.observe_recall("nonexistent", 0.9)  # ignored, no curve
+        assert model.predict_recall("nonexistent") is None
+
+    def test_recall_clamped(self):
+        model = approx_model()
+        model.observe_recall("budget-ad", 7.0)
+        assert model.predict_recall("budget-ad") == 1.0
+
+    def test_sidecar_roundtrip_keeps_recall(self, tmp_path):
+        from repro.plan import load_plan_model, save_plan_model
+
+        model = approx_model(budget_recall=0.75, sketch_recall=0.5)
+        base = tmp_path / "db.npz"
+        save_plan_model(model, base)
+        back = load_plan_model(base)
+        assert back.predict_recall("budget-ad") == 0.75
+        assert back.predict_recall("pivot-sketch") == 0.5
+
+    def test_old_sidecar_without_recall_fields(self, tmp_path):
+        """Pre-approx sidecars (no recall fields) still load."""
+        import json
+
+        from repro.plan import load_plan_model
+        from repro.plan.model import PLAN_MODEL_VERSION
+
+        path = tmp_path / "db.npz.plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": PLAN_MODEL_VERSION,
+                    "curves": {
+                        "block-ad": {
+                            "engine": "block-ad",
+                            "seconds_per_cell": 1e-7,
+                            "base_seconds": 0.0,
+                            "source": "bench",
+                            "samples": 1,
+                        }
+                    },
+                }
+            )
+        )
+        model = load_plan_model(tmp_path / "db.npz")
+        assert model.has_curve("block-ad")
+        assert model.predict_recall("block-ad") is None
+
+    def test_fallback_when_probing_impossible(self, db, monkeypatch):
+        """If probes fail and no curves exist, the plan still stays in
+        the approx tier: the certified default engine, flagged."""
+        planner = db.planner
+        monkeypatch.setattr(
+            QueryPlanner,
+            "_probe_approx",
+            lambda self, *a, **kw: None,
+        )
+        monkeypatch.setattr(
+            PlanModel, "predict", lambda self, engine, cells: None
+        )
+        plan = planner.plan("k_n_match", 5, (3, 3), mode="approx")
+        assert plan.fallback
+        assert plan.engine == DEFAULT_APPROX_ENGINE
+        assert plan.mode == "approx"

@@ -1,0 +1,301 @@
+"""Serving the approximate tier: headers, cache keys, canonical 400s.
+
+Acceptance bar for this slice: ``mode`` rides the existing protocol
+(same endpoints, same envelopes), every approximate answer exposes its
+certificate as ``X-Repro-Recall`` on miss *and* hit, approximate and
+exact answers never share a cache entry, and a facade without an
+approximate path returns the canonical validation message verbatim as
+a structured 400.  ``mode="exact"`` requests stay byte-identical to
+requests that never mention a mode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    APPROX_FREQUENT_MESSAGE,
+    APPROX_UNSUPPORTED_MESSAGE,
+    ApproxResult,
+)
+from repro.core.dynamic import DynamicMatchDatabase
+from repro.core.engine import MatchDatabase
+from repro.errors import ValidationError
+from repro.serve import (
+    ServeApp,
+    canonical_json,
+    decode_approx_result,
+    encode_approx_result,
+    parse_query_request,
+)
+from repro.shard import ShardedMatchDatabase
+
+
+def post(app, path, payload):
+    return app.handle("POST", path, canonical_json(payload))
+
+
+def body_of(raw: bytes):
+    return json.loads(raw.decode())
+
+
+@pytest.fixture(params=["flat", "sharded"])
+def approx_db(request, small_data):
+    if request.param == "flat":
+        db = MatchDatabase(small_data)
+    else:
+        db = ShardedMatchDatabase(small_data, shards=3)
+    yield db
+    if hasattr(db, "close"):
+        db.close()
+
+
+class TestProtocol:
+    def test_query_request_carries_approx_fields(self):
+        request = parse_query_request(
+            {
+                "query": [0.1, 0.2],
+                "k": 3,
+                "n": 1,
+                "mode": "approx",
+                "target_recall": 0.8,
+            }
+        )
+        assert request.mode == "approx"
+        assert request.target_recall == 0.8
+        assert request.budget is None
+
+    def test_bad_fields_rejected_at_parse(self):
+        with pytest.raises(ValidationError, match="unknown mode"):
+            parse_query_request(
+                {"query": [0.1], "k": 1, "n": 1, "mode": "fast"}
+            )
+        with pytest.raises(ValidationError, match="budget must be >= 0"):
+            parse_query_request(
+                {"query": [0.1], "k": 1, "n": 1, "mode": "approx", "budget": -2}
+            )
+
+    def test_approx_result_roundtrip(self, small_data, small_query):
+        db = MatchDatabase(small_data)
+        result = db.k_n_match(small_query, 5, 4, mode="approx", budget=300)
+        payload = encode_approx_result(result)
+        back = decode_approx_result(payload)
+        assert isinstance(back, ApproxResult)
+        assert back.ids == result.ids
+        assert back.differences == result.differences
+        assert back.certified_recall == result.certified_recall
+        assert back.unseen_lower_bound == result.unseen_lower_bound
+
+
+class TestHeadersAndCache:
+    def test_recall_header_on_miss_and_hit(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        payload = {
+            "query": list(small_query),
+            "k": 4,
+            "n": 3,
+            "mode": "approx",
+            "target_recall": 0.9,
+        }
+        status1, headers1, body1 = post(app, "/v1/query", payload)
+        status2, headers2, body2 = post(app, "/v1/query", payload)
+        assert (status1, status2) == (200, 200)
+        h1, h2 = dict(headers1), dict(headers2)
+        assert h1["X-Repro-Cache"] == "miss"
+        assert h2["X-Repro-Cache"] == "hit"
+        certified = body_of(body1)["result"]["certified_recall"]
+        assert h1["X-Repro-Recall"] == f"{certified:.6f}"
+        assert h2["X-Repro-Recall"] == h1["X-Repro-Recall"]
+        assert body1 == body2  # byte-identical replay
+
+    def test_no_recall_header_on_exact(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        _, headers, _ = post(
+            app, "/v1/query", {"query": list(small_query), "k": 4, "n": 3}
+        )
+        assert "X-Repro-Recall" not in dict(headers)
+
+    def test_exact_and_approx_never_share_cache(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        base = {"query": list(small_query), "k": 4, "n": 3}
+        _, h_exact, body_exact = post(app, "/v1/query", base)
+        _, h_approx, body_approx = post(
+            app, "/v1/query", {**base, "mode": "approx", "budget": 100}
+        )
+        assert dict(h_approx)["X-Repro-Cache"] == "miss"
+        assert body_of(body_approx)["result"] != body_of(body_exact)["result"]
+        # different budgets are different entries too
+        _, h_other, _ = post(
+            app, "/v1/query", {**base, "mode": "approx", "budget": 101}
+        )
+        assert dict(h_other)["X-Repro-Cache"] == "miss"
+
+    def test_explicit_exact_mode_byte_identical(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        base = {"query": list(small_query), "k": 4, "n": 3}
+        _, _, plain = post(app, "/v1/query", base)
+        _, _, explicit = post(app, "/v1/query", {**base, "mode": "exact"})
+        assert plain == explicit
+
+    def test_batch_recall_header_is_weakest(self, approx_db, small_data):
+        app = ServeApp(approx_db)
+        payload = {
+            "queries": [list(row) for row in small_data[:3]],
+            "k": 4,
+            "n": 3,
+            "mode": "approx",
+            "budget": 200,
+        }
+        status, headers, body = post(app, "/v1/batch", payload)
+        assert status == 200
+        recalls = [
+            entry["certified_recall"]
+            for entry in body_of(body)["results"]
+        ]
+        assert dict(headers)["X-Repro-Recall"] == f"{min(recalls):.6f}"
+
+    def test_approx_payload_marks_mode(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        _, _, body = post(
+            app,
+            "/v1/query",
+            {
+                "query": list(small_query),
+                "k": 4,
+                "n": 3,
+                "mode": "approx",
+                "target_recall": 0.9,
+            },
+        )
+        payload = body_of(body)
+        assert payload["mode"] == "approx"
+        assert "certified_recall" in payload["result"]
+
+
+class TestCanonical400s:
+    def test_dynamic_facade_approx_is_structured_400(
+        self, small_data, small_query
+    ):
+        app = ServeApp(DynamicMatchDatabase(small_data))
+        status, _, body = post(
+            app,
+            "/v1/query",
+            {"query": list(small_query), "k": 3, "n": 2, "mode": "approx"},
+        )
+        assert status == 400
+        error = body_of(body)["error"]
+        assert error["type"] == "validation"
+        assert error["message"] == APPROX_UNSUPPORTED_MESSAGE
+
+    def test_dynamic_facade_explicit_exact_is_fine(
+        self, small_data, small_query
+    ):
+        app = ServeApp(DynamicMatchDatabase(small_data))
+        base = {"query": list(small_query), "k": 3, "n": 2}
+        status, _, plain = post(app, "/v1/query", base)
+        status2, _, explicit = post(
+            app, "/v1/query", {**base, "mode": "exact"}
+        )
+        assert (status, status2) == (200, 200)
+        assert plain == explicit
+
+    def test_frequent_approx_is_structured_400(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        status, _, body = post(
+            app,
+            "/v1/frequent",
+            {
+                "query": list(small_query),
+                "k": 3,
+                "n_range": [1, 4],
+                "mode": "approx",
+            },
+        )
+        assert status == 400
+        assert body_of(body)["error"]["message"] == APPROX_FREQUENT_MESSAGE
+
+    def test_budget_and_target_conflict_400(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        status, _, body = post(
+            app,
+            "/v1/query",
+            {
+                "query": list(small_query),
+                "k": 3,
+                "n": 2,
+                "mode": "approx",
+                "budget": 10,
+                "target_recall": 0.5,
+            },
+        )
+        assert status == 400
+        assert "mutually exclusive" in body_of(body)["error"]["message"]
+
+
+class TestServerDefaults:
+    def test_default_mode_applies_when_request_silent(
+        self, small_data, small_query
+    ):
+        app = ServeApp(
+            MatchDatabase(small_data),
+            default_mode="approx",
+            default_target_recall=0.9,
+        )
+        status, headers, body = post(
+            app, "/v1/query", {"query": list(small_query), "k": 4, "n": 3}
+        )
+        assert status == 200
+        assert body_of(body).get("mode") == "approx"
+        assert "X-Repro-Recall" in dict(headers)
+
+    def test_request_fields_override_defaults(self, small_data, small_query):
+        app = ServeApp(
+            MatchDatabase(small_data),
+            default_mode="approx",
+            default_target_recall=0.9,
+        )
+        _, _, body = post(
+            app,
+            "/v1/query",
+            {"query": list(small_query), "k": 4, "n": 3, "mode": "exact"},
+        )
+        assert "mode" not in body_of(body)
+
+    def test_defaults_rejected_on_unsupported_facade(self, small_data):
+        with pytest.raises(ValidationError, match="does not support"):
+            ServeApp(DynamicMatchDatabase(small_data), default_mode="approx")
+
+    def test_conflicting_defaults_rejected(self, small_data):
+        with pytest.raises(ValidationError, match="mutually exclusive"):
+            ServeApp(
+                MatchDatabase(small_data),
+                default_mode="approx",
+                default_budget=10,
+                default_target_recall=0.5,
+            )
+
+
+class TestServedAnswersMatchDirect:
+    def test_approx_result_identical_to_facade(self, approx_db, small_query):
+        app = ServeApp(approx_db)
+        _, _, body = post(
+            app,
+            "/v1/query",
+            {
+                "query": list(small_query),
+                "k": 5,
+                "n": 4,
+                "mode": "approx",
+                "budget": 400,
+            },
+        )
+        served = body_of(body)["result"]
+        direct = approx_db.k_n_match(
+            np.asarray(small_query), 5, 4, mode="approx", budget=400
+        )
+        assert served["ids"] == direct.ids
+        assert served["differences"] == direct.differences
+        assert served["certified_recall"] == direct.certified_recall
