@@ -7,9 +7,18 @@ the heap ``ad`` engine and the vectorised ``block-ad`` engine (the two
 span-densest hot paths: per-query cursor/heap phases and per-round
 window phases respectively).
 
+A second matrix covers the serving layer end to end
+(:class:`~repro.serve.ServeApp.handle`, no sockets) in three modes —
+``off`` (no collector, flight recorder idle), ``context`` (span
+collector installed, so every request mints/propagates a trace context
+and produces a span tree), and ``flight`` (tracing plus a zero slow
+threshold, so every request is additionally deposited in the flight
+recorder) — asserting response bodies byte-identical across all three.
+
 Two invariants are asserted before anything is reported:
 
-* answers are bit-identical across all three modes, and
+* answers are bit-identical across all modes (response *bytes*, for the
+  serve matrix), and
 * the uninstrumented run is not slower than an instrumented one beyond
   timing noise (the ``None``-check guard discipline: disabled
   observability must cost nothing).
@@ -77,6 +86,75 @@ def _best_of(repeats: int, run) -> float:
         run()
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def bench_serve_modes(
+    data, queries, k: int, n: int, repeats: int
+) -> Dict[str, Dict]:
+    """Serve-layer overhead matrix: off vs context vs flight.
+
+    Each mode gets its own :class:`ServeApp` over the same data with the
+    result cache disabled, so every timed request runs admission, JSON
+    parse, the engine, and response encoding.  Response bodies must be
+    byte-identical across modes — tracing may never change an answer.
+    """
+    from repro.core.engine import MatchDatabase
+    from repro.serve import ServeApp, canonical_json
+
+    bodies = [
+        canonical_json(
+            {"query": [float(value) for value in query], "k": k, "n": n}
+        )
+        for query in queries
+    ]
+
+    def make_app(mode: str) -> ServeApp:
+        if mode == "off":
+            return ServeApp(MatchDatabase(data), cache_size=0)
+        if mode == "context":
+            return ServeApp(
+                MatchDatabase(data), cache_size=0, spans=SpanCollector()
+            )
+        return ServeApp(
+            MatchDatabase(data),
+            cache_size=0,
+            spans=SpanCollector(),
+            slow_threshold_seconds=0.0,  # every request hits the recorder
+            flight_capacity=len(bodies),
+        )
+
+    apps = {mode: make_app(mode) for mode in ("off", "context", "flight")}
+    expected = [
+        apps["off"].handle("POST", "/v1/query", body) for body in bodies
+    ]
+    for mode in ("context", "flight"):
+        for body, (status, _, reference) in zip(bodies, expected):
+            got_status, _, got = apps[mode].handle("POST", "/v1/query", body)
+            assert (got_status, got) == (status, reference), (
+                f"serve/{mode}: response bytes diverged"
+            )
+
+    timings: Dict[str, Dict] = {}
+    for mode, app in apps.items():
+        seconds = _best_of(
+            repeats,
+            lambda app=app: [
+                app.handle("POST", "/v1/query", body) for body in bodies
+            ],
+        )
+        timings[mode] = {
+            "seconds": seconds,
+            "queries_per_second": len(bodies) / seconds,
+        }
+    off = timings["off"]["seconds"]
+    for mode in ("context", "flight"):
+        seconds = timings[mode]["seconds"]
+        timings[mode]["overhead_vs_off"] = seconds / off - 1.0
+        assert off <= seconds * NOISE_TOLERANCE, (
+            f"serve: uninstrumented path slower than {mode} path: "
+            f"{off:.6f}s vs {seconds:.6f}s"
+        )
+    return timings
 
 
 def bench_config(
@@ -148,6 +226,7 @@ def bench_config(
         "n": n,
         "batch_size": batch,
         "engines": engines,
+        "serve": bench_serve_modes(data, queries, k, n, repeats),
     }
 
 
@@ -197,6 +276,13 @@ def main(argv=None) -> int:
                 f"  spans {timings['spans']['overhead_vs_off']:+6.1%}",
                 flush=True,
             )
+        serve = entry["serve"]
+        print(
+            f"  {'serve':9s} off {serve['off']['queries_per_second']:8.1f} q/s"
+            f"  context {serve['context']['overhead_vs_off']:+6.1%}"
+            f"  flight {serve['flight']['overhead_vs_off']:+6.1%}",
+            flush=True,
+        )
 
     text = json.dumps(report, indent=2)
     if args.output:

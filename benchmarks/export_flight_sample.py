@@ -1,0 +1,88 @@
+"""Export sample tracing artifacts for CI upload.
+
+Serves one k-n-match query through :class:`~repro.serve.ServeApp` over a
+``backend="process"`` sharded database with tracing and a zero slow
+threshold enabled, then writes:
+
+* ``<outdir>/sample_flight.json`` — the full ``/v1/debug/flight``
+  payload (the request's flight record, span tree included);
+* ``<outdir>/sample_stitched_trace.json`` — the same request's span
+  tree in Chrome ``trace_event`` form, with the worker processes' own
+  phase spans stitched under their ``shard_call`` parents (distinct
+  pid-keyed rows in ``chrome://tracing`` / Perfetto).
+
+A real file (not a heredoc) because the spawn start method re-imports
+``__main__``.  The export asserts the stitched tree actually contains
+worker-side engine phases, so CI fails loudly if stitching breaks.
+
+Usage::
+
+    python benchmarks/export_flight_sample.py bench_out
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+WORKER_PHASES = {"window_grow", "heap_consume", "cursor_init"}
+
+
+def main(argv=None) -> int:
+    from repro.obs import SpanCollector, parse_trace_header
+    from repro.serve import ServeApp, canonical_json
+    from repro.shard import ShardedMatchDatabase
+
+    argv = sys.argv[1:] if argv is None else argv
+    outdir = argv[0] if argv else "bench_out"
+    os.makedirs(outdir, exist_ok=True)
+
+    rng = np.random.default_rng(0)
+    data = rng.random((5_000, 8))
+    db = ShardedMatchDatabase(data, shards=2, backend="process")
+    try:
+        app = ServeApp(
+            db, spans=SpanCollector(), slow_threshold_seconds=0.0
+        )
+        body = canonical_json(
+            {"query": [float(v) for v in data[0]], "k": 5, "n": 4}
+        )
+        status, headers, _ = app.handle("POST", "/v1/query", body)
+        assert status == 200, status
+        trace_id = parse_trace_header(dict(headers)["X-Repro-Trace"]).trace_id
+
+        status, _, flight_body = app.handle("GET", "/v1/debug/flight", b"")
+        assert status == 200, status
+        with open(os.path.join(outdir, "sample_flight.json"), "w") as handle:
+            handle.write(flight_body.decode() + "\n")
+
+        status, _, chrome_body = app.handle(
+            "GET", f"/v1/debug/trace/{trace_id}?format=chrome", b""
+        )
+        assert status == 200, status
+        chrome = json.loads(chrome_body)
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert "shard_call" in names and names & WORKER_PHASES, (
+            f"stitched trace is missing worker phase spans: {sorted(names)}"
+        )
+        path = os.path.join(outdir, "sample_stitched_trace.json")
+        with open(path, "w") as handle:
+            handle.write(chrome_body.decode() + "\n")
+        print(
+            f"wrote {outdir}/sample_flight.json and {path} "
+            f"(trace {trace_id}, {len(chrome['traceEvents'])} events)"
+        )
+    finally:
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

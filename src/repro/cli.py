@@ -14,6 +14,7 @@ Subcommands::
     repro advise    db.npz --k 20 --n-range 4:8 [--minimize disk-time]
     repro plan      db.npz --k 20 --n 8 [--save]   (calibrate engine=auto)
     repro serve     db.npz --port 8707 --max-inflight 64 --cache-size 1024
+    repro flight    --host 127.0.0.1 --port 8707 [--trace ID --chrome-out t.json]
     repro experiments --scale 0.1 --only table4,fig12
 
 ``query`` accepts either an inline comma-separated vector (``--query``)
@@ -45,6 +46,7 @@ manual engine choice.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Tuple
 
@@ -552,6 +554,59 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="how long shutdown waits for in-flight queries",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-query threshold in milliseconds: requests at least "
+        "this slow land in the slow-query log and the flight recorder "
+        "(0 records every query)",
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=64,
+        help="flight-recorder ring size for slow/shed/error requests "
+        "(0 disables; inspect via GET /v1/debug/flight or repro flight)",
+    )
+    serve.add_argument(
+        "--access-log",
+        type=str,
+        default=None,
+        help="write one JSON line per request to this path ('-' = stdout)",
+    )
+
+    flight = commands.add_parser(
+        "flight",
+        help="inspect a running server's flight recorder",
+        description=(
+            "Fetch the flight recorder of a running repro serve instance "
+            "(the retained slow/shed/error request records) and print "
+            "one line per record, or one full record by trace id.  The "
+            "server records requests when started with --slow-ms and/or "
+            "--flight-capacity; see docs/observability.md."
+        ),
+    )
+    flight.add_argument("--host", default="127.0.0.1")
+    flight.add_argument("--port", type=int, default=8707)
+    flight.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="print one full record (canonical JSON) by trace id",
+    )
+    flight.add_argument(
+        "--chrome-out",
+        type=str,
+        default=None,
+        help="with --trace: write the record's span tree as Chrome "
+        "trace_event JSON to this path",
+    )
+    flight.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw canonical JSON instead of the summary lines",
     )
 
     approx_info = commands.add_parser(
@@ -1138,46 +1193,123 @@ def _run_experiments(args) -> int:
 
 
 def _run_serve(args) -> int:
+    from .obs import SpanCollector
     from .serve import MatchServer, ServeApp
 
     db = _load_db(args)
-    app = ServeApp(
-        db,
-        default_engine=args.engine,
-        max_inflight=args.max_inflight,
-        deadline_ms=args.deadline_ms,
-        cache_size=args.cache_size,
-        default_mode=args.mode,
-        default_budget=args.budget,
-        default_target_recall=args.target_recall,
-        default_candidate_multiplier=args.candidate_multiplier,
+    slow_threshold = (
+        args.slow_ms / 1000.0 if args.slow_ms is not None else None
     )
-    server = MatchServer(app, host=args.host, port=args.port)
-    shard_note = (
-        f", {db.shard_count} shards" if hasattr(db, "shard_count") else ""
-    )
-    # the port line is load-bearing: with --port 0, clients (and the CLI
-    # e2e test) learn the ephemeral port from it.
-    print(
-        f"serving {db.cardinality} points x {db.dimensionality} dims"
-        f"{shard_note} on http://{server.host}:{server.port} "
-        f"(max-inflight={args.max_inflight}, deadline={args.deadline_ms:g}ms, "
-        f"cache={args.cache_size})",
-        flush=True,
-    )
-    if args.mode == "approx":
-        target = (
-            args.target_recall
-            if args.target_recall is not None
-            else (DEFAULT_TARGET_RECALL if args.budget is None else None)
+    access_log = None
+    access_log_note = ""
+    if args.access_log is not None:
+        if args.access_log == "-":
+            access_log = sys.stdout
+        else:
+            access_log = open(args.access_log, "a", encoding="utf-8")
+        access_log_note = f", access-log={args.access_log}"
+    try:
+        app = ServeApp(
+            db,
+            default_engine=args.engine,
+            max_inflight=args.max_inflight,
+            deadline_ms=args.deadline_ms,
+            cache_size=args.cache_size,
+            default_mode=args.mode,
+            default_budget=args.budget,
+            default_target_recall=args.target_recall,
+            default_candidate_multiplier=args.candidate_multiplier,
+            spans=SpanCollector(),
+            slow_threshold_seconds=slow_threshold,
+            flight_capacity=args.flight_capacity,
+            access_log=access_log,
         )
-        note = f"budget={args.budget}" if args.budget is not None else (
-            f"target recall {target:g}"
+        server = MatchServer(app, host=args.host, port=args.port)
+        shard_note = (
+            f", {db.shard_count} shards" if hasattr(db, "shard_count") else ""
         )
-        print(f"default mode: approx ({note})", flush=True)
-    server.run(drain_seconds=args.drain_seconds)
-    print("server drained and stopped", flush=True)
+        # the port line is load-bearing: with --port 0, clients (and the
+        # CLI e2e test) learn the ephemeral port from it.
+        print(
+            f"serving {db.cardinality} points x {db.dimensionality} dims"
+            f"{shard_note} on http://{server.host}:{server.port} "
+            f"(max-inflight={args.max_inflight}, "
+            f"deadline={args.deadline_ms:g}ms, "
+            f"cache={args.cache_size})",
+            flush=True,
+        )
+        slow_note = (
+            f"slow-ms={args.slow_ms:g}" if args.slow_ms is not None
+            else "slow-ms off"
+        )
+        print(
+            f"flight recorder: capacity={args.flight_capacity}, "
+            f"{slow_note}{access_log_note}",
+            flush=True,
+        )
+        if args.mode == "approx":
+            target = (
+                args.target_recall
+                if args.target_recall is not None
+                else (DEFAULT_TARGET_RECALL if args.budget is None else None)
+            )
+            note = f"budget={args.budget}" if args.budget is not None else (
+                f"target recall {target:g}"
+            )
+            print(f"default mode: approx ({note})", flush=True)
+        server.run(drain_seconds=args.drain_seconds)
+        print("server drained and stopped", flush=True)
+    finally:
+        if access_log is not None and access_log is not sys.stdout:
+            access_log.close()
     return 0
+
+
+def _run_flight(args) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port)
+    try:
+        if args.trace is not None:
+            payload = client.debug_trace(args.trace)
+            record = payload.get("record", payload)
+            if args.chrome_out is not None:
+                chrome = client.debug_trace(args.trace, chrome=True)
+                with open(args.chrome_out, "w", encoding="utf-8") as handle:
+                    json.dump(chrome, handle)
+                    handle.write("\n")
+                print(
+                    f"wrote Chrome trace for {args.trace} to "
+                    f"{args.chrome_out}",
+                    file=sys.stderr,
+                )
+            print(json.dumps(record, sort_keys=True, indent=2))
+            return 0
+        if args.chrome_out is not None:
+            raise ReproError("--chrome-out requires --trace <id>")
+        payload = client.debug_flight()
+        if args.json:
+            print(json.dumps(payload, sort_keys=True, indent=2))
+            return 0
+        records = payload.get("records", [])
+        print(
+            f"flight recorder: capacity={payload.get('capacity')} "
+            f"recorded={payload.get('recorded')} "
+            f"dropped={payload.get('dropped')} "
+            f"retained={len(records)}"
+        )
+        for record in records:
+            print(
+                f"  seq={record['seq']} {record['reason']:5s} "
+                f"{record['method']} {record['path']} "
+                f"status={record['status']} "
+                f"queue={record['queue_ms']:.3f}ms "
+                f"handle={record['handle_ms']:.3f}ms "
+                f"trace={record['trace_id']}"
+            )
+        return 0
+    except ServeError as error:
+        raise ReproError(str(error)) from error
 
 
 def _run_approx_info(args) -> int:
@@ -1267,6 +1399,7 @@ _HANDLERS = {
     "advise": _run_advise,
     "plan": _run_plan,
     "serve": _run_serve,
+    "flight": _run_flight,
     "approx-info": _run_approx_info,
     "experiments": _run_experiments,
 }

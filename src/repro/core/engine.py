@@ -637,6 +637,7 @@ class MatchDatabase:
     def _build_trace(self, selected, kind, k, n_range, stats, started):
         from ..obs import QueryTrace
 
+        spans = self._spans
         return QueryTrace.from_stats(
             engine=selected.name,
             kind=kind,
@@ -645,6 +646,11 @@ class MatchDatabase:
             stats=stats,
             wall_time_seconds=time.perf_counter() - started,
             dimensionality=self.dimensionality,
+            trace_id=(
+                spans.capture_context("trace_id")
+                if spans is not None
+                else None
+            ),
         )
 
     def k_n_match_batch(

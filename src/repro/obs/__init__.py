@@ -33,7 +33,15 @@ from .audit import (
     examined_cost,
     fagin_lower_bound,
 )
+from .context import (
+    TRACE_HEADER,
+    TraceContext,
+    TraceIdGenerator,
+    format_trace_header,
+    parse_trace_header,
+)
 from .export import registry_to_dict, render_json, render_prometheus
+from .flight import FLIGHT_REASONS, FlightRecord, FlightRecorder
 from .instrument import (
     observe_approx_query,
     observe_batch,
@@ -62,6 +70,9 @@ from .spans import (
     chrome_trace_events,
     render_chrome_json,
     render_span_text,
+    span_from_dict,
+    span_to_dict,
+    stitch_worker_spans,
 )
 from .trace import QueryTrace, epsilon_rounds_from_stats
 
@@ -79,6 +90,17 @@ __all__ = [
     "chrome_trace_events",
     "render_chrome_json",
     "render_span_text",
+    "span_to_dict",
+    "span_from_dict",
+    "stitch_worker_spans",
+    "TraceContext",
+    "TraceIdGenerator",
+    "TRACE_HEADER",
+    "format_trace_header",
+    "parse_trace_header",
+    "FlightRecord",
+    "FlightRecorder",
+    "FLIGHT_REASONS",
     "OptimalityReport",
     "fagin_lower_bound",
     "examined_cost",

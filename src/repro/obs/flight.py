@@ -1,0 +1,175 @@
+"""Flight recorder: the last N interesting requests, in full.
+
+Metrics aggregate and the span ring buffer keeps *every* recent trace,
+interesting or not — so by the time someone asks "why was that request
+slow at 3am", the evidence is usually gone.  A :class:`FlightRecorder`
+is the serving layer's black box: a small lock-guarded ring buffer into
+which :class:`~repro.serve.server.ServeApp` deposits the **complete**
+record of every slow, shed, or failed request — trace id, the stitched
+span tree, the engine/plan/mode decision, the cache event, queue and
+handle time, status — retrievable later via ``GET /v1/debug/flight``,
+``GET /v1/debug/trace/<trace_id>`` or the ``repro flight`` CLI.
+
+Discipline matches the rest of :mod:`repro.obs`:
+
+* recording is O(1) append under one lock, and only fires for requests
+  that trip a trigger (so the happy path pays a float compare);
+* ``capacity=0`` disables the recorder entirely;
+* snapshots are deterministic — records carry a monotone sequence
+  number assigned under the lock, and exports order by it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from .spans import Span, chrome_trace_events, span_to_dict
+
+__all__ = ["FlightRecord", "FlightRecorder", "FLIGHT_REASONS"]
+
+#: Why a request landed in the recorder, in increasing-precedence
+#: order: a shed request is always recorded as ``shed`` even if it was
+#: also slow; an errored one as ``error``.
+FLIGHT_REASONS = ("slow", "error", "shed")
+
+
+@dataclass
+class FlightRecord:
+    """One recorded request, complete enough to diagnose offline."""
+
+    seq: int
+    trace_id: str
+    reason: str
+    method: str
+    path: str
+    status: int
+    queue_ms: float
+    handle_ms: float
+    detail: Dict[str, object] = field(default_factory=dict)
+    span: Optional[Span] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict form (canonical key order is the caller's job)."""
+        payload: Dict[str, object] = {
+            "seq": self.seq,
+            "trace_id": self.trace_id,
+            "reason": self.reason,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "queue_ms": self.queue_ms,
+            "handle_ms": self.handle_ms,
+            "detail": {key: self.detail[key] for key in sorted(self.detail)},
+        }
+        payload["span"] = (
+            span_to_dict(self.span) if self.span is not None else None
+        )
+        return payload
+
+    def chrome_trace(self, epoch: float = 0.0) -> Dict:
+        """This record's span tree as a Chrome ``trace_event`` object."""
+        traces = [self.span] if self.span is not None else []
+        return chrome_trace_events(traces, epoch=epoch)
+
+
+class FlightRecorder:
+    """Lock-guarded ring buffer of :class:`FlightRecord` entries.
+
+    >>> recorder = FlightRecorder(capacity=2)
+    >>> for path in ("/a", "/b", "/c"):
+    ...     _ = recorder.record(
+    ...         trace_id=path.strip("/"), reason="slow", method="POST",
+    ...         path=path, status=200, queue_ms=0.0, handle_ms=1.0,
+    ...     )
+    >>> [record.path for record in recorder.snapshot()]
+    ['/b', '/c']
+    >>> recorder.dropped
+    1
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0; got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: deque = deque(maxlen=capacity if capacity else 1)
+        self._dropped = 0
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(
+        self,
+        trace_id: str,
+        reason: str,
+        method: str,
+        path: str,
+        status: int,
+        queue_ms: float,
+        handle_ms: float,
+        detail: Optional[Dict[str, object]] = None,
+        span: Optional[Span] = None,
+    ) -> Optional[FlightRecord]:
+        """Deposit one record; returns it, or ``None`` when disabled."""
+        if reason not in FLIGHT_REASONS:
+            raise ValidationError(
+                f"reason must be one of {FLIGHT_REASONS}; got {reason!r}"
+            )
+        if not self.capacity:
+            return None
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            record = FlightRecord(
+                seq=seq,
+                trace_id=trace_id,
+                reason=reason,
+                method=method,
+                path=path,
+                status=status,
+                queue_ms=queue_ms,
+                handle_ms=handle_ms,
+                detail=dict(detail or {}),
+                span=span,
+            )
+            if len(self._records) == self._records.maxlen:
+                self._dropped += 1
+            self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[FlightRecord]:
+        """Retained records, oldest first (sequence-number order)."""
+        with self._lock:
+            return list(self._records)
+
+    def find(self, trace_id: str) -> Optional[FlightRecord]:
+        """The most recent record for ``trace_id``, or ``None``."""
+        with self._lock:
+            for record in reversed(self._records):
+                if record.trace_id == trace_id:
+                    return record
+        return None
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted since the last :meth:`clear`."""
+        return self._dropped
+
+    @property
+    def recorded(self) -> int:
+        """Total records deposited since the last :meth:`clear`."""
+        with self._lock:
+            return self._seq
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._dropped = 0
+            self._seq = 0

@@ -227,6 +227,14 @@ def observe_shard_call(
         "per-shard wall time of one scatter call",
         buckets=DEFAULT_LATENCY_BUCKETS,
     ).labels(**labels).observe(wall_seconds)
+    # The same wall time under the worker-centric label set: one series
+    # per backend (not per shard), the honest thread-vs-process
+    # comparison a dashboard wants without the shard-cardinality fan.
+    registry.histogram(
+        "repro_shard_worker_seconds",
+        "per-worker wall time of one scatter call, by backend",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(engine=engine, kind=kind, backend=backend).observe(wall_seconds)
 
 
 def observe_serve_request(

@@ -49,6 +49,9 @@ __all__ = [
     "chrome_trace_events",
     "render_chrome_json",
     "render_span_text",
+    "span_to_dict",
+    "span_from_dict",
+    "stitch_worker_spans",
     "PHASE_NAMES",
 ]
 
@@ -211,6 +214,24 @@ class SpanCollector:
         if stack:
             stack[-1].meta.update(meta)
 
+    def capture_context(self, key: str = "trace_id") -> Optional[object]:
+        """The innermost ``key`` annotation on this thread's open stack.
+
+        Fan-out components call this on the *request* thread before
+        handing work to pool threads, then re-attach the value to the
+        spans they open over there — span trees are thread-confined, so
+        this is how a worker-thread root stays correlated with the
+        request that spawned it.  ``None`` when no open span carries the
+        key (or no span is open at all).
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        for span in reversed(stack):
+            if key in span.meta:
+                return span.meta[key]
+        return None
+
     def _finish(self, span: Span) -> None:
         span.end = time.perf_counter()
         stack = self._local.stack
@@ -251,6 +272,73 @@ class SpanCollector:
             self._traces.clear()
             self._slow.clear()
             self._dropped = 0
+
+
+# ----------------------------------------------------------------------
+# Serialisation + cross-process stitching
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span) -> Dict:
+    """``span`` (and its subtree) as plain JSON-safe dicts.
+
+    The wire/debug form used by the procpool ``ok`` envelope and the
+    serve debug endpoints; :func:`span_from_dict` round-trips it.
+    """
+    return {
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "thread_id": span.thread_id,
+        "meta": {key: span.meta[key] for key in sorted(span.meta)},
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(payload: Dict) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_dict` output."""
+    span = Span(
+        str(payload["name"]),
+        float(payload["start"]),
+        int(payload["thread_id"]),
+        dict(payload.get("meta", {})),
+    )
+    span.end = float(payload["end"])
+    for child in payload.get("children", ()):
+        span.children.append(span_from_dict(child))
+    return span
+
+
+def _shift_tree(span: Span, offset: float, thread_id: int) -> None:
+    span.start += offset
+    span.end += offset
+    span.thread_id = thread_id
+    for child in span.children:
+        _shift_tree(child, offset, thread_id)
+
+
+def stitch_worker_spans(
+    parent: Span, worker_trees: List[Span], thread_id: int
+) -> None:
+    """Graft worker-process span trees under ``parent`` (in place).
+
+    Worker processes time spans on *their own* monotonic clocks, which
+    share no origin with the coordinator's.  Absolute alignment across
+    processes is impossible without a clock-sync protocol, so we use
+    the honest convention: rebase the worker trees so their earliest
+    root start coincides with ``parent.start`` (the coordinator-side
+    ``shard_call`` marker).  Durations are preserved exactly; only the
+    origin moves.  Every stitched span takes ``thread_id`` (pass the
+    worker pid) so Chrome-trace export lays each worker out on its own
+    row, and ``parent.end`` is extended to cover the grafted trees.
+    """
+    if not worker_trees:
+        return
+    earliest = min(tree.start for tree in worker_trees)
+    offset = parent.start - earliest
+    for tree in worker_trees:
+        _shift_tree(tree, offset, thread_id)
+        parent.children.append(tree)
+        if tree.end > parent.end:
+            parent.end = tree.end
 
 
 # ----------------------------------------------------------------------

@@ -59,6 +59,11 @@ class QueryTrace:
     stats:
         The full underlying :class:`SearchStats` for anything not
         surfaced as a first-class field.
+    trace_id:
+        The request-level :class:`~repro.obs.TraceContext` id this
+        query executed under, when one was in scope (served queries
+        with a span collector installed); ``None`` for standalone
+        calls.
     """
 
     engine: str
@@ -71,6 +76,7 @@ class QueryTrace:
     page_reads: int
     wall_time_seconds: float
     stats: Optional[SearchStats] = None
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_stats(
@@ -82,6 +88,7 @@ class QueryTrace:
         stats: SearchStats,
         wall_time_seconds: float,
         dimensionality: int,
+        trace_id: Optional[str] = None,
     ) -> "QueryTrace":
         """Build a trace from a result's stats plus a wall-time sample."""
         return cls(
@@ -95,14 +102,18 @@ class QueryTrace:
             page_reads=stats.page_reads,
             wall_time_seconds=wall_time_seconds,
             stats=stats,
+            trace_id=trace_id,
         )
 
     def summary(self) -> str:
         """One-line human-readable rendering (used by the CLI)."""
-        return (
+        text = (
             f"trace[{self.engine}/{self.kind}] k={self.k} "
             f"n={self.n_range[0]}:{self.n_range[1]} "
             f"rounds={self.epsilon_rounds} "
             f"attrs={self.attributes_retrieved} pops={self.heap_pops} "
             f"pages={self.page_reads} wall={self.wall_time_seconds * 1e3:.3f}ms"
         )
+        if self.trace_id is not None:
+            text += f" trace_id={self.trace_id}"
+        return text

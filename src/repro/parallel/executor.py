@@ -207,6 +207,13 @@ class ParallelBatchExecutor:
         worker_busy: Dict[int, float] = {}
         if registry is not None or spans is not None:
             inner = run_shard
+            # Captured on the calling thread; worker-thread roots carry
+            # it so cross-thread traces stay request-correlated.
+            trace_id = (
+                spans.capture_context("trace_id")
+                if spans is not None
+                else None
+            )
 
             def run_shard(item):
                 index, shard = item
@@ -218,11 +225,12 @@ class ParallelBatchExecutor:
                 else:
                     # A root span on the worker thread: span stacks are
                     # thread-confined, so each shard traces separately.
-                    with spans.span(
-                        "batch_shard",
-                        shard=index,
-                        queries=int(shard.shape[0]),
-                    ):
+                    shard_meta = dict(
+                        shard=index, queries=int(shard.shape[0])
+                    )
+                    if trace_id is not None:
+                        shard_meta["trace_id"] = trace_id
+                    with spans.span("batch_shard", **shard_meta):
                         output = inner(shard)
                 if registry is not None:
                     elapsed = time.perf_counter() - shard_started

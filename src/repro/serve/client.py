@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import FrequentMatchResult, MatchResult
 from ..errors import ReproError
+from ..obs import TRACE_HEADER, TraceContext, parse_trace_header
 from . import protocol
 
 __all__ = ["ServeClient", "ServeError"]
@@ -50,23 +51,34 @@ class ServeClient:
     ) -> None:
         self._base = f"http://{host}:{port}"
         self.timeout_seconds = timeout_seconds
+        #: The trace context the *last* response carried (parsed from
+        #: its ``X-Repro-Trace`` header), or ``None``.  This is how a
+        #: caller of the typed methods learns the server-minted id for
+        #: a later ``debug_trace`` lookup.
+        self.last_trace: Optional[TraceContext] = None
 
     # ------------------------------------------------------------------
     # raw transport
     # ------------------------------------------------------------------
     def post_raw(
-        self, path: str, body: bytes
+        self, path: str, body: bytes, trace: Optional[object] = None
     ) -> Tuple[int, Dict[str, str], bytes]:
         """POST raw bytes; returns ``(status, headers, body)`` verbatim.
 
         Unlike the typed methods this never raises on 4xx/5xx — tests
-        use it to assert exact wire bytes and headers.
+        use it to assert exact wire bytes and headers.  ``trace`` (a
+        :class:`TraceContext` or a pre-formatted header string)
+        propagates the caller's trace context to the server.
         """
+        headers = {"Content-Type": "application/json"}
+        if trace is not None:
+            headers[TRACE_HEADER] = (
+                trace.header_value()
+                if isinstance(trace, TraceContext)
+                else str(trace)
+            )
         request = urllib.request.Request(
-            self._base + path,
-            data=body,
-            method="POST",
-            headers={"Content-Type": "application/json"},
+            self._base + path, data=body, method="POST", headers=headers
         )
         return self._send(request)
 
@@ -80,19 +92,27 @@ class ServeClient:
             with urllib.request.urlopen(
                 request, timeout=self.timeout_seconds
             ) as response:
-                return (
-                    response.status,
-                    dict(response.headers.items()),
-                    response.read(),
-                )
+                headers = dict(response.headers.items())
+                self._record_trace(headers)
+                return response.status, headers, response.read()
         except urllib.error.HTTPError as error:
             with error:
-                return error.code, dict(error.headers.items()), error.read()
+                headers = dict(error.headers.items())
+                self._record_trace(headers)
+                return error.code, headers, error.read()
+
+    def _record_trace(self, headers: Dict[str, str]) -> None:
+        for name, value in headers.items():
+            if name.lower() == TRACE_HEADER.lower():
+                self.last_trace = parse_trace_header(value)
+                return
 
     # ------------------------------------------------------------------
-    def _post_json(self, path: str, payload: Dict) -> Dict:
+    def _post_json(
+        self, path: str, payload: Dict, trace: Optional[object] = None
+    ) -> Dict:
         status, _, body = self.post_raw(
-            path, protocol.canonical_json(payload)
+            path, protocol.canonical_json(payload), trace=trace
         )
         decoded = json.loads(body.decode("utf-8"))
         if status != 200:
@@ -122,6 +142,7 @@ class ServeClient:
         n: int,
         engine: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> MatchResult:
         """One k-n-match against the remote database."""
         decoded = self._post_json(
@@ -133,6 +154,7 @@ class ServeClient:
                 engine=engine,
                 deadline_ms=deadline_ms,
             ),
+            trace=trace,
         )
         return protocol.decode_match_result(decoded["result"])
 
@@ -144,6 +166,7 @@ class ServeClient:
         engine: Optional[str] = None,
         keep_answer_sets: bool = False,
         deadline_ms: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> FrequentMatchResult:
         """One frequent k-n-match against the remote database."""
         decoded = self._post_json(
@@ -156,6 +179,7 @@ class ServeClient:
                 keep_answer_sets=keep_answer_sets or None,
                 deadline_ms=deadline_ms,
             ),
+            trace=trace,
         )
         return protocol.decode_frequent_result(decoded["result"])
 
@@ -166,6 +190,7 @@ class ServeClient:
         n: int,
         engine: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> List[MatchResult]:
         """A batch of k-n-matches against the remote database."""
         decoded = self._post_json(
@@ -179,11 +204,42 @@ class ServeClient:
                 engine=engine,
                 deadline_ms=deadline_ms,
             ),
+            trace=trace,
         )
         return [
             protocol.decode_match_result(result)
             for result in decoded["results"]
         ]
+
+    # ------------------------------------------------------------------
+    def debug_flight(self) -> Dict:
+        """The decoded ``/v1/debug/flight`` body (raises on non-200)."""
+        status, _, body = self.get_raw("/v1/debug/flight")
+        decoded = json.loads(body.decode("utf-8"))
+        if status != 200:
+            error = decoded.get("error", {})
+            raise ServeError(
+                status,
+                error.get("type", "unknown"),
+                error.get("message", f"GET /v1/debug/flight -> {status}"),
+            )
+        return decoded
+
+    def debug_trace(self, trace_id: str, chrome: bool = False) -> Dict:
+        """One flight record by trace id (``chrome=True`` for trace JSON)."""
+        path = f"/v1/debug/trace/{trace_id}"
+        if chrome:
+            path += "?format=chrome"
+        status, _, body = self.get_raw(path)
+        decoded = json.loads(body.decode("utf-8"))
+        if status != 200:
+            error = decoded.get("error", {})
+            raise ServeError(
+                status,
+                error.get("type", "unknown"),
+                error.get("message", f"GET {path} -> {status}"),
+            )
+        return decoded
 
     # ------------------------------------------------------------------
     def health(self) -> Dict:

@@ -18,11 +18,13 @@ Two layers, deliberately separated:
 
 Endpoints::
 
-    POST /v1/query      one k-n-match
-    POST /v1/frequent   one frequent k-n-match
-    POST /v1/batch      a batch of k-n-matches
-    GET  /healthz       liveness + database generation
-    GET  /metrics       Prometheus 0.0.4 text (the repro.obs exporter)
+    POST /v1/query              one k-n-match
+    POST /v1/frequent           one frequent k-n-match
+    POST /v1/batch              a batch of k-n-matches
+    GET  /healthz               liveness + database generation
+    GET  /metrics               Prometheus 0.0.4 text (the repro.obs exporter)
+    GET  /v1/debug/flight       the flight recorder's retained records
+    GET  /v1/debug/trace/<id>   one record by trace id (?format=chrome)
 
 Observability: the app always owns a
 :class:`~repro.obs.MetricsRegistry` (``/metrics`` must have something
@@ -32,6 +34,15 @@ helpers in :mod:`repro.obs.instrument`; with ``instrument_database=True``
 — is also installed on the facade, so engine-level counters and
 ``serve_handle``/``serve_cache`` phase spans land in the same registry
 a scrape sees.
+
+Request tracing: every request gets a :class:`~repro.obs.TraceContext`
+— minted deterministically, or adopted from the client's
+``X-Repro-Trace`` header (W3C-traceparent layout) — echoed back in the
+response headers, attached to the ``serve_handle`` span root, and keyed
+into the flight recorder, which retains the complete record (span tree,
+plan/engine/mode, cache event, queue/handle ms) of every slow, shed or
+failed query for the debug endpoints above.  ``access_log`` streams one
+canonical-JSON line per request.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -50,10 +61,15 @@ from ..core import validation
 from ..core.engine import validate_engine_choice
 from ..errors import ValidationError
 from ..obs import (
+    FlightRecorder,
     MetricsRegistry,
+    TRACE_HEADER,
+    TraceContext,
+    TraceIdGenerator,
     observe_serve_cache,
     observe_serve_request,
     observe_serve_shed,
+    parse_trace_header,
     render_prometheus,
     serve_inflight_gauge,
 )
@@ -71,7 +87,9 @@ _JSON = "application/json"
 _UNKNOWN_ENDPOINT = "unknown"
 
 _POST_ENDPOINTS = ("/v1/query", "/v1/frequent", "/v1/batch")
-_GET_ENDPOINTS = ("/healthz", "/metrics")
+_GET_ENDPOINTS = ("/healthz", "/metrics", "/v1/debug/flight")
+#: Prefix route for one-record lookup: ``/v1/debug/trace/<trace_id>``.
+_TRACE_PREFIX = "/v1/debug/trace/"
 
 
 class ServeApp:
@@ -91,6 +109,10 @@ class ServeApp:
         default_budget: Optional[int] = None,
         default_target_recall: Optional[float] = None,
         default_candidate_multiplier: Optional[int] = None,
+        slow_threshold_seconds: Optional[float] = None,
+        flight_capacity: int = 64,
+        access_log: Optional[object] = None,
+        trace_seed: int = 0,
     ) -> None:
         self._db = db
         signature = inspect.signature(db.k_n_match).parameters
@@ -142,6 +164,22 @@ class ServeApp:
         )
         self._cache = ResultCache(cache_size)
         self._draining = False
+        if slow_threshold_seconds is not None and slow_threshold_seconds < 0:
+            raise ValidationError(
+                "slow_threshold_seconds must be >= 0 or None; "
+                f"got {slow_threshold_seconds}"
+            )
+        self._slow_threshold = slow_threshold_seconds
+        if spans is not None and slow_threshold_seconds is not None:
+            # Wire the server's slow threshold into the collector's own
+            # slow-query log so `traces()`/`slow_traces()` agree with
+            # the flight recorder on what "slow" means.
+            spans.slow_threshold_seconds = slow_threshold_seconds
+        self._flight = FlightRecorder(flight_capacity)
+        self._trace_ids = TraceIdGenerator(trace_seed)
+        self._trace_lock = threading.Lock()
+        self._access_log = access_log
+        self._access_lock = threading.Lock()
         if instrument_database:
             if hasattr(db, "set_metrics"):
                 db.set_metrics(self._metrics)
@@ -170,6 +208,15 @@ class ServeApp:
         return self._cache
 
     @property
+    def flight(self) -> FlightRecorder:
+        """The flight recorder (capacity 0 means disabled)."""
+        return self._flight
+
+    @property
+    def slow_threshold_seconds(self) -> Optional[float]:
+        return self._slow_threshold
+
+    @property
     def draining(self) -> bool:
         return self._draining
 
@@ -195,12 +242,28 @@ class ServeApp:
     # the one entry point
     # ------------------------------------------------------------------
     def handle(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, List[Tuple[str, str]], bytes]:
-        """Process one request; returns ``(status, headers, body)``."""
-        path = path.split("?", 1)[0]
-        if path in _GET_ENDPOINTS or path in _POST_ENDPOINTS:
-            expected = "GET" if path in _GET_ENDPOINTS else "POST"
+        """Process one request; returns ``(status, headers, body)``.
+
+        ``headers`` are the incoming request headers (any casing); the
+        only one the app reads is ``X-Repro-Trace``.  Omitting them
+        keeps the three-argument test/bench call sites working — the
+        request simply gets a freshly minted trace context.
+        """
+        path, _, query_string = path.partition("?")
+        context = self._trace_context(headers)
+        routed = (
+            path in _GET_ENDPOINTS
+            or path in _POST_ENDPOINTS
+            or path.startswith(_TRACE_PREFIX)
+        )
+        if routed:
+            expected = "POST" if path in _POST_ENDPOINTS else "GET"
             if method != expected:
                 return self._finish(
                     path, 0.0, 0.0,
@@ -209,27 +272,53 @@ class ServeApp:
                         f"{path} only accepts {expected}",
                         extra_headers=[("Allow", expected)],
                     ),
+                    method=method,
+                    context=context,
                 )
         started = time.perf_counter()
         if path == "/healthz":
             response = self._handle_health()
         elif path == "/metrics":
             response = self._handle_metrics()
+        elif path == "/v1/debug/flight":
+            response = self._handle_flight()
+        elif path.startswith(_TRACE_PREFIX):
+            response = self._handle_trace(
+                path[len(_TRACE_PREFIX):], query_string
+            )
         elif path in _POST_ENDPOINTS:
-            return self._handle_post(path, body, started)
+            return self._handle_post(path, body, started, method, context)
         else:
             response = self._error(
                 404, "not_found",
                 f"unknown path {path!r}; endpoints: "
-                f"{', '.join(_POST_ENDPOINTS + _GET_ENDPOINTS)}",
+                f"{', '.join(_POST_ENDPOINTS + _GET_ENDPOINTS)}, "
+                f"{_TRACE_PREFIX}<trace_id>",
             )
             return self._finish(
                 _UNKNOWN_ENDPOINT, time.perf_counter() - started, 0.0,
-                response,
+                response, method=method, context=context,
             )
         return self._finish(
-            path, time.perf_counter() - started, 0.0, response
+            path, time.perf_counter() - started, 0.0, response,
+            method=method, context=context,
         )
+
+    def _trace_context(
+        self, headers: Optional[Dict[str, str]]
+    ) -> TraceContext:
+        """Adopt the client's trace context, or mint the next one."""
+        value = None
+        if headers:
+            for name, header_value in headers.items():
+                if name.lower() == TRACE_HEADER.lower():
+                    value = header_value
+                    break
+        context = parse_trace_header(value)
+        if context is None:
+            with self._trace_lock:
+                context = self._trace_ids.mint()
+        return context
 
     # ------------------------------------------------------------------
     # GET endpoints
@@ -257,16 +346,72 @@ class ServeApp:
             text.encode("utf-8"),
         )
 
+    def _handle_flight(self):
+        """The flight recorder's retained records, oldest first.
+
+        Deterministic: records are ordered by the monotone ``seq``
+        assigned under the recorder lock, so concurrent requests that
+        raced each other still export in one total order.
+        """
+        payload = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "capacity": self._flight.capacity,
+            "recorded": self._flight.recorded,
+            "dropped": self._flight.dropped,
+            "records": [
+                record.to_dict() for record in self._flight.snapshot()
+            ],
+        }
+        return 200, [("Content-Type", _JSON)], protocol.canonical_json(
+            payload
+        )
+
+    def _handle_trace(self, trace_id: str, query_string: str):
+        """One flight record by trace id; ``?format=chrome`` exports it."""
+        record = self._flight.find(trace_id.strip().lower())
+        if record is None:
+            return self._error(
+                404, "not_found",
+                f"no flight record for trace id {trace_id!r}; the "
+                "recorder keeps slow, shed and error requests only "
+                f"(capacity {self._flight.capacity})",
+            )
+        if "format=chrome" in query_string:
+            epoch = (
+                self._spans.epoch if self._spans is not None else 0.0
+            )
+            payload = record.chrome_trace(epoch=epoch)
+        else:
+            payload = {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "record": record.to_dict(),
+            }
+        return 200, [("Content-Type", _JSON)], protocol.canonical_json(
+            payload
+        )
+
     # ------------------------------------------------------------------
     # POST endpoints
     # ------------------------------------------------------------------
-    def _handle_post(self, path: str, body: bytes, started: float):
+    def _handle_post(
+        self,
+        path: str,
+        body: bytes,
+        started: float,
+        method: str = "POST",
+        context: Optional[TraceContext] = None,
+    ):
+        # ``detail`` rides along to the access log and flight recorder;
+        # a non-None detail is also what marks the request as a query
+        # (only those are flight-recorded).
+        detail: Dict[str, object] = {}
         if self._draining:
             return self._finish(
                 path, time.perf_counter() - started, 0.0,
                 self._error(
                     503, "draining", "server is draining; no new queries"
                 ),
+                method=method, context=context, detail=detail,
             )
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -274,6 +419,7 @@ class ServeApp:
             return self._finish(
                 path, time.perf_counter() - started, 0.0,
                 self._error(400, "bad_json", f"request body is not JSON: {error}"),
+                method=method, context=context, detail=detail,
             )
         try:
             if path == "/v1/query":
@@ -286,8 +432,10 @@ class ServeApp:
             return self._finish(
                 path, time.perf_counter() - started, 0.0,
                 self._error(400, "validation", str(error)),
+                method=method, context=context, detail=detail,
             )
 
+        detail["engine"] = self._engine_label(request)
         deadline = (
             None if request.deadline_ms is None
             else request.deadline_ms / 1000.0
@@ -309,26 +457,41 @@ class ServeApp:
                     429, "shed", str(error),
                     extra_headers=[("Retry-After", str(retry_after))],
                 ),
+                method=method, context=context, detail=detail,
             )
         serve_inflight_gauge(self._metrics).set(self._admission.inflight)
+        root = None
         try:
             spans = self._spans
             if spans is None:
-                response = self._answer(path, request)
+                response = self._answer(path, request, detail)
             else:
-                with spans.span("serve_handle", endpoint=path):
-                    response = self._answer(path, request)
+                trace_id = (
+                    context.trace_id if context is not None else ""
+                )
+                with spans.span(
+                    "serve_handle", endpoint=path, trace_id=trace_id
+                ) as root:
+                    response = self._answer(path, request, detail)
         finally:
             self._admission.release()
             serve_inflight_gauge(self._metrics).set(self._admission.inflight)
         return self._finish(
             path, time.perf_counter() - started, ticket.queue_seconds,
-            response,
+            response, method=method, context=context, detail=detail,
+            root=root,
         )
 
-    def _answer(self, path: str, request):
+    def _answer(self, path: str, request, detail: Optional[Dict] = None):
         """Cache lookup -> (maybe) execute -> encode, inside admission."""
         spans = self._spans
+        if detail is None:
+            detail = {}
+        detail["kind"] = {
+            "/v1/query": "k_n_match",
+            "/v1/frequent": "frequent_k_n_match",
+            "/v1/batch": "k_n_match_batch",
+        }[path]
         try:
             key = self._cache_key(path, request)
         except ValidationError as error:
@@ -343,6 +506,7 @@ class ServeApp:
                 observe_serve_cache(self._metrics, path, "hit")
                 if spans is not None:
                     spans.annotate(cache="hit")
+                detail["cache"] = "hit"
                 headers = [("Content-Type", _JSON), ("X-Repro-Cache", "hit")]
                 # Replayed approx answers re-derive the recall header
                 # from the cached canonical bytes, so hit and miss
@@ -353,6 +517,7 @@ class ServeApp:
                 ):
                     recall = self._payload_recall(json.loads(cached))
                     if recall is not None:
+                        detail["certified_recall"] = recall
                         headers.append(("X-Repro-Recall", f"{recall:.6f}"))
                 return (200, headers, cached)
         generation_before = key[0]
@@ -383,9 +548,13 @@ class ServeApp:
             event = "bypass"
         if spans is not None:
             spans.annotate(cache=event)
+        detail["cache"] = event
+        if "mode" in payload:
+            detail["mode"] = payload["mode"]
         headers = [("Content-Type", _JSON), ("X-Repro-Cache", event)]
         recall = self._payload_recall(payload)
         if recall is not None:
+            detail["certified_recall"] = recall
             headers.append(("X-Repro-Recall", f"{recall:.6f}"))
         return (200, headers, body)
 
@@ -605,16 +774,88 @@ class ServeApp:
         wall_seconds: float,
         queue_seconds: float,
         response,
+        method: str = "POST",
+        context: Optional[TraceContext] = None,
+        detail: Optional[Dict[str, object]] = None,
+        root=None,
     ):
         status, headers, body = response
         observe_serve_request(
             self._metrics, endpoint, status, wall_seconds, queue_seconds
         )
-        if queue_seconds:
+        if endpoint in _POST_ENDPOINTS:
+            # Uniform on every query response — cache hits and early
+            # 4xx included — so clients can always parse it (0.000
+            # means "never queued").
             headers = headers + [
                 ("X-Repro-Queue-Ms", f"{queue_seconds * 1000:.3f}")
             ]
+        if context is not None:
+            headers = headers + [(TRACE_HEADER, context.header_value())]
+            # Only query requests carry a non-None detail; GETs and
+            # unrouted paths are never flight-recorded.
+            if detail is not None:
+                reason = self._flight_reason(status, wall_seconds)
+                if reason is not None and self._flight.enabled:
+                    self._flight.record(
+                        trace_id=context.trace_id,
+                        reason=reason,
+                        method=method,
+                        path=endpoint,
+                        status=status,
+                        queue_ms=queue_seconds * 1000,
+                        handle_ms=wall_seconds * 1000,
+                        detail=detail,
+                        span=root,
+                    )
+            if self._access_log is not None:
+                self._write_access_log(
+                    context, method, endpoint, status,
+                    queue_seconds, wall_seconds, detail,
+                )
         return status, headers, body
+
+    def _flight_reason(
+        self, status: int, wall_seconds: float
+    ) -> Optional[str]:
+        """Why this request deserves a flight record, or ``None``."""
+        if status == 429:
+            return "shed"
+        if status >= 400:
+            return "error"
+        threshold = self._slow_threshold
+        if threshold is not None and wall_seconds >= threshold:
+            return "slow"
+        return None
+
+    def _write_access_log(
+        self,
+        context: TraceContext,
+        method: str,
+        endpoint: str,
+        status: int,
+        queue_seconds: float,
+        wall_seconds: float,
+        detail: Optional[Dict[str, object]],
+    ) -> None:
+        entry: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "trace_id": context.trace_id,
+            "method": method,
+            "path": endpoint,
+            "status": status,
+            "queue_ms": round(queue_seconds * 1000, 3),
+            "handle_ms": round(wall_seconds * 1000, 3),
+        }
+        for name in ("engine", "kind", "mode", "cache", "certified_recall"):
+            if detail and name in detail:
+                entry[name] = detail[name]
+        line = protocol.canonical_json(entry).decode("utf-8")
+        with self._access_lock:
+            self._access_log.write(line + "\n")
+            flush = getattr(self._access_log, "flush", None)
+            if flush is not None:
+                flush()
 
 
 # ----------------------------------------------------------------------
@@ -637,7 +878,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str, body: bytes) -> None:
         status, headers, payload = self.server.app.handle(
-            method, self.path, body
+            method, self.path, body, dict(self.headers.items())
         )
         self.send_response(status)
         for name, value in headers:

@@ -680,6 +680,14 @@ class ScatterGatherCoordinator:
         if registry is None and spans is None:
             run = run_one
         else:
+            # Captured on the request thread: pool-thread shard_call
+            # roots re-attach it so cross-thread siblings stay
+            # correlated with the request that spawned them.
+            trace_id = (
+                spans.capture_context("trace_id")
+                if spans is not None
+                else None
+            )
 
             def run(position: int) -> _ShardOutput:
                 shard_index = self._shards[position][0]
@@ -692,13 +700,15 @@ class ScatterGatherCoordinator:
                     # On a pool worker this opens a new root (span stacks
                     # are thread-confined); inline it nests under the
                     # ``shard_fanout`` span of the calling thread.
-                    with spans.span(
-                        "shard_call",
+                    call_meta = dict(
                         shard=shard_index,
                         engine=engine_name,
                         kind=kind,
                         backend="thread",
-                    ):
+                    )
+                    if trace_id is not None:
+                        call_meta["trace_id"] = trace_id
+                    with spans.span("shard_call", **call_meta):
                         output = run_one(position)
                 if registry is not None:
                     from ..obs import observe_shard_call
@@ -764,8 +774,11 @@ class ScatterGatherCoordinator:
                 backend="process",
                 workers=pool.workers,
             ):
-                results = pool.run_tasks(tasks)
+                results = pool.run_tasks(tasks, want_spans=True)
         registry = self._metrics
+        trace_id = (
+            spans.capture_context("trace_id") if spans is not None else None
+        )
         outputs: List[_ShardOutput] = []
         for position, result in enumerate(results):
             shard_index = self._shards[position][0]
@@ -774,17 +787,30 @@ class ScatterGatherCoordinator:
                 # Post-hoc marker span: the shard ran in a worker
                 # process, so the span's own duration is ~0 and the
                 # authoritative timing is the shipped-back
-                # ``worker_seconds`` annotation.
-                with spans.span(
-                    "shard_call",
+                # ``worker_seconds`` annotation.  The worker's own span
+                # forest (shipped in the ok envelope) is then grafted
+                # underneath, rebased onto this span's clock, so the
+                # tree shows real worker phase rows.
+                call_meta = dict(
                     shard=shard_index,
                     engine=engine_name,
                     kind=kind,
                     backend="process",
                     worker_pid=result.worker_pid,
                     worker_seconds=result.worker_seconds,
-                ):
+                )
+                if trace_id is not None:
+                    call_meta["trace_id"] = trace_id
+                with spans.span("shard_call", **call_meta) as call_span:
                     pass
+                if result.spans:
+                    from ..obs.spans import span_from_dict, stitch_worker_spans
+
+                    stitch_worker_spans(
+                        call_span,
+                        [span_from_dict(tree) for tree in result.spans],
+                        result.worker_pid,
+                    )
             if registry is not None:
                 from ..obs import observe_shard_call
 

@@ -812,6 +812,7 @@ class ShardedMatchDatabase:
             f"sharded[{self._shard_count}x{engine or self._default_engine}"
             f"/{self._partitioner.name}]"
         )
+        spans = self._spans
         return QueryTrace.from_stats(
             engine=label,
             kind=kind,
@@ -820,6 +821,11 @@ class ShardedMatchDatabase:
             stats=stats,
             wall_time_seconds=time.perf_counter() - started,
             dimensionality=self.dimensionality,
+            trace_id=(
+                spans.capture_context("trace_id")
+                if spans is not None
+                else None
+            ),
         )
 
     def __len__(self) -> int:

@@ -66,6 +66,7 @@ import numpy as np
 
 from ..core.engine import MatchDatabase
 from ..errors import ShardWorkerError, ValidationError
+from ..obs.spans import SpanCollector, span_to_dict
 from ..sorted_lists import SortedColumns
 
 __all__ = ["ShardProcessPool", "ShardSegmentSpec"]
@@ -289,9 +290,10 @@ def _worker_main(
             task = tasks.get()
             if task is None:
                 break
-            task_id, position, kind, args = task
-            results.put(("claim", task_id, pid, None, 0.0))
+            task_id, position, kind, args, want_spans = task
+            results.put(("claim", task_id, pid, None, 0.0, None))
             started = time.perf_counter()
+            collector: Optional[SpanCollector] = None
             try:
                 db = databases.get(position)
                 if db is None:
@@ -306,6 +308,14 @@ def _worker_main(
                         columns, default_engine=default_engine
                     )
                     databases[position] = db
+                if want_spans:
+                    # One fresh collector per spanned task: its ring then
+                    # holds exactly this task's root trees, in open order,
+                    # ready to ship back in the ok envelope.  Spans stay
+                    # strictly zero-cost when the coordinator has no
+                    # collector installed (want_spans False).
+                    collector = SpanCollector()
+                    db.set_spans(collector)
                 payload = _run_task(db, kind, args)
             except BaseException as error:  # ship it, don't die
                 detail = (
@@ -319,12 +329,28 @@ def _worker_main(
                         pid,
                         detail,
                         time.perf_counter() - started,
+                        None,
                     )
                 )
             else:
+                span_trees = None
+                if collector is not None:
+                    span_trees = [
+                        span_to_dict(root) for root in collector.traces()
+                    ]
                 results.put(
-                    ("ok", task_id, pid, payload, time.perf_counter() - started)
+                    (
+                        "ok",
+                        task_id,
+                        pid,
+                        payload,
+                        time.perf_counter() - started,
+                        span_trees,
+                    )
                 )
+            finally:
+                if collector is not None:
+                    db.set_spans(None)
     finally:
         for segment in segments.values():
             try:
@@ -337,14 +363,25 @@ def _worker_main(
 # the pool
 # ----------------------------------------------------------------------
 class PoolResult:
-    """One shard's answer envelope: payload + where/how long it ran."""
+    """One shard's answer envelope: payload + where/how long it ran.
 
-    __slots__ = ("payload", "worker_seconds", "worker_pid")
+    ``spans`` is the worker-side span forest (``span_to_dict`` form,
+    worker clock) when the scatter asked for it, else ``None``.
+    """
 
-    def __init__(self, payload, worker_seconds: float, worker_pid: int) -> None:
+    __slots__ = ("payload", "worker_seconds", "worker_pid", "spans")
+
+    def __init__(
+        self,
+        payload,
+        worker_seconds: float,
+        worker_pid: int,
+        spans=None,
+    ) -> None:
         self.payload = payload
         self.worker_seconds = worker_seconds
         self.worker_pid = worker_pid
+        self.spans = spans
 
 
 class ShardProcessPool:
@@ -465,9 +502,16 @@ class ShardProcessPool:
 
     # ------------------------------------------------------------------
     def run_tasks(
-        self, tasks: Sequence[Tuple[int, str, tuple]]
+        self,
+        tasks: Sequence[Tuple[int, str, tuple]],
+        want_spans: bool = False,
     ) -> List[PoolResult]:
         """Scatter ``(position, kind, args)`` tasks; gather in task order.
+
+        ``want_spans=True`` asks every worker to run its task under a
+        fresh :class:`SpanCollector` and ship the finished span forest
+        back in the ok envelope (``PoolResult.spans``); the default
+        keeps the wire format span-free and the worker path zero-cost.
 
         Thread-safe (one scatter at a time; the per-shard fan-out within
         a scatter is what runs in parallel).  Raises
@@ -484,7 +528,9 @@ class ShardProcessPool:
             for order, (position, kind, args) in enumerate(tasks):
                 task_id = next(self._task_ids)
                 issued[task_id] = order
-                self._tasks.put((task_id, position, kind, args))
+                self._tasks.put(
+                    (task_id, position, kind, args, bool(want_spans))
+                )
             collected: Dict[int, PoolResult] = {}
             claims: Dict[int, int] = {}  # task_id -> worker pid
             death_deadline: Optional[float] = None
@@ -497,7 +543,7 @@ class ShardProcessPool:
                     )
                     continue
                 death_deadline = None  # any message is progress
-                status, task_id, pid, payload, seconds = message
+                status, task_id, pid, payload, seconds, span_trees = message
                 if task_id not in issued:
                     continue  # stale leftover from an aborted scatter
                 if status == "claim":
@@ -507,7 +553,9 @@ class ShardProcessPool:
                     raise ShardWorkerError(
                         f"shard task failed in worker pid {pid}: {payload}"
                     )
-                collected[task_id] = PoolResult(payload, seconds, pid)
+                collected[task_id] = PoolResult(
+                    payload, seconds, pid, span_trees
+                )
             ordered: List[Optional[PoolResult]] = [None] * len(issued)
             for task_id, order in issued.items():
                 ordered[order] = collected[task_id]

@@ -1,0 +1,412 @@
+"""End-to-end request tracing: trace context, flight recorder, stitching.
+
+The acceptance bar of the tracing PR: a trace id minted (or accepted)
+per request follows the query through admission, cache, plan, scatter
+and — for ``backend="process"`` — into the worker processes, whose span
+trees come back stitched under their ``shard_call`` parents; slow, shed
+and failed requests land in a bounded flight recorder retrievable by
+trace id; and none of it changes a single response byte.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.core.engine import MatchDatabase
+from repro.errors import ValidationError
+from repro.obs import (
+    FLIGHT_REASONS,
+    FlightRecorder,
+    SpanCollector,
+    TraceContext,
+    TraceIdGenerator,
+    format_trace_header,
+    parse_trace_header,
+    span_from_dict,
+    span_to_dict,
+    stitch_worker_spans,
+)
+from repro.serve import ServeApp, canonical_json
+from repro.shard import ShardedMatchDatabase
+
+TRACE_HEADER = "X-Repro-Trace"
+
+
+def post(app, path, payload, headers=None):
+    return app.handle("POST", path, canonical_json(payload), headers)
+
+
+# ----------------------------------------------------------------------
+# trace context: parse / format / deterministic minting
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_mint_shape_and_determinism(self):
+        first = TraceIdGenerator(seed=7)
+        second = TraceIdGenerator(seed=7)
+        a, b = first.mint(), first.mint()
+        assert len(a.trace_id) == 32 and len(a.parent_span_id) == 16
+        assert a != b  # stream advances
+        assert second.mint() == a  # same seed, same stream
+        assert TraceIdGenerator(seed=8).mint() != a
+
+    def test_header_roundtrip(self):
+        context = TraceIdGenerator().mint()
+        parsed = parse_trace_header(format_trace_header(context))
+        assert parsed == context
+
+    def test_bare_trace_id_accepted(self):
+        parsed = parse_trace_header("ab" * 16)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+        assert parsed.parent_span_id == "0" * 16
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "nope",
+            "00-short-0000000000000000-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # zero trace id
+            "zz-" + "a" * 32 + "-" + "1" * 16 + "-01",
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",
+        ],
+    )
+    def test_malformed_header_rejected(self, value):
+        assert parse_trace_header(value) is None
+
+    def test_header_value_is_traceparent_layout(self):
+        context = TraceContext("a" * 32, "b" * 16)
+        assert context.header_value() == f"00-{'a' * 32}-{'b' * 16}-01"
+
+
+# ----------------------------------------------------------------------
+# flight recorder: ring semantics, also under concurrency
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def record(self, recorder, trace_id, reason="slow"):
+        return recorder.record(
+            trace_id=trace_id, reason=reason, method="POST",
+            path="/v1/query", status=200, queue_ms=0.0, handle_ms=1.0,
+        )
+
+    def test_ring_keeps_latest_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            self.record(recorder, f"t{index}")
+        assert [r.trace_id for r in recorder.snapshot()] == ["t2", "t3", "t4"]
+        assert recorder.dropped == 2
+        assert recorder.recorded == 5
+        assert recorder.find("t4").seq == 4
+        assert recorder.find("t0") is None  # evicted
+
+    def test_capacity_zero_disables(self):
+        recorder = FlightRecorder(capacity=0)
+        assert not recorder.enabled
+        assert self.record(recorder, "t") is None
+        assert recorder.snapshot() == [] and recorder.recorded == 0
+
+    def test_bad_reason_and_capacity_rejected(self):
+        with pytest.raises(ValidationError, match="reason"):
+            self.record(FlightRecorder(), "t", reason="meh")
+        with pytest.raises(ValidationError, match="capacity"):
+            FlightRecorder(capacity=-1)
+        assert set(FLIGHT_REASONS) == {"slow", "error", "shed"}
+
+    def test_concurrent_records_keep_seq_total_order(self):
+        """16 threads race; the retained window is seq-contiguous."""
+        recorder = FlightRecorder(capacity=8)
+        barrier = threading.Barrier(16)
+
+        def hammer(worker):
+            barrier.wait()
+            for index in range(25):
+                self.record(recorder, f"w{worker}.{index}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = recorder.snapshot()
+        total = 16 * 25
+        assert recorder.recorded == total
+        assert recorder.dropped == total - 8
+        # deterministic export order: the last 8 seqs, ascending
+        assert [r.seq for r in records] == list(range(total - 8, total))
+
+    def test_record_to_dict_sorts_detail(self):
+        recorder = FlightRecorder()
+        record = recorder.record(
+            trace_id="t", reason="error", method="POST", path="/v1/query",
+            status=400, queue_ms=0.5, handle_ms=2.0,
+            detail={"engine": "ad", "cache": "miss"},
+        )
+        payload = record.to_dict()
+        assert list(payload["detail"]) == ["cache", "engine"]
+        assert payload["span"] is None
+        assert payload["reason"] == "error"
+
+
+# ----------------------------------------------------------------------
+# span serialisation + cross-process stitching (pure, no pool)
+# ----------------------------------------------------------------------
+class TestStitching:
+    def test_span_dict_roundtrip(self):
+        spans = SpanCollector()
+        with spans.span("root", engine="ad") as root:
+            with spans.span("child", shard=1):
+                pass
+        clone = span_from_dict(span_to_dict(root))
+        assert clone.name == "root" and clone.meta["engine"] == "ad"
+        assert [c.name for c in clone.children] == ["child"]
+        assert clone.start == root.start and clone.end == root.end
+
+    def test_stitch_rebases_worker_clock(self):
+        """Worker trees on an alien clock land inside the parent span."""
+        spans = SpanCollector()
+        with spans.span("shard_call", shard=0) as parent:
+            pass
+        worker = SpanCollector()
+        with worker.span("ad/k_n_match") as tree:
+            with worker.span("heap_consume"):
+                pass
+        duration = tree.end - tree.start
+        stitch_worker_spans(parent, [tree], thread_id=4242)
+        stitched = parent.children[-1]
+        assert stitched.start == parent.start  # rebased, not worker clock
+        assert stitched.end - stitched.start == pytest.approx(duration)
+        assert stitched.thread_id == 4242
+        assert parent.end >= stitched.end  # parent stretched to cover
+
+
+# ----------------------------------------------------------------------
+# serve integration: trace round-trip, debug endpoints, access log
+# ----------------------------------------------------------------------
+class TestServeTracing:
+    @pytest.fixture
+    def app(self, small_data):
+        return ServeApp(
+            MatchDatabase(small_data),
+            spans=SpanCollector(),
+            slow_threshold_seconds=0.0,  # record every query
+        )
+
+    def payload(self, small_query, k=3, n=4):
+        return {"query": list(small_query), "k": k, "n": n}
+
+    def trace_of(self, headers):
+        value = dict(headers).get(TRACE_HEADER)
+        assert value is not None
+        parsed = parse_trace_header(value)
+        assert parsed is not None
+        return parsed
+
+    def test_server_mints_and_echoes_trace(self, app, small_query):
+        _, headers1, _ = post(app, "/v1/query", self.payload(small_query))
+        _, headers2, _ = post(app, "/v1/query", self.payload(small_query))
+        first, second = self.trace_of(headers1), self.trace_of(headers2)
+        assert first.trace_id != second.trace_id
+        # deterministic: a twin app with the same seed mints the same ids
+        twin = ServeApp(MatchDatabase(app.db.data), spans=SpanCollector())
+        _, twin_headers, _ = post(
+            twin, "/v1/query", self.payload(small_query)
+        )
+        assert self.trace_of(twin_headers).trace_id == first.trace_id
+
+    def test_client_supplied_trace_adopted(self, app, small_query):
+        supplied = TraceContext("c0ffee" + "0" * 26, "deadbeef00000000")
+        _, headers, _ = post(
+            app, "/v1/query", self.payload(small_query),
+            {"x-repro-trace": supplied.header_value()},  # any header case
+        )
+        assert self.trace_of(headers).trace_id == supplied.trace_id
+
+    def test_malformed_trace_header_minted_fresh(self, app, small_query):
+        _, headers, _ = post(
+            app, "/v1/query", self.payload(small_query),
+            {TRACE_HEADER: "not-a-trace"},
+        )
+        assert len(self.trace_of(headers).trace_id) == 32
+
+    def test_responses_byte_identical_with_tracing_off(
+        self, small_data, small_query
+    ):
+        bare = ServeApp(MatchDatabase(small_data))
+        body = canonical_json(self.payload(small_query))
+        traced = ServeApp(
+            MatchDatabase(small_data),
+            spans=SpanCollector(),
+            slow_threshold_seconds=0.0,
+        )
+        status1, _, body1 = bare.handle("POST", "/v1/query", body)
+        status2, _, body2 = traced.handle("POST", "/v1/query", body)
+        assert (status1, status2) == (200, 200)
+        assert body1 == body2
+
+    def test_trace_id_lands_in_flight_and_debug_endpoints(
+        self, app, small_query
+    ):
+        _, headers, _ = post(app, "/v1/query", self.payload(small_query))
+        trace_id = self.trace_of(headers).trace_id
+        status, _, body = app.handle("GET", "/v1/debug/flight", b"")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["recorded"] == 1 and payload["dropped"] == 0
+        assert payload["records"][0]["trace_id"] == trace_id
+        assert payload["records"][0]["reason"] == "slow"
+        assert payload["records"][0]["detail"]["kind"] == "k_n_match"
+        status, _, body = app.handle(
+            "GET", f"/v1/debug/trace/{trace_id}", b""
+        )
+        record = json.loads(body)["record"]
+        assert status == 200
+        assert record["span"]["name"] == "serve_handle"
+        assert record["span"]["meta"]["trace_id"] == trace_id
+
+    def test_debug_trace_unknown_id_404(self, app):
+        status, _, body = app.handle(
+            "GET", "/v1/debug/trace/" + "0" * 32, b""
+        )
+        assert status == 404
+        assert json.loads(body)["error"]["type"] == "not_found"
+
+    def test_debug_trace_chrome_format(self, app, small_query):
+        _, headers, _ = post(app, "/v1/query", self.payload(small_query))
+        trace_id = self.trace_of(headers).trace_id
+        status, _, body = app.handle(
+            "GET", f"/v1/debug/trace/{trace_id}?format=chrome", b""
+        )
+        chrome = json.loads(body)
+        assert status == 200
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert "serve_handle" in names
+
+    def test_error_requests_recorded_with_reason_error(
+        self, app, small_query
+    ):
+        status, headers, _ = post(
+            app, "/v1/query", {"query": list(small_query), "k": 0, "n": 4}
+        )
+        assert status == 400
+        trace_id = self.trace_of(headers).trace_id
+        record = app.flight.find(trace_id)
+        assert record is not None and record.reason == "error"
+        assert record.status == 400
+
+    def test_flight_capacity_zero_keeps_endpoint_alive(
+        self, small_data, small_query
+    ):
+        app = ServeApp(
+            MatchDatabase(small_data),
+            spans=SpanCollector(),
+            slow_threshold_seconds=0.0,
+            flight_capacity=0,
+        )
+        post(app, "/v1/query", self.payload(small_query))
+        status, _, body = app.handle("GET", "/v1/debug/flight", b"")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["capacity"] == 0 and payload["records"] == []
+
+    def test_access_log_one_json_line_per_request(
+        self, small_data, small_query
+    ):
+        sink = io.StringIO()
+        app = ServeApp(
+            MatchDatabase(small_data),
+            spans=SpanCollector(),
+            access_log=sink,
+        )
+        _, headers, _ = post(app, "/v1/query", self.payload(small_query))
+        post(app, "/v1/query", self.payload(small_query))  # cache hit
+        app.handle("GET", "/healthz", b"")
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["trace_id"] == self.trace_of(headers).trace_id
+        assert lines[0]["path"] == "/v1/query" and lines[0]["status"] == 200
+        assert lines[0]["cache"] == "miss" and lines[1]["cache"] == "hit"
+        assert lines[2]["method"] == "GET" and lines[2]["path"] == "/healthz"
+        for line in lines:
+            assert line["queue_ms"] >= 0.0 and line["handle_ms"] >= 0.0
+
+    def test_query_trace_carries_trace_id(self, small_data, small_query):
+        """QueryTrace.trace_id reflects the enclosing request context."""
+        spans = SpanCollector()
+        db = MatchDatabase(small_data, spans=spans)
+        with spans.span("serve_handle", trace_id="f" * 32):
+            inside = db.k_n_match(small_query, 3, 4, trace=True)
+        outside = db.k_n_match(small_query, 3, 4, trace=True)
+        assert inside.trace.trace_id == "f" * 32
+        assert "f" * 32 in inside.trace.summary()
+        assert outside.trace.trace_id is None
+
+
+# ----------------------------------------------------------------------
+# the acceptance bar: worker spans from the process backend, stitched
+# ----------------------------------------------------------------------
+class TestProcessBackendStitching:
+    @pytest.mark.slow
+    def test_served_process_query_yields_stitched_worker_tree(
+        self, small_data, small_query
+    ):
+        db = ShardedMatchDatabase(small_data, shards=2, backend="process")
+        try:
+            spans = SpanCollector()
+            app = ServeApp(db, spans=spans, slow_threshold_seconds=0.0)
+            flat = MatchDatabase(small_data).k_n_match(small_query, 5, 4)
+            status, headers, body = post(
+                app, "/v1/query",
+                {"query": list(small_query), "k": 5, "n": 4},
+            )
+            assert status == 200
+            answer = json.loads(body)["result"]
+            assert answer["ids"] == list(flat.ids)  # still exact
+            trace_id = parse_trace_header(
+                dict(headers)[TRACE_HEADER]
+            ).trace_id
+            status, _, body = app.handle(
+                "GET", f"/v1/debug/trace/{trace_id}", b""
+            )
+            assert status == 200
+            span = json.loads(body)["record"]["span"]
+            assert span["name"] == "serve_handle"
+
+            def walk(node):
+                yield node
+                for child in node["children"]:
+                    yield from walk(child)
+
+            nodes = list(walk(span))
+            calls = [n for n in nodes if n["name"] == "shard_call"]
+            assert len(calls) == 2
+            worker_phases = set()
+            for call in calls:
+                assert call["meta"]["backend"] == "process"
+                assert call["meta"]["trace_id"] == trace_id
+                assert call["children"], "no worker spans stitched"
+                worker_root = call["children"][0]
+                # worker rows keyed by the worker's pid, not our tid
+                assert worker_root["thread_id"] == call["meta"]["worker_pid"]
+                for node in walk(worker_root):
+                    worker_phases.add(node["name"])
+            # real engine phases crossed the process boundary
+            assert worker_phases & {
+                "window_grow", "heap_consume", "cursor_init"
+            }
+            # and the whole thing exports as a Chrome trace
+            status, _, body = app.handle(
+                "GET", f"/v1/debug/trace/{trace_id}?format=chrome", b""
+            )
+            names = {
+                event["name"]
+                for event in json.loads(body)["traceEvents"]
+            }
+            assert "shard_call" in names
+            assert names & {"window_grow", "heap_consume", "cursor_init"}
+        finally:
+            db.close()

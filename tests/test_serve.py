@@ -255,6 +255,20 @@ class TestRouting:
         assert payload["cardinality"] == small_data.shape[0]
         assert payload["generation"] == 0
 
+    def test_queue_ms_header_on_every_post(self, app, small_query):
+        """X-Repro-Queue-Ms is uniform: misses, cache hits, and errors."""
+        payload = {"query": list(small_query), "k": 2, "n": 3}
+        _, miss_headers, _ = post(app, "/v1/query", payload)
+        _, hit_headers, _ = post(app, "/v1/query", payload)  # cache hit
+        _, error_headers, _ = post(
+            app, "/v1/query", {"query": list(small_query), "k": 0, "n": 3}
+        )
+        for headers in (miss_headers, hit_headers, error_headers):
+            value = dict(headers).get("X-Repro-Queue-Ms")
+            assert value is not None, headers
+            assert float(value) >= 0.0
+        assert dict(hit_headers)["X-Repro-Cache"] == "hit"
+
     def test_metrics_exposes_serve_counters(self, app, small_query):
         post(app, "/v1/query", {"query": list(small_query), "k": 2, "n": 3})
         status, headers, body = app.handle("GET", "/metrics", b"")
@@ -572,6 +586,17 @@ class TestHTTP:
         assert headers1["X-Repro-Cache"] == "miss"
         assert headers2["X-Repro-Cache"] == "hit"
         assert body1 == body2  # byte-identical replay
+
+    def test_trace_id_round_trips_through_client(self, served, small_query):
+        from repro.obs import TraceContext
+
+        _, _, client = served
+        client.query(list(small_query), 3, 4)
+        minted = client.last_trace
+        assert minted is not None and len(minted.trace_id) == 32
+        pinned = TraceContext("ab" * 16, "cd" * 8)
+        client.query(list(small_query), 3, 4, trace=pinned)
+        assert client.last_trace.trace_id == pinned.trace_id
 
     def test_server_error_raises_serve_error(self, served, small_query):
         _, _, client = served

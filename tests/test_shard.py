@@ -381,6 +381,14 @@ class TestFacade:
             for series in families["repro_batches_total"]["series"]
         }
         assert engines == {"shard-scatter"}
+        # per-worker wall time is histogrammed by backend, not by shard
+        worker = families["repro_shard_worker_seconds"]["series"]
+        backends = {series["labels"]["backend"] for series in worker}
+        assert backends == {"thread"}
+        assert all("shard" not in series["labels"] for series in worker)
+        observed = sum(series["count"] for series in worker)
+        # one observation per shard call: 3 shards x 2 logical scatters
+        assert observed == 6
 
     def test_metrics_do_not_change_answers(self, tie_data, tie_query):
         from repro.obs import MetricsRegistry
