@@ -244,7 +244,19 @@ class BudgetADEngine:
 
                 def _rerank():
                     order = np.lexsort((partial, -appear[partial]))
-                    picked = partial[order[:want]].astype(np.int64)
+                    counts = appear[partial][order]
+                    keep = order.size
+                    if keep > want:
+                        # Never cut inside an appearance-count tie: the
+                        # pid tie-break is arbitrary, and dropping a tied
+                        # candidate can make a *larger* budget return a
+                        # worse answer (certified recall must be
+                        # monotone in budget).
+                        cutoff = counts[want - 1]
+                        keep = int(
+                            np.searchsorted(-counts, -cutoff, side="right")
+                        )
+                    picked = partial[order[:keep]].astype(np.int64)
                     rows = self._columns.data[picked]
                     diffs = np.partition(
                         np.abs(rows - query), n - 1, axis=1

@@ -14,7 +14,11 @@ Subcommands::
     repro advise    db.npz --k 20 --n-range 4:8 [--minimize disk-time]
     repro plan      db.npz --k 20 --n 8 [--save]   (calibrate engine=auto)
     repro serve     db.npz --port 8707 --max-inflight 64 --cache-size 1024
+    repro serve     --store store_dir/ [--dimensionality 16]  (mutable LSM)
     repro flight    --host 127.0.0.1 --port 8707 [--trace ID --chrome-out t.json]
+    repro lsm-info  store_dir/            (level layout, WAL, compaction stats)
+    repro wal-info  store_dir/            (decode the write-ahead log)
+    repro compact   store_dir/            (flush + compact to quiescence)
     repro experiments --scale 0.1 --only table4,fig12
 
 ``query`` accepts either an inline comma-separated vector (``--query``)
@@ -466,7 +470,28 @@ def build_parser() -> argparse.ArgumentParser:
             "--port 0 picks an ephemeral port, printed on startup."
         ),
     )
-    serve.add_argument("database", help="database .npz path")
+    serve.add_argument(
+        "database",
+        nargs="?",
+        default=None,
+        help="database .npz path (omit when serving an LSM store "
+        "via --store)",
+    )
+    serve.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="serve a mutable LSM store from this directory instead of "
+        "a database file; enables POST /v1/insert and /v1/delete "
+        "(see docs/durability.md)",
+    )
+    serve.add_argument(
+        "--dimensionality",
+        type=int,
+        default=None,
+        help="with --store on an empty directory: create a fresh store "
+        "with this many dimensions",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port",
@@ -608,6 +633,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the raw canonical JSON instead of the summary lines",
     )
+
+    lsm_info = commands.add_parser(
+        "lsm-info",
+        help="describe an LSM store directory",
+        description=(
+            "Print an LSM store's level layout (segments, rows, dead "
+            "rows per level), live/tombstone counts, WAL size and the "
+            "last compaction's statistics.  Opening the store runs "
+            "recovery, so a torn WAL tail is truncated and reported."
+        ),
+    )
+    lsm_info.add_argument("store", help="LSM store directory")
+    lsm_info.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw status as canonical JSON",
+    )
+
+    wal_info_cmd = commands.add_parser(
+        "wal-info",
+        help="decode an LSM store's write-ahead log",
+        description=(
+            "Read a write-ahead log (a store directory or the wal.log "
+            "file itself) without replaying it and print its record "
+            "counts, generation span and torn-tail status.  Purely a "
+            "read: the log is not truncated or modified."
+        ),
+    )
+    wal_info_cmd.add_argument(
+        "path", help="LSM store directory or wal.log path"
+    )
+    wal_info_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw summary as canonical JSON",
+    )
+
+    compact_cmd = commands.add_parser(
+        "compact",
+        help="flush and fully compact an LSM store",
+        description=(
+            "Open an LSM store, flush its memtable and run leveled "
+            "compaction to quiescence (no level over its fanout), then "
+            "print the resulting layout.  Queries before and after "
+            "return bit-identical answers; this only reclaims "
+            "tombstoned rows and reduces the segment count."
+        ),
+    )
+    compact_cmd.add_argument("store", help="LSM store directory")
 
     approx_info = commands.add_parser(
         "approx-info",
@@ -1192,11 +1266,38 @@ def _run_experiments(args) -> int:
     return runall.main(argv)
 
 
+def _open_store(args):
+    """Open (or, with --dimensionality, create) the LSM store for serve."""
+    from .lsm import LsmMatchDatabase
+
+    for flag, name in (
+        ("--shards", "shards"),
+        ("--partitioner", "partitioner"),
+        ("--engine", "engine"),
+    ):
+        if getattr(args, name, None) is not None:
+            raise ReproError(f"{flag} does not apply to --store serving")
+    return LsmMatchDatabase(
+        args.store, dimensionality=args.dimensionality
+    )
+
+
 def _run_serve(args) -> int:
     from .obs import SpanCollector
     from .serve import MatchServer, ServeApp
 
-    db = _load_db(args)
+    if args.store is not None:
+        if args.database is not None:
+            raise ReproError(
+                "give either a database file or --store, not both"
+            )
+        db = _open_store(args)
+    elif args.database is None:
+        raise ReproError("provide a database file or --store <dir>")
+    else:
+        if args.dimensionality is not None:
+            raise ReproError("--dimensionality requires --store")
+        db = _load_db(args)
     slow_threshold = (
         args.slow_ms / 1000.0 if args.slow_ms is not None else None
     )
@@ -1228,11 +1329,16 @@ def _run_serve(args) -> int:
         shard_note = (
             f", {db.shard_count} shards" if hasattr(db, "shard_count") else ""
         )
+        store_note = (
+            f", store={args.store} gen={db.generation}"
+            if args.store is not None
+            else ""
+        )
         # the port line is load-bearing: with --port 0, clients (and the
         # CLI e2e test) learn the ephemeral port from it.
         print(
             f"serving {db.cardinality} points x {db.dimensionality} dims"
-            f"{shard_note} on http://{server.host}:{server.port} "
+            f"{shard_note}{store_note} on http://{server.host}:{server.port} "
             f"(max-inflight={args.max_inflight}, "
             f"deadline={args.deadline_ms:g}ms, "
             f"cache={args.cache_size})",
@@ -1260,8 +1366,119 @@ def _run_serve(args) -> int:
         server.run(drain_seconds=args.drain_seconds)
         print("server drained and stopped", flush=True)
     finally:
+        if hasattr(db, "close"):
+            db.close()
         if access_log is not None and access_log is not sys.stdout:
             access_log.close()
+    return 0
+
+
+def _print_lsm_status(status: dict) -> None:
+    print(f"path:             {status['path']}")
+    print(f"dimensionality:   {status['dimensionality']}")
+    print(f"cardinality:      {status['cardinality']} live points")
+    print(
+        f"memtable:         {status['memtable_rows']} rows, "
+        f"{status['tombstones']} tombstones"
+    )
+    print(
+        f"generation:       {status['generation']} "
+        f"(persisted {status['persisted_generation']})"
+    )
+    print(f"wal:              {status['wal_bytes']} bytes")
+    print(
+        f"flushes:          {status['flushes']}, "
+        f"compactions: {status['compactions']}, "
+        f"write amplification: {status['write_amplification']:.2f}"
+    )
+    print(f"segments:         {status['segments']}")
+    for level in status["levels"]:
+        ids = ",".join(str(s) for s in level["segment_ids"])
+        print(
+            f"  level {level['level']}: {level['segments']} segment"
+            f"{'s' if level['segments'] != 1 else ''}, "
+            f"{level['rows']} rows ({level['dead_rows']} dead) "
+            f"[{ids}]"
+        )
+    last = status.get("last_compaction")
+    if last:
+        print(
+            f"last compaction:  level {last['level']} -> "
+            f"{last['level'] + 1}: {last['segments_merged']} segments, "
+            f"{last['rows_in']} -> {last['rows_out']} rows in "
+            f"{last['seconds']:.3f}s (generation {last['at_generation']})"
+        )
+    else:
+        print("last compaction:  never")
+
+
+def _run_lsm_info(args) -> int:
+    from .lsm import LsmMatchDatabase
+
+    with LsmMatchDatabase.recover(args.store, auto_compact=False) as db:
+        status = db.info()
+        torn = db.recovered_torn_wal
+    if args.json:
+        print(json.dumps(status, sort_keys=True, indent=2))
+        return 0
+    _print_lsm_status(status)
+    if torn:
+        print("note: a torn WAL tail was truncated during recovery")
+    return 0
+
+
+def _run_wal_info(args) -> int:
+    import os
+
+    from .lsm import wal_info
+    from .lsm.store import WAL_NAME
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, WAL_NAME)
+    summary = wal_info(path)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+        return 0
+    print(f"path:            {summary['path']}")
+    print(
+        f"bytes:           {summary['total_bytes']} total, "
+        f"{summary['valid_bytes']} valid"
+    )
+    if summary["torn"]:
+        print(f"torn tail:       yes ({summary['torn_reason']})")
+    else:
+        print("torn tail:       no")
+    print(
+        f"records:         {summary['records']} "
+        f"({summary['inserts']} inserts, {summary['deletes']} deletes)"
+    )
+    if summary["records"]:
+        print(
+            f"generations:     {summary['min_generation']} .. "
+            f"{summary['max_generation']}"
+        )
+    return 0
+
+
+def _run_compact(args) -> int:
+    from .lsm import LsmMatchDatabase
+
+    with LsmMatchDatabase.recover(args.store, auto_compact=False) as db:
+        before = db.info()
+        flushed = db.flush()
+        merges = db.compact()
+        status = db.info()
+    print(
+        f"flushed {'the memtable' if flushed else 'nothing'} "
+        f"({before['memtable_rows']} rows), ran {merges} level merge"
+        f"{'s' if merges != 1 else ''}"
+    )
+    print(
+        f"segments: {before['segments']} -> {status['segments']}, "
+        f"tombstones: {before['tombstones']} -> {status['tombstones']}"
+    )
+    _print_lsm_status(status)
     return 0
 
 
@@ -1400,6 +1617,9 @@ _HANDLERS = {
     "plan": _run_plan,
     "serve": _run_serve,
     "flight": _run_flight,
+    "lsm-info": _run_lsm_info,
+    "wal-info": _run_wal_info,
+    "compact": _run_compact,
     "approx-info": _run_approx_info,
     "experiments": _run_experiments,
 }

@@ -113,6 +113,48 @@ class DynamicMatchDatabase:
         # insert_many loops over insert.
         self._lock = threading.RLock()
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        rows,
+        pids,
+        generation: int = 0,
+        **kwargs,
+    ) -> "DynamicMatchDatabase":
+        """Rebuild a database from a :meth:`snapshot`, resuming counters.
+
+        ``generation`` must be at least the generation the snapshot was
+        taken under — restart then resumes *past* it, so a serve-layer
+        cache keyed on (generation, query) can never alias a pre-restart
+        entry onto the rebuilt store.  Point ids resume after the
+        largest snapshotted id, preserving the never-reused contract.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        pids = np.asarray(pids, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[0] != pids.shape[0]:
+            raise ValidationError(
+                f"snapshot rows {rows.shape} do not match {pids.shape[0]} pids"
+            )
+        if generation < 0:
+            raise ValidationError(
+                f"generation must be >= 0; got {generation}"
+            )
+        order = np.argsort(pids)
+        pids = pids[order]
+        if pids.shape[0] and np.any(np.diff(pids) <= 0):
+            raise ValidationError("snapshot pids must be unique")
+        db = cls(
+            data=np.ascontiguousarray(rows[order]) if rows.shape[0] else None,
+            dimensionality=rows.shape[1] if rows.ndim == 2 else None,
+            **kwargs,
+        )
+        db._base_pids = pids
+        db._next_pid = int(pids[-1]) + 1 if pids.shape[0] else 0
+        # Resume one past the snapshot generation: the rebuilt store is a
+        # distinct mutation epoch even before its first write.
+        db._generation = int(generation) + 1
+        return db
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

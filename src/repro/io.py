@@ -319,11 +319,23 @@ def load_any_database(
 ):
     """Open a database file of either kind, dispatching on its header.
 
-    Returns a :class:`MatchDatabase` for flat files and a
-    :class:`~repro.shard.ShardedMatchDatabase` for sharded ones; raises
+    Returns a :class:`MatchDatabase` for flat files, a
+    :class:`~repro.shard.ShardedMatchDatabase` for sharded ones, and a
+    :class:`~repro.lsm.LsmMatchDatabase` for a *directory* holding an
+    LSM store (its ``MANIFEST.json`` is the tell); raises
     :class:`StorageError` for anything else.  ``backend``/``workers``
     apply only to sharded files (flat databases have no fan-out).
     """
+    if os.path.isdir(path):
+        from .lsm import LsmMatchDatabase
+        from .lsm.store import MANIFEST_NAME
+
+        if not os.path.exists(os.path.join(os.fspath(path), MANIFEST_NAME)):
+            raise StorageError(
+                f"{os.fspath(path)!r} is a directory without a "
+                f"{MANIFEST_NAME}; not an LSM store"
+            )
+        return LsmMatchDatabase.recover(path)
     try:
         archive = np.load(path)
     except (OSError, ValueError) as error:

@@ -1,0 +1,26 @@
+"""``repro.lsm`` — the durable, write-heavy tier of the reproduction.
+
+An LSM-tree organisation of the paper's exact k-n-match engines:
+WAL-logged mutations, a brute-force memtable, leveled immutable
+block-AD segments, background compaction and crash recovery — every
+query bit-identical to the naive oracle over the live set at every
+instant.  See ``docs/durability.md``.
+"""
+
+from .compactor import Compactor
+from .memtable import Memtable
+from .segment import Segment
+from .store import LsmMatchDatabase
+from .wal import WalRecord, WalWriter, read_wal, truncate_wal, wal_info
+
+__all__ = [
+    "LsmMatchDatabase",
+    "Compactor",
+    "Memtable",
+    "Segment",
+    "WalRecord",
+    "WalWriter",
+    "read_wal",
+    "truncate_wal",
+    "wal_info",
+]

@@ -1,0 +1,76 @@
+"""Background compaction: a worker thread that keeps the levels shallow.
+
+The store's write path only ever *appends* segments (flushes land in
+L0); this worker merges an overflowing level into the next one whenever
+:meth:`~repro.lsm.store.LsmMatchDatabase.compact_once` finds work.  All
+correctness lives in the store — the worker is pure scheduling: it
+sleeps on a condition, is woken after every flush, and drains one
+``compact_once`` at a time until no level overflows.
+
+The thread is a daemon: an abandoned store cannot hang interpreter
+shutdown.  A crash in the merge (including an injected
+:class:`~repro.storage.fault.InjectedCrashError`) stops the worker and
+is re-raised to whoever calls :meth:`check`; the store itself stays
+consistent because an interrupted merge never unpublishes a victim
+segment.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["Compactor"]
+
+
+class Compactor:
+    """Runs ``store.compact_once()`` on a daemon thread when woken."""
+
+    def __init__(self, store, poll_seconds: float = 1.0) -> None:
+        self._store = store
+        self.poll_seconds = poll_seconds
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self.error: Optional[BaseException] = None
+        self.rounds = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-lsm-compactor", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def wake(self) -> None:
+        """Signal that a flush may have created compaction work."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        """Stop the worker and wait for the in-flight round to finish."""
+        self._stopping.set()
+        self._wake.set()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    def check(self) -> None:
+        """Re-raise a background failure, if any."""
+        if self.error is not None:
+            raise self.error
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(timeout=self.poll_seconds)
+            if self._stopping.is_set():
+                return
+            self._wake.clear()
+            try:
+                while self._store.compact_once():
+                    self.rounds += 1
+                    if self._stopping.is_set():
+                        return
+            except BaseException as error:  # recorded, not swallowed
+                self.error = error
+                return

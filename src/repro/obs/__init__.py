@@ -45,6 +45,9 @@ from .flight import FLIGHT_REASONS, FlightRecord, FlightRecorder
 from .instrument import (
     observe_approx_query,
     observe_batch,
+    observe_lsm_compaction,
+    observe_lsm_flush,
+    observe_lsm_mutation,
     observe_page_read,
     observe_pager_fault,
     observe_query,
@@ -53,6 +56,7 @@ from .instrument import (
     observe_serve_shed,
     observe_shard_call,
     serve_inflight_gauge,
+    update_lsm_gauges,
 )
 from .registry import (
     Counter,
@@ -118,6 +122,10 @@ __all__ = [
     "observe_serve_request",
     "observe_serve_shed",
     "observe_serve_cache",
+    "observe_lsm_mutation",
+    "observe_lsm_flush",
+    "observe_lsm_compaction",
+    "update_lsm_gauges",
     "serve_inflight_gauge",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_COST_BUCKETS",

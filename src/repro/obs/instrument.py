@@ -31,6 +31,10 @@ __all__ = [
     "observe_serve_shed",
     "observe_serve_cache",
     "observe_plan_decision",
+    "observe_lsm_mutation",
+    "observe_lsm_flush",
+    "observe_lsm_compaction",
+    "update_lsm_gauges",
     "serve_inflight_gauge",
     "SHARD_SIZE_BUCKETS",
     "STRAGGLER_RATIO_BUCKETS",
@@ -338,6 +342,111 @@ def observe_plan_decision(
             "repro_plan_fanout_total",
             "shard calls scattered by planned queries",
         ).labels(**labels).inc(fanout)
+
+
+def observe_lsm_mutation(
+    registry: MetricsRegistry, op: str, wal_bytes: int, wall_seconds: float
+) -> None:
+    """Record one LSM mutation (``op``: insert / delete) and its WAL cost."""
+    registry.counter(
+        "repro_lsm_mutations_total", "LSM store mutations applied"
+    ).labels(op=op).inc()
+    registry.counter(
+        "repro_lsm_wal_bytes_total", "bytes appended to the write-ahead log"
+    ).labels().inc(wal_bytes)
+    registry.histogram(
+        "repro_lsm_mutation_seconds",
+        "wall time of one LSM mutation (WAL append included)",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(op=op).observe(wall_seconds)
+
+
+def observe_lsm_flush(
+    registry: MetricsRegistry,
+    rows: int,
+    bytes_written: int,
+    wall_seconds: float,
+) -> None:
+    """Record one memtable flush into an L0 segment."""
+    registry.counter(
+        "repro_lsm_flushes_total", "memtable flushes into L0 segments"
+    ).labels().inc()
+    registry.counter(
+        "repro_lsm_flush_rows_total", "live rows frozen by flushes"
+    ).labels().inc(rows)
+    registry.counter(
+        "repro_lsm_segment_bytes_total", "segment bytes written to disk"
+    ).labels(cause="flush").inc(bytes_written)
+    registry.histogram(
+        "repro_lsm_flush_seconds",
+        "wall time of one memtable flush",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels().observe(wall_seconds)
+
+
+def observe_lsm_compaction(
+    registry: MetricsRegistry,
+    level: int,
+    segments_merged: int,
+    rows_in: int,
+    rows_out: int,
+    wall_seconds: float,
+    bytes_written: int,
+) -> None:
+    """Record one finished level compaction.
+
+    ``rows_in - rows_out`` is the garbage (tombstoned rows) the merge
+    reclaimed; the byte counter shares its name with the flush series,
+    split by the ``cause`` label, so total write amplification is one
+    sum over ``repro_lsm_segment_bytes_total``.
+    """
+    labels = {"level": str(level)}
+    registry.counter(
+        "repro_lsm_compactions_total", "level compactions completed"
+    ).labels(**labels).inc()
+    registry.counter(
+        "repro_lsm_compaction_rows_total", "rows read by compactions"
+    ).labels(**labels).inc(rows_in)
+    registry.counter(
+        "repro_lsm_compaction_reclaimed_total",
+        "tombstoned rows dropped by compactions",
+    ).labels(**labels).inc(rows_in - rows_out)
+    registry.counter(
+        "repro_lsm_segment_bytes_total", "segment bytes written to disk"
+    ).labels(cause="compact").inc(bytes_written)
+    registry.histogram(
+        "repro_lsm_compaction_seconds",
+        "wall time of one level compaction",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).labels(**labels).observe(wall_seconds)
+
+
+def update_lsm_gauges(registry: MetricsRegistry, store) -> None:
+    """Refresh the point-in-time LSM gauges from a store's current state.
+
+    Called after mutations, flushes and compactions — cheap reads of
+    counters the store already maintains.
+    """
+    for entry in store.level_layout():
+        registry.gauge(
+            "repro_lsm_segments", "segments per LSM level"
+        ).labels(level=str(entry["level"])).set(entry["segments"])
+    registry.gauge(
+        "repro_lsm_memtable_rows", "rows in the mutable memtable tier"
+    ).labels().set(store.memtable_size)
+    registry.gauge(
+        "repro_lsm_tombstones", "live tombstones awaiting compaction"
+    ).labels().set(store.tombstone_count)
+    registry.gauge(
+        "repro_lsm_live_points", "live (queryable) points in the store"
+    ).labels().set(store.cardinality)
+    registry.gauge(
+        "repro_lsm_wal_bytes", "current write-ahead log size"
+    ).labels().set(store.wal_bytes)
+    registry.gauge(
+        "repro_lsm_write_amplification",
+        "segment bytes written per user byte inserted",
+    ).labels().set(store.write_amplification)
 
 
 def serve_inflight_gauge(registry: MetricsRegistry):

@@ -79,6 +79,11 @@ PHASE_NAMES: Tuple[str, ...] = (
     "plan",           # an engine="auto" planning decision (estimate+probes)
     "approx_filter",  # approx tier: budgeted frontier / sketch scoring
     "approx_rerank",  # approx tier: exact re-rank of filtered candidates
+    "wal_append",     # LSM store: append one mutation record to the WAL
+    "memtable_scan",  # LSM store: brute-force scan of the mutable tier
+    "segment_search", # LSM store: one immutable segment's engine call
+    "flush",          # LSM store: freeze the memtable into an L0 segment
+    "compact",        # LSM store: merge one level into the next
 )
 
 

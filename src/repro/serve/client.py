@@ -56,6 +56,10 @@ class ServeClient:
         #: caller of the typed methods learns the server-minted id for
         #: a later ``debug_trace`` lookup.
         self.last_trace: Optional[TraceContext] = None
+        #: The mutation generation the last ``insert``/``delete``
+        #: response carried (the ``X-Repro-Generation`` header), or
+        #: ``None`` before the first mutation.
+        self.last_generation: Optional[int] = None
 
     # ------------------------------------------------------------------
     # raw transport
@@ -210,6 +214,69 @@ class ServeClient:
             protocol.decode_match_result(result)
             for result in decoded["results"]
         ]
+
+    # ------------------------------------------------------------------
+    # mutations (servers fronting a mutable facade)
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        point: Sequence[float],
+        deadline_ms: Optional[float] = None,
+        trace: Optional[object] = None,
+    ) -> int:
+        """Insert one point; returns its stable id.
+
+        The response's generation lands in :attr:`last_generation`, so
+        callers can correlate their mutation with subsequent cache
+        behaviour.
+        """
+        status, headers, body = self.post_raw(
+            "/v1/insert",
+            protocol.canonical_json(
+                self._request_payload(
+                    point=[float(value) for value in point],
+                    deadline_ms=deadline_ms,
+                )
+            ),
+            trace=trace,
+        )
+        decoded = self._decode_or_raise(status, body)
+        self._record_generation(headers)
+        return int(decoded["pid"])
+
+    def delete(
+        self,
+        pid: int,
+        deadline_ms: Optional[float] = None,
+        trace: Optional[object] = None,
+    ) -> None:
+        """Delete one live point by id."""
+        status, headers, body = self.post_raw(
+            "/v1/delete",
+            protocol.canonical_json(
+                self._request_payload(pid=pid, deadline_ms=deadline_ms)
+            ),
+            trace=trace,
+        )
+        self._decode_or_raise(status, body)
+        self._record_generation(headers)
+
+    def _decode_or_raise(self, status: int, body: bytes) -> Dict:
+        decoded = json.loads(body.decode("utf-8"))
+        if status != 200:
+            error = decoded.get("error", {})
+            raise ServeError(
+                status,
+                error.get("type", "unknown"),
+                error.get("message", f"server returned HTTP {status}"),
+            )
+        return decoded
+
+    def _record_generation(self, headers: Dict[str, str]) -> None:
+        for name, value in headers.items():
+            if name.lower() == "x-repro-generation":
+                self.last_generation = int(value)
+                return
 
     # ------------------------------------------------------------------
     def debug_flight(self) -> Dict:

@@ -2,11 +2,20 @@
 
 Everything the HTTP layer reads or writes is defined here, so the
 protocol can be tested without a socket and the client/server can never
-drift apart.  Three request shapes (one per POST endpoint)::
+drift apart.  Five request shapes (one per POST endpoint)::
 
     POST /v1/query     {"query": [..], "k": 5, "n": 8}
     POST /v1/frequent  {"query": [..], "k": 5, "n_range": [4, 12]}
     POST /v1/batch     {"queries": [[..], ..], "k": 5, "n": 8}
+    POST /v1/insert    {"point": [..]}
+    POST /v1/delete    {"pid": 17}
+
+The two mutation endpoints require a mutable facade
+(:class:`~repro.core.dynamic.DynamicMatchDatabase` or
+:class:`~repro.lsm.LsmMatchDatabase`); their responses carry the new
+mutation generation both in the body and in the ``X-Repro-Generation``
+header, which is what invalidates every result-cache entry keyed under
+the previous generation.
 
 All three accept optional ``"engine"`` (a registry engine name or
 ``"auto"`` for the cost-based planner, only for facades that support
@@ -54,9 +63,13 @@ __all__ = [
     "QueryRequest",
     "FrequentRequest",
     "BatchRequest",
+    "InsertRequest",
+    "DeleteRequest",
     "parse_query_request",
     "parse_frequent_request",
     "parse_batch_request",
+    "parse_insert_request",
+    "parse_delete_request",
     "encode_stats",
     "encode_match_result",
     "encode_approx_result",
@@ -113,6 +126,22 @@ class FrequentRequest:
     keep_answer_sets: bool = False
     deadline_ms: Optional[float] = None
     mode: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InsertRequest:
+    """A parsed ``POST /v1/insert`` body."""
+
+    point: List[float]
+    deadline_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """A parsed ``POST /v1/delete`` body."""
+
+    pid: int
+    deadline_ms: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -307,6 +336,31 @@ def parse_batch_request(payload: Dict) -> BatchRequest:
         engine=_as_engine(payload.get("engine")),
         deadline_ms=_as_deadline(payload.get("deadline_ms")),
         **_approx_fields(payload),
+    )
+
+
+def parse_insert_request(payload: Dict) -> InsertRequest:
+    """Validate the JSON-level shape of a ``/v1/insert`` body.
+
+    Dimensionality validation stays with the mutable facade, so its
+    canonical message comes back unchanged.
+    """
+    _check_shape(payload, ("point",), ("deadline_ms",))
+    return InsertRequest(
+        point=_as_vector(payload["point"], "point"),
+        deadline_ms=_as_deadline(payload.get("deadline_ms")),
+    )
+
+
+def parse_delete_request(payload: Dict) -> DeleteRequest:
+    """Validate the JSON-level shape of a ``/v1/delete`` body."""
+    _check_shape(payload, ("pid",), ("deadline_ms",))
+    pid = payload["pid"]
+    if isinstance(pid, bool) or not isinstance(pid, int):
+        raise ValidationError(f"pid must be an integer; got {pid!r}")
+    return DeleteRequest(
+        pid=pid,
+        deadline_ms=_as_deadline(payload.get("deadline_ms")),
     )
 
 

@@ -21,6 +21,8 @@ Endpoints::
     POST /v1/query              one k-n-match
     POST /v1/frequent           one frequent k-n-match
     POST /v1/batch              a batch of k-n-matches
+    POST /v1/insert             insert one point (mutable facades)
+    POST /v1/delete             delete one point by id (mutable facades)
     GET  /healthz               liveness + database generation
     GET  /metrics               Prometheus 0.0.4 text (the repro.obs exporter)
     GET  /v1/debug/flight       the flight recorder's retained records
@@ -86,7 +88,12 @@ _JSON = "application/json"
 #: send.
 _UNKNOWN_ENDPOINT = "unknown"
 
-_POST_ENDPOINTS = ("/v1/query", "/v1/frequent", "/v1/batch")
+_POST_ENDPOINTS = (
+    "/v1/query", "/v1/frequent", "/v1/batch", "/v1/insert", "/v1/delete",
+)
+#: The subset of POST endpoints that mutate the database; they bypass
+#: the result cache and stamp the new generation on the response.
+_MUTATION_ENDPOINTS = ("/v1/insert", "/v1/delete")
 _GET_ENDPOINTS = ("/healthz", "/metrics", "/v1/debug/flight")
 #: Prefix route for one-record lookup: ``/v1/debug/trace/<trace_id>``.
 _TRACE_PREFIX = "/v1/debug/trace/"
@@ -122,6 +129,9 @@ class ServeApp:
         self._supports_frequent_mode = (
             frequent is not None
             and "mode" in inspect.signature(frequent).parameters
+        )
+        self._supports_mutation = hasattr(db, "insert") and hasattr(
+            db, "delete"
         )
         approx_defaults = (
             default_mode, default_budget, default_target_recall,
@@ -426,6 +436,10 @@ class ServeApp:
                 request = protocol.parse_query_request(payload)
             elif path == "/v1/frequent":
                 request = protocol.parse_frequent_request(payload)
+            elif path == "/v1/insert":
+                request = protocol.parse_insert_request(payload)
+            elif path == "/v1/delete":
+                request = protocol.parse_delete_request(payload)
             else:
                 request = protocol.parse_batch_request(payload)
         except ValidationError as error:
@@ -491,7 +505,15 @@ class ServeApp:
             "/v1/query": "k_n_match",
             "/v1/frequent": "frequent_k_n_match",
             "/v1/batch": "k_n_match_batch",
+            "/v1/insert": "insert",
+            "/v1/delete": "delete",
         }[path]
+        if path in _MUTATION_ENDPOINTS:
+            # Mutations never touch the result cache: the generation
+            # bump they cause is itself what invalidates cached answers
+            # (every cache key embeds the generation it was computed
+            # under).
+            return self._mutate(path, request, detail)
         try:
             key = self._cache_key(path, request)
         except ValidationError as error:
@@ -557,6 +579,43 @@ class ServeApp:
             detail["certified_recall"] = recall
             headers.append(("X-Repro-Recall", f"{recall:.6f}"))
         return (200, headers, body)
+
+    def _mutate(self, path: str, request, detail: Dict):
+        """Execute one mutation and encode its canonical response."""
+        if not self._supports_mutation:
+            return self._error(
+                400, "validation",
+                "this database does not support mutations; serve a "
+                "DynamicMatchDatabase or an LSM store (--store)",
+            )
+        db = self._db
+        try:
+            if path == "/v1/insert":
+                pid = db.insert(request.point)
+            else:
+                pid = request.pid
+                db.delete(pid)
+        except ValidationError as error:
+            return self._error(400, "validation", str(error))
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            return self._error(
+                500, "internal", f"{type(error).__name__}: {error}"
+            )
+        generation = self.generation()
+        detail["pid"] = pid
+        detail["generation"] = generation
+        payload = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "kind": detail["kind"],
+            "pid": int(pid),
+            "generation": generation,
+            "cardinality": int(db.cardinality),
+        }
+        headers = [
+            ("Content-Type", _JSON),
+            ("X-Repro-Generation", str(generation)),
+        ]
+        return (200, headers, protocol.canonical_json(payload))
 
     @staticmethod
     def _payload_recall(payload: Dict) -> Optional[float]:
@@ -624,6 +683,9 @@ class ServeApp:
         return {"engine": engine}
 
     def _engine_label(self, request) -> str:
+        # Mutation requests have no engine field: their label is empty.
+        if not hasattr(request, "engine"):
+            return ""
         return (
             request.engine
             or self._default_engine
@@ -847,7 +909,10 @@ class ServeApp:
             "queue_ms": round(queue_seconds * 1000, 3),
             "handle_ms": round(wall_seconds * 1000, 3),
         }
-        for name in ("engine", "kind", "mode", "cache", "certified_recall"):
+        for name in (
+            "engine", "kind", "mode", "cache", "certified_recall",
+            "pid", "generation",
+        ):
             if detail and name in detail:
                 entry[name] = detail[name]
         line = protocol.canonical_json(entry).decode("utf-8")

@@ -352,6 +352,129 @@ class TestServe:
         assert "--shards" in capsys.readouterr().err
 
 
+class TestLsmCli:
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        from repro.lsm import LsmMatchDatabase
+
+        path = tmp_path / "store"
+        with LsmMatchDatabase(
+            path,
+            dimensionality=4,
+            memtable_flush_rows=8,
+            level_fanout=2,
+            auto_compact=False,
+        ) as db:
+            for pid in range(40):
+                db.insert([float(pid), pid * 0.5, pid % 7, 1.0])
+            for pid in range(0, 40, 5):
+                db.delete(pid)
+        return path
+
+    def test_lsm_info_round_trip(self, store_dir, capsys):
+        assert main(["lsm-info", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cardinality:      32 live points" in out
+        assert "dimensionality:   4" in out
+        assert "level 0:" in out
+        assert "wal:" in out
+        assert "generation:" in out
+
+    def test_lsm_info_json(self, store_dir, capsys):
+        import json
+
+        assert main(["lsm-info", str(store_dir), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["cardinality"] == 32
+        assert info["tombstones"] == 8
+        assert info["generation"] > 0
+
+    def test_lsm_info_rejects_non_store(self, tmp_path, capsys):
+        assert main(["lsm-info", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_wal_info(self, store_dir, capsys):
+        assert main(["wal-info", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "torn tail:       no" in out
+
+    def test_compact_then_info_shows_last_compaction(self, store_dir, capsys):
+        assert main(["compact", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "segments: 5 -> 1" in out
+        assert "tombstones: 8 -> 0" in out
+        capsys.readouterr()
+        assert main(["lsm-info", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert ", 0 tombstones" in out
+        assert "last compaction:  level" in out
+
+    def test_serve_store_requires_no_database(self, store_dir, capsys):
+        status = main(["serve", "--port", "0"])
+        assert status == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_serve_store_mutation_round_trip(self, store_dir):
+        """End to end: serve --store, insert + delete via ServeClient."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.serve import ServeClient
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--store",
+                str(store_dir),
+                "--port",
+                "0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            startup = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", startup)
+            assert match, f"no port in startup line: {startup!r}"
+            client = ServeClient("127.0.0.1", int(match.group(1)))
+            pid = client.insert([100.0, 100.0, 100.0, 100.0])
+            assert pid == 40
+            first_generation = client.last_generation
+            assert first_generation is not None
+            result = client.query([100.0, 100.0, 100.0, 100.0], 1, 4)
+            assert result.ids == [pid]
+            client.delete(pid)
+            assert client.last_generation > first_generation
+            result = client.query([100.0, 100.0, 100.0, 100.0], 1, 4)
+            assert result.ids != [pid]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "server drained and stopped" in out
+
+    def test_mutations_survive_serve_restart(self, store_dir):
+        from repro.lsm import LsmMatchDatabase
+
+        with LsmMatchDatabase.recover(store_dir, auto_compact=False) as db:
+            pid = db.insert([7.0, 7.0, 7.0, 7.0])
+        with LsmMatchDatabase.recover(store_dir, auto_compact=False) as db:
+            assert pid in db
+
+
 class TestParser:
     def test_version(self, capsys):
         from repro import __version__

@@ -1,0 +1,606 @@
+"""The LSM store: WAL, segments, recovery, compaction, fault injection.
+
+The acceptance bar everywhere is the repo-wide exactness contract: at
+every instant — mid-flush, mid-compaction, after a crash at any injected
+point, after a torn WAL tail — queries are **bit-identical** to the
+naive oracle over the live point set, and ``generation`` is strictly
+monotonic across restarts (the serve cache's soundness condition).
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDatabaseError, StorageError, ValidationError
+from repro.lsm import (
+    LsmMatchDatabase,
+    Memtable,
+    Segment,
+    WalWriter,
+    read_wal,
+    truncate_wal,
+    wal_info,
+)
+from repro.lsm.wal import OP_DELETE, OP_INSERT, encode_record
+from repro.storage.fault import FaultSchedule, InjectedCrashError
+
+DIMS = 4
+
+
+def oracle_knmatch(model, query, k, n):
+    """Naive k-n-match over a ``{pid: coords}`` model (Definitions 1-3)."""
+    query = np.asarray(query, dtype=np.float64)
+    scored = sorted(
+        (float(np.sort(np.abs(row - query))[n - 1]), pid)
+        for pid, row in model.items()
+    )
+    return scored[: min(k, len(scored))]
+
+
+def assert_oracle_identical(db, model, query, k, n):
+    expected = oracle_knmatch(model, query, k, n)
+    result = db.k_n_match(query, min(k, len(model)), n)
+    assert result.ids == [pid for _d, pid in expected]
+    assert result.differences == [d for d, _pid in expected]
+
+
+def row(pid):
+    """A deterministic, distinct point per pid."""
+    return np.array(
+        [pid * 1.0, pid * 0.5 + 0.25, (pid % 7) * 2.0, pid * 0.125],
+        dtype=np.float64,
+    )
+
+
+def populated_store(path, count=40, delete_every=5, **kwargs):
+    """A small store plus its oracle model, with flushes along the way."""
+    kwargs.setdefault("memtable_flush_rows", 8)
+    kwargs.setdefault("level_fanout", 2)
+    kwargs.setdefault("auto_compact", False)
+    db = LsmMatchDatabase(path, dimensionality=DIMS, **kwargs)
+    model = {}
+    for i in range(count):
+        pid = db.insert(row(i))
+        model[pid] = row(i)
+    for pid in list(model)[::delete_every]:
+        db.delete(pid)
+        del model[pid]
+    return db, model
+
+
+# ----------------------------------------------------------------------
+# WAL
+# ----------------------------------------------------------------------
+class TestWal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WalWriter(path) as wal:
+            wal.append(OP_INSERT, 1, 0, np.array([1.0, 2.0, 3.0]))
+            wal.append(OP_DELETE, 2, 0)
+            wal.append(OP_INSERT, 3, 1, np.array([0.5, 0.25, 0.125]))
+            wal.sync()
+        scan = read_wal(path)
+        assert not scan.torn
+        assert [(r.op, r.generation, r.pid) for r in scan.records] == [
+            (OP_INSERT, 1, 0),
+            (OP_DELETE, 2, 0),
+            (OP_INSERT, 3, 1),
+        ]
+        np.testing.assert_array_equal(
+            scan.records[0].coords, [1.0, 2.0, 3.0]
+        )
+        assert scan.records[1].coords is None
+        assert scan.valid_bytes == scan.total_bytes
+
+    def test_torn_tail_stops_at_valid_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WalWriter(path) as wal:
+            wal.append(OP_INSERT, 1, 0, np.array([1.0]))
+            wal.sync()
+        frame = encode_record(OP_INSERT, 2, 1, np.array([2.0]))
+        with open(path, "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        scan = read_wal(path)
+        assert scan.torn and scan.reason
+        assert len(scan.records) == 1
+        assert scan.valid_bytes < scan.total_bytes
+        truncate_wal(path, scan.valid_bytes)
+        again = read_wal(path)
+        assert not again.torn
+        assert len(again.records) == 1
+
+    def test_corrupt_byte_is_a_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WalWriter(path) as wal:
+            wal.append(OP_INSERT, 1, 0, np.array([1.0]))
+            wal.append(OP_INSERT, 2, 1, np.array([2.0]))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte of the last record
+        path.write_bytes(bytes(blob))
+        scan = read_wal(path)
+        assert scan.torn and "CRC" in scan.reason
+        assert len(scan.records) == 1
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a wal at all")
+        with pytest.raises(StorageError, match="not a repro WAL"):
+            read_wal(path)
+
+    def test_wal_info_summary(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WalWriter(path) as wal:
+            wal.append(OP_INSERT, 5, 0, np.array([1.0]))
+            wal.append(OP_DELETE, 6, 0)
+        info = wal_info(path)
+        assert info["records"] == 2
+        assert info["inserts"] == 1 and info["deletes"] == 1
+        assert (info["min_generation"], info["max_generation"]) == (5, 6)
+        assert not info["torn"]
+
+
+# ----------------------------------------------------------------------
+# segments and memtable
+# ----------------------------------------------------------------------
+class TestSegment:
+    def test_save_load_roundtrip(self, tmp_path):
+        rows = np.vstack([row(i) for i in range(6)])
+        pids = np.arange(0, 12, 2, dtype=np.int64)
+        segment = Segment(3, 1, rows, pids)
+        segment.save(tmp_path)
+        loaded = Segment.load(tmp_path / segment.filename)
+        assert loaded.segment_id == 3 and loaded.level == 1
+        np.testing.assert_array_equal(loaded.rows, rows)
+        np.testing.assert_array_equal(loaded.pids, pids)
+
+    def test_pids_must_ascend(self):
+        rows = np.vstack([row(0), row(1)])
+        with pytest.raises(StorageError, match="ascending"):
+            Segment(0, 0, rows, np.array([5, 5], dtype=np.int64))
+
+    def test_memtable_preserves_insertion_order(self):
+        table = Memtable(DIMS)
+        table.add(row(4), 4)
+        table.add(row(9), 9)
+        rows, pids = table.live_arrays(set())
+        np.testing.assert_array_equal(pids, [4, 9])
+        rows, pids = table.live_arrays({4})
+        np.testing.assert_array_equal(pids, [9])
+
+
+# ----------------------------------------------------------------------
+# the store: CRUD, flush, compaction, oracle identity
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_queries_match_oracle_through_churn(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        assert db.segment_count > 1  # flushes actually happened
+        query = np.array([3.3, 1.1, 4.4, 0.9])
+        for n in range(1, DIMS + 1):
+            assert_oracle_identical(db, model, query, 5, n)
+        db.close()
+
+    def test_frequent_matches_oracle(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        query = row(17) + 0.3
+        result = db.frequent_k_n_match(query, 4, (1, DIMS))
+        for n, ids in result.answer_sets.items():
+            expected = [pid for _d, pid in oracle_knmatch(model, query, 4, n)]
+            assert ids == expected
+        db.close()
+
+    def test_compaction_preserves_answers(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        query = np.array([9.0, 2.0, 6.0, 1.0])
+        before = db.k_n_match(query, 6, 2)
+        rounds = db.compact()
+        assert rounds >= 1
+        after = db.k_n_match(query, 6, 2)
+        assert before.ids == after.ids
+        assert before.differences == after.differences
+        assert db.tombstone_count == 0  # fully reclaimed
+        assert_oracle_identical(db, model, query, 6, 2)
+        db.close()
+
+    def test_cardinality_and_membership(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        assert db.cardinality == len(model) == len(db)
+        for pid in list(model)[:5]:
+            assert pid in db
+            np.testing.assert_array_equal(db.get_point(pid), model[pid])
+        gone = next(iter(set(range(40)) - set(model)))
+        assert gone not in db
+        with pytest.raises(ValidationError):
+            db.get_point(gone)
+        db.close()
+
+    def test_delete_validation(self, tmp_path):
+        db = LsmMatchDatabase(
+            tmp_path / "store", dimensionality=DIMS, auto_compact=False
+        )
+        with pytest.raises(ValidationError, match="does not exist"):
+            db.delete(0)
+        pid = db.insert(row(0))
+        db.delete(pid)
+        with pytest.raises(ValidationError, match="does not exist"):
+            db.delete(pid)
+        db.close()
+
+    def test_empty_store_rejects_queries(self, tmp_path):
+        db = LsmMatchDatabase(
+            tmp_path / "store", dimensionality=DIMS, auto_compact=False
+        )
+        with pytest.raises(EmptyDatabaseError):
+            db.k_n_match(row(0), 1, 1)
+        db.close()
+
+    def test_snapshot_is_pid_sorted_and_live(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        rows, pids = db.snapshot()
+        assert list(pids) == sorted(model)
+        for coords, pid in zip(rows, pids):
+            np.testing.assert_array_equal(coords, model[pid])
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_clean_restart_is_identical_and_monotonic(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        generation = db.generation
+        query = np.array([2.0, 7.0, 1.0, 3.0])
+        expected = db.k_n_match(query, 5, 2)
+        db.close()
+
+        recovered = LsmMatchDatabase.recover(
+            tmp_path / "store", auto_compact=False
+        )
+        assert recovered.generation > generation
+        assert recovered.cardinality == len(model)
+        result = recovered.k_n_match(query, 5, 2)
+        assert result.ids == expected.ids
+        assert result.differences == expected.differences
+        # ids never reused: the next insert continues past every old pid
+        new_pid = recovered.insert(row(99))
+        assert new_pid == 40
+        recovered.close()
+
+    def test_abandoned_process_recovers_from_wal(self, tmp_path):
+        # No close(): the WAL (unbuffered) is the only durable record of
+        # the memtable's tail.  Recovery must replay it exactly.
+        db, model = populated_store(tmp_path / "store")
+        db._wal._handle.close()  # simulate sudden process death
+        recovered = LsmMatchDatabase.recover(
+            tmp_path / "store", auto_compact=False
+        )
+        assert recovered.cardinality == len(model)
+        assert_oracle_identical(
+            recovered, model, np.array([1.0, 1.0, 1.0, 1.0]), 5, 2
+        )
+        recovered.close()
+
+    def test_torn_wal_tail_is_truncated(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        db._wal._handle.close()
+        wal_path = os.path.join(db.directory, "wal.log")
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x07garbage-tail\xff\xff")
+        recovered = LsmMatchDatabase.recover(
+            tmp_path / "store", auto_compact=False
+        )
+        assert recovered.recovered_torn_wal
+        assert recovered.cardinality == len(model)
+        assert_oracle_identical(
+            recovered, model, np.array([5.0, 0.5, 2.0, 4.0]), 6, 3
+        )
+        recovered.close()
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(StorageError, match="no manifest"):
+            LsmMatchDatabase.recover(tmp_path / "nothing")
+
+    def test_dimensionality_mismatch_rejected(self, tmp_path):
+        db = LsmMatchDatabase(
+            tmp_path / "store", dimensionality=DIMS, auto_compact=False
+        )
+        db.close()
+        with pytest.raises(ValidationError, match="does not match"):
+            LsmMatchDatabase(
+                tmp_path / "store",
+                dimensionality=DIMS + 1,
+                auto_compact=False,
+            )
+
+
+# ----------------------------------------------------------------------
+# injected crashes: every scheduled point must recover exactly
+# ----------------------------------------------------------------------
+class TestCrashPoints:
+    def run_to_crash(self, tmp_path, fault):
+        """Drive a store until ``fault`` fires; returns the oracle model.
+
+        Every crash point fires *after* the mutation's WAL record is
+        durable, so an in-flight mutation that raised is still applied
+        by recovery — the model is updated before the call for exactly
+        that reason (a crashed-but-logged mutation is a committed one).
+        """
+        db = LsmMatchDatabase(
+            tmp_path / "store",
+            dimensionality=DIMS,
+            memtable_flush_rows=4,
+            level_fanout=2,
+            auto_compact=False,
+            fault=fault,
+        )
+        model = {}
+        crashed = False
+        try:
+            for i in range(30):
+                model[i] = row(i)  # WAL-first: durable even if this raises
+                db.insert(row(i))
+                if i % 3 == 2:
+                    del model[i]
+                    db.delete(i)
+        except InjectedCrashError:
+            crashed = True
+        if not crashed:
+            try:
+                db.compact()  # some points only fire during compaction
+            except InjectedCrashError:
+                crashed = True
+        assert crashed and fault.fired, "the scheduled fault never fired"
+        return model
+
+    def recover_and_check(self, tmp_path, model):
+        db = LsmMatchDatabase.recover(tmp_path / "store", auto_compact=False)
+        live = set(int(p) for p in db.snapshot()[1])
+        assert live == set(model)
+        assert_oracle_identical(
+            db, model, np.array([4.0, 4.0, 4.0, 4.0]), 5, 2
+        )
+        db.close()
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "mutate:after-wal",
+            "flush:before-segment",
+            "flush:before-manifest",
+            "flush:before-wal-reset",
+            "compact:after-segment",
+            "compact:before-manifest",
+        ],
+    )
+    def test_every_crash_point_recovers_exactly(self, tmp_path, point):
+        # Flush/compact never change the live set, and a mutation whose
+        # WAL record landed is committed; either way recovery must serve
+        # exactly the logged live set.
+        model = self.run_to_crash(
+            tmp_path, FaultSchedule(crash_points=(point,))
+        )
+        self.recover_and_check(tmp_path, model)
+
+    def test_torn_write_loses_only_the_torn_record(self, tmp_path):
+        db = LsmMatchDatabase(
+            tmp_path / "store",
+            dimensionality=DIMS,
+            memtable_flush_rows=100,
+            auto_compact=False,
+        )
+        model = {}
+        for i in range(5):
+            pid = db.insert(row(i))
+            model[pid] = row(i)
+        # Cut the power mid-append of the next record.
+        db._fault = FaultSchedule(wal_torn_after_bytes=10)
+        db._wal._fault = db._fault
+        with pytest.raises(InjectedCrashError, match="torn WAL write"):
+            db.insert(row(5))
+        recovered = LsmMatchDatabase.recover(
+            tmp_path / "store", auto_compact=False
+        )
+        assert recovered.recovered_torn_wal
+        assert set(recovered.snapshot()[1]) == set(model)
+        assert_oracle_identical(
+            recovered, model, np.array([2.0, 1.0, 2.0, 1.0]), 4, 2
+        )
+        recovered.close()
+
+    def test_generation_survives_every_crash_point(self, tmp_path):
+        fault = FaultSchedule(crash_points=("flush:before-wal-reset",))
+        self.run_to_crash(tmp_path, fault)
+        first = LsmMatchDatabase.recover(tmp_path / "store", auto_compact=False)
+        g1 = first.generation
+        first.insert(row(50))
+        g2 = first.generation
+        assert g2 > g1
+        first._wal._handle.close()  # die again, unsynced
+        second = LsmMatchDatabase.recover(
+            tmp_path / "store", auto_compact=False
+        )
+        assert second.generation > g2
+        second.close()
+
+
+# ----------------------------------------------------------------------
+# concurrency: readers never blocked beyond the swap
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_query_racing_compaction_is_exact(self, tmp_path, monkeypatch):
+        db, model = populated_store(tmp_path / "store", count=60)
+        query = np.array([7.0, 3.0, 5.0, 2.0])
+        expected = oracle_knmatch(model, query, 6, 2)
+
+        real_merge = db._merge_level
+        entered = threading.Event()
+
+        def slow_merge(*args, **kwargs):
+            entered.set()
+            time.sleep(0.25)  # hold the merge window open, lock NOT held
+            return real_merge(*args, **kwargs)
+
+        monkeypatch.setattr(db, "_merge_level", slow_merge)
+        worker = threading.Thread(target=db.compact_once)
+        worker.start()
+        assert entered.wait(timeout=5.0)
+        # Queries land inside the merge window; the live set is stable
+        # (no writers), so every answer must be bit-identical.
+        inside = 0
+        while worker.is_alive():
+            result = db.k_n_match(query, 6, 2)
+            assert result.ids == [pid for _d, pid in expected]
+            inside += 1
+        worker.join()
+        assert inside > 0
+        after = db.k_n_match(query, 6, 2)
+        assert after.ids == [pid for _d, pid in expected]
+        db.close()
+
+    def test_writer_reader_compactor_stress(self, tmp_path):
+        db = LsmMatchDatabase(
+            tmp_path / "store",
+            dimensionality=DIMS,
+            memtable_flush_rows=8,
+            level_fanout=2,
+            auto_compact=True,  # background compactor thread lives
+        )
+        model_lock = threading.Lock()
+        model = {}
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(150):
+                    pid = db.insert(row(i))
+                    with model_lock:
+                        model[pid] = row(i)
+                    if i % 4 == 3:
+                        with model_lock:
+                            victim = next(iter(model))
+                            del model[victim]
+                        db.delete(victim)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader():
+            query = np.array([10.0, 5.0, 5.0, 2.0])
+            try:
+                while not stop.is_set():
+                    try:
+                        result = db.k_n_match(query, 3, 2)
+                    except EmptyDatabaseError:
+                        continue
+                    assert len(set(result.ids)) == len(result.ids)
+                    assert result.differences == sorted(result.differences)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert db._compactor.check() is None  # compactor thread healthy
+        # Quiescent: the final state must match the model exactly.
+        assert_oracle_identical(
+            db, model, np.array([10.0, 5.0, 5.0, 2.0]), 5, 2
+        )
+        db.close()
+        # ... and survive a restart bit-identically.
+        recovered = LsmMatchDatabase.recover(
+            tmp_path / "store", auto_compact=False
+        )
+        assert_oracle_identical(
+            recovered, model, np.array([10.0, 5.0, 5.0, 2.0]), 5, 2
+        )
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# observability and accounting
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_metrics_and_spans(self, tmp_path):
+        from repro.obs import MetricsRegistry, SpanCollector, render_prometheus
+
+        registry = MetricsRegistry()
+        spans = SpanCollector()
+        db = LsmMatchDatabase(
+            tmp_path / "store",
+            dimensionality=DIMS,
+            memtable_flush_rows=4,
+            level_fanout=2,
+            auto_compact=False,
+            metrics=registry,
+            spans=spans,
+        )
+        for i in range(12):
+            db.insert(row(i))
+        db.delete(3)
+        db.k_n_match(row(5), 3, 2)
+        db.compact()
+        text = render_prometheus(registry)
+        for name in (
+            "repro_lsm_mutations_total",
+            "repro_lsm_wal_bytes_total",
+            "repro_lsm_flushes_total",
+            "repro_lsm_compactions_total",
+            "repro_lsm_segments",
+            "repro_lsm_live_points",
+            "repro_lsm_write_amplification",
+        ):
+            assert name in text, name
+        names = set()
+
+        def walk(span):
+            names.add(span.name)
+            for child in span.children:
+                walk(child)
+
+        for root in spans.traces():
+            walk(root)
+        assert {"lsm/insert", "lsm/delete", "lsm/k_n_match"} <= names
+        assert {"wal_append", "memtable_scan", "merge"} <= names
+        assert "segment_search" in names
+        db.close()
+
+    def test_zero_cost_without_registry(self, tmp_path):
+        db, model = populated_store(tmp_path / "store")
+        assert db.metrics is None and db.spans is None
+        assert_oracle_identical(
+            db, model, np.array([1.0, 2.0, 3.0, 4.0]), 4, 2
+        )
+        db.close()
+
+    def test_write_amplification_accounting(self, tmp_path):
+        db, _model = populated_store(tmp_path / "store")
+        assert db.write_amplification > 1.0  # flushed more than once
+        layout = db.level_layout()
+        assert sum(level["rows"] for level in layout) == sum(
+            s.cardinality for s in db._segments
+        )
+        db.close()
+
+
+class TestInfo:
+    def test_info_is_json_friendly(self, tmp_path):
+        import json
+
+        db, model = populated_store(tmp_path / "store")
+        db.compact()
+        status = db.info()
+        json.dumps(status)  # must serialise
+        assert status["cardinality"] == len(model)
+        assert status["last_compaction"]["segments_merged"] >= 2
+        db.close()

@@ -1,0 +1,226 @@
+"""Serving mutations: /v1/insert and /v1/delete against an LSM store.
+
+The mutation endpoints must behave like the query endpoints in every
+observable way — canonical JSON, verbatim validation messages, spans,
+metrics, access log — while bumping the generation that keys the result
+cache, so a cached answer can never outlive the live set it was
+computed under.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicMatchDatabase
+from repro.core.engine import MatchDatabase
+from repro.errors import ValidationError
+from repro.lsm import LsmMatchDatabase
+from repro.obs import MetricsRegistry, SpanCollector, render_prometheus
+from repro.serve import ServeApp, canonical_json
+from repro.serve.protocol import parse_delete_request, parse_insert_request
+
+DIMS = 3
+
+
+def post(app, path, payload):
+    return app.handle("POST", path, canonical_json(payload))
+
+
+def decode(body):
+    return json.loads(body.decode("utf-8"))
+
+
+@pytest.fixture
+def store_app(tmp_path):
+    db = LsmMatchDatabase(
+        tmp_path / "store",
+        dimensionality=DIMS,
+        memtable_flush_rows=8,
+        auto_compact=False,
+    )
+    app = ServeApp(db, cache_size=32)
+    yield app, db
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# protocol parsing
+# ----------------------------------------------------------------------
+class TestMutationProtocol:
+    def test_insert_request(self):
+        request = parse_insert_request({"point": [1, 2.5, 3]})
+        assert request.point == [1.0, 2.5, 3.0]
+        assert request.deadline_ms is None
+
+    def test_insert_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown field 'k'"):
+            parse_insert_request({"point": [1.0], "k": 3})
+
+    def test_delete_request(self):
+        assert parse_delete_request({"pid": 17}).pid == 17
+
+    def test_delete_pid_must_be_integer(self):
+        with pytest.raises(ValidationError, match="pid must be an integer"):
+            parse_delete_request({"pid": "x"})
+        with pytest.raises(ValidationError, match="pid must be an integer"):
+            parse_delete_request({"pid": True})
+
+
+# ----------------------------------------------------------------------
+# the endpoints
+# ----------------------------------------------------------------------
+class TestMutationEndpoints:
+    def test_insert_returns_pid_and_generation(self, store_app):
+        app, db = store_app
+        status, headers, body = post(app, "/v1/insert", {"point": [1, 2, 3]})
+        assert status == 200
+        payload = decode(body)
+        assert payload["kind"] == "insert"
+        assert payload["pid"] == 0
+        assert payload["generation"] == db.generation
+        assert payload["cardinality"] == 1
+        assert dict(headers)["X-Repro-Generation"] == str(db.generation)
+
+    def test_delete_round_trip(self, store_app):
+        app, db = store_app
+        _s, _h, body = post(app, "/v1/insert", {"point": [1, 2, 3]})
+        pid = decode(body)["pid"]
+        status, headers, body = post(app, "/v1/delete", {"pid": pid})
+        assert status == 200
+        payload = decode(body)
+        assert payload["kind"] == "delete"
+        assert payload["cardinality"] == 0
+        assert int(dict(headers)["X-Repro-Generation"]) == db.generation
+
+    def test_canonical_json_bytes(self, store_app):
+        app, _db = store_app
+        _s, _h, body = post(app, "/v1/insert", {"point": [1.0, 2.0, 3.0]})
+        assert body == canonical_json(decode(body))
+
+    def test_validation_messages_flow_verbatim(self, store_app):
+        app, db = store_app
+        status, _h, body = post(app, "/v1/insert", {"point": [1.0, 2.0]})
+        assert status == 400
+        message = decode(body)["error"]["message"]
+        with pytest.raises(ValidationError) as caught:
+            db.insert([1.0, 2.0])
+        assert message == str(caught.value)
+
+        status, _h, body = post(app, "/v1/delete", {"pid": 999})
+        assert status == 400
+        assert "does not exist" in decode(body)["error"]["message"]
+
+    def test_static_database_rejects_mutations(self, small_data):
+        app = ServeApp(MatchDatabase(small_data))
+        status, _h, body = post(app, "/v1/insert", {"point": [0.0] * 8})
+        assert status == 400
+        assert "does not support mutations" in decode(body)["error"]["message"]
+
+    def test_dynamic_database_accepts_mutations(self, small_data):
+        app = ServeApp(DynamicMatchDatabase(small_data))
+        status, _h, body = post(app, "/v1/insert", {"point": [0.5] * 8})
+        assert status == 200
+        assert decode(body)["pid"] == small_data.shape[0]
+
+    def test_mutation_requires_post(self, store_app):
+        app, _db = store_app
+        status, _h, _body = app.handle("GET", "/v1/insert", b"")
+        assert status == 405
+
+
+# ----------------------------------------------------------------------
+# cache soundness across mutations
+# ----------------------------------------------------------------------
+class TestCacheInvalidation:
+    def test_mutation_invalidates_cached_answers(self, store_app):
+        app, _db = store_app
+        for value in range(8):
+            post(app, "/v1/insert", {"point": [float(value)] * DIMS})
+        request = {"query": [0.0, 0.0, 0.0], "k": 2, "n": 2}
+        _s, h1, b1 = post(app, "/v1/query", request)
+        _s, h2, b2 = post(app, "/v1/query", request)
+        assert dict(h1)["X-Repro-Cache"] == "miss"
+        assert dict(h2)["X-Repro-Cache"] == "hit"
+        assert b1 == b2  # byte-identical replay
+
+        post(app, "/v1/delete", {"pid": 0})
+        _s, h3, b3 = post(app, "/v1/query", request)
+        assert dict(h3)["X-Repro-Cache"] == "miss"
+        assert 0 not in decode(b3)["result"]["ids"]
+
+    def test_queries_match_oracle_after_served_mutations(self, store_app):
+        app, db = store_app
+        model = {}
+        for value in range(20):
+            point = [value * 1.0, value * 0.5, (value % 5) * 2.0]
+            _s, _h, body = post(app, "/v1/insert", {"point": point})
+            model[decode(body)["pid"]] = np.array(point)
+        for pid in list(model)[::4]:
+            post(app, "/v1/delete", {"pid": pid})
+            del model[pid]
+        query = np.array([3.0, 1.5, 4.0])
+        _s, _h, body = post(
+            app, "/v1/query", {"query": query.tolist(), "k": 5, "n": 2}
+        )
+        scored = sorted(
+            (float(np.sort(np.abs(row - query))[1]), pid)
+            for pid, row in model.items()
+        )
+        assert decode(body)["result"]["ids"] == [p for _d, p in scored[:5]]
+
+
+# ----------------------------------------------------------------------
+# observability parity with the query endpoints
+# ----------------------------------------------------------------------
+class TestMutationObservability:
+    def test_metrics_spans_and_access_log(self, tmp_path):
+        registry = MetricsRegistry()
+        spans = SpanCollector()
+        log = io.StringIO()
+        db = LsmMatchDatabase(
+            tmp_path / "store",
+            dimensionality=DIMS,
+            auto_compact=False,
+            metrics=registry,
+            spans=spans,
+        )
+        app = ServeApp(db, metrics=registry, spans=spans, access_log=log)
+        _s, _h, body = post(app, "/v1/insert", {"point": [1.0, 2.0, 3.0]})
+        pid = decode(body)["pid"]
+        post(app, "/v1/delete", {"pid": pid})
+
+        text = render_prometheus(registry)
+        assert 'repro_lsm_mutations_total{op="insert"} 1' in text
+        assert 'repro_lsm_mutations_total{op="delete"} 1' in text
+        assert 'endpoint="/v1/insert",status="200"' in text
+        assert 'endpoint="/v1/delete",status="200"' in text
+
+        names = set()
+
+        def walk(span):
+            names.add(span.name)
+            for child in span.children:
+                walk(child)
+
+        for root in spans.traces():
+            walk(root)
+        assert {"serve_handle", "lsm/insert", "lsm/delete", "wal_append"} <= names
+
+        lines = [json.loads(line) for line in log.getvalue().splitlines()]
+        assert [entry["path"] for entry in lines] == [
+            "/v1/insert",
+            "/v1/delete",
+        ]
+        assert lines[0]["pid"] == pid and lines[1]["pid"] == pid
+        assert lines[1]["generation"] > lines[0]["generation"]
+        assert all("trace_id" in entry for entry in lines)
+        db.close()
+
+    def test_health_reports_lsm_generation(self, store_app):
+        app, db = store_app
+        post(app, "/v1/insert", {"point": [1.0, 2.0, 3.0]})
+        _s, _h, body = app.handle("GET", "/healthz", b"")
+        payload = decode(body)
+        assert payload["generation"] == db.generation
